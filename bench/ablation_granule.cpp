@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation: revocation granule size (paper §3.3.1).
+ *
+ * The paper picks 8-byte granules (capability alignment), costing
+ * 1/(8·8) = 1.56% of heap SRAM for the bitmap, and notes that larger
+ * granules shrink the bitmap at the cost of padding allocations to
+ * granule boundaries. This bench quantifies that tradeoff over
+ * allocation-size corpora: bitmap overhead falls as 1/granule while
+ * padding waste grows, with the 8-byte point minimising the combined
+ * memory overhead for small-object-heavy embedded workloads.
+ */
+
+#include "cap/bounds.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace cheriot;
+
+namespace
+{
+
+struct Corpus
+{
+    const char *name;
+    std::vector<uint32_t> sizes;
+};
+
+std::vector<Corpus>
+corpora()
+{
+    std::vector<Corpus> result;
+    Corpus small{"small objects (16-256B)", {}};
+    Rng rng1(0x517e);
+    for (int i = 0; i < 100000; ++i) {
+        small.sizes.push_back(16 + rng1.below(241));
+    }
+    result.push_back(std::move(small));
+
+    Corpus mixed{"mixed (16B-8KiB)", {}};
+    Rng rng2(0xa11c);
+    for (int i = 0; i < 100000; ++i) {
+        const unsigned magnitude = 4 + rng2.below(10);
+        mixed.sizes.push_back((1u << magnitude) +
+                              rng2.next() % (1u << magnitude));
+    }
+    result.push_back(std::move(mixed));
+
+    Corpus packets{"network packets", {}};
+    Rng rng3(0x9acc);
+    for (int i = 0; i < 100000; ++i) {
+        packets.sizes.push_back(rng3.chance(1, 4)
+                                    ? 1024 + rng3.below(512)
+                                    : 64 + rng3.below(192));
+    }
+    result.push_back(std::move(packets));
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: revocation granule size (paper §3.3.1)\n");
+    std::printf("bitmap overhead = 1/(8*granule) of heap; allocations "
+                "pad to granule multiples\n\n");
+    std::printf("%-26s %8s %10s %10s %10s\n", "corpus", "granule",
+                "bitmap%", "padding%", "combined%");
+
+    for (const auto &corpus : corpora()) {
+        for (const uint32_t granule : {8u, 16u, 32u, 64u, 128u}) {
+            uint64_t requested = 0;
+            uint64_t padded = 0;
+            for (const uint32_t size : corpus.sizes) {
+                requested += size;
+                // CHERIoT sizing first (CRRL), then granule padding so
+                // no two allocations share a revocation bit.
+                const uint64_t chunk =
+                    cap::representableLength(std::max(size, 16u));
+                padded += alignUp<uint64_t>(chunk, granule);
+            }
+            const double bitmapPct = 100.0 / (8.0 * granule);
+            const double paddingPct =
+                100.0 * static_cast<double>(padded - requested) /
+                static_cast<double>(requested);
+            std::printf("%-26s %7uB %9.3f%% %9.3f%% %9.3f%%\n",
+                        corpus.name, granule, bitmapPct, paddingPct,
+                        bitmapPct + paddingPct);
+        }
+        std::printf("\n");
+    }
+    std::printf("paper's choice: 8-byte granules (1.56%% of heap SRAM), "
+                "matching capability alignment\n");
+    return 0;
+}

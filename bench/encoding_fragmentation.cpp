@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reproduces the capability-encoding fragmentation claim of paper
+ * §3.2: prior 32-bit CHERI adaptations kept CHERI Concentrate's
+ * layout, dropping bounds precision to as low as 3 bits and costing
+ * 1/2^3 = 12.5% average padding, while CHERIoT's compressed
+ * permissions buy a 9-bit mantissa and ~1/2^9 = 0.19% fragmentation.
+ *
+ * Method: sweep allocation-size corpora (log-uniform synthetic plus
+ * embedded-style fixed pools) and compute the padding each encoding's
+ * representable-length rounding forces.
+ */
+
+#include "cap/bounds.h"
+#include "util/rng.h"
+
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+using namespace cheriot;
+
+namespace
+{
+
+/** Round @p length as an encoding with @p mantissaBits of precision
+ * must (generalisation of cap::representableLength). */
+uint64_t
+roundedLength(uint64_t length, unsigned mantissaBits)
+{
+    const uint64_t span = (uint64_t{1} << mantissaBits) - 1;
+    unsigned e = 0;
+    while (((length + ((uint64_t{1} << e) - 1)) >> e) > span) {
+        ++e;
+    }
+    const uint64_t granule = uint64_t{1} << e;
+    return (length + granule - 1) & ~(granule - 1);
+}
+
+struct Corpus
+{
+    const char *name;
+    std::vector<uint64_t> sizes;
+};
+
+std::vector<Corpus>
+corpora()
+{
+    std::vector<Corpus> result;
+
+    // Log-uniform sizes, 16 B .. 512 KiB.
+    Corpus logUniform{"log-uniform 16B..512K", {}};
+    Rng rng(0xf7a6);
+    for (int i = 0; i < 200000; ++i) {
+        const unsigned magnitude = 4 + rng.below(16);
+        logUniform.sizes.push_back((uint64_t{1} << magnitude) +
+                                   rng.next() % (1u << magnitude));
+    }
+    result.push_back(std::move(logUniform));
+
+    // Embedded-flavoured mix: packet buffers, TLS records, small
+    // control blocks.
+    Corpus embedded{"embedded mix", {}};
+    Rng rng2(0xe3bd);
+    for (int i = 0; i < 200000; ++i) {
+        switch (rng2.below(4)) {
+          case 0: embedded.sizes.push_back(16 + rng2.below(112)); break;
+          case 1: embedded.sizes.push_back(64 + rng2.below(1436)); break;
+          case 2: embedded.sizes.push_back(1024 + rng2.below(15360)); break;
+          default: embedded.sizes.push_back(24); break;
+        }
+    }
+    result.push_back(std::move(embedded));
+
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Capability-encoding fragmentation (paper §3.2)\n");
+    std::printf("paper: 3-bit precision -> 12.5%% average padding; "
+                "CHERIoT 9-bit -> ~0.19%%\n\n");
+    std::printf("%-24s %12s %12s %12s\n", "corpus", "3-bit (CC32)",
+                "9-bit model", "CHERIoT CRRL");
+
+    for (const auto &corpus : corpora()) {
+        uint64_t requested = 0;
+        uint64_t padded3 = 0;
+        uint64_t padded9 = 0;
+        uint64_t paddedCheriot = 0;
+        for (const uint64_t size : corpus.sizes) {
+            requested += size;
+            padded3 += roundedLength(size, 3);
+            padded9 += roundedLength(size, 9);
+            paddedCheriot += cap::representableLength(size);
+        }
+        auto percent = [&](uint64_t padded) {
+            return 100.0 * static_cast<double>(padded - requested) /
+                   static_cast<double>(requested);
+        };
+        std::printf("%-24s %11.3f%% %11.3f%% %11.3f%%\n", corpus.name,
+                    percent(padded3), percent(padded9),
+                    percent(paddedCheriot));
+    }
+
+    std::printf("\nprecisely representable object limit: 511 bytes "
+                "(9-bit mantissa)\n");
+    std::printf("E=0xF escape covers the full 32-bit address space for "
+                "root capabilities\n");
+    return 0;
+}

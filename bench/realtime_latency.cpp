@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Real-time interrupt latency (paper §2.1, §3.3.2).
+ *
+ * The paper's core real-time claim: no CHERIoT hardware operation has
+ * nondeterministic latency, and the only software construct that
+ * defers interrupts — the revoker's interrupts-off sweep batch — has
+ * a small, easily changed bound. This bench measures worst-case
+ * timer-interrupt latency, entirely in guest code, under:
+ *
+ *  - an idle spin loop,
+ *  - a division-heavy loop (the longest instructions),
+ *  - capability-memory traffic through the load filter,
+ *  - a software revocation sweep with varying interrupts-off batch
+ *    sizes (the §3.3.2 loop, complete with per-batch IRQ windows).
+ *
+ * Latency = mcycle at handler entry − programmed mtimecmp deadline.
+ * The batch sweep's worst case must scale linearly with the batch
+ * size and everything else must stay within a few instructions.
+ */
+
+#include "isa/assembler.h"
+#include "sim/machine.h"
+
+#include <cstdio>
+
+using namespace cheriot;
+using namespace cheriot::isa;
+
+namespace
+{
+
+constexpr uint32_t kEntry = mem::kSramBase + 0x1000;
+constexpr uint32_t kGlobals = mem::kSramBase + 0x8000;
+// Globals layout.
+constexpr int32_t kDeadline = 0;   // programmed mtimecmp (low word)
+constexpr int32_t kMaxLatency = 4; // worst observed latency
+constexpr int32_t kIrqCount = 8;   // interrupts serviced
+constexpr uint32_t kSweepArea = mem::kSramBase + 0xa000;
+constexpr uint32_t kSweepWords = 1024;
+constexpr int32_t kPeriod = 2000; // cycles between interrupts
+
+enum class Workload
+{
+    IdleSpin,
+    DivLoop,
+    CapMemory,
+    SweepBatch,
+};
+
+/**
+ * Guest program: timer handler measuring its own entry latency, over
+ * the chosen foreground workload; exits after 50 interrupts with the
+ * max latency as the exit code.
+ */
+std::vector<uint32_t>
+buildProgram(Workload workload, uint32_t batchWords)
+{
+    Assembler a(kEntry);
+    const auto handler = a.newLabel();
+    const auto boot = a.newLabel();
+    a.j(boot);
+
+    // ---- handler (kEntry + 4) ------------------------------------------
+    a.bind(handler);
+    // t2 = globals cap lives in MScratchC; swap it in, then preserve
+    // the working registers the handler borrows.
+    a.cspecialrw(T2, Scr::MScratchC, T2);
+    a.csc(T0, T2, 24);
+    a.csc(T1, T2, 32);
+    // Latency = mcycle - deadline.
+    a.csrrs(T0, kCsrMcycle, Zero);
+    a.lw(T1, T2, kDeadline);
+    a.sub(T0, T0, T1);
+    // max = max(max, latency)
+    a.lw(T1, T2, kMaxLatency);
+    {
+        const auto noUpdate = a.newLabel();
+        a.bge(T1, T0, noUpdate);
+        a.sw(T0, T2, kMaxLatency);
+        a.bind(noUpdate);
+    }
+    // count++
+    a.lw(T1, T2, kIrqCount);
+    a.addi(T1, T1, 1);
+    a.sw(T1, T2, kIrqCount);
+    // Re-arm: deadline = mcycle + period + dither. The dither
+    // ((count & 63) << 5, i.e. 0..2016 in steps of 32) walks the
+    // deadline across every phase of even the longest interrupts-off
+    // window so the 50-sample maximum actually observes the worst
+    // case instead of locking to one resonant phase.
+    a.andi(T1, T1, 63);
+    a.slli(T1, T1, 5);
+    a.csrrs(T0, kCsrMcycle, Zero);
+    a.add(T0, T0, T1);
+    a.li(T1, kPeriod);
+    a.add(T0, T0, T1);
+    a.sw(T0, T2, kDeadline);
+    a.clc(T1, T2, 16); // timer capability parked at offset 16
+    a.sw(T0, T1, 0x8);
+    a.sw(Zero, T1, 0xc);
+    // Restore the borrowed registers, swap the globals cap back out.
+    a.clc(T0, T2, 24);
+    a.clc(T1, T2, 32);
+    a.cspecialrw(T2, Scr::MScratchC, T2);
+    a.mret();
+
+    // ---- boot -------------------------------------------------------------
+    a.bind(boot);
+    a.auipcc(T0, 0);
+    a.cincaddrimm(T0, T0,
+                  static_cast<int32_t>(kEntry + 4) -
+                      static_cast<int32_t>(a.pc()) + 4);
+    a.cspecialrw(Zero, Scr::Mtcc, T0);
+
+    // Globals cap -> MScratchC (with the timer cap parked inside).
+    a.li(T0, static_cast<int32_t>(kGlobals));
+    a.csetaddr(S0, A0, T0);
+    a.li(T1, 64);
+    a.csetbounds(S0, S0, T1);
+    a.li(T0, static_cast<int32_t>(mem::kTimerMmioBase));
+    a.csetaddr(T2, A0, T0);
+    a.csc(T2, S0, 16);
+    a.sw(Zero, S0, kMaxLatency);
+    a.sw(Zero, S0, kIrqCount);
+
+    // Workload capabilities.
+    a.li(T0, static_cast<int32_t>(kSweepArea));
+    a.csetaddr(S1, A0, T0);
+    a.li(T1, static_cast<int32_t>(kSweepWords * 8));
+    a.csetbounds(S1, S1, T1);
+    // Seed a capability into the sweep area so capability loads are
+    // real tagged traffic.
+    a.csc(S1, S1, 0);
+
+    // Console cap for the exit report.
+    a.li(T0, static_cast<int32_t>(mem::kConsoleMmioBase));
+    a.csetaddr(A3, A0, T0);
+
+    // First deadline.
+    a.csrrs(T0, kCsrMcycle, Zero);
+    a.li(T1, kPeriod);
+    a.add(T0, T0, T1);
+    a.sw(T0, S0, kDeadline);
+    a.clc(T1, S0, 16);
+    a.sw(T0, T1, 0x8);
+    a.sw(Zero, T1, 0xc);
+    // MScratchC <- globals; enable interrupts.
+    a.cspecialrw(Zero, Scr::MScratchC, S0);
+    a.li(T1, 8);
+    a.csrrs(Zero, kCsrMstatus, T1);
+
+    // ---- foreground workload ----------------------------------------------
+    const auto top = a.here();
+    switch (workload) {
+      case Workload::IdleSpin:
+        a.nop();
+        a.nop();
+        break;
+      case Workload::DivLoop:
+        a.li(T0, 0x7fffffff);
+        a.li(T1, 3);
+        a.div(T0, T0, T1);
+        a.div(T0, T0, T1);
+        break;
+      case Workload::CapMemory: {
+        a.li(T0, 16);
+        const auto inner = a.here();
+        a.clc(A4, S1, 0);
+        a.csc(A4, S1, 8);
+        a.clc(A4, S1, 8);
+        a.addi(T0, T0, -1);
+        a.bnez(T0, inner);
+        break;
+      }
+      case Workload::SweepBatch: {
+        // The §3.3.2 software revoker inner loop: per batch, disable
+        // interrupts, sweep `batchWords` capability words (unrolled
+        // by two), re-enable for a window.
+        a.li(A2, static_cast<int32_t>(batchWords / 2));
+        a.cmove(A5, S1);
+        a.csrrci(Zero, kCsrMstatus, 8); // interrupts off
+        const auto inner = a.here();
+        a.clc(A4, A5, 0);
+        a.clc(T0, A5, 8);
+        a.csc(A4, A5, 0);
+        a.csc(T0, A5, 8);
+        a.cincaddrimm(A5, A5, 16);
+        a.addi(A2, A2, -1);
+        a.bnez(A2, inner);
+        a.csrrsi(Zero, kCsrMstatus, 8); // window: interrupts on
+        break;
+      }
+    }
+    // Exit after 50 interrupts.
+    a.lw(T1, S0, kIrqCount);
+    a.li(T0, 50);
+    a.blt(T1, T0, top);
+    a.lw(T0, S0, kMaxLatency);
+    a.sw(T0, A3, 4); // exit(maxLatency)
+    a.ebreak();
+
+    return a.finish();
+}
+
+uint32_t
+measure(const sim::CoreConfig &core, Workload workload,
+        uint32_t batchWords = 0)
+{
+    sim::MachineConfig config;
+    config.core = core;
+    config.sramSize = 128u << 10;
+    config.heapOffset = 64u << 10;
+    config.heapSize = 32u << 10;
+    sim::Machine machine(config);
+    machine.loadProgram(buildProgram(workload, batchWords), kEntry);
+    machine.resetCpu(kEntry);
+    const auto result = machine.run(4'000'000);
+    if (result.reason != sim::HaltReason::ConsoleExit) {
+        std::fprintf(stderr, "!! run did not exit cleanly (%s)\n",
+                     sim::trapCauseName(machine.lastTrap()));
+        return ~0u;
+    }
+    return machine.console().exitCode();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Real-time interrupt latency (paper §2.1, §3.3.2)\n");
+    std::printf("worst-case cycles from timer deadline to handler "
+                "entry, 50 interrupts per cell\n\n");
+
+    for (const auto &core :
+         {sim::CoreConfig::flute(), sim::CoreConfig::ibex()}) {
+        std::printf("%s:\n", core.name.c_str());
+        std::printf("  %-34s %8u cycles\n", "idle spin",
+                    measure(core, Workload::IdleSpin));
+        std::printf("  %-34s %8u cycles\n", "division-heavy loop",
+                    measure(core, Workload::DivLoop));
+        std::printf("  %-34s %8u cycles\n",
+                    "capability traffic (load filter)",
+                    measure(core, Workload::CapMemory));
+        for (const uint32_t batch : {16u, 64u, 256u}) {
+            char label[48];
+            std::snprintf(label, sizeof(label),
+                          "revoker sweep, batch=%u words", batch);
+            std::printf("  %-34s %8u cycles\n", label,
+                        measure(core, Workload::SweepBatch, batch));
+        }
+        std::printf("\n");
+    }
+    std::printf("expected shape: every non-sweeping workload bounds "
+                "latency by a handful of\ninstructions (determinism, "
+                "§2.1); the sweep's worst case grows linearly with\n"
+                "the interrupts-off batch size and is tunable "
+                "(§3.3.2).\n");
+    return 0;
+}

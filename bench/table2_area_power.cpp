@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Table 2 (paper §7.1): area (gate equivalents) and
+ * estimated power for the five Ibex variants on TSMC 28 nm HPC+ at
+ * 300 MHz running CoreMark.
+ *
+ * The first two rows calibrate the model's two fitted factors
+ * (technology mapping and timing pressure) and its two power
+ * coefficients; the three CHERIoT rows are predictions from the RTL
+ * component inventory. See src/hwmodel/ and DESIGN.md §2.
+ */
+
+#include "hwmodel/components.h"
+#include "hwmodel/ibex_variants.h"
+
+#include <cstdio>
+
+using namespace cheriot::hwmodel;
+
+int
+main()
+{
+    Table2Model model;
+
+    std::printf("Table 2: area and power costs for variants of Ibex\n");
+    std::printf("(28 nm HPC+, 300 MHz, CoreMark activity; * = calibration "
+                "row, others predicted)\n\n");
+    std::printf("%-28s %9s %9s %7s   %9s %9s\n", "variant", "gates",
+                "paper", "err", "power mW", "paper");
+
+    const double baseGates = model.rows().front().gates;
+    const double basePower = model.rows().front().powerMw;
+    for (const auto &row : model.rows()) {
+        const double gateError =
+            100.0 * (row.gates - row.paper.gates) / row.paper.gates;
+        std::printf("%-28s %9.0f %9.0f %+6.1f%%   %9.3f %9.3f%s\n",
+                    row.name.c_str(), row.gates, row.paper.gates,
+                    gateError, row.powerMw, row.paper.powerMw,
+                    row.calibrated ? "  *" : "");
+    }
+
+    std::printf("\nratios vs RV32E (paper in parentheses):\n");
+    static const double kPaperGateRatio[] = {1.00, 2.07, 2.15, 2.17, 2.28};
+    static const double kPaperPowerRatio[] = {1.00, 1.50, 1.79, 1.80, 1.90};
+    for (size_t i = 0; i < model.rows().size(); ++i) {
+        const auto &row = model.rows()[i];
+        std::printf("%-28s area %5.2fx (%4.2fx)   power %5.2fx (%4.2fx)\n",
+                    row.name.c_str(), row.gates / baseGates,
+                    kPaperGateRatio[i], row.powerMw / basePower,
+                    kPaperPowerRatio[i]);
+    }
+
+    std::printf("\nfitted factors: technology %.3f, timing pressure %.3f, "
+                "kDyn %.3e, kLeak %.3e\n",
+                model.techFactor(), model.timingFactor(),
+                model.powerCoefficients().kDyn,
+                model.powerCoefficients().kLeak);
+
+    std::printf("\nheadline deltas:\n");
+    const auto &rows = model.rows();
+    std::printf("  load filter:        +%.0f GE (paper +321)\n",
+                rows[3].gates - rows[2].gates);
+    std::printf("  background revoker: +%.0f GE (paper +2991)\n",
+                rows[4].gates - rows[3].gates);
+    return 0;
+}

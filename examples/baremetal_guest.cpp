@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bare-metal guest programming: write a CHERIoT RV32E program with
+ * the assembler API, run it on both core models, and compare cycle
+ * counts — the workflow the CoreMark harness (Table 3) is built on.
+ *
+ * The program derives a bounded capability over a buffer from the
+ * memory root (handed to it in a0 on reset, §3.1.1), computes a
+ * Fibonacci table into it through capability stores, reads it back,
+ * and prints the result through the console MMIO.
+ *
+ * Run: build/examples/baremetal_guest
+ */
+
+#include "isa/assembler.h"
+#include "sim/machine.h"
+
+#include <cstdio>
+
+using namespace cheriot;
+using namespace cheriot::isa;
+
+namespace
+{
+
+std::vector<uint32_t>
+buildProgram(uint32_t entry)
+{
+    Assembler a(entry);
+    const uint32_t buffer = entry + 0x2000;
+    constexpr int kCount = 16;
+
+    // s0 = bounded capability over the table.
+    a.li(T0, static_cast<int32_t>(buffer));
+    a.csetaddr(S0, A0, T0);
+    a.li(T1, kCount * 4);
+    a.csetbounds(S0, S0, T1);
+
+    // Fibonacci into the table.
+    a.li(T0, 0);                 // fib(i-2)
+    a.li(T1, 1);                 // fib(i-1)
+    a.li(T2, kCount);            // remaining
+    a.cmove(A2, S0);             // cursor
+    const auto loop = a.here();
+    a.sw(T0, A2, 0);
+    a.add(A3, T0, T1);           // next
+    a.mv(T0, T1);
+    a.mv(T1, A3);
+    a.cincaddrimm(A2, A2, 4);
+    a.addi(T2, T2, -1);
+    a.bnez(T2, loop);
+
+    // Sum the table back (bounds-checked reads).
+    a.li(A4, 0);
+    a.li(T2, kCount);
+    a.cmove(A2, S0);
+    const auto sum = a.here();
+    a.lw(A3, A2, 0);
+    a.add(A4, A4, A3);
+    a.cincaddrimm(A2, A2, 4);
+    a.addi(T2, T2, -1);
+    a.bnez(T2, sum);
+
+    // Report the sum as the exit code via the console device.
+    a.li(T0, static_cast<int32_t>(mem::kConsoleMmioBase));
+    a.csetaddr(A5, A0, T0);
+    a.sw(A4, A5, 4);
+    a.ebreak();
+    return a.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("bare-metal guest on both cores\n\n");
+
+    for (const auto &core :
+         {sim::CoreConfig::flute(), sim::CoreConfig::ibex()}) {
+        sim::MachineConfig config;
+        config.core = core;
+        config.sramSize = 64u << 10;
+        config.heapOffset = 32u << 10;
+        config.heapSize = 16u << 10;
+        sim::Machine machine(config);
+
+        const uint32_t entry = mem::kSramBase + 0x1000;
+        machine.loadProgram(buildProgram(entry), entry);
+        machine.resetCpu(entry);
+        const auto run = machine.run(1u << 20);
+
+        std::printf("%-6s: sum(fib[0..15]) = %u, %llu instructions, "
+                    "%llu cycles (%.2f CPI), halt=%s\n",
+                    core.name.c_str(), machine.console().exitCode(),
+                    static_cast<unsigned long long>(run.instructions),
+                    static_cast<unsigned long long>(run.cycles),
+                    static_cast<double>(run.cycles) / run.instructions,
+                    run.reason == sim::HaltReason::ConsoleExit ? "exit"
+                                                               : "other");
+    }
+
+    std::printf("\n(sum of fib(0)..fib(15) = 1596; both cores compute it "
+                "through bounds-checked\ncapability accesses — the Ibex "
+                "takes more cycles for the same instructions.)\n");
+    return 0;
+}

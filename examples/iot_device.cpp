@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's end-to-end IoT device (§7.2.3) as a runnable example:
+ * compartmentalized net/TLS/MQTT stack plus a JavaScript interpreter
+ * animating LEDs every 10 ms on a 20 MHz CHERIoT-Ibex, everything
+ * allocating from the shared temporally-safe heap.
+ *
+ * Run: build/examples/iot_device [seconds]
+ * (The bench variant, bench/e2e_iot, prints the paper-comparison
+ * numbers; this example narrates what the device is doing.)
+ */
+
+#include "workloads/iot/iot_app.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cheriot;
+using namespace cheriot::workloads;
+
+namespace
+{
+
+void
+drawLeds(uint32_t state)
+{
+    std::printf("LEDs: ");
+    for (int bit = 7; bit >= 0; --bit) {
+        std::printf("%s", (state >> bit) & 1 ? "●" : "○");
+    }
+    std::printf(" (0x%02x)\n", state & 0xff);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    IotAppConfig config;
+    config.simSeconds = argc > 1 ? std::atof(argv[1]) : 5.0;
+
+    std::printf("CHERIoT IoT device\n");
+    std::printf("==================\n");
+    std::printf("core:         CHERIoT-Ibex @ %llu MHz\n",
+                static_cast<unsigned long long>(config.clockHz / 1000000));
+    std::printf("compartments: net | tls | mqtt | js | alloc\n");
+    std::printf("temporal:     %s revocation\n",
+                alloc::temporalModeName(config.mode));
+    std::printf("running %.1f simulated seconds...\n\n", config.simSeconds);
+
+    const IotAppResult result = runIotApp(config);
+
+    std::printf("connection:   TLS handshake %s\n",
+                result.handshakeCompleted ? "completed" : "FAILED");
+    std::printf("traffic:      %llu packets, %llu bytes — each one a "
+                "heap allocation\n",
+                static_cast<unsigned long long>(result.packetsProcessed),
+                static_cast<unsigned long long>(result.bytesReceived));
+    std::printf("javascript:   %llu ticks, %llu objects allocated, "
+                "%llu GC passes\n",
+                static_cast<unsigned long long>(result.jsTicks),
+                static_cast<unsigned long long>(result.jsObjects),
+                static_cast<unsigned long long>(result.gcPasses));
+    std::printf("safety:       %llu heap allocations protected, "
+                "%llu revocation sweeps,\n              %llu "
+                "cross-compartment calls\n",
+                static_cast<unsigned long long>(result.heapAllocations),
+                static_cast<unsigned long long>(result.revocationSweeps),
+                static_cast<unsigned long long>(
+                    result.crossCompartmentCalls));
+    drawLeds(result.finalLedState);
+    std::printf("\nCPU load %.1f%% — %.1f%% of cycles left to the idle "
+                "thread\n(paper: 17.5%% / 82.5%%)\n",
+                result.cpuLoad * 100.0, (1.0 - result.cpuLoad) * 100.0);
+    return result.ok ? 0 : 1;
+}

@@ -1,0 +1,2 @@
+// ChunkView is header-only; this file anchors the translation unit.
+#include "alloc/chunk.h"

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * dlmalloc-style chunk layout with boundary tags (paper §5.1).
+ *
+ * Boundary tagging with in-band metadata is preferred on embedded
+ * devices over size-class or buddy allocators for its low memory
+ * overhead. A chunk at address A (8-byte aligned) looks like:
+ *
+ *   A+0  prevFoot  size of the previous chunk — valid only when the
+ *                  previous chunk is free (its boundary tag)
+ *   A+4  head      chunkSize | PINUSE | CINUSE
+ *   A+8  payload   (user memory; for free chunks, the fd/bk link
+ *                  capabilities; for quarantined chunks, the fd link)
+ *
+ * chunkSize covers the 8-byte header plus the payload and is a
+ * multiple of 8. The minimum chunk is 8 + 16 bytes so a free chunk
+ * can hold its two link capabilities. Link capabilities address chunk
+ * *headers*, which are never painted in the revocation bitmap, so
+ * allocator-internal links always survive the load filter while user
+ * pointers into freed payloads do not.
+ *
+ * All metadata traffic goes through the (charged, checked)
+ * GuestContext, so allocator costs are part of every benchmark.
+ */
+
+#ifndef CHERIOT_ALLOC_CHUNK_H
+#define CHERIOT_ALLOC_CHUNK_H
+
+#include "cap/capability.h"
+#include "rtos/guest_context.h"
+
+#include <cstdint>
+
+namespace cheriot::alloc
+{
+
+/** Chunk header flags (low bits of the head word). */
+constexpr uint32_t kPinuse = 0x1; ///< Previous chunk is in use.
+constexpr uint32_t kCinuse = 0x2; ///< This chunk is in use.
+constexpr uint32_t kSizeMask = ~uint32_t{0x7};
+
+/** Fixed overhead per chunk. */
+constexpr uint32_t kChunkOverhead = 8;
+
+/** Smallest legal chunk (header + fd/bk capabilities). */
+constexpr uint32_t kMinChunkSize = 24;
+
+/** Payload offset from the chunk address. */
+constexpr uint32_t kPayloadOffset = 8;
+
+/**
+ * Accessor for chunk metadata in simulated heap memory.
+ *
+ * Holds the allocator compartment's heap capability; every header
+ * read/write is an authorised, cycle-charged access.
+ */
+class ChunkView
+{
+  public:
+    ChunkView(rtos::GuestContext &guest, cap::Capability heapCap)
+        : guest_(&guest), heapCap_(heapCap)
+    {}
+
+    const cap::Capability &heapCap() const { return heapCap_; }
+
+    /** @name Header access @{ */
+    uint32_t head(uint32_t chunk) const
+    {
+        return guest_->loadWord(heapCap_, chunk + 4);
+    }
+    void setHead(uint32_t chunk, uint32_t value)
+    {
+        guest_->storeWord(heapCap_, chunk + 4, value);
+    }
+    uint32_t prevFoot(uint32_t chunk) const
+    {
+        return guest_->loadWord(heapCap_, chunk);
+    }
+    void setPrevFoot(uint32_t chunk, uint32_t value)
+    {
+        guest_->storeWord(heapCap_, chunk, value);
+    }
+    /** @} */
+
+    /** @name Decoded fields @{ */
+    uint32_t sizeOf(uint32_t chunk) const { return head(chunk) & kSizeMask; }
+    bool inUse(uint32_t chunk) const { return head(chunk) & kCinuse; }
+    bool prevInUse(uint32_t chunk) const { return head(chunk) & kPinuse; }
+    uint32_t next(uint32_t chunk) const { return chunk + sizeOf(chunk); }
+    uint32_t payload(uint32_t chunk) const { return chunk + kPayloadOffset; }
+    /** @} */
+
+    /** Mark @p chunk free: clear CINUSE, write the boundary tag into
+     * the next chunk's prevFoot, and clear the next chunk's PINUSE. */
+    void markFree(uint32_t chunk)
+    {
+        const uint32_t size = sizeOf(chunk);
+        setHead(chunk, head(chunk) & ~kCinuse);
+        const uint32_t nextChunk = chunk + size;
+        setPrevFoot(nextChunk, size);
+        setHead(nextChunk, head(nextChunk) & ~kPinuse);
+    }
+
+    /** Mark @p chunk in use and set the next chunk's PINUSE. */
+    void markInUse(uint32_t chunk)
+    {
+        setHead(chunk, head(chunk) | kCinuse);
+        const uint32_t nextChunk = next(chunk);
+        setHead(nextChunk, head(nextChunk) | kPinuse);
+    }
+
+    /** @name Free-list links, stored as real capabilities @{ */
+    cap::Capability linkCapTo(uint32_t chunk) const
+    {
+        // Links address chunk headers (see file comment).
+        return heapCap_.withAddress(chunk);
+    }
+    uint32_t fd(uint32_t chunk) const
+    {
+        const cap::Capability link =
+            guest_->loadCap(heapCap_, chunk + kPayloadOffset);
+        return link.tag() ? link.address() : 0;
+    }
+    void setFd(uint32_t chunk, uint32_t target)
+    {
+        guest_->storeCap(heapCap_, chunk + kPayloadOffset,
+                         target == 0 ? cap::Capability()
+                                     : linkCapTo(target));
+    }
+    uint32_t bk(uint32_t chunk) const
+    {
+        const cap::Capability link =
+            guest_->loadCap(heapCap_, chunk + kPayloadOffset + 8);
+        return link.tag() ? link.address() : 0;
+    }
+    void setBk(uint32_t chunk, uint32_t target)
+    {
+        guest_->storeCap(heapCap_, chunk + kPayloadOffset + 8,
+                         target == 0 ? cap::Capability()
+                                     : linkCapTo(target));
+    }
+    /** @} */
+
+    rtos::GuestContext &guest() { return *guest_; }
+
+  private:
+    rtos::GuestContext *guest_;
+    cap::Capability heapCap_;
+};
+
+/** Chunk size needed for a payload of @p payloadBytes. */
+constexpr uint32_t
+chunkSizeForPayload(uint32_t payloadBytes)
+{
+    const uint32_t size = kChunkOverhead +
+                          ((payloadBytes + 7) & ~uint32_t{7});
+    return size < kMinChunkSize ? kMinChunkSize : size;
+}
+
+} // namespace cheriot::alloc
+
+#endif // CHERIOT_ALLOC_CHUNK_H

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The shared heap allocator compartment (paper §5.1).
+ *
+ * A dlmalloc-flavoured boundary-tag allocator augmented for CHERIoT:
+ *
+ *  - malloc() returns a capability with *exact* bounds over the
+ *    allocation; sizes are rounded with CRRL and bases aligned with
+ *    CRAM so the bounds always encode precisely (§3.2.3).
+ *  - free() paints the payload's revocation bits (through the
+ *    memory-mapped bitmap window only this compartment can reach),
+ *    zeroes the payload, and places the chunk on an epoch-stamped
+ *    quarantine list. From that instant the hardware load filter
+ *    makes any use-after-free impossible (§3.3.2).
+ *  - Chunks leave quarantine only after a full revocation sweep, so
+ *    allocations can never temporally alias.
+ *
+ * Four temporal-safety modes reproduce the paper's Table 4
+ * configurations: Baseline (spatial only), MetadataOnly (bitmap
+ * maintained, no sweeps), SoftwareRevocation (synchronous sweep
+ * loop) and HardwareRevocation (background engine).
+ */
+
+#ifndef CHERIOT_ALLOC_HEAP_ALLOCATOR_H
+#define CHERIOT_ALLOC_HEAP_ALLOCATOR_H
+
+#include "alloc/chunk.h"
+#include "alloc/free_list.h"
+#include "alloc/quarantine.h"
+#include "revoker/revocation_bitmap.h"
+#include "revoker/revoker.h"
+#include "util/stats.h"
+
+#include <vector>
+
+namespace cheriot::alloc
+{
+
+/** Table 4's four temporal-safety configurations. */
+enum class TemporalMode : uint8_t
+{
+    None,               ///< Baseline: spatial safety only.
+    MetadataOnly,       ///< Revocation bits updated, no sweeping.
+    SoftwareRevocation, ///< Sweeps run in the software loop.
+    HardwareRevocation, ///< Sweeps run on the background engine.
+};
+
+const char *temporalModeName(TemporalMode mode);
+
+struct AllocatorConfig
+{
+    TemporalMode mode = TemporalMode::SoftwareRevocation;
+    /** Quarantined bytes that trigger a sweep (0 = heapSize/2). */
+    uint64_t quarantineThreshold = 0;
+};
+
+class HeapAllocator
+{
+  public:
+    /**
+     * @param guest      charged memory access.
+     * @param heapCap    capability over [heapBase, heapEnd), LD/SD/MC,
+     *                   no SL (heap memory must not hold locals).
+     * @param bitmapCap  capability over the revocation bitmap MMIO
+     *                   window (only the allocator compartment gets
+     *                   one, enforced by the loader).
+     * @param bitmap     bitmap geometry (base/granule).
+     * @param revoker    sweep engine; may be null for None/Metadata.
+     */
+    HeapAllocator(rtos::GuestContext &guest, cap::Capability heapCap,
+                  cap::Capability bitmapCap,
+                  const revoker::RevocationBitmap &bitmap,
+                  revoker::Revoker *revoker, AllocatorConfig config);
+
+    /**
+     * Allocate @p size bytes; returns an exactly bounded, unsealed,
+     * global capability, or an untagged null on exhaustion.
+     */
+    cap::Capability malloc(uint32_t size);
+
+    /** Allocate @p count × @p size zeroed bytes (overflow-checked). */
+    cap::Capability calloc(uint32_t count, uint32_t size);
+
+    /**
+     * Resize @p ptr to @p size bytes: allocate-copy-free (bounds are
+     * immutable, so growth can never be in place). Returns the new
+     * capability; on failure returns untagged and leaves @p ptr
+     * live. realloc(valid, 0) frees and returns untagged.
+     */
+    cap::Capability realloc(const cap::Capability &ptr, uint32_t size);
+
+    /** Error codes returned by free(). */
+    enum class FreeResult : uint8_t
+    {
+        Ok,
+        InvalidCap,    ///< Untagged, sealed, or not a heap pointer.
+        NotAllocated,  ///< Header is not a live allocation (double
+                       ///< free or interior pointer).
+        AlreadyFreed,  ///< Revocation bits already painted.
+    };
+
+    FreeResult free(const cap::Capability &ptr);
+
+    /**
+     * Claim: keep @p ptr's allocation alive until a matching free()
+     * (the CHERIoT RTOS heap_claim API). A compartment that receives
+     * a heap buffer from an untrusting peer claims it so the peer's
+     * free() cannot revoke it mid-use; each free() releases one
+     * claim and the memory is quarantined only when the last claim
+     * (including the allocator's implicit one from malloc) drops.
+     * Claim records live in allocator-private heap memory.
+     */
+    FreeResult claim(const cap::Capability &ptr);
+
+    /** Outstanding explicit claims on @p ptr's allocation. */
+    uint32_t claimCount(const cap::Capability &ptr);
+
+    /** @name Introspection @{ */
+    uint64_t freeBytes() const { return freeList_.freeBytes(); }
+    uint64_t quarantinedBytes() const { return quarantine_.bytes(); }
+    uint32_t heapBase() const { return heapBase_; }
+    uint32_t heapEnd() const { return heapEnd_; }
+    TemporalMode mode() const { return config_.mode; }
+    /** @} */
+
+    /** Force a sweep + quarantine drain now (used by idle logic). */
+    void synchronise();
+
+    Counter mallocs;
+    Counter frees;
+    Counter failedMallocs;
+    Counter rejectedFrees;
+    Counter sweepsTriggered;
+    Counter chunksReleased;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    /** Paint or clear revocation bits over [addr, addr+bytes). */
+    void paintBits(uint32_t addr, uint32_t bytes, bool set);
+
+    /** Clear bits, coalesce, and return a chunk to the free lists. */
+    void releaseChunk(uint32_t chunk, uint32_t size, bool clearBits);
+
+    /** Drain quarantine lists whose sweep has completed. */
+    void drainQuarantine();
+
+    /** Kick (and for the software engine, run) a sweep. */
+    void triggerSweep(bool waitForCompletion);
+
+    uint32_t currentEpoch() const;
+
+    /** Validate that @p ptr names a live allocation; yields its
+     * chunk address. */
+    FreeResult checkLive(const cap::Capability &ptr, uint32_t *chunk);
+
+    /** Find the claim record for @p chunk; returns the record
+     * payload address (0 if none) and the predecessor record (0 if
+     * it is the list head). */
+    uint32_t findClaimRecord(uint32_t chunk, uint32_t *prev);
+
+    /** Unlink and release a claim record. */
+    void removeClaimRecord(uint32_t record, uint32_t prev);
+
+    rtos::GuestContext &guest_;
+    ChunkView view_;
+    FreeList freeList_;
+    Quarantine quarantine_;
+    cap::Capability bitmapCap_;
+    uint32_t bitmapGranule_;
+    uint32_t heapBase_;
+    uint32_t heapEnd_;
+    revoker::Revoker *revoker_;
+    AllocatorConfig config_;
+    /** Head of the claim-record list (payload address; 0 = empty). */
+    uint32_t claimsHead_ = 0;
+    /**
+     * Allocation-start bitmap (allocator-private globals): one bit
+     * per granule, set while a live allocation's payload begins
+     * there. free()/claim() accept a pointer only if its base is a
+     * recorded allocation start — so an attacker who writes a fake
+     * chunk header into their own buffer and derives an interior
+     * capability still cannot confuse the allocator.
+     */
+    std::vector<uint8_t> allocStartBits_;
+    bool isAllocStart(uint32_t base) const;
+    void setAllocStart(uint32_t base, bool value);
+    /** Allocator-internal allocations (claim records): rejected by
+     * checkLive so no caller-supplied capability can free them. */
+    std::vector<uint8_t> internalBits_;
+    bool isInternal(uint32_t base) const;
+    void setInternal(uint32_t base, bool value);
+    StatGroup stats_{"allocator"};
+};
+
+} // namespace cheriot::alloc
+
+#endif // CHERIOT_ALLOC_HEAP_ALLOCATOR_H

@@ -1,0 +1,49 @@
+#include "cap/sealing.h"
+
+#include "util/log.h"
+
+namespace cheriot::cap
+{
+
+InterruptPosture
+sentryPosture(uint8_t otype)
+{
+    switch (otype) {
+      case kSentryInherit: return InterruptPosture::Inherit;
+      case kSentryEnable: return InterruptPosture::Enabled;
+      case kSentryDisable: return InterruptPosture::Disabled;
+      default:
+        panic("sentryPosture: otype %u is not a forward sentry", otype);
+    }
+}
+
+uint8_t
+forwardSentryFor(InterruptPosture posture)
+{
+    switch (posture) {
+      case InterruptPosture::Inherit: return kSentryInherit;
+      case InterruptPosture::Enabled: return kSentryEnable;
+      case InterruptPosture::Disabled: return kSentryDisable;
+    }
+    panic("forwardSentryFor: bad posture");
+}
+
+uint8_t
+returnSentryFor(bool interruptsEnabled)
+{
+    return interruptsEnabled ? kReturnSentryEnable : kReturnSentryDisable;
+}
+
+bool
+returnSentryEnablesInterrupts(uint8_t otype)
+{
+    switch (otype) {
+      case kReturnSentryEnable: return true;
+      case kReturnSentryDisable: return false;
+      default:
+        panic("returnSentryEnablesInterrupts: otype %u is not a return "
+              "sentry", otype);
+    }
+}
+
+} // namespace cheriot::cap

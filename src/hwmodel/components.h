@@ -1,0 +1,38 @@
+/**
+ * @file
+ * RTL component inventories for the Ibex variants of Table 2.
+ *
+ * Each inventory lists the blocks a variant adds, with raw gate
+ * counts derived from bit-widths (see gate_model.h) and CoreMark
+ * switching activities for the power model. The base and PMP
+ * inventories calibrate the two fitted factors; the CHERIoT
+ * inventories are predictions.
+ */
+
+#ifndef CHERIOT_HWMODEL_COMPONENTS_H
+#define CHERIOT_HWMODEL_COMPONENTS_H
+
+#include "hwmodel/gate_model.h"
+
+namespace cheriot::hwmodel
+{
+
+/** The RV32E Ibex baseline core. */
+Inventory rv32eBaseInventory();
+
+/** A 16-region RISC-V PMP (two match ports, TOR/NAPOT). */
+Inventory pmp16Inventory();
+
+/** The CHERIoT capability extension (§3, §4): widened register file,
+ * bounds decode/check, permission logic, SCRs, sealing. */
+Inventory cheriExtensionInventory();
+
+/** The hardware load filter (§3.3.2): revocation-bit lookup port. */
+Inventory loadFilterInventory();
+
+/** The background pipelined revoker (§3.3.3). */
+Inventory backgroundRevokerInventory();
+
+} // namespace cheriot::hwmodel
+
+#endif // CHERIOT_HWMODEL_COMPONENTS_H

@@ -1,0 +1,87 @@
+#include "hwmodel/gate_model.h"
+
+namespace cheriot::hwmodel
+{
+
+double
+Inventory::rawTotal() const
+{
+    double total = 0;
+    for (const auto &component : components_) {
+        total += component.rawGates;
+    }
+    return total;
+}
+
+double
+Inventory::rawTotal(PathClass path) const
+{
+    double total = 0;
+    for (const auto &component : components_) {
+        if (component.path == path) {
+            total += component.rawGates;
+        }
+    }
+    return total;
+}
+
+double
+Inventory::fittedTotal(double techFactor, double timingFactor) const
+{
+    double total = 0;
+    for (const auto &component : components_) {
+        const double timing =
+            component.path == PathClass::Combinational ? timingFactor : 1.0;
+        total += component.rawGates * techFactor * timing;
+    }
+    return total;
+}
+
+double
+Inventory::fittedActivity(double techFactor, double timingFactor) const
+{
+    double total = 0;
+    for (const auto &component : components_) {
+        const double timing =
+            component.path == PathClass::Combinational ? timingFactor : 1.0;
+        total += component.rawGates * techFactor * timing *
+                 component.activity;
+    }
+    return total;
+}
+
+double
+flopGates(unsigned bits, const GatePrimitives &p)
+{
+    return bits * p.flop;
+}
+
+double
+adderGates(unsigned bits, const GatePrimitives &p)
+{
+    return bits * p.adderPerBit;
+}
+
+double
+comparatorGates(unsigned bits, const GatePrimitives &p)
+{
+    return bits * p.comparatorPerBit;
+}
+
+double
+muxGates(unsigned bits, unsigned ways, const GatePrimitives &p)
+{
+    if (ways < 2) {
+        return 0;
+    }
+    // An n-way mux decomposes into (n-1) two-way muxes per bit.
+    return static_cast<double>(bits) * (ways - 1) * p.mux2PerBit;
+}
+
+double
+logicGates(unsigned bits, double complexity, const GatePrimitives &p)
+{
+    return bits * complexity * p.logicPerBit;
+}
+
+} // namespace cheriot::hwmodel

@@ -1,0 +1,83 @@
+#include "hwmodel/ibex_variants.h"
+
+#include "hwmodel/components.h"
+#include "util/log.h"
+
+namespace cheriot::hwmodel
+{
+
+Table2Model::Table2Model()
+{
+    const Inventory base = rv32eBaseInventory();
+    const Inventory pmp = pmp16Inventory();
+    const Inventory cheri = cheriExtensionInventory();
+    const Inventory filter = loadFilterInventory();
+    const Inventory revoker = backgroundRevokerInventory();
+
+    Inventory basePmp("rv32e+pmp16");
+    basePmp.extend(base);
+    basePmp.extend(pmp);
+
+    Inventory baseCheri("rv32e+caps");
+    baseCheri.extend(base);
+    baseCheri.extend(cheri);
+
+    Inventory baseCheriFilter("rv32e+caps+filter");
+    baseCheriFilter.extend(baseCheri);
+    baseCheriFilter.extend(filter);
+
+    Inventory full("rv32e+caps+filter+revoker");
+    full.extend(baseCheriFilter);
+    full.extend(revoker);
+
+    // --- Fit the two area factors on rows 1 and 2 ----------------------
+    //   K (Bs + T·Bc)           = paper(rv32e)
+    //   K (Bs+Ps + T·(Bc+Pc))   = paper(rv32e+pmp16)
+    const double bs = base.rawTotal(PathClass::Sequential);
+    const double bc = base.rawTotal(PathClass::Combinational);
+    const double ps = pmp.rawTotal(PathClass::Sequential);
+    const double pc = pmp.rawTotal(PathClass::Combinational);
+    const double target1 = kPaperRv32e.gates;
+    const double deltaPmp = kPaperPmp.gates - kPaperRv32e.gates;
+    // From the two equations: T solves
+    //   target1·(ps + T·pc) = deltaPmp·(bs + T·bc)
+    const double numerator = deltaPmp * bs - target1 * ps;
+    const double denominator = target1 * pc - deltaPmp * bc;
+    if (denominator <= 0 || numerator <= 0) {
+        panic("Table2Model: calibration degenerate (num=%f den=%f)",
+              numerator, denominator);
+    }
+    timingFactor_ = numerator / denominator;
+    techFactor_ = target1 / (bs + timingFactor_ * bc);
+
+    auto gatesOf = [&](const Inventory &inv) {
+        return inv.fittedTotal(techFactor_, timingFactor_);
+    };
+    auto activityOf = [&](const Inventory &inv) {
+        return inv.fittedActivity(techFactor_, timingFactor_);
+    };
+
+    // --- Fit the power coefficients on the same two rows ---------------
+    power_ = fitPower(activityOf(base), gatesOf(base), kPaperRv32e.powerMw,
+                      activityOf(basePmp), gatesOf(basePmp),
+                      kPaperPmp.powerMw);
+
+    auto estimate = [&](const Inventory &inv, PaperReference paper,
+                        bool calibrated) {
+        VariantEstimate row;
+        row.name = inv.name();
+        row.gates = gatesOf(inv);
+        row.powerMw = estimatePower(power_, activityOf(inv), gatesOf(inv));
+        row.paper = paper;
+        row.calibrated = calibrated;
+        return row;
+    };
+
+    rows_.push_back(estimate(base, kPaperRv32e, true));
+    rows_.push_back(estimate(basePmp, kPaperPmp, true));
+    rows_.push_back(estimate(baseCheri, kPaperCheri, false));
+    rows_.push_back(estimate(baseCheriFilter, kPaperLoadFilter, false));
+    rows_.push_back(estimate(full, kPaperRevoker, false));
+}
+
+} // namespace cheriot::hwmodel

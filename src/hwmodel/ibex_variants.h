@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The five Ibex variants of Table 2: inventory composition,
+ * calibration of the two fitted factors, and area/power estimates.
+ */
+
+#ifndef CHERIOT_HWMODEL_IBEX_VARIANTS_H
+#define CHERIOT_HWMODEL_IBEX_VARIANTS_H
+
+#include "hwmodel/gate_model.h"
+#include "hwmodel/power_model.h"
+
+#include <string>
+#include <vector>
+
+namespace cheriot::hwmodel
+{
+
+/** Paper-published reference values (Table 2). */
+struct PaperReference
+{
+    double gates;
+    double powerMw;
+};
+
+struct VariantEstimate
+{
+    std::string name;
+    double gates;
+    double powerMw;
+    PaperReference paper;
+    bool calibrated; ///< True for the rows the factors were fit on.
+};
+
+/**
+ * Builds the five variants, fits the technology and timing factors
+ * on the first two rows and the power coefficients on their powers,
+ * then predicts the remaining rows.
+ */
+class Table2Model
+{
+  public:
+    Table2Model();
+
+    const std::vector<VariantEstimate> &rows() const { return rows_; }
+
+    double techFactor() const { return techFactor_; }
+    double timingFactor() const { return timingFactor_; }
+    const PowerCoefficients &powerCoefficients() const { return power_; }
+
+    /** Published values (28 nm HPC+, 300 MHz, CoreMark). */
+    static constexpr PaperReference kPaperRv32e = {26988, 1.437};
+    static constexpr PaperReference kPaperPmp = {55905, 2.16};
+    static constexpr PaperReference kPaperCheri = {58110, 2.58};
+    static constexpr PaperReference kPaperLoadFilter = {58431, 2.58};
+    static constexpr PaperReference kPaperRevoker = {61422, 2.73};
+
+  private:
+    std::vector<VariantEstimate> rows_;
+    double techFactor_ = 1.0;
+    double timingFactor_ = 1.0;
+    PowerCoefficients power_{0, 0};
+};
+
+} // namespace cheriot::hwmodel
+
+#endif // CHERIOT_HWMODEL_IBEX_VARIANTS_H

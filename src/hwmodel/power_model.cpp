@@ -1,0 +1,32 @@
+#include "hwmodel/power_model.h"
+
+#include <cmath>
+
+namespace cheriot::hwmodel
+{
+
+PowerCoefficients
+fitPower(double activity1, double gates1, double power1, double activity2,
+         double gates2, double power2)
+{
+    // Solve | a1 g1 | |kDyn |   |p1|
+    //       | a2 g2 | |kLeak| = |p2|
+    const double det = activity1 * gates2 - activity2 * gates1;
+    if (std::abs(det) < 1e-12) {
+        return {0.0, 0.0};
+    }
+    PowerCoefficients c;
+    c.kDyn = (power1 * gates2 - power2 * gates1) / det;
+    c.kLeak = (activity1 * power2 - activity2 * power1) / det;
+    return c;
+}
+
+double
+estimatePower(const PowerCoefficients &coefficients, double activityGates,
+              double totalGates)
+{
+    return coefficients.kDyn * activityGates +
+           coefficients.kLeak * totalGates;
+}
+
+} // namespace cheriot::hwmodel

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pre-silicon power estimation (paper §7.1).
+ *
+ * P(variant) = kDyn · Σᵢ gatesᵢ·activityᵢ  +  kLeak · Σᵢ gatesᵢ
+ *
+ * The two coefficients are fitted on the two published calibration
+ * points (RV32E at 1.437 mW and RV32E+PMP16 at 2.16 mW, 300 MHz,
+ * CoreMark); the CHERIoT variants are predictions. The paper itself
+ * cautions that its estimates over-rely on gate count — this model
+ * adds per-block activity, which reproduces its observation that PMP
+ * comparators burn power on every access while the idle revoker
+ * consumes almost none.
+ */
+
+#ifndef CHERIOT_HWMODEL_POWER_MODEL_H
+#define CHERIOT_HWMODEL_POWER_MODEL_H
+
+namespace cheriot::hwmodel
+{
+
+struct PowerCoefficients
+{
+    double kDyn;  ///< mW per activity-weighted gate.
+    double kLeak; ///< mW per gate (leakage + clock tree).
+};
+
+/**
+ * Fit the coefficients from two (activityGates, totalGates, power)
+ * calibration points. Returns {0,0} if the system is singular.
+ */
+PowerCoefficients fitPower(double activity1, double gates1, double power1,
+                           double activity2, double gates2, double power2);
+
+/** Evaluate the fitted model. */
+double estimatePower(const PowerCoefficients &coefficients,
+                     double activityGates, double totalGates);
+
+} // namespace cheriot::hwmodel
+
+#endif // CHERIOT_HWMODEL_POWER_MODEL_H

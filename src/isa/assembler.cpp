@@ -1,0 +1,113 @@
+#include "isa/assembler.h"
+
+#include "util/log.h"
+
+namespace cheriot::isa
+{
+
+Assembler::Label
+Assembler::newLabel()
+{
+    labels_.push_back(-1);
+    return static_cast<Label>(labels_.size() - 1);
+}
+
+void
+Assembler::bind(Label label)
+{
+    if (label >= labels_.size()) {
+        panic("assembler: bind of unknown label %u", label);
+    }
+    if (labels_[label] != -1) {
+        panic("assembler: label %u bound twice", label);
+    }
+    labels_[label] = pc();
+}
+
+Assembler::Label
+Assembler::here()
+{
+    const Label label = newLabel();
+    bind(label);
+    return label;
+}
+
+void
+Assembler::emit(const Inst &inst)
+{
+    words_.push_back(encode(inst));
+}
+
+void
+Assembler::word(uint32_t value)
+{
+    words_.push_back(value);
+}
+
+void
+Assembler::jal(uint8_t rd, Label target)
+{
+    if (target >= labels_.size()) {
+        panic("assembler: jal to unknown label %u", target);
+    }
+    Inst inst{Op::Jal, rd, 0, 0, 0, 0};
+    if (labels_[target] != -1) {
+        inst.imm = static_cast<int32_t>(labels_[target] - pc());
+        emit(inst);
+        return;
+    }
+    fixups_.push_back(
+        {static_cast<uint32_t>(words_.size()), target, inst});
+    words_.push_back(0); // Placeholder patched in finish().
+}
+
+void
+Assembler::branch(Op op, uint8_t rs1, uint8_t rs2, Label target)
+{
+    if (target >= labels_.size()) {
+        panic("assembler: branch to unknown label %u", target);
+    }
+    Inst inst{op, 0, rs1, rs2, 0, 0};
+    if (labels_[target] != -1) {
+        inst.imm = static_cast<int32_t>(labels_[target] - pc());
+        emit(inst);
+        return;
+    }
+    fixups_.push_back(
+        {static_cast<uint32_t>(words_.size()), target, inst});
+    words_.push_back(0);
+}
+
+void
+Assembler::li(uint8_t rd, int32_t value)
+{
+    if (value >= -2048 && value < 2048) {
+        addi(rd, Zero, value);
+        return;
+    }
+    // lui + addi; correct for the sign extension of the low half.
+    int32_t hi = (value + 0x800) >> 12;
+    int32_t lo = value - (hi << 12);
+    lui(rd, hi & 0xfffff);
+    if (lo != 0) {
+        addi(rd, rd, lo);
+    }
+}
+
+std::vector<uint32_t>
+Assembler::finish()
+{
+    for (const Fixup &fixup : fixups_) {
+        if (labels_[fixup.label] == -1) {
+            panic("assembler: label %u never bound", fixup.label);
+        }
+        Inst inst = fixup.inst;
+        const uint32_t instAddr = base_ + fixup.wordIndex * 4;
+        inst.imm = static_cast<int32_t>(labels_[fixup.label] - instAddr);
+        words_[fixup.wordIndex] = encode(inst);
+    }
+    fixups_.clear();
+    return words_;
+}
+
+} // namespace cheriot::isa

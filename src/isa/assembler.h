@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Programmatic assembler for the CHERIoT RV32E ISA.
+ *
+ * Guest programs (CoreMark kernels, microbenchmarks, ISA tests) are
+ * written against this builder API: one method per instruction, plus
+ * labels with automatic branch/jump fixups and a handful of pseudo-
+ * instructions (li, mv, j, ret, nop). finish() resolves all fixups
+ * and returns the binary image.
+ */
+
+#ifndef CHERIOT_ISA_ASSEMBLER_H
+#define CHERIOT_ISA_ASSEMBLER_H
+
+#include "isa/encoding.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cheriot::isa
+{
+
+class Assembler
+{
+  public:
+    /** @param baseAddress address the image will be loaded at. */
+    explicit Assembler(uint32_t baseAddress) : base_(baseAddress) {}
+
+    /** Opaque label handle. */
+    using Label = uint32_t;
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current position. */
+    void bind(Label label);
+
+    /** Create a label already bound to the current position. */
+    Label here();
+
+    /** Address of the next emitted instruction. */
+    uint32_t pc() const
+    {
+        return base_ + static_cast<uint32_t>(words_.size()) * 4;
+    }
+
+    uint32_t baseAddress() const { return base_; }
+
+    /** Bytes emitted so far. */
+    uint32_t size() const
+    {
+        return static_cast<uint32_t>(words_.size()) * 4;
+    }
+
+    /** Resolve fixups and return the image. Panics on unbound labels. */
+    std::vector<uint32_t> finish();
+
+    /** @name Raw emission @{ */
+    void emit(const Inst &inst);
+    void word(uint32_t value);
+    /** @} */
+
+    /** @name RV32I @{ */
+    void lui(uint8_t rd, int32_t imm20)
+    {
+        emit({Op::Lui, rd, 0, 0,
+              static_cast<int32_t>(static_cast<uint32_t>(imm20) << 12), 0});
+    }
+    void auipcc(uint8_t rd, int32_t imm20)
+    {
+        emit({Op::Auipc, rd, 0, 0,
+              static_cast<int32_t>(static_cast<uint32_t>(imm20) << 12), 0});
+    }
+    void jal(uint8_t rd, Label target);
+    void jalr(uint8_t rd, uint8_t rs1, int32_t imm = 0) { emit({Op::Jalr, rd, rs1, 0, imm, 0}); }
+    void beq(uint8_t rs1, uint8_t rs2, Label target) { branch(Op::Beq, rs1, rs2, target); }
+    void bne(uint8_t rs1, uint8_t rs2, Label target) { branch(Op::Bne, rs1, rs2, target); }
+    void blt(uint8_t rs1, uint8_t rs2, Label target) { branch(Op::Blt, rs1, rs2, target); }
+    void bge(uint8_t rs1, uint8_t rs2, Label target) { branch(Op::Bge, rs1, rs2, target); }
+    void bltu(uint8_t rs1, uint8_t rs2, Label target) { branch(Op::Bltu, rs1, rs2, target); }
+    void bgeu(uint8_t rs1, uint8_t rs2, Label target) { branch(Op::Bgeu, rs1, rs2, target); }
+    void lb(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Lb, rd, rs1, 0, imm, 0}); }
+    void lh(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Lh, rd, rs1, 0, imm, 0}); }
+    void lw(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Lw, rd, rs1, 0, imm, 0}); }
+    void lbu(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Lbu, rd, rs1, 0, imm, 0}); }
+    void lhu(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Lhu, rd, rs1, 0, imm, 0}); }
+    void sb(uint8_t rs2, uint8_t rs1, int32_t imm) { emit({Op::Sb, 0, rs1, rs2, imm, 0}); }
+    void sh(uint8_t rs2, uint8_t rs1, int32_t imm) { emit({Op::Sh, 0, rs1, rs2, imm, 0}); }
+    void sw(uint8_t rs2, uint8_t rs1, int32_t imm) { emit({Op::Sw, 0, rs1, rs2, imm, 0}); }
+    void addi(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Addi, rd, rs1, 0, imm, 0}); }
+    void slti(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Slti, rd, rs1, 0, imm, 0}); }
+    void sltiu(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Sltiu, rd, rs1, 0, imm, 0}); }
+    void xori(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Xori, rd, rs1, 0, imm, 0}); }
+    void ori(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Ori, rd, rs1, 0, imm, 0}); }
+    void andi(uint8_t rd, uint8_t rs1, int32_t imm) { emit({Op::Andi, rd, rs1, 0, imm, 0}); }
+    void slli(uint8_t rd, uint8_t rs1, int32_t shamt) { emit({Op::Slli, rd, rs1, 0, shamt, 0}); }
+    void srli(uint8_t rd, uint8_t rs1, int32_t shamt) { emit({Op::Srli, rd, rs1, 0, shamt, 0}); }
+    void srai(uint8_t rd, uint8_t rs1, int32_t shamt) { emit({Op::Srai, rd, rs1, 0, shamt, 0}); }
+    void add(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Add, rd, rs1, rs2, 0, 0}); }
+    void sub(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Sub, rd, rs1, rs2, 0, 0}); }
+    void sll(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Sll, rd, rs1, rs2, 0, 0}); }
+    void slt(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Slt, rd, rs1, rs2, 0, 0}); }
+    void sltu(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Sltu, rd, rs1, rs2, 0, 0}); }
+    void xor_(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Xor, rd, rs1, rs2, 0, 0}); }
+    void srl(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Srl, rd, rs1, rs2, 0, 0}); }
+    void sra(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Sra, rd, rs1, rs2, 0, 0}); }
+    void or_(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Or, rd, rs1, rs2, 0, 0}); }
+    void and_(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::And, rd, rs1, rs2, 0, 0}); }
+    void ecall() { emit({Op::Ecall, 0, 0, 0, 0, 0}); }
+    void ebreak() { emit({Op::Ebreak, 0, 0, 0, 0, 0}); }
+    void mret() { emit({Op::Mret, 0, 0, 0, 0, 0}); }
+    void csrrw(uint8_t rd, uint16_t csr, uint8_t rs1) { emit({Op::Csrrw, rd, rs1, 0, 0, csr}); }
+    void csrrs(uint8_t rd, uint16_t csr, uint8_t rs1) { emit({Op::Csrrs, rd, rs1, 0, 0, csr}); }
+    void csrrc(uint8_t rd, uint16_t csr, uint8_t rs1) { emit({Op::Csrrc, rd, rs1, 0, 0, csr}); }
+    void csrrwi(uint8_t rd, uint16_t csr, int32_t uimm) { emit({Op::Csrrwi, rd, 0, 0, uimm, csr}); }
+    void csrrsi(uint8_t rd, uint16_t csr, int32_t uimm) { emit({Op::Csrrsi, rd, 0, 0, uimm, csr}); }
+    void csrrci(uint8_t rd, uint16_t csr, int32_t uimm) { emit({Op::Csrrci, rd, 0, 0, uimm, csr}); }
+    /** @} */
+
+    /** @name RV32M @{ */
+    void mul(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Mul, rd, rs1, rs2, 0, 0}); }
+    void mulh(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Mulh, rd, rs1, rs2, 0, 0}); }
+    void mulhu(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Mulhu, rd, rs1, rs2, 0, 0}); }
+    void div(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Div, rd, rs1, rs2, 0, 0}); }
+    void divu(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Divu, rd, rs1, rs2, 0, 0}); }
+    void rem(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Rem, rd, rs1, rs2, 0, 0}); }
+    void remu(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Remu, rd, rs1, rs2, 0, 0}); }
+    /** @} */
+
+    /** @name CHERIoT extension @{ */
+    void clc(uint8_t cd, uint8_t cs1, int32_t imm) { emit({Op::Clc, cd, cs1, 0, imm, 0}); }
+    void csc(uint8_t cs2, uint8_t cs1, int32_t imm) { emit({Op::Csc, 0, cs1, cs2, imm, 0}); }
+    void cgetperm(uint8_t rd, uint8_t cs1) { emit({Op::CGetPerm, rd, cs1, 0, 0, 0}); }
+    void cgettype(uint8_t rd, uint8_t cs1) { emit({Op::CGetType, rd, cs1, 0, 0, 0}); }
+    void cgetbase(uint8_t rd, uint8_t cs1) { emit({Op::CGetBase, rd, cs1, 0, 0, 0}); }
+    void cgetlen(uint8_t rd, uint8_t cs1) { emit({Op::CGetLen, rd, cs1, 0, 0, 0}); }
+    void cgettop(uint8_t rd, uint8_t cs1) { emit({Op::CGetTop, rd, cs1, 0, 0, 0}); }
+    void cgettag(uint8_t rd, uint8_t cs1) { emit({Op::CGetTag, rd, cs1, 0, 0, 0}); }
+    void cgetaddr(uint8_t rd, uint8_t cs1) { emit({Op::CGetAddr, rd, cs1, 0, 0, 0}); }
+    void cseal(uint8_t cd, uint8_t cs1, uint8_t cs2) { emit({Op::CSeal, cd, cs1, cs2, 0, 0}); }
+    void cunseal(uint8_t cd, uint8_t cs1, uint8_t cs2) { emit({Op::CUnseal, cd, cs1, cs2, 0, 0}); }
+    void candperm(uint8_t cd, uint8_t cs1, uint8_t rs2) { emit({Op::CAndPerm, cd, cs1, rs2, 0, 0}); }
+    void csetaddr(uint8_t cd, uint8_t cs1, uint8_t rs2) { emit({Op::CSetAddr, cd, cs1, rs2, 0, 0}); }
+    void cincaddr(uint8_t cd, uint8_t cs1, uint8_t rs2) { emit({Op::CIncAddr, cd, cs1, rs2, 0, 0}); }
+    void cincaddrimm(uint8_t cd, uint8_t cs1, int32_t imm) { emit({Op::CIncAddrImm, cd, cs1, 0, imm, 0}); }
+    void csetbounds(uint8_t cd, uint8_t cs1, uint8_t rs2) { emit({Op::CSetBounds, cd, cs1, rs2, 0, 0}); }
+    void csetboundsexact(uint8_t cd, uint8_t cs1, uint8_t rs2) { emit({Op::CSetBoundsExact, cd, cs1, rs2, 0, 0}); }
+    void csetboundsimm(uint8_t cd, uint8_t cs1, int32_t imm) { emit({Op::CSetBoundsImm, cd, cs1, 0, imm, 0}); }
+    void ctestsubset(uint8_t rd, uint8_t cs1, uint8_t cs2) { emit({Op::CTestSubset, rd, cs1, cs2, 0, 0}); }
+    void csetequalexact(uint8_t rd, uint8_t cs1, uint8_t cs2) { emit({Op::CSetEqualExact, rd, cs1, cs2, 0, 0}); }
+    void cmove(uint8_t cd, uint8_t cs1) { emit({Op::CMove, cd, cs1, 0, 0, 0}); }
+    void ccleartag(uint8_t cd, uint8_t cs1) { emit({Op::CClearTag, cd, cs1, 0, 0, 0}); }
+    void crrl(uint8_t rd, uint8_t rs1) { emit({Op::CRrl, rd, rs1, 0, 0, 0}); }
+    void cram(uint8_t rd, uint8_t rs1) { emit({Op::CRam, rd, rs1, 0, 0, 0}); }
+    void csealentry(uint8_t cd, uint8_t cs1, int32_t posture) { emit({Op::CSealEntry, cd, cs1, 0, posture, 0}); }
+    void cspecialrw(uint8_t cd, Scr scr, uint8_t cs1)
+    {
+        emit({Op::CSpecialRw, cd, cs1, 0,
+              static_cast<int32_t>(static_cast<uint8_t>(scr)), 0});
+    }
+    /** @} */
+
+    /** @name Pseudo-instructions @{ */
+    void nop() { addi(Zero, Zero, 0); }
+    void mv(uint8_t rd, uint8_t rs1) { addi(rd, rs1, 0); }
+    void li(uint8_t rd, int32_t value);
+    void j(Label target) { jal(Zero, target); }
+    void call(Label target) { jal(Ra, target); }
+    void ret() { jalr(Zero, Ra, 0); }
+    void beqz(uint8_t rs1, Label target) { beq(rs1, Zero, target); }
+    void bnez(uint8_t rs1, Label target) { bne(rs1, Zero, target); }
+    void blez(uint8_t rs1, Label target) { bge(Zero, rs1, target); }
+    void bgtz(uint8_t rs1, Label target) { blt(Zero, rs1, target); }
+    void neg(uint8_t rd, uint8_t rs1) { sub(rd, Zero, rs1); }
+    void seqz(uint8_t rd, uint8_t rs1) { sltiu(rd, rs1, 1); }
+    void snez(uint8_t rd, uint8_t rs1) { sltu(rd, Zero, rs1); }
+    /** @} */
+
+  private:
+    void branch(Op op, uint8_t rs1, uint8_t rs2, Label target);
+
+    struct Fixup
+    {
+        uint32_t wordIndex;
+        Label label;
+        Inst inst; ///< Re-encoded with the resolved offset at finish().
+    };
+
+    uint32_t base_;
+    std::vector<uint32_t> words_;
+    std::vector<int64_t> labels_; ///< -1 while unbound, else address.
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace cheriot::isa
+
+#endif // CHERIOT_ISA_ASSEMBLER_H

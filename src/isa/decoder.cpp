@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Binary instruction decoder. The inverse of encode(); unrecognised
+ * words decode to Op::Illegal, which the executor turns into an
+ * illegal-instruction trap.
+ */
+
+#include "isa/encoding.h"
+
+#include "util/bits.h"
+
+namespace cheriot::isa
+{
+
+namespace
+{
+
+int32_t
+immI(uint32_t word)
+{
+    return signExtend32(word >> 20, 12);
+}
+
+int32_t
+immS(uint32_t word)
+{
+    const uint32_t imm = (bits(word, 25u, 7u) << 5) | bits(word, 7u, 5u);
+    return signExtend32(imm, 12);
+}
+
+int32_t
+immB(uint32_t word)
+{
+    const uint32_t imm = (bits(word, 31u, 1u) << 12) |
+                         (bits(word, 7u, 1u) << 11) |
+                         (bits(word, 25u, 6u) << 5) |
+                         (bits(word, 8u, 4u) << 1);
+    return signExtend32(imm, 13);
+}
+
+int32_t
+immU(uint32_t word)
+{
+    return static_cast<int32_t>(word & 0xfffff000u);
+}
+
+int32_t
+immJ(uint32_t word)
+{
+    const uint32_t imm = (bits(word, 31u, 1u) << 20) |
+                         (bits(word, 12u, 8u) << 12) |
+                         (bits(word, 20u, 1u) << 11) |
+                         (bits(word, 21u, 10u) << 1);
+    return signExtend32(imm, 21);
+}
+
+Inst
+illegal()
+{
+    return Inst{};
+}
+
+Inst
+decodeCheri(uint32_t word, Inst inst)
+{
+    const uint32_t f3 = bits(word, 12u, 3u);
+    const uint32_t f7 = bits(word, 25u, 7u);
+    const uint32_t rs2Slot = bits(word, 20u, 5u);
+
+    if (f3 == 1) {
+        inst.op = Op::CIncAddrImm;
+        inst.imm = immI(word);
+        inst.rs2 = 0;
+        return inst;
+    }
+    if (f3 == 2) {
+        inst.op = Op::CSetBoundsImm;
+        inst.imm = static_cast<int32_t>(word >> 20); // zero-extended
+        inst.rs2 = 0;
+        return inst;
+    }
+    if (f3 != 0) {
+        return illegal();
+    }
+
+    if (f7 == 0x7f) {
+        // Two-operand: sub-operation in the rs2 slot.
+        inst.rs2 = 0;
+        switch (rs2Slot) {
+          case 0x00: inst.op = Op::CGetPerm; return inst;
+          case 0x01: inst.op = Op::CGetType; return inst;
+          case 0x02: inst.op = Op::CGetBase; return inst;
+          case 0x03: inst.op = Op::CGetLen; return inst;
+          case 0x04: inst.op = Op::CGetTag; return inst;
+          case 0x08: inst.op = Op::CRrl; return inst;
+          case 0x09: inst.op = Op::CRam; return inst;
+          case 0x0a: inst.op = Op::CMove; return inst;
+          case 0x0b: inst.op = Op::CClearTag; return inst;
+          case 0x0f: inst.op = Op::CGetAddr; return inst;
+          case 0x18: inst.op = Op::CGetTop; return inst;
+          default: return illegal();
+        }
+    }
+
+    // Remaining encodings are R-type: the rs2 slot names a register
+    // (except CSpecialRw/CSealEntry, which carry a selector there).
+    if (f7 != 0x01 && f7 != 0x12 && rs2Slot >= kNumRegs) {
+        return illegal();
+    }
+
+    switch (f7) {
+      case 0x01:
+        inst.op = Op::CSpecialRw;
+        inst.imm = static_cast<int32_t>(rs2Slot);
+        inst.rs2 = 0;
+        return inst;
+      case 0x08: inst.op = Op::CSetBounds; return inst;
+      case 0x09: inst.op = Op::CSetBoundsExact; return inst;
+      case 0x0b: inst.op = Op::CSeal; return inst;
+      case 0x0c: inst.op = Op::CUnseal; return inst;
+      case 0x0d: inst.op = Op::CAndPerm; return inst;
+      case 0x10: inst.op = Op::CSetAddr; return inst;
+      case 0x11: inst.op = Op::CIncAddr; return inst;
+      case 0x12:
+        inst.op = Op::CSealEntry;
+        inst.imm = static_cast<int32_t>(rs2Slot);
+        inst.rs2 = 0;
+        return inst;
+      case 0x20: inst.op = Op::CTestSubset; return inst;
+      case 0x21: inst.op = Op::CSetEqualExact; return inst;
+      default: return illegal();
+    }
+}
+
+} // namespace
+
+Inst
+decode(uint32_t word)
+{
+    Inst inst;
+    inst.rd = static_cast<uint8_t>(bits(word, 7u, 5u));
+    inst.rs1 = static_cast<uint8_t>(bits(word, 15u, 5u));
+    inst.rs2 = static_cast<uint8_t>(bits(word, 20u, 5u));
+    const uint32_t opcode = bits(word, 0u, 7u);
+    const uint32_t f3 = bits(word, 12u, 3u);
+    const uint32_t f7 = bits(word, 25u, 7u);
+
+    // RV32E: register specifiers above 15 are illegal.
+    if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs ||
+        inst.rs2 >= kNumRegs) {
+        // CSR-immediate and CHERI sub-op encodings reuse the rs1/rs2
+        // slots for non-register payloads, so defer the check to the
+        // per-format paths below; flag only plain register formats.
+        // (Handled per-case; fall through.)
+    }
+
+    switch (opcode) {
+      case 0x37:
+        inst.op = Op::Lui;
+        inst.imm = immU(word);
+        inst.rs1 = 0;
+        inst.rs2 = 0;
+        return inst.rd < kNumRegs ? inst : illegal();
+      case 0x17:
+        inst.op = Op::Auipc;
+        inst.imm = immU(word);
+        inst.rs1 = 0;
+        inst.rs2 = 0;
+        return inst.rd < kNumRegs ? inst : illegal();
+      case 0x6f:
+        inst.op = Op::Jal;
+        inst.imm = immJ(word);
+        inst.rs1 = 0;
+        inst.rs2 = 0;
+        return inst.rd < kNumRegs ? inst : illegal();
+      case 0x67:
+        if (f3 != 0) {
+            return illegal();
+        }
+        inst.op = Op::Jalr;
+        inst.imm = immI(word);
+        inst.rs2 = 0;
+        return inst.rd < kNumRegs && inst.rs1 < kNumRegs ? inst : illegal();
+      case 0x63: {
+        static constexpr Op kBranches[8] = {Op::Beq, Op::Bne, Op::Illegal,
+                                            Op::Illegal, Op::Blt, Op::Bge,
+                                            Op::Bltu, Op::Bgeu};
+        inst.op = kBranches[f3];
+        inst.imm = immB(word);
+        inst.rd = 0;
+        if (inst.op == Op::Illegal || inst.rs1 >= kNumRegs ||
+            inst.rs2 >= kNumRegs) {
+            return illegal();
+        }
+        return inst;
+      }
+      case 0x03: {
+        static constexpr Op kLoads[8] = {Op::Lb, Op::Lh, Op::Lw, Op::Clc,
+                                         Op::Lbu, Op::Lhu, Op::Illegal,
+                                         Op::Illegal};
+        inst.op = kLoads[f3];
+        inst.imm = immI(word);
+        inst.rs2 = 0;
+        if (inst.op == Op::Illegal || inst.rd >= kNumRegs ||
+            inst.rs1 >= kNumRegs) {
+            return illegal();
+        }
+        return inst;
+      }
+      case 0x23: {
+        static constexpr Op kStores[8] = {Op::Sb, Op::Sh, Op::Sw, Op::Csc,
+                                          Op::Illegal, Op::Illegal,
+                                          Op::Illegal, Op::Illegal};
+        inst.op = kStores[f3];
+        inst.imm = immS(word);
+        inst.rd = 0;
+        if (inst.op == Op::Illegal || inst.rs1 >= kNumRegs ||
+            inst.rs2 >= kNumRegs) {
+            return illegal();
+        }
+        return inst;
+      }
+      case 0x13: {
+        inst.rs2 = 0;
+        if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs) {
+            return illegal();
+        }
+        switch (f3) {
+          case 0: inst.op = Op::Addi; inst.imm = immI(word); return inst;
+          case 1:
+            if (f7 != 0) {
+                return illegal();
+            }
+            inst.op = Op::Slli;
+            inst.imm = static_cast<int32_t>(bits(word, 20u, 5u));
+            return inst;
+          case 2: inst.op = Op::Slti; inst.imm = immI(word); return inst;
+          case 3: inst.op = Op::Sltiu; inst.imm = immI(word); return inst;
+          case 4: inst.op = Op::Xori; inst.imm = immI(word); return inst;
+          case 5:
+            if (f7 == 0x00) {
+                inst.op = Op::Srli;
+            } else if (f7 == 0x20) {
+                inst.op = Op::Srai;
+            } else {
+                return illegal();
+            }
+            inst.imm = static_cast<int32_t>(bits(word, 20u, 5u));
+            return inst;
+          case 6: inst.op = Op::Ori; inst.imm = immI(word); return inst;
+          case 7: inst.op = Op::Andi; inst.imm = immI(word); return inst;
+        }
+        return illegal();
+      }
+      case 0x33: {
+        if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs ||
+            inst.rs2 >= kNumRegs) {
+            return illegal();
+        }
+        if (f7 == 0x00) {
+            static constexpr Op kArith[8] = {Op::Add, Op::Sll, Op::Slt,
+                                             Op::Sltu, Op::Xor, Op::Srl,
+                                             Op::Or, Op::And};
+            inst.op = kArith[f3];
+            return inst;
+        }
+        if (f7 == 0x20) {
+            if (f3 == 0) {
+                inst.op = Op::Sub;
+                return inst;
+            }
+            if (f3 == 5) {
+                inst.op = Op::Sra;
+                return inst;
+            }
+            return illegal();
+        }
+        if (f7 == 0x01) {
+            static constexpr Op kMulDiv[8] = {Op::Mul, Op::Mulh, Op::Mulhsu,
+                                              Op::Mulhu, Op::Div, Op::Divu,
+                                              Op::Rem, Op::Remu};
+            inst.op = kMulDiv[f3];
+            return inst;
+        }
+        return illegal();
+      }
+      case 0x73: {
+        if (f3 == 0) {
+            switch (word) {
+              case 0x00000073: inst.op = Op::Ecall; return inst;
+              case 0x00100073: inst.op = Op::Ebreak; return inst;
+              case 0x30200073: inst.op = Op::Mret; return inst;
+              default: return illegal();
+            }
+        }
+        inst.csr = static_cast<uint16_t>(word >> 20);
+        inst.rs2 = 0;
+        if (inst.rd >= kNumRegs) {
+            return illegal();
+        }
+        switch (f3) {
+          case 1: inst.op = Op::Csrrw; break;
+          case 2: inst.op = Op::Csrrs; break;
+          case 3: inst.op = Op::Csrrc; break;
+          case 5: inst.op = Op::Csrrwi; break;
+          case 6: inst.op = Op::Csrrsi; break;
+          case 7: inst.op = Op::Csrrci; break;
+          default: return illegal();
+        }
+        if (f3 >= 5) {
+            // Immediate forms carry a 5-bit immediate in the rs1 slot.
+            inst.imm = inst.rs1;
+            inst.rs1 = 0;
+        } else if (inst.rs1 >= kNumRegs) {
+            return illegal();
+        }
+        return inst;
+      }
+      case 0x5b:
+        if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs) {
+            return illegal();
+        }
+        return decodeCheri(word, inst);
+      default:
+        return illegal();
+    }
+}
+
+} // namespace cheriot::isa

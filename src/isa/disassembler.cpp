@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Instruction rendering for traces and test diagnostics.
+ */
+
+#include "isa/encoding.h"
+
+#include <cstdio>
+
+namespace cheriot::isa
+{
+
+std::string
+disassemble(const Inst &inst, uint32_t pc)
+{
+    char buffer[96];
+    const char *name = opName(inst.op);
+    switch (inst.op) {
+      case Op::Illegal:
+        std::snprintf(buffer, sizeof(buffer), "illegal");
+        break;
+      case Op::Lui:
+      case Op::Auipc:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, 0x%x", name,
+                      regName(inst.rd),
+                      static_cast<uint32_t>(inst.imm) >> 12);
+        break;
+      case Op::Jal:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, 0x%x", name,
+                      regName(inst.rd), pc + inst.imm);
+        break;
+      case Op::Jalr:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, %d(%s)", name,
+                      regName(inst.rd), inst.imm, regName(inst.rs1));
+        break;
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, %s, 0x%x", name,
+                      regName(inst.rs1), regName(inst.rs2), pc + inst.imm);
+        break;
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+      case Op::Clc:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, %d(%s)", name,
+                      regName(inst.rd), inst.imm, regName(inst.rs1));
+        break;
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Csc:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, %d(%s)", name,
+                      regName(inst.rs2), inst.imm, regName(inst.rs1));
+        break;
+      case Op::Addi: case Op::Slti: case Op::Sltiu: case Op::Xori:
+      case Op::Ori: case Op::Andi: case Op::Slli: case Op::Srli:
+      case Op::Srai: case Op::CIncAddrImm: case Op::CSetBoundsImm:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, %s, %d", name,
+                      regName(inst.rd), regName(inst.rs1), inst.imm);
+        break;
+      case Op::Ecall: case Op::Ebreak: case Op::Mret:
+        std::snprintf(buffer, sizeof(buffer), "%s", name);
+        break;
+      case Op::Csrrw: case Op::Csrrs: case Op::Csrrc:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, 0x%x, %s", name,
+                      regName(inst.rd), inst.csr, regName(inst.rs1));
+        break;
+      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, 0x%x, %d", name,
+                      regName(inst.rd), inst.csr, inst.imm);
+        break;
+      case Op::CGetPerm: case Op::CGetType: case Op::CGetBase:
+      case Op::CGetLen: case Op::CGetTop: case Op::CGetTag:
+      case Op::CGetAddr: case Op::CMove: case Op::CClearTag:
+      case Op::CRrl: case Op::CRam:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, %s", name,
+                      regName(inst.rd), regName(inst.rs1));
+        break;
+      case Op::CSpecialRw:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, scr%d, %s", name,
+                      regName(inst.rd), inst.imm, regName(inst.rs1));
+        break;
+      case Op::CSealEntry:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, %s, posture=%d",
+                      name, regName(inst.rd), regName(inst.rs1), inst.imm);
+        break;
+      default:
+        std::snprintf(buffer, sizeof(buffer), "%s %s, %s, %s", name,
+                      regName(inst.rd), regName(inst.rs1),
+                      regName(inst.rs2));
+        break;
+    }
+    return buffer;
+}
+
+} // namespace cheriot::isa

@@ -1,0 +1,292 @@
+#include "isa/encoding.h"
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace cheriot::isa
+{
+
+namespace
+{
+
+/** Encoding format of an operation. */
+enum class Fmt : uint8_t
+{
+    R,      ///< funct7 | rs2 | rs1 | funct3 | rd | opcode
+    I,      ///< imm12 (signed) | rs1 | funct3 | rd | opcode
+    IU,     ///< imm12 (zero-extended) | rs1 | funct3 | rd | opcode
+    IShift, ///< funct7 | shamt | rs1 | funct3 | rd | opcode
+    S,      ///< store split-immediate
+    B,      ///< branch split-immediate
+    U,      ///< imm[31:12] | rd | opcode
+    J,      ///< jump split-immediate
+    Fixed,  ///< entire word fixed (ECALL/EBREAK/MRET)
+    Csr,    ///< csr | rs1 | funct3 | rd | SYSTEM
+    CsrI,   ///< csr | uimm5 | funct3 | rd | SYSTEM
+    TwoOp,  ///< funct7=0x7f | subop (rs2 slot) | rs1 | 0 | rd | 0x5b
+    ScrRw,  ///< funct7=0x01 | scr (rs2 slot) | rs1 | 0 | rd | 0x5b
+    SealE,  ///< funct7=0x12 | posture (rs2 slot) | rs1 | 0 | rd | 0x5b
+};
+
+constexpr uint8_t kOpLui = 0x37;
+constexpr uint8_t kOpAuipc = 0x17;
+constexpr uint8_t kOpJal = 0x6f;
+constexpr uint8_t kOpJalr = 0x67;
+constexpr uint8_t kOpBranch = 0x63;
+constexpr uint8_t kOpLoad = 0x03;
+constexpr uint8_t kOpStore = 0x23;
+constexpr uint8_t kOpImm = 0x13;
+constexpr uint8_t kOpReg = 0x33;
+constexpr uint8_t kOpSystem = 0x73;
+constexpr uint8_t kOpCheri = 0x5b;
+
+struct OpInfo
+{
+    Op op;
+    const char *name;
+    Fmt fmt;
+    uint8_t opcode;
+    uint8_t f3;
+    uint8_t f7;    ///< funct7 for R/IShift, otherwise 0.
+    uint32_t fixed; ///< Entire word for Fmt::Fixed.
+};
+
+constexpr OpInfo kOps[] = {
+    {Op::Lui, "lui", Fmt::U, kOpLui, 0, 0, 0},
+    {Op::Auipc, "auipcc", Fmt::U, kOpAuipc, 0, 0, 0},
+    {Op::Jal, "cjal", Fmt::J, kOpJal, 0, 0, 0},
+    {Op::Jalr, "cjalr", Fmt::I, kOpJalr, 0, 0, 0},
+    {Op::Beq, "beq", Fmt::B, kOpBranch, 0, 0, 0},
+    {Op::Bne, "bne", Fmt::B, kOpBranch, 1, 0, 0},
+    {Op::Blt, "blt", Fmt::B, kOpBranch, 4, 0, 0},
+    {Op::Bge, "bge", Fmt::B, kOpBranch, 5, 0, 0},
+    {Op::Bltu, "bltu", Fmt::B, kOpBranch, 6, 0, 0},
+    {Op::Bgeu, "bgeu", Fmt::B, kOpBranch, 7, 0, 0},
+    {Op::Lb, "lb", Fmt::I, kOpLoad, 0, 0, 0},
+    {Op::Lh, "lh", Fmt::I, kOpLoad, 1, 0, 0},
+    {Op::Lw, "lw", Fmt::I, kOpLoad, 2, 0, 0},
+    {Op::Lbu, "lbu", Fmt::I, kOpLoad, 4, 0, 0},
+    {Op::Lhu, "lhu", Fmt::I, kOpLoad, 5, 0, 0},
+    {Op::Clc, "clc", Fmt::I, kOpLoad, 3, 0, 0},
+    {Op::Sb, "sb", Fmt::S, kOpStore, 0, 0, 0},
+    {Op::Sh, "sh", Fmt::S, kOpStore, 1, 0, 0},
+    {Op::Sw, "sw", Fmt::S, kOpStore, 2, 0, 0},
+    {Op::Csc, "csc", Fmt::S, kOpStore, 3, 0, 0},
+    {Op::Addi, "addi", Fmt::I, kOpImm, 0, 0, 0},
+    {Op::Slti, "slti", Fmt::I, kOpImm, 2, 0, 0},
+    {Op::Sltiu, "sltiu", Fmt::I, kOpImm, 3, 0, 0},
+    {Op::Xori, "xori", Fmt::I, kOpImm, 4, 0, 0},
+    {Op::Ori, "ori", Fmt::I, kOpImm, 6, 0, 0},
+    {Op::Andi, "andi", Fmt::I, kOpImm, 7, 0, 0},
+    {Op::Slli, "slli", Fmt::IShift, kOpImm, 1, 0x00, 0},
+    {Op::Srli, "srli", Fmt::IShift, kOpImm, 5, 0x00, 0},
+    {Op::Srai, "srai", Fmt::IShift, kOpImm, 5, 0x20, 0},
+    {Op::Add, "add", Fmt::R, kOpReg, 0, 0x00, 0},
+    {Op::Sub, "sub", Fmt::R, kOpReg, 0, 0x20, 0},
+    {Op::Sll, "sll", Fmt::R, kOpReg, 1, 0x00, 0},
+    {Op::Slt, "slt", Fmt::R, kOpReg, 2, 0x00, 0},
+    {Op::Sltu, "sltu", Fmt::R, kOpReg, 3, 0x00, 0},
+    {Op::Xor, "xor", Fmt::R, kOpReg, 4, 0x00, 0},
+    {Op::Srl, "srl", Fmt::R, kOpReg, 5, 0x00, 0},
+    {Op::Sra, "sra", Fmt::R, kOpReg, 5, 0x20, 0},
+    {Op::Or, "or", Fmt::R, kOpReg, 6, 0x00, 0},
+    {Op::And, "and", Fmt::R, kOpReg, 7, 0x00, 0},
+    {Op::Mul, "mul", Fmt::R, kOpReg, 0, 0x01, 0},
+    {Op::Mulh, "mulh", Fmt::R, kOpReg, 1, 0x01, 0},
+    {Op::Mulhsu, "mulhsu", Fmt::R, kOpReg, 2, 0x01, 0},
+    {Op::Mulhu, "mulhu", Fmt::R, kOpReg, 3, 0x01, 0},
+    {Op::Div, "div", Fmt::R, kOpReg, 4, 0x01, 0},
+    {Op::Divu, "divu", Fmt::R, kOpReg, 5, 0x01, 0},
+    {Op::Rem, "rem", Fmt::R, kOpReg, 6, 0x01, 0},
+    {Op::Remu, "remu", Fmt::R, kOpReg, 7, 0x01, 0},
+    {Op::Ecall, "ecall", Fmt::Fixed, kOpSystem, 0, 0, 0x00000073},
+    {Op::Ebreak, "ebreak", Fmt::Fixed, kOpSystem, 0, 0, 0x00100073},
+    {Op::Mret, "mret", Fmt::Fixed, kOpSystem, 0, 0, 0x30200073},
+    {Op::Csrrw, "csrrw", Fmt::Csr, kOpSystem, 1, 0, 0},
+    {Op::Csrrs, "csrrs", Fmt::Csr, kOpSystem, 2, 0, 0},
+    {Op::Csrrc, "csrrc", Fmt::Csr, kOpSystem, 3, 0, 0},
+    {Op::Csrrwi, "csrrwi", Fmt::CsrI, kOpSystem, 5, 0, 0},
+    {Op::Csrrsi, "csrrsi", Fmt::CsrI, kOpSystem, 6, 0, 0},
+    {Op::Csrrci, "csrrci", Fmt::CsrI, kOpSystem, 7, 0, 0},
+    // CHERIoT R-type manipulations (funct3 = 0 on opcode 0x5b).
+    {Op::CSpecialRw, "cspecialrw", Fmt::ScrRw, kOpCheri, 0, 0x01, 0},
+    {Op::CSetBounds, "csetbounds", Fmt::R, kOpCheri, 0, 0x08, 0},
+    {Op::CSetBoundsExact, "csetboundsexact", Fmt::R, kOpCheri, 0, 0x09, 0},
+    {Op::CSeal, "cseal", Fmt::R, kOpCheri, 0, 0x0b, 0},
+    {Op::CUnseal, "cunseal", Fmt::R, kOpCheri, 0, 0x0c, 0},
+    {Op::CAndPerm, "candperm", Fmt::R, kOpCheri, 0, 0x0d, 0},
+    {Op::CSetAddr, "csetaddr", Fmt::R, kOpCheri, 0, 0x10, 0},
+    {Op::CIncAddr, "cincaddr", Fmt::R, kOpCheri, 0, 0x11, 0},
+    {Op::CSealEntry, "csealentry", Fmt::SealE, kOpCheri, 0, 0x12, 0},
+    {Op::CTestSubset, "ctestsubset", Fmt::R, kOpCheri, 0, 0x20, 0},
+    {Op::CSetEqualExact, "csetequalexact", Fmt::R, kOpCheri, 0, 0x21, 0},
+    // CHERIoT immediate forms.
+    {Op::CIncAddrImm, "cincaddrimm", Fmt::I, kOpCheri, 1, 0, 0},
+    {Op::CSetBoundsImm, "csetboundsimm", Fmt::IU, kOpCheri, 2, 0, 0},
+    // Two-operand ops: funct7 = 0x7f, sub-operation in the rs2 slot.
+    {Op::CGetPerm, "cgetperm", Fmt::TwoOp, kOpCheri, 0, 0x00, 0},
+    {Op::CGetType, "cgettype", Fmt::TwoOp, kOpCheri, 0, 0x01, 0},
+    {Op::CGetBase, "cgetbase", Fmt::TwoOp, kOpCheri, 0, 0x02, 0},
+    {Op::CGetLen, "cgetlen", Fmt::TwoOp, kOpCheri, 0, 0x03, 0},
+    {Op::CGetTag, "cgettag", Fmt::TwoOp, kOpCheri, 0, 0x04, 0},
+    {Op::CRrl, "crrl", Fmt::TwoOp, kOpCheri, 0, 0x08, 0},
+    {Op::CRam, "cram", Fmt::TwoOp, kOpCheri, 0, 0x09, 0},
+    {Op::CMove, "cmove", Fmt::TwoOp, kOpCheri, 0, 0x0a, 0},
+    {Op::CClearTag, "ccleartag", Fmt::TwoOp, kOpCheri, 0, 0x0b, 0},
+    {Op::CGetAddr, "cgetaddr", Fmt::TwoOp, kOpCheri, 0, 0x0f, 0},
+    {Op::CGetTop, "cgettop", Fmt::TwoOp, kOpCheri, 0, 0x18, 0},
+};
+
+const OpInfo *
+infoFor(Op op)
+{
+    for (const auto &info : kOps) {
+        if (info.op == op) {
+            return &info;
+        }
+    }
+    return nullptr;
+}
+
+void
+checkReg(uint8_t reg, const char *what)
+{
+    if (reg >= kNumRegs) {
+        panic("encode: %s register %u out of range (RV32E has 16)", what,
+              reg);
+    }
+}
+
+void
+checkSignedImm(int32_t imm, unsigned width)
+{
+    const int32_t lo = -(1 << (width - 1));
+    const int32_t hi = (1 << (width - 1)) - 1;
+    if (imm < lo || imm > hi) {
+        panic("encode: immediate %d does not fit %u signed bits", imm,
+              width);
+    }
+}
+
+} // namespace
+
+uint32_t
+encode(const Inst &inst)
+{
+    const OpInfo *info = infoFor(inst.op);
+    if (info == nullptr) {
+        panic("encode: unknown op %u", static_cast<unsigned>(inst.op));
+    }
+    checkReg(inst.rd, "rd");
+    checkReg(inst.rs1, "rs1");
+    checkReg(inst.rs2, "rs2");
+
+    const uint32_t opc = info->opcode;
+    const uint32_t f3 = info->f3;
+    const uint32_t rd = inst.rd;
+    const uint32_t rs1 = inst.rs1;
+    const uint32_t rs2 = inst.rs2;
+
+    switch (info->fmt) {
+      case Fmt::R:
+        return (uint32_t{info->f7} << 25) | (rs2 << 20) | (rs1 << 15) |
+               (f3 << 12) | (rd << 7) | opc;
+      case Fmt::I:
+        checkSignedImm(inst.imm, 12);
+        return (static_cast<uint32_t>(inst.imm & 0xfff) << 20) |
+               (rs1 << 15) | (f3 << 12) | (rd << 7) | opc;
+      case Fmt::IU:
+        if (inst.imm < 0 || inst.imm > 0xfff) {
+            panic("encode: unsigned immediate %d does not fit 12 bits",
+                  inst.imm);
+        }
+        return (static_cast<uint32_t>(inst.imm) << 20) | (rs1 << 15) |
+               (f3 << 12) | (rd << 7) | opc;
+      case Fmt::IShift:
+        if (inst.imm < 0 || inst.imm > 31) {
+            panic("encode: shift amount %d out of range", inst.imm);
+        }
+        return (uint32_t{info->f7} << 25) |
+               (static_cast<uint32_t>(inst.imm) << 20) | (rs1 << 15) |
+               (f3 << 12) | (rd << 7) | opc;
+      case Fmt::S: {
+        checkSignedImm(inst.imm, 12);
+        const uint32_t imm = static_cast<uint32_t>(inst.imm) & 0xfff;
+        return (bits(imm, 5u, 7u) << 25) | (rs2 << 20) | (rs1 << 15) |
+               (f3 << 12) | (bits(imm, 0u, 5u) << 7) | opc;
+      }
+      case Fmt::B: {
+        checkSignedImm(inst.imm, 13);
+        if (inst.imm & 1) {
+            panic("encode: branch offset %d is odd", inst.imm);
+        }
+        const uint32_t imm = static_cast<uint32_t>(inst.imm) & 0x1fff;
+        return (bits(imm, 12u, 1u) << 31) | (bits(imm, 5u, 6u) << 25) |
+               (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+               (bits(imm, 1u, 4u) << 8) | (bits(imm, 11u, 1u) << 7) | opc;
+      }
+      case Fmt::U:
+        return (static_cast<uint32_t>(inst.imm) & 0xfffff000u) | (rd << 7) |
+               opc;
+      case Fmt::J: {
+        checkSignedImm(inst.imm, 21);
+        if (inst.imm & 1) {
+            panic("encode: jump offset %d is odd", inst.imm);
+        }
+        const uint32_t imm = static_cast<uint32_t>(inst.imm) & 0x1fffff;
+        return (bits(imm, 20u, 1u) << 31) | (bits(imm, 1u, 10u) << 21) |
+               (bits(imm, 11u, 1u) << 20) | (bits(imm, 12u, 8u) << 12) |
+               (rd << 7) | opc;
+      }
+      case Fmt::Fixed:
+        return info->fixed;
+      case Fmt::Csr:
+        return (uint32_t{inst.csr} << 20) | (rs1 << 15) | (f3 << 12) |
+               (rd << 7) | opc;
+      case Fmt::CsrI:
+        if (inst.imm < 0 || inst.imm > 31) {
+            panic("encode: CSR immediate %d out of range", inst.imm);
+        }
+        return (uint32_t{inst.csr} << 20) |
+               (static_cast<uint32_t>(inst.imm) << 15) | (f3 << 12) |
+               (rd << 7) | opc;
+      case Fmt::TwoOp:
+        return (0x7fu << 25) | (uint32_t{info->f7} << 20) | (rs1 << 15) |
+               (f3 << 12) | (rd << 7) | opc;
+      case Fmt::ScrRw:
+        if (inst.imm < 0 || inst.imm > 31) {
+            panic("encode: SCR index %d out of range", inst.imm);
+        }
+        return (0x01u << 25) | (static_cast<uint32_t>(inst.imm) << 20) |
+               (rs1 << 15) | (f3 << 12) | (rd << 7) | opc;
+      case Fmt::SealE:
+        if (inst.imm < 0 || inst.imm > 2) {
+            panic("encode: sentry posture %d out of range", inst.imm);
+        }
+        return (0x12u << 25) | (static_cast<uint32_t>(inst.imm) << 20) |
+               (rs1 << 15) | (f3 << 12) | (rd << 7) | opc;
+    }
+    panic("encode: unhandled format");
+}
+
+const char *
+opName(Op op)
+{
+    if (op == Op::Illegal) {
+        return "illegal";
+    }
+    const OpInfo *info = infoFor(op);
+    return info != nullptr ? info->name : "?";
+}
+
+const char *
+regName(uint8_t index)
+{
+    static const char *kNames[kNumRegs] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    };
+    return index < kNumRegs ? kNames[index] : "?";
+}
+
+} // namespace cheriot::isa

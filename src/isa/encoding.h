@@ -1,0 +1,135 @@
+/**
+ * @file
+ * CHERIoT RV32E instruction set: operations, formats, and binary
+ * encoding.
+ *
+ * The base ISA is RV32EM (16 registers). The CHERIoT extension
+ * follows the published encoding conventions where practical:
+ * capability load/store reuse the RV64 LD/SD encodings (funct3 = 3 on
+ * the LOAD/STORE major opcodes — free in RV32), and capability
+ * manipulation lives on major opcode 0x5B with an R-type layout whose
+ * funct7 selects the operation; funct7 = 0x7F selects two-operand
+ * ops with the sub-operation in the rs2 field. Immediate-form
+ * CIncAddr/CSetBounds use funct3 1 and 2 on the same major opcode.
+ *
+ * In CHERIoT's pure-capability mode every memory access and jump is
+ * authorised by a capability register; there is no separate
+ * integer-pointer addressing mode.
+ */
+
+#ifndef CHERIOT_ISA_ENCODING_H
+#define CHERIOT_ISA_ENCODING_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cheriot::isa
+{
+
+/** Number of architectural registers (RV32E). */
+constexpr unsigned kNumRegs = 16;
+
+/** @name ABI register numbers @{ */
+constexpr uint8_t Zero = 0; ///< c0: hard-wired null.
+constexpr uint8_t Ra = 1;   ///< c1: return address (capability).
+constexpr uint8_t Sp = 2;   ///< c2: stack pointer (capability).
+constexpr uint8_t Gp = 3;   ///< c3: globals pointer (capability).
+constexpr uint8_t Tp = 4;   ///< c4: thread pointer.
+constexpr uint8_t T0 = 5;
+constexpr uint8_t T1 = 6;
+constexpr uint8_t T2 = 7;
+constexpr uint8_t S0 = 8;
+constexpr uint8_t S1 = 9;
+constexpr uint8_t A0 = 10;
+constexpr uint8_t A1 = 11;
+constexpr uint8_t A2 = 12;
+constexpr uint8_t A3 = 13;
+constexpr uint8_t A4 = 14;
+constexpr uint8_t A5 = 15;
+/** @} */
+
+/** Every operation the core implements. */
+enum class Op : uint8_t
+{
+    Illegal,
+    // RV32I
+    Lui, Auipc, Jal, Jalr,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Lb, Lh, Lw, Lbu, Lhu,
+    Sb, Sh, Sw,
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    Ecall, Ebreak, Mret,
+    Csrrw, Csrrs, Csrrc, Csrrwi, Csrrsi, Csrrci,
+    // RV32M
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    // CHERIoT capability extension
+    Clc, Csc,
+    CGetPerm, CGetType, CGetBase, CGetLen, CGetTop, CGetTag, CGetAddr,
+    CSeal, CUnseal, CAndPerm, CSetAddr, CIncAddr, CIncAddrImm,
+    CSetBounds, CSetBoundsExact, CSetBoundsImm,
+    CTestSubset, CSetEqualExact,
+    CMove, CClearTag, CRrl, CRam,
+    CSealEntry, ///< Mint a forward sentry; rs2 selects the posture.
+    CSpecialRw, ///< Special capability register access; rs2 selects.
+};
+
+/** Special capability registers accessed via CSpecialRw. */
+enum class Scr : uint8_t
+{
+    Mtcc = 28,     ///< Machine trap-vector code capability.
+    Mtdc = 29,     ///< Machine trap data capability.
+    MScratchC = 30,///< Machine scratch capability.
+    Mepcc = 31,    ///< Machine exception PC capability.
+};
+
+/** @name CSR numbers @{ */
+constexpr uint16_t kCsrMstatus = 0x300;
+constexpr uint16_t kCsrMcause = 0x342;
+constexpr uint16_t kCsrMtval = 0x343;
+constexpr uint16_t kCsrMshwm = 0x7c0;  ///< Stack high-water mark (§5.2.1).
+constexpr uint16_t kCsrMshwmb = 0x7c1; ///< Stack base register.
+constexpr uint16_t kCsrMcycle = 0xb00;
+constexpr uint16_t kCsrMcycleH = 0xb80;
+/** @} */
+
+/** A decoded (or to-be-encoded) instruction. */
+struct Inst
+{
+    Op op = Op::Illegal;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;   ///< Sign-extended where the format is signed.
+    uint16_t csr = 0;  ///< CSR number for Zicsr ops.
+
+    bool operator==(const Inst &) const = default;
+};
+
+/**
+ * Encode to the 32-bit instruction word.
+ * Panics on malformed operands (out-of-range registers or immediates
+ * that do not fit the format); the assembler validates before calling.
+ */
+uint32_t encode(const Inst &inst);
+
+/**
+ * Decode a 32-bit instruction word. Returns an Inst with
+ * op == Op::Illegal for unrecognised encodings (the executor raises
+ * an illegal-instruction trap).
+ */
+Inst decode(uint32_t word);
+
+/** Mnemonic for an operation. */
+const char *opName(Op op);
+
+/** ABI name of register @p index ("zero", "ra", "sp", ...). */
+const char *regName(uint8_t index);
+
+/** Human-readable rendering of a decoded instruction. */
+std::string disassemble(const Inst &inst, uint32_t pc = 0);
+
+} // namespace cheriot::isa
+
+#endif // CHERIOT_ISA_ENCODING_H

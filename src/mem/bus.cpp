@@ -1,0 +1,16 @@
+#include "mem/bus.h"
+
+namespace cheriot::mem
+{
+
+const char *
+busWidthName(BusWidth width)
+{
+    switch (width) {
+      case BusWidth::Wide65: return "65-bit";
+      case BusWidth::Narrow33: return "33-bit";
+    }
+    return "?";
+}
+
+} // namespace cheriot::mem

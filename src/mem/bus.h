@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Data-bus width models (paper §4).
+ *
+ * Flute has a 65-bit memory bus (64 data bits plus the tag), so a
+ * capability moves in one beat. CHERIoT-Ibex keeps the original Ibex
+ * 32-bit interface widened only to 33 bits (32 data + a micro-tag),
+ * so a capability needs two beats; this is why capability-heavy code
+ * shows larger overheads on Ibex (Table 3) and why zeroing is
+ * proportionately more expensive there (§7.2.2).
+ */
+
+#ifndef CHERIOT_MEM_BUS_H
+#define CHERIOT_MEM_BUS_H
+
+#include <cstdint>
+
+namespace cheriot::mem
+{
+
+/** Width of the data bus between core and tightly coupled SRAM. */
+enum class BusWidth : uint8_t
+{
+    Wide65,   ///< 64-bit data + tag (Flute).
+    Narrow33, ///< 32-bit data + micro-tag (Ibex).
+};
+
+/** Bus beats to move one capability (8 bytes + tag). */
+constexpr unsigned
+capBeats(BusWidth width)
+{
+    return width == BusWidth::Wide65 ? 1 : 2;
+}
+
+/** Bus beats to move @p bytes of ordinary data (max 8). */
+constexpr unsigned
+dataBeats(BusWidth width, unsigned bytes)
+{
+    const unsigned beatBytes = width == BusWidth::Wide65 ? 8 : 4;
+    return (bytes + beatBytes - 1) / beatBytes;
+}
+
+/** Bus beats to zero @p bytes of memory. */
+constexpr unsigned
+zeroBeats(BusWidth width, uint32_t bytes)
+{
+    const unsigned beatBytes = width == BusWidth::Wide65 ? 8 : 4;
+    return (bytes + beatBytes - 1) / beatBytes;
+}
+
+const char *busWidthName(BusWidth width);
+
+} // namespace cheriot::mem
+
+#endif // CHERIOT_MEM_BUS_H

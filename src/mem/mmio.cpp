@@ -1,0 +1,71 @@
+#include "mem/mmio.h"
+
+#include "util/log.h"
+
+namespace cheriot::mem
+{
+
+void
+MmioBus::map(uint32_t base, uint32_t size, MmioDevice *device)
+{
+    for (const auto &mapping : mappings_) {
+        const bool overlaps =
+            base < mapping.base + mapping.size && mapping.base < base + size;
+        if (overlaps) {
+            fatal("MMIO mapping for %s at 0x%08x overlaps %s at 0x%08x",
+                  device->name().c_str(), base,
+                  mapping.device->name().c_str(), mapping.base);
+        }
+    }
+    mappings_.push_back({base, size, device});
+}
+
+MmioDevice *
+MmioBus::deviceAt(uint32_t addr, uint32_t *regionBase) const
+{
+    for (const auto &mapping : mappings_) {
+        if (addr >= mapping.base && addr < mapping.base + mapping.size) {
+            if (regionBase != nullptr) {
+                *regionBase = mapping.base;
+            }
+            return mapping.device;
+        }
+    }
+    return nullptr;
+}
+
+bool
+MmioBus::covers(uint32_t addr, uint32_t bytes) const
+{
+    uint32_t base = 0;
+    const MmioDevice *device = deviceAt(addr, &base);
+    if (device == nullptr) {
+        return false;
+    }
+    // The whole access must fall within one device's region.
+    return deviceAt(addr + bytes - 1) == device;
+}
+
+uint32_t
+MmioBus::read32(uint32_t addr) const
+{
+    uint32_t base = 0;
+    MmioDevice *device = deviceAt(addr, &base);
+    if (device == nullptr) {
+        panic("MMIO read from unmapped address 0x%08x", addr);
+    }
+    return device->read32(addr - base);
+}
+
+void
+MmioBus::write32(uint32_t addr, uint32_t value) const
+{
+    uint32_t base = 0;
+    MmioDevice *device = deviceAt(addr, &base);
+    if (device == nullptr) {
+        panic("MMIO write to unmapped address 0x%08x", addr);
+    }
+    device->write32(addr - base, value);
+}
+
+} // namespace cheriot::mem

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory-mapped I/O device interface and routing.
+ *
+ * MMIO regions carry no capability tags: capability loads from MMIO
+ * always return untagged values and capability stores strip the tag,
+ * so devices can never launder authority.
+ */
+
+#ifndef CHERIOT_MEM_MMIO_H
+#define CHERIOT_MEM_MMIO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cheriot::mem
+{
+
+/** A device mapped into the physical address space. */
+class MmioDevice
+{
+  public:
+    virtual ~MmioDevice() = default;
+
+    /** Device name for diagnostics. */
+    virtual std::string name() const = 0;
+
+    /** 32-bit register read at byte @p offset within the region. */
+    virtual uint32_t read32(uint32_t offset) = 0;
+
+    /** 32-bit register write at byte @p offset within the region. */
+    virtual void write32(uint32_t offset, uint32_t value) = 0;
+};
+
+/** Routes physical addresses to registered MMIO devices. */
+class MmioBus
+{
+  public:
+    /** Map @p device at [base, base + size). Ranges must not overlap. */
+    void map(uint32_t base, uint32_t size, MmioDevice *device);
+
+    /** Device covering @p addr, or nullptr. */
+    MmioDevice *deviceAt(uint32_t addr, uint32_t *regionBase = nullptr) const;
+
+    bool covers(uint32_t addr, uint32_t bytes) const;
+
+    uint32_t read32(uint32_t addr) const;
+    void write32(uint32_t addr, uint32_t value) const;
+
+  private:
+    struct Mapping
+    {
+        uint32_t base;
+        uint32_t size;
+        MmioDevice *device;
+    };
+    std::vector<Mapping> mappings_;
+};
+
+} // namespace cheriot::mem
+
+#endif // CHERIOT_MEM_MMIO_H

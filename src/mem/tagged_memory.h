@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tagged SRAM model.
+ *
+ * Capabilities occupy 8-byte granules guarded by a validity tag held
+ * out of band. Following the CHERIoT-Ibex design (paper §4), the tag
+ * is modelled as two *micro-tags*, one per 32-bit half of the granule;
+ * the architectural tag is their AND. A 32-bit (or narrower) data
+ * write therefore only needs to clear the micro-tag of the half it
+ * touches — exactly the trick that lets Ibex keep a 33-bit data bus —
+ * while a capability store sets both. The wide-bus Flute core simply
+ * always touches both micro-tags at once.
+ */
+
+#ifndef CHERIOT_MEM_TAGGED_MEMORY_H
+#define CHERIOT_MEM_TAGGED_MEMORY_H
+
+#include "util/stats.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cheriot::mem
+{
+
+/** A capability image read from memory. */
+struct RawCapBits
+{
+    uint64_t bits;
+    bool tag;      ///< Architectural tag (AND of the micro-tags).
+    bool halfTag0; ///< Micro-tag of the low 32-bit half.
+    bool halfTag1; ///< Micro-tag of the high 32-bit half.
+};
+
+/**
+ * Byte-addressable SRAM with per-granule capability micro-tags.
+ *
+ * Addresses are *physical offsets within this SRAM's window*; routing
+ * from the 32-bit architectural address space happens in
+ * PhysicalMemory. All accesses must be naturally aligned and in
+ * range; violations are internal errors (the caller is responsible
+ * for architectural checks) and panic.
+ */
+class TaggedMemory
+{
+  public:
+    /** @param base architectural base address. @param size bytes,
+     * must be a multiple of 8. */
+    TaggedMemory(uint32_t base, uint32_t size);
+
+    uint32_t base() const { return base_; }
+    uint32_t size() const { return size_; }
+    bool contains(uint32_t addr, uint32_t bytes) const
+    {
+        return addr >= base_ && addr - base_ + bytes <= size_;
+    }
+
+    /** @name Data access (clears the touched half's micro-tag on
+     * write) @{ */
+    uint8_t read8(uint32_t addr) const;
+    uint16_t read16(uint32_t addr) const;
+    uint32_t read32(uint32_t addr) const;
+    void write8(uint32_t addr, uint8_t value);
+    void write16(uint32_t addr, uint16_t value);
+    void write32(uint32_t addr, uint32_t value);
+    /** @} */
+
+    /** @name Capability access (8-byte aligned granules) @{ */
+    RawCapBits readCap(uint32_t addr) const;
+    /** Store a capability image; sets both micro-tags to @p tag. */
+    void writeCap(uint32_t addr, uint64_t bits, bool tag);
+    /** Clear the granule's tag without touching data (revoker
+     * writeback optimization: a single tag-clearing write). */
+    void clearCapTag(uint32_t addr);
+    /** @} */
+
+    /** Architectural tag of the granule containing @p addr. */
+    bool tagAt(uint32_t addr) const;
+
+    /** Zero a byte range (also clears covered micro-tags). */
+    void zeroRange(uint32_t addr, uint32_t bytes);
+
+    StatGroup &stats() { return stats_; }
+
+    Counter reads;      ///< Data read accesses.
+    Counter writes;     ///< Data write accesses.
+    Counter capReads;   ///< Capability granule reads.
+    Counter capWrites;  ///< Capability granule writes.
+    Counter tagClears;  ///< Tags cleared by data writes.
+
+  private:
+    uint32_t offsetOf(uint32_t addr, uint32_t bytes, uint32_t align) const;
+
+    uint32_t base_;
+    uint32_t size_;
+    std::vector<uint8_t> data_;
+    /** Two micro-tag bits per 8-byte granule. */
+    std::vector<uint8_t> microTags_;
+    StatGroup stats_;
+};
+
+} // namespace cheriot::mem
+
+#endif // CHERIOT_MEM_TAGGED_MEMORY_H

@@ -1,0 +1,2 @@
+// LoadFilter is header-only; this file anchors the translation unit.
+#include "revoker/load_filter.h"

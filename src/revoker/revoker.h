@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Common interface over the two revocation-sweep engines.
+ *
+ * Both the software sweep loop (§3.3.2) and the background hardware
+ * engine (§3.3.3) publish an *epoch* counter, incremented once before
+ * a sweep begins and once again on completion — so an odd epoch means
+ * a sweep is in flight. The allocator's quarantine logic (§5.1) is
+ * written purely against this interface.
+ */
+
+#ifndef CHERIOT_REVOKER_REVOKER_H
+#define CHERIOT_REVOKER_REVOKER_H
+
+#include <cstdint>
+
+namespace cheriot::revoker
+{
+
+class Revoker
+{
+  public:
+    virtual ~Revoker() = default;
+
+    /** Current epoch; odd while a sweep is in progress. */
+    virtual uint32_t epoch() const = 0;
+
+    bool sweepInProgress() const { return (epoch() & 1) != 0; }
+
+    /**
+     * Begin a sweep if none is underway. For the software engine this
+     * runs the sweep to completion synchronously (consuming simulated
+     * cycles); for the background engine it merely kicks the state
+     * machine.
+     */
+    virtual void requestSweep() = 0;
+
+    /**
+     * Block (consuming simulated idle cycles) until no sweep is in
+     * progress.
+     */
+    virtual void waitForCompletion() = 0;
+
+    virtual const char *kind() const = 0;
+
+    /**
+     * True when chunks freed at @p freeEpoch are safe to reuse at
+     * @p currentEpoch: some sweep started after the revocation bits
+     * were painted and has completed. If the free happened mid-sweep
+     * (odd epoch) that sweep may already have passed the chunk, so a
+     * later full sweep is required.
+     */
+    static bool safeToReuse(uint32_t freeEpoch, uint32_t currentEpoch)
+    {
+        const uint32_t required = freeEpoch + 2 + (freeEpoch & 1);
+        return currentEpoch >= required;
+    }
+};
+
+} // namespace cheriot::revoker
+
+#endif // CHERIOT_REVOKER_REVOKER_H

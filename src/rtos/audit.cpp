@@ -1,0 +1,92 @@
+#include "rtos/audit.h"
+
+#include "rtos/kernel.h"
+
+#include <cstdio>
+
+namespace cheriot::rtos
+{
+
+std::vector<ExportAudit>
+AuditReport::interruptsDisabledEntries() const
+{
+    std::vector<ExportAudit> result;
+    for (const auto &entry : exports) {
+        if (entry.interruptsDisabled) {
+            result.push_back(entry);
+        }
+    }
+    return result;
+}
+
+bool
+AuditReport::structurallySound() const
+{
+    for (const auto &compartment : compartments) {
+        if (compartment.globalsStoreLocal || compartment.codeWritable) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+AuditReport::toString() const
+{
+    std::string out = "=== compartment audit ===\n";
+    char line[160];
+    for (const auto &c : compartments) {
+        std::snprintf(line, sizeof(line),
+                      "%-12s code [%08x,+%x) globals [%08x,+%x) "
+                      "exports=%zu%s%s\n",
+                      c.name.c_str(), c.codeBase, c.codeSize,
+                      c.globalsBase, c.globalsSize, c.exportCount,
+                      c.globalsStoreLocal ? " !SL-GLOBALS" : "",
+                      c.codeWritable ? " !WX" : "");
+        out += line;
+    }
+    out += "--- entries running with interrupts disabled ---\n";
+    const auto critical = interruptsDisabledEntries();
+    if (critical.empty()) {
+        out += "(none)\n";
+    }
+    for (const auto &e : critical) {
+        std::snprintf(line, sizeof(line), "%s.%s\n",
+                      e.compartment.c_str(), e.entryPoint.c_str());
+        out += line;
+    }
+    return out;
+}
+
+AuditReport
+auditKernel(Kernel &kernel)
+{
+    AuditReport report;
+    for (size_t i = 0; i < kernel.compartmentCount(); ++i) {
+        Compartment &compartment = kernel.compartmentAt(i);
+
+        CompartmentAudit audit;
+        audit.name = compartment.name();
+        audit.codeBase = compartment.codeCap().base();
+        audit.codeSize =
+            static_cast<uint32_t>(compartment.codeCap().length());
+        audit.globalsBase = compartment.globalsCap().base();
+        audit.globalsSize =
+            static_cast<uint32_t>(compartment.globalsCap().length());
+        audit.exportCount = compartment.exportCount();
+        audit.globalsStoreLocal =
+            compartment.globalsCap().perms().has(cap::PermStoreLocal);
+        audit.codeWritable =
+            compartment.codeCap().perms().has(cap::PermStore);
+        report.compartments.push_back(std::move(audit));
+
+        for (uint32_t e = 0; e < compartment.exportCount(); ++e) {
+            const Export &exported = compartment.exportAt(e);
+            report.exports.push_back({compartment.name(), exported.name,
+                                      exported.interruptsDisabled});
+        }
+    }
+    return report;
+}
+
+} // namespace cheriot::rtos

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Compartment audit reports (paper §3.1.2).
+ *
+ * "For auditing, it is far more useful to know which code runs with
+ * interrupts disabled than it is to know which code may toggle
+ * interrupts." CHERIoT's build system emits an audit manifest of the
+ * linked image: every compartment, its exports (with their interrupt
+ * posture — i.e. which sentry type the loader minted), the imports
+ * each compartment holds, and which compartments hold dangerous
+ * authority (MMIO windows, sealing keys). This module produces the
+ * same report from a live kernel so policies can be checked in tests:
+ * e.g. "only the allocator may reach the revocation bitmap", "no
+ * third-party compartment runs with interrupts disabled".
+ */
+
+#ifndef CHERIOT_RTOS_AUDIT_H
+#define CHERIOT_RTOS_AUDIT_H
+
+#include "rtos/compartment.h"
+
+#include <string>
+#include <vector>
+
+namespace cheriot::rtos
+{
+
+class Kernel;
+
+/** One export's audit entry. */
+struct ExportAudit
+{
+    std::string compartment;
+    std::string entryPoint;
+    bool interruptsDisabled;
+};
+
+/** One compartment's audit entry. */
+struct CompartmentAudit
+{
+    std::string name;
+    uint32_t codeBase;
+    uint32_t codeSize;
+    uint32_t globalsBase;
+    uint32_t globalsSize;
+    size_t exportCount;
+    bool globalsStoreLocal; ///< Must always be false (§5.2).
+    bool codeWritable;      ///< Must always be false (W^X).
+};
+
+/** The whole image's audit manifest. */
+struct AuditReport
+{
+    std::vector<CompartmentAudit> compartments;
+    std::vector<ExportAudit> exports;
+
+    /** Exports that run with interrupts disabled (the §3.1.2 list an
+     * auditor actually reads). */
+    std::vector<ExportAudit> interruptsDisabledEntries() const;
+
+    /** True iff no compartment violates the structural invariants
+     * (SL-free globals, W^X code). */
+    bool structurallySound() const;
+
+    /** Human-readable rendering. */
+    std::string toString() const;
+};
+
+/** Produce the audit manifest for a kernel's current image. */
+AuditReport auditKernel(Kernel &kernel);
+
+} // namespace cheriot::rtos
+
+#endif // CHERIOT_RTOS_AUDIT_H

@@ -1,0 +1,46 @@
+#include "rtos/compartment.h"
+
+#include "rtos/thread.h"
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace cheriot::rtos
+{
+
+using cap::Capability;
+
+Capability
+CompartmentContext::globals() const
+{
+    return compartment.globalsCap();
+}
+
+Capability
+CompartmentContext::stackAlloc(uint32_t bytes)
+{
+    bytes = alignUp<uint32_t>(bytes, cap::kCapabilitySize);
+    if (bytes > thread.sp() - thread.stackBase()) {
+        // Stack exhausted: like hardware, hand back an untagged
+        // value — the first dereference faults and the switcher
+        // unwinds the compartment (§2.2's blast-radius limiting),
+        // rather than taking the whole system down.
+        mem.chargeExecution(2);
+        return Capability();
+    }
+    const uint32_t newSp =
+        alignDown<uint32_t>(thread.sp() - bytes, cap::kCapabilitySize);
+    thread.setSp(newSp);
+    sp = newSp;
+
+    Capability block = stackCap.withAddress(newSp).withBoundsExact(bytes);
+    if (!block.tag()) {
+        panic("stackAlloc: could not derive exact bounds for %u bytes at "
+              "0x%08x", bytes, newSp);
+    }
+    // The compiler emits a CIncAddr + CSetBoundsExact pair per
+    // on-stack object whose address is taken.
+    mem.chargeExecution(3);
+    return block;
+}
+
+} // namespace cheriot::rtos

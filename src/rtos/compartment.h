@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Compartments, exports, and the cross-compartment call ABI
+ * (paper §2.2, §2.6).
+ *
+ * A compartment is a contiguous region of code plus intra-compartment
+ * global data, defined by a pair of capabilities: an execute-only
+ * code capability and a globals capability that deliberately lacks
+ * Store-Local (so references to stack memory can never be captured in
+ * globals, §5.2). Compartments declare *exports* — entry points other
+ * compartments may import; imports are materialised as sentry-sealed
+ * entry capabilities so the importer can call but not inspect them.
+ *
+ * Entry bodies are host functions operating on the simulated machine
+ * through a CompartmentContext; the protection state they run under
+ * (globals capability, chopped stack, interrupt posture) is exactly
+ * what the switcher installed.
+ */
+
+#ifndef CHERIOT_RTOS_COMPARTMENT_H
+#define CHERIOT_RTOS_COMPARTMENT_H
+
+#include "cap/capability.h"
+#include "rtos/guest_context.h"
+#include "sim/csr.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cheriot::rtos
+{
+
+class Kernel;
+class Thread;
+class Compartment;
+
+/** Argument/return registers of a cross-compartment call (a0–a5). */
+struct ArgVec
+{
+    static constexpr unsigned kMaxArgs = 6;
+    cap::Capability values[kMaxArgs];
+
+    cap::Capability &operator[](unsigned index) { return values[index]; }
+    const cap::Capability &operator[](unsigned index) const
+    {
+        return values[index];
+    }
+
+    static ArgVec of(std::initializer_list<cap::Capability> args)
+    {
+        ArgVec v;
+        unsigned i = 0;
+        for (const auto &arg : args) {
+            v.values[i++] = arg;
+        }
+        return v;
+    }
+};
+
+/** Result of a cross-compartment call. */
+struct CallResult
+{
+    cap::Capability value;                        ///< a0 on return.
+    cap::Capability second;                       ///< a1 on return.
+    sim::TrapCause fault = sim::TrapCause::None;  ///< Callee fault.
+
+    bool ok() const { return fault == sim::TrapCause::None; }
+
+    static CallResult ofInt(uint32_t v)
+    {
+        CallResult r;
+        r.value = cap::Capability().withAddress(v);
+        return r;
+    }
+    static CallResult ofCap(const cap::Capability &c)
+    {
+        CallResult r;
+        r.value = c;
+        return r;
+    }
+    static CallResult faulted(sim::TrapCause cause)
+    {
+        CallResult r;
+        r.fault = cause;
+        return r;
+    }
+};
+
+/** Execution environment the switcher installs for a callee. */
+struct CompartmentContext
+{
+    Kernel &kernel;
+    Thread &thread;
+    Compartment &compartment;
+    GuestContext &mem;
+    /** The chopped stack capability (SL, local) for this activation. */
+    cap::Capability stackCap;
+    /** Globals capability (no SL) of the running compartment. */
+    cap::Capability globals() const;
+
+    /**
+     * Carve a block from this activation's stack. The returned
+     * capability is local (no GL) with exact bounds; @p bytes is
+     * rounded to capability alignment.
+     */
+    cap::Capability stackAlloc(uint32_t bytes);
+
+    /** Current stack pointer within the activation. */
+    uint32_t sp = 0;
+};
+
+/** Body of an exported entry point. */
+using EntryFn = std::function<CallResult(CompartmentContext &, ArgVec &)>;
+
+/** An exported cross-compartment entry point. */
+struct Export
+{
+    std::string name;
+    EntryFn fn;
+    /** Entry runs with interrupts disabled (a disable-sentry import)
+     * — auditable per §3.1.2. */
+    bool interruptsDisabled = false;
+};
+
+class Compartment
+{
+  public:
+    Compartment(std::string name, cap::Capability codeCap,
+                cap::Capability globalsCap)
+        : name_(std::move(name)), codeCap_(codeCap), globalsCap_(globalsCap)
+    {}
+
+    const std::string &name() const { return name_; }
+    const cap::Capability &codeCap() const { return codeCap_; }
+    const cap::Capability &globalsCap() const { return globalsCap_; }
+
+    /** Declare an export; returns its index (import handle). */
+    uint32_t addExport(Export exp)
+    {
+        exports_.push_back(std::move(exp));
+        return static_cast<uint32_t>(exports_.size() - 1);
+    }
+
+    const Export &exportAt(uint32_t index) const
+    {
+        return exports_.at(index);
+    }
+
+    size_t exportCount() const { return exports_.size(); }
+
+  private:
+    std::string name_;
+    cap::Capability codeCap_;
+    cap::Capability globalsCap_;
+    std::vector<Export> exports_;
+};
+
+/**
+ * An import: a reference to another compartment's export. Opaque to
+ * the importer (conceptually a sentry-sealed entry capability).
+ */
+struct Import
+{
+    Compartment *compartment = nullptr;
+    uint32_t exportIndex = 0;
+
+    bool valid() const { return compartment != nullptr; }
+    const Export &target() const
+    {
+        return compartment->exportAt(exportIndex);
+    }
+};
+
+} // namespace cheriot::rtos
+
+#endif // CHERIOT_RTOS_COMPARTMENT_H

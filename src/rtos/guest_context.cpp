@@ -1,0 +1,67 @@
+#include "rtos/guest_context.h"
+
+#include "util/log.h"
+
+namespace cheriot::rtos
+{
+
+using cap::Capability;
+using sim::TrapCause;
+
+uint32_t
+GuestContext::loadWord(const Capability &auth, uint32_t addr)
+{
+    uint32_t value = 0;
+    const TrapCause cause = machine_.loadData(auth, addr, 4, false, &value);
+    if (cause != TrapCause::None) {
+        panic("RTOS word load at 0x%08x faulted: %s (auth %s)", addr,
+              sim::trapCauseName(cause), auth.toString().c_str());
+    }
+    return value;
+}
+
+void
+GuestContext::storeWord(const Capability &auth, uint32_t addr,
+                        uint32_t value)
+{
+    const TrapCause cause = machine_.storeData(auth, addr, 4, value);
+    if (cause != TrapCause::None) {
+        panic("RTOS word store at 0x%08x faulted: %s (auth %s)", addr,
+              sim::trapCauseName(cause), auth.toString().c_str());
+    }
+}
+
+Capability
+GuestContext::loadCap(const Capability &auth, uint32_t addr)
+{
+    Capability value;
+    const TrapCause cause = machine_.loadCap(auth, addr, &value);
+    if (cause != TrapCause::None) {
+        panic("RTOS capability load at 0x%08x faulted: %s", addr,
+              sim::trapCauseName(cause));
+    }
+    return value;
+}
+
+void
+GuestContext::storeCap(const Capability &auth, uint32_t addr,
+                       const Capability &value)
+{
+    const TrapCause cause = machine_.storeCap(auth, addr, value);
+    if (cause != TrapCause::None) {
+        panic("RTOS capability store at 0x%08x faulted: %s", addr,
+              sim::trapCauseName(cause));
+    }
+}
+
+void
+GuestContext::zero(const Capability &auth, uint32_t addr, uint32_t bytes)
+{
+    const TrapCause cause = machine_.zeroMemory(auth, addr, bytes);
+    if (cause != TrapCause::None) {
+        panic("RTOS zeroing of [0x%08x, +%u) faulted: %s", addr, bytes,
+              sim::trapCauseName(cause));
+    }
+}
+
+} // namespace cheriot::rtos

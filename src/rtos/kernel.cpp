@@ -1,0 +1,231 @@
+#include "rtos/kernel.h"
+
+#include "mem/memory_map.h"
+#include "util/log.h"
+
+namespace cheriot::rtos
+{
+
+using cap::Capability;
+
+// --- HardwareRevokerHandle ---------------------------------------------
+
+uint32_t
+HardwareRevokerHandle::epoch() const
+{
+    // The epoch register is read constantly by the allocator; model
+    // it as a register read (the charged accesses happen in
+    // requestSweep and the polling loop).
+    return guest_.machine().backgroundRevoker().epoch();
+}
+
+void
+HardwareRevokerHandle::requestSweep()
+{
+    if (sweepInProgress()) {
+        return;
+    }
+    // Program start/end and kick through the MMIO window.
+    guest_.storeWord(mmioCap_, mmioCap_.base() + 0x0, sweepBase_);
+    guest_.storeWord(mmioCap_, mmioCap_.base() + 0x4, sweepEnd_);
+    guest_.storeWord(mmioCap_, mmioCap_.base() + 0xc, 1);
+}
+
+void
+HardwareRevokerHandle::waitForCompletion()
+{
+    scheduler_.blockUntil([this] { return !sweepInProgress(); });
+}
+
+// --- Kernel -------------------------------------------------------------
+
+Kernel::Kernel(sim::Machine &machine)
+    : machine_(machine), guest_(machine), loader_(machine),
+      switcher_(guest_)
+{
+    // Register save area for the scheduler: it stores whole register
+    // files, including local (stack) capabilities, so it needs SL.
+    const uint32_t saveBytes =
+        Scheduler::kSavedCapRegs * cap::kCapabilitySize;
+    const uint32_t saveBase = loader_.allocRegion(saveBytes, 8);
+    scheduler_ = std::make_unique<Scheduler>(
+        guest_, loader_.dataCap(saveBase, saveBytes, /*storeLocal=*/true));
+}
+
+Kernel::~Kernel() = default;
+
+Compartment &
+Kernel::createCompartment(const std::string &name, uint32_t codeSize,
+                          uint32_t globalsSize)
+{
+    const uint32_t codeBase = loader_.allocExactRegion(codeSize, &codeSize);
+    const uint32_t globalsBase =
+        loader_.allocExactRegion(globalsSize, &globalsSize);
+    // Globals capabilities deliberately lack Store-Local (§5.2): a
+    // compartment can never capture a stack reference in its globals.
+    compartments_.push_back(std::make_unique<Compartment>(
+        name, loader_.codeCap(codeBase, codeSize),
+        loader_.dataCap(globalsBase, globalsSize, /*storeLocal=*/false)));
+    return *compartments_.back();
+}
+
+Thread &
+Kernel::createThread(const std::string &name, uint8_t priority,
+                     uint32_t stackSize)
+{
+    const uint32_t stackBase = loader_.allocExactRegion(stackSize, &stackSize);
+    // Stacks are local (no GL) and are the only SL-bearing memory.
+    Capability stackRoot = loader_.dataCap(stackBase, stackSize,
+                                           /*storeLocal=*/true,
+                                           /*global=*/false);
+    const uint32_t id = static_cast<uint32_t>(threads_.size());
+    threads_.push_back(std::make_unique<Thread>(
+        id, name, priority, stackBase, stackBase + stackSize, stackRoot));
+
+    // Trusted stack (switcher-private spill area), 8 frames deep.
+    const uint32_t tsBytes =
+        Switcher::kSavedCaps * cap::kCapabilitySize * 8;
+    const uint32_t tsBase = loader_.allocRegion(tsBytes, 8);
+    trustedStacks_.push_back(
+        loader_.dataCap(tsBase, tsBytes, /*storeLocal=*/true));
+    return *threads_.back();
+}
+
+Import
+Kernel::importOf(Compartment &compartment, uint32_t exportIndex)
+{
+    Import import;
+    import.compartment = &compartment;
+    import.exportIndex = exportIndex;
+    return import;
+}
+
+void
+Kernel::activate(Thread &thread)
+{
+    machine_.csrs().mshwmb = thread.stackBase();
+    machine_.csrs().mshwm = thread.stackTop();
+}
+
+CallResult
+Kernel::call(Thread &thread, const Import &import, ArgVec args)
+{
+    if (thread.id() >= trustedStacks_.size()) {
+        panic("kernel: thread %u has no trusted stack", thread.id());
+    }
+    return switcher_.call(*this, thread, import, args,
+                          trustedStacks_[thread.id()]);
+}
+
+void
+Kernel::initHeap(alloc::TemporalMode mode, uint64_t quarantineThreshold)
+{
+    if (allocator_ != nullptr) {
+        fatal("kernel: heap initialised twice");
+    }
+    const uint32_t heapBase = machine_.heapBase();
+    const uint32_t heapSize = machine_.machineConfig().heapSize;
+
+    Capability heapCap = loader_.dataCap(heapBase, heapSize);
+    Capability bitmapCap = loader_.mmioCap(
+        mem::kRevocationBitmapBase, machine_.revocationBitmap().mmioSize());
+
+    // Sweeps cover every byte of SRAM that can hold capabilities —
+    // globals, stacks and heap alike — since stale heap pointers can
+    // be stored anywhere.
+    const uint32_t sweepBase = mem::kSramBase;
+    const uint32_t sweepEnd =
+        mem::kSramBase + machine_.machineConfig().sramSize;
+
+    revoker::Revoker *revoker = nullptr;
+    if (mode == alloc::TemporalMode::SoftwareRevocation) {
+        // The software sweep needs to reload-and-store-back every
+        // capability unchanged: full load perms (LG, LM) and SL for
+        // stack regions.
+        Capability sweepAuth = loader_.dataCap(
+            sweepBase, sweepEnd - sweepBase, /*storeLocal=*/true);
+        sweepContext_ = std::make_unique<SweepContext>(guest_, sweepAuth);
+        softwareRevoker_ = std::make_unique<revoker::SoftwareRevoker>(
+            *sweepContext_, sweepBase, sweepEnd - sweepBase);
+        revoker = softwareRevoker_.get();
+    } else if (mode == alloc::TemporalMode::HardwareRevocation) {
+        Capability revokerMmio = loader_.mmioCap(mem::kRevokerMmioBase,
+                                                 mem::kRevokerMmioSize);
+        hardwareRevoker_ = std::make_unique<HardwareRevokerHandle>(
+            guest_, *scheduler_, revokerMmio, sweepBase, sweepEnd);
+        revoker = hardwareRevoker_.get();
+    }
+
+    alloc::AllocatorConfig config;
+    config.mode = mode;
+    config.quarantineThreshold = quarantineThreshold;
+    allocator_ = std::make_unique<alloc::HeapAllocator>(
+        guest_, heapCap, bitmapCap, machine_.revocationBitmap(), revoker,
+        config);
+
+    // The allocator compartment: the sole holder of the bitmap
+    // capability, exporting malloc and free.
+    allocCompartment_ = &createCompartment("alloc", 2048, 1024);
+    const uint32_t mallocIndex = allocCompartment_->addExport(
+        {"malloc",
+         [this](CompartmentContext &ctx, ArgVec &args) {
+             // dlmalloc's activation frame: saved registers and
+             // locals spilled to the stack (moves the high-water
+             // mark like compiled code would).
+             const Capability frame = ctx.stackAlloc(96);
+             if (!frame.tag()) {
+                 return CallResult::faulted(
+                     sim::TrapCause::CheriBoundsViolation);
+             }
+             ctx.mem.storeWord(frame, frame.base(), args[0].address());
+             ctx.mem.storeWord(frame, frame.base() + 88, 0);
+             const Capability result =
+                 allocator_->malloc(args[0].address());
+             return CallResult::ofCap(result);
+         },
+         /*interruptsDisabled=*/false});
+    const uint32_t freeIndex = allocCompartment_->addExport(
+        {"free",
+         [this](CompartmentContext &ctx, ArgVec &args) {
+             const Capability frame = ctx.stackAlloc(80);
+             if (!frame.tag()) {
+                 return CallResult::faulted(
+                     sim::TrapCause::CheriBoundsViolation);
+             }
+             ctx.mem.storeWord(frame, frame.base(), 0);
+             ctx.mem.storeWord(frame, frame.base() + 72, 0);
+             const auto result = allocator_->free(args[0]);
+             return CallResult::ofInt(static_cast<uint32_t>(result));
+         },
+         /*interruptsDisabled=*/false});
+    mallocImport_ = importOf(*allocCompartment_, mallocIndex);
+    freeImport_ = importOf(*allocCompartment_, freeIndex);
+}
+
+Capability
+Kernel::malloc(Thread &thread, uint32_t size)
+{
+    if (allocator_ == nullptr) {
+        panic("kernel: malloc before initHeap");
+    }
+    ArgVec args = ArgVec::of({Capability().withAddress(size)});
+    const CallResult result = call(thread, mallocImport_, args);
+    return result.ok() ? result.value : Capability();
+}
+
+alloc::HeapAllocator::FreeResult
+Kernel::free(Thread &thread, const Capability &ptr)
+{
+    if (allocator_ == nullptr) {
+        panic("kernel: free before initHeap");
+    }
+    ArgVec args = ArgVec::of({ptr});
+    const CallResult result = call(thread, freeImport_, args);
+    if (!result.ok()) {
+        return alloc::HeapAllocator::FreeResult::InvalidCap;
+    }
+    return static_cast<alloc::HeapAllocator::FreeResult>(
+        result.value.address());
+}
+
+} // namespace cheriot::rtos

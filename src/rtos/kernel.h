@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The RTOS kernel façade: boots the system (loader), owns
+ * compartments and threads, wires the switcher and scheduler, and
+ * hosts the allocator compartment with its chosen temporal-safety
+ * engine.
+ */
+
+#ifndef CHERIOT_RTOS_KERNEL_H
+#define CHERIOT_RTOS_KERNEL_H
+
+#include "alloc/heap_allocator.h"
+#include "revoker/software_revoker.h"
+#include "rtos/compartment.h"
+#include "rtos/guest_context.h"
+#include "rtos/loader.h"
+#include "rtos/scheduler.h"
+#include "rtos/switcher.h"
+#include "rtos/thread.h"
+
+#include <memory>
+#include <vector>
+
+namespace cheriot::rtos
+{
+
+/**
+ * Revoker interface over the background hardware engine: kicks and
+ * polls through its MMIO registers and blocks through the scheduler
+ * (context switching to the idle thread between polls, which is when
+ * the engine gets the memory port to itself).
+ */
+class HardwareRevokerHandle : public revoker::Revoker
+{
+  public:
+    HardwareRevokerHandle(GuestContext &guest, Scheduler &scheduler,
+                          cap::Capability mmioCap, uint32_t sweepBase,
+                          uint32_t sweepEnd)
+        : guest_(guest), scheduler_(scheduler), mmioCap_(mmioCap),
+          sweepBase_(sweepBase), sweepEnd_(sweepEnd)
+    {}
+
+    uint32_t epoch() const override;
+    void requestSweep() override;
+    void waitForCompletion() override;
+    const char *kind() const override { return "hardware"; }
+
+  private:
+    GuestContext &guest_;
+    Scheduler &scheduler_;
+    cap::Capability mmioCap_;
+    uint32_t sweepBase_;
+    uint32_t sweepEnd_;
+};
+
+class Kernel
+{
+  public:
+    explicit Kernel(sim::Machine &machine);
+    ~Kernel();
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** @name Access to the subsystems @{ */
+    sim::Machine &machine() { return machine_; }
+    GuestContext &guest() { return guest_; }
+    Loader &loader() { return loader_; }
+    Switcher &switcher() { return switcher_; }
+    Scheduler &scheduler() { return *scheduler_; }
+    /** @} */
+
+    /** @name System construction (boot time) @{ */
+    Compartment &createCompartment(const std::string &name,
+                                   uint32_t codeSize = 4096,
+                                   uint32_t globalsSize = 4096);
+
+    Thread &createThread(const std::string &name, uint8_t priority,
+                         uint32_t stackSize);
+
+    /** Resolve an import of @p compartment's export @p index. */
+    Import importOf(Compartment &compartment, uint32_t exportIndex);
+
+    /** @name Image introspection (audit support) @{ */
+    size_t compartmentCount() const { return compartments_.size(); }
+    Compartment &compartmentAt(size_t index)
+    {
+        return *compartments_.at(index);
+    }
+    size_t threadCount() const { return threads_.size(); }
+    Thread &threadAt(size_t index) { return *threads_.at(index); }
+    /** @} */
+
+    /**
+     * Initialise the shared heap with the given temporal-safety mode.
+     * Creates the allocator compartment (the only holder of the
+     * revocation-bitmap capability) and its malloc/free exports.
+     */
+    void initHeap(alloc::TemporalMode mode,
+                  uint64_t quarantineThreshold = 0);
+
+    /** @} */
+
+    /** Make @p thread current: installs its stack base / high-water
+     * CSRs. */
+    void activate(Thread &thread);
+
+    /** Cross-compartment call on behalf of @p thread. */
+    CallResult call(Thread &thread, const Import &import, ArgVec args);
+
+    /** @name Heap services, routed through the allocator compartment
+     * as real cross-compartment calls @{ */
+    cap::Capability malloc(Thread &thread, uint32_t size);
+    alloc::HeapAllocator::FreeResult free(Thread &thread,
+                                          const cap::Capability &ptr);
+    /** Direct handle (tests / in-compartment use). */
+    alloc::HeapAllocator &allocator() { return *allocator_; }
+    bool hasHeap() const { return allocator_ != nullptr; }
+    Compartment &allocatorCompartment() { return *allocCompartment_; }
+    /** @} */
+
+  private:
+    sim::Machine &machine_;
+    GuestContext guest_;
+    Loader loader_;
+    Switcher switcher_;
+    std::unique_ptr<Scheduler> scheduler_;
+
+    std::vector<std::unique_ptr<Compartment>> compartments_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    std::vector<cap::Capability> trustedStacks_;
+
+    std::unique_ptr<SweepContext> sweepContext_;
+    std::unique_ptr<revoker::SoftwareRevoker> softwareRevoker_;
+    std::unique_ptr<HardwareRevokerHandle> hardwareRevoker_;
+    std::unique_ptr<alloc::HeapAllocator> allocator_;
+    Compartment *allocCompartment_ = nullptr;
+    Import mallocImport_;
+    Import freeImport_;
+};
+
+} // namespace cheriot::rtos
+
+#endif // CHERIOT_RTOS_KERNEL_H

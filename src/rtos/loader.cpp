@@ -1,0 +1,124 @@
+#include "rtos/loader.h"
+
+#include "cap/bounds.h"
+#include "util/bits.h"
+#include "util/log.h"
+
+#include <algorithm>
+
+namespace cheriot::rtos
+{
+
+using cap::Capability;
+
+Loader::Loader(sim::Machine &machine)
+    : machine_(machine), cursor_(mem::kSramBase),
+      staticLimit_(machine.heapBase())
+{
+}
+
+void
+Loader::checkLive() const
+{
+    if (finalised_) {
+        panic("loader: capability derivation after the roots were erased");
+    }
+}
+
+uint32_t
+Loader::allocRegion(uint32_t bytes, uint32_t align)
+{
+    checkLive();
+    if (!isPowerOfTwo(align)) {
+        panic("loader: alignment %u is not a power of two", align);
+    }
+    const uint32_t base = alignUp(cursor_, align);
+    if (base + bytes > staticLimit_) {
+        panic("loader: static region exhausted (%u bytes requested, "
+              "%u available)", bytes, staticLimit_ - cursor_);
+    }
+    cursor_ = base + bytes;
+    return base;
+}
+
+uint32_t
+Loader::allocExactRegion(uint32_t bytes, uint32_t *outSize)
+{
+    const uint32_t rounded = static_cast<uint32_t>(
+        cap::representableLength(std::max<uint32_t>(bytes, 8)));
+    const uint32_t align = std::max<uint32_t>(
+        8, ~cap::representableAlignmentMask(rounded) + 1);
+    *outSize = rounded;
+    return allocRegion(rounded, align);
+}
+
+Capability
+Loader::dataCap(uint32_t base, uint32_t size, bool storeLocal, bool global)
+{
+    checkLive();
+    Capability c = Capability::memoryRoot().withAddress(base);
+    bool exact = true;
+    c = c.withBounds(size, &exact);
+    if (!c.tag()) {
+        panic("loader: cannot bound data capability [0x%08x, +%u)", base,
+              size);
+    }
+    uint16_t mask = cap::kAllPerms;
+    if (!storeLocal) {
+        mask &= static_cast<uint16_t>(~cap::PermStoreLocal);
+    }
+    if (!global) {
+        mask &= static_cast<uint16_t>(~cap::PermGlobal);
+    }
+    return c.withPermsAnd(mask);
+}
+
+Capability
+Loader::codeCap(uint32_t base, uint32_t size, bool systemRegs)
+{
+    checkLive();
+    Capability c = Capability::executableRoot().withAddress(base);
+    c = c.withBounds(size);
+    if (!c.tag()) {
+        panic("loader: cannot bound code capability [0x%08x, +%u)", base,
+              size);
+    }
+    if (!systemRegs) {
+        c = c.withPermsAnd(
+            static_cast<uint16_t>(~cap::PermSystemRegs));
+    }
+    return c;
+}
+
+Capability
+Loader::mmioCap(uint32_t base, uint32_t size)
+{
+    checkLive();
+    Capability c = Capability::memoryRoot().withAddress(base);
+    c = c.withBounds(size);
+    if (!c.tag()) {
+        panic("loader: cannot bound MMIO capability [0x%08x, +%u)", base,
+              size);
+    }
+    // MMIO windows carry data permissions only: no capability traffic
+    // and no store-local.
+    return c.withPermsAnd(cap::PermGlobal | cap::PermLoad | cap::PermStore);
+}
+
+Capability
+Loader::sealerFor(uint8_t dataOtype)
+{
+    checkLive();
+    if (dataOtype < 1 || dataOtype >= cap::kOtypeCount) {
+        panic("loader: data otype %u out of range", dataOtype);
+    }
+    Capability c = Capability::sealingRoot().withAddress(
+        cap::kDataOtypeAddressBase + dataOtype);
+    c = c.withBounds(1);
+    if (!c.tag()) {
+        panic("loader: cannot derive sealer for otype %u", dataOtype);
+    }
+    return c;
+}
+
+} // namespace cheriot::rtos

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The boot loader / static-linker model (paper §2.6, §5.2).
+ *
+ * At build time, compartments from mutually distrusting parties are
+ * statically linked into a single image; at boot, the loader runs
+ * with the capability roots, carves SRAM into code, per-compartment
+ * globals, stacks and the heap, derives each compartment's narrowed
+ * capabilities (clearing Store-Local from globals pointers, marking
+ * stacks local), resolves imports of exports, hands the revocation
+ * bitmap window to the allocator compartment alone, and finally
+ * erases the roots.
+ */
+
+#ifndef CHERIOT_RTOS_LOADER_H
+#define CHERIOT_RTOS_LOADER_H
+
+#include "cap/capability.h"
+#include "sim/machine.h"
+
+namespace cheriot::rtos
+{
+
+class Loader
+{
+  public:
+    explicit Loader(sim::Machine &machine);
+
+    /**
+     * Carve @p bytes from the static region (SRAM below the heap
+     * window). Returns the base address. Panics on exhaustion: image
+     * layout is a build-time property.
+     */
+    uint32_t allocRegion(uint32_t bytes, uint32_t align = 8);
+
+    /**
+     * Carve a region whose capability bounds will be *exact*: the
+     * base is aligned per CRAM and the size rounded per CRRL for the
+     * requested size, so no compartment's capability can spill into a
+     * neighbour's region (§3.2.3's representability rules applied at
+     * link time). Returns the base; the rounded size via @p outSize.
+     */
+    uint32_t allocExactRegion(uint32_t bytes, uint32_t *outSize);
+
+    /** @name Capability derivation from the (boot-held) roots @{ */
+
+    /** Read/write data capability over [base, base+size).
+     * @param storeLocal grant SL (stacks and register save areas
+     *        only). @param global grant GL (false for stacks). */
+    cap::Capability dataCap(uint32_t base, uint32_t size,
+                            bool storeLocal = false, bool global = true);
+
+    /** Execute capability over [base, base+size). @param systemRegs
+     * grant SR (switcher / early boot only). */
+    cap::Capability codeCap(uint32_t base, uint32_t size,
+                            bool systemRegs = false);
+
+    /** Capability over an MMIO window. */
+    cap::Capability mmioCap(uint32_t base, uint32_t size);
+
+    /** Sealing capability for one data otype. */
+    cap::Capability sealerFor(uint8_t dataOtype);
+
+    /** @} */
+
+    /** Address space still unclaimed in the static region. */
+    uint32_t remaining() const { return staticLimit_ - cursor_; }
+
+    /**
+     * Erase the roots: after boot completes no more capabilities can
+     * be derived. Further derivation panics.
+     */
+    void finalise() { finalised_ = true; }
+    bool finalised() const { return finalised_; }
+
+  private:
+    void checkLive() const;
+
+    sim::Machine &machine_;
+    uint32_t cursor_;      ///< Next free static address.
+    uint32_t staticLimit_; ///< First heap address (static data stops).
+    bool finalised_ = false;
+};
+
+} // namespace cheriot::rtos
+
+#endif // CHERIOT_RTOS_LOADER_H

@@ -1,0 +1,170 @@
+#include "rtos/message_queue.h"
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace cheriot::rtos
+{
+
+using cap::Capability;
+
+MessageQueueService::MessageQueueService(GuestContext &guest,
+                                         alloc::HeapAllocator &allocator,
+                                         Capability sealer)
+    : guest_(guest), allocator_(allocator), sealer_(sealer)
+{
+    if (!sealer.tag() || !sealer.perms().has(cap::PermSeal) ||
+        !sealer.perms().has(cap::PermUnseal)) {
+        fatal("message queue service needs seal+unseal authority");
+    }
+}
+
+Capability
+MessageQueueService::create(uint32_t elementBytes, uint32_t capacity)
+{
+    if (elementBytes == 0 || capacity == 0 ||
+        elementBytes > 4096 || capacity > 4096) {
+        return Capability();
+    }
+    const uint32_t elemStride = alignUp<uint32_t>(elementBytes, 4);
+    const uint32_t bytes = kStorageOffset + elemStride * capacity;
+    const Capability record = allocator_.malloc(bytes);
+    if (!record.tag()) {
+        return Capability();
+    }
+    guest_.storeWord(record, record.base() + kMagicOffset, kMagic);
+    guest_.storeWord(record, record.base() + kElemOffset, elementBytes);
+    guest_.storeWord(record, record.base() + kCapacityOffset, capacity);
+    guest_.storeWord(record, record.base() + kHeadOffset, 0);
+    guest_.storeWord(record, record.base() + kCountOffset, 0);
+    const auto sealed = cap::seal(record, sealer_);
+    if (!sealed) {
+        panic("message queue: sealing a fresh queue failed");
+    }
+    guest_.chargeExecution(12);
+    return *sealed;
+}
+
+Capability
+MessageQueueService::open(const Capability &handle)
+{
+    const auto record = cap::unseal(handle, sealer_);
+    if (!record) {
+        return Capability();
+    }
+    guest_.chargeExecution(4);
+    // A destroyed (freed) queue record was zeroed: the magic check
+    // rejects it even before temporal reuse.
+    uint32_t magic = 0;
+    if (guest_.tryLoadWord(*record, record->base() + kMagicOffset,
+                           &magic) != sim::TrapCause::None ||
+        magic != kMagic) {
+        return Capability();
+    }
+    return *record;
+}
+
+MessageQueueService::Result
+MessageQueueService::send(const Capability &handle,
+                          const Capability &message)
+{
+    const Capability record = open(handle);
+    if (!record.tag()) {
+        return Result::InvalidHandle;
+    }
+    const uint32_t elementBytes =
+        guest_.loadWord(record, record.base() + kElemOffset);
+    const uint32_t capacity =
+        guest_.loadWord(record, record.base() + kCapacityOffset);
+    const uint32_t head =
+        guest_.loadWord(record, record.base() + kHeadOffset);
+    const uint32_t count =
+        guest_.loadWord(record, record.base() + kCountOffset);
+    if (count == capacity) {
+        return Result::Full;
+    }
+
+    const uint32_t elemStride = alignUp<uint32_t>(elementBytes, 4);
+    const uint32_t slot = (head + count) % capacity;
+    const uint32_t dst =
+        record.base() + kStorageOffset + slot * elemStride;
+    // Word-copy through the *caller's* capability: bounds and
+    // permission failures surface as InvalidBuffer, and partial
+    // copies never become visible (count is bumped last).
+    for (uint32_t off = 0; off < elementBytes; off += 4) {
+        uint32_t word = 0;
+        if (guest_.tryLoadWord(message, message.base() + off, &word) !=
+            sim::TrapCause::None) {
+            return Result::InvalidBuffer;
+        }
+        guest_.storeWord(record, dst + off, word);
+    }
+    guest_.storeWord(record, record.base() + kCountOffset, count + 1);
+    guest_.chargeExecution(10);
+    return Result::Ok;
+}
+
+MessageQueueService::Result
+MessageQueueService::receive(const Capability &handle,
+                             const Capability &buffer)
+{
+    const Capability record = open(handle);
+    if (!record.tag()) {
+        return Result::InvalidHandle;
+    }
+    const uint32_t elementBytes =
+        guest_.loadWord(record, record.base() + kElemOffset);
+    const uint32_t capacity =
+        guest_.loadWord(record, record.base() + kCapacityOffset);
+    const uint32_t head =
+        guest_.loadWord(record, record.base() + kHeadOffset);
+    const uint32_t count =
+        guest_.loadWord(record, record.base() + kCountOffset);
+    if (count == 0) {
+        return Result::Empty;
+    }
+
+    const uint32_t elemStride = alignUp<uint32_t>(elementBytes, 4);
+    const uint32_t src =
+        record.base() + kStorageOffset + head * elemStride;
+    for (uint32_t off = 0; off < elementBytes; off += 4) {
+        const uint32_t word = guest_.loadWord(record, src + off);
+        if (guest_.tryStoreWord(buffer, buffer.base() + off, word) !=
+            sim::TrapCause::None) {
+            return Result::InvalidBuffer;
+        }
+    }
+    guest_.storeWord(record, record.base() + kHeadOffset,
+                     (head + 1) % capacity);
+    guest_.storeWord(record, record.base() + kCountOffset, count - 1);
+    guest_.chargeExecution(10);
+    return Result::Ok;
+}
+
+uint32_t
+MessageQueueService::depth(const Capability &handle)
+{
+    const Capability record = open(handle);
+    if (!record.tag()) {
+        return 0;
+    }
+    return guest_.loadWord(record, record.base() + kCountOffset);
+}
+
+MessageQueueService::Result
+MessageQueueService::destroy(const Capability &handle)
+{
+    const Capability record = open(handle);
+    if (!record.tag()) {
+        return Result::InvalidHandle;
+    }
+    // Clear the magic first so concurrent holders are rejected even
+    // before the free's zeroing lands.
+    guest_.storeWord(record, record.base() + kMagicOffset, 0);
+    if (allocator_.free(record) != alloc::HeapAllocator::FreeResult::Ok) {
+        return Result::InvalidHandle;
+    }
+    return Result::Ok;
+}
+
+} // namespace cheriot::rtos

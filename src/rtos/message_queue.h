@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Message-queue service, in the style of the CHERIoT RTOS queue
+ * library: inter-thread/inter-compartment communication *by copy*
+ * through a service compartment, with queue handles as sealed
+ * capabilities.
+ *
+ * The paper's model (§2.2) deliberately communicates "via function
+ * calls between compartments, not marshaled messages, at the lowest
+ * levels" — the queue is exactly such a service built on those calls:
+ * the queue storage lives in service-owned heap memory that clients
+ * can never touch directly (their handle is sealed), and every
+ * enqueue/dequeue copies through the caller-supplied, bounds-checked
+ * buffer capability.
+ */
+
+#ifndef CHERIOT_RTOS_MESSAGE_QUEUE_H
+#define CHERIOT_RTOS_MESSAGE_QUEUE_H
+
+#include "alloc/heap_allocator.h"
+#include "rtos/guest_context.h"
+
+namespace cheriot::rtos
+{
+
+class MessageQueueService
+{
+  public:
+    /**
+     * @param sealer sealing authority over one data otype, held only
+     *               by this service.
+     */
+    MessageQueueService(GuestContext &guest,
+                        alloc::HeapAllocator &allocator,
+                        cap::Capability sealer);
+
+    /**
+     * Create a queue of @p capacity elements of @p elementBytes
+     * each. Returns a sealed, opaque handle, untagged on failure.
+     */
+    cap::Capability create(uint32_t elementBytes, uint32_t capacity);
+
+    /** Result of a queue operation. */
+    enum class Result : uint8_t
+    {
+        Ok,
+        InvalidHandle, ///< Not a live queue handle.
+        InvalidBuffer, ///< Caller buffer fails the capability checks.
+        Full,
+        Empty,
+    };
+
+    /** Copy one element from @p message (must cover elementBytes,
+     * readable) to the tail of the queue. */
+    Result send(const cap::Capability &handle,
+                const cap::Capability &message);
+
+    /** Copy one element from the head of the queue into @p buffer
+     * (must cover elementBytes, writable). */
+    Result receive(const cap::Capability &handle,
+                   const cap::Capability &buffer);
+
+    /** Elements currently queued; 0 on a bad handle. */
+    uint32_t depth(const cap::Capability &handle);
+
+    /** Destroy the queue, releasing its storage to the heap. */
+    Result destroy(const cap::Capability &handle);
+
+  private:
+    /** Record layout (heap-resident). @{ */
+    static constexpr uint32_t kMagicOffset = 0;
+    static constexpr uint32_t kElemOffset = 4;
+    static constexpr uint32_t kCapacityOffset = 8;
+    static constexpr uint32_t kHeadOffset = 12;
+    static constexpr uint32_t kCountOffset = 16;
+    static constexpr uint32_t kStorageOffset = 24;
+    static constexpr uint32_t kMagic = 0x71756575; // 'queu'
+    /** @} */
+
+    /** Validate and unseal a handle; returns an untagged capability
+     * on failure. */
+    cap::Capability open(const cap::Capability &handle);
+
+    GuestContext &guest_;
+    alloc::HeapAllocator &allocator_;
+    cap::Capability sealer_;
+};
+
+} // namespace cheriot::rtos
+
+#endif // CHERIOT_RTOS_MESSAGE_QUEUE_H

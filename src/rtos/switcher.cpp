@@ -1,0 +1,134 @@
+#include "rtos/switcher.h"
+
+#include "cap/permissions.h"
+#include "util/bits.h"
+#include "util/log.h"
+
+#include <algorithm>
+
+namespace cheriot::rtos
+{
+
+using cap::Capability;
+
+uint32_t
+Switcher::zeroStack(Thread &thread, uint32_t sp)
+{
+    sim::Machine &machine = guest_.machine();
+    uint32_t lo = thread.stackBase();
+    if (machine.config().hwmEnabled) {
+        // Only the region the hardware saw stores to is dirty.
+        const uint32_t hwm = machine.csrs().mshwm;
+        lo = std::max(lo, std::min(hwm, sp));
+        // Reading mshwm/mshwmb and computing the range.
+        guest_.chargeExecution(4);
+    }
+    if (lo >= sp) {
+        if (machine.config().hwmEnabled) {
+            machine.csrs().mshwm = sp;
+        }
+        return 0;
+    }
+    guest_.zero(thread.stackRoot(), lo, sp - lo);
+    if (machine.config().hwmEnabled) {
+        machine.csrs().mshwm = sp;
+    }
+    bytesZeroed += sp - lo;
+    thread.stackBytesZeroed += sp - lo;
+    return sp - lo;
+}
+
+CallResult
+Switcher::call(Kernel &kernel, Thread &thread, const Import &import,
+               ArgVec &args, const Capability &trustedStackCap)
+{
+    if (!import.valid()) {
+        return CallResult::faulted(sim::TrapCause::CheriSealViolation);
+    }
+    const Export &target = import.target();
+    sim::Machine &machine = guest_.machine();
+
+    calls++;
+    thread.crossCompartmentCalls++;
+    thread.enterCall();
+
+    // --- Entry path -----------------------------------------------------
+    // Hand-written switcher prologue: validate the sealed entry,
+    // bump the trusted stack, clear non-argument registers.
+    guest_.chargeExecution(kCallInstructions);
+
+    // Spill the caller's callee-saved capability registers to the
+    // trusted stack (kernel-private memory).
+    const uint32_t frameBase =
+        trustedStackCap.base() +
+        (thread.callDepth() - 1) * kSavedCaps * cap::kCapabilitySize;
+    for (uint32_t i = 0; i < kSavedCaps; ++i) {
+        guest_.storeCap(trustedStackCap,
+                        frameBase + i * cap::kCapabilitySize, Capability());
+    }
+
+    const uint32_t callerSp = thread.sp();
+
+    // Zero the unused stack before handing it over, bounded by the
+    // high-water mark when available (§5.2.1).
+    zeroStack(thread, callerSp);
+
+    // Chop the stack: the callee receives [stackBase, callerSp) with
+    // Store-Local, as the only place local capabilities can live.
+    Capability calleeStack =
+        thread.stackRoot().withAddress(thread.stackBase());
+    calleeStack = calleeStack.withBounds(callerSp - thread.stackBase());
+    calleeStack = calleeStack.withAddress(callerSp);
+    if (!calleeStack.tag()) {
+        panic("switcher: failed to derive callee stack [0x%08x, 0x%08x)",
+              thread.stackBase(), callerSp);
+    }
+
+    // Interrupt posture follows the import's sentry type (§3.1.2).
+    const bool savedPosture = machine.interruptsEnabled();
+    if (target.interruptsDisabled) {
+        machine.setInterruptsEnabled(false);
+    }
+
+    // --- Callee runs ----------------------------------------------------
+    CompartmentContext context{kernel, thread, *import.compartment, guest_,
+                               calleeStack, callerSp};
+    CallResult result;
+    result = target.fn(context, args);
+
+    // --- Return path ----------------------------------------------------
+    machine.setInterruptsEnabled(savedPosture);
+
+    if (!result.ok()) {
+        // A faulting callee is unwound by the switcher; the caller
+        // receives the error return rather than a trap (§2.2's
+        // blast-radius limiting).
+        calleeFaults++;
+    }
+
+    // Zero exactly the stack the callee used.
+    thread.setSp(callerSp);
+    zeroStack(thread, callerSp);
+
+    // Reload spilled registers and return to the caller.
+    for (uint32_t i = 0; i < kSavedCaps; ++i) {
+        (void)guest_.loadCap(trustedStackCap,
+                             frameBase + i * cap::kCapabilitySize);
+    }
+    guest_.chargeExecution(kReturnInstructions);
+
+    thread.leaveCall();
+
+    // Returned capabilities must not smuggle stack references: the
+    // switcher strips anything local (the return registers are the
+    // only channel back).
+    if (result.value.tag() && result.value.isLocal()) {
+        result.value = result.value.withTagCleared();
+    }
+    if (result.second.tag() && result.second.isLocal()) {
+        result.second = result.second.withTagCleared();
+    }
+    return result;
+}
+
+} // namespace cheriot::rtos

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Threads: the unit of scheduling, orthogonal to compartments
+ * (paper §2.2). Each thread owns a stack region; at any moment the
+ * processor runs one thread inside one compartment, with access to
+ * that compartment's code/globals and this thread's stack.
+ */
+
+#ifndef CHERIOT_RTOS_THREAD_H
+#define CHERIOT_RTOS_THREAD_H
+
+#include "cap/capability.h"
+#include "util/stats.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cheriot::rtos
+{
+
+class Thread
+{
+  public:
+    /**
+     * @param stackBase lowest address of the stack region.
+     * @param stackTop  one past the highest (initial stack pointer).
+     * @param stackRoot capability covering exactly [base, top) with
+     *                  SL and without GL (stacks are local, §2.6).
+     */
+    Thread(uint32_t id, std::string name, uint8_t priority,
+           uint32_t stackBase, uint32_t stackTop,
+           cap::Capability stackRoot)
+        : id_(id), name_(std::move(name)), priority_(priority),
+          stackBase_(stackBase), stackTop_(stackTop), sp_(stackTop),
+          stackRoot_(stackRoot)
+    {}
+
+    uint32_t id() const { return id_; }
+    const std::string &name() const { return name_; }
+    uint8_t priority() const { return priority_; }
+
+    uint32_t stackBase() const { return stackBase_; }
+    uint32_t stackTop() const { return stackTop_; }
+    uint32_t stackSize() const { return stackTop_ - stackBase_; }
+
+    /** Current stack pointer (stacks grow downwards). */
+    uint32_t sp() const { return sp_; }
+    void setSp(uint32_t sp) { sp_ = sp; }
+
+    const cap::Capability &stackRoot() const { return stackRoot_; }
+
+    /** Nesting depth of cross-compartment calls (trusted stack). */
+    uint32_t callDepth() const { return callDepth_; }
+    void enterCall() { ++callDepth_; }
+    void leaveCall() { --callDepth_; }
+
+    Counter crossCompartmentCalls;
+    Counter stackBytesZeroed;
+
+  private:
+    uint32_t id_;
+    std::string name_;
+    uint8_t priority_;
+    uint32_t stackBase_;
+    uint32_t stackTop_;
+    uint32_t sp_;
+    cap::Capability stackRoot_;
+    uint32_t callDepth_ = 0;
+};
+
+} // namespace cheriot::rtos
+
+#endif // CHERIOT_RTOS_THREAD_H

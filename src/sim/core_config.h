@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Core configurations for the two implementations evaluated in the
+ * paper (§4): a Flute-like five-stage core with a 65-bit memory bus,
+ * and an area-optimised Ibex-like core with a 33-bit bus.
+ *
+ * The timing parameters capture the microarchitectural properties the
+ * paper's evaluation depends on:
+ *  - On Flute the load filter's revocation lookup hides entirely in
+ *    the MEM→WB stages, so it costs nothing; on Ibex's short pipeline
+ *    it adds a cycle to every capability load (Table 3).
+ *  - On Ibex a capability occupies two bus beats, so capability
+ *    loads/stores and memory zeroing are proportionately slower
+ *    (§7.2.2).
+ */
+
+#ifndef CHERIOT_SIM_CORE_CONFIG_H
+#define CHERIOT_SIM_CORE_CONFIG_H
+
+#include "mem/bus.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cheriot::sim
+{
+
+enum class CoreKind : uint8_t
+{
+    Flute5, ///< 5-stage in-order prototype core.
+    Ibex,   ///< 2/3-stage area-optimised production core.
+};
+
+struct CoreConfig
+{
+    CoreKind kind = CoreKind::Ibex;
+    std::string name = "ibex";
+
+    /** @name Feature knobs (benchmark configurations) @{ */
+    bool cheriEnabled = true;      ///< False: plain RV32E baseline.
+    bool loadFilterEnabled = true; ///< Revocation lookup on cap loads.
+    bool hwmEnabled = true;        ///< Stack high-water-mark CSRs.
+    /** @} */
+
+    mem::BusWidth bus = mem::BusWidth::Narrow33;
+
+    /** @name Timing parameters (cycles) @{ */
+    unsigned loadBaseCycles = 2;      ///< Word load occupancy.
+    unsigned storeBaseCycles = 2;     ///< Word store occupancy.
+    unsigned loadToUsePenalty = 0;    ///< Consumer-in-shadow stall.
+    unsigned capLoadFilterPenalty = 1;///< Extra cycles w/ load filter.
+    unsigned takenBranchPenalty = 2;  ///< On top of the base cycle.
+    unsigned jumpPenalty = 1;         ///< On top of the base cycle.
+    unsigned mulCycles = 3;
+    unsigned divCycles = 37;
+    /** @} */
+
+    /** The five-stage Flute-like prototype. */
+    static CoreConfig flute();
+
+    /** The area-optimised Ibex-like production core. */
+    static CoreConfig ibex();
+
+    /** Cycles a load of @p bytes of data occupies the pipeline. */
+    unsigned dataLoadCycles(unsigned bytes) const
+    {
+        return loadBaseCycles + (mem::dataBeats(bus, bytes) - 1);
+    }
+
+    unsigned dataStoreCycles(unsigned bytes) const
+    {
+        return storeBaseCycles + (mem::dataBeats(bus, bytes) - 1);
+    }
+
+    /** Cycles a capability load occupies, including the filter. */
+    unsigned capLoadCycles() const
+    {
+        return loadBaseCycles + (mem::capBeats(bus) - 1) +
+               (loadFilterEnabled ? capLoadFilterPenalty : 0);
+    }
+
+    unsigned capStoreCycles() const
+    {
+        return storeBaseCycles + (mem::capBeats(bus) - 1);
+    }
+};
+
+} // namespace cheriot::sim
+
+#endif // CHERIOT_SIM_CORE_CONFIG_H

@@ -1,0 +1,468 @@
+#include "sim/machine.h"
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace cheriot::sim
+{
+
+using cap::Capability;
+using cap::PermSet;
+
+// --- ConsoleDevice ---------------------------------------------------
+
+uint32_t
+ConsoleDevice::read32(uint32_t offset)
+{
+    switch (offset) {
+      case 0x0: return 0;
+      case 0x4: return exitCode_;
+      default: return 0;
+    }
+}
+
+void
+ConsoleDevice::write32(uint32_t offset, uint32_t value)
+{
+    switch (offset) {
+      case 0x0:
+        output_.push_back(static_cast<char>(value & 0xff));
+        break;
+      case 0x4:
+        exitRequested_ = true;
+        exitCode_ = value;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+ConsoleDevice::reset()
+{
+    output_.clear();
+    exitRequested_ = false;
+    exitCode_ = 0;
+}
+
+// --- TimerDevice ------------------------------------------------------
+
+uint32_t
+TimerDevice::read32(uint32_t offset)
+{
+    switch (offset) {
+      case 0x0: return static_cast<uint32_t>(now_);
+      case 0x4: return static_cast<uint32_t>(now_ >> 32);
+      case 0x8: return static_cast<uint32_t>(compare_);
+      case 0xc: return static_cast<uint32_t>(compare_ >> 32);
+      default: return 0;
+    }
+}
+
+void
+TimerDevice::write32(uint32_t offset, uint32_t value)
+{
+    switch (offset) {
+      case 0x8:
+        compare_ = (compare_ & 0xffffffff00000000ull) | value;
+        armed_ = true;
+        break;
+      case 0xc:
+        compare_ = (compare_ & 0xffffffffull) |
+                   (static_cast<uint64_t>(value) << 32);
+        armed_ = true;
+        break;
+      default:
+        break;
+    }
+}
+
+// --- Machine ----------------------------------------------------------
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), memory_(config.sramSize),
+      bitmap_(mem::kSramBase + config.heapOffset, config.heapSize,
+              config.revocationGranule),
+      filter_(&bitmap_),
+      bgRevoker_(memory_.sram(), bitmap_, config.core.bus),
+      stats_("machine")
+{
+    if (config.heapOffset + config.heapSize > config.sramSize) {
+        fatal("heap window [0x%x, +0x%x) exceeds SRAM of 0x%x bytes",
+              config.heapOffset, config.heapSize, config.sramSize);
+    }
+    memory_.mmio().map(mem::kRevocationBitmapBase, bitmap_.mmioSize(),
+                       &bitmap_);
+    memory_.mmio().map(mem::kRevokerMmioBase, mem::kRevokerMmioSize,
+                       &bgRevoker_);
+    memory_.mmio().map(mem::kConsoleMmioBase, mem::kConsoleMmioSize,
+                       &console_);
+    memory_.mmio().map(mem::kTimerMmioBase, mem::kTimerMmioSize, &timer_);
+
+    filter_.setEnabled(config.core.loadFilterEnabled);
+
+    decodeCache_.resize(config.sramSize / 4);
+    decodeValid_.resize(config.sramSize / 4, false);
+
+    stats_.registerCounter("instructions", instructionsRetired);
+    stats_.registerCounter("loads", loads);
+    stats_.registerCounter("stores", stores);
+    stats_.registerCounter("capLoads", capLoads);
+    stats_.registerCounter("capStores", capStores);
+    stats_.registerCounter("traps", traps_);
+}
+
+uint32_t
+Machine::heapBase() const
+{
+    return mem::kSramBase + config_.heapOffset;
+}
+
+Capability
+Machine::readReg(unsigned index) const
+{
+    if (index == 0) {
+        return Capability();
+    }
+    return regs_[index];
+}
+
+void
+Machine::writeReg(unsigned index, const Capability &value)
+{
+    if (index == 0 || index >= isa::kNumRegs) {
+        return;
+    }
+    regs_[index] = value;
+}
+
+void
+Machine::writeRegInt(unsigned index, uint32_t value)
+{
+    // Writing an integer result to a merged register file produces an
+    // untagged value whose metadata is null.
+    writeReg(index, Capability().withAddress(value));
+}
+
+void
+Machine::advance(uint64_t cycleCount, uint64_t memPortBusy)
+{
+    for (uint64_t i = 0; i < cycleCount; ++i) {
+        const bool portFree = i >= memPortBusy;
+        bgRevoker_.tick(portFree);
+        ++cycles_;
+    }
+    timer_.tick(cycles_);
+}
+
+TrapCause
+Machine::checkAccess(const Capability &auth, uint32_t addr, unsigned bytes,
+                     uint16_t needPerm)
+{
+    if (!config_.core.cheriEnabled) {
+        // Baseline RV32E: no architectural checks beyond mapping.
+        if (!memory_.isMapped(addr, bytes)) {
+            return needPerm == cap::PermStore ? TrapCause::StoreAccessFault
+                                              : TrapCause::LoadAccessFault;
+        }
+        if (addr % bytes != 0) {
+            return TrapCause::MisalignedAccess;
+        }
+        return TrapCause::None;
+    }
+    if (!auth.tag()) {
+        return TrapCause::CheriTagViolation;
+    }
+    if (auth.isSealed()) {
+        return TrapCause::CheriSealViolation;
+    }
+    if (!auth.perms().has(needPerm)) {
+        return TrapCause::CheriPermViolation;
+    }
+    if (!auth.inBounds(addr, bytes)) {
+        return TrapCause::CheriBoundsViolation;
+    }
+    if (addr % bytes != 0) {
+        return TrapCause::MisalignedAccess;
+    }
+    if (!memory_.isMapped(addr, bytes)) {
+        return needPerm == cap::PermStore ? TrapCause::StoreAccessFault
+                                          : TrapCause::LoadAccessFault;
+    }
+    return TrapCause::None;
+}
+
+TrapCause
+Machine::loadData(const Capability &auth, uint32_t addr, unsigned bytes,
+                  bool signExtend, uint32_t *out, bool charge)
+{
+    const TrapCause cause = checkAccess(auth, addr, bytes, cap::PermLoad);
+    if (cause != TrapCause::None) {
+        return cause;
+    }
+    uint32_t raw = 0;
+    switch (bytes) {
+      case 1: raw = memory_.read8(addr); break;
+      case 2: raw = memory_.read16(addr); break;
+      case 4: raw = memory_.read32(addr); break;
+      default: panic("loadData: bad size %u", bytes);
+    }
+    if (signExtend && bytes < 4) {
+        raw = static_cast<uint32_t>(signExtend32(raw, bytes * 8));
+    }
+    *out = raw;
+    loads++;
+    if (charge) {
+        const unsigned beats = mem::dataBeats(config_.core.bus, bytes);
+        advance(config_.core.dataLoadCycles(bytes), beats);
+    }
+    return TrapCause::None;
+}
+
+TrapCause
+Machine::storeData(const Capability &auth, uint32_t addr, unsigned bytes,
+                   uint32_t value, bool charge)
+{
+    const TrapCause cause = checkAccess(auth, addr, bytes, cap::PermStore);
+    if (cause != TrapCause::None) {
+        return cause;
+    }
+    switch (bytes) {
+      case 1: memory_.write8(addr, static_cast<uint8_t>(value)); break;
+      case 2: memory_.write16(addr, static_cast<uint16_t>(value)); break;
+      case 4: memory_.write32(addr, value); break;
+      default: panic("storeData: bad size %u", bytes);
+    }
+    stores++;
+    bgRevoker_.snoopStore(addr, bytes);
+    if (config_.core.hwmEnabled) {
+        csrs_.noteStore(addr);
+    }
+    if (charge) {
+        const unsigned beats = mem::dataBeats(config_.core.bus, bytes);
+        advance(config_.core.dataStoreCycles(bytes), beats);
+    }
+    return TrapCause::None;
+}
+
+TrapCause
+Machine::loadCap(const Capability &auth, uint32_t addr, Capability *out,
+                 bool charge)
+{
+    const TrapCause cause = checkAccess(auth, addr, 8, cap::PermLoad);
+    if (cause != TrapCause::None) {
+        return cause;
+    }
+    const auto raw = memory_.readCap(addr);
+    Capability loaded = Capability::fromBits(raw.bits, raw.tag);
+    if (!auth.perms().has(cap::PermMemCap)) {
+        // Data-only authority: the value arrives untagged.
+        loaded = loaded.withTagCleared();
+    }
+    loaded = loaded.attenuatedForLoad(auth.perms());
+    loaded = filter_.filter(loaded);
+    *out = loaded;
+    capLoads++;
+    if (charge) {
+        const unsigned beats = mem::capBeats(config_.core.bus);
+        advance(config_.core.capLoadCycles(), beats);
+    }
+    return TrapCause::None;
+}
+
+TrapCause
+Machine::storeCap(const Capability &auth, uint32_t addr,
+                  const Capability &value, bool charge)
+{
+    const TrapCause cause = checkAccess(auth, addr, 8, cap::PermStore);
+    if (cause != TrapCause::None) {
+        return cause;
+    }
+    if (value.tag()) {
+        if (!auth.perms().has(cap::PermMemCap)) {
+            return TrapCause::CheriPermViolation;
+        }
+        if (value.isLocal() && !auth.perms().has(cap::PermStoreLocal)) {
+            // The 1-bit information-flow scheme (§2.6): local
+            // capabilities may only be stored through SL authority
+            // (in practice: only onto stacks).
+            return TrapCause::CheriStoreLocalViolation;
+        }
+    }
+    memory_.writeCap(addr, value.toBits(), value.tag());
+    capStores++;
+    bgRevoker_.snoopStore(addr, 8);
+    if (config_.core.hwmEnabled) {
+        csrs_.noteStore(addr);
+    }
+    if (charge) {
+        const unsigned beats = mem::capBeats(config_.core.bus);
+        advance(config_.core.capStoreCycles(), beats);
+    }
+    return TrapCause::None;
+}
+
+TrapCause
+Machine::zeroMemory(const Capability &auth, uint32_t addr, uint32_t bytes,
+                    bool charge)
+{
+    if (bytes == 0) {
+        return TrapCause::None;
+    }
+    const TrapCause cause = checkAccess(auth, addr, 1, cap::PermStore);
+    if (cause != TrapCause::None) {
+        return cause;
+    }
+    if (!auth.inBounds(addr, bytes)) {
+        return TrapCause::CheriBoundsViolation;
+    }
+    if (!memory_.isSram(addr, bytes)) {
+        return TrapCause::StoreAccessFault;
+    }
+    memory_.sram().zeroRange(addr, bytes);
+    bgRevoker_.snoopStore(addr, bytes);
+    if (config_.core.hwmEnabled) {
+        csrs_.noteStore(addr);
+    }
+    if (charge) {
+        // Zeroing proceeds at bus rate: one beat per bus word, plus a
+        // small loop overhead per beat (fused store+bump, modelled as
+        // busy port each cycle).
+        const unsigned beats = mem::zeroBeats(config_.core.bus, bytes);
+        advance(beats, beats);
+    }
+    return TrapCause::None;
+}
+
+void
+Machine::raiseTrap(TrapCause cause, uint32_t tval)
+{
+    traps_++;
+    lastTrap_ = cause;
+    csrs_.mcause = static_cast<uint32_t>(cause);
+    csrs_.mtval = tval;
+    csrs_.mepcc = pcc_;
+    csrs_.mpie = csrs_.mie;
+    csrs_.mie = false;
+    if (!csrs_.mtcc.tag() || !csrs_.mtcc.perms().has(cap::PermExecute)) {
+        halt_ = HaltReason::DoubleTrap;
+        return;
+    }
+    pcc_ = csrs_.mtcc.unsealedCopy();
+    // Trap entry costs a pipeline flush.
+    advance(config_.core.takenBranchPenalty + 1, 0);
+}
+
+void
+Machine::loadProgram(const std::vector<uint32_t> &words, uint32_t addr)
+{
+    for (size_t i = 0; i < words.size(); ++i) {
+        memory_.sram().write32(addr + static_cast<uint32_t>(i) * 4,
+                               words[i]);
+    }
+    std::fill(decodeValid_.begin(), decodeValid_.end(), false);
+}
+
+void
+Machine::resetCpu(uint32_t entry)
+{
+    for (auto &reg : regs_) {
+        reg = Capability();
+    }
+    pcc_ = Capability::executableRoot().withAddress(entry);
+    // All three roots are present in registers on reset (§3.1.1).
+    writeReg(isa::A0, Capability::memoryRoot());
+    writeReg(isa::A1, Capability::sealingRoot());
+    csrs_ = CsrFile{};
+    halt_ = HaltReason::Running;
+    lastTrap_ = TrapCause::None;
+    pendingLoadReg_ = isa::kNumRegs;
+    console_.reset();
+}
+
+bool
+Machine::takePendingInterrupt()
+{
+    if (!csrs_.mie) {
+        return false;
+    }
+    if (bgRevoker_.takeCompletionIrq()) {
+        raiseTrap(TrapCause::RevokerInterrupt, 0);
+        return true;
+    }
+    if (timer_.interruptPending()) {
+        timer_.disarm();
+        raiseTrap(TrapCause::TimerInterrupt, 0);
+        return true;
+    }
+    return false;
+}
+
+const isa::Inst &
+Machine::decodeAt(uint32_t pc)
+{
+    const uint32_t index = (pc - mem::kSramBase) / 4;
+    if (!decodeValid_[index]) {
+        decodeCache_[index] = isa::decode(memory_.sram().read32(pc));
+        decodeValid_[index] = true;
+    }
+    return decodeCache_[index];
+}
+
+RunResult
+Machine::run(uint64_t maxInstructions)
+{
+    const uint64_t startInstructions = instructions_;
+    const uint64_t startCycles = cycles_;
+    while (!halted() &&
+           instructions_ - startInstructions < maxInstructions) {
+        step();
+    }
+    RunResult result;
+    result.reason = halted() ? halt_ : HaltReason::InstrLimit;
+    result.instructions = instructions_ - startInstructions;
+    result.cycles = cycles_ - startCycles;
+    return result;
+}
+
+void
+Machine::step()
+{
+    if (halted()) {
+        return;
+    }
+    if (takePendingInterrupt()) {
+        return;
+    }
+
+    const uint32_t pc = pcc_.address();
+
+    // Instruction fetch checks: PCC must be a valid, unsealed (the
+    // sentry unsealing happened at the jump), executable capability
+    // covering the fetch.
+    if (config_.core.cheriEnabled) {
+        if (!pcc_.tag() || pcc_.isSealed() ||
+            !pcc_.perms().has(cap::PermExecute) || !pcc_.inBounds(pc, 4)) {
+            raiseTrap(TrapCause::InstrAccessFault, pc);
+            return;
+        }
+    }
+    if (!memory_.isSram(pc, 4) || pc % 4 != 0) {
+        raiseTrap(TrapCause::InstrAccessFault, pc);
+        return;
+    }
+
+    const isa::Inst &inst = decodeAt(pc);
+    instructions_++;
+    instructionsRetired++;
+    if (traceHook_) {
+        traceHook_(pc, inst);
+    }
+    execute(inst, pc);
+
+    if (halt_ == HaltReason::Running && console_.exitRequested()) {
+        halt_ = HaltReason::ConsoleExit;
+    }
+}
+
+} // namespace cheriot::sim

@@ -1,0 +1,24 @@
+#include "sim/tracer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cheriot::sim
+{
+
+std::vector<std::string>
+RingTracer::format() const
+{
+    std::vector<std::string> lines;
+    lines.reserve(records_.size());
+    for (const TraceRecord &record : records_) {
+        char buffer[128];
+        std::snprintf(buffer, sizeof(buffer),
+                      "%10" PRIu64 "  %08x: %s", record.cycle, record.pc,
+                      isa::disassemble(record.inst, record.pc).c_str());
+        lines.emplace_back(buffer);
+    }
+    return lines;
+}
+
+} // namespace cheriot::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Execution tracing: an optional per-instruction hook on the machine
+ * plus a ring-buffer tracer that renders the recent instruction
+ * stream — the tool you want when a guest program misbehaves.
+ */
+
+#ifndef CHERIOT_SIM_TRACER_H
+#define CHERIOT_SIM_TRACER_H
+
+#include "isa/encoding.h"
+#include "sim/machine.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace cheriot::sim
+{
+
+/** One retired instruction. */
+struct TraceRecord
+{
+    uint64_t cycle;
+    uint32_t pc;
+    isa::Inst inst;
+};
+
+/**
+ * Keeps the last N retired instructions of a machine.
+ *
+ * Attach with attach(); the tracer unhooks itself on destruction.
+ */
+class RingTracer
+{
+  public:
+    explicit RingTracer(size_t depth = 64) : depth_(depth) {}
+
+    ~RingTracer()
+    {
+        if (machine_ != nullptr) {
+            machine_->setTraceHook(nullptr);
+        }
+    }
+
+    void attach(Machine &machine)
+    {
+        machine_ = &machine;
+        machine.setTraceHook([this](uint32_t pc, const isa::Inst &inst) {
+            if (records_.size() == depth_) {
+                records_.pop_front();
+            }
+            records_.push_back({machine_->cycles(), pc, inst});
+        });
+    }
+
+    const std::deque<TraceRecord> &records() const { return records_; }
+
+    void clear() { records_.clear(); }
+
+    /** Render the buffer, one "cycle pc: disassembly" line each. */
+    std::vector<std::string> format() const;
+
+  private:
+    size_t depth_;
+    Machine *machine_ = nullptr;
+    std::deque<TraceRecord> records_;
+};
+
+} // namespace cheriot::sim
+
+#endif // CHERIOT_SIM_TRACER_H

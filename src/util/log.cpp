@@ -1,0 +1,116 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace cheriot
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+emit(LogLevel level, const char *fmt, va_list args)
+{
+    if (level < g_level) {
+        return;
+    }
+    va_list copy;
+    va_copy(copy, args);
+    std::string body = vformat(fmt, copy);
+    va_end(copy);
+    std::fprintf(stderr, "[cheriot:%s] %s\n", levelName(level), body.c_str());
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0) {
+        return "<format error>";
+    }
+    std::vector<char> buffer(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buffer.data(), buffer.size(), fmt, args);
+    return std::string(buffer.data(), static_cast<size_t>(needed));
+}
+
+void
+logf(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(level, fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Info, fmt, args);
+    va_end(args);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string body = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "[cheriot:panic] %s\n", body.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string body = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "[cheriot:fatal] %s\n", body.c_str());
+    std::exit(1);
+}
+
+} // namespace cheriot

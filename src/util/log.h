@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal model bugs
+ * ("should never happen regardless of user input"), fatal() is for user
+ * errors (bad configuration), warn()/inform() are advisory.
+ */
+
+#ifndef CHERIOT_UTIL_LOG_H
+#define CHERIOT_UTIL_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace cheriot
+{
+
+/** Severity levels for log messages. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/** Set the minimum level that is actually printed (default Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current minimum printed level. */
+LogLevel logLevel();
+
+/** printf-style log at an explicit level. */
+void logf(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Advisory message about surprising but tolerable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Status message with no connotation of incorrectness. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate due to an internal model bug. Never returns.
+ * Calls abort() so a debugger or core dump can capture state.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate due to a user/configuration error. Never returns.
+ * Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list args);
+
+} // namespace cheriot
+
+#endif // CHERIOT_UTIL_LOG_H

@@ -1,0 +1,32 @@
+#include "util/stats.h"
+
+namespace cheriot
+{
+
+Counter &
+StatGroup::registerCounter(const std::string &name, Counter &counter)
+{
+    counters_.emplace_back(name, &counter);
+    return counter;
+}
+
+std::map<std::string, uint64_t>
+StatGroup::snapshot() const
+{
+    std::map<std::string, uint64_t> result;
+    for (const auto &[name, counter] : counters_) {
+        result[name_ + "." + name] = counter->value();
+    }
+    return result;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, counter] : counters_) {
+        (void)name;
+        counter->reset();
+    }
+}
+
+} // namespace cheriot

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lightweight statistics counters for the simulator.
+ *
+ * Modules register named counters on a StatGroup; benchmark harnesses
+ * snapshot and diff them around regions of interest, in the same spirit
+ * as gem5's stats package (though far smaller).
+ */
+
+#ifndef CHERIOT_UTIL_STATS_H
+#define CHERIOT_UTIL_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cheriot
+{
+
+/** A named monotonically increasing 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator+=(uint64_t delta) { value_ += delta; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A collection of counters owned by one simulated component.
+ *
+ * Counters are registered by pointer so the owning component can bump
+ * them without any lookup cost on the simulation fast path.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p name; returns @p counter. */
+    Counter &registerCounter(const std::string &name, Counter &counter);
+
+    /** Snapshot of all counters as name → value. */
+    std::map<std::string, uint64_t> snapshot() const;
+
+    /** Reset every registered counter to zero. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, Counter *>> counters_;
+};
+
+} // namespace cheriot
+
+#endif // CHERIOT_UTIL_STATS_H

@@ -1,0 +1,2 @@
+// PtrModel is header-only; this file anchors the translation unit.
+#include "workloads/coremark/coremark.h"

@@ -1,0 +1,213 @@
+#include "workloads/iot/iot_app.h"
+
+#include "rtos/kernel.h"
+#include "util/log.h"
+#include "workloads/iot/microvm.h"
+#include "workloads/iot/packet_source.h"
+#include "workloads/iot/tls_model.h"
+
+#include <algorithm>
+
+namespace cheriot::workloads
+{
+
+using cap::Capability;
+using rtos::ArgVec;
+using rtos::CallResult;
+using rtos::CompartmentContext;
+
+namespace
+{
+
+/** Per-byte parsing budgets for the stack layers. */
+constexpr uint32_t kNetChecksumCyclesPerByte = 16;
+constexpr uint32_t kMqttParseCyclesPerByte = 30;
+
+} // namespace
+
+IotAppResult
+runIotApp(const IotAppConfig &config)
+{
+    sim::MachineConfig machineConfig;
+    machineConfig.core = config.core;
+    machineConfig.sramSize = 160u << 10;
+    machineConfig.heapOffset = 96u << 10;
+    machineConfig.heapSize = 64u << 10;
+
+    sim::Machine machine(machineConfig);
+    rtos::Kernel kernel(machine);
+    kernel.initHeap(config.mode);
+
+    // One compartment per stack layer, as in the paper's application.
+    rtos::Compartment &net = kernel.createCompartment("net");
+    rtos::Compartment &tls = kernel.createCompartment("tls");
+    rtos::Compartment &mqtt = kernel.createCompartment("mqtt");
+    rtos::Compartment &js = kernel.createCompartment("js");
+
+    rtos::Thread &netThread = kernel.createThread("net", 2, 2048);
+    rtos::Thread &jsThread = kernel.createThread("js", 1, 2048);
+    kernel.activate(netThread);
+
+    TlsSession session;
+    MicroVm vm(MicroVm::ledAnimationProgram());
+    IotAppResult result;
+
+    // --- TLS compartment ------------------------------------------------
+    const uint32_t tlsHandshake = tls.addExport(
+        {"handshake",
+         [&](CompartmentContext &ctx, ArgVec &) {
+             session.handshake(ctx);
+             return CallResult::ofInt(1);
+         },
+         false});
+    const uint32_t tlsProcess = tls.addExport(
+        {"process",
+         [&](CompartmentContext &ctx, ArgVec &args) {
+             const Capability record = args[0];
+             const uint32_t bytes = args[1].address();
+             const uint32_t auth =
+                 session.processRecord(ctx, record, bytes);
+             return CallResult::ofInt(auth);
+         },
+         false});
+
+    // --- MQTT compartment -----------------------------------------------
+    const uint32_t mqttHandle = mqtt.addExport(
+        {"handle",
+         [&](CompartmentContext &ctx, ArgVec &args) {
+             const Capability record = args[0];
+             const uint32_t bytes = args[1].address();
+             // Parse the fixed header and topic through the record.
+             uint32_t topicHash = 0;
+             const uint32_t headerWords = std::min(bytes / 4, 8u);
+             for (uint32_t i = 0; i < headerWords; ++i) {
+                 topicHash ^=
+                     ctx.mem.loadWord(record, record.base() + i * 4);
+             }
+             ctx.mem.chargeExecution(bytes * kMqttParseCyclesPerByte);
+             return CallResult::ofInt(topicHash);
+         },
+         false});
+
+    // --- Network compartment ---------------------------------------------
+    const auto tlsProcessImport = kernel.importOf(tls, tlsProcess);
+    const auto mqttHandleImport = kernel.importOf(mqtt, mqttHandle);
+    const uint32_t netRx = net.addExport(
+        {"rx",
+         [&](CompartmentContext &ctx, ArgVec &args) {
+             const uint32_t bytes = args[0].address();
+             // Every received packet is a separate heap allocation.
+             const Capability buffer =
+                 ctx.kernel.malloc(ctx.thread, bytes);
+             if (!buffer.tag()) {
+                 return CallResult::faulted(
+                     sim::TrapCause::LoadAccessFault);
+             }
+             // DMA fill (modelled: the MAC writes the payload) plus
+             // the driver's checksum pass.
+             for (uint32_t off = 0; off + 4 <= bytes; off += 16) {
+                 ctx.mem.storeWord(buffer, buffer.base() + off,
+                                   0xab00 + off);
+             }
+             ctx.mem.chargeExecution(bytes * kNetChecksumCyclesPerByte);
+
+             // Hand the buffer to TLS *ephemerally*: without GL it can
+             // be held only in registers and on the (wiped) stack
+             // (§2.6, §5.2).
+             const Capability ephemeral = buffer.withPermsAnd(
+                 static_cast<uint16_t>(~cap::PermGlobal));
+             ArgVec tlsArgs = ArgVec::of(
+                 {ephemeral, Capability().withAddress(bytes)});
+             const CallResult auth = ctx.kernel.call(
+                 ctx.thread, tlsProcessImport, tlsArgs);
+             if (!auth.ok()) {
+                 return auth;
+             }
+
+             ArgVec mqttArgs = ArgVec::of(
+                 {ephemeral, Capability().withAddress(bytes)});
+             const CallResult handled = ctx.kernel.call(
+                 ctx.thread, mqttHandleImport, mqttArgs);
+             if (!handled.ok()) {
+                 return handled;
+             }
+
+             const auto freed = ctx.kernel.free(ctx.thread, buffer);
+             if (freed != alloc::HeapAllocator::FreeResult::Ok) {
+                 return CallResult::faulted(
+                     sim::TrapCause::StoreAccessFault);
+             }
+             return CallResult::ofInt(bytes);
+         },
+         false});
+
+    // --- JS compartment ---------------------------------------------------
+    const uint32_t jsTick = js.addExport(
+        {"tick",
+         [&](CompartmentContext &ctx, ArgVec &) {
+             vm.tick(ctx);
+             return CallResult::ofInt(vm.ledState());
+         },
+         false});
+
+    // --- Wire the schedule -------------------------------------------------
+    rtos::Scheduler &scheduler = kernel.scheduler();
+    PacketSource source(config.clockHz, config.packetsPerSec);
+    const auto netRxImport = kernel.importOf(net, netRx);
+    const auto jsTickImport = kernel.importOf(js, jsTick);
+    const auto tlsHandshakeImport = kernel.importOf(tls, tlsHandshake);
+
+    const uint64_t horizon =
+        static_cast<uint64_t>(config.simSeconds * config.clockHz);
+
+    // Connection establishment happens first and is part of the
+    // measured minute (one-shot task: its period exceeds the horizon).
+    scheduler.addPeriodicWithDelay("tls-handshake", horizon * 2, 0, 3,
+                                   [&] {
+                                       kernel.activate(netThread);
+                                       const CallResult done = kernel.call(
+                                           netThread, tlsHandshakeImport,
+                                           {});
+                                       result.handshakeCompleted =
+                                           done.ok();
+                                   });
+
+    // Network poll: drain due packet arrivals.
+    scheduler.addPeriodic(
+        "net-poll", config.clockHz / (config.packetsPerSec * 4), 2, [&] {
+            kernel.activate(netThread);
+            Packet packet;
+            while (source.poll(machine.cycles(), &packet)) {
+                ArgVec args = ArgVec::of(
+                    {Capability().withAddress(packet.bytes)});
+                const CallResult handled =
+                    kernel.call(netThread, netRxImport, args);
+                if (handled.ok()) {
+                    result.packetsProcessed++;
+                    result.bytesReceived += packet.bytes;
+                }
+            }
+        });
+
+    // The 10 ms JavaScript animation tick.
+    scheduler.addPeriodic("js-tick", config.clockHz / config.jsTickHz, 1,
+                          [&] {
+                              kernel.activate(jsThread);
+                              kernel.call(jsThread, jsTickImport, {});
+                          });
+
+    result.cpuLoad = scheduler.runFor(horizon);
+    result.cycles = horizon;
+    result.jsTicks = vm.ticks();
+    result.jsObjects = vm.objectsAllocated();
+    result.gcPasses = vm.gcPasses();
+    result.heapAllocations = kernel.allocator().mallocs.value();
+    result.revocationSweeps = kernel.allocator().sweepsTriggered.value();
+    result.crossCompartmentCalls = kernel.switcher().calls.value();
+    result.finalLedState = vm.ledState();
+    result.ok = result.handshakeCompleted && result.packetsProcessed > 0 &&
+                vm.ticks() > 0;
+    return result;
+}
+
+} // namespace cheriot::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The end-to-end IoT application of paper §7.2.3: a compartmentalized
+ * network stack (net / TLS / MQTT), a JavaScript interpreter in its
+ * own compartment animating LEDs every 10 ms, and the shared
+ * temporally-safe heap — running on a 20 MHz area-optimised Ibex.
+ *
+ * Every network packet is a separate heap allocation; the JS engine's
+ * objects come from the same heap and are bulk-freed at GC passes.
+ * The headline measurement is CPU load averaged over the run
+ * (including TLS connection establishment): the paper reports 17.5%,
+ * i.e. 82.5% of cycles left to the idle thread.
+ */
+
+#ifndef CHERIOT_WORKLOADS_IOT_IOT_APP_H
+#define CHERIOT_WORKLOADS_IOT_IOT_APP_H
+
+#include "alloc/heap_allocator.h"
+#include "sim/core_config.h"
+
+#include <cstdint>
+
+namespace cheriot::workloads
+{
+
+struct IotAppConfig
+{
+    sim::CoreConfig core = sim::CoreConfig::ibex();
+    uint64_t clockHz = 20'000'000;
+    double simSeconds = 60.0;
+    alloc::TemporalMode mode = alloc::TemporalMode::HardwareRevocation;
+    uint32_t packetsPerSec = 20;
+    uint32_t jsTickHz = 100; ///< 10 ms animation period.
+};
+
+struct IotAppResult
+{
+    double cpuLoad = 0.0; ///< Busy fraction (paper: 0.175).
+    uint64_t cycles = 0;
+    uint64_t packetsProcessed = 0;
+    uint64_t bytesReceived = 0;
+    uint64_t jsTicks = 0;
+    uint64_t jsObjects = 0;
+    uint64_t gcPasses = 0;
+    uint64_t heapAllocations = 0;
+    uint64_t revocationSweeps = 0;
+    uint64_t crossCompartmentCalls = 0;
+    uint32_t finalLedState = 0;
+    bool handshakeCompleted = false;
+    bool ok = false;
+};
+
+IotAppResult runIotApp(const IotAppConfig &config);
+
+} // namespace cheriot::workloads
+
+#endif // CHERIOT_WORKLOADS_IOT_IOT_APP_H

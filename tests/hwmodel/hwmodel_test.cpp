@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the area/power model: calibration exactness on the fitted
+ * rows, prediction quality on the others, and the structural
+ * relations Table 2 exhibits.
+ */
+
+#include "hwmodel/components.h"
+#include "hwmodel/ibex_variants.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::hwmodel
+{
+namespace
+{
+
+TEST(GateModel, PrimitiveBuilders)
+{
+    EXPECT_DOUBLE_EQ(flopGates(10), 60.0);
+    EXPECT_DOUBLE_EQ(adderGates(32), 96.0);
+    EXPECT_DOUBLE_EQ(comparatorGates(32), 72.0);
+    EXPECT_DOUBLE_EQ(muxGates(32, 2), 56.0);
+    EXPECT_DOUBLE_EQ(muxGates(8, 1), 0.0);
+}
+
+TEST(GateModel, InventoryTotals)
+{
+    Inventory inv("test");
+    inv.add("a", 100, PathClass::Sequential, 0.5);
+    inv.add("b", 200, PathClass::Combinational, 0.1);
+    EXPECT_DOUBLE_EQ(inv.rawTotal(), 300.0);
+    EXPECT_DOUBLE_EQ(inv.rawTotal(PathClass::Sequential), 100.0);
+    // tech 2.0, timing 3.0: 100*2 + 200*2*3 = 1400.
+    EXPECT_DOUBLE_EQ(inv.fittedTotal(2.0, 3.0), 1400.0);
+    // activity: 100*2*0.5 + 200*6*0.1 = 220.
+    EXPECT_DOUBLE_EQ(inv.fittedActivity(2.0, 3.0), 220.0);
+}
+
+TEST(PowerModel, FitAndEvaluate)
+{
+    // Construct a known system: kDyn = 0.002, kLeak = 0.0001.
+    const double a1 = 100, g1 = 1000, p1 = 0.002 * a1 + 0.0001 * g1;
+    const double a2 = 400, g2 = 2500, p2 = 0.002 * a2 + 0.0001 * g2;
+    const auto fit = fitPower(a1, g1, p1, a2, g2, p2);
+    EXPECT_NEAR(fit.kDyn, 0.002, 1e-9);
+    EXPECT_NEAR(fit.kLeak, 0.0001, 1e-9);
+    EXPECT_NEAR(estimatePower(fit, 250, 1800), 0.002 * 250 + 0.18, 1e-9);
+}
+
+class Table2Test : public ::testing::Test
+{
+  protected:
+    Table2Model model;
+};
+
+TEST_F(Table2Test, CalibratedRowsMatchExactly)
+{
+    const auto &rows = model.rows();
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_NEAR(rows[0].gates, Table2Model::kPaperRv32e.gates, 1.0);
+    EXPECT_NEAR(rows[1].gates, Table2Model::kPaperPmp.gates, 1.0);
+    EXPECT_NEAR(rows[0].powerMw, Table2Model::kPaperRv32e.powerMw, 0.001);
+    EXPECT_NEAR(rows[1].powerMw, Table2Model::kPaperPmp.powerMw, 0.001);
+}
+
+TEST_F(Table2Test, PredictedAreasTrackThePaper)
+{
+    const auto &rows = model.rows();
+    // The CHERIoT rows are predictions; require the paper's shape:
+    // within 25% absolute, and the ordering preserved.
+    for (size_t i = 2; i < rows.size(); ++i) {
+        const double ratio = rows[i].gates / rows[i].paper.gates;
+        EXPECT_GT(ratio, 0.75) << rows[i].name;
+        EXPECT_LT(ratio, 1.25) << rows[i].name;
+    }
+    EXPECT_GT(rows[2].gates, rows[1].gates * 0.9)
+        << "caps and PMP16 should have comparable area";
+    EXPECT_LT(rows[3].gates - rows[2].gates, 1500)
+        << "load filter must be a tiny addition";
+    EXPECT_LT(rows[4].gates - rows[3].gates, 6000)
+        << "background revoker stays a small fraction of the core";
+}
+
+TEST_F(Table2Test, PredictedPowersArePlausible)
+{
+    const auto &rows = model.rows();
+    EXPECT_GT(model.powerCoefficients().kDyn, 0.0);
+    EXPECT_GT(model.powerCoefficients().kLeak, 0.0);
+    // CHERIoT power should land near the PMP config (paper: "similar
+    // power requirements, with CHERIoT perhaps a little higher").
+    for (size_t i = 2; i < rows.size(); ++i) {
+        const double ratio = rows[i].powerMw / rows[i].paper.powerMw;
+        EXPECT_GT(ratio, 0.6) << rows[i].name;
+        EXPECT_LT(ratio, 1.4) << rows[i].name;
+    }
+    // Monotone: each addition costs some power.
+    EXPECT_LT(rows[2].powerMw, rows[4].powerMw);
+}
+
+TEST_F(Table2Test, FittedFactorsAreSane)
+{
+    EXPECT_GT(model.techFactor(), 0.3);
+    EXPECT_LT(model.techFactor(), 5.0);
+    EXPECT_GT(model.timingFactor(), 1.0);
+    EXPECT_LT(model.timingFactor(), 10.0);
+}
+
+TEST(Inventories, LoadFilterIsTiny)
+{
+    EXPECT_LT(loadFilterInventory().rawTotal(), 400);
+    EXPECT_GT(backgroundRevokerInventory().rawTotal(),
+              loadFilterInventory().rawTotal());
+}
+
+} // namespace
+} // namespace cheriot::hwmodel

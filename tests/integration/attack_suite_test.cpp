@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Adversarial integration suite: multi-step attacks spanning the
+ * allocator, revokers, switcher and MMIO, run against the full
+ * system. Each test is an attack an embedded exploit chain would
+ * attempt; the model must stop all of them deterministically.
+ */
+
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cheriot
+{
+namespace
+{
+
+using alloc::HeapAllocator;
+using alloc::TemporalMode;
+using cap::Capability;
+using sim::TrapCause;
+
+class AttackSuite : public ::testing::TestWithParam<TemporalMode>
+{
+  protected:
+    AttackSuite() : machine(config()), kernel(machine)
+    {
+        kernel.initHeap(GetParam());
+        thread = &kernel.createThread("victim", 1, 4096);
+        kernel.activate(*thread);
+    }
+
+    static sim::MachineConfig config()
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 192u << 10;
+        c.heapOffset = 64u << 10;
+        c.heapSize = 128u << 10;
+        return c;
+    }
+
+    sim::Machine machine;
+    rtos::Kernel kernel;
+    rtos::Thread *thread = nullptr;
+};
+
+TEST_P(AttackSuite, HeapSprayCannotResurrectFreedCapability)
+{
+    // Free a victim object, then spray allocations hoping to receive
+    // overlapping memory while a stale reference survives somewhere.
+    auto &allocator = kernel.allocator();
+    const Capability victim = allocator.malloc(128);
+    ASSERT_TRUE(victim.tag());
+    const Capability stash = allocator.malloc(16);
+    ASSERT_EQ(machine.storeCap(stash, stash.base(), victim),
+              TrapCause::None);
+    ASSERT_EQ(allocator.free(victim), HeapAllocator::FreeResult::Ok);
+
+    std::vector<Capability> spray;
+    for (int i = 0; i < 600; ++i) {
+        const Capability fresh = allocator.malloc(128);
+        if (!fresh.tag()) {
+            break;
+        }
+        spray.push_back(fresh);
+        const bool overlaps = fresh.base() < victim.top() &&
+                              victim.base() < fresh.top();
+        if (overlaps) {
+            // Reuse achieved: the stale stashed capability must be
+            // dead by now.
+            Capability stale;
+            ASSERT_EQ(machine.loadCap(stash, stash.base(), &stale),
+                      TrapCause::None);
+            EXPECT_FALSE(stale.tag());
+        }
+    }
+    for (const auto &ptr : spray) {
+        ASSERT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+    }
+}
+
+TEST_P(AttackSuite, HeaderCorruptionThroughPayloadIsImpossible)
+{
+    // Classic heap exploitation: overflow a chunk to rewrite its
+    // neighbour's header / free-list links. The payload capability's
+    // bounds make every attempt trap before memory changes.
+    auto &allocator = kernel.allocator();
+    const Capability a = allocator.malloc(64);
+    const Capability b = allocator.malloc(64);
+    ASSERT_TRUE(a.tag());
+    ASSERT_TRUE(b.tag());
+
+    // Try to reach b's header (8 bytes below its payload) from a.
+    for (int32_t offset = -16; offset <= 80; offset += 4) {
+        const uint32_t addr = a.base() + offset;
+        if (addr >= a.base() && addr + 4 <= a.top()) {
+            continue; // In bounds: legitimate.
+        }
+        EXPECT_EQ(machine.storeData(a, addr, 4, 0x41414141,
+                                    /*charge=*/false),
+                  TrapCause::CheriBoundsViolation)
+            << "offset " << offset;
+    }
+    ASSERT_EQ(allocator.free(a), HeapAllocator::FreeResult::Ok);
+    ASSERT_EQ(allocator.free(b), HeapAllocator::FreeResult::Ok);
+    // Heap still consistent: both chunks reusable.
+    const Capability again = allocator.malloc(64);
+    EXPECT_TRUE(again.tag());
+    ASSERT_EQ(allocator.free(again), HeapAllocator::FreeResult::Ok);
+}
+
+TEST_P(AttackSuite, ForgedFreeCannotPoisonTheAllocator)
+{
+    auto &allocator = kernel.allocator();
+    const Capability real = allocator.malloc(128);
+    ASSERT_TRUE(real.tag());
+
+    // A battery of bogus frees; none may succeed or corrupt state.
+    Rng rng(0xf4ee);
+    for (int i = 0; i < 200; ++i) {
+        const uint32_t addr =
+            allocator.heapBase() + (rng.next() % (128u << 10));
+        Capability bogus =
+            Capability::memoryRoot().withAddress(addr & ~7u);
+        bogus = bogus.withBounds(rng.below(64) + 8);
+        if (!bogus.tag() || bogus.base() == real.base()) {
+            continue;
+        }
+        EXPECT_NE(allocator.free(bogus), HeapAllocator::FreeResult::Ok)
+            << bogus.toString();
+    }
+    // The legitimate allocation is unharmed and freeable.
+    uint32_t value = 0;
+    EXPECT_EQ(machine.loadData(real, real.base(), 4, false, &value,
+                               false),
+              TrapCause::None);
+    EXPECT_EQ(allocator.free(real), HeapAllocator::FreeResult::Ok);
+}
+
+TEST_P(AttackSuite, RandomisedWorkloadPreservesInvariantsUnderProbing)
+{
+    // Long random malloc/free interleaving with continuous UAF
+    // probing through stashed copies: at no point may a stale
+    // capability load with its tag, and the allocator must keep
+    // serving.
+    auto &allocator = kernel.allocator();
+    Rng rng(GetParam() == TemporalMode::SoftwareRevocation ? 111 : 222);
+
+    const Capability stashArea = allocator.malloc(512);
+    ASSERT_TRUE(stashArea.tag());
+    struct Stashed
+    {
+        uint32_t slot;
+        uint32_t base;
+        uint32_t top;
+        bool freed;
+    };
+    std::vector<Capability> live;
+    std::vector<Stashed> stashes;
+
+    for (int round = 0; round < 1200; ++round) {
+        const uint32_t action = rng.below(100);
+        if (action < 55 || live.empty()) {
+            const Capability ptr =
+                allocator.malloc(16 + rng.below(700));
+            if (ptr.tag()) {
+                live.push_back(ptr);
+                if (stashes.size() < 64 && rng.chance(1, 3)) {
+                    const uint32_t slot =
+                        static_cast<uint32_t>(stashes.size()) * 8;
+                    ASSERT_EQ(machine.storeCap(stashArea,
+                                               stashArea.base() + slot,
+                                               ptr, false),
+                              TrapCause::None);
+                    stashes.push_back({slot, ptr.base(),
+                                       static_cast<uint32_t>(ptr.top()),
+                                       false});
+                }
+            }
+        } else {
+            const uint32_t victim = rng.below(live.size());
+            const Capability ptr = live[victim];
+            ASSERT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+            for (auto &stash : stashes) {
+                if (stash.base == ptr.base()) {
+                    stash.freed = true;
+                }
+            }
+            live.erase(live.begin() + victim);
+        }
+
+        // Probe every stashed copy of a freed object: reuse of its
+        // memory implies the copy is dead.
+        if (round % 16 == 0) {
+            for (const auto &stash : stashes) {
+                if (!stash.freed) {
+                    continue;
+                }
+                Capability stale;
+                ASSERT_EQ(machine.loadCap(stashArea,
+                                          stashArea.base() + stash.slot,
+                                          &stale, false),
+                          TrapCause::None);
+                if (!stale.tag()) {
+                    continue; // Already revoked: safe.
+                }
+                // Still tagged: its memory must not yet be reused.
+                for (const auto &fresh : live) {
+                    const bool overlaps = fresh.base() < stash.top &&
+                                          stash.base < fresh.top();
+                    EXPECT_FALSE(overlaps)
+                        << "temporal aliasing with a live tag at round "
+                        << round;
+                }
+            }
+        }
+    }
+    for (const auto &ptr : live) {
+        ASSERT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+    }
+}
+
+TEST_P(AttackSuite, MmioCannotLaunderCapabilities)
+{
+    // Writing a capability out through a device and reading it back
+    // must never reproduce the tag: MMIO carries data only.
+    const Capability console = kernel.loader().mmioCap(
+        mem::kConsoleMmioBase, mem::kConsoleMmioSize);
+    const Capability secret = kernel.allocator().malloc(32);
+    ASSERT_TRUE(secret.tag());
+
+    // A capability store to MMIO needs MC, which the loader never
+    // grants on device windows.
+    EXPECT_EQ(machine.storeCap(console, console.base() + 8, secret),
+              TrapCause::CheriPermViolation);
+
+    // Even with a hand-rolled MC-bearing window (modelling a buggy
+    // loader), the physical layer strips tags.
+    const Capability rawWindow =
+        Capability::memoryRoot().withAddress(mem::kConsoleMmioBase);
+    ASSERT_EQ(machine.storeCap(rawWindow, mem::kConsoleMmioBase + 8,
+                               secret),
+              TrapCause::None);
+    Capability back;
+    ASSERT_EQ(machine.loadCap(rawWindow, mem::kConsoleMmioBase + 8,
+                              &back),
+              TrapCause::None);
+    EXPECT_FALSE(back.tag());
+    ASSERT_EQ(kernel.allocator().free(secret),
+              HeapAllocator::FreeResult::Ok);
+}
+
+TEST_P(AttackSuite, CompartmentCannotReachAllocatorMetadataWindow)
+{
+    // Only the allocator compartment receives the revocation-bitmap
+    // capability; another compartment addressing the window through
+    // its own authority faults.
+    rtos::Compartment &evil = kernel.createCompartment("evil");
+    const uint32_t attack = evil.addExport(
+        {"poke", [&](rtos::CompartmentContext &ctx, rtos::ArgVec &) {
+             // Try to clear revocation bits (would re-arm a UAF).
+             const Capability viaGlobals =
+                 ctx.globals().withAddress(mem::kRevocationBitmapBase);
+             const auto fault = ctx.mem.tryStoreWord(
+                 viaGlobals, mem::kRevocationBitmapBase, 0);
+             return rtos::CallResult::ofInt(
+                 static_cast<uint32_t>(fault));
+         },
+         false});
+    const auto result =
+        kernel.call(*thread, kernel.importOf(evil, attack), {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(static_cast<TrapCause>(result.value.address()),
+              TrapCause::CheriTagViolation)
+        << "address displacement must have invalidated the capability";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RevokingModes, AttackSuite,
+    ::testing::Values(TemporalMode::SoftwareRevocation,
+                      TemporalMode::HardwareRevocation),
+    [](const ::testing::TestParamInfo<TemporalMode> &info) {
+        return std::string(alloc::temporalModeName(info.param));
+    });
+
+} // namespace
+} // namespace cheriot

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The compartment model demonstrated *entirely in guest code*: boot
+ * assembly derives compartment capabilities from the reset roots,
+ * mints a sealed-entry (sentry) import, makes a cross-compartment
+ * call passing a local (stack-lifetime) argument, and the callee's
+ * attempt to capture it is stopped by the architecture — no host
+ * modelling involved, every check performed by the executed
+ * instructions (§2.6, §3.1.2, §5.2).
+ *
+ * Layout (all inside guest SRAM):
+ *   boot     derive caps, install trap handler, erase roots, call A
+ *   A        caller compartment: builds a local argument on the
+ *            stack, calls B through the sentry, verifies the result,
+ *            zeroes the callee stack, probes that the capture died
+ *   B        callee compartment: tries to capture the argument in
+ *            its globals (traps: Store-Local), uses it legitimately
+ *            via the stack, returns a derived value
+ *   handler  records mcause and skips the faulting instruction
+ */
+
+#include "isa/assembler.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot
+{
+namespace
+{
+
+using cap::Capability;
+using namespace cheriot::isa;
+using sim::HaltReason;
+using sim::TrapCause;
+
+constexpr uint32_t kEntry = mem::kSramBase + 0x1000;
+constexpr uint32_t kBGlobals = mem::kSramBase + 0x8000;
+constexpr uint32_t kStackBase = mem::kSramBase + 0x9000;
+constexpr uint32_t kStackSize = 0x100;
+
+/** Register roles across the program. */
+constexpr uint8_t RegArg = A2;       // argument (local cap)
+constexpr uint8_t RegBGlobals = S1;  // B's globals capability
+constexpr uint8_t RegSentry = S0;    // import: sentry to B
+
+class GuestCompartments : public ::testing::TestWithParam<sim::CoreKind>
+{
+  protected:
+    static sim::CoreConfig core()
+    {
+        return GetParam() == sim::CoreKind::Flute5
+                   ? sim::CoreConfig::flute()
+                   : sim::CoreConfig::ibex();
+    }
+};
+
+/**
+ * Two-pass builder: assemble once to learn label addresses, then
+ * assemble again with the concrete constants. This mirrors how the
+ * real linker resolves compartment imports at static-link time
+ * (§2.6: "imports of exports are resolved at this time").
+ */
+std::vector<uint32_t>
+buildProgram(uint32_t bAddress, uint32_t *bAddressOut)
+{
+    Assembler a(kEntry);
+    const auto bodyA = a.newLabel();
+    const auto handler = a.newLabel();
+    const auto afterHandler = a.newLabel();
+
+    // ---- boot: trap handler installation -------------------------------
+    a.j(afterHandler);
+    a.bind(handler); // == kEntry + 4
+    a.csrrs(T1, kCsrMcause, Zero);
+    a.bnez(Tp, handler); // second unexpected fault: hang (test fails)
+    a.mv(Tp, T1);
+    a.cspecialrw(T2, Scr::Mepcc, Zero);
+    a.cincaddrimm(T2, T2, 4);
+    a.cspecialrw(Zero, Scr::Mepcc, T2);
+    a.mret();
+    a.bind(afterHandler);
+    a.auipcc(T0, 0);
+    a.cincaddrimm(T0, T0,
+                  static_cast<int32_t>(kEntry + 4) -
+                      static_cast<int32_t>(a.pc()) + 4);
+    a.cspecialrw(Zero, Scr::Mtcc, T0);
+    a.li(Tp, 0);
+
+    // ---- boot: compartment capabilities --------------------------------
+    a.li(T0, static_cast<int32_t>(kBGlobals));
+    a.csetaddr(RegBGlobals, A0, T0);
+    a.li(T1, 256);
+    a.csetbounds(RegBGlobals, RegBGlobals, T1);
+    a.li(T1, static_cast<int32_t>(~cap::PermStoreLocal));
+    a.candperm(RegBGlobals, RegBGlobals, T1);
+
+    a.li(T0, static_cast<int32_t>(kStackBase));
+    a.csetaddr(Sp, A0, T0);
+    a.li(T1, static_cast<int32_t>(kStackSize));
+    a.csetbounds(Sp, Sp, T1);
+    a.li(T1, static_cast<int32_t>(~cap::PermGlobal));
+    a.candperm(Sp, Sp, T1);
+    a.li(T0, static_cast<int32_t>(kStackBase + kStackSize));
+    a.csetaddr(Sp, Sp, T0);
+
+    // The import: sentry over B (address from the previous pass),
+    // stripped of System-Registers before sealing.
+    a.auipcc(RegSentry, 0);
+    a.cincaddrimm(RegSentry, RegSentry,
+                  static_cast<int32_t>(bAddress) -
+                      static_cast<int32_t>(a.pc()) + 4);
+    a.li(T1, static_cast<int32_t>(~cap::PermSystemRegs));
+    a.candperm(RegSentry, RegSentry, T1);
+    a.csealentry(RegSentry, RegSentry, 0); // inherit posture
+
+    // Erase the roots: from here on, boot authority is gone (§3.1.1).
+    a.ccleartag(A0, A0);
+    a.ccleartag(A1, A1);
+    a.j(bodyA);
+
+    // ---- B (callee) ------------------------------------------------------
+    const uint32_t bHere = a.pc();
+    a.csc(RegArg, RegBGlobals, 0); // capture attempt: must trap
+    a.csc(RegArg, Sp, -32);        // stack is the only SL memory
+    a.clc(A3, Sp, -32);
+    a.lw(A4, A3, 0);
+    a.addi(A0, A4, 1);
+    a.ret();
+
+    // ---- A (caller) -------------------------------------------------------
+    a.bind(bodyA);
+    // Build the argument object on the stack: value 0x77 at sp-48,
+    // then derive a bounded, naturally-local capability to it.
+    a.li(T0, 0x77);
+    a.sw(T0, Sp, -48);
+    a.cincaddrimm(RegArg, Sp, -48);
+    a.csetboundsimm(RegArg, RegArg, 16);
+
+    // Cross-compartment call through the sentry.
+    a.jalr(Ra, RegSentry);
+
+    // Back in A: stash results (a0 = B's return, tp = first fault).
+    a.mv(S0, A0);
+
+    // Switcher-style stack zeroing of the region B used.
+    a.li(T0, static_cast<int32_t>(kStackBase));
+    a.csetaddr(T1, Sp, T0);
+    a.li(T2, static_cast<int32_t>(kStackSize / 8));
+    const auto zeroLoop = a.here();
+    a.csc(Zero, T1, 0);
+    a.cincaddrimm(T1, T1, 8);
+    a.addi(T2, T2, -1);
+    a.bnez(T2, zeroLoop);
+
+    // Probe: B's on-stack copy of the argument must be gone.
+    a.clc(A5, Sp, -32);
+    a.cgettag(A5, A5);
+    a.ebreak();
+
+    *bAddressOut = bHere;
+    return a.finish();
+}
+
+TEST_P(GuestCompartments, SentryCallWithEphemeralArgumentTwoPass)
+{
+    sim::MachineConfig config;
+    config.core = core();
+    config.sramSize = 128u << 10;
+    config.heapOffset = 64u << 10;
+    config.heapSize = 32u << 10;
+    sim::Machine machine(config);
+
+    // Pass 1 with a dummy B address to learn the layout; pass 2 with
+    // the real one (the layout is address-independent).
+    uint32_t bAddress = kEntry;
+    (void)buildProgram(kEntry, &bAddress);
+    uint32_t verify = 0;
+    const auto program = buildProgram(bAddress, &verify);
+    ASSERT_EQ(verify, bAddress) << "two-pass layout must be stable";
+
+    machine.loadProgram(program, kEntry);
+    machine.resetCpu(kEntry);
+    const auto result = machine.run(1u << 16);
+
+    ASSERT_EQ(result.reason, HaltReason::Breakpoint)
+        << "last trap: " << sim::trapCauseName(machine.lastTrap());
+
+    // B's only fault was the Store-Local violation on the capture.
+    EXPECT_EQ(machine.readRegInt(Tp),
+              static_cast<uint32_t>(TrapCause::CheriStoreLocalViolation));
+    // B's legitimate use of the borrowed object worked: 0x77 + 1.
+    EXPECT_EQ(machine.readRegInt(S0), 0x78u);
+    // After the switcher-style zeroing, the stashed copy is dead.
+    EXPECT_EQ(machine.readRegInt(A5), 0u);
+    // The roots really were erased.
+    EXPECT_FALSE(machine.readReg(A0).tag());
+    EXPECT_FALSE(machine.readReg(A1).tag());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCores, GuestCompartments,
+                         ::testing::Values(sim::CoreKind::Flute5,
+                                           sim::CoreKind::Ibex),
+                         [](const ::testing::TestParamInfo<sim::CoreKind>
+                                &info) {
+                             return info.param == sim::CoreKind::Flute5
+                                        ? "flute"
+                                        : "ibex";
+                         });
+
+} // namespace
+} // namespace cheriot

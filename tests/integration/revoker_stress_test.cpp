@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Concurrency stress: the background revoker sweeps *while* the
+ * allocator churns and the application reads/writes its live data
+ * (the §3.3.3 scenario at scale). Correctness demands that across
+ * hundreds of overlapping sweeps no live allocation ever loses its
+ * tag or its contents — the store-snoop logic and the
+ * bits-before-zeroing ordering are what make that true.
+ */
+
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cheriot
+{
+namespace
+{
+
+using alloc::HeapAllocator;
+using cap::Capability;
+using sim::TrapCause;
+
+TEST(RevokerStress, LiveDataSurvivesHundredsOfConcurrentSweeps)
+{
+    sim::MachineConfig config;
+    config.core = sim::CoreConfig::ibex();
+    config.sramSize = 96u << 10;
+    config.heapOffset = 32u << 10;
+    config.heapSize = 64u << 10;
+    sim::Machine machine(config);
+    rtos::Kernel kernel(machine);
+    // A low threshold forces sweeps to overlap the churn constantly.
+    kernel.initHeap(alloc::TemporalMode::HardwareRevocation, 8u << 10);
+    rtos::Thread &thread = kernel.createThread("stress", 1, 1024);
+    kernel.activate(thread);
+    auto &allocator = kernel.allocator();
+
+    struct Live
+    {
+        Capability ptr;
+        Capability holderSlot; ///< In-memory home of the pointer.
+        uint32_t stamp;
+    };
+
+    // The holders array: live pointers stored in heap memory, where
+    // every sweep must load-and-examine them without harming them.
+    const Capability holders = allocator.malloc(256);
+    ASSERT_TRUE(holders.tag());
+    // And a graveyard where every freed pointer leaves a stale copy
+    // behind — the sweeps' actual prey.
+    const Capability graveyard = allocator.malloc(512);
+    ASSERT_TRUE(graveyard.tag());
+    uint32_t graveyardCursor = 0;
+
+    Rng rng(0x57e55);
+    std::vector<Live> live;
+    uint64_t verified = 0;
+
+    for (int round = 0; round < 3000; ++round) {
+        if (rng.chance(3, 5) || live.empty()) {
+            if (live.size() < 32) {
+                const uint32_t size = 32 + rng.below(900);
+                const Capability ptr = allocator.malloc(size);
+                if (ptr.tag()) {
+                    const uint32_t stamp = rng.next();
+                    kernel.guest().storeWord(ptr, ptr.base(), stamp);
+                    kernel.guest().storeWord(
+                        ptr, ptr.base() + (ptr.length() & ~7u) - 4,
+                        ~stamp);
+                    const uint32_t slot =
+                        static_cast<uint32_t>(live.size()) * 8;
+                    ASSERT_EQ(machine.storeCap(holders,
+                                               holders.base() + slot, ptr,
+                                               false),
+                              TrapCause::None);
+                    live.push_back(
+                        {ptr, holders.withAddressOffset(slot), stamp});
+                }
+            } else {
+                const uint32_t victim = rng.below(32);
+                ASSERT_EQ(machine.storeCap(
+                              graveyard,
+                              graveyard.base() +
+                                  (graveyardCursor++ % 64) * 8,
+                              live[victim].ptr, false),
+                          TrapCause::None);
+                ASSERT_EQ(allocator.free(live[victim].ptr),
+                          HeapAllocator::FreeResult::Ok);
+                // Compact: move the last entry into the hole (and its
+                // in-memory slot).
+                live[victim] = live.back();
+                live.pop_back();
+                ASSERT_EQ(
+                    machine.storeCap(holders,
+                                     holders.base() + victim * 8,
+                                     live.size() > victim
+                                         ? live[victim].ptr
+                                         : Capability(),
+                                     false),
+                    TrapCause::None);
+            }
+        }
+
+        // Verify a random live allocation through its *in-memory*
+        // pointer: the load goes through the filter mid-sweep.
+        if (!live.empty()) {
+            const uint32_t pick = rng.below(
+                static_cast<uint32_t>(live.size()));
+            Capability reloaded;
+            ASSERT_EQ(machine.loadCap(holders,
+                                      holders.base() + pick * 8,
+                                      &reloaded, false),
+                      TrapCause::None);
+            ASSERT_TRUE(reloaded.tag())
+                << "round " << round
+                << ": live pointer lost its tag mid-sweep";
+            EXPECT_EQ(kernel.guest().loadWord(reloaded, reloaded.base()),
+                      live[pick].stamp);
+            EXPECT_EQ(kernel.guest().loadWord(
+                          reloaded,
+                          reloaded.base() +
+                              (reloaded.length() & ~7u) - 4),
+                      ~live[pick].stamp);
+            ++verified;
+        }
+
+        // A little idle time so the engine actually advances.
+        machine.idle(16 + rng.below(64));
+    }
+
+    EXPECT_GT(verified, 2500u);
+    EXPECT_GE(allocator.sweepsTriggered.value(), 20u)
+        << "the stress must actually have overlapped many sweeps";
+    EXPECT_GE(machine.backgroundRevoker().tagsInvalidated.value(), 100u);
+    // Snoops actually happened (the race was exercised, not avoided).
+    EXPECT_GT(machine.backgroundRevoker().wordsExamined.value(),
+              100'000u);
+}
+
+TEST(Fig4Timing, LoadFilterIsFreeOnFluteAndCostsTwoCyclesOnIbex)
+{
+    // Figure 4's point in one assertion: with a dedicated revocation
+    // read port the filter fits the 5-stage pipeline without stalls;
+    // the area-optimised Ibex pays an exposed lookup.
+    auto flute = sim::CoreConfig::flute();
+    auto ibex = sim::CoreConfig::ibex();
+
+    flute.loadFilterEnabled = false;
+    const unsigned fluteOff = flute.capLoadCycles();
+    flute.loadFilterEnabled = true;
+    EXPECT_EQ(flute.capLoadCycles(), fluteOff);
+
+    ibex.loadFilterEnabled = false;
+    const unsigned ibexOff = ibex.capLoadCycles();
+    ibex.loadFilterEnabled = true;
+    EXPECT_EQ(ibex.capLoadCycles(), ibexOff + 2);
+
+    // And the filter never affects plain data loads on either core.
+    EXPECT_EQ(flute.dataLoadCycles(4), 1u);
+    EXPECT_EQ(ibex.dataLoadCycles(4), 2u);
+}
+
+} // namespace
+} // namespace cheriot

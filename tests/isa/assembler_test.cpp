@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Assembler tests: label binding and fixups (forward and backward),
+ * pseudo-instruction expansion, and image layout.
+ */
+
+#include "isa/assembler.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::isa
+{
+namespace
+{
+
+constexpr uint32_t kBase = 0x20001000;
+
+TEST(Assembler, BackwardBranchResolvesImmediately)
+{
+    Assembler a(kBase);
+    const auto top = a.here();
+    a.nop();
+    a.bne(A0, A1, top);
+    const auto words = a.finish();
+    ASSERT_EQ(words.size(), 2u);
+    const Inst inst = decode(words[1]);
+    EXPECT_EQ(inst.op, Op::Bne);
+    EXPECT_EQ(inst.imm, -4);
+}
+
+TEST(Assembler, ForwardBranchIsFixedUp)
+{
+    Assembler a(kBase);
+    const auto end = a.newLabel();
+    a.beq(A0, A1, end);
+    a.nop();
+    a.nop();
+    a.bind(end);
+    a.nop();
+    const auto words = a.finish();
+    const Inst inst = decode(words[0]);
+    EXPECT_EQ(inst.op, Op::Beq);
+    EXPECT_EQ(inst.imm, 12);
+}
+
+TEST(Assembler, ForwardJumpAndCall)
+{
+    Assembler a(kBase);
+    const auto fn = a.newLabel();
+    a.call(fn);
+    a.ebreak();
+    a.bind(fn);
+    a.ret();
+    const auto words = a.finish();
+    const Inst call = decode(words[0]);
+    EXPECT_EQ(call.op, Op::Jal);
+    EXPECT_EQ(call.rd, Ra);
+    EXPECT_EQ(call.imm, 8);
+    const Inst ret = decode(words[2]);
+    EXPECT_EQ(ret.op, Op::Jalr);
+    EXPECT_EQ(ret.rd, Zero);
+    EXPECT_EQ(ret.rs1, Ra);
+}
+
+TEST(Assembler, LiExpansion)
+{
+    // Small immediates: one addi.
+    {
+        Assembler a(kBase);
+        a.li(A0, 42);
+        EXPECT_EQ(a.finish().size(), 1u);
+    }
+    {
+        Assembler a(kBase);
+        a.li(A0, -2048);
+        EXPECT_EQ(a.finish().size(), 1u);
+    }
+    // Large immediates: lui (+ addi when the low part is nonzero).
+    {
+        Assembler a(kBase);
+        a.li(A0, 0x12345000);
+        EXPECT_EQ(a.finish().size(), 1u); // low part zero: lui only
+    }
+    {
+        Assembler a(kBase);
+        a.li(A0, 0x12345678);
+        EXPECT_EQ(a.finish().size(), 2u);
+    }
+    // The sign-extension correction case (low half >= 0x800).
+    {
+        Assembler a(kBase);
+        a.li(A0, static_cast<int32_t>(0xdeadbeef));
+        const auto words = a.finish();
+        ASSERT_EQ(words.size(), 2u);
+        // lui value must pre-compensate the addi's sign extension.
+        const Inst lui = decode(words[0]);
+        const Inst addi = decode(words[1]);
+        const uint32_t value = static_cast<uint32_t>(lui.imm) +
+                               static_cast<uint32_t>(addi.imm);
+        EXPECT_EQ(value, 0xdeadbeefu);
+    }
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Assembler a(kBase);
+    a.nop();
+    a.mv(A0, A1);
+    a.neg(A2, A3);
+    a.seqz(A4, A5);
+    a.snez(T0, T1);
+    const auto words = a.finish();
+    EXPECT_EQ(decode(words[0]), (Inst{Op::Addi, Zero, Zero, 0, 0, 0}));
+    EXPECT_EQ(decode(words[1]), (Inst{Op::Addi, A0, A1, 0, 0, 0}));
+    EXPECT_EQ(decode(words[2]), (Inst{Op::Sub, A2, Zero, A3, 0, 0}));
+    EXPECT_EQ(decode(words[3]), (Inst{Op::Sltiu, A4, A5, 0, 1, 0}));
+    EXPECT_EQ(decode(words[4]), (Inst{Op::Sltu, T0, Zero, T1, 0, 0}));
+}
+
+TEST(Assembler, PcTracksEmission)
+{
+    Assembler a(kBase);
+    EXPECT_EQ(a.pc(), kBase);
+    a.nop();
+    EXPECT_EQ(a.pc(), kBase + 4);
+    a.li(A0, 0x12345678); // two words
+    EXPECT_EQ(a.pc(), kBase + 12);
+    EXPECT_EQ(a.size(), 12u);
+}
+
+TEST(Assembler, RawWordsInterleave)
+{
+    Assembler a(kBase);
+    a.nop();
+    a.word(0xdeadbeef);
+    a.nop();
+    const auto words = a.finish();
+    ASSERT_EQ(words.size(), 3u);
+    EXPECT_EQ(words[1], 0xdeadbeefu);
+}
+
+TEST(AssemblerDeath, UnboundLabelPanics)
+{
+    Assembler a(kBase);
+    const auto label = a.newLabel();
+    a.j(label);
+    EXPECT_DEATH((void)a.finish(), "never bound");
+}
+
+TEST(AssemblerDeath, DoubleBindPanics)
+{
+    Assembler a(kBase);
+    const auto label = a.here();
+    EXPECT_DEATH(a.bind(label), "bound twice");
+}
+
+TEST(AssemblerDeath, OutOfRangeRegisterPanics)
+{
+    Assembler a(kBase);
+    EXPECT_DEATH(a.addi(16, 0, 0), "out of range");
+}
+
+} // namespace
+} // namespace cheriot::isa

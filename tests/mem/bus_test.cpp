@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Bus-width model tests (§4): beat counts behind the Flute/Ibex
+ * timing differences.
+ */
+
+#include "mem/bus.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::mem
+{
+namespace
+{
+
+TEST(Bus, CapabilityBeats)
+{
+    // One beat moves a capability on Flute's 65-bit bus; two on
+    // Ibex's 33-bit bus — the root cause of Table 3's asymmetry.
+    EXPECT_EQ(capBeats(BusWidth::Wide65), 1u);
+    EXPECT_EQ(capBeats(BusWidth::Narrow33), 2u);
+}
+
+TEST(Bus, DataBeats)
+{
+    for (const unsigned bytes : {1u, 2u, 4u}) {
+        EXPECT_EQ(dataBeats(BusWidth::Wide65, bytes), 1u) << bytes;
+        EXPECT_EQ(dataBeats(BusWidth::Narrow33, bytes), 1u) << bytes;
+    }
+    EXPECT_EQ(dataBeats(BusWidth::Wide65, 8), 1u);
+    EXPECT_EQ(dataBeats(BusWidth::Narrow33, 8), 2u);
+}
+
+TEST(Bus, ZeroingRate)
+{
+    // Zeroing proportionately more expensive on the narrow bus
+    // (§7.2.2: why the HWM matters more on Ibex).
+    EXPECT_EQ(zeroBeats(BusWidth::Wide65, 256), 32u);
+    EXPECT_EQ(zeroBeats(BusWidth::Narrow33, 256), 64u);
+    EXPECT_EQ(zeroBeats(BusWidth::Wide65, 1), 1u);
+    EXPECT_EQ(zeroBeats(BusWidth::Narrow33, 5), 2u);
+}
+
+TEST(Bus, Names)
+{
+    EXPECT_STREQ(busWidthName(BusWidth::Wide65), "65-bit");
+    EXPECT_STREQ(busWidthName(BusWidth::Narrow33), "33-bit");
+}
+
+} // namespace
+} // namespace cheriot::mem

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for tagged SRAM: micro-tag semantics (the Ibex AND-of-halves
+ * trick, §4), zeroing, and MMIO routing.
+ */
+
+#include "mem/memory_map.h"
+#include "mem/tagged_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::mem
+{
+namespace
+{
+
+class TaggedMemoryTest : public ::testing::Test
+{
+  protected:
+    TaggedMemory sram{0x20000000, 4096};
+};
+
+TEST_F(TaggedMemoryTest, DataRoundTrips)
+{
+    sram.write32(0x20000010, 0xdeadbeef);
+    EXPECT_EQ(sram.read32(0x20000010), 0xdeadbeefu);
+    EXPECT_EQ(sram.read16(0x20000010), 0xbeefu);
+    EXPECT_EQ(sram.read8(0x20000013), 0xdeu);
+
+    sram.write8(0x20000012, 0x11);
+    EXPECT_EQ(sram.read32(0x20000010), 0xde11beefu);
+}
+
+TEST_F(TaggedMemoryTest, CapStoreSetsTagLoadSeesIt)
+{
+    sram.writeCap(0x20000040, 0x0123456789abcdefull, true);
+    const auto raw = sram.readCap(0x20000040);
+    EXPECT_EQ(raw.bits, 0x0123456789abcdefull);
+    EXPECT_TRUE(raw.tag);
+    EXPECT_TRUE(raw.halfTag0);
+    EXPECT_TRUE(raw.halfTag1);
+}
+
+TEST_F(TaggedMemoryTest, DataWriteClearsOnlyItsHalfTag)
+{
+    // The architectural tag is the AND of the two micro-tags: a
+    // 32-bit write needs to clear only the half it touches (§4).
+    sram.writeCap(0x20000040, ~0ull, true);
+    sram.write32(0x20000040, 0); // low half
+    auto raw = sram.readCap(0x20000040);
+    EXPECT_FALSE(raw.tag);
+    EXPECT_FALSE(raw.halfTag0);
+    EXPECT_TRUE(raw.halfTag1);
+
+    sram.writeCap(0x20000040, ~0ull, true);
+    sram.write8(0x20000047, 0); // high half, single byte
+    raw = sram.readCap(0x20000040);
+    EXPECT_FALSE(raw.tag);
+    EXPECT_TRUE(raw.halfTag0);
+    EXPECT_FALSE(raw.halfTag1);
+}
+
+TEST_F(TaggedMemoryTest, UntaggedCapStoreClearsBothHalves)
+{
+    sram.writeCap(0x20000040, 1, true);
+    sram.writeCap(0x20000040, 2, false);
+    const auto raw = sram.readCap(0x20000040);
+    EXPECT_FALSE(raw.halfTag0);
+    EXPECT_FALSE(raw.halfTag1);
+}
+
+TEST_F(TaggedMemoryTest, ClearCapTagLeavesData)
+{
+    sram.writeCap(0x20000080, 0x1122334455667788ull, true);
+    sram.clearCapTag(0x20000080);
+    const auto raw = sram.readCap(0x20000080);
+    EXPECT_FALSE(raw.tag);
+    EXPECT_EQ(raw.bits, 0x1122334455667788ull);
+}
+
+TEST_F(TaggedMemoryTest, ZeroRangeClearsDataAndTags)
+{
+    sram.writeCap(0x20000100, ~0ull, true);
+    sram.writeCap(0x20000108, ~0ull, true);
+    sram.write32(0x20000110, 0xffffffff);
+
+    sram.zeroRange(0x20000100, 0x14);
+    EXPECT_EQ(sram.readCap(0x20000100).bits, 0u);
+    EXPECT_FALSE(sram.readCap(0x20000100).tag);
+    EXPECT_FALSE(sram.readCap(0x20000108).tag);
+    EXPECT_EQ(sram.read32(0x20000110), 0u);
+}
+
+TEST_F(TaggedMemoryTest, PartialZeroClearsOnlyTouchedHalves)
+{
+    sram.writeCap(0x20000100, ~0ull, true);
+    sram.zeroRange(0x20000100, 4);
+    const auto raw = sram.readCap(0x20000100);
+    EXPECT_FALSE(raw.halfTag0);
+    EXPECT_TRUE(raw.halfTag1);
+}
+
+TEST_F(TaggedMemoryTest, ContainsChecks)
+{
+    EXPECT_TRUE(sram.contains(0x20000000, 4096));
+    EXPECT_FALSE(sram.contains(0x20000000, 4097));
+    EXPECT_FALSE(sram.contains(0x1fffffff, 1));
+    EXPECT_TRUE(sram.contains(0x20000ffc, 4));
+}
+
+class EchoDevice : public MmioDevice
+{
+  public:
+    std::string name() const override { return "echo"; }
+    uint32_t read32(uint32_t offset) override { return last + offset; }
+    void write32(uint32_t offset, uint32_t value) override
+    {
+        last = value;
+        lastOffset = offset;
+    }
+    uint32_t last = 0;
+    uint32_t lastOffset = 0;
+};
+
+TEST(MmioBus, RoutesByRange)
+{
+    MmioBus bus;
+    EchoDevice a;
+    EchoDevice b;
+    bus.map(0x30000000, 0x100, &a);
+    bus.map(0x30001000, 0x100, &b);
+
+    bus.write32(0x30000010, 42);
+    EXPECT_EQ(a.last, 42u);
+    EXPECT_EQ(a.lastOffset, 0x10u);
+    bus.write32(0x30001004, 7);
+    EXPECT_EQ(b.last, 7u);
+    EXPECT_EQ(bus.read32(0x30000004), 46u);
+
+    EXPECT_TRUE(bus.covers(0x30000000, 4));
+    EXPECT_FALSE(bus.covers(0x300000fd, 4)); // straddles the end
+    EXPECT_FALSE(bus.covers(0x30002000, 4));
+}
+
+TEST(PhysicalMemory, RoutesSramAndMmio)
+{
+    PhysicalMemory memory(4096);
+    EchoDevice device;
+    memory.mmio().map(0x30000000, 0x100, &device);
+
+    memory.write32(kSramBase + 8, 0x1234);
+    EXPECT_EQ(memory.read32(kSramBase + 8), 0x1234u);
+
+    memory.write32(0x30000000, 99);
+    EXPECT_EQ(device.last, 99u);
+
+    // Capability reads from MMIO never carry tags.
+    const auto raw = memory.readCap(0x30000000);
+    EXPECT_FALSE(raw.tag);
+
+    // Capability writes to MMIO strip tags (data still lands).
+    memory.writeCap(0x30000000, 0xabcdull, true);
+    EXPECT_EQ(device.last, 0u); // high word written last
+    EXPECT_EQ(device.lastOffset, 4u);
+}
+
+} // namespace
+} // namespace cheriot::mem

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * The eight inter-compartment memory-safety guarantees of paper §2.3,
+ * each demonstrated as an executable attack that the architecture +
+ * RTOS defeat deterministically.
+ *
+ * Setup: compartment A owns an object; compartment B is the attacker.
+ * "For any object owned by compartment A, compartment B must not be
+ * able to: ..."
+ */
+
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::rtos
+{
+namespace
+{
+
+using alloc::TemporalMode;
+using cap::Capability;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::TrapCause;
+
+class GuaranteesTest : public ::testing::Test
+{
+  protected:
+    GuaranteesTest()
+        : machine(config()), kernel(machine),
+          compartmentA(kernel.createCompartment("A")),
+          compartmentB(kernel.createCompartment("B")),
+          thread(kernel.createThread("main", 1, 4096))
+    {
+        kernel.initHeap(TemporalMode::SoftwareRevocation);
+        kernel.activate(thread);
+    }
+
+    static MachineConfig config()
+    {
+        MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 256u << 10;
+        c.heapOffset = 128u << 10;
+        c.heapSize = 64u << 10;
+        return c;
+    }
+
+    /** Run @p attack inside compartment B via a real cross-
+     * compartment call, passing @p args. */
+    CallResult runInB(EntryFn attack, ArgVec args = {})
+    {
+        const uint32_t index =
+            compartmentB.addExport({"attack", std::move(attack), false});
+        return kernel.call(thread, kernel.importOf(compartmentB, index),
+                           args);
+    }
+
+    Machine machine;
+    Kernel kernel;
+    Compartment &compartmentA;
+    Compartment &compartmentB;
+    Thread &thread;
+};
+
+TEST_F(GuaranteesTest, G1_NoAccessWithoutAPointer)
+{
+    // A's object lives in A's globals; B knows the address but holds
+    // no capability: every fabrication attempt fails.
+    const uint32_t secretAddr = compartmentA.globalsCap().base() + 64;
+    kernel.guest().storeWord(compartmentA.globalsCap(), secretAddr,
+                             0x5ec2e7);
+
+    const CallResult result = runInB(
+        [&](CompartmentContext &ctx, ArgVec &) {
+            // Attempt 1: conjure a pointer from the integer address.
+            const Capability forged =
+                Capability().withAddress(secretAddr);
+            uint32_t value = 0;
+            const TrapCause t1 = ctx.mem.tryLoadWord(forged, secretAddr,
+                                                     &value);
+            EXPECT_EQ(t1, TrapCause::CheriTagViolation);
+
+            // Attempt 2: re-derive from B's own globals (bounds do
+            // not reach A).
+            const Capability stretched =
+                ctx.globals().withAddress(secretAddr);
+            const TrapCause t2 = ctx.mem.tryLoadWord(
+                stretched, secretAddr, &value);
+            EXPECT_NE(t2, TrapCause::None);
+            return CallResult::ofInt(value);
+        });
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.value.address(), 0u) << "secret must not leak";
+}
+
+TEST_F(GuaranteesTest, G2_NoOutOfBoundsAccessThroughValidPointer)
+{
+    // A shares a 16-byte field of a larger object; B cannot reach the
+    // adjacent bytes.
+    const uint32_t objBase = compartmentA.globalsCap().base() + 128;
+    Capability field = compartmentA.globalsCap()
+                           .withAddress(objBase)
+                           .withBoundsExact(16);
+    ASSERT_TRUE(field.tag());
+    kernel.guest().storeWord(compartmentA.globalsCap(), objBase + 16,
+                             0xad7ace27);
+
+    const CallResult result = runInB(
+        [&](CompartmentContext &ctx, ArgVec &args) {
+            const Capability ptr = args[0];
+            uint32_t inside = 0;
+            EXPECT_EQ(ctx.mem.tryLoadWord(ptr, ptr.base(), &inside),
+                      TrapCause::None);
+            uint32_t outside = 0;
+            EXPECT_EQ(ctx.mem.tryLoadWord(ptr, ptr.base() + 16, &outside),
+                      TrapCause::CheriBoundsViolation);
+            // Pointer arithmetic cannot help: address moves past the
+            // representable range untag.
+            const Capability below = ptr.withAddressOffset(-16);
+            EXPECT_FALSE(below.tag());
+            return CallResult::ofInt(outside);
+        },
+        ArgVec::of({field}));
+    EXPECT_EQ(result.value.address(), 0u);
+}
+
+TEST_F(GuaranteesTest, G3_NoUseAfterFree)
+{
+    // B legitimately receives a heap pointer, A frees the object; any
+    // retained copy of B's is dead.
+    const Capability obj = kernel.malloc(thread, 64);
+    ASSERT_TRUE(obj.tag());
+
+    // B stores a copy in its globals during a first call.
+    const uint32_t stashAddr = compartmentB.globalsCap().base();
+    const CallResult stash = runInB(
+        [&](CompartmentContext &ctx, ArgVec &args) {
+            ctx.mem.storeCap(ctx.globals(), stashAddr, args[0]);
+            return CallResult::ofInt(0);
+        },
+        ArgVec::of({obj}));
+    ASSERT_TRUE(stash.ok());
+
+    // A frees it.
+    ASSERT_EQ(kernel.free(thread, obj),
+              alloc::HeapAllocator::FreeResult::Ok);
+
+    // B tries to use its stashed copy: the load filter killed it.
+    const CallResult attack = runInB(
+        [&](CompartmentContext &ctx, ArgVec &) {
+            const Capability stale =
+                ctx.mem.loadCap(ctx.globals(), stashAddr);
+            EXPECT_FALSE(stale.tag());
+            uint32_t value = 0;
+            const TrapCause t =
+                ctx.mem.tryLoadWord(stale, stale.address(), &value);
+            EXPECT_EQ(t, TrapCause::CheriTagViolation);
+            return CallResult::ofInt(stale.tag() ? 1 : 0);
+        });
+    EXPECT_EQ(attack.value.address(), 0u);
+}
+
+TEST_F(GuaranteesTest, G4_NoStackCaptureAcrossCalls)
+{
+    // B receives a pointer to A's on-stack object and tries to keep
+    // it beyond the call: every escape channel is closed.
+    uint32_t stashAddr = compartmentB.globalsCap().base() + 8;
+    Capability heapHolder = kernel.malloc(thread, 16);
+    ASSERT_TRUE(heapHolder.tag());
+
+    // Simulate A making an on-stack object within its activation...
+    const uint32_t outerIndex = compartmentA.addExport(
+        {"caller",
+         [&](CompartmentContext &ctx, ArgVec &) {
+             const Capability onStack = ctx.stackAlloc(32);
+             EXPECT_TRUE(onStack.tag());
+             EXPECT_TRUE(onStack.isLocal()) << "stack derived = local";
+
+             // ...and passing it to B.
+             ArgVec inner = ArgVec::of({onStack});
+             const uint32_t attackIndex = compartmentB.addExport(
+                 {"capture",
+                  [&](CompartmentContext &bctx, ArgVec &args) {
+                      const Capability stackPtr = args[0];
+                      // Channel 1: B's globals — no SL permission.
+                      EXPECT_EQ(bctx.mem.tryStoreCap(bctx.globals(),
+                                                     stashAddr, stackPtr),
+                                TrapCause::CheriStoreLocalViolation);
+                      // Channel 2: the heap — also no SL.
+                      EXPECT_EQ(bctx.mem.tryStoreCap(heapHolder,
+                                                     heapHolder.base(),
+                                                     stackPtr),
+                                TrapCause::CheriStoreLocalViolation);
+                      // Channel 3: B's own stack — allowed, but wiped
+                      // by the switcher on return.
+                      const Capability bFrame = bctx.stackAlloc(16);
+                      EXPECT_EQ(bctx.mem.tryStoreCap(
+                                    bFrame, bFrame.base(), stackPtr),
+                                TrapCause::None);
+                      return CallResult::ofInt(bFrame.base());
+                  },
+                  false});
+             return ctx.kernel.call(ctx.thread,
+                                    ctx.kernel.importOf(compartmentB,
+                                                        attackIndex),
+                                    inner);
+         },
+         false});
+
+    const CallResult result = kernel.call(
+        thread, kernel.importOf(compartmentA, outerIndex), {});
+    ASSERT_TRUE(result.ok());
+
+    // Channel 3's stash was in stack memory B used; after return the
+    // switcher zeroed it.
+    const uint32_t bFrameAddr = result.value.address();
+    const auto raw = machine.memory().sram().readCap(bFrameAddr);
+    EXPECT_FALSE(raw.tag) << "stack zeroing must destroy the capture";
+    EXPECT_EQ(raw.bits, 0u);
+}
+
+TEST_F(GuaranteesTest, G5_EphemeralDelegationCannotBeHeld)
+{
+    // A delegates a heap object for the duration of one call by
+    // clearing GL (§2.6 "ephemeral delegation"); B cannot store it
+    // anywhere but its (wiped) stack.
+    const Capability obj = kernel.malloc(thread, 32);
+    ASSERT_TRUE(obj.tag());
+    const Capability ephemeral = obj.withPermsAnd(
+        static_cast<uint16_t>(~cap::PermGlobal));
+    ASSERT_TRUE(ephemeral.tag());
+    ASSERT_TRUE(ephemeral.isLocal());
+
+    const uint32_t stashAddr = compartmentB.globalsCap().base() + 16;
+    const CallResult result = runInB(
+        [&](CompartmentContext &ctx, ArgVec &args) {
+            const Capability borrowed = args[0];
+            EXPECT_EQ(ctx.mem.tryStoreCap(ctx.globals(), stashAddr,
+                                          borrowed),
+                      TrapCause::CheriStoreLocalViolation);
+            // Returning it is also futile: the switcher strips local
+            // capabilities from return values.
+            return CallResult::ofCap(borrowed);
+        },
+        ArgVec::of({ephemeral}));
+    EXPECT_TRUE(result.ok());
+    EXPECT_FALSE(result.value.tag())
+        << "switcher must not let locals escape via returns";
+    EXPECT_EQ(kernel.free(thread, obj),
+              alloc::HeapAllocator::FreeResult::Ok);
+}
+
+TEST_F(GuaranteesTest, G6_ImmutableReferenceCannotBeWritten)
+{
+    const Capability obj = kernel.malloc(thread, 32);
+    const Capability readOnly = obj.withPermsAnd(static_cast<uint16_t>(
+        ~(cap::PermStore | cap::PermStoreLocal | cap::PermMemCap)));
+    ASSERT_TRUE(readOnly.tag());
+
+    const CallResult result = runInB(
+        [&](CompartmentContext &ctx, ArgVec &args) {
+            const Capability ref = args[0];
+            uint32_t value = 0;
+            EXPECT_EQ(ctx.mem.tryLoadWord(ref, ref.base(), &value),
+                      TrapCause::None);
+            EXPECT_EQ(ctx.mem.tryStoreWord(ref, ref.base(), 0x41414141),
+                      TrapCause::CheriPermViolation);
+            // Permissions cannot be regained.
+            const Capability again =
+                ref.withPermsAnd(cap::kAllPerms);
+            EXPECT_FALSE(again.perms().has(cap::PermStore));
+            return CallResult::ofInt(0);
+        },
+        ArgVec::of({readOnly}));
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(kernel.free(thread, obj),
+              alloc::HeapAllocator::FreeResult::Ok);
+}
+
+TEST_F(GuaranteesTest, G7_DeeplyImmutableReferenceIsTransitive)
+{
+    // A shares the root of a two-level structure without LM: the
+    // inner pointer B loads arrives stripped of SD/LM too (§3.1.1).
+    const Capability outer = kernel.malloc(thread, 16);
+    const Capability inner = kernel.malloc(thread, 16);
+    ASSERT_TRUE(outer.tag());
+    ASSERT_TRUE(inner.tag());
+    kernel.guest().storeCap(outer, outer.base(), inner);
+
+    const Capability deepRo = outer.withPermsAnd(
+        static_cast<uint16_t>(~(cap::PermStore | cap::PermStoreLocal |
+                                cap::PermLoadMutable)));
+    ASSERT_TRUE(deepRo.tag());
+
+    const CallResult result = runInB(
+        [&](CompartmentContext &ctx, ArgVec &args) {
+            const Capability root = args[0];
+            const Capability loadedInner =
+                ctx.mem.loadCap(root, root.base());
+            EXPECT_TRUE(loadedInner.tag());
+            // The loaded pointer lost its write permission in flight.
+            EXPECT_FALSE(loadedInner.perms().has(cap::PermStore));
+            EXPECT_FALSE(loadedInner.perms().has(cap::PermLoadMutable));
+            EXPECT_EQ(ctx.mem.tryStoreWord(loadedInner,
+                                           loadedInner.address(), 1),
+                      TrapCause::CheriPermViolation);
+            return CallResult::ofInt(0);
+        },
+        ArgVec::of({deepRo}));
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(kernel.free(thread, outer),
+              alloc::HeapAllocator::FreeResult::Ok);
+    EXPECT_EQ(kernel.free(thread, inner),
+              alloc::HeapAllocator::FreeResult::Ok);
+}
+
+TEST_F(GuaranteesTest, G8_OpaqueReferenceCannotBeTampered)
+{
+    // A hands B a sealed (opaque) reference; B can neither look
+    // inside, modify, nor counterfeit it.
+    const Capability obj = kernel.malloc(thread, 32);
+    kernel.guest().storeWord(obj, obj.base(), 0xfeedface);
+    const Capability sealer = kernel.loader().sealerFor(cap::kOtypeToken);
+    const auto sealedOpt = cap::seal(obj, sealer);
+    ASSERT_TRUE(sealedOpt.has_value());
+    const Capability opaque = *sealedOpt;
+
+    const CallResult result = runInB(
+        [&](CompartmentContext &ctx, ArgVec &args) {
+            const Capability handle = args[0];
+            EXPECT_TRUE(handle.isSealed());
+            uint32_t value = 0;
+            // Dereference fails.
+            EXPECT_EQ(ctx.mem.tryLoadWord(handle, handle.address(),
+                                          &value),
+                      TrapCause::CheriSealViolation);
+            // Any mutation destroys validity.
+            EXPECT_FALSE(handle.withAddressOffset(4).tag());
+            EXPECT_FALSE(handle.withBounds(8).tag());
+            EXPECT_FALSE(handle.withPermsAnd(0xfff).tag());
+            // Forging an unsealed twin from raw bits fails: tags
+            // cannot be set.
+            const Capability forged = Capability::fromBits(
+                handle.unsealedCopy().toBits(), false);
+            EXPECT_EQ(ctx.mem.tryLoadWord(forged, forged.address(),
+                                          &value),
+                      TrapCause::CheriTagViolation);
+            return CallResult::ofInt(value);
+        },
+        ArgVec::of({opaque}));
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.value.address(), 0u) << "contents must not leak";
+
+    // A (holding the unsealing authority) can still use it.
+    const auto unsealed = cap::unseal(opaque, sealer);
+    ASSERT_TRUE(unsealed.has_value());
+    EXPECT_EQ(kernel.guest().loadWord(*unsealed, unsealed->base()),
+              0xfeedfaceu);
+    EXPECT_EQ(kernel.free(thread, *unsealed),
+              alloc::HeapAllocator::FreeResult::Ok);
+}
+
+TEST_F(GuaranteesTest, G0_DefenseInDepthWithinACompartment)
+{
+    // §2.3: "compartments may use the same facilities to achieve
+    // defense in depth against bugs *within themselves*" — the
+    // compiler derives per-object bounded capabilities even for
+    // private globals, so an overflow on one global cannot reach the
+    // next.
+    const CallResult result = runInB(
+        [&](CompartmentContext &ctx, ArgVec &) {
+            const Capability globals = ctx.globals();
+            // Two adjacent "globals" of the compartment's own data.
+            const Capability tableA =
+                globals.withAddress(globals.base()).withBoundsExact(32);
+            const Capability secretB = globals
+                                           .withAddress(globals.base() + 32)
+                                           .withBoundsExact(16);
+            ctx.mem.storeWord(secretB, secretB.base(), 0x5ec2e7);
+
+            // A buggy loop overruns tableA: the per-object bounds
+            // stop it at exactly the object's end, before secretB.
+            uint32_t faults = 0;
+            for (uint32_t off = 0; off < 64; off += 4) {
+                if (ctx.mem.tryStoreWord(tableA, tableA.base() + off,
+                                         0x41414141) !=
+                    TrapCause::None) {
+                    ++faults;
+                }
+            }
+            EXPECT_EQ(faults, 8u) << "offsets 32..60 must all fault";
+            // The neighbouring global is untouched.
+            EXPECT_EQ(ctx.mem.loadWord(secretB, secretB.base()),
+                      0x5ec2e7u);
+            // And the whole-compartment authority still works for
+            // code that legitimately names the global.
+            EXPECT_EQ(ctx.mem.loadWord(globals, globals.base() + 32),
+                      0x5ec2e7u);
+            return CallResult::ofInt(0);
+        });
+    EXPECT_TRUE(result.ok());
+}
+
+} // namespace
+} // namespace cheriot::rtos

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the message-queue service: FIFO semantics, sealed-handle
+ * opacity, caller-buffer checking, wraparound, destruction and
+ * use-after-destroy rejection.
+ */
+
+#include "rtos/kernel.h"
+#include "rtos/message_queue.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::rtos
+{
+namespace
+{
+
+using cap::Capability;
+
+class MessageQueueTest : public ::testing::Test
+{
+  protected:
+    MessageQueueTest() : machine(config()), kernel(machine)
+    {
+        kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+        thread = &kernel.createThread("main", 1, 4096);
+        kernel.activate(*thread);
+        service = std::make_unique<MessageQueueService>(
+            kernel.guest(), kernel.allocator(),
+            kernel.loader().sealerFor(cap::kDataOtypeFree0));
+    }
+
+    static sim::MachineConfig config()
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 192u << 10;
+        c.heapOffset = 128u << 10;
+        c.heapSize = 64u << 10;
+        return c;
+    }
+
+    Capability buffer(uint32_t bytes, uint32_t fill)
+    {
+        const Capability buf = kernel.malloc(*thread, bytes);
+        for (uint32_t off = 0; off + 4 <= bytes; off += 4) {
+            kernel.guest().storeWord(buf, buf.base() + off, fill + off);
+        }
+        return buf;
+    }
+
+    sim::Machine machine;
+    Kernel kernel;
+    Thread *thread = nullptr;
+    std::unique_ptr<MessageQueueService> service;
+};
+
+TEST_F(MessageQueueTest, FifoOrderAcrossWraparound)
+{
+    // Capacity 6 with a net growth of one element per two rounds:
+    // the ring index wraps several times before the drain.
+    const Capability queue = service->create(8, 6);
+    ASSERT_TRUE(queue.tag());
+    EXPECT_TRUE(queue.isSealed());
+
+    const Capability out = kernel.malloc(*thread, 8);
+    uint32_t sent = 0;
+    uint32_t received = 0;
+    // Push/pop more than 2× capacity to exercise wraparound.
+    for (int round = 0; round < 10; ++round) {
+        const Capability msg = buffer(8, 0x100 * sent);
+        ASSERT_EQ(service->send(queue, msg),
+                  MessageQueueService::Result::Ok);
+        ++sent;
+        if (round % 2 == 1) {
+            ASSERT_EQ(service->receive(queue, out),
+                      MessageQueueService::Result::Ok);
+            EXPECT_EQ(kernel.guest().loadWord(out, out.base()),
+                      0x100u * received);
+            ++received;
+        }
+        ASSERT_EQ(kernel.free(*thread, msg),
+                  alloc::HeapAllocator::FreeResult::Ok);
+    }
+    EXPECT_EQ(service->depth(queue), sent - received);
+    while (received < sent) {
+        ASSERT_EQ(service->receive(queue, out),
+                  MessageQueueService::Result::Ok);
+        EXPECT_EQ(kernel.guest().loadWord(out, out.base()),
+                  0x100u * received);
+        ++received;
+    }
+    EXPECT_EQ(service->receive(queue, out),
+              MessageQueueService::Result::Empty);
+    EXPECT_EQ(service->destroy(queue), MessageQueueService::Result::Ok);
+}
+
+TEST_F(MessageQueueTest, FullAndEmpty)
+{
+    const Capability queue = service->create(4, 2);
+    const Capability msg = buffer(4, 1);
+    EXPECT_EQ(service->send(queue, msg), MessageQueueService::Result::Ok);
+    EXPECT_EQ(service->send(queue, msg), MessageQueueService::Result::Ok);
+    EXPECT_EQ(service->send(queue, msg),
+              MessageQueueService::Result::Full);
+    EXPECT_EQ(service->depth(queue), 2u);
+
+    const Capability out = kernel.malloc(*thread, 4);
+    EXPECT_EQ(service->receive(queue, out),
+              MessageQueueService::Result::Ok);
+    EXPECT_EQ(service->send(queue, msg), MessageQueueService::Result::Ok)
+        << "space reclaimed";
+}
+
+TEST_F(MessageQueueTest, HandleIsOpaqueAndUnforgeable)
+{
+    const Capability queue = service->create(8, 4);
+    // Clients cannot read the queue record through the handle.
+    uint32_t word = 0;
+    EXPECT_EQ(machine.loadData(queue, queue.address(), 4, false, &word,
+                               false),
+              sim::TrapCause::CheriSealViolation);
+    // Tampered handles are rejected.
+    EXPECT_FALSE(queue.withAddressOffset(4).tag());
+    // A capability sealed with a *different* otype is not a handle.
+    const auto forged = cap::seal(
+        kernel.malloc(*thread, 64),
+        kernel.loader().sealerFor(cap::kOtypeToken));
+    ASSERT_TRUE(forged.has_value());
+    EXPECT_EQ(service->depth(*forged), 0u);
+    EXPECT_EQ(service->send(*forged, buffer(8, 0)),
+              MessageQueueService::Result::InvalidHandle);
+}
+
+TEST_F(MessageQueueTest, CallerBufferIsChecked)
+{
+    const Capability queue = service->create(64, 2);
+    // Too-small source buffer: the copy faults at the boundary and
+    // nothing is enqueued.
+    const Capability tiny = kernel.malloc(*thread, 16);
+    EXPECT_EQ(service->send(queue, tiny),
+              MessageQueueService::Result::InvalidBuffer);
+    EXPECT_EQ(service->depth(queue), 0u);
+
+    // Read-only destination buffer: receive refuses.
+    const Capability msg = buffer(64, 7);
+    ASSERT_EQ(service->send(queue, msg), MessageQueueService::Result::Ok);
+    const Capability readOnly = msg.withPermsAnd(
+        static_cast<uint16_t>(~(cap::PermStore | cap::PermStoreLocal)));
+    EXPECT_EQ(service->receive(queue, readOnly),
+              MessageQueueService::Result::InvalidBuffer);
+    EXPECT_EQ(service->depth(queue), 1u) << "element not lost";
+}
+
+TEST_F(MessageQueueTest, DestroyInvalidatesAllHandles)
+{
+    const Capability queue = service->create(8, 4);
+    const Capability copy = queue; // another compartment's import
+    ASSERT_EQ(service->destroy(queue), MessageQueueService::Result::Ok);
+
+    EXPECT_EQ(service->send(copy, buffer(8, 0)),
+              MessageQueueService::Result::InvalidHandle);
+    EXPECT_EQ(service->receive(copy, kernel.malloc(*thread, 8)),
+              MessageQueueService::Result::InvalidHandle);
+    EXPECT_EQ(service->destroy(copy),
+              MessageQueueService::Result::InvalidHandle);
+}
+
+TEST_F(MessageQueueTest, QueuesAreIsolatedFromEachOther)
+{
+    const Capability a = service->create(4, 4);
+    const Capability b = service->create(4, 4);
+    ASSERT_EQ(service->send(a, buffer(4, 0xaaaa)),
+              MessageQueueService::Result::Ok);
+    EXPECT_EQ(service->depth(a), 1u);
+    EXPECT_EQ(service->depth(b), 0u);
+    const Capability out = kernel.malloc(*thread, 4);
+    EXPECT_EQ(service->receive(b, out),
+              MessageQueueService::Result::Empty);
+}
+
+TEST_F(MessageQueueTest, CreateRejectsSillySizes)
+{
+    EXPECT_FALSE(service->create(0, 4).tag());
+    EXPECT_FALSE(service->create(8, 0).tag());
+    EXPECT_FALSE(service->create(1u << 20, 4).tag());
+}
+
+} // namespace
+} // namespace cheriot::rtos

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for virtualized sealing (paper footnote 5): unbounded
+ * software seal types from one hardware otype, with the same
+ * opacity, unforgeability and key-gating as architectural seals.
+ */
+
+#include "rtos/kernel.h"
+#include "rtos/token_library.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::rtos
+{
+namespace
+{
+
+using cap::Capability;
+using sim::TrapCause;
+
+class TokenLibraryTest : public ::testing::Test
+{
+  protected:
+    TokenLibraryTest()
+        : machine(config()), kernel(machine)
+    {
+        kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+        thread = &kernel.createThread("main", 1, 4096);
+        kernel.activate(*thread);
+        library = std::make_unique<TokenLibrary>(
+            kernel.guest(), kernel.allocator(),
+            kernel.loader().sealerFor(cap::kOtypeToken));
+    }
+
+    static sim::MachineConfig config()
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 256u << 10;
+        c.heapOffset = 128u << 10;
+        c.heapSize = 64u << 10;
+        return c;
+    }
+
+    Capability makePayload(uint32_t marker)
+    {
+        const Capability payload = kernel.malloc(*thread, 32);
+        kernel.guest().storeWord(payload, payload.base(), marker);
+        return payload;
+    }
+
+    sim::Machine machine;
+    Kernel kernel;
+    Thread *thread = nullptr;
+    std::unique_ptr<TokenLibrary> library;
+};
+
+TEST_F(TokenLibraryTest, SealUnsealRoundTrip)
+{
+    const Capability key = library->createKey();
+    ASSERT_TRUE(key.tag());
+    EXPECT_TRUE(key.isSealed());
+
+    const Capability payload = makePayload(0x12345678);
+    const Capability token = library->seal(key, payload);
+    ASSERT_TRUE(token.tag());
+    EXPECT_TRUE(token.isSealed());
+
+    const Capability back = library->unseal(key, token);
+    ASSERT_TRUE(back.tag());
+    EXPECT_EQ(back, payload);
+    EXPECT_EQ(kernel.guest().loadWord(back, back.base()), 0x12345678u);
+}
+
+TEST_F(TokenLibraryTest, KeysAreMutuallyExclusive)
+{
+    const Capability keyA = library->createKey();
+    const Capability keyB = library->createKey();
+    const Capability token = library->seal(keyA, makePayload(1));
+    ASSERT_TRUE(token.tag());
+
+    EXPECT_FALSE(library->unseal(keyB, token).tag())
+        << "a different software key must not unseal the token";
+    EXPECT_TRUE(library->unseal(keyA, token).tag());
+}
+
+TEST_F(TokenLibraryTest, ManyMoreKeysThanHardwareOtypes)
+{
+    // The hardware has 7 data otypes; mint far more software keys
+    // and check pairwise isolation on a sample.
+    std::vector<Capability> keys;
+    std::vector<Capability> tokens;
+    for (uint32_t i = 0; i < 64; ++i) {
+        keys.push_back(library->createKey());
+        ASSERT_TRUE(keys.back().tag()) << i;
+        tokens.push_back(library->seal(keys.back(), makePayload(i)));
+        ASSERT_TRUE(tokens.back().tag()) << i;
+    }
+    for (uint32_t i = 0; i < 64; i += 7) {
+        for (uint32_t j = 0; j < 64; j += 9) {
+            const Capability result =
+                library->unseal(keys[i], tokens[j]);
+            EXPECT_EQ(result.tag(), i == j) << i << "," << j;
+        }
+    }
+}
+
+TEST_F(TokenLibraryTest, TokensAreArchitecturallyOpaque)
+{
+    const Capability key = library->createKey();
+    const Capability secret = makePayload(0x5ec2e7);
+    const Capability token = library->seal(key, secret);
+
+    // Dereference fails (sealed).
+    uint32_t word = 0;
+    EXPECT_EQ(machine.loadData(token, token.address(), 4, false, &word,
+                               false),
+              TrapCause::CheriSealViolation);
+    // Mutation destroys it.
+    EXPECT_FALSE(token.withAddressOffset(8).tag());
+    // The allocator refuses to free it (it is not an unsealed heap
+    // pointer), so holders cannot yank the box out from under the
+    // library.
+    EXPECT_NE(kernel.allocator().free(token),
+              alloc::HeapAllocator::FreeResult::Ok);
+}
+
+TEST_F(TokenLibraryTest, KeyCannotActAsToken)
+{
+    const Capability key = library->createKey();
+    EXPECT_FALSE(library->unseal(key, key).tag());
+    EXPECT_FALSE(library->destroy(key, key));
+    // Nor can a token act as a key.
+    const Capability token = library->seal(key, makePayload(2));
+    EXPECT_FALSE(library->seal(token, makePayload(3)).tag());
+}
+
+TEST_F(TokenLibraryTest, HardwareSealedCapsAreNotTokens)
+{
+    const Capability key = library->createKey();
+    // Seal something with a *different* hardware otype.
+    const Capability sealer =
+        kernel.loader().sealerFor(cap::kOtypeScheduler);
+    const auto other = cap::seal(makePayload(4), sealer);
+    ASSERT_TRUE(other.has_value());
+    EXPECT_FALSE(library->unseal(key, *other).tag());
+}
+
+TEST_F(TokenLibraryTest, DestroyReleasesTheBox)
+{
+    const Capability key = library->createKey();
+    const Capability payload = makePayload(7);
+    const uint64_t freeBefore = kernel.allocator().freeBytes() +
+                                kernel.allocator().quarantinedBytes();
+    const Capability token = library->seal(key, payload);
+    ASSERT_TRUE(token.tag());
+    EXPECT_TRUE(library->destroy(key, token));
+    const uint64_t freeAfter = kernel.allocator().freeBytes() +
+                               kernel.allocator().quarantinedBytes();
+    EXPECT_EQ(freeBefore, freeAfter);
+
+    // Destroyed tokens cannot be unsealed (the box was freed and
+    // zeroed; UAF protection applies to the library too).
+    EXPECT_FALSE(library->unseal(key, token).tag());
+    // Double destroy fails.
+    EXPECT_FALSE(library->destroy(key, token));
+}
+
+TEST_F(TokenLibraryTest, LocalPayloadsCannotBeBoxed)
+{
+    // The information-flow rule survives virtualization: a local
+    // (stack-scoped) capability cannot be captured inside a token.
+    const Capability key = library->createKey();
+    const Capability local = makePayload(9).withPermsAnd(
+        static_cast<uint16_t>(~cap::PermGlobal));
+    ASSERT_TRUE(local.isLocal());
+    EXPECT_FALSE(library->seal(key, local).tag());
+}
+
+} // namespace
+} // namespace cheriot::rtos

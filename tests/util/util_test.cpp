@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the utility layer: bit manipulation, the deterministic
+ * PRNG, statistics counters, and log formatting.
+ */
+
+#include "util/bits.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+#include <set>
+
+namespace cheriot
+{
+namespace
+{
+
+TEST(Bits, ExtractAndInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeefu, 8u, 8u), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeefu, 0u, 32u), 0xdeadbeefu);
+    EXPECT_EQ(bits(0xffu, 4u, 8u), 0x0fu);
+    EXPECT_TRUE(bit(0x80000000u, 31));
+    EXPECT_FALSE(bit(0x80000000u, 30));
+
+    EXPECT_EQ(insertBits(0u, 8u, 8u, 0xabu), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffffffu, 8u, 8u, 0u), 0xffff00ffu);
+    EXPECT_EQ(insertBits(0u, 0u, 32u, 0x1234u), 0x1234u);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend32(0x80, 8), -128);
+    EXPECT_EQ(signExtend32(0x7f, 8), 127);
+    EXPECT_EQ(signExtend32(0xfff, 12), -1);
+    EXPECT_EQ(signExtend32(0x800, 12), -2048);
+}
+
+TEST(Bits, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1237u, 8u), 0x1230u);
+    EXPECT_EQ(alignUp(0x1231u, 8u), 0x1238u);
+    EXPECT_EQ(alignUp(0x1238u, 8u), 0x1238u);
+    EXPECT_TRUE(isPowerOfTwo(64u));
+    EXPECT_FALSE(isPowerOfTwo(0u));
+    EXPECT_FALSE(isPowerOfTwo(48u));
+}
+
+TEST(Bits, WidthAndPopcount)
+{
+    EXPECT_EQ(bitWidth(0), 0u);
+    EXPECT_EQ(bitWidth(1), 1u);
+    EXPECT_EQ(bitWidth(511), 9u);
+    EXPECT_EQ(bitWidth(512), 10u);
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(0xff), 8u);
+    EXPECT_EQ(popcount(0x8000000000000001ull), 2u);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    Rng c(43);
+    bool anyDiff = false;
+    for (int i = 0; i < 100; ++i) {
+        const uint32_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        anyDiff |= va != c.next();
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, BelowAndRangeBounds)
+{
+    Rng rng(7);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const uint32_t value = rng.below(10);
+        EXPECT_LT(value, 10u);
+        seen.insert(value);
+        const uint32_t ranged = rng.range(5, 8);
+        EXPECT_GE(ranged, 5u);
+        EXPECT_LE(ranged, 8u);
+    }
+    EXPECT_EQ(seen.size(), 10u) << "all buckets hit";
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i) {
+        hits += rng.chance(1, 4);
+    }
+    EXPECT_NEAR(hits, 25000, 1200);
+}
+
+TEST(Stats, CountersAndSnapshot)
+{
+    StatGroup group("unit");
+    Counter a;
+    Counter b;
+    group.registerCounter("a", a);
+    group.registerCounter("b", b);
+    a += 5;
+    ++b;
+    b++;
+    const auto snapshot = group.snapshot();
+    EXPECT_EQ(snapshot.at("unit.a"), 5u);
+    EXPECT_EQ(snapshot.at("unit.b"), 2u);
+    group.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+TEST(Log, VformatProducesExpectedText)
+{
+    EXPECT_EQ(format("x=%d s=%s", 42, "hi"), "x=42 s=hi");
+    EXPECT_EQ(format("%08x", 0xbeef), "0000beef");
+    EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(LogDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "boom 7");
+}
+
+} // namespace
+} // namespace cheriot

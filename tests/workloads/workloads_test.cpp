@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Validation of the benchmark workloads themselves: the CoreMark
+ * kernels must compute identical checksums in every configuration
+ * (self-validation, as in real CoreMark), the allocation bench must
+ * preserve its invariants under every mode, and the IoT application
+ * components must behave deterministically.
+ */
+
+#include "workloads/allocbench/alloc_bench.h"
+#include "workloads/coremark/coremark.h"
+#include "workloads/iot/iot_app.h"
+#include "workloads/iot/microvm.h"
+#include "workloads/iot/packet_source.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cheriot::workloads
+{
+namespace
+{
+
+TEST(CoreMarkWorkload, ChecksumIdenticalAcrossAllSixConfigurations)
+{
+    const auto flute = runCoreMarkRow(sim::CoreConfig::flute(), 3);
+    const auto ibex = runCoreMarkRow(sim::CoreConfig::ibex(), 3);
+    ASSERT_TRUE(flute.baseline.valid);
+    ASSERT_TRUE(flute.withCaps.valid);
+    ASSERT_TRUE(flute.withFilter.valid);
+    ASSERT_TRUE(ibex.baseline.valid);
+
+    EXPECT_EQ(flute.baseline.checksum, flute.withCaps.checksum);
+    EXPECT_EQ(flute.baseline.checksum, flute.withFilter.checksum);
+    EXPECT_EQ(flute.baseline.checksum, ibex.baseline.checksum);
+    EXPECT_EQ(ibex.baseline.checksum, ibex.withCaps.checksum);
+    EXPECT_EQ(ibex.baseline.checksum, ibex.withFilter.checksum);
+    EXPECT_NE(flute.baseline.checksum, 0u);
+}
+
+TEST(CoreMarkWorkload, OverheadStructureMatchesTable3)
+{
+    const auto flute = runCoreMarkRow(sim::CoreConfig::flute(), 10);
+    const auto ibex = runCoreMarkRow(sim::CoreConfig::ibex(), 10);
+
+    // Capabilities cost something everywhere.
+    EXPECT_GT(flute.capsOverheadPercent(), 1.0);
+    EXPECT_GT(ibex.capsOverheadPercent(), 5.0);
+    // The filter is free on the 5-stage core...
+    EXPECT_NEAR(flute.filterOverheadPercent(),
+                flute.capsOverheadPercent(), 0.01);
+    // ...and visible on Ibex.
+    EXPECT_GT(ibex.filterOverheadPercent(),
+              ibex.capsOverheadPercent() + 3.0);
+    // Ibex suffers more than Flute (narrow bus).
+    EXPECT_GT(ibex.capsOverheadPercent(), flute.capsOverheadPercent());
+}
+
+TEST(CoreMarkWorkload, ScoresScaleWithIterations)
+{
+    CoreMarkConfig config;
+    config.core = sim::CoreConfig::ibex();
+    config.iterations = 4;
+    const auto small = runCoreMark(config, "small");
+    config.iterations = 8;
+    const auto large = runCoreMark(config, "large");
+    ASSERT_TRUE(small.valid);
+    ASSERT_TRUE(large.valid);
+    // Cycles roughly double; score (iterations per Mcycle) stays put.
+    EXPECT_NEAR(static_cast<double>(large.cycles) / small.cycles, 2.0,
+                0.25);
+    EXPECT_NEAR(large.score / small.score, 1.0, 0.1);
+}
+
+TEST(AllocBenchWorkload, AllCellsCompleteUnderEveryMode)
+{
+    for (const auto mode :
+         {alloc::TemporalMode::None, alloc::TemporalMode::MetadataOnly,
+          alloc::TemporalMode::SoftwareRevocation,
+          alloc::TemporalMode::HardwareRevocation}) {
+        for (const uint32_t size : {32u, 4096u, 131072u}) {
+            AllocBenchConfig config;
+            config.core = sim::CoreConfig::ibex();
+            config.mode = mode;
+            config.allocSize = size;
+            config.totalBytes = 512u << 10;
+            const auto result = runAllocBench(config);
+            EXPECT_TRUE(result.ok)
+                << alloc::temporalModeName(mode) << " @ " << size;
+            EXPECT_EQ(result.allocations, (512u << 10) / size);
+        }
+    }
+}
+
+TEST(AllocBenchWorkload, RevokingModesSweep)
+{
+    AllocBenchConfig config;
+    config.core = sim::CoreConfig::flute();
+    config.mode = alloc::TemporalMode::SoftwareRevocation;
+    config.allocSize = 131072;
+    config.totalBytes = 512u << 10;
+    const auto result = runAllocBench(config);
+    ASSERT_TRUE(result.ok);
+    EXPECT_GE(result.sweeps, 3u)
+        << "every 128 KiB allocation should force a sweep";
+}
+
+TEST(AllocBenchWorkload, HwmReducesStackZeroing)
+{
+    AllocBenchConfig config;
+    config.core = sim::CoreConfig::ibex();
+    config.mode = alloc::TemporalMode::None;
+    config.allocSize = 64;
+    config.totalBytes = 64u << 10;
+
+    config.stackHighWaterMark = false;
+    const auto without = runAllocBench(config);
+    config.stackHighWaterMark = true;
+    const auto with = runAllocBench(config);
+    ASSERT_TRUE(without.ok);
+    ASSERT_TRUE(with.ok);
+    EXPECT_LT(with.bytesZeroedOnStack, without.bytesZeroedOnStack / 2);
+    EXPECT_LT(with.cycles, without.cycles);
+}
+
+TEST(PacketSourceWorkload, DeterministicAndPlausible)
+{
+    PacketSource a(20'000'000, 10);
+    PacketSource b(20'000'000, 10);
+    uint64_t now = 0;
+    int fetches = 0;
+    for (int i = 0; i < 200; ++i) {
+        now = a.nextArrival();
+        EXPECT_EQ(b.nextArrival(), now) << "same seed, same schedule";
+        Packet pa{};
+        Packet pb{};
+        ASSERT_TRUE(a.poll(now, &pa));
+        ASSERT_TRUE(b.poll(now, &pb));
+        EXPECT_EQ(pa.bytes, pb.bytes);
+        EXPECT_GE(pa.bytes, 64u);
+        EXPECT_LE(pa.bytes, 1216u);
+        fetches += pa.isPayloadFetch;
+    }
+    // Every 16th packet is a payload fetch.
+    EXPECT_NEAR(fetches, 200 / 16, 2);
+    // 200 packets at 10/s ≈ 20 seconds of simulated time.
+    EXPECT_NEAR(static_cast<double>(now) / 20'000'000, 20.0, 4.0);
+}
+
+TEST(MicroVmWorkload, LedProgramParses)
+{
+    const auto program = MicroVm::ledAnimationProgram();
+    EXPECT_GT(program.size(), 16u);
+    EXPECT_EQ(static_cast<VmOp>(program.back()), VmOp::Halt);
+}
+
+TEST(IotAppWorkload, ShortRunProducesActivity)
+{
+    IotAppConfig config;
+    config.simSeconds = 1.0;
+    const auto result = runIotApp(config);
+    EXPECT_TRUE(result.ok);
+    EXPECT_TRUE(result.handshakeCompleted);
+    // ~100 ticks minus the TLS handshake window at the start.
+    EXPECT_NEAR(result.jsTicks, 100.0, 25.0) << "10 ms ticks for 1 s";
+    EXPECT_GT(result.packetsProcessed, 5u);
+    EXPECT_GT(result.jsObjects, 100u);
+    EXPECT_GT(result.crossCompartmentCalls,
+              result.packetsProcessed * 3 + result.jsTicks);
+    EXPECT_GT(result.cpuLoad, 0.05);
+    EXPECT_LT(result.cpuLoad, 0.60);
+}
+
+TEST(IotAppWorkload, TemporalSafetyModeAffectsLoadNotFunction)
+{
+    IotAppConfig config;
+    config.simSeconds = 0.5;
+    config.mode = alloc::TemporalMode::None;
+    const auto baseline = runIotApp(config);
+    config.mode = alloc::TemporalMode::HardwareRevocation;
+    const auto hardware = runIotApp(config);
+    ASSERT_TRUE(baseline.ok);
+    ASSERT_TRUE(hardware.ok);
+    // Same functional behaviour...
+    EXPECT_EQ(baseline.jsTicks, hardware.jsTicks);
+    EXPECT_EQ(baseline.finalLedState, hardware.finalLedState);
+    // ...at a near-zero safety cost: the background engine sweeps in
+    // cycles the application wasn't using anyway (§3.3.3).
+    EXPECT_NEAR(hardware.cpuLoad, baseline.cpuLoad,
+                baseline.cpuLoad * 0.15 + 0.02);
+}
+
+} // namespace
+} // namespace cheriot::workloads
