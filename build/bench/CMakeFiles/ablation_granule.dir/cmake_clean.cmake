@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_granule.dir/ablation_granule.cpp.o"
+  "CMakeFiles/ablation_granule.dir/ablation_granule.cpp.o.d"
+  "ablation_granule"
+  "ablation_granule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_granule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quarantine.dir/ablation_quarantine.cpp.o"
+  "CMakeFiles/ablation_quarantine.dir/ablation_quarantine.cpp.o.d"
+  "ablation_quarantine"
+  "ablation_quarantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quarantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_revoker.dir/ablation_revoker.cpp.o"
+  "CMakeFiles/ablation_revoker.dir/ablation_revoker.cpp.o.d"
+  "ablation_revoker"
+  "ablation_revoker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_revoker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_iot.dir/e2e_iot.cpp.o"
+  "CMakeFiles/e2e_iot.dir/e2e_iot.cpp.o.d"
+  "e2e_iot"
+  "e2e_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

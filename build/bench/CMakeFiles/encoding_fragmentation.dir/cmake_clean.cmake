@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_fragmentation.dir/encoding_fragmentation.cpp.o"
+  "CMakeFiles/encoding_fragmentation.dir/encoding_fragmentation.cpp.o.d"
+  "encoding_fragmentation"
+  "encoding_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

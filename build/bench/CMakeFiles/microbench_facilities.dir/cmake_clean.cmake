@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_facilities.dir/microbench_facilities.cpp.o"
+  "CMakeFiles/microbench_facilities.dir/microbench_facilities.cpp.o.d"
+  "microbench_facilities"
+  "microbench_facilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_facilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_latency.dir/realtime_latency.cpp.o"
+  "CMakeFiles/realtime_latency.dir/realtime_latency.cpp.o.d"
+  "realtime_latency"
+  "realtime_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_coremark.dir/table3_coremark.cpp.o"
+  "CMakeFiles/table3_coremark.dir/table3_coremark.cpp.o.d"
+  "table3_coremark"
+  "table3_coremark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_coremark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_alloc.dir/table4_alloc.cpp.o"
+  "CMakeFiles/table4_alloc.dir/table4_alloc.cpp.o.d"
+  "table4_alloc"
+  "table4_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baremetal_guest.dir/baremetal_guest.cpp.o"
+  "CMakeFiles/baremetal_guest.dir/baremetal_guest.cpp.o.d"
+  "baremetal_guest"
+  "baremetal_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baremetal_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_services.dir/firmware_services.cpp.o"
+  "CMakeFiles/firmware_services.dir/firmware_services.cpp.o.d"
+  "firmware_services"
+  "firmware_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_device.dir/iot_device.cpp.o"
+  "CMakeFiles/iot_device.dir/iot_device.cpp.o.d"
+  "iot_device"
+  "iot_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoped_delegation.dir/scoped_delegation.cpp.o"
+  "CMakeFiles/scoped_delegation.dir/scoped_delegation.cpp.o.d"
+  "scoped_delegation"
+  "scoped_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoped_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

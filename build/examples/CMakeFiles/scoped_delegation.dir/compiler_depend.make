@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scoped_delegation.
+# This may be replaced when dependencies are built.

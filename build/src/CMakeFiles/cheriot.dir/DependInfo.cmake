@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/chunk.cpp" "src/CMakeFiles/cheriot.dir/alloc/chunk.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/alloc/chunk.cpp.o.d"
+  "/root/repo/src/alloc/free_list.cpp" "src/CMakeFiles/cheriot.dir/alloc/free_list.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/alloc/free_list.cpp.o.d"
+  "/root/repo/src/alloc/heap_allocator.cpp" "src/CMakeFiles/cheriot.dir/alloc/heap_allocator.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/alloc/heap_allocator.cpp.o.d"
+  "/root/repo/src/alloc/quarantine.cpp" "src/CMakeFiles/cheriot.dir/alloc/quarantine.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/alloc/quarantine.cpp.o.d"
+  "/root/repo/src/cap/bounds.cpp" "src/CMakeFiles/cheriot.dir/cap/bounds.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/cap/bounds.cpp.o.d"
+  "/root/repo/src/cap/capability.cpp" "src/CMakeFiles/cheriot.dir/cap/capability.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/cap/capability.cpp.o.d"
+  "/root/repo/src/cap/permissions.cpp" "src/CMakeFiles/cheriot.dir/cap/permissions.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/cap/permissions.cpp.o.d"
+  "/root/repo/src/cap/sealing.cpp" "src/CMakeFiles/cheriot.dir/cap/sealing.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/cap/sealing.cpp.o.d"
+  "/root/repo/src/hwmodel/components.cpp" "src/CMakeFiles/cheriot.dir/hwmodel/components.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/hwmodel/components.cpp.o.d"
+  "/root/repo/src/hwmodel/gate_model.cpp" "src/CMakeFiles/cheriot.dir/hwmodel/gate_model.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/hwmodel/gate_model.cpp.o.d"
+  "/root/repo/src/hwmodel/ibex_variants.cpp" "src/CMakeFiles/cheriot.dir/hwmodel/ibex_variants.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/hwmodel/ibex_variants.cpp.o.d"
+  "/root/repo/src/hwmodel/power_model.cpp" "src/CMakeFiles/cheriot.dir/hwmodel/power_model.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/hwmodel/power_model.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/cheriot.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/decoder.cpp" "src/CMakeFiles/cheriot.dir/isa/decoder.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/isa/decoder.cpp.o.d"
+  "/root/repo/src/isa/disassembler.cpp" "src/CMakeFiles/cheriot.dir/isa/disassembler.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/isa/disassembler.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/CMakeFiles/cheriot.dir/isa/encoding.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/isa/encoding.cpp.o.d"
+  "/root/repo/src/mem/bus.cpp" "src/CMakeFiles/cheriot.dir/mem/bus.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/mem/bus.cpp.o.d"
+  "/root/repo/src/mem/memory_map.cpp" "src/CMakeFiles/cheriot.dir/mem/memory_map.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/mem/memory_map.cpp.o.d"
+  "/root/repo/src/mem/mmio.cpp" "src/CMakeFiles/cheriot.dir/mem/mmio.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/mem/mmio.cpp.o.d"
+  "/root/repo/src/mem/tagged_memory.cpp" "src/CMakeFiles/cheriot.dir/mem/tagged_memory.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/mem/tagged_memory.cpp.o.d"
+  "/root/repo/src/revoker/background_revoker.cpp" "src/CMakeFiles/cheriot.dir/revoker/background_revoker.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/revoker/background_revoker.cpp.o.d"
+  "/root/repo/src/revoker/load_filter.cpp" "src/CMakeFiles/cheriot.dir/revoker/load_filter.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/revoker/load_filter.cpp.o.d"
+  "/root/repo/src/revoker/revocation_bitmap.cpp" "src/CMakeFiles/cheriot.dir/revoker/revocation_bitmap.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/revoker/revocation_bitmap.cpp.o.d"
+  "/root/repo/src/revoker/software_revoker.cpp" "src/CMakeFiles/cheriot.dir/revoker/software_revoker.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/revoker/software_revoker.cpp.o.d"
+  "/root/repo/src/rtos/audit.cpp" "src/CMakeFiles/cheriot.dir/rtos/audit.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/rtos/audit.cpp.o.d"
+  "/root/repo/src/rtos/compartment.cpp" "src/CMakeFiles/cheriot.dir/rtos/compartment.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/rtos/compartment.cpp.o.d"
+  "/root/repo/src/rtos/guest_context.cpp" "src/CMakeFiles/cheriot.dir/rtos/guest_context.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/rtos/guest_context.cpp.o.d"
+  "/root/repo/src/rtos/kernel.cpp" "src/CMakeFiles/cheriot.dir/rtos/kernel.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/rtos/kernel.cpp.o.d"
+  "/root/repo/src/rtos/loader.cpp" "src/CMakeFiles/cheriot.dir/rtos/loader.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/rtos/loader.cpp.o.d"
+  "/root/repo/src/rtos/message_queue.cpp" "src/CMakeFiles/cheriot.dir/rtos/message_queue.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/rtos/message_queue.cpp.o.d"
+  "/root/repo/src/rtos/scheduler.cpp" "src/CMakeFiles/cheriot.dir/rtos/scheduler.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/rtos/scheduler.cpp.o.d"
+  "/root/repo/src/rtos/switcher.cpp" "src/CMakeFiles/cheriot.dir/rtos/switcher.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/rtos/switcher.cpp.o.d"
+  "/root/repo/src/rtos/token_library.cpp" "src/CMakeFiles/cheriot.dir/rtos/token_library.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/rtos/token_library.cpp.o.d"
+  "/root/repo/src/sim/core_config.cpp" "src/CMakeFiles/cheriot.dir/sim/core_config.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/sim/core_config.cpp.o.d"
+  "/root/repo/src/sim/csr.cpp" "src/CMakeFiles/cheriot.dir/sim/csr.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/sim/csr.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/CMakeFiles/cheriot.dir/sim/executor.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/cheriot.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/tracer.cpp" "src/CMakeFiles/cheriot.dir/sim/tracer.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/sim/tracer.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/cheriot.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/cheriot.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/util/stats.cpp.o.d"
+  "/root/repo/src/workloads/allocbench/alloc_bench.cpp" "src/CMakeFiles/cheriot.dir/workloads/allocbench/alloc_bench.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/allocbench/alloc_bench.cpp.o.d"
+  "/root/repo/src/workloads/coremark/coremark.cpp" "src/CMakeFiles/cheriot.dir/workloads/coremark/coremark.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/coremark/coremark.cpp.o.d"
+  "/root/repo/src/workloads/coremark/list_kernel.cpp" "src/CMakeFiles/cheriot.dir/workloads/coremark/list_kernel.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/coremark/list_kernel.cpp.o.d"
+  "/root/repo/src/workloads/coremark/matrix_kernel.cpp" "src/CMakeFiles/cheriot.dir/workloads/coremark/matrix_kernel.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/coremark/matrix_kernel.cpp.o.d"
+  "/root/repo/src/workloads/coremark/ptr_model.cpp" "src/CMakeFiles/cheriot.dir/workloads/coremark/ptr_model.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/coremark/ptr_model.cpp.o.d"
+  "/root/repo/src/workloads/coremark/state_kernel.cpp" "src/CMakeFiles/cheriot.dir/workloads/coremark/state_kernel.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/coremark/state_kernel.cpp.o.d"
+  "/root/repo/src/workloads/iot/iot_app.cpp" "src/CMakeFiles/cheriot.dir/workloads/iot/iot_app.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/iot/iot_app.cpp.o.d"
+  "/root/repo/src/workloads/iot/microvm.cpp" "src/CMakeFiles/cheriot.dir/workloads/iot/microvm.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/iot/microvm.cpp.o.d"
+  "/root/repo/src/workloads/iot/packet_source.cpp" "src/CMakeFiles/cheriot.dir/workloads/iot/packet_source.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/iot/packet_source.cpp.o.d"
+  "/root/repo/src/workloads/iot/tls_model.cpp" "src/CMakeFiles/cheriot.dir/workloads/iot/tls_model.cpp.o" "gcc" "src/CMakeFiles/cheriot.dir/workloads/iot/tls_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

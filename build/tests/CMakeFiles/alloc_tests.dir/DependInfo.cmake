@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc/allocator_test.cpp" "tests/CMakeFiles/alloc_tests.dir/alloc/allocator_test.cpp.o" "gcc" "tests/CMakeFiles/alloc_tests.dir/alloc/allocator_test.cpp.o.d"
+  "/root/repo/tests/alloc/calloc_realloc_test.cpp" "tests/CMakeFiles/alloc_tests.dir/alloc/calloc_realloc_test.cpp.o" "gcc" "tests/CMakeFiles/alloc_tests.dir/alloc/calloc_realloc_test.cpp.o.d"
+  "/root/repo/tests/alloc/claims_test.cpp" "tests/CMakeFiles/alloc_tests.dir/alloc/claims_test.cpp.o" "gcc" "tests/CMakeFiles/alloc_tests.dir/alloc/claims_test.cpp.o.d"
+  "/root/repo/tests/alloc/differential_fuzz_test.cpp" "tests/CMakeFiles/alloc_tests.dir/alloc/differential_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/alloc_tests.dir/alloc/differential_fuzz_test.cpp.o.d"
+  "/root/repo/tests/alloc/internals_test.cpp" "tests/CMakeFiles/alloc_tests.dir/alloc/internals_test.cpp.o" "gcc" "tests/CMakeFiles/alloc_tests.dir/alloc/internals_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cheriot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

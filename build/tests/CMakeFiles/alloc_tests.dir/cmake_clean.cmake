@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_tests.dir/alloc/allocator_test.cpp.o"
+  "CMakeFiles/alloc_tests.dir/alloc/allocator_test.cpp.o.d"
+  "CMakeFiles/alloc_tests.dir/alloc/calloc_realloc_test.cpp.o"
+  "CMakeFiles/alloc_tests.dir/alloc/calloc_realloc_test.cpp.o.d"
+  "CMakeFiles/alloc_tests.dir/alloc/claims_test.cpp.o"
+  "CMakeFiles/alloc_tests.dir/alloc/claims_test.cpp.o.d"
+  "CMakeFiles/alloc_tests.dir/alloc/differential_fuzz_test.cpp.o"
+  "CMakeFiles/alloc_tests.dir/alloc/differential_fuzz_test.cpp.o.d"
+  "CMakeFiles/alloc_tests.dir/alloc/internals_test.cpp.o"
+  "CMakeFiles/alloc_tests.dir/alloc/internals_test.cpp.o.d"
+  "alloc_tests"
+  "alloc_tests.pdb"
+  "alloc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cap/bounds_test.cpp" "tests/CMakeFiles/cap_tests.dir/cap/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/cap_tests.dir/cap/bounds_test.cpp.o.d"
+  "/root/repo/tests/cap/capability_test.cpp" "tests/CMakeFiles/cap_tests.dir/cap/capability_test.cpp.o" "gcc" "tests/CMakeFiles/cap_tests.dir/cap/capability_test.cpp.o.d"
+  "/root/repo/tests/cap/codec_exhaustive_test.cpp" "tests/CMakeFiles/cap_tests.dir/cap/codec_exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/cap_tests.dir/cap/codec_exhaustive_test.cpp.o.d"
+  "/root/repo/tests/cap/monotonicity_fuzz_test.cpp" "tests/CMakeFiles/cap_tests.dir/cap/monotonicity_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/cap_tests.dir/cap/monotonicity_fuzz_test.cpp.o.d"
+  "/root/repo/tests/cap/permissions_test.cpp" "tests/CMakeFiles/cap_tests.dir/cap/permissions_test.cpp.o" "gcc" "tests/CMakeFiles/cap_tests.dir/cap/permissions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cheriot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_tests.dir/cap/bounds_test.cpp.o"
+  "CMakeFiles/cap_tests.dir/cap/bounds_test.cpp.o.d"
+  "CMakeFiles/cap_tests.dir/cap/capability_test.cpp.o"
+  "CMakeFiles/cap_tests.dir/cap/capability_test.cpp.o.d"
+  "CMakeFiles/cap_tests.dir/cap/codec_exhaustive_test.cpp.o"
+  "CMakeFiles/cap_tests.dir/cap/codec_exhaustive_test.cpp.o.d"
+  "CMakeFiles/cap_tests.dir/cap/monotonicity_fuzz_test.cpp.o"
+  "CMakeFiles/cap_tests.dir/cap/monotonicity_fuzz_test.cpp.o.d"
+  "CMakeFiles/cap_tests.dir/cap/permissions_test.cpp.o"
+  "CMakeFiles/cap_tests.dir/cap/permissions_test.cpp.o.d"
+  "cap_tests"
+  "cap_tests.pdb"
+  "cap_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

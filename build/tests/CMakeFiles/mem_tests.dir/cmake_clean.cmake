@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_tests.dir/mem/bus_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/bus_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem/tagged_memory_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/tagged_memory_test.cpp.o.d"
+  "mem_tests"
+  "mem_tests.pdb"
+  "mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

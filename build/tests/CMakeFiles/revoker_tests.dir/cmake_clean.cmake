@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revoker_tests.dir/revoker/revoker_test.cpp.o"
+  "CMakeFiles/revoker_tests.dir/revoker/revoker_test.cpp.o.d"
+  "revoker_tests"
+  "revoker_tests.pdb"
+  "revoker_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revoker_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

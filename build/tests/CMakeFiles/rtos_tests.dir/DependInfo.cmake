@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtos/audit_test.cpp" "tests/CMakeFiles/rtos_tests.dir/rtos/audit_test.cpp.o" "gcc" "tests/CMakeFiles/rtos_tests.dir/rtos/audit_test.cpp.o.d"
+  "/root/repo/tests/rtos/loader_regions_test.cpp" "tests/CMakeFiles/rtos_tests.dir/rtos/loader_regions_test.cpp.o" "gcc" "tests/CMakeFiles/rtos_tests.dir/rtos/loader_regions_test.cpp.o.d"
+  "/root/repo/tests/rtos/memory_safety_guarantees_test.cpp" "tests/CMakeFiles/rtos_tests.dir/rtos/memory_safety_guarantees_test.cpp.o" "gcc" "tests/CMakeFiles/rtos_tests.dir/rtos/memory_safety_guarantees_test.cpp.o.d"
+  "/root/repo/tests/rtos/message_queue_test.cpp" "tests/CMakeFiles/rtos_tests.dir/rtos/message_queue_test.cpp.o" "gcc" "tests/CMakeFiles/rtos_tests.dir/rtos/message_queue_test.cpp.o.d"
+  "/root/repo/tests/rtos/switcher_test.cpp" "tests/CMakeFiles/rtos_tests.dir/rtos/switcher_test.cpp.o" "gcc" "tests/CMakeFiles/rtos_tests.dir/rtos/switcher_test.cpp.o.d"
+  "/root/repo/tests/rtos/token_library_test.cpp" "tests/CMakeFiles/rtos_tests.dir/rtos/token_library_test.cpp.o" "gcc" "tests/CMakeFiles/rtos_tests.dir/rtos/token_library_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cheriot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtos_tests.dir/rtos/audit_test.cpp.o"
+  "CMakeFiles/rtos_tests.dir/rtos/audit_test.cpp.o.d"
+  "CMakeFiles/rtos_tests.dir/rtos/loader_regions_test.cpp.o"
+  "CMakeFiles/rtos_tests.dir/rtos/loader_regions_test.cpp.o.d"
+  "CMakeFiles/rtos_tests.dir/rtos/memory_safety_guarantees_test.cpp.o"
+  "CMakeFiles/rtos_tests.dir/rtos/memory_safety_guarantees_test.cpp.o.d"
+  "CMakeFiles/rtos_tests.dir/rtos/message_queue_test.cpp.o"
+  "CMakeFiles/rtos_tests.dir/rtos/message_queue_test.cpp.o.d"
+  "CMakeFiles/rtos_tests.dir/rtos/switcher_test.cpp.o"
+  "CMakeFiles/rtos_tests.dir/rtos/switcher_test.cpp.o.d"
+  "CMakeFiles/rtos_tests.dir/rtos/token_library_test.cpp.o"
+  "CMakeFiles/rtos_tests.dir/rtos/token_library_test.cpp.o.d"
+  "rtos_tests"
+  "rtos_tests.pdb"
+  "rtos_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtos_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cap_tests[1]_include.cmake")
+include("/root/repo/build/tests/mem_tests[1]_include.cmake")
+include("/root/repo/build/tests/isa_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/revoker_tests[1]_include.cmake")
+include("/root/repo/build/tests/alloc_tests[1]_include.cmake")
+include("/root/repo/build/tests/hwmodel_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtos_tests[1]_include.cmake")
+include("/root/repo/build/tests/workloads_tests[1]_include.cmake")
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
