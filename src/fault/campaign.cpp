@@ -1,0 +1,238 @@
+#include "fault/campaign.h"
+
+#include "mem/memory_map.h"
+#include "util/log.h"
+#include "workloads/coremark/coremark.h"
+#include "workloads/iot/iot_app.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cheriot::fault
+{
+
+namespace
+{
+
+/** IoT campaign run: short horizon, busy packet schedule, handlers
+ * installed, tight watchdog budget. */
+workloads::IotAppConfig
+iotCampaignConfig(const CampaignConfig &campaign, FaultInjector *injector)
+{
+    workloads::IotAppConfig config;
+    config.simSeconds = 0.25;
+    config.packetsPerSec = 50;
+    config.injector = injector;
+    config.installErrorHandlers = true;
+    config.watchdogFaultBudget = campaign.faultBudget;
+    config.watchdogRestartDelayCycles = campaign.restartDelayCycles;
+    return config;
+}
+
+/** CoreMark campaign run: a few iterations, capability mode. */
+workloads::CoreMarkConfig
+coreMarkCampaignConfig(FaultInjector *injector, uint64_t maxInstructions)
+{
+    workloads::CoreMarkConfig config;
+    config.iterations = 4;
+    config.injector = injector;
+    config.maxInstructions = maxInstructions;
+    return config;
+}
+
+/** Any recovery machinery visibly reacted during the IoT run? */
+bool
+iotRecoveryObserved(const workloads::IotAppResult &run,
+                    const workloads::IotAppResult &ref)
+{
+    return run.calleeFaults > ref.calleeFaults ||
+           run.handlerInvocations > ref.handlerInvocations ||
+           run.forcedUnwinds > ref.forcedUnwinds ||
+           run.watchdogQuarantines > 0 || run.watchdogRestarts > 0 ||
+           run.revokerKicks > 0 || run.busRetries > 0 ||
+           run.trapsTaken > ref.trapsTaken;
+}
+
+Outcome
+classifyIot(const workloads::IotAppResult &run,
+            const workloads::IotAppResult &ref, bool fired)
+{
+    const bool observed = iotRecoveryObserved(run, ref);
+    const bool matches = run.ok &&
+                         run.packetsProcessed == ref.packetsProcessed &&
+                         run.jsTicks == ref.jsTicks &&
+                         run.finalLedState == ref.finalLedState;
+    if (!fired && !observed) {
+        return Outcome::NotTriggered;
+    }
+    if (matches) {
+        return observed ? Outcome::Recovered : Outcome::Benign;
+    }
+    if (!run.ok) {
+        return Outcome::Detected;
+    }
+    return observed ? Outcome::Degraded : Outcome::SilentDataCorruption;
+}
+
+Outcome
+classifyCoreMark(const workloads::CoreMarkResult &run,
+                 const workloads::CoreMarkResult &ref, bool fired)
+{
+    const bool observed = run.busRetries > 0 || run.trapsTaken > 0;
+    const bool matches = run.valid && run.checksum == ref.checksum;
+    if (!fired && !observed) {
+        return Outcome::NotTriggered;
+    }
+    if (matches) {
+        return observed ? Outcome::Recovered : Outcome::Benign;
+    }
+    if (!run.valid) {
+        // InstrLimit (hang), DoubleTrap (trap with no handler) and
+        // the like: the failure is loud, so the fault is contained.
+        return Outcome::Detected;
+    }
+    return observed ? Outcome::Degraded : Outcome::SilentDataCorruption;
+}
+
+} // namespace
+
+const char *
+campaignWorkloadName(CampaignWorkload workload)
+{
+    switch (workload) {
+      case CampaignWorkload::Both: return "both";
+      case CampaignWorkload::Iot: return "iot";
+      case CampaignWorkload::CoreMark: return "coremark";
+    }
+    return "unknown";
+}
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::NotTriggered: return "not-triggered";
+      case Outcome::Benign: return "benign";
+      case Outcome::Recovered: return "recovered";
+      case Outcome::Degraded: return "degraded";
+      case Outcome::Detected: return "detected";
+      case Outcome::SilentDataCorruption: return "silent-corruption";
+      case Outcome::kCount: break;
+    }
+    return "unknown";
+}
+
+CampaignReport
+runFaultCampaign(const CampaignConfig &config)
+{
+    CampaignReport report;
+    report.config = config;
+
+    // Clean reference runs: identical configuration, no injector.
+    const workloads::IotAppResult iotRef =
+        runIotApp(iotCampaignConfig(config, nullptr));
+    if (!iotRef.ok) {
+        fatal("campaign: IoT reference run failed");
+    }
+    const workloads::CoreMarkResult cmRef =
+        runCoreMark(coreMarkCampaignConfig(nullptr, 0), "reference");
+    if (!cmRef.valid) {
+        fatal("campaign: CoreMark reference run failed");
+    }
+    // A run that exceeds 4x the reference instruction count has hung;
+    // the machine halts it with InstrLimit, which counts as detected.
+    const uint64_t cmBudget = cmRef.instructions * 4 + 10'000;
+
+    const uint64_t iotHorizon = iotRef.cycles;
+    const uint32_t iotSramSize = 160u << 10;
+    // CoreMark's live image: program text from +0x1000, arena up to
+    // +0x20000. Aiming the memory faults there keeps most of them
+    // consequential rather than landing in never-touched SRAM.
+    const uint32_t cmMemSize = 0x20000;
+
+    for (uint32_t i = 0; i < config.injections; ++i) {
+        CampaignRun run;
+        run.index = i;
+        run.seed = Rng::deriveStreamSeed(config.seed, i);
+        run.workload = config.workload == CampaignWorkload::Both
+                           ? (i % 2 == 0 ? CampaignWorkload::Iot
+                                         : CampaignWorkload::CoreMark)
+                           : config.workload;
+
+        FaultInjector injector(run.seed);
+        if (run.workload == CampaignWorkload::Iot) {
+            run.plan = injector.planNext(iotHorizon, mem::kSramBase,
+                                         iotSramSize);
+            injector.arm(run.plan);
+            const auto result =
+                runIotApp(iotCampaignConfig(config, &injector));
+            run.fired = injector.fired();
+            run.outcome = classifyIot(result, iotRef, run.fired);
+        } else {
+            run.plan = injector.planNext(cmRef.cycles, mem::kSramBase,
+                                         cmMemSize);
+            injector.arm(run.plan);
+            const auto result = runCoreMark(
+                coreMarkCampaignConfig(&injector, cmBudget), "injected");
+            run.fired = injector.fired();
+            run.outcome = classifyCoreMark(result, cmRef, run.fired);
+        }
+        run.safetyViolations = injector.safetyViolations.value();
+
+        report.runs++;
+        report.fired += run.fired ? 1 : 0;
+        report.safetyViolations += run.safetyViolations;
+        report.matrix[static_cast<uint32_t>(run.plan.site)]
+                     [static_cast<uint32_t>(run.outcome)]++;
+        report.totals[static_cast<uint32_t>(run.outcome)]++;
+        report.details.push_back(run);
+
+        if (config.verbose) {
+            inform("campaign: run %4u %-8s %-14s -> %-17s "
+                   "(seed 0x%016" PRIx64 ")",
+                   i, campaignWorkloadName(run.workload),
+                   faultSiteName(run.plan.site), outcomeName(run.outcome),
+                   run.seed);
+        }
+    }
+    return report;
+}
+
+void
+printCampaignReport(const CampaignReport &report)
+{
+    std::printf("\nfault campaign: %" PRIu64 " runs (seed 0x%" PRIx64
+                ", workload %s), %" PRIu64 " faults fired\n\n",
+                report.runs, report.config.seed,
+                campaignWorkloadName(report.config.workload),
+                report.fired);
+
+    std::printf("%-16s", "site");
+    for (uint32_t o = 0; o < kOutcomeCount; ++o) {
+        std::printf("%18s", outcomeName(static_cast<Outcome>(o)));
+    }
+    std::printf("\n");
+    for (uint32_t s = 0; s < kFaultSiteCount; ++s) {
+        std::printf("%-16s", faultSiteName(static_cast<FaultSite>(s)));
+        for (uint32_t o = 0; o < kOutcomeCount; ++o) {
+            std::printf("%18" PRIu64, report.matrix[s][o]);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-16s", "total");
+    for (uint32_t o = 0; o < kOutcomeCount; ++o) {
+        std::printf("%18" PRIu64, report.totals[o]);
+    }
+    std::printf("\n\n");
+
+    std::printf("memory-safety violations (corrupted capability "
+                "dereferenced): %" PRIu64 "\n",
+                report.safetyViolations);
+    std::printf("invariant %s\n",
+                report.invariantHolds()
+                    ? "HOLDS: every injected fault was contained by the "
+                      "capability system"
+                    : "VIOLATED: a corrupted capability was dereferenced");
+}
+
+} // namespace cheriot::fault

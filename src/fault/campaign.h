@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Seeded fault-injection campaign over the paper's workloads.
+ *
+ * A campaign executes N independent runs. Run i constructs a fresh
+ * FaultInjector seeded with Rng::deriveStreamSeed(campaignSeed, i),
+ * draws one fault plan, arms it, and executes a workload (the IoT
+ * application of §7.2.3 or the CoreMark guest of §7.2.1) with the
+ * injector wired into the machine. Each run's output is compared
+ * against an uninjected reference run and classified.
+ *
+ * The headline invariant — the reason the campaign exists — is that
+ * no injected fault ever yields a successful dereference of a
+ * corrupted capability: the injector's safety oracle (poisoned
+ * granules vs. tagged loads) must report zero violations across the
+ * whole campaign. Plain-data corruption that slips through without
+ * tripping any detector is reported separately: it is an
+ * ECC-class availability problem, not a memory-safety escape.
+ */
+
+#ifndef CHERIOT_FAULT_CAMPAIGN_H
+#define CHERIOT_FAULT_CAMPAIGN_H
+
+#include "fault/fault_injector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cheriot::fault
+{
+
+/** Which workloads the campaign alternates between. */
+enum class CampaignWorkload : uint8_t
+{
+    Both = 0, ///< Alternate IoT and CoreMark runs.
+    Iot,
+    CoreMark,
+};
+
+const char *campaignWorkloadName(CampaignWorkload workload);
+
+/** How one injected run ended, relative to the clean reference. */
+enum class Outcome : uint8_t
+{
+    NotTriggered = 0, ///< The plan never fired (trigger past the run).
+    Benign,           ///< Fired; output identical, nothing reacted.
+    Recovered,        ///< Fired; output identical after visible recovery.
+    Degraded,         ///< Output differs, but a detector saw the fault.
+    Detected,         ///< Run failed visibly (fault contained, not silent).
+    SilentDataCorruption, ///< Output differs with no detector firing.
+    kCount,
+};
+
+constexpr uint32_t kOutcomeCount = static_cast<uint32_t>(Outcome::kCount);
+
+const char *outcomeName(Outcome outcome);
+
+struct CampaignConfig
+{
+    uint64_t seed = 0xc8e210a5u;
+    uint32_t injections = 100;
+    CampaignWorkload workload = CampaignWorkload::Both;
+    bool verbose = false;
+    /** Watchdog policy for the IoT runs: a tight budget so campaigns
+     * exercise quarantine + restart, not just handlers. */
+    uint32_t faultBudget = 4;
+    uint64_t restartDelayCycles = 2048;
+};
+
+/** One run's record (kept for verbose reporting / debugging). */
+struct CampaignRun
+{
+    uint32_t index = 0;
+    uint64_t seed = 0;
+    CampaignWorkload workload = CampaignWorkload::Iot;
+    FaultPlan plan;
+    bool fired = false;
+    Outcome outcome = Outcome::NotTriggered;
+    uint64_t safetyViolations = 0;
+};
+
+struct CampaignReport
+{
+    CampaignConfig config;
+    /** Injected-site × outcome matrix. */
+    uint64_t matrix[kFaultSiteCount][kOutcomeCount] = {};
+    uint64_t totals[kOutcomeCount] = {};
+    uint64_t runs = 0;
+    uint64_t fired = 0;
+    /** Safety-oracle trips summed over every run. MUST be zero. */
+    uint64_t safetyViolations = 0;
+    std::vector<CampaignRun> details;
+
+    /** The campaign's assertion: corrupted capabilities are never
+     * successfully dereferenced. */
+    bool invariantHolds() const { return safetyViolations == 0; }
+    uint64_t outcomes(Outcome outcome) const
+    {
+        return totals[static_cast<uint32_t>(outcome)];
+    }
+};
+
+CampaignReport runFaultCampaign(const CampaignConfig &config);
+
+/** Human-readable summary (site × outcome matrix + verdict). */
+void printCampaignReport(const CampaignReport &report);
+
+} // namespace cheriot::fault
+
+#endif // CHERIOT_FAULT_CAMPAIGN_H

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Deterministic fault-injection engine.
+ *
+ * A FaultInjector owns one plan at a time — a single hardware or
+ * software fault scheduled at a cycle (or bus-transaction) trigger —
+ * and the hook points threaded through the machine deliver it:
+ *
+ *  - tagged SRAM: capability-tag clears and data bit flips;
+ *  - the data bus: dropped and late transactions, recovered by the
+ *    bus model's bounded retry + backoff;
+ *  - the background revoker: stalled sweeps and stuck epochs,
+ *    recovered by the RTOS kick/timeout path;
+ *  - the revocation bitmap: spuriously painted granules
+ *    (over-revocation: an availability fault, never a safety one);
+ *  - the core: spurious traps and trap storms, absorbed by the
+ *    switcher's error-handler / forced-unwind machinery.
+ *
+ * All randomness comes from per-site streams split off a single
+ * 64-bit seed (Rng::forStream), so a campaign of N injections is
+ * reproducible bit-for-bit from (seed, index).
+ *
+ * Fail-safe corruption model: memory disturbances follow the
+ * CHERIoT-Ibex micro-tag design — any flip landing in a tagged
+ * granule also clears the covering micro-tag, exactly as a narrow
+ * data write does (paper §4), so injected corruption can *revoke*
+ * a capability's validity but never forge one. The injector still
+ * tracks every disturbed granule as *poisoned* and the machine
+ * reports a safety violation if a tagged capability is ever loaded
+ * from a poisoned granule — the invariant the campaign asserts. A
+ * test-only forgery mode leaves the micro-tags intact to prove the
+ * oracle actually fires.
+ */
+
+#ifndef CHERIOT_FAULT_FAULT_INJECTOR_H
+#define CHERIOT_FAULT_FAULT_INJECTOR_H
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace cheriot::mem
+{
+class TaggedMemory;
+}
+namespace cheriot::revoker
+{
+class RevocationBitmap;
+}
+
+namespace cheriot::fault
+{
+
+/** Where a fault is injected. */
+enum class FaultSite : uint8_t
+{
+    TagClear = 0,         ///< Clear a granule's capability tag.
+    DataFlip,             ///< Flip one data bit (clears micro-tag).
+    BusDrop,              ///< Drop bus transactions (bounded burst).
+    BusDelay,             ///< Delay a bus transaction by extra beats.
+    RevokerStall,         ///< Background sweep stops making progress.
+    RevokerStuckEpoch,    ///< Sweep completes but the epoch stays odd.
+    BitmapCorrupt,        ///< Paint a spurious revocation bit.
+    SpuriousFault,        ///< One spurious trap / callee fault.
+    FaultStorm,           ///< A burst of spurious faults.
+    kCount,
+};
+
+constexpr uint32_t kFaultSiteCount =
+    static_cast<uint32_t>(FaultSite::kCount);
+
+const char *faultSiteName(FaultSite site);
+
+/** One scheduled injection. */
+struct FaultPlan
+{
+    FaultSite site = FaultSite::TagClear;
+    /** Cycle at which cycle-triggered sites fire. */
+    uint64_t triggerCycle = 0;
+    /** Bus-transaction ordinal at which bus sites fire. */
+    uint64_t triggerTransaction = 0;
+    /** Target address for memory/bitmap sites. */
+    uint32_t addr = 0;
+    /** Site-specific payload (bit index, burst length, delay…). */
+    uint32_t param = 0;
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(uint64_t seed);
+
+    /** @name Planning @{ */
+    /**
+     * Draw the next plan from the per-site streams. @p horizonCycles
+     * bounds the trigger; [@p memBase, @p memBase + @p memSize) is
+     * the target window for memory faults.
+     */
+    FaultPlan planNext(uint64_t horizonCycles, uint32_t memBase,
+                       uint32_t memSize);
+    void arm(const FaultPlan &plan);
+    const FaultPlan &armedPlan() const { return plan_; }
+    bool armed() const { return armed_; }
+    /** Has the armed plan delivered its fault? */
+    bool fired() const { return fired_; }
+    /** @} */
+
+    /** @name Wiring (done by the machine constructor) @{ */
+    void attachMemory(mem::TaggedMemory *sram) { sram_ = sram; }
+    void attachBitmap(revoker::RevocationBitmap *bitmap)
+    {
+        bitmap_ = bitmap;
+    }
+    /** @} */
+
+    /** @name Machine hooks @{ */
+    /** Cycle hook: delivers cycle-triggered faults. */
+    void tick(uint64_t nowCycle);
+    /**
+     * Consume a pending spurious fault. Polled both by the guest-ISA
+     * step loop (trap) and by the switcher on callee return (callee
+     * fault), whichever observes it first.
+     */
+    bool takeSpuriousFault(uint32_t *cause);
+    /** @} */
+
+    /** @name Bus hooks @{ */
+    /**
+     * Called once per charged bus transaction. Returns the number of
+     * consecutive drops injected into this transaction (0 normally)
+     * and adds any injected latency to @p extraBeats.
+     */
+    uint32_t busTransactionFaults(uint32_t *extraBeats);
+    /** @} */
+
+    /** @name Revoker hooks @{ */
+    bool revokerStalled() const { return stalled_; }
+    bool suppressEpochIncrement() const { return epochStuck_; }
+    /** MMIO kick observed: clears stall and stuck-epoch states. */
+    void revokerKicked();
+    /** @} */
+
+    /** @name Safety oracle @{ */
+    /** Is the granule containing @p addr corrupted-but-unrepaired? */
+    bool isPoisoned(uint32_t addr) const;
+    /** A legitimate capability store rewrote the granule. */
+    void notePoisonRepaired(uint32_t addr);
+    /** A tagged capability was dereferenced out of a poisoned
+     * granule: the one outcome the system must never produce. */
+    void noteSafetyViolation(uint32_t addr);
+    /**
+     * Testing only: deliver flips *without* the fail-safe micro-tag
+     * clear, modelling hardware without the micro-tag protection.
+     * Proves the oracle is falsifiable.
+     */
+    void setAllowForgery(bool allow) { allowForgery_ = allow; }
+    bool allowForgery() const { return allowForgery_; }
+    /** @} */
+
+    uint64_t seed() const { return seed_; }
+    StatGroup &stats() { return stats_; }
+
+    Counter faultsInjected;     ///< Total faults delivered.
+    Counter tagsCleared;        ///< Injected tag clears.
+    Counter bitsFlipped;        ///< Injected data bit flips.
+    Counter busDrops;           ///< Dropped bus transactions.
+    Counter busDelays;          ///< Delayed bus transactions.
+    Counter revokerStalls;      ///< Stall windows opened.
+    Counter epochsStuck;        ///< Stuck-epoch faults armed.
+    Counter bitmapBitsPainted;  ///< Spurious revocation bits set.
+    Counter spuriousFaults;     ///< Spurious traps delivered.
+    Counter kicksObserved;      ///< Recovery kicks that cleared us.
+    Counter safetyViolations;   ///< MUST stay zero outside forgery mode.
+
+  private:
+    void fire(uint64_t nowCycle);
+
+    uint64_t seed_;
+    Rng streams_[kFaultSiteCount];
+    Rng selector_;
+
+    FaultPlan plan_;
+    bool armed_ = false;
+    bool fired_ = false;
+    bool allowForgery_ = false;
+
+    mem::TaggedMemory *sram_ = nullptr;
+    revoker::RevocationBitmap *bitmap_ = nullptr;
+
+    /** Delivery state. */
+    uint64_t busTransactions_ = 0;
+    uint32_t pendingSpurious_ = 0;
+    uint32_t spuriousCause_ = 0;
+    bool stalled_ = false;
+    uint64_t stallDeadline_ = 0;
+    bool epochStuck_ = false;
+
+    /** Granules disturbed by injection and not yet rewritten. */
+    std::unordered_set<uint32_t> poisoned_;
+
+    StatGroup stats_{"fault_injector"};
+};
+
+} // namespace cheriot::fault
+
+#endif // CHERIOT_FAULT_FAULT_INJECTOR_H

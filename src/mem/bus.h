@@ -13,7 +13,14 @@
 #ifndef CHERIOT_MEM_BUS_H
 #define CHERIOT_MEM_BUS_H
 
+#include "util/stats.h"
+
 #include <cstdint>
+
+namespace cheriot::fault
+{
+class FaultInjector;
+}
 
 namespace cheriot::mem
 {
@@ -49,6 +56,61 @@ zeroBeats(BusWidth width, uint32_t bytes)
 }
 
 const char *busWidthName(BusWidth width);
+
+/** Outcome of one bus transaction through the retry machinery. */
+struct BusResult
+{
+    bool ok = true;           ///< False: retries exhausted (bus error).
+    uint32_t extraCycles = 0; ///< Cycles beyond the fault-free cost.
+    uint32_t retries = 0;     ///< Replays performed.
+};
+
+/**
+ * Transaction-level bus model with bounded retry + backoff.
+ *
+ * The fault-free path is free: timing stays exactly the beat counts
+ * the cycle model already charges. When a fault injector reports a
+ * dropped transaction the initiator replays it, doubling a small
+ * backoff each attempt (glitches from e.g. supply noise are bursty,
+ * so immediate replay tends to fail again); after kMaxRetries the
+ * transaction errors out and the core sees an access fault. Late
+ * (delayed) transactions simply stretch the port-busy window.
+ */
+class Bus
+{
+  public:
+    /** Replays before a transaction is declared dead. */
+    static constexpr uint32_t kMaxRetries = 4;
+    /** First-retry backoff in cycles; doubles per attempt. */
+    static constexpr uint32_t kBackoffBase = 2;
+
+    explicit Bus(BusWidth width) : width_(width)
+    {
+        stats_.registerCounter("transactions", transactions);
+        stats_.registerCounter("retries", retries);
+        stats_.registerCounter("delayCycles", delayCycles);
+        stats_.registerCounter("errors", errors);
+    }
+
+    BusWidth width() const { return width_; }
+
+    /**
+     * Run one transaction of @p beats beats. @p injector may inject
+     * drops (replayed with backoff) or latency; null means fault-free.
+     */
+    BusResult transact(unsigned beats, fault::FaultInjector *injector);
+
+    Counter transactions; ///< Transactions initiated.
+    Counter retries;      ///< Replays after drops.
+    Counter delayCycles;  ///< Cycles lost to delays and backoff.
+    Counter errors;       ///< Transactions that exhausted retries.
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    BusWidth width_;
+    StatGroup stats_{"bus"};
+};
 
 } // namespace cheriot::mem
 

@@ -168,4 +168,28 @@ TaggedMemory::zeroRange(uint32_t addr, uint32_t bytes)
     }
 }
 
+void
+TaggedMemory::injectDataFlip(uint32_t addr, uint32_t bit, bool failSafe)
+{
+    const uint32_t off = offsetOf(alignDown<uint32_t>(addr, 8), 8, 8);
+    data_[off + (bit / 8) % 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    if (failSafe) {
+        const uint8_t halfMask = (bit % 64) < 32 ? 0x1 : 0x2;
+        if (microTags_[off / 8] & halfMask) {
+            tagClears++;
+        }
+        microTags_[off / 8] &= ~halfMask;
+    }
+}
+
+void
+TaggedMemory::injectTagClear(uint32_t addr)
+{
+    const uint32_t off = offsetOf(alignDown<uint32_t>(addr, 8), 8, 8);
+    if (microTags_[off / 8] != 0) {
+        tagClears++;
+    }
+    microTags_[off / 8] = 0;
+}
+
 } // namespace cheriot::mem

@@ -80,6 +80,22 @@ class TaggedMemory
     /** Zero a byte range (also clears covered micro-tags). */
     void zeroRange(uint32_t addr, uint32_t bytes);
 
+    /** @name Fault-injection back door (FaultInjector only) @{ */
+    /**
+     * Flip bit @p bit (0–63) of the granule containing @p addr.
+     * With @p failSafe the covering half's micro-tag is cleared, as
+     * any narrow disturbance of the storage array does on real
+     * CHERIoT-Ibex — corrupted capabilities lose their validity
+     * instead of becoming forgeries. @p failSafe=false models
+     * hardware without micro-tag protection (oracle testing only).
+     */
+    void injectDataFlip(uint32_t addr, uint32_t bit, bool failSafe);
+    /** Clear both micro-tags of the granule containing @p addr
+     * without touching data (a particle strike on the tag array;
+     * 1→0 only — the tag bit cell cannot be set by disturbance). */
+    void injectTagClear(uint32_t addr);
+    /** @} */
+
     StatGroup &stats() { return stats_; }
 
     Counter reads;      ///< Data read accesses.

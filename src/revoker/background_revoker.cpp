@@ -1,6 +1,7 @@
 #include "revoker/background_revoker.h"
 
 #include "cap/capability.h"
+#include "fault/fault_injector.h"
 #include "util/log.h"
 
 namespace cheriot::revoker
@@ -15,6 +16,8 @@ BackgroundRevoker::BackgroundRevoker(mem::TaggedMemory &sram,
     stats_.registerCounter("tagsInvalidated", tagsInvalidated);
     stats_.registerCounter("snoopReloads", snoopReloads);
     stats_.registerCounter("portCycles", portCycles);
+    stats_.registerCounter("stallCycles", stallCycles);
+    stats_.registerCounter("kicksReceived", kicksReceived);
 }
 
 bool
@@ -43,6 +46,12 @@ BackgroundRevoker::startSweep()
 void
 BackgroundRevoker::finishSweep()
 {
+    if (injector_ != nullptr && injector_->suppressEpochIncrement()) {
+        // Stuck-epoch fault: the sweep ran dry but the completion
+        // never becomes visible. Persists until software kicks the
+        // engine (tick() retries this path every free cycle).
+        return;
+    }
     ++epoch_; // Even: idle.
     if (completionInterrupt_) {
         irqPending_ = true;
@@ -100,6 +109,12 @@ bool
 BackgroundRevoker::tick(bool memPortFree)
 {
     if (!sweeping() || !memPortFree) {
+        return false;
+    }
+    if (injector_ != nullptr && injector_->revokerStalled()) {
+        // Injected stall: the engine holds its state but makes no
+        // progress until kicked (or the stall window expires).
+        stallCycles++;
         return false;
     }
 
@@ -201,6 +216,12 @@ BackgroundRevoker::write32(uint32_t offset, uint32_t value)
       case 0x8:
         break; // epoch is read-only.
       case 0xc:
+        kicksReceived++;
+        if (injector_ != nullptr) {
+            // A kick resets the engine's control path, clearing any
+            // injected stall or stuck-epoch condition.
+            injector_->revokerKicked();
+        }
         startSweep();
         break;
       default:

@@ -38,6 +38,11 @@
 #include "revoker/revocation_bitmap.h"
 #include "util/stats.h"
 
+namespace cheriot::fault
+{
+class FaultInjector;
+}
+
 namespace cheriot::revoker
 {
 
@@ -57,6 +62,15 @@ class BackgroundRevoker : public mem::MmioDevice
         completionInterrupt_ = enabled;
     }
     bool completionInterrupt() const { return completionInterrupt_; }
+    /**
+     * Attach a fault injector: the engine consults it for stall and
+     * stuck-epoch faults and reports kicks to it (a kick is the
+     * software recovery action that clears both).
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
     /** @} */
 
     /** @name Architectural state @{ */
@@ -89,6 +103,8 @@ class BackgroundRevoker : public mem::MmioDevice
     Counter tagsInvalidated; ///< Stale capabilities invalidated.
     Counter snoopReloads;    ///< Words reloaded due to store snoops.
     Counter portCycles;      ///< Memory-port cycles consumed.
+    Counter stallCycles;     ///< Cycles lost to injected stalls.
+    Counter kicksReceived;   ///< MMIO kicks observed.
 
     StatGroup &stats() { return stats_; }
 
@@ -111,6 +127,7 @@ class BackgroundRevoker : public mem::MmioDevice
     mem::TaggedMemory &sram_;
     RevocationBitmap &bitmap_;
     mem::BusWidth busWidth_;
+    fault::FaultInjector *injector_ = nullptr;
     bool skipSecondHalf_ = false;
     bool completionInterrupt_ = true;
     bool irqPending_ = false;

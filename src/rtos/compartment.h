@@ -85,6 +85,9 @@ struct CallResult
         r.fault = cause;
         return r;
     }
+
+    /** Human-readable fault cause for diagnostics and logs. */
+    const char *faultName() const { return sim::trapCauseName(fault); }
 };
 
 /** Execution environment the switcher installs for a callee. */
@@ -112,6 +115,76 @@ struct CompartmentContext
 
 /** Body of an exported entry point. */
 using EntryFn = std::function<CallResult(CompartmentContext &, ArgVec &)>;
+
+/**
+ * What the switcher tells a compartment's error handler about a
+ * fault in one of its (possibly nested) callees (paper §5.2).
+ */
+struct FaultInfo
+{
+    sim::TrapCause cause = sim::TrapCause::None;
+    /** Trusted-stack depth at which the fault surfaced. */
+    uint32_t depth = 0;
+    /** Faults this compartment has accumulated (including this). */
+    uint32_t faultCount = 0;
+    /** Watchdog budget left before quarantine (0 = exhausted). */
+    uint32_t budgetRemaining = 0;
+
+    const char *causeName() const { return sim::trapCauseName(cause); }
+};
+
+/** An error handler's verdict. */
+enum class ErrorRecovery : uint8_t
+{
+    /** Continue the forced unwind: the caller sees the fault. */
+    ForceUnwind,
+    /** The handler repaired enough state to synthesise a return
+     * value; the caller observes a normal (degraded) return. */
+    Handled,
+};
+
+struct HandlerDecision
+{
+    ErrorRecovery action = ErrorRecovery::ForceUnwind;
+    CallResult result; ///< Returned to the caller when Handled.
+
+    static HandlerDecision forceUnwind() { return {}; }
+    static HandlerDecision handled(CallResult r)
+    {
+        HandlerDecision d;
+        d.action = ErrorRecovery::Handled;
+        d.result = std::move(r);
+        return d;
+    }
+};
+
+/**
+ * Per-compartment error handler, invoked by the switcher in the
+ * faulting compartment's own context (its globals, the already
+ * chopped stack) when a call into it faults.
+ */
+using ErrorHandler =
+    std::function<HandlerDecision(CompartmentContext &, const FaultInfo &)>;
+
+/**
+ * Per-compartment fault-recovery bookkeeping, owned by the kernel
+ * watchdog. A compartment whose faults-since-restart figure exhausts
+ * the watchdog's budget is *quarantined*: calls into it fail fast
+ * with CompartmentQuarantined until the restart delay elapses, after
+ * which the watchdog zeroes its globals and re-admits it.
+ */
+struct FaultRecoveryState
+{
+    uint32_t faultsTotal = 0;
+    uint32_t faultsSinceRestart = 0;
+    bool quarantined = false;
+    uint64_t restartDueCycle = 0;
+    uint32_t quarantines = 0;
+    uint32_t restarts = 0;
+    /** Re-entrancy latch: a handler that itself faults does not get
+     * a second handler invocation (paper §5.2's double-fault rule). */
+    bool handlerActive = false;
+};
 
 /** An exported cross-compartment entry point. */
 struct Export
@@ -149,11 +222,28 @@ class Compartment
 
     size_t exportCount() const { return exports_.size(); }
 
+    /** @name Error handling (paper §5.2) @{ */
+    void setErrorHandler(ErrorHandler handler)
+    {
+        errorHandler_ = std::move(handler);
+    }
+    bool hasErrorHandler() const
+    {
+        return static_cast<bool>(errorHandler_);
+    }
+    const ErrorHandler &errorHandler() const { return errorHandler_; }
+
+    FaultRecoveryState &faultState() { return faultState_; }
+    const FaultRecoveryState &faultState() const { return faultState_; }
+    /** @} */
+
   private:
     std::string name_;
     cap::Capability codeCap_;
     cap::Capability globalsCap_;
     std::vector<Export> exports_;
+    ErrorHandler errorHandler_;
+    FaultRecoveryState faultState_;
 };
 
 /**

@@ -34,14 +34,36 @@ HardwareRevokerHandle::requestSweep()
 void
 HardwareRevokerHandle::waitForCompletion()
 {
-    scheduler_.blockUntil([this] { return !sweepInProgress(); });
+    // Waiting with a watchdog timeout: a revoker that stops making
+    // progress (stalled pipeline, stuck epoch) would otherwise block
+    // the allocator forever. After kStallTimeoutPolls the waiter
+    // kicks the engine through its MMIO kick register — the reset of
+    // the engine's control path — and resumes waiting.
+    uint32_t kicks = 0;
+    while (sweepInProgress()) {
+        uint32_t polls = 0;
+        scheduler_.blockUntil([this, &polls] {
+            return !sweepInProgress() || ++polls > kStallTimeoutPolls;
+        });
+        if (!sweepInProgress()) {
+            break;
+        }
+        timeoutKicks++;
+        warn("revoker: sweep made no visible progress in %u polls — "
+             "kicking the engine (kick #%u)",
+             kStallTimeoutPolls, ++kicks);
+        guest_.storeWord(mmioCap_, mmioCap_.base() + 0xc, 1);
+        if (kicks > 1000) {
+            panic("revoker: engine wedged beyond recovery");
+        }
+    }
 }
 
 // --- Kernel -------------------------------------------------------------
 
 Kernel::Kernel(sim::Machine &machine)
     : machine_(machine), guest_(machine), loader_(machine),
-      switcher_(guest_)
+      switcher_(guest_), watchdog_(guest_)
 {
     // Register save area for the scheduler: it stores whole register
     // files, including local (stack) capabilities, so it needs SL.

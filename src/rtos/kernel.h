@@ -17,6 +17,7 @@
 #include "rtos/scheduler.h"
 #include "rtos/switcher.h"
 #include "rtos/thread.h"
+#include "rtos/watchdog.h"
 
 #include <memory>
 #include <vector>
@@ -40,10 +41,17 @@ class HardwareRevokerHandle : public revoker::Revoker
           sweepBase_(sweepBase), sweepEnd_(sweepEnd)
     {}
 
+    /** Polls of the completion predicate before the wait loop
+     * suspects a wedged engine and kicks it (each poll costs
+     * Scheduler::blockUntil's poll window of idle cycles). */
+    static constexpr uint32_t kStallTimeoutPolls = 64;
+
     uint32_t epoch() const override;
     void requestSweep() override;
     void waitForCompletion() override;
     const char *kind() const override { return "hardware"; }
+
+    Counter timeoutKicks; ///< Recovery kicks issued by the waiter.
 
   private:
     GuestContext &guest_;
@@ -68,6 +76,12 @@ class Kernel
     Loader &loader() { return loader_; }
     Switcher &switcher() { return switcher_; }
     Scheduler &scheduler() { return *scheduler_; }
+    Watchdog &watchdog() { return watchdog_; }
+    /** Hardware-revoker handle, or null unless HardwareRevocation. */
+    HardwareRevokerHandle *hardwareRevoker()
+    {
+        return hardwareRevoker_.get();
+    }
     /** @} */
 
     /** @name System construction (boot time) @{ */
@@ -124,6 +138,7 @@ class Kernel
     GuestContext guest_;
     Loader loader_;
     Switcher switcher_;
+    Watchdog watchdog_;
     std::unique_ptr<Scheduler> scheduler_;
 
     std::vector<std::unique_ptr<Compartment>> compartments_;

@@ -1,6 +1,9 @@
 #include "rtos/switcher.h"
 
 #include "cap/permissions.h"
+#include "fault/fault_injector.h"
+#include "rtos/kernel.h"
+#include "rtos/watchdog.h"
 #include "util/bits.h"
 #include "util/log.h"
 
@@ -45,8 +48,26 @@ Switcher::call(Kernel &kernel, Thread &thread, const Import &import,
     if (!import.valid()) {
         return CallResult::faulted(sim::TrapCause::CheriSealViolation);
     }
-    const Export &target = import.target();
     sim::Machine &machine = guest_.machine();
+
+    // Fail-fast gates, before any trusted-stack work (§5.2): a
+    // thread in forced unwind cannot start new calls (each frame
+    // must pop, not grow), and a quarantined compartment is never
+    // entered at all — that is what keeps a crash-looping
+    // compartment from consuming the system's cycles.
+    if (thread.unwinding()) {
+        rejectedCalls++;
+        return CallResult::faulted(thread.unwindCause());
+    }
+    if (kernel.watchdog().shouldReject(*import.compartment,
+                                       machine.cycles())) {
+        rejectedCalls++;
+        guest_.chargeExecution(8); // The entry check before bailing.
+        return CallResult::faulted(
+            sim::TrapCause::CompartmentQuarantined);
+    }
+
+    const Export &target = import.target();
 
     calls++;
     thread.crossCompartmentCalls++;
@@ -96,6 +117,16 @@ Switcher::call(Kernel &kernel, Thread &thread, const Import &import,
     CallResult result;
     result = target.fn(context, args);
 
+    // Fault injection: a spurious trap delivered while this
+    // activation was on the core surfaces as a callee fault.
+    if (result.ok() && machine.faultInjector() != nullptr) {
+        uint32_t cause = 0;
+        if (machine.faultInjector()->takeSpuriousFault(&cause)) {
+            result =
+                CallResult::faulted(static_cast<sim::TrapCause>(cause));
+        }
+    }
+
     // --- Return path ----------------------------------------------------
     machine.setInterruptsEnabled(savedPosture);
 
@@ -104,6 +135,8 @@ Switcher::call(Kernel &kernel, Thread &thread, const Import &import,
         // receives the error return rather than a trap (§2.2's
         // blast-radius limiting).
         calleeFaults++;
+        result =
+            handleCalleeFault(kernel, thread, import, context, result);
     }
 
     // Zero exactly the stack the callee used.
@@ -119,6 +152,18 @@ Switcher::call(Kernel &kernel, Thread &thread, const Import &import,
 
     thread.leaveCall();
 
+    if (thread.unwinding()) {
+        // Forced unwind in progress: this frame pops with the fault,
+        // overriding whatever the intermediate body returned, until
+        // the original caller (depth 0) is reached (§5.2).
+        forcedUnwindFrames++;
+        result = CallResult::faulted(thread.unwindCause());
+        if (thread.callDepth() == 0) {
+            thread.endForcedUnwind();
+            thread.forcedUnwinds++;
+        }
+    }
+
     // Returned capabilities must not smuggle stack references: the
     // switcher strips anything local (the return registers are the
     // only channel back).
@@ -129,6 +174,59 @@ Switcher::call(Kernel &kernel, Thread &thread, const Import &import,
         result.second = result.second.withTagCleared();
     }
     return result;
+}
+
+CallResult
+Switcher::handleCalleeFault(Kernel &kernel, Thread &thread,
+                            const Import &import,
+                            CompartmentContext &context,
+                            const CallResult &faultResult)
+{
+    Compartment &compartment = *import.compartment;
+    const sim::TrapCause cause = faultResult.fault;
+    sim::Machine &machine = guest_.machine();
+
+    if (thread.unwinding()) {
+        // Already unwinding through this frame: no handler, just
+        // keep popping with the original cause.
+        return CallResult::faulted(thread.unwindCause());
+    }
+
+    logf(LogLevel::Debug, "switcher: callee fault in '%s' at depth %u: %s",
+         compartment.name().c_str(), thread.callDepth(),
+         faultResult.faultName());
+
+    const bool quarantinedNow = kernel.watchdog().recordFault(
+        compartment, cause, machine.cycles());
+    FaultRecoveryState &state = compartment.faultState();
+
+    if (!quarantinedNow && compartment.hasErrorHandler() &&
+        !state.handlerActive) {
+        // The handler runs in the faulting compartment's own context
+        // — its globals, the already chopped stack — with the
+        // switcher re-entering the compartment (§5.2). A handler
+        // that itself faults gets no second handler (double-fault
+        // rule), which handlerActive latches.
+        guest_.chargeExecution(kHandlerInstructions);
+        handlerInvocations++;
+        FaultInfo info;
+        info.cause = cause;
+        info.depth = thread.callDepth();
+        info.faultCount = state.faultsTotal;
+        info.budgetRemaining =
+            kernel.watchdog().budgetRemaining(compartment);
+        state.handlerActive = true;
+        HandlerDecision decision =
+            compartment.errorHandler()(context, info);
+        state.handlerActive = false;
+        if (decision.action == ErrorRecovery::Handled &&
+            decision.result.ok()) {
+            return decision.result;
+        }
+    }
+
+    thread.beginForcedUnwind(cause);
+    return CallResult::faulted(cause);
 }
 
 } // namespace cheriot::rtos

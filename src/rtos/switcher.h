@@ -39,6 +39,8 @@ class Switcher
      * accounts for the bulk of them. @{ */
     static constexpr uint32_t kCallInstructions = 120;
     static constexpr uint32_t kReturnInstructions = 90;
+    /** Switcher path that locates and enters an error handler. */
+    static constexpr uint32_t kHandlerInstructions = 60;
     /** Caller registers spilled to / reloaded from the trusted stack. */
     static constexpr uint32_t kSavedCaps = 8;
     /** @} */
@@ -48,6 +50,9 @@ class Switcher
         stats_.registerCounter("calls", calls);
         stats_.registerCounter("faults", calleeFaults);
         stats_.registerCounter("bytesZeroed", bytesZeroed);
+        stats_.registerCounter("handlerInvocations", handlerInvocations);
+        stats_.registerCounter("forcedUnwindFrames", forcedUnwindFrames);
+        stats_.registerCounter("rejectedCalls", rejectedCalls);
     }
 
     /**
@@ -61,12 +66,26 @@ class Switcher
     Counter calls;
     Counter calleeFaults;
     Counter bytesZeroed;
+    Counter handlerInvocations; ///< Error handlers entered.
+    Counter forcedUnwindFrames; ///< Frames unwound past forcibly.
+    Counter rejectedCalls;      ///< Fast-failed (unwind/quarantine).
 
     StatGroup &stats() { return stats_; }
 
   private:
     /** Zero the dirty part of the unused stack; returns bytes zeroed. */
     uint32_t zeroStack(Thread &thread, uint32_t sp);
+
+    /**
+     * Recovery path for a faulting callee (paper §5.2): charge the
+     * fault to the watchdog, run the compartment's error handler if
+     * it has one (and is allowed one), otherwise begin a forced
+     * unwind back to the original caller.
+     */
+    CallResult handleCalleeFault(Kernel &kernel, Thread &thread,
+                                 const Import &import,
+                                 CompartmentContext &context,
+                                 const CallResult &faultResult);
 
     GuestContext &guest_;
     StatGroup stats_{"switcher"};

@@ -10,6 +10,7 @@
 #define CHERIOT_RTOS_THREAD_H
 
 #include "cap/capability.h"
+#include "sim/csr.h"
 #include "util/stats.h"
 
 #include <cstdint>
@@ -54,8 +55,29 @@ class Thread
     void enterCall() { ++callDepth_; }
     void leaveCall() { --callDepth_; }
 
+    /** @name Forced unwind (paper §5.2)
+     * While unwinding, every trusted-stack frame between the fault
+     * and the original caller returns faulted(unwindCause) and the
+     * thread refuses new cross-compartment calls. @{ */
+    bool unwinding() const { return unwinding_; }
+    sim::TrapCause unwindCause() const { return unwindCause_; }
+    void beginForcedUnwind(sim::TrapCause cause)
+    {
+        if (!unwinding_) {
+            unwinding_ = true;
+            unwindCause_ = cause;
+        }
+    }
+    void endForcedUnwind()
+    {
+        unwinding_ = false;
+        unwindCause_ = sim::TrapCause::None;
+    }
+    /** @} */
+
     Counter crossCompartmentCalls;
     Counter stackBytesZeroed;
+    Counter forcedUnwinds; ///< Completed forced unwinds to depth 0.
 
   private:
     uint32_t id_;
@@ -66,6 +88,8 @@ class Thread
     uint32_t sp_;
     cap::Capability stackRoot_;
     uint32_t callDepth_ = 0;
+    bool unwinding_ = false;
+    sim::TrapCause unwindCause_ = sim::TrapCause::None;
 };
 
 } // namespace cheriot::rtos

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Kernel watchdog: per-compartment fault budgets with
+ * quarantine-and-restart (graceful degradation, paper §5).
+ *
+ * Error handlers and forced unwinds keep a single fault from taking
+ * the system down, but a compartment that faults *persistently* —
+ * corrupted state, a hot attack, broken hardware behind its driver —
+ * would still burn the CPU in a crash loop. The watchdog closes that
+ * hole: every callee fault is charged to the faulting compartment,
+ * and when its faults-since-restart figure exhausts the budget the
+ * compartment is quarantined. Calls into a quarantined compartment
+ * fail fast with CompartmentQuarantined (no handler, no unwind
+ * machinery, almost no cycles), so the rest of the system keeps its
+ * schedule. After the restart delay the watchdog zeroes the
+ * compartment's globals — a fresh boot image, since compartments
+ * keep all mutable state in globals or on (switcher-zeroed) stacks —
+ * and re-admits it with a full budget.
+ */
+
+#ifndef CHERIOT_RTOS_WATCHDOG_H
+#define CHERIOT_RTOS_WATCHDOG_H
+
+#include "rtos/compartment.h"
+#include "rtos/guest_context.h"
+#include "util/stats.h"
+
+namespace cheriot::rtos
+{
+
+class Watchdog
+{
+  public:
+    struct Policy
+    {
+        /** Faults since the last restart before quarantine kicks in.
+         * Generous by default: well-behaved systems that merely use
+         * error returns as control flow must never trip it. */
+        uint32_t faultBudget = 64;
+        /** Quarantine duration before the compartment is restarted. */
+        uint64_t restartDelayCycles = 4096;
+    };
+
+    /** Modelled instruction cost of the restart path (zeroing is
+     * charged separately, at bus rate, by the zero itself). */
+    static constexpr uint32_t kRestartInstructions = 150;
+
+    explicit Watchdog(GuestContext &guest) : guest_(guest)
+    {
+        stats_.registerCounter("faultsObserved", faultsObserved);
+        stats_.registerCounter("quarantines", quarantines);
+        stats_.registerCounter("restarts", restarts);
+        stats_.registerCounter("rejectedCalls", rejectedCalls);
+    }
+
+    const Policy &policy() const { return policy_; }
+    void setPolicy(const Policy &policy) { policy_ = policy; }
+
+    /**
+     * Charge a callee fault to @p compartment. Returns true when this
+     * fault exhausted the budget and the compartment is now
+     * quarantined (the switcher then skips its error handler).
+     */
+    bool recordFault(Compartment &compartment, sim::TrapCause cause,
+                     uint64_t nowCycle);
+
+    /**
+     * Call gate: true if a call into @p compartment must be rejected.
+     * Performs a due restart as a side effect — quarantine release is
+     * lazy, paid for by the first caller after the delay.
+     */
+    bool shouldReject(Compartment &compartment, uint64_t nowCycle);
+
+    /** Budget remaining before quarantine (0 when quarantined). */
+    uint32_t budgetRemaining(const Compartment &compartment) const;
+
+    /** Zero globals and re-admit (also available to tests). */
+    void restart(Compartment &compartment);
+
+    Counter faultsObserved;
+    Counter quarantines;
+    Counter restarts;
+    Counter rejectedCalls;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    GuestContext &guest_;
+    Policy policy_;
+    StatGroup stats_{"watchdog"};
+};
+
+} // namespace cheriot::rtos
+
+#endif // CHERIOT_RTOS_WATCHDOG_H

@@ -21,6 +21,8 @@ trapCauseName(TrapCause cause)
       case TrapCause::CheriStoreLocalViolation:
         return "CHERI store-local violation";
       case TrapCause::MisalignedAccess: return "misaligned access";
+      case TrapCause::CompartmentQuarantined:
+        return "compartment quarantined";
       case TrapCause::TimerInterrupt: return "timer interrupt";
       case TrapCause::RevokerInterrupt: return "revoker interrupt";
     }

@@ -41,6 +41,9 @@ enum class TrapCause : uint32_t
     CheriBoundsViolation = 31,
     CheriStoreLocalViolation = 32,
     MisalignedAccess = 33,
+    /** Synthesised by the switcher (not a hardware mcause): the call
+     * target compartment is quarantined by the kernel watchdog. */
+    CompartmentQuarantined = 34,
     // Interrupts (bit 31 set in mcause).
     TimerInterrupt = 0x80000007,
     RevokerInterrupt = 0x8000000b,

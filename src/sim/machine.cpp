@@ -1,5 +1,6 @@
 #include "sim/machine.h"
 
+#include "fault/fault_injector.h"
 #include "util/bits.h"
 #include "util/log.h"
 
@@ -85,6 +86,7 @@ Machine::Machine(const MachineConfig &config)
               config.revocationGranule),
       filter_(&bitmap_),
       bgRevoker_(memory_.sram(), bitmap_, config.core.bus),
+      bus_(config.core.bus), injector_(config.injector),
       stats_("machine")
 {
     if (config.heapOffset + config.heapSize > config.sramSize) {
@@ -100,6 +102,12 @@ Machine::Machine(const MachineConfig &config)
     memory_.mmio().map(mem::kTimerMmioBase, mem::kTimerMmioSize, &timer_);
 
     filter_.setEnabled(config.core.loadFilterEnabled);
+
+    if (injector_ != nullptr) {
+        injector_->attachMemory(&memory_.sram());
+        injector_->attachBitmap(&bitmap_);
+        bgRevoker_.setFaultInjector(injector_);
+    }
 
     decodeCache_.resize(config.sramSize / 4);
     decodeValid_.resize(config.sramSize / 4, false);
@@ -151,6 +159,9 @@ Machine::advance(uint64_t cycleCount, uint64_t memPortBusy)
         const bool portFree = i >= memPortBusy;
         bgRevoker_.tick(portFree);
         ++cycles_;
+        if (injector_ != nullptr) {
+            injector_->tick(cycles_);
+        }
     }
     timer_.tick(cycles_);
 }
@@ -200,6 +211,18 @@ Machine::loadData(const Capability &auth, uint32_t addr, unsigned bytes,
     if (cause != TrapCause::None) {
         return cause;
     }
+    const unsigned beats = mem::dataBeats(config_.core.bus, bytes);
+    mem::BusResult bt;
+    if (charge) {
+        bt = bus_.transact(beats, injector_);
+        if (!bt.ok) {
+            // Retries exhausted: the cycles burnt replaying are real,
+            // the data never arrives.
+            advance(config_.core.dataLoadCycles(bytes) + bt.extraCycles,
+                    beats + bt.extraCycles);
+            return TrapCause::LoadAccessFault;
+        }
+    }
     uint32_t raw = 0;
     switch (bytes) {
       case 1: raw = memory_.read8(addr); break;
@@ -213,8 +236,8 @@ Machine::loadData(const Capability &auth, uint32_t addr, unsigned bytes,
     *out = raw;
     loads++;
     if (charge) {
-        const unsigned beats = mem::dataBeats(config_.core.bus, bytes);
-        advance(config_.core.dataLoadCycles(bytes), beats);
+        advance(config_.core.dataLoadCycles(bytes) + bt.extraCycles,
+                beats + bt.extraCycles);
     }
     return TrapCause::None;
 }
@@ -226,6 +249,17 @@ Machine::storeData(const Capability &auth, uint32_t addr, unsigned bytes,
     const TrapCause cause = checkAccess(auth, addr, bytes, cap::PermStore);
     if (cause != TrapCause::None) {
         return cause;
+    }
+    const unsigned beats = mem::dataBeats(config_.core.bus, bytes);
+    mem::BusResult bt;
+    if (charge) {
+        bt = bus_.transact(beats, injector_);
+        if (!bt.ok) {
+            // The write never reached the SRAM.
+            advance(config_.core.dataStoreCycles(bytes) + bt.extraCycles,
+                    beats + bt.extraCycles);
+            return TrapCause::StoreAccessFault;
+        }
     }
     switch (bytes) {
       case 1: memory_.write8(addr, static_cast<uint8_t>(value)); break;
@@ -239,8 +273,8 @@ Machine::storeData(const Capability &auth, uint32_t addr, unsigned bytes,
         csrs_.noteStore(addr);
     }
     if (charge) {
-        const unsigned beats = mem::dataBeats(config_.core.bus, bytes);
-        advance(config_.core.dataStoreCycles(bytes), beats);
+        advance(config_.core.dataStoreCycles(bytes) + bt.extraCycles,
+                beats + bt.extraCycles);
     }
     return TrapCause::None;
 }
@@ -253,6 +287,16 @@ Machine::loadCap(const Capability &auth, uint32_t addr, Capability *out,
     if (cause != TrapCause::None) {
         return cause;
     }
+    const unsigned beats = mem::capBeats(config_.core.bus);
+    mem::BusResult bt;
+    if (charge) {
+        bt = bus_.transact(beats, injector_);
+        if (!bt.ok) {
+            advance(config_.core.capLoadCycles() + bt.extraCycles,
+                    beats + bt.extraCycles);
+            return TrapCause::LoadAccessFault;
+        }
+    }
     const auto raw = memory_.readCap(addr);
     Capability loaded = Capability::fromBits(raw.bits, raw.tag);
     if (!auth.perms().has(cap::PermMemCap)) {
@@ -261,11 +305,18 @@ Machine::loadCap(const Capability &auth, uint32_t addr, Capability *out,
     }
     loaded = loaded.attenuatedForLoad(auth.perms());
     loaded = filter_.filter(loaded);
+    if (injector_ != nullptr && loaded.tag() &&
+        injector_->isPoisoned(addr)) {
+        // The safety oracle: a corrupted granule produced a
+        // valid-looking capability that every architectural defence
+        // (micro-tags, attenuation, load filter) failed to strip.
+        injector_->noteSafetyViolation(addr);
+    }
     *out = loaded;
     capLoads++;
     if (charge) {
-        const unsigned beats = mem::capBeats(config_.core.bus);
-        advance(config_.core.capLoadCycles(), beats);
+        advance(config_.core.capLoadCycles() + bt.extraCycles,
+                beats + bt.extraCycles);
     }
     return TrapCause::None;
 }
@@ -289,15 +340,29 @@ Machine::storeCap(const Capability &auth, uint32_t addr,
             return TrapCause::CheriStoreLocalViolation;
         }
     }
+    const unsigned beats = mem::capBeats(config_.core.bus);
+    mem::BusResult bt;
+    if (charge) {
+        bt = bus_.transact(beats, injector_);
+        if (!bt.ok) {
+            advance(config_.core.capStoreCycles() + bt.extraCycles,
+                    beats + bt.extraCycles);
+            return TrapCause::StoreAccessFault;
+        }
+    }
     memory_.writeCap(addr, value.toBits(), value.tag());
+    if (injector_ != nullptr) {
+        // A full-width rewrite replaces every corrupted bit.
+        injector_->notePoisonRepaired(addr);
+    }
     capStores++;
     bgRevoker_.snoopStore(addr, 8);
     if (config_.core.hwmEnabled) {
         csrs_.noteStore(addr);
     }
     if (charge) {
-        const unsigned beats = mem::capBeats(config_.core.bus);
-        advance(config_.core.capStoreCycles(), beats);
+        advance(config_.core.capStoreCycles() + bt.extraCycles,
+                beats + bt.extraCycles);
     }
     return TrapCause::None;
 }
@@ -339,6 +404,8 @@ Machine::raiseTrap(TrapCause cause, uint32_t tval)
 {
     traps_++;
     lastTrap_ = cause;
+    logf(LogLevel::Debug, "machine: trap %s (tval=0x%08x) at pc=0x%08x",
+         trapCauseName(cause), tval, pcc_.address());
     csrs_.mcause = static_cast<uint32_t>(cause);
     csrs_.mtval = tval;
     csrs_.mepcc = pcc_;
@@ -430,6 +497,15 @@ Machine::step()
 {
     if (halted()) {
         return;
+    }
+    if (injector_ != nullptr) {
+        // Spurious traps / trap storms hit the core between
+        // instructions, exactly like a glitched interrupt line.
+        uint32_t cause = 0;
+        if (injector_->takeSpuriousFault(&cause)) {
+            raiseTrap(static_cast<TrapCause>(cause), pcc_.address());
+            return;
+        }
     }
     if (takePendingInterrupt()) {
         return;

@@ -18,6 +18,7 @@
 
 #include "cap/capability.h"
 #include "isa/encoding.h"
+#include "mem/bus.h"
 #include "mem/memory_map.h"
 #include "revoker/background_revoker.h"
 #include "revoker/load_filter.h"
@@ -31,6 +32,11 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+namespace cheriot::fault
+{
+class FaultInjector;
+}
 
 namespace cheriot::sim
 {
@@ -83,6 +89,9 @@ struct MachineConfig
     uint32_t heapOffset = 512u << 10;
     uint32_t heapSize = 256u << 10;
     uint32_t revocationGranule = 8;
+    /** Optional fault-injection engine; the machine attaches it to
+     * the SRAM / bitmap / revoker and polls it every cycle. */
+    fault::FaultInjector *injector = nullptr;
 };
 
 /** Why run()/step() stopped. */
@@ -136,6 +145,9 @@ class Machine
     revoker::BackgroundRevoker &backgroundRevoker() { return bgRevoker_; }
     ConsoleDevice &console() { return console_; }
     TimerDevice &timer() { return timer_; }
+    mem::Bus &bus() { return bus_; }
+    /** Attached fault injector, or null. */
+    fault::FaultInjector *faultInjector() { return injector_; }
     /** @} */
 
     /** Heap window in architectural addresses. */
@@ -231,6 +243,8 @@ class Machine
     revoker::BackgroundRevoker bgRevoker_;
     ConsoleDevice console_;
     TimerDevice timer_;
+    mem::Bus bus_;
+    fault::FaultInjector *injector_ = nullptr;
 
     cap::Capability regs_[isa::kNumRegs];
     cap::Capability pcc_;

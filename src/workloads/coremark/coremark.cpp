@@ -92,13 +92,17 @@ runCoreMark(const CoreMarkConfig &config, const std::string &name)
     machineConfig.sramSize = 256u << 10;
     machineConfig.heapOffset = 192u << 10;
     machineConfig.heapSize = 32u << 10;
+    machineConfig.injector = config.injector;
 
     sim::Machine machine(machineConfig);
     CoreMarkBuilder builder(config);
     machine.loadProgram(builder.build(), builder.entry());
     machine.resetCpu(builder.entry());
 
-    const auto run = machine.run(2'000'000'000ull);
+    const uint64_t budget = config.maxInstructions != 0
+                                ? config.maxInstructions
+                                : 2'000'000'000ull;
+    const auto run = machine.run(budget);
 
     CoreMarkResult result;
     result.configName = name;
@@ -106,6 +110,10 @@ runCoreMark(const CoreMarkConfig &config, const std::string &name)
     result.instructions = run.instructions;
     result.checksum = machine.console().exitCode();
     result.valid = run.reason == sim::HaltReason::ConsoleExit;
+    result.haltReason = run.reason;
+    result.trapsTaken = machine.trapCount();
+    result.busRetries = machine.bus().retries.value();
+    result.busDelayCycles = machine.bus().delayCycles.value();
     if (result.valid && run.cycles > 0) {
         result.score = static_cast<double>(config.iterations) /
                        (static_cast<double>(run.cycles) / 1e6);

@@ -148,6 +148,12 @@ struct CoreMarkConfig
     uint32_t listPasses = 3;
     /** Emulate the §7.2 `-Oz` compiler bugs (ablation knob). */
     bool emulateCompilerBugs = true;
+    /** Optional fault injector wired into the machine (campaigns). */
+    fault::FaultInjector *injector = nullptr;
+    /** Instruction budget override (0 = default 2e9). Campaigns use a
+     * tight budget so a fault that hangs the guest is detected as
+     * InstrLimit rather than stalling the run. */
+    uint64_t maxInstructions = 0;
 };
 
 struct CoreMarkResult
@@ -159,6 +165,13 @@ struct CoreMarkResult
     /** Iterations per million cycles (the CoreMark/MHz analogue). */
     double score = 0.0;
     bool valid = false;
+
+    /** @name Fault-recovery observability (campaign classification) @{ */
+    sim::HaltReason haltReason = sim::HaltReason::Running;
+    uint64_t trapsTaken = 0;
+    uint64_t busRetries = 0;
+    uint64_t busDelayCycles = 0;
+    /** @} */
 };
 
 /** Emits the complete guest program for one configuration. */

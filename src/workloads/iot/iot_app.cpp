@@ -33,10 +33,22 @@ runIotApp(const IotAppConfig &config)
     machineConfig.sramSize = 160u << 10;
     machineConfig.heapOffset = 96u << 10;
     machineConfig.heapSize = 64u << 10;
+    machineConfig.injector = config.injector;
 
     sim::Machine machine(machineConfig);
     rtos::Kernel kernel(machine);
     kernel.initHeap(config.mode);
+    if (config.watchdogFaultBudget != 0 ||
+        config.watchdogRestartDelayCycles != 0) {
+        rtos::Watchdog::Policy policy = kernel.watchdog().policy();
+        if (config.watchdogFaultBudget != 0) {
+            policy.faultBudget = config.watchdogFaultBudget;
+        }
+        if (config.watchdogRestartDelayCycles != 0) {
+            policy.restartDelayCycles = config.watchdogRestartDelayCycles;
+        }
+        kernel.watchdog().setPolicy(policy);
+    }
 
     // One compartment per stack layer, as in the paper's application.
     rtos::Compartment &net = kernel.createCompartment("net");
@@ -51,6 +63,24 @@ runIotApp(const IotAppConfig &config)
     TlsSession session;
     MicroVm vm(MicroVm::ledAnimationProgram());
     IotAppResult result;
+
+    if (config.installErrorHandlers) {
+        // The driver's recovery policy: a fault anywhere below rx is
+        // contained by dropping the packet — unwind to the scheduler
+        // loop, which simply polls the next arrival (§5.2's error
+        // handling model).
+        net.setErrorHandler(
+            [](CompartmentContext &, const rtos::FaultInfo &) {
+                return rtos::HandlerDecision::forceUnwind();
+            });
+        // The JS engine degrades gracefully: a faulting tick keeps
+        // the previous LED state rather than crashing the animation.
+        js.setErrorHandler(
+            [&vm](CompartmentContext &, const rtos::FaultInfo &) {
+                return rtos::HandlerDecision::handled(
+                    CallResult::ofInt(vm.ledState()));
+            });
+    }
 
     // --- TLS compartment ------------------------------------------------
     const uint32_t tlsHandshake = tls.addExport(
@@ -145,7 +175,13 @@ runIotApp(const IotAppConfig &config)
     const uint32_t jsTick = js.addExport(
         {"tick",
          [&](CompartmentContext &ctx, ArgVec &) {
-             vm.tick(ctx);
+             if (!vm.tick(ctx)) {
+                 // A heap service failed mid-tick: surface it as a
+                 // fault in the JS compartment so the error-handler /
+                 // unwind machinery decides the outcome.
+                 return CallResult::faulted(
+                     sim::TrapCause::LoadAccessFault);
+             }
              return CallResult::ofInt(vm.ledState());
          },
          false});
@@ -205,6 +241,17 @@ runIotApp(const IotAppConfig &config)
     result.revocationSweeps = kernel.allocator().sweepsTriggered.value();
     result.crossCompartmentCalls = kernel.switcher().calls.value();
     result.finalLedState = vm.ledState();
+    result.calleeFaults = kernel.switcher().calleeFaults.value();
+    result.handlerInvocations = kernel.switcher().handlerInvocations.value();
+    result.forcedUnwinds = kernel.switcher().forcedUnwindFrames.value();
+    result.watchdogQuarantines = kernel.watchdog().quarantines.value();
+    result.watchdogRestarts = kernel.watchdog().restarts.value();
+    result.revokerKicks = kernel.hardwareRevoker() != nullptr
+                              ? kernel.hardwareRevoker()->timeoutKicks.value()
+                              : 0;
+    result.busRetries = machine.bus().retries.value();
+    result.busDelayCycles = machine.bus().delayCycles.value();
+    result.trapsTaken = machine.trapCount();
     result.ok = result.handshakeCompleted && result.packetsProcessed > 0 &&
                 vm.ticks() > 0;
     return result;

@@ -20,6 +20,11 @@
 
 #include <cstdint>
 
+namespace cheriot::fault
+{
+class FaultInjector;
+}
+
 namespace cheriot::workloads
 {
 
@@ -31,6 +36,14 @@ struct IotAppConfig
     alloc::TemporalMode mode = alloc::TemporalMode::HardwareRevocation;
     uint32_t packetsPerSec = 20;
     uint32_t jsTickHz = 100; ///< 10 ms animation period.
+    /** Optional fault injector wired into the machine (campaigns). */
+    fault::FaultInjector *injector = nullptr;
+    /** Install per-compartment error handlers (drop-packet recovery
+     * in net, degraded-tick recovery in js). */
+    bool installErrorHandlers = false;
+    /** Watchdog policy overrides (0 = keep the kernel default). */
+    uint32_t watchdogFaultBudget = 0;
+    uint64_t watchdogRestartDelayCycles = 0;
 };
 
 struct IotAppResult
@@ -48,6 +61,18 @@ struct IotAppResult
     uint32_t finalLedState = 0;
     bool handshakeCompleted = false;
     bool ok = false;
+
+    /** @name Fault-recovery observability (campaign classification) @{ */
+    uint64_t calleeFaults = 0;
+    uint64_t handlerInvocations = 0;
+    uint64_t forcedUnwinds = 0;
+    uint64_t watchdogQuarantines = 0;
+    uint64_t watchdogRestarts = 0;
+    uint64_t revokerKicks = 0;
+    uint64_t busRetries = 0;
+    uint64_t busDelayCycles = 0;
+    uint64_t trapsTaken = 0;
+    /** @} */
 };
 
 IotAppResult runIotApp(const IotAppConfig &config);

@@ -47,7 +47,7 @@ MicroVm::ledAnimationProgram()
     return program;
 }
 
-void
+bool
 MicroVm::runProgram(rtos::CompartmentContext &ctx)
 {
     // The value stack holds merged int/capability slots, like the
@@ -126,7 +126,10 @@ MicroVm::runProgram(rtos::CompartmentContext &ctx)
             const Capability object =
                 ctx.kernel.malloc(ctx.thread, bytes);
             if (!object.tag()) {
-                panic("microvm: JS heap allocation failed");
+                // Allocation denied (heap exhausted, allocator
+                // quarantined, or the malloc call itself faulted):
+                // abandon the tick and let the caller fault.
+                return false;
             }
             objectsAllocated_++;
             liveObjects_.push_back(object);
@@ -161,39 +164,49 @@ MicroVm::runProgram(rtos::CompartmentContext &ctx)
             break;
           }
           case VmOp::Halt:
-            return;
+            return true;
         }
     }
 }
 
-void
+bool
 MicroVm::collectGarbage(rtos::CompartmentContext &ctx)
 {
     gcPasses_++;
+    bool allFreed = true;
     // Microvium does not reuse memory between GC passes: everything
     // allocated since the last pass goes back to the shared heap,
     // through quarantine and revocation.
     for (const Capability &object : liveObjects_) {
         const auto result = ctx.kernel.free(ctx.thread, object);
         if (result != alloc::HeapAllocator::FreeResult::Ok) {
-            panic("microvm: GC free failed (%u)",
-                  static_cast<unsigned>(result));
+            // A faulting free (e.g. the allocator compartment is
+            // quarantined) leaks the object until the next pass
+            // retries; the tick still fails so the fault is visible.
+            allFreed = false;
         }
     }
     // Mark/sweep bookkeeping cost proportional to the object count.
     ctx.mem.chargeExecution(
         static_cast<uint32_t>(liveObjects_.size()) * 24 + 200);
-    liveObjects_.clear();
+    if (allFreed) {
+        liveObjects_.clear();
+    }
+    return allFreed;
 }
 
-void
+bool
 MicroVm::tick(rtos::CompartmentContext &ctx)
 {
     ticks_++;
-    runProgram(ctx);
+    bool ok = runProgram(ctx);
     if (ticks_ % kGcEveryTicks == 0) {
-        collectGarbage(ctx);
+        ok = collectGarbage(ctx) && ok;
     }
+    if (!ok) {
+        failedTicks_++;
+    }
+    return ok;
 }
 
 } // namespace cheriot::workloads

@@ -79,17 +79,25 @@ class MicroVm
      * Allocates objects from the shared heap via the kernel's
      * allocator compartment; triggers a GC pass (freeing everything)
      * every kGcEveryTicks ticks.
+     *
+     * Returns false when the tick could not complete because a heap
+     * service failed (allocation denied, free faulted) — the caller
+     * surfaces that as a compartment fault so the error-handler /
+     * forced-unwind machinery decides what happens, rather than the
+     * VM taking the whole simulation down.
      */
-    void tick(rtos::CompartmentContext &ctx);
+    bool tick(rtos::CompartmentContext &ctx);
 
     uint32_t ledState() const { return ledState_; }
     uint64_t ticks() const { return ticks_; }
     uint64_t objectsAllocated() const { return objectsAllocated_; }
     uint64_t gcPasses() const { return gcPasses_; }
+    /** Ticks abandoned because a heap service failed. */
+    uint64_t failedTicks() const { return failedTicks_; }
 
   private:
-    void runProgram(rtos::CompartmentContext &ctx);
-    void collectGarbage(rtos::CompartmentContext &ctx);
+    bool runProgram(rtos::CompartmentContext &ctx);
+    bool collectGarbage(rtos::CompartmentContext &ctx);
 
     std::vector<uint8_t> program_;
     std::vector<cap::Capability> liveObjects_;
@@ -97,6 +105,7 @@ class MicroVm
     uint64_t ticks_ = 0;
     uint64_t objectsAllocated_ = 0;
     uint64_t gcPasses_ = 0;
+    uint64_t failedTicks_ = 0;
 };
 
 } // namespace cheriot::workloads

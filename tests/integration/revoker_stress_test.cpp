@@ -8,12 +8,14 @@
  * bits-before-zeroing ordering are what make that true.
  */
 
+#include "fault/fault_injector.h"
 #include "rtos/kernel.h"
 #include "sim/machine.h"
 #include "util/rng.h"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace cheriot
@@ -140,6 +142,94 @@ TEST(RevokerStress, LiveDataSurvivesHundredsOfConcurrentSweeps)
     // Snoops actually happened (the race was exercised, not avoided).
     EXPECT_GT(machine.backgroundRevoker().wordsExamined.value(),
               100'000u);
+}
+
+/** Shared setup for the injected-revoker-fault scenarios: a heap
+ * under memory pressure whose only way forward is a completed sweep. */
+struct PressureRig
+{
+    explicit PressureRig(fault::FaultInjector *injector)
+    {
+        sim::MachineConfig config;
+        config.core = sim::CoreConfig::ibex();
+        config.sramSize = 96u << 10;
+        config.heapOffset = 32u << 10;
+        config.heapSize = 64u << 10;
+        config.injector = injector;
+        machine = std::make_unique<sim::Machine>(config);
+        kernel = std::make_unique<rtos::Kernel>(*machine);
+        // A huge quarantine threshold: frees never trigger sweeps on
+        // their own, so the pressure malloc below must block on one.
+        kernel->initHeap(alloc::TemporalMode::HardwareRevocation,
+                         1ull << 30);
+
+        // Exhaust the heap, then free everything into quarantine.
+        auto &allocator = kernel->allocator();
+        std::vector<Capability> blocks;
+        for (;;) {
+            const Capability ptr = allocator.malloc(1024);
+            if (!ptr.tag()) {
+                break;
+            }
+            blocks.push_back(ptr);
+        }
+        EXPECT_GT(blocks.size(), 16u);
+        for (const Capability &ptr : blocks) {
+            EXPECT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+        }
+    }
+
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<rtos::Kernel> kernel;
+};
+
+TEST(RevokerStress, StalledSweepRecoversViaTimeoutKick)
+{
+    fault::FaultInjector injector(0xfeed);
+    PressureRig rig(&injector);
+
+    // A stall that never expires by itself: only the waiter's
+    // recovery kick can un-wedge the engine. Triggered a few
+    // thousand cycles in, i.e. mid-sweep.
+    fault::FaultPlan plan;
+    plan.site = fault::FaultSite::RevokerStall;
+    plan.triggerCycle = rig.machine->cycles() + 5000;
+    plan.param = 1u << 30;
+    injector.arm(plan);
+
+    // Memory pressure: this malloc must force a sweep, wait for it,
+    // survive the injected stall, and still make progress.
+    const Capability ptr = rig.kernel->allocator().malloc(1024);
+    ASSERT_TRUE(ptr.tag())
+        << "allocation must make progress despite the stalled revoker";
+    EXPECT_TRUE(injector.fired());
+    EXPECT_GE(rig.kernel->hardwareRevoker()->timeoutKicks.value(), 1u);
+    EXPECT_GE(injector.kicksObserved.value(), 1u);
+    EXPECT_GT(rig.machine->backgroundRevoker().stallCycles.value(), 0u);
+    EXPECT_FALSE(rig.kernel->hardwareRevoker()->sweepInProgress());
+}
+
+TEST(RevokerStress, StuckEpochRecoversViaTimeoutKick)
+{
+    fault::FaultInjector injector(0xfade);
+    PressureRig rig(&injector);
+
+    // The sweep runs dry but its completion never becomes visible
+    // (the epoch stays odd) until software kicks the engine.
+    fault::FaultPlan plan;
+    plan.site = fault::FaultSite::RevokerStuckEpoch;
+    plan.triggerCycle = rig.machine->cycles() + 5000;
+    injector.arm(plan);
+
+    const Capability ptr = rig.kernel->allocator().malloc(1024);
+    ASSERT_TRUE(ptr.tag())
+        << "allocation must make progress despite the stuck epoch";
+    EXPECT_TRUE(injector.fired());
+    EXPECT_EQ(injector.epochsStuck.value(), 1u);
+    EXPECT_GE(rig.kernel->hardwareRevoker()->timeoutKicks.value(), 1u);
+    EXPECT_GE(injector.kicksObserved.value(), 1u);
+    EXPECT_FALSE(rig.kernel->hardwareRevoker()->sweepInProgress())
+        << "the kick let the completion become visible";
 }
 
 TEST(Fig4Timing, LoadFilterIsFreeOnFluteAndCostsTwoCyclesOnIbex)

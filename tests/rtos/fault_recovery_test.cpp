@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Compartment fault recovery (paper §5.2): per-compartment error
+ * handlers, forced unwind of cross-compartment call stacks, the
+ * watchdog's fault budget, and quarantine + restart.
+ */
+
+#include "fault/fault_injector.h"
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::rtos
+{
+namespace
+{
+
+using cap::Capability;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::TrapCause;
+
+MachineConfig
+config()
+{
+    MachineConfig c;
+    c.core = sim::CoreConfig::ibex();
+    c.sramSize = 256u << 10;
+    c.heapOffset = 128u << 10;
+    c.heapSize = 64u << 10;
+    return c;
+}
+
+TEST(FaultRecovery, HandlerInvokedOnCalleeFault)
+{
+    Machine machine(config());
+    Kernel kernel(machine);
+    Compartment &comp = kernel.createCompartment("victim");
+    Thread &thread = kernel.createThread("main", 1, 4096);
+    kernel.activate(thread);
+
+    const uint32_t faulty = comp.addExport(
+        {"faulty",
+         [](CompartmentContext &, ArgVec &) {
+             return CallResult::faulted(TrapCause::CheriBoundsViolation);
+         },
+         false});
+
+    FaultInfo seen;
+    uint32_t handlerRuns = 0;
+    comp.setErrorHandler(
+        [&](CompartmentContext &, const FaultInfo &info) {
+            ++handlerRuns;
+            seen = info;
+            return HandlerDecision::forceUnwind();
+        });
+
+    const CallResult result =
+        kernel.call(thread, kernel.importOf(comp, faulty), {});
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.fault, TrapCause::CheriBoundsViolation);
+    EXPECT_STREQ(result.faultName(), "CHERI bounds violation");
+    EXPECT_EQ(handlerRuns, 1u);
+    EXPECT_EQ(seen.cause, TrapCause::CheriBoundsViolation);
+    EXPECT_EQ(seen.depth, 1u);
+    EXPECT_EQ(seen.faultCount, 1u);
+    EXPECT_EQ(kernel.switcher().handlerInvocations.value(), 1u);
+    // The unwind completed: the thread is schedulable again.
+    EXPECT_FALSE(thread.unwinding());
+    EXPECT_EQ(thread.callDepth(), 0u);
+}
+
+TEST(FaultRecovery, HandledDecisionSuppressesUnwind)
+{
+    Machine machine(config());
+    Kernel kernel(machine);
+    Compartment &comp = kernel.createCompartment("victim");
+    Thread &thread = kernel.createThread("main", 1, 4096);
+    kernel.activate(thread);
+
+    const uint32_t faulty = comp.addExport(
+        {"faulty",
+         [](CompartmentContext &, ArgVec &) {
+             return CallResult::faulted(TrapCause::CheriTagViolation);
+         },
+         false});
+    comp.setErrorHandler([](CompartmentContext &, const FaultInfo &) {
+        return HandlerDecision::handled(CallResult::ofInt(42));
+    });
+
+    const CallResult result =
+        kernel.call(thread, kernel.importOf(comp, faulty), {});
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.value.address(), 42u);
+    EXPECT_EQ(kernel.switcher().forcedUnwindFrames.value(), 0u);
+    EXPECT_EQ(thread.forcedUnwinds.value(), 0u);
+}
+
+TEST(FaultRecovery, Depth3FaultUnwindsToOriginalCaller)
+{
+    Machine machine(config());
+    Kernel kernel(machine);
+    Compartment &a = kernel.createCompartment("a");
+    Compartment &b = kernel.createCompartment("b");
+    Compartment &c = kernel.createCompartment("c");
+    Thread &thread = kernel.createThread("main", 1, 8192);
+    Thread &other = kernel.createThread("other", 1, 4096);
+    kernel.activate(thread);
+
+    const uint32_t cFaulty = c.addExport(
+        {"faulty",
+         [&](CompartmentContext &ctx, ArgVec &) {
+             EXPECT_EQ(ctx.thread.callDepth(), 3u);
+             return CallResult::faulted(TrapCause::CheriPermViolation);
+         },
+         false});
+    bool bSawFault = false;
+    bool bRetryRejected = false;
+    const uint32_t bMid = b.addExport(
+        {"mid",
+         [&](CompartmentContext &ctx, ArgVec &) {
+             const CallResult inner = ctx.kernel.call(
+                 ctx.thread, ctx.kernel.importOf(c, cFaulty), {});
+             bSawFault = !inner.ok();
+             // Mid-unwind, new calls fail fast with the unwind cause.
+             const CallResult retry = ctx.kernel.call(
+                 ctx.thread, ctx.kernel.importOf(c, cFaulty), {});
+             bRetryRejected =
+                 !retry.ok() &&
+                 retry.fault == TrapCause::CheriPermViolation;
+             // The body's attempt to swallow the fault is overridden
+             // by the forced unwind.
+             return CallResult::ofInt(7);
+         },
+         false});
+    const uint32_t aTop = a.addExport(
+        {"top",
+         [&](CompartmentContext &ctx, ArgVec &) {
+             return ctx.kernel.call(ctx.thread,
+                                    ctx.kernel.importOf(b, bMid), {});
+         },
+         false});
+
+    const CallResult result =
+        kernel.call(thread, kernel.importOf(a, aTop), {});
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.fault, TrapCause::CheriPermViolation)
+        << "the original caller sees the original cause";
+    EXPECT_TRUE(bSawFault);
+    EXPECT_TRUE(bRetryRejected);
+    EXPECT_EQ(thread.callDepth(), 0u);
+    EXPECT_FALSE(thread.unwinding());
+    EXPECT_EQ(thread.forcedUnwinds.value(), 1u);
+    // Every frame between the fault (depth 3) and the caller popped
+    // as part of the unwind.
+    EXPECT_EQ(kernel.switcher().forcedUnwindFrames.value(), 3u);
+    EXPECT_GE(kernel.switcher().rejectedCalls.value(), 1u);
+
+    // The system keeps scheduling: another thread's calls still work.
+    kernel.activate(other);
+    const uint32_t ok = a.addExport(
+        {"ok",
+         [](CompartmentContext &, ArgVec &) {
+             return CallResult::ofInt(5);
+         },
+         false});
+    const CallResult after =
+        kernel.call(other, kernel.importOf(a, ok), {});
+    EXPECT_TRUE(after.ok());
+    EXPECT_EQ(after.value.address(), 5u);
+}
+
+TEST(FaultRecovery, HandlerThatFaultsGetsNoSecondHandler)
+{
+    Machine machine(config());
+    Kernel kernel(machine);
+    Compartment &comp = kernel.createCompartment("victim");
+    Thread &thread = kernel.createThread("main", 1, 8192);
+    kernel.activate(thread);
+
+    const uint32_t faulty = comp.addExport(
+        {"faulty",
+         [](CompartmentContext &, ArgVec &) {
+             return CallResult::faulted(TrapCause::CheriBoundsViolation);
+         },
+         false});
+    uint32_t handlerRuns = 0;
+    comp.setErrorHandler(
+        [&](CompartmentContext &ctx, const FaultInfo &) {
+            ++handlerRuns;
+            // The handler itself triggers another fault in the same
+            // compartment: the double-fault rule means no recursive
+            // handler invocation.
+            (void)ctx.kernel.call(ctx.thread,
+                                  ctx.kernel.importOf(comp, faulty), {});
+            return HandlerDecision::forceUnwind();
+        });
+
+    const CallResult result =
+        kernel.call(thread, kernel.importOf(comp, faulty), {});
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.fault, TrapCause::CheriBoundsViolation);
+    EXPECT_EQ(handlerRuns, 1u);
+    EXPECT_FALSE(thread.unwinding());
+    EXPECT_EQ(thread.callDepth(), 0u);
+}
+
+TEST(FaultRecovery, FaultBudgetExhaustionQuarantines)
+{
+    Machine machine(config());
+    Kernel kernel(machine);
+    Compartment &comp = kernel.createCompartment("crashy");
+    Thread &thread = kernel.createThread("main", 1, 4096);
+    kernel.activate(thread);
+
+    Watchdog::Policy policy;
+    policy.faultBudget = 2;
+    policy.restartDelayCycles = 1u << 30; // Effectively never.
+    kernel.watchdog().setPolicy(policy);
+
+    uint32_t bodyRuns = 0;
+    const uint32_t faulty = comp.addExport(
+        {"faulty",
+         [&](CompartmentContext &, ArgVec &) {
+             ++bodyRuns;
+             return CallResult::faulted(TrapCause::LoadAccessFault);
+         },
+         false});
+    const Import import = kernel.importOf(comp, faulty);
+
+    EXPECT_EQ(kernel.call(thread, import, {}).fault,
+              TrapCause::LoadAccessFault);
+    EXPECT_FALSE(comp.faultState().quarantined);
+    EXPECT_EQ(kernel.call(thread, import, {}).fault,
+              TrapCause::LoadAccessFault);
+    EXPECT_TRUE(comp.faultState().quarantined);
+    EXPECT_EQ(kernel.watchdog().quarantines.value(), 1u);
+
+    // Quarantined: the compartment is never entered again.
+    const CallResult rejected = kernel.call(thread, import, {});
+    EXPECT_EQ(rejected.fault, TrapCause::CompartmentQuarantined);
+    EXPECT_STREQ(rejected.faultName(), "compartment quarantined");
+    EXPECT_EQ(bodyRuns, 2u);
+    EXPECT_GE(kernel.watchdog().rejectedCalls.value(), 1u);
+}
+
+TEST(FaultRecovery, WatchdogRestartZeroesGlobalsAndReadmits)
+{
+    Machine machine(config());
+    Kernel kernel(machine);
+    Compartment &comp = kernel.createCompartment("crashy");
+    Thread &thread = kernel.createThread("main", 1, 4096);
+    kernel.activate(thread);
+
+    Watchdog::Policy policy;
+    policy.faultBudget = 1;
+    policy.restartDelayCycles = 1000;
+    kernel.watchdog().setPolicy(policy);
+
+    // Dirty the compartment's globals so the restart has something
+    // to wipe.
+    const Capability globals = comp.globalsCap();
+    kernel.guest().storeWord(globals, globals.base(), 0xdeadbeef);
+
+    bool fail = true;
+    const uint32_t entry = comp.addExport(
+        {"entry",
+         [&](CompartmentContext &, ArgVec &) {
+             return fail ? CallResult::faulted(
+                               TrapCause::CheriTagViolation)
+                         : CallResult::ofInt(9);
+         },
+         false});
+    const Import import = kernel.importOf(comp, entry);
+
+    EXPECT_FALSE(kernel.call(thread, import, {}).ok());
+    EXPECT_TRUE(comp.faultState().quarantined);
+    EXPECT_EQ(kernel.call(thread, import, {}).fault,
+              TrapCause::CompartmentQuarantined);
+
+    // After the restart delay the watchdog re-admits the compartment
+    // with zeroed globals and a fresh budget.
+    machine.idle(policy.restartDelayCycles + 1);
+    fail = false;
+    const CallResult after = kernel.call(thread, import, {});
+    EXPECT_TRUE(after.ok());
+    EXPECT_EQ(after.value.address(), 9u);
+    EXPECT_FALSE(comp.faultState().quarantined);
+    EXPECT_EQ(comp.faultState().faultsSinceRestart, 0u);
+    EXPECT_EQ(comp.faultState().restarts, 1u);
+    EXPECT_EQ(kernel.watchdog().restarts.value(), 1u);
+    EXPECT_EQ(kernel.guest().loadWord(globals, globals.base()), 0u)
+        << "restart wiped the compartment's globals";
+}
+
+TEST(FaultRecovery, SpuriousFaultInjectionSurfacesAsCalleeFault)
+{
+    fault::FaultInjector injector(0x5eedu);
+    MachineConfig c = config();
+    c.injector = &injector;
+    Machine machine(c);
+    Kernel kernel(machine);
+    Compartment &comp = kernel.createCompartment("victim");
+    Thread &thread = kernel.createThread("main", 1, 4096);
+    kernel.activate(thread);
+
+    comp.setErrorHandler([](CompartmentContext &, const FaultInfo &) {
+        return HandlerDecision::handled(CallResult::ofInt(1));
+    });
+    const uint32_t entry = comp.addExport(
+        {"entry",
+         [](CompartmentContext &, ArgVec &) {
+             return CallResult::ofInt(0);
+         },
+         false});
+
+    fault::FaultPlan plan;
+    plan.site = fault::FaultSite::SpuriousFault;
+    plan.triggerCycle = 0; // Fire on the first cycle.
+    injector.arm(plan);
+    machine.idle(1);
+    ASSERT_TRUE(injector.fired());
+
+    const CallResult result =
+        kernel.call(thread, kernel.importOf(comp, entry), {});
+    // The glitch surfaced as a callee fault and the handler absorbed
+    // it: a degraded-but-successful return.
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.value.address(), 1u);
+    EXPECT_EQ(kernel.switcher().handlerInvocations.value(), 1u);
+    EXPECT_EQ(injector.spuriousFaults.value(), 1u);
+}
+
+} // namespace
+} // namespace cheriot::rtos
