@@ -7,8 +7,14 @@
  * of a corrupted capability) — the invariant CI asserts.
  *
  * Usage:
- *   fault_campaign [--injections N] [--seed S] [--workload both|iot|coremark]
- *                  [--verbose]
+ *   fault_campaign [--injections N] [--seed S] [--start-index I]
+ *                  [--repro-dir DIR] [--repro-all]
+ *                  [--workload both|iot|coremark] [--verbose]
+ *
+ * On failure the report names the first failing injection's exact
+ * index and derived seed, with a one-line reproduction command; with
+ * --repro-dir each failing injection also writes a replayable record
+ * (pre-fault snapshot included) for the `replay` tool.
  */
 
 #include "fault/campaign.h"
@@ -58,6 +64,13 @@ main(int argc, char **argv)
                 static_cast<uint32_t>(parseU64(nextValue(), arg));
         } else if (std::strcmp(arg, "--seed") == 0) {
             config.seed = parseU64(nextValue(), arg);
+        } else if (std::strcmp(arg, "--start-index") == 0) {
+            config.startIndex =
+                static_cast<uint32_t>(parseU64(nextValue(), arg));
+        } else if (std::strcmp(arg, "--repro-dir") == 0) {
+            config.reproDir = nextValue();
+        } else if (std::strcmp(arg, "--repro-all") == 0) {
+            config.reproAll = true;
         } else if (std::strcmp(arg, "--workload") == 0) {
             const char *value = nextValue();
             if (std::strcmp(value, "both") == 0) {
@@ -76,7 +89,9 @@ main(int argc, char **argv)
             config.verbose = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf("usage: fault_campaign [--injections N] "
-                        "[--seed S] [--workload both|iot|coremark] "
+                        "[--seed S] [--start-index I] "
+                        "[--repro-dir DIR] [--repro-all] "
+                        "[--workload both|iot|coremark] "
                         "[--verbose]\n");
             return 0;
         } else {

@@ -1,0 +1,74 @@
+/**
+ * Replay a recorded fault-campaign injection in isolation.
+ *
+ * A repro record (written by `fault_campaign --repro-dir`) carries the
+ * injection's seeds, the armed fault plan, the reference summary the
+ * classifier used, and the pre-fault system snapshot. This tool
+ * rebuilds the injector, resumes the workload from the snapshot and
+ * re-classifies — exiting zero only when the replay reproduces the
+ * recorded classification.
+ *
+ * Usage:
+ *   replay <record.snap> [--verbose]
+ */
+
+#include "fault/campaign.h"
+#include "util/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace cheriot;
+
+int
+main(int argc, char **argv)
+{
+    const char *path = nullptr;
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--verbose") == 0) {
+            verbose = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: replay <record.snap> [--verbose]\n");
+            return 0;
+        } else if (path == nullptr) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr, "replay: unexpected argument '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr, "usage: replay <record.snap> [--verbose]\n");
+        return 2;
+    }
+    setLogLevel(verbose ? LogLevel::Info : LogLevel::Warn);
+
+    fault::ReproRecord record;
+    if (!fault::readReproRecord(path, &record)) {
+        std::fprintf(stderr,
+                     "replay: %s is not a valid repro record\n", path);
+        return 2;
+    }
+
+    std::printf("replaying injection %u of campaign seed 0x%016" PRIx64
+                "\n  run seed 0x%016" PRIx64 ", workload %s, site %s, "
+                "recorded outcome %s\n",
+                record.injectionIndex, record.campaignSeed,
+                record.runSeed,
+                fault::campaignWorkloadName(record.workload),
+                fault::faultSiteName(record.plan.site),
+                fault::outcomeName(record.outcome));
+
+    const fault::ReplayResult result = fault::replayRepro(record);
+
+    std::printf("replay outcome: %s (fired=%d, safety violations "
+                "%" PRIu64 ")\n",
+                fault::outcomeName(result.outcome), result.fired ? 1 : 0,
+                result.safetyViolations);
+    std::printf("classification %s\n",
+                result.matchesRecorded ? "REPRODUCED" : "DIVERGED");
+    return result.matchesRecorded ? 0 : 1;
+}

@@ -16,6 +16,12 @@
 
 #include <array>
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::alloc
 {
 
@@ -42,6 +48,11 @@ class FreeList
     /** Total free bytes tracked (diagnostics). */
     uint64_t freeBytes() const { return freeBytes_; }
     uint32_t chunkCount() const { return chunks_; }
+
+    /** @name Snapshot state (bin heads; links live in guest SRAM) @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
   private:
     static constexpr uint32_t kSmallBinCount = 30; // 24..256 step 8

@@ -1,6 +1,7 @@
 #include "alloc/heap_allocator.h"
 
 #include "cap/bounds.h"
+#include "snapshot/serializer.h"
 #include "util/bits.h"
 #include "util/log.h"
 
@@ -550,6 +551,40 @@ HeapAllocator::synchronise()
     }
     triggerSweep(true);
     drainQuarantine();
+}
+
+void
+HeapAllocator::serialize(snapshot::Writer &w) const
+{
+    freeList_.serialize(w);
+    quarantine_.serialize(w);
+    w.u32(claimsHead_);
+    w.bytes(allocStartBits_.data(), allocStartBits_.size());
+    w.bytes(internalBits_.data(), internalBits_.size());
+    w.counter(mallocs);
+    w.counter(frees);
+    w.counter(failedMallocs);
+    w.counter(rejectedFrees);
+    w.counter(sweepsTriggered);
+    w.counter(chunksReleased);
+}
+
+bool
+HeapAllocator::deserialize(snapshot::Reader &r)
+{
+    if (!freeList_.deserialize(r) || !quarantine_.deserialize(r)) {
+        return false;
+    }
+    claimsHead_ = r.u32();
+    r.bytes(allocStartBits_.data(), allocStartBits_.size());
+    r.bytes(internalBits_.data(), internalBits_.size());
+    r.counter(mallocs);
+    r.counter(frees);
+    r.counter(failedMallocs);
+    r.counter(rejectedFrees);
+    r.counter(sweepsTriggered);
+    r.counter(chunksReleased);
+    return r.ok();
 }
 
 } // namespace cheriot::alloc

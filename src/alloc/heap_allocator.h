@@ -33,6 +33,12 @@
 
 #include <vector>
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::alloc
 {
 
@@ -125,6 +131,15 @@ class HeapAllocator
 
     /** Force a sweep + quarantine drain now (used by idle logic). */
     void synchronise();
+
+    /** @name Snapshot state
+     * Host-side metadata mirrors (free lists, quarantine, claim list
+     * head, allocation-start bitmaps, counters). Chunk headers and
+     * list links live in guest SRAM and are covered by the machine
+     * image; restoring both sides re-establishes consistency. @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
     Counter mallocs;
     Counter frees;

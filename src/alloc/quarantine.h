@@ -26,6 +26,12 @@
 #include <cstdint>
 #include <functional>
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::alloc
 {
 
@@ -53,6 +59,11 @@ class Quarantine
 
     /** Oldest epoch stamp held, or ~0u when empty. */
     uint32_t oldestEpoch() const;
+
+    /** @name Snapshot state (list heads; links live in guest SRAM) @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
   private:
     struct List

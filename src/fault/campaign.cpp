@@ -7,6 +7,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 
 namespace cheriot::fault
 {
@@ -94,6 +95,97 @@ classifyCoreMark(const workloads::CoreMarkResult &run,
     return observed ? Outcome::Degraded : Outcome::SilentDataCorruption;
 }
 
+/** Uninjected reference results every injection is classified
+ * against, plus the campaign bounds derived from them. */
+struct CampaignReferences
+{
+    workloads::IotAppResult iotRef;
+    workloads::CoreMarkResult cmRef;
+    uint64_t cmBudget = 0;
+    uint64_t iotHorizon = 0;
+};
+
+CampaignReferences
+computeReferences(const CampaignConfig &config)
+{
+    CampaignReferences refs;
+    refs.iotRef = runIotApp(iotCampaignConfig(config, nullptr));
+    if (!refs.iotRef.ok) {
+        fatal("campaign: IoT reference run failed");
+    }
+    refs.cmRef =
+        runCoreMark(coreMarkCampaignConfig(nullptr, 0), "reference");
+    if (!refs.cmRef.valid) {
+        fatal("campaign: CoreMark reference run failed");
+    }
+    // A run that exceeds 4x the reference instruction count has hung;
+    // the machine halts it with InstrLimit, which counts as detected.
+    refs.cmBudget = refs.cmRef.instructions * 4 + 10'000;
+    refs.iotHorizon = refs.iotRef.cycles;
+    return refs;
+}
+
+/** Memory-fault target windows. @{ */
+constexpr uint32_t kIotSramSize = 160u << 10;
+// CoreMark's live image: program text from +0x1000, arena up to
+// +0x20000. Aiming the memory faults there keeps most of them
+// consequential rather than landing in never-touched SRAM.
+constexpr uint32_t kCmMemSize = 0x20000;
+/** @} */
+
+/**
+ * Execute injection @p index: derive its seed, draw and arm a plan,
+ * run the workload with the injector wired in, classify.
+ * @p preFaultOut, when non-null, receives the system state at the
+ * start of the run (before the plan can fire).
+ */
+CampaignRun
+executeInjection(const CampaignConfig &config,
+                 const CampaignReferences &refs, uint32_t index,
+                 snapshot::SnapshotImage *preFaultOut)
+{
+    CampaignRun run;
+    run.index = index;
+    run.seed = Rng::deriveStreamSeed(config.seed, index);
+    run.workload = config.workload == CampaignWorkload::Both
+                       ? (index % 2 == 0 ? CampaignWorkload::Iot
+                                         : CampaignWorkload::CoreMark)
+                       : config.workload;
+
+    FaultInjector injector(run.seed);
+    if (run.workload == CampaignWorkload::Iot) {
+        run.plan = injector.planNext(refs.iotHorizon, mem::kSramBase,
+                                     kIotSramSize);
+        injector.arm(run.plan);
+        auto workload = iotCampaignConfig(config, &injector);
+        workload.preRunSnapshotOut = preFaultOut;
+        const auto result = runIotApp(workload);
+        run.fired = injector.fired();
+        run.outcome = classifyIot(result, refs.iotRef, run.fired);
+    } else {
+        run.plan = injector.planNext(refs.cmRef.cycles, mem::kSramBase,
+                                     kCmMemSize);
+        injector.arm(run.plan);
+        auto workload = coreMarkCampaignConfig(&injector, refs.cmBudget);
+        workload.preRunSnapshotOut = preFaultOut;
+        const auto result = runCoreMark(workload, "injected");
+        run.fired = injector.fired();
+        run.outcome = classifyCoreMark(result, refs.cmRef, run.fired);
+    }
+    run.safetyViolations = injector.safetyViolations.value();
+    return run;
+}
+
+/** A failing injection: the smoke test would exit non-zero on the
+ * safety violation, and silent corruption is the outcome replay
+ * exists to debug. */
+bool
+isFailingRun(const CampaignRun &run)
+{
+    return run.safetyViolations > 0 ||
+           run.outcome == Outcome::SilentDataCorruption;
+}
+
 } // namespace
 
 const char *
@@ -129,55 +221,22 @@ runFaultCampaign(const CampaignConfig &config)
     report.config = config;
 
     // Clean reference runs: identical configuration, no injector.
-    const workloads::IotAppResult iotRef =
-        runIotApp(iotCampaignConfig(config, nullptr));
-    if (!iotRef.ok) {
-        fatal("campaign: IoT reference run failed");
-    }
-    const workloads::CoreMarkResult cmRef =
-        runCoreMark(coreMarkCampaignConfig(nullptr, 0), "reference");
-    if (!cmRef.valid) {
-        fatal("campaign: CoreMark reference run failed");
-    }
-    // A run that exceeds 4x the reference instruction count has hung;
-    // the machine halts it with InstrLimit, which counts as detected.
-    const uint64_t cmBudget = cmRef.instructions * 4 + 10'000;
+    const CampaignReferences refs = computeReferences(config);
 
-    const uint64_t iotHorizon = iotRef.cycles;
-    const uint32_t iotSramSize = 160u << 10;
-    // CoreMark's live image: program text from +0x1000, arena up to
-    // +0x20000. Aiming the memory faults there keeps most of them
-    // consequential rather than landing in never-touched SRAM.
-    const uint32_t cmMemSize = 0x20000;
-
-    for (uint32_t i = 0; i < config.injections; ++i) {
-        CampaignRun run;
-        run.index = i;
-        run.seed = Rng::deriveStreamSeed(config.seed, i);
-        run.workload = config.workload == CampaignWorkload::Both
-                           ? (i % 2 == 0 ? CampaignWorkload::Iot
-                                         : CampaignWorkload::CoreMark)
-                           : config.workload;
-
-        FaultInjector injector(run.seed);
-        if (run.workload == CampaignWorkload::Iot) {
-            run.plan = injector.planNext(iotHorizon, mem::kSramBase,
-                                         iotSramSize);
-            injector.arm(run.plan);
-            const auto result =
-                runIotApp(iotCampaignConfig(config, &injector));
-            run.fired = injector.fired();
-            run.outcome = classifyIot(result, iotRef, run.fired);
-        } else {
-            run.plan = injector.planNext(cmRef.cycles, mem::kSramBase,
-                                         cmMemSize);
-            injector.arm(run.plan);
-            const auto result = runCoreMark(
-                coreMarkCampaignConfig(&injector, cmBudget), "injected");
-            run.fired = injector.fired();
-            run.outcome = classifyCoreMark(result, cmRef, run.fired);
+    const bool captureSnapshots = !config.reproDir.empty();
+    if (captureSnapshots) {
+        std::error_code ec;
+        std::filesystem::create_directories(config.reproDir, ec);
+        if (ec) {
+            fatal("campaign: cannot create repro directory %s",
+                  config.reproDir.c_str());
         }
-        run.safetyViolations = injector.safetyViolations.value();
+    }
+    for (uint32_t n = 0; n < config.injections; ++n) {
+        const uint32_t i = config.startIndex + n;
+        snapshot::SnapshotImage preFault;
+        const CampaignRun run = executeInjection(
+            config, refs, i, captureSnapshots ? &preFault : nullptr);
 
         report.runs++;
         report.fired += run.fired ? 1 : 0;
@@ -186,6 +245,48 @@ runFaultCampaign(const CampaignConfig &config)
                      [static_cast<uint32_t>(run.outcome)]++;
         report.totals[static_cast<uint32_t>(run.outcome)]++;
         report.details.push_back(run);
+
+        if (isFailingRun(run) && report.firstFailingIndex < 0) {
+            report.firstFailingIndex = i;
+            report.firstFailingSeed = run.seed;
+            report.firstFailingWorkload = run.workload;
+        }
+        if (captureSnapshots &&
+            (isFailingRun(run) || config.reproAll)) {
+            ReproRecord record;
+            record.campaignSeed = config.seed;
+            record.injectionIndex = i;
+            record.runSeed = run.seed;
+            record.workload = run.workload;
+            record.plan = run.plan;
+            record.outcome = run.outcome;
+            record.safetyViolations = run.safetyViolations;
+            record.faultBudget = config.faultBudget;
+            record.restartDelayCycles = config.restartDelayCycles;
+            record.cmBudget = refs.cmBudget;
+            record.iotRef.ok = refs.iotRef.ok;
+            record.iotRef.packetsProcessed = refs.iotRef.packetsProcessed;
+            record.iotRef.jsTicks = refs.iotRef.jsTicks;
+            record.iotRef.finalLedState = refs.iotRef.finalLedState;
+            record.iotRef.calleeFaults = refs.iotRef.calleeFaults;
+            record.iotRef.handlerInvocations =
+                refs.iotRef.handlerInvocations;
+            record.iotRef.forcedUnwinds = refs.iotRef.forcedUnwinds;
+            record.iotRef.trapsTaken = refs.iotRef.trapsTaken;
+            record.cmRef.valid = refs.cmRef.valid;
+            record.cmRef.checksum = refs.cmRef.checksum;
+            record.preFaultImage = std::move(preFault);
+
+            char name[64];
+            std::snprintf(name, sizeof(name), "repro-%06u.snap", i);
+            const std::string path = config.reproDir + "/" + name;
+            if (writeReproRecord(record, path)) {
+                report.reproPaths.push_back(path);
+            } else {
+                warn("campaign: could not write repro record %s",
+                     path.c_str());
+            }
+        }
 
         if (config.verbose) {
             inform("campaign: run %4u %-8s %-14s -> %-17s "
@@ -196,6 +297,143 @@ runFaultCampaign(const CampaignConfig &config)
         }
     }
     return report;
+}
+
+bool
+writeReproRecord(const ReproRecord &record, const std::string &path)
+{
+    snapshot::SnapshotWriter out;
+    snapshot::Writer &w = out.beginSection("repro");
+    w.u64(record.campaignSeed);
+    w.u32(record.injectionIndex);
+    w.u64(record.runSeed);
+    w.u8(static_cast<uint8_t>(record.workload));
+    w.u8(static_cast<uint8_t>(record.plan.site));
+    w.u64(record.plan.triggerCycle);
+    w.u64(record.plan.triggerTransaction);
+    w.u32(record.plan.addr);
+    w.u32(record.plan.param);
+    w.u8(static_cast<uint8_t>(record.outcome));
+    w.u64(record.safetyViolations);
+    w.u32(record.faultBudget);
+    w.u64(record.restartDelayCycles);
+    w.u64(record.cmBudget);
+    w.b(record.iotRef.ok);
+    w.u64(record.iotRef.packetsProcessed);
+    w.u64(record.iotRef.jsTicks);
+    w.u32(record.iotRef.finalLedState);
+    w.u64(record.iotRef.calleeFaults);
+    w.u64(record.iotRef.handlerInvocations);
+    w.u64(record.iotRef.forcedUnwinds);
+    w.u64(record.iotRef.trapsTaken);
+    w.b(record.cmRef.valid);
+    w.u32(record.cmRef.checksum);
+    out.endSection();
+    snapshot::Writer &pw = out.beginSection("prefault");
+    pw.u32(static_cast<uint32_t>(record.preFaultImage.data.size()));
+    pw.bytes(record.preFaultImage.data.data(),
+             record.preFaultImage.data.size());
+    out.endSection();
+    return snapshot::saveImageToFile(out.finish(), path);
+}
+
+bool
+readReproRecord(const std::string &path, ReproRecord *out)
+{
+    snapshot::SnapshotImage image;
+    if (!snapshot::loadImageFromFile(path, &image)) {
+        return false;
+    }
+    snapshot::SnapshotReader in(image);
+    if (!in.valid() || !in.hasSection("repro") ||
+        !in.hasSection("prefault")) {
+        return false;
+    }
+    snapshot::Reader r = in.section("repro");
+    out->campaignSeed = r.u64();
+    out->injectionIndex = r.u32();
+    out->runSeed = r.u64();
+    out->workload = static_cast<CampaignWorkload>(r.u8());
+    out->plan.site = static_cast<FaultSite>(r.u8());
+    out->plan.triggerCycle = r.u64();
+    out->plan.triggerTransaction = r.u64();
+    out->plan.addr = r.u32();
+    out->plan.param = r.u32();
+    out->outcome = static_cast<Outcome>(r.u8());
+    out->safetyViolations = r.u64();
+    out->faultBudget = r.u32();
+    out->restartDelayCycles = r.u64();
+    out->cmBudget = r.u64();
+    out->iotRef.ok = r.b();
+    out->iotRef.packetsProcessed = r.u64();
+    out->iotRef.jsTicks = r.u64();
+    out->iotRef.finalLedState = r.u32();
+    out->iotRef.calleeFaults = r.u64();
+    out->iotRef.handlerInvocations = r.u64();
+    out->iotRef.forcedUnwinds = r.u64();
+    out->iotRef.trapsTaken = r.u64();
+    out->cmRef.valid = r.b();
+    out->cmRef.checksum = r.u32();
+    if (!r.exhausted()) {
+        return false;
+    }
+    snapshot::Reader pr = in.section("prefault");
+    const uint32_t size = pr.u32();
+    if (size > pr.remaining()) {
+        return false;
+    }
+    out->preFaultImage.data.assign(size, 0);
+    pr.bytes(out->preFaultImage.data.data(), size);
+    return pr.exhausted();
+}
+
+ReplayResult
+replayRepro(const ReproRecord &record)
+{
+    // The injector is deliberately absent from snapshots: rebuild it
+    // from the recorded seed and re-arm the recorded plan. The replay
+    // re-executes the same deterministic boot prefix, so the injector
+    // reaches the state it had when the pre-fault image was captured,
+    // and the restored run evolves exactly as the original did.
+    FaultInjector injector(record.runSeed);
+    injector.arm(record.plan);
+
+    ReplayResult result;
+    if (record.workload == CampaignWorkload::Iot) {
+        CampaignConfig campaign;
+        campaign.faultBudget = record.faultBudget;
+        campaign.restartDelayCycles = record.restartDelayCycles;
+        auto workload = iotCampaignConfig(campaign, &injector);
+        workload.resumeImage = &record.preFaultImage;
+        const auto run = runIotApp(workload);
+
+        workloads::IotAppResult ref;
+        ref.ok = record.iotRef.ok;
+        ref.packetsProcessed = record.iotRef.packetsProcessed;
+        ref.jsTicks = record.iotRef.jsTicks;
+        ref.finalLedState = record.iotRef.finalLedState;
+        ref.calleeFaults = record.iotRef.calleeFaults;
+        ref.handlerInvocations = record.iotRef.handlerInvocations;
+        ref.forcedUnwinds = record.iotRef.forcedUnwinds;
+        ref.trapsTaken = record.iotRef.trapsTaken;
+        result.outcome = classifyIot(run, ref, injector.fired());
+    } else {
+        auto workload =
+            coreMarkCampaignConfig(&injector, record.cmBudget);
+        workload.resumeImage = &record.preFaultImage;
+        const auto run = runCoreMark(workload, "replay");
+
+        workloads::CoreMarkResult ref;
+        ref.valid = record.cmRef.valid;
+        ref.checksum = record.cmRef.checksum;
+        result.outcome = classifyCoreMark(run, ref, injector.fired());
+    }
+    result.fired = injector.fired();
+    result.safetyViolations = injector.safetyViolations.value();
+    result.matchesRecorded = result.outcome == record.outcome &&
+                             result.safetyViolations ==
+                                 record.safetyViolations;
+    return result;
 }
 
 void
@@ -233,6 +471,22 @@ printCampaignReport(const CampaignReport &report)
                     ? "HOLDS: every injected fault was contained by the "
                       "capability system"
                     : "VIOLATED: a corrupted capability was dereferenced");
+
+    if (report.firstFailingIndex >= 0) {
+        std::printf("\nfirst failing injection: index %" PRId64
+                    ", run seed 0x%016" PRIx64 ", workload %s\n",
+                    report.firstFailingIndex, report.firstFailingSeed,
+                    campaignWorkloadName(report.firstFailingWorkload));
+        std::printf("reproduce with: fault_campaign --seed 0x%" PRIx64
+                    " --start-index %" PRId64
+                    " --injections 1 --workload %s --verbose\n",
+                    report.config.seed, report.firstFailingIndex,
+                    campaignWorkloadName(report.config.workload));
+    }
+    for (const std::string &path : report.reproPaths) {
+        std::printf("repro record: %s (replay with: replay %s)\n",
+                    path.c_str(), path.c_str());
+    }
 }
 
 } // namespace cheriot::fault

@@ -22,8 +22,10 @@
 #define CHERIOT_FAULT_CAMPAIGN_H
 
 #include "fault/fault_injector.h"
+#include "snapshot/snapshot.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cheriot::fault
@@ -65,6 +67,20 @@ struct CampaignConfig
      * exercise quarantine + restart, not just handlers. */
     uint32_t faultBudget = 4;
     uint64_t restartDelayCycles = 2048;
+    /** First injection index: run indices [startIndex, startIndex +
+     * injections). Seeds derive from the absolute index, so
+     * `--start-index I --injections 1` reproduces injection I of a
+     * larger campaign exactly. */
+    uint32_t startIndex = 0;
+    /** When non-empty, every failing injection (safety violation or
+     * silent corruption) writes a replayable repro record —
+     * pre-fault snapshot included — into this directory. */
+    std::string reproDir;
+    /** Record *every* injection, not only failing ones (reproDir must
+     * be set). Lets any run of a campaign be replayed in isolation —
+     * and lets CI assert replay fidelity on healthy campaigns, whose
+     * failing-injection set is empty by design. */
+    bool reproAll = false;
 };
 
 /** One run's record (kept for verbose reporting / debugging). */
@@ -91,6 +107,15 @@ struct CampaignReport
     uint64_t safetyViolations = 0;
     std::vector<CampaignRun> details;
 
+    /** @name First failing injection (safety violation or silent
+     * corruption), for exact one-line reproduction @{ */
+    int64_t firstFailingIndex = -1;
+    uint64_t firstFailingSeed = 0;
+    CampaignWorkload firstFailingWorkload = CampaignWorkload::Iot;
+    /** @} */
+    /** Repro records written this campaign (reproDir set). */
+    std::vector<std::string> reproPaths;
+
     /** The campaign's assertion: corrupted capabilities are never
      * successfully dereferenced. */
     bool invariantHolds() const { return safetyViolations == 0; }
@@ -104,6 +129,75 @@ CampaignReport runFaultCampaign(const CampaignConfig &config);
 
 /** Human-readable summary (site × outcome matrix + verdict). */
 void printCampaignReport(const CampaignReport &report);
+
+/**
+ * Everything needed to replay one injection in isolation: the
+ * identifying seeds, the armed plan, the reference summary the
+ * classifier compared against, and the pre-fault system snapshot the
+ * replayed run resumes from. Serialized as a two-section snapshot
+ * image ("repro" metadata + "prefault" state), so files get the same
+ * versioning and CRC protection as checkpoints.
+ */
+struct ReproRecord
+{
+    uint64_t campaignSeed = 0;
+    uint32_t injectionIndex = 0;
+    uint64_t runSeed = 0;
+    CampaignWorkload workload = CampaignWorkload::Iot;
+    FaultPlan plan;
+    Outcome outcome = Outcome::NotTriggered;
+    uint64_t safetyViolations = 0;
+
+    /** Campaign knobs the workload configuration depends on. */
+    uint32_t faultBudget = 4;
+    uint64_t restartDelayCycles = 2048;
+    uint64_t cmBudget = 0; ///< CoreMark instruction budget.
+
+    /** Reference-run summary the classifier needs. @{ */
+    struct IotReference
+    {
+        bool ok = false;
+        uint64_t packetsProcessed = 0;
+        uint64_t jsTicks = 0;
+        uint32_t finalLedState = 0;
+        uint64_t calleeFaults = 0;
+        uint64_t handlerInvocations = 0;
+        uint64_t forcedUnwinds = 0;
+        uint64_t trapsTaken = 0;
+    } iotRef;
+    struct CoreMarkReference
+    {
+        bool valid = false;
+        uint32_t checksum = 0;
+    } cmRef;
+    /** @} */
+
+    /** System state at the start of the injected run, before the
+     * armed plan can fire. */
+    snapshot::SnapshotImage preFaultImage;
+};
+
+/** @name Repro record file I/O (crash-consistent, CRC-validated) @{ */
+bool writeReproRecord(const ReproRecord &record, const std::string &path);
+bool readReproRecord(const std::string &path, ReproRecord *out);
+/** @} */
+
+/** Outcome of replaying a repro record. */
+struct ReplayResult
+{
+    Outcome outcome = Outcome::NotTriggered;
+    bool fired = false;
+    uint64_t safetyViolations = 0;
+    /** Replay reproduced the recorded classification. */
+    bool matchesRecorded = false;
+};
+
+/**
+ * Replay a recorded injection in isolation: rebuild the injector from
+ * the recorded seed, arm the recorded plan, resume the workload from
+ * the pre-fault snapshot and classify against the recorded reference.
+ */
+ReplayResult replayRepro(const ReproRecord &record);
 
 } // namespace cheriot::fault
 

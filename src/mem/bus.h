@@ -22,6 +22,12 @@ namespace cheriot::fault
 class FaultInjector;
 }
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::mem
 {
 
@@ -99,6 +105,11 @@ class Bus
      * drops (replayed with backoff) or latency; null means fault-free.
      */
     BusResult transact(unsigned beats, fault::FaultInjector *injector);
+
+    /** @name Snapshot state (the bus itself is stateless; counters) @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
     Counter transactions; ///< Transactions initiated.
     Counter retries;      ///< Replays after drops.

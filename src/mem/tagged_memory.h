@@ -20,6 +20,12 @@
 #include <cstdint>
 #include <vector>
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::mem
 {
 
@@ -60,6 +66,14 @@ class TaggedMemory
     uint8_t read8(uint32_t addr) const;
     uint16_t read16(uint32_t addr) const;
     uint32_t read32(uint32_t addr) const;
+    /**
+     * Word read that bypasses the access counters. For simulator
+     * plumbing whose access *timing* is not architectural — decode
+     * cache fills in particular happen at different points in a
+     * straight run versus a restored one, and must not perturb
+     * counters that are part of the serialized machine state.
+     */
+    uint32_t peek32(uint32_t addr) const;
     void write8(uint32_t addr, uint8_t value);
     void write16(uint32_t addr, uint16_t value);
     void write32(uint32_t addr, uint32_t value);
@@ -94,6 +108,15 @@ class TaggedMemory
      * without touching data (a particle strike on the tag array;
      * 1→0 only — the tag bit cell cannot be set by disturbance). */
     void injectTagClear(uint32_t addr);
+    /** @} */
+
+    /** @name Snapshot state (contents, micro-tags, counters) @{ */
+    void serialize(snapshot::Writer &w) const;
+    /** False on geometry mismatch or a short payload. */
+    bool deserialize(snapshot::Reader &r);
+    /** CRC-32 over contents and micro-tags only (no counters), so
+     * machines with different timing models can still be compared. */
+    uint32_t contentsDigest() const;
     /** @} */
 
     StatGroup &stats() { return stats_; }

@@ -43,6 +43,12 @@ namespace cheriot::fault
 class FaultInjector;
 }
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::revoker
 {
 
@@ -92,6 +98,11 @@ class BackgroundRevoker : public mem::MmioDevice
      * currently in flight, that word must be reloaded.
      */
     void snoopStore(uint32_t addr, uint32_t bytes);
+
+    /** @name Snapshot state (window, epoch, cursor, in-flight slots) @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
     /** @name MmioDevice @{ */
     std::string name() const override { return "background-revoker"; }

@@ -22,6 +22,12 @@
 #include "revoker/revocation_bitmap.h"
 #include "util/stats.h"
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::revoker
 {
 
@@ -55,6 +61,11 @@ class LoadFilter
         }
         return loaded;
     }
+
+    /** @name Snapshot state @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
     StatGroup &stats() { return stats_; }
 

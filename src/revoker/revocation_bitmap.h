@@ -19,6 +19,12 @@
 #include <cstdint>
 #include <vector>
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::revoker
 {
 
@@ -62,6 +68,11 @@ class RevocationBitmap : public mem::MmioDevice
 
     /** Count of currently painted bits (diagnostics). */
     uint32_t paintedBits() const;
+
+    /** @name Snapshot state @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
     /** @name MmioDevice (the allocator's architectural window) @{ */
     std::string name() const override { return "revocation-bitmap"; }

@@ -20,6 +20,12 @@
 
 #include <cstdint>
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::revoker
 {
 
@@ -76,6 +82,12 @@ class SoftwareRevoker : public Revoker
     void requestSweep() override;
     void waitForCompletion() override {}
     const char *kind() const override { return "software"; }
+
+    /** @name Snapshot state (epoch + counters; sweeps themselves are
+     * synchronous, so none is ever in flight at a snapshot point) @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
     Counter sweeps;      ///< Completed sweep passes.
     Counter wordsSwept;  ///< Capability words loaded + stored back.

@@ -23,6 +23,7 @@
 #include "cap/capability.h"
 #include "rtos/guest_context.h"
 #include "sim/csr.h"
+#include "snapshot/serializer.h"
 
 #include <functional>
 #include <string>
@@ -184,6 +185,31 @@ struct FaultRecoveryState
     /** Re-entrancy latch: a handler that itself faults does not get
      * a second handler invocation (paper §5.2's double-fault rule). */
     bool handlerActive = false;
+
+    /** @name Snapshot state @{ */
+    void serialize(snapshot::Writer &w) const
+    {
+        w.u32(faultsTotal);
+        w.u32(faultsSinceRestart);
+        w.b(quarantined);
+        w.u64(restartDueCycle);
+        w.u32(quarantines);
+        w.u32(restarts);
+        w.b(handlerActive);
+    }
+
+    bool deserialize(snapshot::Reader &r)
+    {
+        faultsTotal = r.u32();
+        faultsSinceRestart = r.u32();
+        quarantined = r.b();
+        restartDueCycle = r.u64();
+        quarantines = r.u32();
+        restarts = r.u32();
+        handlerActive = r.b();
+        return r.ok();
+    }
+    /** @} */
 };
 
 /** An exported cross-compartment entry point. */

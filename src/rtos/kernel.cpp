@@ -1,6 +1,7 @@
 #include "rtos/kernel.h"
 
 #include "mem/memory_map.h"
+#include "snapshot/serializer.h"
 #include "util/log.h"
 
 namespace cheriot::rtos
@@ -248,6 +249,82 @@ Kernel::free(Thread &thread, const Capability &ptr)
     }
     return static_cast<alloc::HeapAllocator::FreeResult>(
         result.value.address());
+}
+
+void
+Kernel::serialize(snapshot::Writer &w) const
+{
+    w.u32(static_cast<uint32_t>(threads_.size()));
+    for (const auto &thread : threads_) {
+        w.str(thread->name());
+        thread->serialize(w);
+    }
+    w.u32(static_cast<uint32_t>(compartments_.size()));
+    for (const auto &compartment : compartments_) {
+        w.str(compartment->name());
+        compartment->faultState().serialize(w);
+    }
+    watchdog_.serialize(w);
+    switcher_.serialize(w);
+    scheduler_->serialize(w);
+    w.b(softwareRevoker_ != nullptr);
+    if (softwareRevoker_ != nullptr) {
+        softwareRevoker_->serialize(w);
+    }
+    w.b(hardwareRevoker_ != nullptr);
+    if (hardwareRevoker_ != nullptr) {
+        w.counter(hardwareRevoker_->timeoutKicks);
+    }
+    w.b(allocator_ != nullptr);
+    if (allocator_ != nullptr) {
+        allocator_->serialize(w);
+    }
+}
+
+bool
+Kernel::deserialize(snapshot::Reader &r)
+{
+    if (r.u32() != threads_.size()) {
+        return false;
+    }
+    for (auto &thread : threads_) {
+        if (r.str() != thread->name() || !thread->deserialize(r)) {
+            return false;
+        }
+    }
+    if (r.u32() != compartments_.size()) {
+        return false;
+    }
+    for (auto &compartment : compartments_) {
+        if (r.str() != compartment->name() ||
+            !compartment->faultState().deserialize(r)) {
+            return false;
+        }
+    }
+    if (!watchdog_.deserialize(r) || !switcher_.deserialize(r) ||
+        !scheduler_->deserialize(r)) {
+        return false;
+    }
+    if (r.b() != (softwareRevoker_ != nullptr)) {
+        return false;
+    }
+    if (softwareRevoker_ != nullptr &&
+        !softwareRevoker_->deserialize(r)) {
+        return false;
+    }
+    if (r.b() != (hardwareRevoker_ != nullptr)) {
+        return false;
+    }
+    if (hardwareRevoker_ != nullptr) {
+        r.counter(hardwareRevoker_->timeoutKicks);
+    }
+    if (r.b() != (allocator_ != nullptr)) {
+        return false;
+    }
+    if (allocator_ != nullptr && !allocator_->deserialize(r)) {
+        return false;
+    }
+    return r.ok();
 }
 
 } // namespace cheriot::rtos

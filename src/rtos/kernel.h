@@ -133,6 +133,20 @@ class Kernel
     Compartment &allocatorCompartment() { return *allocCompartment_; }
     /** @} */
 
+    /** @name Snapshot state
+     * The kernel's *structure* (compartments, exports, task closures,
+     * trusted stacks) is rebuilt by re-running the same deterministic
+     * boot sequence; serialize() captures only the dynamic state on
+     * top of it — thread register/unwind state, per-compartment fault
+     * recovery, watchdog/switcher accounting, scheduler deadlines and
+     * allocator metadata mirrors. deserialize() must therefore be
+     * called on a kernel booted identically to the one that saved,
+     * and verifies the structural fingerprint (counts and names)
+     * before restoring. @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
+
   private:
     sim::Machine &machine_;
     GuestContext guest_;

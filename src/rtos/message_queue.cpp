@@ -3,6 +3,8 @@
 #include "util/bits.h"
 #include "util/log.h"
 
+#include <algorithm>
+
 namespace cheriot::rtos
 {
 
@@ -139,6 +141,53 @@ MessageQueueService::receive(const Capability &handle,
     guest_.storeWord(record, record.base() + kCountOffset, count - 1);
     guest_.chargeExecution(10);
     return Result::Ok;
+}
+
+MessageQueueService::Result
+MessageQueueService::sendTimeout(const Capability &handle,
+                                 const Capability &message,
+                                 uint64_t timeoutCycles)
+{
+    sim::Machine &machine = guest_.machine();
+    const uint64_t deadline = machine.cycles() + timeoutCycles;
+    uint64_t backoff = kBackoffStartCycles;
+    for (;;) {
+        const Result result = send(handle, message);
+        if (result != Result::Full) {
+            return result;
+        }
+        const uint64_t now = machine.cycles();
+        if (now >= deadline) {
+            return Result::Timeout;
+        }
+        // Yield for the backoff window (clamped to the remaining
+        // budget): the queue's counterpart only makes progress while
+        // this waiter is off the core.
+        machine.idle(std::min(backoff, deadline - now));
+        backoff = std::min(backoff * 2, kBackoffCapCycles);
+    }
+}
+
+MessageQueueService::Result
+MessageQueueService::receiveTimeout(const Capability &handle,
+                                    const Capability &buffer,
+                                    uint64_t timeoutCycles)
+{
+    sim::Machine &machine = guest_.machine();
+    const uint64_t deadline = machine.cycles() + timeoutCycles;
+    uint64_t backoff = kBackoffStartCycles;
+    for (;;) {
+        const Result result = receive(handle, buffer);
+        if (result != Result::Empty) {
+            return result;
+        }
+        const uint64_t now = machine.cycles();
+        if (now >= deadline) {
+            return Result::Timeout;
+        }
+        machine.idle(std::min(backoff, deadline - now));
+        backoff = std::min(backoff * 2, kBackoffCapCycles);
+    }
 }
 
 uint32_t

@@ -48,7 +48,17 @@ class MessageQueueService
         InvalidBuffer, ///< Caller buffer fails the capability checks.
         Full,
         Empty,
+        Timeout,       ///< Bounded wait expired (Full/Empty persisted).
     };
+
+    /** @name Bounded-wait backoff parameters
+     * The wait loop idles between retries (yielding the memory port,
+     * exactly like a blocked guest thread), doubling the idle window
+     * from kBackoffStartCycles up to kBackoffCapCycles so a
+     * persistently full/empty queue costs polls, not spin cycles. @{ */
+    static constexpr uint64_t kBackoffStartCycles = 16;
+    static constexpr uint64_t kBackoffCapCycles = 1024;
+    /** @} */
 
     /** Copy one element from @p message (must cover elementBytes,
      * readable) to the tail of the queue. */
@@ -59,6 +69,19 @@ class MessageQueueService
      * (must cover elementBytes, writable). */
     Result receive(const cap::Capability &handle,
                    const cap::Capability &buffer);
+
+    /** @name Bounded waits
+     * As send()/receive(), but a Full/Empty condition is retried with
+     * capped exponential backoff until it clears or @p timeoutCycles
+     * machine cycles have elapsed, then reported as Timeout. Other
+     * failures (bad handle/buffer) surface immediately. @{ */
+    Result sendTimeout(const cap::Capability &handle,
+                       const cap::Capability &message,
+                       uint64_t timeoutCycles);
+    Result receiveTimeout(const cap::Capability &handle,
+                          const cap::Capability &buffer,
+                          uint64_t timeoutCycles);
+    /** @} */
 
     /** Elements currently queued; 0 on a bad handle. */
     uint32_t depth(const cap::Capability &handle);

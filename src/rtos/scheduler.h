@@ -93,6 +93,15 @@ class Scheduler
     uint64_t idleCycles() const { return idleCycleCount.value(); }
     uint64_t busyCycles() const { return busyCycleCount.value(); }
 
+    /** @name Snapshot state
+     * Task closures are boot-time constants (recreated by the same
+     * deterministic boot); only each task's next-due deadline and the
+     * accounting counters are dynamic. Deserialization requires the
+     * same task list (count, names and periods) to be registered. @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
+
     Counter contextSwitches;
     Counter idleCycleCount;
     Counter busyCycleCount;

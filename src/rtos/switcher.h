@@ -63,6 +63,11 @@ class Switcher
     CallResult call(Kernel &kernel, Thread &thread, const Import &import,
                     ArgVec &args, const cap::Capability &trustedStackCap);
 
+    /** @name Snapshot state @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
+
     Counter calls;
     Counter calleeFaults;
     Counter bytesZeroed;

@@ -1,5 +1,6 @@
 #include "rtos/watchdog.h"
 
+#include "snapshot/serializer.h"
 #include "util/log.h"
 
 namespace cheriot::rtos
@@ -74,6 +75,29 @@ Watchdog::restart(Compartment &compartment)
     logf(LogLevel::Info,
          "watchdog: compartment '%s' restarted (restart #%u)",
          compartment.name().c_str(), state.restarts);
+}
+
+void
+Watchdog::serialize(snapshot::Writer &w) const
+{
+    w.u32(policy_.faultBudget);
+    w.u64(policy_.restartDelayCycles);
+    w.counter(faultsObserved);
+    w.counter(quarantines);
+    w.counter(restarts);
+    w.counter(rejectedCalls);
+}
+
+bool
+Watchdog::deserialize(snapshot::Reader &r)
+{
+    policy_.faultBudget = r.u32();
+    policy_.restartDelayCycles = r.u64();
+    r.counter(faultsObserved);
+    r.counter(quarantines);
+    r.counter(restarts);
+    r.counter(rejectedCalls);
+    return r.ok();
 }
 
 } // namespace cheriot::rtos

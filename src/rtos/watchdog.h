@@ -77,6 +77,12 @@ class Watchdog
     /** Zero globals and re-admit (also available to tests). */
     void restart(Compartment &compartment);
 
+    /** @name Snapshot state (policy + counters; per-compartment fault
+     * state is serialized with each Compartment) @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
+
     Counter faultsObserved;
     Counter quarantines;
     Counter restarts;

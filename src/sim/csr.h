@@ -21,6 +21,12 @@
 
 #include <cstdint>
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::sim
 {
 
@@ -104,6 +110,11 @@ class CsrFile
 
     /** Does access to @p csr require the SR permission? */
     static bool requiresSystemRegs(uint16_t csr);
+
+    /** @name Snapshot state @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
     cap::Capability *scr(isa::Scr which);
 };

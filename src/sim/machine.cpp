@@ -1,8 +1,11 @@
 #include "sim/machine.h"
 
 #include "fault/fault_injector.h"
+#include "snapshot/snapshot.h"
 #include "util/bits.h"
 #include "util/log.h"
+
+#include <algorithm>
 
 namespace cheriot::sim
 {
@@ -46,6 +49,23 @@ ConsoleDevice::reset()
     exitCode_ = 0;
 }
 
+void
+ConsoleDevice::serialize(snapshot::Writer &w) const
+{
+    w.str(output_);
+    w.b(exitRequested_);
+    w.u32(exitCode_);
+}
+
+bool
+ConsoleDevice::deserialize(snapshot::Reader &r)
+{
+    output_ = r.str();
+    exitRequested_ = r.b();
+    exitCode_ = r.u32();
+    return r.ok();
+}
+
 // --- TimerDevice ------------------------------------------------------
 
 uint32_t
@@ -76,6 +96,23 @@ TimerDevice::write32(uint32_t offset, uint32_t value)
       default:
         break;
     }
+}
+
+void
+TimerDevice::serialize(snapshot::Writer &w) const
+{
+    w.u64(now_);
+    w.u64(compare_);
+    w.b(armed_);
+}
+
+bool
+TimerDevice::deserialize(snapshot::Reader &r)
+{
+    now_ = r.u64();
+    compare_ = r.u64();
+    armed_ = r.b();
+    return r.ok();
 }
 
 // --- Machine ----------------------------------------------------------
@@ -470,7 +507,11 @@ Machine::decodeAt(uint32_t pc)
 {
     const uint32_t index = (pc - mem::kSramBase) / 4;
     if (!decodeValid_[index]) {
-        decodeCache_[index] = isa::decode(memory_.sram().read32(pc));
+        // peek32, not read32: the cache fills lazily, so which fetches
+        // miss depends on restore history — a counted read here would
+        // make resumed runs diverge from straight ones in the
+        // serialized access counters.
+        decodeCache_[index] = isa::decode(memory_.sram().peek32(pc));
         decodeValid_[index] = true;
     }
     return decodeCache_[index];
@@ -539,6 +580,150 @@ Machine::step()
     if (halt_ == HaltReason::Running && console_.exitRequested()) {
         halt_ = HaltReason::ConsoleExit;
     }
+}
+
+// --- Snapshot / restore ----------------------------------------------
+
+void
+Machine::save(snapshot::SnapshotWriter &out) const
+{
+    {
+        snapshot::Writer &w = out.beginSection("config");
+        w.u8(static_cast<uint8_t>(config_.core.kind));
+        w.str(config_.core.name);
+        w.b(config_.core.cheriEnabled);
+        w.b(config_.core.loadFilterEnabled);
+        w.b(config_.core.hwmEnabled);
+        w.u8(static_cast<uint8_t>(config_.core.bus));
+        w.u32(config_.sramSize);
+        w.u32(config_.heapOffset);
+        w.u32(config_.heapSize);
+        w.u32(config_.revocationGranule);
+    }
+    {
+        snapshot::Writer &w = out.beginSection("cpu");
+        for (unsigned i = 1; i < isa::kNumRegs; ++i) {
+            w.cap(regs_[i]);
+        }
+        w.cap(pcc_);
+        csrs_.serialize(w);
+        w.u64(cycles_);
+        w.u64(instructions_);
+        w.u8(static_cast<uint8_t>(halt_));
+        w.u32(static_cast<uint32_t>(lastTrap_));
+        w.u32(pendingLoadReg_);
+        w.counter(instructionsRetired);
+        w.counter(loads);
+        w.counter(stores);
+        w.counter(capLoads);
+        w.counter(capStores);
+        w.counter(traps_);
+    }
+    memory_.sram().serialize(out.beginSection("sram"));
+    bitmap_.serialize(out.beginSection("bitmap"));
+    bgRevoker_.serialize(out.beginSection("revoker"));
+    filter_.serialize(out.beginSection("filter"));
+    console_.serialize(out.beginSection("console"));
+    timer_.serialize(out.beginSection("timer"));
+    bus_.serialize(out.beginSection("bus"));
+    out.endSection();
+}
+
+bool
+Machine::restore(const snapshot::SnapshotReader &in)
+{
+    if (!in.valid()) {
+        return false;
+    }
+    static const char *const kSections[] = {
+        "config", "cpu",     "sram",  "bitmap",
+        "revoker", "filter", "console", "timer", "bus",
+    };
+    for (const char *name : kSections) {
+        if (!in.hasSection(name)) {
+            return false;
+        }
+    }
+    {
+        // The image must describe *this* machine: restoring into a
+        // different core or memory geometry is meaningless.
+        snapshot::Reader r = in.section("config");
+        const bool match =
+            r.u8() == static_cast<uint8_t>(config_.core.kind) &&
+            r.str() == config_.core.name &&
+            r.b() == config_.core.cheriEnabled &&
+            r.b() == config_.core.loadFilterEnabled &&
+            r.b() == config_.core.hwmEnabled &&
+            r.u8() == static_cast<uint8_t>(config_.core.bus) &&
+            r.u32() == config_.sramSize &&
+            r.u32() == config_.heapOffset &&
+            r.u32() == config_.heapSize &&
+            r.u32() == config_.revocationGranule;
+        if (!match || !r.exhausted()) {
+            return false;
+        }
+    }
+    {
+        snapshot::Reader r = in.section("cpu");
+        for (unsigned i = 1; i < isa::kNumRegs; ++i) {
+            regs_[i] = r.cap();
+        }
+        pcc_ = r.cap();
+        if (!csrs_.deserialize(r)) {
+            return false;
+        }
+        cycles_ = r.u64();
+        instructions_ = r.u64();
+        halt_ = static_cast<HaltReason>(r.u8());
+        lastTrap_ = static_cast<TrapCause>(r.u32());
+        pendingLoadReg_ = r.u32();
+        r.counter(instructionsRetired);
+        r.counter(loads);
+        r.counter(stores);
+        r.counter(capLoads);
+        r.counter(capStores);
+        r.counter(traps_);
+        if (!r.exhausted()) {
+            return false;
+        }
+    }
+    snapshot::Reader sram = in.section("sram");
+    snapshot::Reader bitmap = in.section("bitmap");
+    snapshot::Reader rev = in.section("revoker");
+    snapshot::Reader filter = in.section("filter");
+    snapshot::Reader console = in.section("console");
+    snapshot::Reader timer = in.section("timer");
+    snapshot::Reader bus = in.section("bus");
+    if (!memory_.sram().deserialize(sram) || !bitmap_.deserialize(bitmap) ||
+        !bgRevoker_.deserialize(rev) || !filter_.deserialize(filter) ||
+        !console_.deserialize(console) || !timer_.deserialize(timer) ||
+        !bus_.deserialize(bus)) {
+        return false;
+    }
+    // SRAM contents changed under the decode cache.
+    std::fill(decodeValid_.begin(), decodeValid_.end(), false);
+    return true;
+}
+
+snapshot::SnapshotImage
+Machine::saveImage() const
+{
+    snapshot::SnapshotWriter out;
+    save(out);
+    return out.finish();
+}
+
+bool
+Machine::restoreImage(const snapshot::SnapshotImage &image)
+{
+    snapshot::SnapshotReader reader(image);
+    return restore(reader);
+}
+
+uint32_t
+Machine::stateDigest() const
+{
+    return saveImage().digest();
 }
 
 } // namespace cheriot::sim

@@ -38,6 +38,15 @@ namespace cheriot::fault
 class FaultInjector;
 }
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+class SnapshotWriter;
+class SnapshotReader;
+struct SnapshotImage;
+} // namespace cheriot::snapshot
+
 namespace cheriot::sim
 {
 
@@ -53,6 +62,9 @@ class ConsoleDevice : public mem::MmioDevice
     bool exitRequested() const { return exitRequested_; }
     uint32_t exitCode() const { return exitCode_; }
     void reset();
+
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
 
   private:
     std::string output_;
@@ -74,6 +86,9 @@ class TimerDevice : public mem::MmioDevice
         return armed_ && now_ >= compare_;
     }
     void disarm() { armed_ = false; }
+
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
 
   private:
     uint64_t now_ = 0;
@@ -212,6 +227,25 @@ class Machine
 
     /** Raise a trap (also used by the RTOS layer for fatal errors). */
     void raiseTrap(TrapCause cause, uint32_t tval);
+
+    /** @name Snapshot / restore
+     * save() captures every architecturally visible piece of machine
+     * state — registers, PCC, CSRs, tagged SRAM with micro-tags, the
+     * revocation bitmap, the background revoker's pipeline, devices
+     * and counters — as sections of a snapshot image. restore() is its
+     * exact inverse: it refuses images whose configuration section
+     * does not match this machine, validates every section before
+     * mutating anything, and leaves the machine bit-identical to the
+     * one that saved. The fault injector is deliberately *not* part of
+     * the image; replay reconstructs it from the recorded seed. @{ */
+    void save(snapshot::SnapshotWriter &out) const;
+    bool restore(const snapshot::SnapshotReader &in);
+    /** Convenience wrappers over a whole image. */
+    snapshot::SnapshotImage saveImage() const;
+    bool restoreImage(const snapshot::SnapshotImage &image);
+    /** CRC-32 of the canonical image: equal digests ⇔ equal state. */
+    uint32_t stateDigest() const;
+    /** @} */
 
     /** Per-retired-instruction hook (tracing); null disables. */
     using TraceHook = std::function<void(uint32_t pc,

@@ -36,15 +36,12 @@ class RingTracer
   public:
     explicit RingTracer(size_t depth = 64) : depth_(depth) {}
 
-    ~RingTracer()
-    {
-        if (machine_ != nullptr) {
-            machine_->setTraceHook(nullptr);
-        }
-    }
+    ~RingTracer() { detach(); }
 
     void attach(Machine &machine)
     {
+        // Rebinding must not leave our hook on the old machine.
+        detach();
         machine_ = &machine;
         machine.setTraceHook([this](uint32_t pc, const isa::Inst &inst) {
             if (records_.size() == depth_) {
@@ -52,6 +49,15 @@ class RingTracer
             }
             records_.push_back({machine_->cycles(), pc, inst});
         });
+    }
+
+    /** Unhook from the current machine (keeps the recorded window). */
+    void detach()
+    {
+        if (machine_ != nullptr) {
+            machine_->setTraceHook(nullptr);
+            machine_ = nullptr;
+        }
     }
 
     const std::deque<TraceRecord> &records() const { return records_; }

@@ -1,0 +1,112 @@
+#include "snapshot/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace cheriot::snapshot
+{
+
+namespace
+{
+
+/** Parse `<name>.<seq>.snap`; returns false for foreign files. */
+bool
+parseSequence(const std::string &filename, const std::string &name,
+              uint64_t *seq)
+{
+    const std::string prefix = name + ".";
+    const std::string suffix = ".snap";
+    if (filename.size() <= prefix.size() + suffix.size() ||
+        filename.compare(0, prefix.size(), prefix) != 0 ||
+        filename.compare(filename.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+        return false;
+    }
+    const std::string digits = filename.substr(
+        prefix.size(), filename.size() - prefix.size() - suffix.size());
+    if (digits.empty()) {
+        return false;
+    }
+    uint64_t value = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9') {
+            return false;
+        }
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *seq = value;
+    return true;
+}
+
+std::vector<uint64_t>
+existingSequences(const std::string &directory, const std::string &name)
+{
+    std::vector<uint64_t> seqs;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(directory, ec)) {
+        uint64_t seq;
+        if (parseSequence(entry.path().filename().string(), name, &seq)) {
+            seqs.push_back(seq);
+        }
+    }
+    std::sort(seqs.begin(), seqs.end());
+    return seqs;
+}
+
+} // namespace
+
+CheckpointManager::CheckpointManager(std::string directory, std::string name)
+    : directory_(std::move(directory)), name_(std::move(name))
+{
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    const std::vector<uint64_t> seqs = existingSequences(directory_, name_);
+    if (!seqs.empty()) {
+        nextSeq_ = seqs.back() + 1;
+    }
+}
+
+std::string
+CheckpointManager::pathFor(uint64_t seq) const
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%06llu",
+                  static_cast<unsigned long long>(seq));
+    return directory_ + "/" + name_ + "." + buffer + ".snap";
+}
+
+bool
+CheckpointManager::store(const SnapshotImage &image)
+{
+    const uint64_t seq = nextSeq_;
+    if (!saveImageToFile(image, pathFor(seq))) {
+        return false;
+    }
+    nextSeq_ = seq + 1;
+    // Prune everything but the newest kKeep generations; the previous
+    // one is kept so a torn write of the next store never strands us.
+    for (uint64_t old : existingSequences(directory_, name_)) {
+        if (old + kKeep < nextSeq_) {
+            std::remove(pathFor(old).c_str());
+        }
+    }
+    return true;
+}
+
+int64_t
+CheckpointManager::loadLatest(SnapshotImage *out) const
+{
+    std::vector<uint64_t> seqs = existingSequences(directory_, name_);
+    for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+        if (loadImageFromFile(pathFor(*it), out)) {
+            return static_cast<int64_t>(*it);
+        }
+    }
+    return -1;
+}
+
+} // namespace cheriot::snapshot

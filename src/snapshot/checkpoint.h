@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Crash-consistent periodic checkpointing.
+ *
+ * A CheckpointManager owns a directory of sequence-numbered snapshot
+ * files for one run. store() writes each image atomically
+ * (write-temp + rename) and prunes all but the newest two
+ * generations, so at every instant the directory contains at least
+ * one complete, validated image even if the process dies mid-write.
+ * loadLatest() walks the generations newest-first and returns the
+ * first one whose CRCs check out, silently skipping torn or corrupt
+ * files — the recovery path a killed-and-restarted workload driver
+ * uses to resume bit-exactly.
+ */
+
+#ifndef CHERIOT_SNAPSHOT_CHECKPOINT_H
+#define CHERIOT_SNAPSHOT_CHECKPOINT_H
+
+#include "snapshot/snapshot.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cheriot::snapshot
+{
+
+class CheckpointManager
+{
+  public:
+    /** Generations kept on disk. */
+    static constexpr unsigned kKeep = 2;
+
+    /**
+     * @param directory created if missing.
+     * @param name      run identifier; files are
+     *                  `<directory>/<name>.<seq>.snap`.
+     * Existing checkpoints for @p name are adopted: the next store()
+     * continues the sequence rather than overwriting history.
+     */
+    CheckpointManager(std::string directory, std::string name);
+
+    /** Persist @p image as the next generation; prunes old ones. */
+    bool store(const SnapshotImage &image);
+
+    /**
+     * Load the newest generation that validates; corrupt files fall
+     * back to the previous one. Returns the generation's sequence
+     * number, or -1 if none is loadable.
+     */
+    int64_t loadLatest(SnapshotImage *out) const;
+
+    uint64_t nextSequence() const { return nextSeq_; }
+    std::string pathFor(uint64_t seq) const;
+
+  private:
+    std::string directory_;
+    std::string name_;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace cheriot::snapshot
+
+#endif // CHERIOT_SNAPSHOT_CHECKPOINT_H

@@ -1,0 +1,138 @@
+#include "snapshot/lockstep.h"
+
+#include <cstdio>
+
+namespace cheriot::snapshot
+{
+
+namespace
+{
+
+std::string
+describeCap(const cap::Capability &c)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%016llx tag=%d",
+                  static_cast<unsigned long long>(c.toBits()),
+                  c.tag() ? 1 : 0);
+    return buffer;
+}
+
+bool
+sameCap(const cap::Capability &x, const cap::Capability &y)
+{
+    return x.toBits() == y.toBits() && x.tag() == y.tag();
+}
+
+} // namespace
+
+LockstepRunner::LockstepRunner(sim::Machine &a, sim::Machine &b,
+                               size_t traceDepth)
+    : a_(a), b_(b), tracerA_(traceDepth), tracerB_(traceDepth)
+{
+    tracerA_.attach(a_);
+    tracerB_.attach(b_);
+}
+
+void
+LockstepRunner::recordDivergence(const std::string &detail)
+{
+    report_.diverged = true;
+    report_.divergenceStep = steps_;
+    report_.detail = detail;
+    report_.traceA = tracerA_.format();
+    report_.traceB = tracerB_.format();
+}
+
+bool
+LockstepRunner::compareArchitecturalState()
+{
+    for (unsigned i = 1; i < isa::kNumRegs; ++i) {
+        const cap::Capability ra = a_.readReg(i);
+        const cap::Capability rb = b_.readReg(i);
+        if (!sameCap(ra, rb)) {
+            recordDivergence("c" + std::to_string(i) + ": A=" +
+                             describeCap(ra) + " B=" + describeCap(rb));
+            return false;
+        }
+    }
+    if (!sameCap(a_.pcc(), b_.pcc())) {
+        recordDivergence("pcc: A=" + describeCap(a_.pcc()) +
+                         " B=" + describeCap(b_.pcc()));
+        return false;
+    }
+    sim::CsrFile &ca = a_.csrs();
+    sim::CsrFile &cb = b_.csrs();
+    if (ca.mie != cb.mie || ca.mpie != cb.mpie ||
+        ca.mcause != cb.mcause || ca.mtval != cb.mtval ||
+        ca.mshwm != cb.mshwm || ca.mshwmb != cb.mshwmb) {
+        recordDivergence("csr state differs (mcause A=" +
+                         std::to_string(ca.mcause) +
+                         " B=" + std::to_string(cb.mcause) + ")");
+        return false;
+    }
+    if (!sameCap(ca.mtcc, cb.mtcc) || !sameCap(ca.mtdc, cb.mtdc) ||
+        !sameCap(ca.mscratchc, cb.mscratchc) ||
+        !sameCap(ca.mepcc, cb.mepcc)) {
+        recordDivergence("special capability registers differ");
+        return false;
+    }
+    if (a_.halted() != b_.halted()) {
+        recordDivergence(std::string("halt state: A=") +
+                         (a_.halted() ? "halted" : "running") +
+                         " B=" + (b_.halted() ? "halted" : "running"));
+        return false;
+    }
+    return true;
+}
+
+bool
+LockstepRunner::compareMemory()
+{
+    const uint32_t da = a_.memory().sram().contentsDigest();
+    const uint32_t db = b_.memory().sram().contentsDigest();
+    if (da != db) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer),
+                      "memory digest: A=%08x B=%08x", da, db);
+        recordDivergence(buffer);
+        return false;
+    }
+    return true;
+}
+
+bool
+LockstepRunner::stepBoth()
+{
+    if (report_.diverged) {
+        return false;
+    }
+    a_.step();
+    b_.step();
+    ++steps_;
+    return compareArchitecturalState();
+}
+
+const LockstepReport &
+LockstepRunner::run(uint64_t maxInstructions, uint64_t memoryCheckInterval)
+{
+    while (!report_.diverged && steps_ < maxInstructions) {
+        if (a_.halted() && b_.halted()) {
+            break;
+        }
+        if (!stepBoth()) {
+            return report_;
+        }
+        if (memoryCheckInterval != 0 &&
+            steps_ % memoryCheckInterval == 0 && !compareMemory()) {
+            return report_;
+        }
+    }
+    if (!compareMemory()) {
+        return report_;
+    }
+    report_.completed = a_.halted() && b_.halted();
+    return report_;
+}
+
+} // namespace cheriot::snapshot

@@ -30,6 +30,8 @@ class Counter
 
     uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    /** Overwrite the value; only for snapshot restore. */
+    void set(uint64_t value) { value_ = value; }
 
   private:
     uint64_t value_ = 0;

@@ -2,6 +2,8 @@
 
 #include "util/log.h"
 
+#include <algorithm>
+
 namespace cheriot::workloads
 {
 
@@ -98,25 +100,48 @@ runCoreMark(const CoreMarkConfig &config, const std::string &name)
     CoreMarkBuilder builder(config);
     machine.loadProgram(builder.build(), builder.entry());
     machine.resetCpu(builder.entry());
+    if (config.resumeImage != nullptr &&
+        !machine.restoreImage(*config.resumeImage)) {
+        fatal("coremark: resume image rejected by %s", name.c_str());
+    }
+    if (config.preRunSnapshotOut != nullptr) {
+        *config.preRunSnapshotOut = machine.saveImage();
+    }
 
+    // The budget is absolute over the whole (possibly resumed)
+    // workload, so a resumed run picks up exactly the remaining slice.
     const uint64_t budget = config.maxInstructions != 0
                                 ? config.maxInstructions
                                 : 2'000'000'000ull;
-    const auto run = machine.run(budget);
+    sim::HaltReason reason = sim::HaltReason::InstrLimit;
+    while (!machine.halted() && machine.instructions() < budget) {
+        uint64_t slice = budget - machine.instructions();
+        if (config.checkpointEveryInstructions != 0) {
+            slice = std::min(slice, config.checkpointEveryInstructions);
+        }
+        reason = machine.run(slice).reason;
+        if (config.checkpoints != nullptr && !machine.halted()) {
+            config.checkpoints->store(machine.saveImage());
+        }
+    }
+    if (machine.halted()) {
+        reason = machine.haltReason();
+    }
 
     CoreMarkResult result;
     result.configName = name;
-    result.cycles = run.cycles;
-    result.instructions = run.instructions;
+    result.cycles = machine.cycles();
+    result.instructions = machine.instructions();
     result.checksum = machine.console().exitCode();
-    result.valid = run.reason == sim::HaltReason::ConsoleExit;
-    result.haltReason = run.reason;
+    result.valid = reason == sim::HaltReason::ConsoleExit;
+    result.haltReason = reason;
     result.trapsTaken = machine.trapCount();
     result.busRetries = machine.bus().retries.value();
     result.busDelayCycles = machine.bus().delayCycles.value();
-    if (result.valid && run.cycles > 0) {
+    result.finalDigest = machine.stateDigest();
+    if (result.valid && result.cycles > 0) {
         result.score = static_cast<double>(config.iterations) /
-                       (static_cast<double>(run.cycles) / 1e6);
+                       (static_cast<double>(result.cycles) / 1e6);
     }
     return result;
 }

@@ -26,6 +26,8 @@
 
 #include "isa/assembler.h"
 #include "sim/machine.h"
+#include "snapshot/checkpoint.h"
+#include "snapshot/snapshot.h"
 
 #include <cstdint>
 #include <string>
@@ -154,6 +156,22 @@ struct CoreMarkConfig
      * tight budget so a fault that hangs the guest is detected as
      * InstrLimit rather than stalling the run. */
     uint64_t maxInstructions = 0;
+
+    /** @name Crash-consistent checkpointing
+     * With a sink and a nonzero interval, the run is sliced and a
+     * whole-machine snapshot is stored every interval; a run killed at
+     * any point and restarted from resumeImage finishes bit-identical
+     * (same digest, same absolute cycle/instruction counts) to an
+     * uninterrupted one, because slicing only observes state. @{ */
+    uint64_t checkpointEveryInstructions = 0;
+    snapshot::CheckpointManager *checkpoints = nullptr;
+    /** Resume from this image instead of starting at reset. */
+    const snapshot::SnapshotImage *resumeImage = nullptr;
+    /** When set, receives the machine state at the start of the run
+     * (after reset/resume, before the first instruction) — the
+     * pre-fault image fault campaigns attach to repro records. */
+    snapshot::SnapshotImage *preRunSnapshotOut = nullptr;
+    /** @} */
 };
 
 struct CoreMarkResult
@@ -172,6 +190,10 @@ struct CoreMarkResult
     uint64_t busRetries = 0;
     uint64_t busDelayCycles = 0;
     /** @} */
+
+    /** Whole-machine state digest at halt: an interrupted-and-resumed
+     * run must report the same digest as an uninterrupted one. */
+    uint32_t finalDigest = 0;
 };
 
 /** Emits the complete guest program for one configuration. */

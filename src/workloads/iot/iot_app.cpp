@@ -232,8 +232,85 @@ runIotApp(const IotAppConfig &config)
                               kernel.call(jsThread, jsTickImport, {});
                           });
 
-    result.cpuLoad = scheduler.runFor(horizon);
+    // Measurement baselines are captured at the end of the (fully
+    // deterministic) boot, *before* any restore rewinds the clock to
+    // the checkpointed cycle: a resumed run then measures the same
+    // window as the uninterrupted one it continues.
+    const uint64_t measureStartCycle = machine.cycles();
+    const uint64_t measureStartIdle = scheduler.idleCycles();
+    const uint64_t endCycle = measureStartCycle + horizon;
+
+    // Everything mutable that the workload depends on goes into the
+    // checkpoint: the machine, the kernel's dynamic state, and the
+    // host-side workload models plus the result accumulators their
+    // task closures feed.
+    const auto takeCheckpoint = [&] {
+        snapshot::SnapshotWriter out;
+        machine.save(out);
+        snapshot::Writer &kw = out.beginSection("kernel");
+        kernel.serialize(kw);
+        out.endSection();
+        snapshot::Writer &iw = out.beginSection("iot");
+        session.serialize(iw);
+        vm.serialize(iw);
+        source.serialize(iw);
+        iw.u64(result.packetsProcessed);
+        iw.u64(result.bytesReceived);
+        iw.b(result.handshakeCompleted);
+        out.endSection();
+        return out.finish();
+    };
+
+    if (config.resumeImage != nullptr) {
+        snapshot::SnapshotReader in(*config.resumeImage);
+        if (!in.valid() || !machine.restore(in)) {
+            fatal("iot: resume image rejected by the machine (%s)",
+                  in.error().c_str());
+        }
+        snapshot::Reader kr = in.section("kernel");
+        if (!kernel.deserialize(kr) || !kr.exhausted()) {
+            fatal("iot: resume image rejected by the kernel");
+        }
+        snapshot::Reader ir = in.section("iot");
+        if (!session.deserialize(ir) || !vm.deserialize(ir) ||
+            !source.deserialize(ir)) {
+            fatal("iot: resume image rejected by the workload");
+        }
+        result.packetsProcessed = ir.u64();
+        result.bytesReceived = ir.u64();
+        result.handshakeCompleted = ir.b();
+        if (!ir.exhausted()) {
+            fatal("iot: trailing bytes in the workload section");
+        }
+    }
+    if (config.preRunSnapshotOut != nullptr) {
+        *config.preRunSnapshotOut = takeCheckpoint();
+    }
+
+    const uint64_t stopCycle =
+        config.maxRunCycles == 0
+            ? endCycle
+            : std::min(endCycle, measureStartCycle + config.maxRunCycles);
+    while (machine.cycles() < stopCycle) {
+        uint64_t slice = stopCycle - machine.cycles();
+        if (config.checkpointIntervalCycles != 0) {
+            slice = std::min(slice, config.checkpointIntervalCycles);
+        }
+        scheduler.runFor(slice);
+        if (config.checkpoints != nullptr &&
+            machine.cycles() < endCycle) {
+            config.checkpoints->store(takeCheckpoint());
+        }
+    }
+
+    const uint64_t measured = machine.cycles() - measureStartCycle;
+    const uint64_t idled = scheduler.idleCycles() - measureStartIdle;
+    result.cpuLoad = measured == 0
+                         ? 0.0
+                         : 1.0 - static_cast<double>(idled) /
+                                     static_cast<double>(measured);
     result.cycles = horizon;
+    result.finalDigest = machine.stateDigest();
     result.jsTicks = vm.ticks();
     result.jsObjects = vm.objectsAllocated();
     result.gcPasses = vm.gcPasses();

@@ -17,6 +17,8 @@
 
 #include "alloc/heap_allocator.h"
 #include "sim/core_config.h"
+#include "snapshot/checkpoint.h"
+#include "snapshot/snapshot.h"
 
 #include <cstdint>
 
@@ -44,6 +46,28 @@ struct IotAppConfig
     /** Watchdog policy overrides (0 = keep the kernel default). */
     uint32_t watchdogFaultBudget = 0;
     uint64_t watchdogRestartDelayCycles = 0;
+
+    /** @name Crash-consistent checkpointing
+     * With a sink and a nonzero interval, the measured window is
+     * sliced and a snapshot (machine + kernel + workload host state)
+     * is stored every interval. The boot sequence is deterministic, so
+     * a run killed at any point and restarted from resumeImage
+     * finishes bit-identical to an uninterrupted one. @{ */
+    uint64_t checkpointIntervalCycles = 0;
+    snapshot::CheckpointManager *checkpoints = nullptr;
+    /** Kill switch: stop the run this many measured cycles in (0 = run
+     * to the horizon). Models a process dying mid-run: the schedule is
+     * identical to the full run's — unlike shrinking simSeconds, which
+     * changes horizon-derived task periods — so the checkpoints stored
+     * before the kill lie on the uninterrupted run's trajectory. */
+    uint64_t maxRunCycles = 0;
+    /** Resume from this image instead of starting fresh after boot. */
+    const snapshot::SnapshotImage *resumeImage = nullptr;
+    /** When set, receives the full system state (machine + kernel +
+     * workload) at the start of the measured window — the pre-fault
+     * image fault campaigns attach to repro records. */
+    snapshot::SnapshotImage *preRunSnapshotOut = nullptr;
+    /** @} */
 };
 
 struct IotAppResult
@@ -73,6 +97,11 @@ struct IotAppResult
     uint64_t busDelayCycles = 0;
     uint64_t trapsTaken = 0;
     /** @} */
+
+    /** Whole-machine state digest at the end of the measured window:
+     * an interrupted-and-resumed run must report the same digest as
+     * an uninterrupted one. */
+    uint32_t finalDigest = 0;
 };
 
 IotAppResult runIotApp(const IotAppConfig &config);

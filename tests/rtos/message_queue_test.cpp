@@ -187,5 +187,83 @@ TEST_F(MessageQueueTest, CreateRejectsSillySizes)
     EXPECT_FALSE(service->create(1u << 20, 4).tag());
 }
 
+TEST_F(MessageQueueTest, SendTimeoutExpiresOnPersistentlyFullQueue)
+{
+    const Capability queue = service->create(4, 1);
+    const Capability msg = buffer(4, 1);
+    ASSERT_EQ(service->send(queue, msg), MessageQueueService::Result::Ok);
+
+    // Nobody drains the queue: the bounded wait must expire, and the
+    // wait loop must consume at least the requested budget in idle
+    // cycles (backoff instead of a hot spin).
+    const uint64_t before = machine.cycles();
+    const uint64_t budget = 50'000;
+    EXPECT_EQ(service->sendTimeout(queue, msg, budget),
+              MessageQueueService::Result::Timeout);
+    EXPECT_GE(machine.cycles() - before, budget);
+    EXPECT_EQ(service->depth(queue), 1u) << "nothing was enqueued";
+}
+
+TEST_F(MessageQueueTest, ReceiveTimeoutExpiresOnPersistentlyEmptyQueue)
+{
+    const Capability queue = service->create(4, 2);
+    const Capability out = kernel.malloc(*thread, 4);
+    const uint64_t before = machine.cycles();
+    EXPECT_EQ(service->receiveTimeout(queue, out, 10'000),
+              MessageQueueService::Result::Timeout);
+    EXPECT_GE(machine.cycles() - before, 10'000u);
+}
+
+TEST_F(MessageQueueTest, TimeoutVariantsSucceedWithoutWaitingWhenReady)
+{
+    const Capability queue = service->create(4, 2);
+    const Capability msg = buffer(4, 5);
+    // Space available: no backoff loop, immediate success.
+    EXPECT_EQ(service->sendTimeout(queue, msg, 1'000'000),
+              MessageQueueService::Result::Ok);
+    const Capability out = kernel.malloc(*thread, 4);
+    EXPECT_EQ(service->receiveTimeout(queue, out, 1'000'000),
+              MessageQueueService::Result::Ok);
+    EXPECT_EQ(kernel.guest().loadWord(out, out.base()), 5u);
+}
+
+TEST_F(MessageQueueTest, TimeoutBackoffIsCappedExponential)
+{
+    const Capability queue = service->create(4, 1);
+    ASSERT_EQ(service->send(queue, buffer(4, 0)),
+              MessageQueueService::Result::Ok);
+
+    // With start 16 and cap 1024, a budget of B cycles needs at most
+    // ~B/16 retries even in the worst case, and at least B/1024 once
+    // the backoff has saturated. Bound the polling frequency through
+    // the service's own counters: each retry re-opens the handle.
+    const uint64_t budget = 64 * 1024;
+    const uint64_t before = machine.cycles();
+    EXPECT_EQ(service->sendTimeout(queue, buffer(4, 1), budget),
+              MessageQueueService::Result::Timeout);
+    const uint64_t waited = machine.cycles() - before;
+    EXPECT_GE(waited, budget);
+    // The capped backoff must not overshoot the deadline by more than
+    // one capped window plus one retry's service cost.
+    EXPECT_LT(waited, budget + MessageQueueService::kBackoffCapCycles +
+                          4'096);
+}
+
+TEST_F(MessageQueueTest, TimeoutPropagatesHardErrorsImmediately)
+{
+    const Capability queue = service->create(64, 2);
+    // An undersized source buffer is an InvalidBuffer, not a Timeout:
+    // waiting cannot fix a bad capability.
+    const Capability tiny = kernel.malloc(*thread, 16);
+    const uint64_t before = machine.cycles();
+    EXPECT_EQ(service->sendTimeout(queue, tiny, 1'000'000),
+              MessageQueueService::Result::InvalidBuffer);
+    EXPECT_LT(machine.cycles() - before, 100'000u) << "no wait loop";
+
+    ASSERT_EQ(service->destroy(queue), MessageQueueService::Result::Ok);
+    EXPECT_EQ(service->receiveTimeout(queue, tiny, 1'000'000),
+              MessageQueueService::Result::InvalidHandle);
+}
+
 } // namespace
 } // namespace cheriot::rtos

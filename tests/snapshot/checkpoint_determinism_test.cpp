@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The headline robustness property: a workload interrupted at an
+ * arbitrary checkpoint and restored finishes bit-identical — same
+ * checksum/observables, same absolute cycle and instruction counts,
+ * same whole-machine state digest — to an uninterrupted run. Plus the
+ * CheckpointManager's crash-consistency contract: pruned generations,
+ * and recovery that falls back past a corrupted newest file.
+ */
+
+#include "snapshot/checkpoint.h"
+#include "workloads/coremark/coremark.h"
+#include "workloads/iot/iot_app.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace cheriot::snapshot
+{
+namespace
+{
+
+/** Fresh scratch directory, removed on scope exit. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : path_(std::filesystem::path(::testing::TempDir()) /
+                ("cheriot-ckpt-" + tag))
+    {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    std::filesystem::path path_;
+};
+
+workloads::CoreMarkConfig
+smallCoreMark()
+{
+    workloads::CoreMarkConfig config;
+    config.core = sim::CoreConfig::ibex();
+    config.iterations = 6;
+    return config;
+}
+
+TEST(CheckpointDeterminism, CoreMarkInterruptedRunResumesBitIdentical)
+{
+    const workloads::CoreMarkResult reference =
+        runCoreMark(smallCoreMark(), "reference");
+    ASSERT_TRUE(reference.valid);
+
+    // Interrupted run: checkpoint periodically, then "die" partway by
+    // exhausting a deliberately short instruction budget.
+    ScratchDir dir("coremark");
+    CheckpointManager checkpoints(dir.str(), "cm");
+    workloads::CoreMarkConfig interrupted = smallCoreMark();
+    interrupted.checkpointEveryInstructions = 50'000;
+    interrupted.checkpoints = &checkpoints;
+    interrupted.maxInstructions = reference.instructions / 2;
+    const workloads::CoreMarkResult partial =
+        runCoreMark(interrupted, "interrupted");
+    ASSERT_EQ(partial.haltReason, sim::HaltReason::InstrLimit);
+    ASSERT_GT(checkpoints.nextSequence(), 0u) << "no checkpoint stored";
+
+    // Recovery: a fresh manager (fresh process) adopts the directory,
+    // loads the newest intact generation and resumes to completion.
+    CheckpointManager recovered(dir.str(), "cm");
+    SnapshotImage image;
+    ASSERT_GE(recovered.loadLatest(&image), 0);
+
+    workloads::CoreMarkConfig resumed = smallCoreMark();
+    resumed.resumeImage = &image;
+    const workloads::CoreMarkResult result =
+        runCoreMark(resumed, "resumed");
+
+    ASSERT_TRUE(result.valid);
+    EXPECT_EQ(result.checksum, reference.checksum);
+    EXPECT_EQ(result.cycles, reference.cycles);
+    EXPECT_EQ(result.instructions, reference.instructions);
+    EXPECT_EQ(result.finalDigest, reference.finalDigest);
+    EXPECT_EQ(result.score, reference.score);
+}
+
+TEST(CheckpointDeterminism, CoreMarkSlicedRunEqualsUnslicedRun)
+{
+    // Checkpointing itself must be observation-only: a run sliced
+    // into checkpoint intervals is bit-identical to a straight run.
+    const workloads::CoreMarkResult straight =
+        runCoreMark(smallCoreMark(), "straight");
+
+    ScratchDir dir("coremark-sliced");
+    CheckpointManager checkpoints(dir.str(), "cm");
+    workloads::CoreMarkConfig sliced = smallCoreMark();
+    sliced.checkpointEveryInstructions = 17'389; // deliberately odd
+    sliced.checkpoints = &checkpoints;
+    const workloads::CoreMarkResult result =
+        runCoreMark(sliced, "sliced");
+
+    EXPECT_EQ(result.checksum, straight.checksum);
+    EXPECT_EQ(result.cycles, straight.cycles);
+    EXPECT_EQ(result.instructions, straight.instructions);
+    EXPECT_EQ(result.finalDigest, straight.finalDigest);
+}
+
+workloads::IotAppConfig
+smallIot(double simSeconds)
+{
+    workloads::IotAppConfig config;
+    config.simSeconds = simSeconds;
+    return config;
+}
+
+TEST(CheckpointDeterminism, IotInterruptedRunResumesBitIdentical)
+{
+    // Long enough for the handshake, several packet arrivals (20/s)
+    // and JS ticks, so the reference run satisfies its ok invariant —
+    // and so the shortened run below still reaches checkpointable
+    // scheduler boundaries past the ~2.3M-cycle handshake task.
+    constexpr double kSeconds = 0.6;
+    const workloads::IotAppResult reference =
+        runIotApp(smallIot(kSeconds));
+    ASSERT_TRUE(reference.ok);
+
+    // Interrupted run: the *same* workload (identical horizon, hence
+    // identical task periods), killed a third of the way in — the
+    // checkpoints it stored all lie on the uninterrupted run's
+    // trajectory.
+    ScratchDir dir("iot");
+    CheckpointManager checkpoints(dir.str(), "iot");
+    workloads::IotAppConfig interrupted = smallIot(kSeconds);
+    interrupted.checkpointIntervalCycles = 250'000;
+    interrupted.checkpoints = &checkpoints;
+    interrupted.maxRunCycles = static_cast<uint64_t>(
+        (kSeconds / 3) * interrupted.clockHz);
+    // The killed run never reaches the horizon, so its own ok flag is
+    // not meaningful — only its checkpoints are.
+    runIotApp(interrupted);
+    ASSERT_GT(checkpoints.nextSequence(), 0u);
+
+    CheckpointManager recovered(dir.str(), "iot");
+    SnapshotImage image;
+    ASSERT_GE(recovered.loadLatest(&image), 0);
+
+    workloads::IotAppConfig resumed = smallIot(kSeconds);
+    resumed.resumeImage = &image;
+    const workloads::IotAppResult result = runIotApp(resumed);
+
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.finalDigest, reference.finalDigest);
+    EXPECT_EQ(result.cycles, reference.cycles);
+    EXPECT_EQ(result.packetsProcessed, reference.packetsProcessed);
+    EXPECT_EQ(result.bytesReceived, reference.bytesReceived);
+    EXPECT_EQ(result.jsTicks, reference.jsTicks);
+    EXPECT_EQ(result.finalLedState, reference.finalLedState);
+    EXPECT_EQ(result.cpuLoad, reference.cpuLoad);
+    EXPECT_EQ(result.heapAllocations, reference.heapAllocations);
+    EXPECT_EQ(result.crossCompartmentCalls,
+              reference.crossCompartmentCalls);
+}
+
+TEST(CheckpointManagerContract, KeepsTwoGenerationsAndAdoptsExisting)
+{
+    ScratchDir dir("generations");
+    SnapshotImage a;
+    a.data = {1, 2, 3};
+    SnapshotImage b;
+    b.data = {4, 5, 6, 7};
+
+    CheckpointManager manager(dir.str(), "run");
+    EXPECT_TRUE(manager.store(a));
+    EXPECT_TRUE(manager.store(b));
+    EXPECT_TRUE(manager.store(a));
+    EXPECT_EQ(manager.nextSequence(), 3u);
+
+    // Only the newest kKeep generations survive pruning.
+    EXPECT_FALSE(std::filesystem::exists(manager.pathFor(0)));
+    EXPECT_TRUE(std::filesystem::exists(manager.pathFor(1)));
+    EXPECT_TRUE(std::filesystem::exists(manager.pathFor(2)));
+
+    // A new manager (fresh process) continues the sequence.
+    CheckpointManager adopted(dir.str(), "run");
+    EXPECT_EQ(adopted.nextSequence(), 3u);
+}
+
+TEST(CheckpointManagerContract, RecoveryFallsBackPastCorruptNewest)
+{
+    ScratchDir dir("fallback");
+    sim::MachineConfig machineConfig;
+    machineConfig.sramSize = 128u << 10;
+    machineConfig.heapOffset = 64u << 10;
+    machineConfig.heapSize = 32u << 10;
+    sim::Machine machine(machineConfig);
+
+    CheckpointManager manager(dir.str(), "run");
+    const SnapshotImage older = machine.saveImage();
+    ASSERT_TRUE(manager.store(older));
+    machine.idle(1234);
+    ASSERT_TRUE(manager.store(machine.saveImage()));
+
+    // Tear the newest generation mid-file, as a crash during a
+    // non-atomic write would.
+    const std::string newest = manager.pathFor(1);
+    {
+        std::fstream f(newest,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(40);
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x5a);
+        f.seekp(40);
+        f.write(&byte, 1);
+    }
+
+    SnapshotImage loaded;
+    CheckpointManager recovery(dir.str(), "run");
+    EXPECT_EQ(recovery.loadLatest(&loaded), 0) << "fell back to gen 0";
+    EXPECT_EQ(loaded.data, older.data);
+
+    // With the older file also gone, nothing is loadable.
+    std::filesystem::remove(manager.pathFor(0));
+    EXPECT_EQ(recovery.loadLatest(&loaded), -1);
+}
+
+} // namespace
+} // namespace cheriot::snapshot
