@@ -1,0 +1,20 @@
+#include "alloc/alloc_result.h"
+
+namespace cheriot::alloc
+{
+
+const char *
+allocResultName(AllocResult result)
+{
+    switch (result) {
+      case AllocResult::Ok: return "ok";
+      case AllocResult::SizeTooLarge: return "size-too-large";
+      case AllocResult::QuotaExceeded: return "quota-exceeded";
+      case AllocResult::OutOfMemory: return "out-of-memory";
+      case AllocResult::Throttled: return "throttled";
+      case AllocResult::InvalidCapability: return "invalid-capability";
+    }
+    return "?";
+}
+
+} // namespace cheriot::alloc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * First-class allocation outcomes.
+ *
+ * The CHERIoT RTOS treats heap exhaustion as a *recoverable* error,
+ * not a fatal one: a malloc that cannot be satisfied after revocation
+ * has had a bounded chance to release quarantine returns OutOfMemory
+ * to its caller, which is expected to shed load or retry later. Quota
+ * denial is distinct from exhaustion — the heap may be nearly empty
+ * and the caller's allocator capability still spent — so callers (and
+ * the watchdog) can tell a noisy neighbour from a full heap.
+ */
+
+#ifndef CHERIOT_ALLOC_ALLOC_RESULT_H
+#define CHERIOT_ALLOC_ALLOC_RESULT_H
+
+#include <cstdint>
+
+namespace cheriot::alloc
+{
+
+/** Why an allocation succeeded or failed (CallResult-style codes). */
+enum class AllocResult : uint8_t
+{
+    Ok = 0,
+    /** Request exceeds what the heap could ever satisfy. */
+    SizeTooLarge,
+    /** The caller's allocator capability has no quota left. */
+    QuotaExceeded,
+    /** Heap exhausted even after bounded revocation backoff. */
+    OutOfMemory,
+    /** The caller's compartment is watchdog-quarantined. */
+    Throttled,
+    /** The presented allocator capability failed to unseal. */
+    InvalidCapability,
+};
+
+/** Human-readable result name for diagnostics and logs. */
+const char *allocResultName(AllocResult result);
+
+} // namespace cheriot::alloc
+
+#endif // CHERIOT_ALLOC_ALLOC_RESULT_H

@@ -1,6 +1,8 @@
 #include "alloc/heap_allocator.h"
 
 #include "cap/bounds.h"
+#include "fault/fault_injector.h"
+#include "sim/machine.h"
 #include "snapshot/serializer.h"
 #include "util/bits.h"
 #include "util/log.h"
@@ -20,6 +22,21 @@ temporalModeName(TemporalMode mode)
       case TemporalMode::MetadataOnly: return "metadata";
       case TemporalMode::SoftwareRevocation: return "software";
       case TemporalMode::HardwareRevocation: return "hardware";
+    }
+    return "?";
+}
+
+const char *
+freeResultName(HeapAllocator::FreeResult result)
+{
+    switch (result) {
+      case HeapAllocator::FreeResult::Ok: return "ok";
+      case HeapAllocator::FreeResult::InvalidCap:
+        return "invalid-capability";
+      case HeapAllocator::FreeResult::NotAllocated:
+        return "not-allocated";
+      case HeapAllocator::FreeResult::AlreadyFreed:
+        return "already-freed";
     }
     return "?";
 }
@@ -64,6 +81,11 @@ HeapAllocator::HeapAllocator(rtos::GuestContext &guest, Capability heapCap,
     stats_.registerCounter("rejectedFrees", rejectedFrees);
     stats_.registerCounter("sweeps", sweepsTriggered);
     stats_.registerCounter("released", chunksReleased);
+    stats_.registerCounter("quotaDenials", quotaDenials);
+    stats_.registerCounter("blockedMallocs", blockedMallocs);
+    stats_.registerCounter("backoffWaitCycles", backoffWaitCycles);
+    stats_.registerCounter("backoffTimeouts", backoffTimeouts);
+    stats_.registerCounter("oomReturns", oomReturns);
 
     // Establish the initial layout: one big free chunk and a
     // permanently in-use zero-size sentinel at the very top, so
@@ -153,6 +175,131 @@ HeapAllocator::paintBits(uint32_t addr, uint32_t bytes, bool set)
 Capability
 HeapAllocator::malloc(uint32_t size)
 {
+    return mallocCharged(kUnmeteredQuota, size, nullptr);
+}
+
+uint32_t
+HeapAllocator::oldestEpochAge() const
+{
+    const uint32_t oldest = quarantine_.oldestEpoch();
+    if (oldest == ~uint32_t{0}) {
+        return 0;
+    }
+    const uint32_t now = currentEpoch();
+    return now > oldest ? now - oldest : 0;
+}
+
+uint32_t
+HeapAllocator::reclaimWithBackoff(uint32_t need, uint32_t alignMask)
+{
+    if (revoker_ == nullptr) {
+        return 0;
+    }
+    // Cheap first: claim whatever a completed sweep already released.
+    drainQuarantine();
+    uint32_t chunk = freeList_.takeFit(need, alignMask);
+    if (chunk != 0 || quarantine_.empty()) {
+        return chunk;
+    }
+
+    // Blocking path: wait for the oldest quarantine epoch to become
+    // releasable. On timeout or a truly exhausted heap the caller
+    // sees a recoverable OutOfMemory — never an abort.
+    blockedMallocs++;
+    (void)backoffUntil([this, &chunk, need, alignMask] {
+        chunk = freeList_.takeFit(need, alignMask);
+        return chunk != 0;
+    });
+    return chunk;
+}
+
+bool
+HeapAllocator::backoffUntil(const std::function<bool()> &satisfied)
+{
+    sim::Machine &machine = guest_.machine();
+    if (fault::FaultInjector *injector = machine.faultInjector()) {
+        injector->mallocBackoffStarted(machine.cycles());
+    }
+    uint64_t wait = config_.backoffInitialCycles;
+    uint32_t staleAttempts = 0;
+    while (staleAttempts < config_.backoffMaxAttempts) {
+        const uint32_t epochBefore = currentEpoch();
+        triggerSweep(/*waitForCompletion=*/false);
+        if (backoffWait_) {
+            backoffWait_(wait);
+        } else {
+            machine.idle(wait);
+        }
+        backoffWaitCycles += wait;
+        wait = std::min(wait * 2, config_.backoffCapCycles);
+        drainQuarantine();
+        if (satisfied()) {
+            return true;
+        }
+        if (quarantine_.empty()) {
+            // Everything quarantined came back and the condition
+            // still fails: revocation has nothing more to give.
+            return false;
+        }
+        staleAttempts =
+            currentEpoch() == epochBefore ? staleAttempts + 1 : 0;
+        if (staleAttempts == config_.backoffStallEscalation &&
+            revoker_->sweepInProgress()) {
+            // A frozen epoch with a sweep in flight suggests a wedged
+            // engine: escalate to the synchronous waiter, whose
+            // timeout kick is the modelled engine-reset path. On
+            // success the epoch moves and the loop resumes making
+            // progress; the budget expires (recoverable OutOfMemory)
+            // only if even that cannot revive it.
+            triggerSweep(/*waitForCompletion=*/true);
+            drainQuarantine();
+            if (satisfied()) {
+                return true;
+            }
+            if (quarantine_.empty()) {
+                return false;
+            }
+        }
+    }
+    backoffTimeouts++;
+    warn("allocator: blocking malloc gave up after %u stale backoff "
+         "attempts (epoch frozen at %u, %llu bytes quarantined)",
+         config_.backoffMaxAttempts, currentEpoch(),
+         static_cast<unsigned long long>(quarantine_.bytes()));
+    return false;
+}
+
+bool
+HeapAllocator::chargeWithBackoff(QuotaId owner, uint32_t need)
+{
+    if (quota_.charge(owner, need)) {
+        return true;
+    }
+    if (revoker_ == nullptr) {
+        return false;
+    }
+    // The owner's quota may be pinned by its own frees still sitting
+    // in quarantine (charged until the memory really returns): drain
+    // and wait for revocation before making the denial final.
+    drainQuarantine();
+    if (quota_.charge(owner, need)) {
+        return true;
+    }
+    if (quarantine_.empty()) {
+        return false;
+    }
+    blockedMallocs++;
+    return backoffUntil(
+        [this, owner, need] { return quota_.charge(owner, need); });
+}
+
+Capability
+HeapAllocator::mallocCharged(QuotaId owner, uint32_t size,
+                             AllocResult *result)
+{
+    AllocResult scratch = AllocResult::Ok;
+    AllocResult &out = result != nullptr ? *result : scratch;
+    out = AllocResult::Ok;
     mallocs++;
     guest_.chargeExecution(24); // Entry, argument checks, size maths.
 
@@ -162,6 +309,7 @@ HeapAllocator::malloc(uint32_t size)
     const uint32_t heapSize = heapEnd_ - heapBase_;
     if (size > heapSize) {
         failedMallocs++;
+        out = AllocResult::SizeTooLarge;
         return Capability();
     }
 
@@ -174,20 +322,26 @@ HeapAllocator::malloc(uint32_t size)
     const uint32_t alignMask = cap::representableAlignmentMask(rawPayload);
     const uint32_t need = payload + kChunkOverhead;
 
+    // Quota admission: the full chunk footprint is charged before any
+    // heap work; every failure below rolls the charge back. A charge
+    // blocked only by the owner's quarantined frees waits for
+    // revocation (same backpressure as heap exhaustion).
+    if (!chargeWithBackoff(owner, need)) {
+        failedMallocs++;
+        quotaDenials++;
+        out = AllocResult::QuotaExceeded;
+        return Capability();
+    }
+
     uint32_t chunk = freeList_.takeFit(need, alignMask);
-    if (chunk == 0 && revoker_ != nullptr) {
-        // Memory pressure: reclaim whatever a completed sweep has
-        // already made safe, then force a sweep if still starved.
-        drainQuarantine();
-        chunk = freeList_.takeFit(need, alignMask);
-        if (chunk == 0 && !quarantine_.empty()) {
-            triggerSweep(/*waitForCompletion=*/true);
-            drainQuarantine();
-            chunk = freeList_.takeFit(need, alignMask);
-        }
+    if (chunk == 0) {
+        chunk = reclaimWithBackoff(need, alignMask);
     }
     if (chunk == 0) {
+        quota_.credit(owner, need);
         failedMallocs++;
+        oomReturns++;
+        out = AllocResult::OutOfMemory;
         return Capability();
     }
 
@@ -229,6 +383,14 @@ HeapAllocator::malloc(uint32_t size)
                              (pad != 0 ? 0 : (prevInUse ? kPinuse : 0)));
     const uint32_t nextChunk = chunk + chunkSize;
     view_.setHead(nextChunk, view_.head(nextChunk) | kPinuse);
+
+    if (owner != kUnmeteredQuota) {
+        // A remainder too small to split back stays part of the
+        // chunk: charge the slop so the release-time credit (which
+        // settles the real chunk size) balances exactly.
+        quota_.chargeUnchecked(owner, chunkSize - need);
+        chunkOwners_[chunk] = owner;
+    }
 
     // Derive the user capability with exact bounds over the payload
     // (spatial safety: no access can reach the header or a
@@ -490,6 +652,14 @@ void
 HeapAllocator::releaseChunk(uint32_t chunk, uint32_t size, bool clearBits)
 {
     chunksReleased++;
+    // Settle the quota: only now — with the memory really back on the
+    // free lists, after any quarantine hold — does the owner stop
+    // paying for it.
+    const auto owner = chunkOwners_.find(chunk);
+    if (owner != chunkOwners_.end()) {
+        quota_.credit(owner->second, size);
+        chunkOwners_.erase(owner);
+    }
     if (clearBits) {
         paintBits(chunk + kPayloadOffset, size - kChunkOverhead, false);
     }
@@ -567,6 +737,17 @@ HeapAllocator::serialize(snapshot::Writer &w) const
     w.counter(rejectedFrees);
     w.counter(sweepsTriggered);
     w.counter(chunksReleased);
+    quota_.serialize(w);
+    w.u32(static_cast<uint32_t>(chunkOwners_.size()));
+    for (const auto &[chunk, owner] : chunkOwners_) {
+        w.u32(chunk);
+        w.u32(owner);
+    }
+    w.counter(quotaDenials);
+    w.counter(blockedMallocs);
+    w.counter(backoffWaitCycles);
+    w.counter(backoffTimeouts);
+    w.counter(oomReturns);
 }
 
 bool
@@ -584,6 +765,20 @@ HeapAllocator::deserialize(snapshot::Reader &r)
     r.counter(rejectedFrees);
     r.counter(sweepsTriggered);
     r.counter(chunksReleased);
+    if (!quota_.deserialize(r)) {
+        return false;
+    }
+    chunkOwners_.clear();
+    const uint32_t owners = r.u32();
+    for (uint32_t i = 0; i < owners; ++i) {
+        const uint32_t chunk = r.u32();
+        chunkOwners_[chunk] = r.u32();
+    }
+    r.counter(quotaDenials);
+    r.counter(blockedMallocs);
+    r.counter(backoffWaitCycles);
+    r.counter(backoffTimeouts);
+    r.counter(oomReturns);
     return r.ok();
 }
 

@@ -24,13 +24,17 @@
 #ifndef CHERIOT_ALLOC_HEAP_ALLOCATOR_H
 #define CHERIOT_ALLOC_HEAP_ALLOCATOR_H
 
+#include "alloc/alloc_result.h"
 #include "alloc/chunk.h"
 #include "alloc/free_list.h"
 #include "alloc/quarantine.h"
+#include "alloc/quota.h"
 #include "revoker/revocation_bitmap.h"
 #include "revoker/revoker.h"
 #include "util/stats.h"
 
+#include <functional>
+#include <map>
 #include <vector>
 
 namespace cheriot::snapshot
@@ -58,6 +62,23 @@ struct AllocatorConfig
     TemporalMode mode = TemporalMode::SoftwareRevocation;
     /** Quarantined bytes that trigger a sweep (0 = heapSize/2). */
     uint64_t quarantineThreshold = 0;
+
+    /** @name Blocking-malloc backoff (the backpressure loop)
+     * On exhaustion malloc kicks the revoker and waits with capped
+     * exponential backoff for quarantine to become releasable. The
+     * attempt budget is charged only to waits during which the
+     * revocation epoch made *no* progress — a healthy engine always
+     * advances and eventually empties quarantine, so the loop exits
+     * for a reason (memory found, or nothing left to reclaim); only
+     * a stalled engine burns the budget and forces OutOfMemory. @{ */
+    uint32_t backoffMaxAttempts = 16;
+    uint64_t backoffInitialCycles = 256;
+    uint64_t backoffCapCycles = 16384;
+    /** No-progress waits with a sweep stuck in flight before the
+     * loop escalates to the synchronous waiter (whose timeout kick
+     * is the engine-reset path for a wedged revoker). */
+    uint32_t backoffStallEscalation = 4;
+    /** @} */
 };
 
 class HeapAllocator
@@ -80,9 +101,25 @@ class HeapAllocator
 
     /**
      * Allocate @p size bytes; returns an exactly bounded, unsealed,
-     * global capability, or an untagged null on exhaustion.
+     * global capability, or an untagged null on exhaustion. Unmetered
+     * (kernel-account) variant of mallocCharged.
      */
     cap::Capability malloc(uint32_t size);
+
+    /**
+     * Allocate @p size bytes charged against quota entry @p owner.
+     * The chunk's full footprint (payload plus boundary-tag overhead
+     * after representability rounding) is charged at admission and
+     * credited back only when the memory really returns to the free
+     * lists — for the revocation modes, when it leaves quarantine, so
+     * quarantined bytes keep counting against their owner.
+     *
+     * Never aborts on resource exhaustion: on failure the returned
+     * capability is untagged and @p result (if non-null) explains
+     * why with a recoverable, typed code.
+     */
+    cap::Capability mallocCharged(QuotaId owner, uint32_t size,
+                                  AllocResult *result);
 
     /** Allocate @p count × @p size zeroed bytes (overflow-checked). */
     cap::Capability calloc(uint32_t count, uint32_t size);
@@ -124,10 +161,34 @@ class HeapAllocator
     /** @name Introspection @{ */
     uint64_t freeBytes() const { return freeList_.freeBytes(); }
     uint64_t quarantinedBytes() const { return quarantine_.bytes(); }
+    uint32_t quarantinedChunks() const
+    {
+        return quarantine_.chunkCount();
+    }
     uint32_t heapBase() const { return heapBase_; }
     uint32_t heapEnd() const { return heapEnd_; }
     TemporalMode mode() const { return config_.mode; }
+    /** Current revocation epoch (0 without a revoker). */
+    uint32_t epoch() const { return currentEpoch(); }
+    /** Epochs the oldest quarantined chunk has waited (0 if empty). */
+    uint32_t oldestEpochAge() const;
     /** @} */
+
+    /** @name Quota accounting @{ */
+    QuotaLedger &quota() { return quota_; }
+    const QuotaLedger &quota() const { return quota_; }
+    /** @} */
+
+    /**
+     * Install the wait primitive for the backoff loop (the kernel
+     * routes it through the scheduler so the idle thread — and with
+     * it the background revoker — owns the memory port while the
+     * blocked malloc sleeps). Default: raw machine idle.
+     */
+    void setBackoffWait(std::function<void(uint64_t)> wait)
+    {
+        backoffWait_ = std::move(wait);
+    }
 
     /** Force a sweep + quarantine drain now (used by idle logic). */
     void synchronise();
@@ -147,6 +208,13 @@ class HeapAllocator
     Counter rejectedFrees;
     Counter sweepsTriggered;
     Counter chunksReleased;
+    /** @name Overload observability (heap-pressure registers) @{ */
+    Counter quotaDenials;     ///< Mallocs refused at admission.
+    Counter blockedMallocs;   ///< Mallocs that entered the backoff loop.
+    Counter backoffWaitCycles;///< Cycles spent waiting in backoff.
+    Counter backoffTimeouts;  ///< Backoff budgets exhausted.
+    Counter oomReturns;       ///< OutOfMemory results surfaced.
+    /** @} */
 
     StatGroup &stats() { return stats_; }
 
@@ -159,6 +227,35 @@ class HeapAllocator
 
     /** Drain quarantine lists whose sweep has completed. */
     void drainQuarantine();
+
+    /**
+     * The backpressure loop shared by the memory and quota
+     * exhaustion paths: kick the revoker and sleep in growing slices,
+     * re-trying @p satisfied after each quarantine drain. Returns
+     * true when it held; false when quarantine emptied without it
+     * holding (revocation has nothing more to give) or the budget
+     * expired with the epoch frozen (stalled engine). The attempt
+     * budget burns only on no-progress waits, so a healthy engine
+     * can never time the loop out.
+     */
+    bool backoffUntil(const std::function<bool()> &satisfied);
+
+    /**
+     * Exhaustion path: drain what a completed sweep already made
+     * safe, then wait through backoffUntil for quarantine to become
+     * releasable. Returns a chunk fitting @p need, or 0 when the
+     * heap is exhausted for real — never blocks unboundedly.
+     */
+    uint32_t reclaimWithBackoff(uint32_t need, uint32_t alignMask);
+
+    /**
+     * Quota admission with the same backpressure: a charge that
+     * fails while the owner's own frees sit in quarantine (still
+     * charged) waits for revocation to credit them back before the
+     * denial becomes final. A live working set over the limit drains
+     * quarantine and is then denied fast.
+     */
+    bool chargeWithBackoff(QuotaId owner, uint32_t need);
 
     /** Kick (and for the software engine, run) a sweep. */
     void triggerSweep(bool waitForCompletion);
@@ -187,6 +284,15 @@ class HeapAllocator
     uint32_t heapEnd_;
     revoker::Revoker *revoker_;
     AllocatorConfig config_;
+    QuotaLedger quota_;
+    /**
+     * Chunk address → quota entry paying for it. Entries persist
+     * through quarantine and are settled (credited and erased) only
+     * when releaseChunk returns the memory to the free lists.
+     * Ordered map: snapshot serialization must be canonical.
+     */
+    std::map<uint32_t, QuotaId> chunkOwners_;
+    std::function<void(uint64_t)> backoffWait_;
     /** Head of the claim-record list (payload address; 0 = empty). */
     uint32_t claimsHead_ = 0;
     /**
@@ -207,6 +313,9 @@ class HeapAllocator
     void setInternal(uint32_t base, bool value);
     StatGroup stats_{"allocator"};
 };
+
+/** Human-readable free() result name for diagnostics and logs. */
+const char *freeResultName(HeapAllocator::FreeResult result);
 
 } // namespace cheriot::alloc
 

@@ -60,6 +60,16 @@ class Quarantine
     /** Oldest epoch stamp held, or ~0u when empty. */
     uint32_t oldestEpoch() const;
 
+    /** Distinct epoch lists currently in use (≤ kMaxLists). */
+    unsigned activeListCount() const
+    {
+        unsigned count = 0;
+        for (const auto &list : lists_) {
+            count += list.active ? 1 : 0;
+        }
+        return count;
+    }
+
     /** @name Snapshot state (list heads; links live in guest SRAM) @{ */
     void serialize(snapshot::Writer &w) const;
     bool deserialize(snapshot::Reader &r);

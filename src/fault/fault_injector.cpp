@@ -38,6 +38,7 @@ faultSiteName(FaultSite site)
       case FaultSite::BitmapCorrupt: return "bitmap-corrupt";
       case FaultSite::SpuriousFault: return "spurious-fault";
       case FaultSite::FaultStorm: return "fault-storm";
+      case FaultSite::MallocStall: return "malloc-stall";
       case FaultSite::kCount: break;
     }
     return "unknown";
@@ -55,6 +56,7 @@ FaultInjector::FaultInjector(uint64_t seed)
     stats_.registerCounter("busDrops", busDrops);
     stats_.registerCounter("busDelays", busDelays);
     stats_.registerCounter("revokerStalls", revokerStalls);
+    stats_.registerCounter("mallocStalls", mallocStalls);
     stats_.registerCounter("epochsStuck", epochsStuck);
     stats_.registerCounter("bitmapBitsPainted", bitmapBitsPainted);
     stats_.registerCounter("spuriousFaults", spuriousFaults);
@@ -94,6 +96,12 @@ FaultInjector::planNext(uint64_t horizonCycles, uint32_t memBase,
         break;
       case FaultSite::RevokerStall:
         plan.param = 1024 + rng.below(64 * 1024); // Stall duration.
+        break;
+      case FaultSite::MallocStall:
+        // Stall windows from "a hiccup the backoff absorbs" to "far
+        // beyond the backoff budget" so both the recovered-retry and
+        // the bounded-timeout → OutOfMemory paths get exercised.
+        plan.param = 4096 + rng.below(512 * 1024);
         break;
       case FaultSite::RevokerStuckEpoch:
         break;
@@ -176,8 +184,9 @@ FaultInjector::fire(uint64_t nowCycle)
         break;
       case FaultSite::BusDrop:
       case FaultSite::BusDelay:
+      case FaultSite::MallocStall:
       case FaultSite::kCount:
-        break; // Bus faults deliver via busTransactionFaults().
+        break; // Event-triggered: delivered by their own hooks.
     }
 }
 
@@ -193,7 +202,8 @@ FaultInjector::tick(uint64_t nowCycle)
         return;
     }
     if (plan_.site == FaultSite::BusDrop ||
-        plan_.site == FaultSite::BusDelay) {
+        plan_.site == FaultSite::BusDelay ||
+        plan_.site == FaultSite::MallocStall) {
         return; // Event-triggered, not cycle-triggered.
     }
     if (nowCycle >= plan_.triggerCycle) {
@@ -235,6 +245,20 @@ FaultInjector::busTransactionFaults(uint32_t *extraBeats)
         *extraBeats += plan_.param;
     }
     return 0;
+}
+
+void
+FaultInjector::mallocBackoffStarted(uint64_t nowCycle)
+{
+    if (!armed_ || fired_ || plan_.site != FaultSite::MallocStall) {
+        return;
+    }
+    fired_ = true;
+    faultsInjected++;
+    mallocStalls++;
+    revokerStalls++;
+    stalled_ = true;
+    stallDeadline_ = nowCycle + plan_.param;
 }
 
 void

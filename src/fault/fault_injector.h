@@ -65,6 +65,9 @@ enum class FaultSite : uint8_t
     BitmapCorrupt,        ///< Paint a spurious revocation bit.
     SpuriousFault,        ///< One spurious trap / callee fault.
     FaultStorm,           ///< A burst of spurious faults.
+    MallocStall,          ///< Revoker stalls as a blocking malloc
+                          ///< enters its backoff loop (exercises the
+                          ///< bounded-backoff / OutOfMemory path).
     kCount,
 };
 
@@ -140,6 +143,13 @@ class FaultInjector
     bool suppressEpochIncrement() const { return epochStuck_; }
     /** MMIO kick observed: clears stall and stuck-epoch states. */
     void revokerKicked();
+    /**
+     * Allocator hook: a malloc exhausted the free lists and is about
+     * to enter its bounded backoff loop. An armed MallocStall plan
+     * fires here — opening a stall window at the worst possible
+     * moment, while the blocked malloc waits on sweep progress.
+     */
+    void mallocBackoffStarted(uint64_t nowCycle);
     /** @} */
 
     /** @name Safety oracle @{ */
@@ -168,6 +178,7 @@ class FaultInjector
     Counter busDrops;           ///< Dropped bus transactions.
     Counter busDelays;          ///< Delayed bus transactions.
     Counter revokerStalls;      ///< Stall windows opened.
+    Counter mallocStalls;       ///< Stalls landed on blocked mallocs.
     Counter epochsStuck;        ///< Stuck-epoch faults armed.
     Counter bitmapBitsPainted;  ///< Spurious revocation bits set.
     Counter spuriousFaults;     ///< Spurious traps delivered.

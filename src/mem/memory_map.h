@@ -28,6 +28,9 @@ constexpr uint32_t kConsoleMmioBase = 0x30020000;
 constexpr uint32_t kConsoleMmioSize = 0x100;
 constexpr uint32_t kTimerMmioBase = 0x30030000;
 constexpr uint32_t kTimerMmioSize = 0x100;
+/** Read-only allocator/quarantine telemetry (admission control). */
+constexpr uint32_t kHeapPressureMmioBase = 0x30040000;
+constexpr uint32_t kHeapPressureMmioSize = 0x100;
 /** @} */
 
 /**

@@ -185,6 +185,13 @@ struct FaultRecoveryState
     /** Re-entrancy latch: a handler that itself faults does not get
      * a second handler invocation (paper §5.2's double-fault rule). */
     bool handlerActive = false;
+    /** @name Resource-abuse accounting
+     * Quota-exceeded / heap-exhausted outcomes charged by the
+     * watchdog: a compartment that keeps driving the heap into the
+     * ground is quarantined and restarted like a faulting one. @{ */
+    uint32_t allocFailuresTotal = 0;
+    uint32_t allocFailuresSinceRestart = 0;
+    /** @} */
 
     /** @name Snapshot state @{ */
     void serialize(snapshot::Writer &w) const
@@ -196,6 +203,8 @@ struct FaultRecoveryState
         w.u32(quarantines);
         w.u32(restarts);
         w.b(handlerActive);
+        w.u32(allocFailuresTotal);
+        w.u32(allocFailuresSinceRestart);
     }
 
     bool deserialize(snapshot::Reader &r)
@@ -207,6 +216,8 @@ struct FaultRecoveryState
         quarantines = r.u32();
         restarts = r.u32();
         handlerActive = r.b();
+        allocFailuresTotal = r.u32();
+        allocFailuresSinceRestart = r.u32();
         return r.ok();
     }
     /** @} */

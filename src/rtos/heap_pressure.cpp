@@ -1,0 +1,44 @@
+#include "rtos/heap_pressure.h"
+
+#include "alloc/heap_allocator.h"
+
+namespace cheriot::rtos
+{
+
+uint32_t
+HeapPressureDevice::read32(uint32_t offset)
+{
+    switch (offset) {
+      case kRegFreeBytes:
+        return static_cast<uint32_t>(allocator_.freeBytes());
+      case kRegQuarantinedBytes:
+        return static_cast<uint32_t>(allocator_.quarantinedBytes());
+      case kRegOldestEpochAge:
+        return allocator_.oldestEpochAge();
+      case kRegQuarantinedChunks:
+        return allocator_.quarantinedChunks();
+      case kRegHeapSize:
+        return allocator_.heapEnd() - allocator_.heapBase();
+      case kRegEpoch:
+        return allocator_.epoch();
+      case kRegBlockedMallocs:
+        return static_cast<uint32_t>(allocator_.blockedMallocs.value());
+      case kRegBackoffTimeouts:
+        return static_cast<uint32_t>(allocator_.backoffTimeouts.value());
+      case kRegQuotaDenials:
+        return static_cast<uint32_t>(allocator_.quotaDenials.value());
+      case kRegOomReturns:
+        return static_cast<uint32_t>(allocator_.oomReturns.value());
+      default:
+        return 0;
+    }
+}
+
+void
+HeapPressureDevice::write32(uint32_t offset, uint32_t value)
+{
+    (void)offset;
+    (void)value;
+}
+
+} // namespace cheriot::rtos

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Heap-pressure status device.
+ *
+ * A read-only MMIO window over the allocator's overload telemetry:
+ * free bytes, quarantined bytes, the age of the oldest quarantine
+ * epoch, and the failure counters of the quota/backpressure
+ * machinery. The scheduler (or any compartment handed a capability
+ * over the window) can consult it for admission control — deferring
+ * elastic work while revocation is behind — without being able to
+ * influence the allocator: MMIO carries no tags and every register
+ * ignores writes.
+ */
+
+#ifndef CHERIOT_RTOS_HEAP_PRESSURE_H
+#define CHERIOT_RTOS_HEAP_PRESSURE_H
+
+#include "mem/mmio.h"
+
+#include <cstdint>
+
+namespace cheriot::alloc
+{
+class HeapAllocator;
+}
+
+namespace cheriot::rtos
+{
+
+class HeapPressureDevice : public mem::MmioDevice
+{
+  public:
+    /** @name Register map (all read-only) @{ */
+    static constexpr uint32_t kRegFreeBytes = 0x00;
+    static constexpr uint32_t kRegQuarantinedBytes = 0x04;
+    static constexpr uint32_t kRegOldestEpochAge = 0x08;
+    static constexpr uint32_t kRegQuarantinedChunks = 0x0c;
+    static constexpr uint32_t kRegHeapSize = 0x10;
+    static constexpr uint32_t kRegEpoch = 0x14;
+    static constexpr uint32_t kRegBlockedMallocs = 0x18;
+    static constexpr uint32_t kRegBackoffTimeouts = 0x1c;
+    static constexpr uint32_t kRegQuotaDenials = 0x20;
+    static constexpr uint32_t kRegOomReturns = 0x24;
+    /** @} */
+
+    explicit HeapPressureDevice(alloc::HeapAllocator &allocator)
+        : allocator_(allocator)
+    {}
+
+    std::string name() const override { return "heap-pressure"; }
+    uint32_t read32(uint32_t offset) override;
+    /** All registers are status: writes are silently ignored. */
+    void write32(uint32_t offset, uint32_t value) override;
+
+  private:
+    alloc::HeapAllocator &allocator_;
+};
+
+} // namespace cheriot::rtos
+
+#endif // CHERIOT_RTOS_HEAP_PRESSURE_H

@@ -1,5 +1,6 @@
 #include "rtos/kernel.h"
 
+#include "cap/sealing.h"
 #include "mem/memory_map.h"
 #include "snapshot/serializer.h"
 #include "util/log.h"
@@ -186,6 +187,26 @@ Kernel::initHeap(alloc::TemporalMode mode, uint64_t quarantineThreshold)
         guest_, heapCap, bitmapCap, machine_.revocationBitmap(), revoker,
         config);
 
+    // Heap-pressure telemetry: a read-only MMIO window over the
+    // allocator's health registers (free/quarantined bytes, oldest
+    // epoch age, denial counters) so schedulers and admission gates
+    // can observe overload without a cross-compartment call.
+    heapPressure_ = std::make_unique<HeapPressureDevice>(*allocator_);
+    machine_.memory().mmio().map(mem::kHeapPressureMmioBase,
+                                 mem::kHeapPressureMmioSize,
+                                 heapPressure_.get());
+    heapPressureCap_ = loader_.mmioCap(mem::kHeapPressureMmioBase,
+                                       mem::kHeapPressureMmioSize);
+
+    // A blocking malloc must not spin on the memory port it is
+    // waiting for the revoker to use: each backoff step yields to the
+    // idle thread, exactly like the hardware revoker's wait loop.
+    allocator_->setBackoffWait([this](uint64_t cycles) {
+        scheduler_->contextSwitch();
+        scheduler_->runIdle(cycles);
+        scheduler_->contextSwitch();
+    });
+
     // The allocator compartment: the sole holder of the bitmap
     // capability, exporting malloc and free.
     allocCompartment_ = &createCompartment("alloc", 2048, 1024);
@@ -221,8 +242,29 @@ Kernel::initHeap(alloc::TemporalMode mode, uint64_t quarantineThreshold)
              return CallResult::ofInt(static_cast<uint32_t>(result));
          },
          /*interruptsDisabled=*/false});
+    const uint32_t mallocQuotaIndex = allocCompartment_->addExport(
+        {"malloc_quota",
+         [this](CompartmentContext &ctx, ArgVec &args) {
+             // Same dlmalloc frame as malloc, plus the unseal path.
+             const Capability frame = ctx.stackAlloc(96);
+             if (!frame.tag()) {
+                 return CallResult::faulted(
+                     sim::TrapCause::CheriBoundsViolation);
+             }
+             ctx.mem.storeWord(frame, frame.base(), args[1].address());
+             ctx.mem.storeWord(frame, frame.base() + 88, 0);
+             alloc::AllocResult res = alloc::AllocResult::Ok;
+             const Capability result =
+                 mallocSealed(args[0], args[1].address(), &res);
+             CallResult out = CallResult::ofCap(result);
+             out.second = Capability().withAddress(
+                 static_cast<uint32_t>(res));
+             return out;
+         },
+         /*interruptsDisabled=*/false});
     mallocImport_ = importOf(*allocCompartment_, mallocIndex);
     freeImport_ = importOf(*allocCompartment_, freeIndex);
+    mallocQuotaImport_ = importOf(*allocCompartment_, mallocQuotaIndex);
 }
 
 Capability
@@ -249,6 +291,121 @@ Kernel::free(Thread &thread, const Capability &ptr)
     }
     return static_cast<alloc::HeapAllocator::FreeResult>(
         result.value.address());
+}
+
+TokenLibrary &
+Kernel::tokenLibrary()
+{
+    if (allocator_ == nullptr) {
+        panic("kernel: token library before initHeap");
+    }
+    if (tokenLibrary_ == nullptr) {
+        // Lazily bootstrapped on first use so systems that never mint
+        // tokens keep their exact historical heap layout.
+        tokenLibrary_ = std::make_unique<TokenLibrary>(
+            guest_, *allocator_, loader_.sealerFor(cap::kOtypeToken));
+        allocKey_ = tokenLibrary_->createKey();
+    }
+    return *tokenLibrary_;
+}
+
+Capability
+Kernel::mintAllocatorCapability(Compartment &owner, uint64_t limitBytes)
+{
+    TokenLibrary &tokens = tokenLibrary();
+    // The sealed record names the owner by position: a restore (same
+    // deterministic boot) resolves it to the same compartment.
+    uint32_t ownerIndex = ~uint32_t{0};
+    for (size_t i = 0; i < compartments_.size(); ++i) {
+        if (compartments_[i].get() == &owner) {
+            ownerIndex = static_cast<uint32_t>(i);
+            break;
+        }
+    }
+    if (ownerIndex == ~uint32_t{0}) {
+        panic("kernel: minting allocator capability for foreign "
+              "compartment '%s'",
+              owner.name().c_str());
+    }
+    const alloc::QuotaId id = allocator_->quota().create(limitBytes);
+    // The record itself is kernel bookkeeping: unmetered.
+    const Capability record = allocator_->malloc(kAllocCapRecordSize);
+    if (!record.tag()) {
+        panic("kernel: heap exhausted while minting an allocator "
+              "capability at boot");
+    }
+    guest_.storeWord(record, record.base() + 0, kAllocCapMagic);
+    guest_.storeWord(record, record.base() + 4, id);
+    guest_.storeWord(record, record.base() + 8, ownerIndex);
+    guest_.storeWord(record, record.base() + 12,
+                     static_cast<uint32_t>(limitBytes));
+    const Capability token = tokens.seal(allocKey_, record);
+    if (!token.tag()) {
+        panic("kernel: sealing an allocator capability failed");
+    }
+    return token;
+}
+
+Capability
+Kernel::mallocSealed(const Capability &token, uint32_t size,
+                     alloc::AllocResult *out)
+{
+    alloc::AllocResult scratch = alloc::AllocResult::Ok;
+    alloc::AllocResult &res = out != nullptr ? *out : scratch;
+    res = alloc::AllocResult::InvalidCapability;
+    if (tokenLibrary_ == nullptr) {
+        return Capability();
+    }
+    const Capability record = tokenLibrary_->unseal(allocKey_, token);
+    if (!record.tag() ||
+        guest_.loadWord(record, record.base()) != kAllocCapMagic) {
+        return Capability();
+    }
+    const uint32_t quotaId = guest_.loadWord(record, record.base() + 4);
+    const uint32_t ownerIndex =
+        guest_.loadWord(record, record.base() + 8);
+    if (ownerIndex >= compartments_.size() ||
+        allocator_->quota().entry(quotaId) == nullptr) {
+        return Capability();
+    }
+    Compartment &owner = *compartments_[ownerIndex];
+    if (watchdog_.shouldReject(owner, machine_.cycles())) {
+        // Quarantined for heap abuse: shed the request before it can
+        // touch the allocator (or trigger a revocation sweep).
+        res = alloc::AllocResult::Throttled;
+        return Capability();
+    }
+    const Capability result =
+        allocator_->mallocCharged(quotaId, size, &res);
+    if (res == alloc::AllocResult::QuotaExceeded ||
+        res == alloc::AllocResult::OutOfMemory) {
+        watchdog_.recordAllocFailure(owner, res, machine_.cycles());
+    }
+    return result;
+}
+
+Capability
+Kernel::mallocWith(Thread &thread, const Capability &allocCap,
+                   uint32_t size, alloc::AllocResult *result)
+{
+    if (allocator_ == nullptr) {
+        panic("kernel: mallocWith before initHeap");
+    }
+    ArgVec args =
+        ArgVec::of({allocCap, Capability().withAddress(size)});
+    const CallResult res = call(thread, mallocQuotaImport_, args);
+    if (!res.ok()) {
+        // The call itself failed (e.g. the allocator compartment is
+        // quarantined): indistinguishable from throttling upstream.
+        if (result != nullptr) {
+            *result = alloc::AllocResult::Throttled;
+        }
+        return Capability();
+    }
+    if (result != nullptr) {
+        *result = static_cast<alloc::AllocResult>(res.second.address());
+    }
+    return res.value;
 }
 
 void
@@ -278,6 +435,11 @@ Kernel::serialize(snapshot::Writer &w) const
     w.b(allocator_ != nullptr);
     if (allocator_ != nullptr) {
         allocator_->serialize(w);
+    }
+    w.b(tokenLibrary_ != nullptr);
+    if (tokenLibrary_ != nullptr) {
+        tokenLibrary_->serialize(w);
+        w.cap(allocKey_);
     }
 }
 
@@ -322,6 +484,26 @@ Kernel::deserialize(snapshot::Reader &r)
         return false;
     }
     if (allocator_ != nullptr && !allocator_->deserialize(r)) {
+        return false;
+    }
+    if (r.b()) {
+        // The saving run had minted tokens: their boxes and records
+        // are already present in the restored heap image, so only the
+        // host-side id counter and the kernel's key handle need to be
+        // re-established — never re-mint (that would allocate).
+        if (allocator_ == nullptr) {
+            return false;
+        }
+        if (tokenLibrary_ == nullptr) {
+            tokenLibrary_ = std::make_unique<TokenLibrary>(
+                guest_, *allocator_,
+                loader_.sealerFor(cap::kOtypeToken));
+        }
+        if (!tokenLibrary_->deserialize(r)) {
+            return false;
+        }
+        allocKey_ = r.cap();
+    } else if (tokenLibrary_ != nullptr) {
         return false;
     }
     return r.ok();

@@ -13,10 +13,12 @@
 #include "revoker/software_revoker.h"
 #include "rtos/compartment.h"
 #include "rtos/guest_context.h"
+#include "rtos/heap_pressure.h"
 #include "rtos/loader.h"
 #include "rtos/scheduler.h"
 #include "rtos/switcher.h"
 #include "rtos/thread.h"
+#include "rtos/token_library.h"
 #include "rtos/watchdog.h"
 
 #include <memory>
@@ -133,6 +135,45 @@ class Kernel
     Compartment &allocatorCompartment() { return *allocCompartment_; }
     /** @} */
 
+    /** @name Allocator capabilities (metered heap access)
+     * The CHERIoT RTOS meters heap use through sealed *allocator
+     * capabilities*: opaque tokens minted at boot, each naming a
+     * quota-ledger entry and the compartment it was issued to. A
+     * compartment allocates by presenting its token; the kernel
+     * unseals it (virtualized sealing via the token library), runs
+     * watchdog admission, and charges the quota. @{ */
+
+    /**
+     * Mint a sealed allocator capability granting @p owner up to
+     * @p limitBytes of live heap. Boot-time API (the token box
+     * itself lives in kernel-account heap memory).
+     */
+    cap::Capability mintAllocatorCapability(Compartment &owner,
+                                            uint64_t limitBytes);
+
+    /**
+     * Metered malloc on behalf of @p thread: a real cross-compartment
+     * call into the allocator compartment presenting @p allocCap.
+     * Never aborts — every failure surfaces as an untagged return
+     * plus a typed, recoverable @p result (Throttled when the owning
+     * compartment is watchdog-quarantined for heap abuse).
+     */
+    cap::Capability mallocWith(Thread &thread,
+                               const cap::Capability &allocCap,
+                               uint32_t size,
+                               alloc::AllocResult *result = nullptr);
+
+    /** Token library (lazily created on first mint). */
+    TokenLibrary &tokenLibrary();
+
+    /** Capability over the heap-pressure MMIO window (read-only
+     * telemetry for admission control); untagged before initHeap. */
+    const cap::Capability &heapPressureCap() const
+    {
+        return heapPressureCap_;
+    }
+    /** @} */
+
     /** @name Snapshot state
      * The kernel's *structure* (compartments, exports, task closures,
      * trusted stacks) is rebuilt by re-running the same deterministic
@@ -166,6 +207,22 @@ class Kernel
     Compartment *allocCompartment_ = nullptr;
     Import mallocImport_;
     Import freeImport_;
+    Import mallocQuotaImport_;
+
+    /** Allocator-capability machinery. @{ */
+    /** Box discriminator ('aloc'): an allocator-capability payload. */
+    static constexpr uint32_t kAllocCapMagic = 0x616c6f63;
+    /** Record layout: magic@0, quotaId@4, ownerIndex@8, limit@12. */
+    static constexpr uint32_t kAllocCapRecordSize = 16;
+    std::unique_ptr<TokenLibrary> tokenLibrary_;
+    cap::Capability allocKey_; ///< Sealing key for allocator caps.
+    std::unique_ptr<HeapPressureDevice> heapPressure_;
+    cap::Capability heapPressureCap_;
+    /** Unseal + validate an allocator capability; runs watchdog
+     * admission and charges failures. The export body. */
+    cap::Capability mallocSealed(const cap::Capability &token,
+                                 uint32_t size, alloc::AllocResult *out);
+    /** @} */
 };
 
 } // namespace cheriot::rtos

@@ -108,6 +108,15 @@ Scheduler::runFor(uint64_t horizon)
                 break;
             }
         }
+        if (admissionGate_ && admissionGate_(*next)) {
+            // Deferred, not run: the activation slides one period.
+            admissionDeferrals++;
+            next->nextDue += next->periodCycles;
+            if (next->nextDue <= machine.cycles()) {
+                next->nextDue = machine.cycles() + next->periodCycles;
+            }
+            continue;
+        }
         contextSwitch();
         const uint64_t busyStart = machine.cycles();
         next->fn();
@@ -140,6 +149,7 @@ Scheduler::serialize(snapshot::Writer &w) const
     w.counter(contextSwitches);
     w.counter(idleCycleCount);
     w.counter(busyCycleCount);
+    w.counter(admissionDeferrals);
 }
 
 bool
@@ -164,6 +174,7 @@ Scheduler::deserialize(snapshot::Reader &r)
     r.counter(contextSwitches);
     r.counter(idleCycleCount);
     r.counter(busyCycleCount);
+    r.counter(admissionDeferrals);
     return r.ok();
 }
 

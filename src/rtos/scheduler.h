@@ -45,6 +45,7 @@ class Scheduler
         stats_.registerCounter("contextSwitches", contextSwitches);
         stats_.registerCounter("idleCycles", idleCycleCount);
         stats_.registerCounter("busyCycles", busyCycleCount);
+        stats_.registerCounter("admissionDeferrals", admissionDeferrals);
     }
 
     /**
@@ -77,6 +78,20 @@ class Scheduler
     void addPeriodic(std::string name, uint64_t periodCycles,
                      uint8_t priority, std::function<void()> fn);
 
+    /**
+     * Admission control under heap pressure: when set, the gate is
+     * consulted before each dispatch and a true verdict defers the
+     * activation by one period (charged to admissionDeferrals, not
+     * run). Gates typically read the heap-pressure MMIO window and
+     * defer elastic low-priority work while revocation is behind;
+     * deferral can never wedge the loop — time still advances and
+     * the gate is re-asked at the next due date.
+     */
+    void setAdmissionGate(std::function<bool(const Task &)> gate)
+    {
+        admissionGate_ = std::move(gate);
+    }
+
     /** As addPeriodic, but the first activation is due @p firstDelay
      * cycles from now (0 = immediately; e.g. one-shot setup work). */
     void addPeriodicWithDelay(std::string name, uint64_t periodCycles,
@@ -105,6 +120,7 @@ class Scheduler
     Counter contextSwitches;
     Counter idleCycleCount;
     Counter busyCycleCount;
+    Counter admissionDeferrals;
 
     StatGroup &stats() { return stats_; }
 
@@ -112,6 +128,7 @@ class Scheduler
     GuestContext &guest_;
     cap::Capability saveArea_;
     std::vector<Task> tasks_;
+    std::function<bool(const Task &)> admissionGate_;
     StatGroup stats_{"scheduler"};
 };
 

@@ -30,6 +30,12 @@
 #include "alloc/heap_allocator.h"
 #include "rtos/guest_context.h"
 
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
 namespace cheriot::rtos
 {
 
@@ -77,6 +83,13 @@ class TokenLibrary
                  const cap::Capability &token);
 
     uint32_t keysMinted() const { return nextKeyId_ - 1; }
+
+    /** @name Snapshot state (box contents live in simulated heap
+     * memory and ride the machine image; only the id counter is
+     * host-side) @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
 
   private:
     /** Box layout in heap memory. @{ */

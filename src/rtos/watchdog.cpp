@@ -31,6 +31,32 @@ Watchdog::recordFault(Compartment &compartment, sim::TrapCause cause,
 }
 
 bool
+Watchdog::recordAllocFailure(Compartment &compartment,
+                             alloc::AllocResult result,
+                             uint64_t nowCycle)
+{
+    FaultRecoveryState &state = compartment.faultState();
+    state.allocFailuresTotal++;
+    state.allocFailuresSinceRestart++;
+    allocFailuresObserved++;
+    if (state.quarantined ||
+        state.allocFailuresSinceRestart < policy_.allocFailureBudget) {
+        return false;
+    }
+    state.quarantined = true;
+    state.quarantines++;
+    state.restartDueCycle = nowCycle + policy_.restartDelayCycles;
+    quarantines++;
+    overloadQuarantines++;
+    warn("watchdog: compartment '%s' exhausted its allocation-failure "
+         "budget (%u failures, last: %s) — quarantined for %llu cycles",
+         compartment.name().c_str(), state.allocFailuresSinceRestart,
+         alloc::allocResultName(result),
+         static_cast<unsigned long long>(policy_.restartDelayCycles));
+    return true;
+}
+
+bool
 Watchdog::shouldReject(Compartment &compartment, uint64_t nowCycle)
 {
     FaultRecoveryState &state = compartment.faultState();
@@ -69,6 +95,7 @@ Watchdog::restart(Compartment &compartment)
                 static_cast<uint32_t>(globals.length()));
     state.quarantined = false;
     state.faultsSinceRestart = 0;
+    state.allocFailuresSinceRestart = 0;
     state.handlerActive = false;
     state.restarts++;
     restarts++;
@@ -82,10 +109,13 @@ Watchdog::serialize(snapshot::Writer &w) const
 {
     w.u32(policy_.faultBudget);
     w.u64(policy_.restartDelayCycles);
+    w.u32(policy_.allocFailureBudget);
     w.counter(faultsObserved);
     w.counter(quarantines);
     w.counter(restarts);
     w.counter(rejectedCalls);
+    w.counter(allocFailuresObserved);
+    w.counter(overloadQuarantines);
 }
 
 bool
@@ -93,10 +123,13 @@ Watchdog::deserialize(snapshot::Reader &r)
 {
     policy_.faultBudget = r.u32();
     policy_.restartDelayCycles = r.u64();
+    policy_.allocFailureBudget = r.u32();
     r.counter(faultsObserved);
     r.counter(quarantines);
     r.counter(restarts);
     r.counter(rejectedCalls);
+    r.counter(allocFailuresObserved);
+    r.counter(overloadQuarantines);
     return r.ok();
 }
 

@@ -21,6 +21,7 @@
 #ifndef CHERIOT_RTOS_WATCHDOG_H
 #define CHERIOT_RTOS_WATCHDOG_H
 
+#include "alloc/alloc_result.h"
 #include "rtos/compartment.h"
 #include "rtos/guest_context.h"
 #include "util/stats.h"
@@ -39,6 +40,12 @@ class Watchdog
         uint32_t faultBudget = 64;
         /** Quarantine duration before the compartment is restarted. */
         uint64_t restartDelayCycles = 4096;
+        /** Quota-exceeded / heap-exhausted outcomes since the last
+         * restart before the compartment is treated as a resource
+         * abuser and quarantined. Generous: a well-behaved caller
+         * that occasionally sees OutOfMemory and sheds load never
+         * trips it; a malloc storm does within one burst. */
+        uint32_t allocFailureBudget = 32;
     };
 
     /** Modelled instruction cost of the restart path (zeroing is
@@ -51,6 +58,10 @@ class Watchdog
         stats_.registerCounter("quarantines", quarantines);
         stats_.registerCounter("restarts", restarts);
         stats_.registerCounter("rejectedCalls", rejectedCalls);
+        stats_.registerCounter("allocFailuresObserved",
+                               allocFailuresObserved);
+        stats_.registerCounter("overloadQuarantines",
+                               overloadQuarantines);
     }
 
     const Policy &policy() const { return policy_; }
@@ -63,6 +74,16 @@ class Watchdog
      */
     bool recordFault(Compartment &compartment, sim::TrapCause cause,
                      uint64_t nowCycle);
+
+    /**
+     * Charge a failed (quota-exceeded or out-of-memory) allocation
+     * to @p compartment. Returns true when this failure exhausted
+     * the alloc-failure budget and the compartment is now
+     * quarantined — the overload analogue of recordFault.
+     */
+    bool recordAllocFailure(Compartment &compartment,
+                            alloc::AllocResult result,
+                            uint64_t nowCycle);
 
     /**
      * Call gate: true if a call into @p compartment must be rejected.
@@ -87,6 +108,8 @@ class Watchdog
     Counter quarantines;
     Counter restarts;
     Counter rejectedCalls;
+    Counter allocFailuresObserved; ///< Failed allocations charged.
+    Counter overloadQuarantines;   ///< Quarantines for heap abuse.
 
     StatGroup &stats() { return stats_; }
 

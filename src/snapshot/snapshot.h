@@ -35,8 +35,10 @@
 namespace cheriot::snapshot
 {
 
-/** Current image format version. */
-constexpr uint32_t kSnapshotVersion = 1;
+/** Current image format version.
+ * v2: quota ledger + chunk-owner map + heap-pressure counters in the
+ * allocator stream; alloc-failure budget in FaultRecoveryState. */
+constexpr uint32_t kSnapshotVersion = 2;
 /** 'CHSN' little-endian. */
 constexpr uint32_t kSnapshotMagic = 0x4e534843;
 

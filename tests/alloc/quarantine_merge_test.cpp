@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Regression tests for the quarantine's list-merge path: with three
+ * epoch lists busy, a fourth distinct epoch must merge the two
+ * *oldest* lists and stamp the survivor with the *younger* of their
+ * epochs — so a merge can only ever delay reuse, never allow it
+ * early. These tests pin the claim made by the comment in
+ * Quarantine::listFor (src/alloc/quarantine.cpp) structurally
+ * (list counts, surviving stamps) and behaviourally (what drains
+ * when), including across repeated merges and under fuzzed add/drain
+ * interleavings.
+ */
+
+#include "alloc/chunk.h"
+#include "alloc/quarantine.h"
+#include "revoker/revoker.h"
+#include "rtos/guest_context.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace cheriot::alloc
+{
+namespace
+{
+
+using cap::Capability;
+
+class QuarantineMergeTest : public ::testing::Test
+{
+  protected:
+    QuarantineMergeTest()
+        : machine(config()), guest(machine),
+          heapCap(Capability::memoryRoot()
+                      .withAddress(machine.heapBase())
+                      .withBounds(machine.machineConfig().heapSize)),
+          view(guest, heapCap)
+    {
+    }
+
+    static sim::MachineConfig config()
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 128u << 10;
+        c.heapOffset = 64u << 10;
+        c.heapSize = 32u << 10;
+        return c;
+    }
+
+    /** Carve a standalone chunk the quarantine can link through. */
+    uint32_t makeChunk(uint32_t at, uint32_t size = 64)
+    {
+        const uint32_t chunk = machine.heapBase() + at;
+        view.setHead(chunk, size | kPinuse);
+        view.setPrevFoot(chunk + size, size);
+        return chunk;
+    }
+
+    sim::Machine machine;
+    rtos::GuestContext guest;
+    Capability heapCap;
+    ChunkView view;
+};
+
+TEST_F(QuarantineMergeTest, FourthEpochMergesTwoOldestUnderYoungerStamp)
+{
+    Quarantine quarantine(view);
+    const uint32_t a1 = makeChunk(0);
+    const uint32_t a2 = makeChunk(128);
+    const uint32_t b = makeChunk(256);
+    const uint32_t c = makeChunk(384);
+    const uint32_t d = makeChunk(512);
+
+    quarantine.add(a1, 64, 2);
+    quarantine.add(a2, 64, 2);
+    quarantine.add(b, 64, 4);
+    quarantine.add(c, 64, 6);
+    EXPECT_EQ(quarantine.activeListCount(), 3u);
+    EXPECT_EQ(quarantine.oldestEpoch(), 2u);
+    EXPECT_EQ(quarantine.chunkCount(), 4u);
+
+    // The fourth distinct epoch forces the merge: lists {2, 4} fold
+    // together and the survivor carries the *younger* stamp (4).
+    quarantine.add(d, 64, 8);
+    EXPECT_EQ(quarantine.activeListCount(), 3u);
+    EXPECT_EQ(quarantine.oldestEpoch(), 4u)
+        << "the merged list must be stamped with the younger epoch";
+    EXPECT_EQ(quarantine.chunkCount(), 5u);
+    EXPECT_EQ(quarantine.bytes(), 5u * 64u);
+
+    // Epoch-2 chunks would have been releasable at epoch 4
+    // (safeToReuse(2, 4) holds) — the merge deliberately delays them
+    // behind epoch 4's release point. Nothing may drain before 6.
+    std::vector<uint32_t> released;
+    const auto collect = [&](uint32_t chunk, uint32_t size) {
+        EXPECT_EQ(size, 64u);
+        released.push_back(chunk);
+    };
+    ASSERT_TRUE(revoker::Revoker::safeToReuse(2, 4))
+        << "precondition: the delay below must be the merge's doing";
+    quarantine.drain(4, collect);
+    EXPECT_TRUE(released.empty())
+        << "merged epoch-2 chunks released early at epoch 4";
+    quarantine.drain(5, collect);
+    EXPECT_TRUE(released.empty());
+
+    // At epoch 6 the merged list (and only it) drains: both epoch-2
+    // chunks and the epoch-4 chunk come out together.
+    quarantine.drain(6, collect);
+    std::sort(released.begin(), released.end());
+    EXPECT_EQ(released, (std::vector<uint32_t>{a1, a2, b}));
+    EXPECT_EQ(quarantine.chunkCount(), 2u);
+    EXPECT_EQ(quarantine.oldestEpoch(), 6u);
+
+    released.clear();
+    quarantine.drain(12, collect);
+    std::sort(released.begin(), released.end());
+    EXPECT_EQ(released, (std::vector<uint32_t>{c, d}));
+    EXPECT_TRUE(quarantine.empty());
+    EXPECT_EQ(quarantine.bytes(), 0u);
+}
+
+TEST_F(QuarantineMergeTest, RepeatedMergesPreserveEveryChunk)
+{
+    Quarantine quarantine(view);
+    // Three chunks per epoch so the merges splice real multi-element
+    // chains, then two more epochs so the merge path runs twice
+    // (lists {2,4}→4, then {4,6}→6).
+    std::vector<uint32_t> all;
+    uint32_t offset = 0;
+    for (const uint32_t epoch : {2u, 4u, 6u}) {
+        for (int n = 0; n < 3; ++n) {
+            const uint32_t chunk = makeChunk(offset);
+            offset += 128;
+            quarantine.add(chunk, 64, epoch);
+            all.push_back(chunk);
+        }
+    }
+    for (const uint32_t epoch : {8u, 10u}) {
+        const uint32_t chunk = makeChunk(offset);
+        offset += 128;
+        quarantine.add(chunk, 64, epoch);
+        all.push_back(chunk);
+    }
+
+    EXPECT_EQ(quarantine.activeListCount(), 3u);
+    EXPECT_EQ(quarantine.oldestEpoch(), 6u)
+        << "two merges: {2,4} fold under 4, then {4,6} fold under 6";
+    EXPECT_EQ(quarantine.chunkCount(), all.size());
+    EXPECT_EQ(quarantine.bytes(), all.size() * 64u);
+
+    // Everything must come out exactly once, chains intact.
+    std::vector<uint32_t> released;
+    quarantine.drain(12, [&](uint32_t chunk, uint32_t) {
+        released.push_back(chunk);
+    });
+    std::sort(all.begin(), all.end());
+    std::sort(released.begin(), released.end());
+    EXPECT_EQ(released, all);
+    EXPECT_TRUE(quarantine.empty());
+    EXPECT_EQ(quarantine.activeListCount(), 0u);
+}
+
+TEST_F(QuarantineMergeTest, MergesNeverReleaseEarlyUnderFuzz)
+{
+    // Property: however many merges an interleaving forces, a chunk
+    // freed at epoch E is never released at a drain epoch where
+    // safeToReuse(E, drainEpoch) is false. (Merges may delay past
+    // that point; they must never cross it the other way.)
+    Rng rng(0x9e37);
+    for (int round = 0; round < 8; ++round) {
+        Quarantine quarantine(view);
+        std::map<uint32_t, uint32_t> freeEpochOf;
+        uint32_t offset = 0;
+        uint32_t epoch = 2 * rng.below(3);
+        size_t added = 0;
+        size_t releasedTotal = 0;
+
+        while (added < 48 || !quarantine.empty()) {
+            const bool canAdd = added < 48;
+            if (canAdd && (rng.chance(2, 3) || quarantine.empty())) {
+                const uint32_t chunk = makeChunk(offset);
+                offset += 128;
+                quarantine.add(chunk, 64, epoch);
+                freeEpochOf[chunk] = epoch;
+                ++added;
+                if (rng.chance(1, 2)) {
+                    epoch += 2; // Sweeps complete on even epochs.
+                }
+            } else {
+                const uint32_t current = epoch + rng.below(4);
+                quarantine.drain(current, [&](uint32_t chunk, uint32_t) {
+                    ASSERT_TRUE(revoker::Revoker::safeToReuse(
+                        freeEpochOf.at(chunk), current))
+                        << "chunk freed at epoch " << freeEpochOf.at(chunk)
+                        << " released at epoch " << current;
+                    freeEpochOf.erase(chunk);
+                    ++releasedTotal;
+                });
+                epoch += 2;
+            }
+            ASSERT_LE(quarantine.activeListCount(), 3u);
+        }
+        EXPECT_EQ(releasedTotal, added);
+        EXPECT_TRUE(freeEpochOf.empty());
+    }
+}
+
+} // namespace
+} // namespace cheriot::alloc

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Heap-pressure MMIO window tests: the read-only telemetry registers
+ * the scheduler's admission control consults must mirror the
+ * allocator's live state through real (load-filtered, cycle-charged)
+ * guest loads, surface the overload counters, and ignore writes.
+ */
+
+#include "alloc/alloc_result.h"
+#include "alloc/heap_allocator.h"
+#include "rtos/heap_pressure.h"
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace cheriot::rtos
+{
+namespace
+{
+
+using alloc::AllocResult;
+using alloc::HeapAllocator;
+using cap::Capability;
+
+class HeapPressureTest : public ::testing::Test
+{
+  protected:
+    HeapPressureTest()
+    {
+        sim::MachineConfig config;
+        config.core = sim::CoreConfig::ibex();
+        config.sramSize = 96u << 10;
+        config.heapOffset = 32u << 10;
+        config.heapSize = 64u << 10;
+        machine = std::make_unique<sim::Machine>(config);
+        kernel = std::make_unique<Kernel>(*machine);
+    }
+
+    uint32_t reg(uint32_t offset)
+    {
+        const Capability &window = kernel->heapPressureCap();
+        return kernel->guest().loadWord(window, window.base() + offset);
+    }
+
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<Kernel> kernel;
+};
+
+TEST_F(HeapPressureTest, CapabilityIsUntaggedBeforeHeapInit)
+{
+    EXPECT_FALSE(kernel->heapPressureCap().tag());
+}
+
+TEST_F(HeapPressureTest, RegistersMirrorAllocatorState)
+{
+    kernel->initHeap(alloc::TemporalMode::SoftwareRevocation);
+    HeapAllocator &allocator = kernel->allocator();
+    ASSERT_TRUE(kernel->heapPressureCap().tag());
+
+    EXPECT_EQ(reg(HeapPressureDevice::kRegHeapSize),
+              allocator.heapEnd() - allocator.heapBase());
+    EXPECT_EQ(reg(HeapPressureDevice::kRegFreeBytes),
+              static_cast<uint32_t>(allocator.freeBytes()));
+    EXPECT_EQ(reg(HeapPressureDevice::kRegQuarantinedBytes), 0u);
+    EXPECT_EQ(reg(HeapPressureDevice::kRegEpoch), allocator.epoch());
+
+    // An allocation shrinks the visible free pool...
+    const uint32_t freeBefore = reg(HeapPressureDevice::kRegFreeBytes);
+    const Capability ptr = allocator.malloc(512);
+    ASSERT_TRUE(ptr.tag());
+    EXPECT_LT(reg(HeapPressureDevice::kRegFreeBytes), freeBefore);
+
+    // ...and a free moves the bytes into the quarantine registers.
+    ASSERT_EQ(allocator.free(ptr), HeapAllocator::FreeResult::Ok);
+    EXPECT_EQ(reg(HeapPressureDevice::kRegQuarantinedBytes),
+              static_cast<uint32_t>(allocator.quarantinedBytes()));
+    EXPECT_GT(reg(HeapPressureDevice::kRegQuarantinedBytes), 0u);
+    EXPECT_EQ(reg(HeapPressureDevice::kRegQuarantinedChunks),
+              allocator.quarantinedChunks());
+    EXPECT_EQ(reg(HeapPressureDevice::kRegOldestEpochAge),
+              allocator.oldestEpochAge());
+
+    // Revocation catching up empties the quarantine view again.
+    for (int n = 0; n < 6 && allocator.quarantinedBytes() > 0; ++n) {
+        allocator.synchronise();
+    }
+    EXPECT_EQ(reg(HeapPressureDevice::kRegQuarantinedBytes), 0u);
+    EXPECT_EQ(reg(HeapPressureDevice::kRegFreeBytes), freeBefore);
+}
+
+TEST_F(HeapPressureTest, OverloadCountersAreVisible)
+{
+    kernel->initHeap(alloc::TemporalMode::SoftwareRevocation);
+    HeapAllocator &allocator = kernel->allocator();
+    EXPECT_EQ(reg(HeapPressureDevice::kRegQuotaDenials), 0u);
+    EXPECT_EQ(reg(HeapPressureDevice::kRegOomReturns), 0u);
+
+    // A quota denial (tiny limit, empty quarantine: fast path).
+    const alloc::QuotaId q = allocator.quota().create(64);
+    AllocResult res = AllocResult::Ok;
+    EXPECT_FALSE(allocator.mallocCharged(q, 200, &res).tag());
+    EXPECT_EQ(res, AllocResult::QuotaExceeded);
+    EXPECT_EQ(reg(HeapPressureDevice::kRegQuotaDenials),
+              static_cast<uint32_t>(allocator.quotaDenials.value()));
+    EXPECT_GE(reg(HeapPressureDevice::kRegQuotaDenials), 1u);
+
+    // True exhaustion shows up in the OutOfMemory counter.
+    std::vector<Capability> blocks;
+    for (;;) {
+        const Capability ptr = allocator.malloc(2048);
+        if (!ptr.tag()) {
+            break;
+        }
+        blocks.push_back(ptr);
+    }
+    EXPECT_GE(reg(HeapPressureDevice::kRegOomReturns), 1u);
+    EXPECT_EQ(reg(HeapPressureDevice::kRegBackoffTimeouts),
+              static_cast<uint32_t>(allocator.backoffTimeouts.value()));
+}
+
+TEST_F(HeapPressureTest, WindowIsReadOnly)
+{
+    kernel->initHeap(alloc::TemporalMode::SoftwareRevocation);
+    const Capability &window = kernel->heapPressureCap();
+    const uint32_t before = reg(HeapPressureDevice::kRegFreeBytes);
+
+    // Whether the store traps or is silently dropped by the device,
+    // it must not influence what the registers report.
+    (void)kernel->guest().tryStoreWord(
+        window, window.base() + HeapPressureDevice::kRegFreeBytes,
+        0xdeadbeef);
+    EXPECT_EQ(reg(HeapPressureDevice::kRegFreeBytes), before);
+    EXPECT_EQ(reg(HeapPressureDevice::kRegQuarantinedBytes), 0u);
+}
+
+} // namespace
+} // namespace cheriot::rtos

@@ -194,6 +194,153 @@ TEST(SnapshotRoundtrip, LiveKernelStateRoundTrips)
     EXPECT_EQ(kernel.guest().loadWord(obj, obj.base()), 0x600dbeefu);
 }
 
+TEST(SnapshotRoundtrip, QuotaAndTokenStateRoundTrips)
+{
+    // The quota ledger, the allocator-capability token library and
+    // the overload counters are serialized kernel state; a snapshot
+    // taken mid-overload (quarantined bytes still charged, a denial
+    // on the books) must restore to the identical ledger, and the
+    // sealed token minted before the snapshot must keep working
+    // against the restored heap.
+    sim::Machine machine(smallConfig());
+    rtos::Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+    rtos::Compartment &app = kernel.createCompartment("app", 1024, 512);
+    rtos::Thread &thread = kernel.createThread("main", 1, 4096);
+    kernel.activate(thread);
+    const Capability token = kernel.mintAllocatorCapability(app, 8192);
+    ASSERT_TRUE(token.tag());
+
+    alloc::AllocResult res = alloc::AllocResult::Ok;
+    const Capability live = kernel.mallocWith(thread, token, 256, &res);
+    ASSERT_TRUE(live.tag());
+    // A denial while quarantine is empty: fast, typed, and counted.
+    EXPECT_FALSE(kernel.mallocWith(thread, token, 16384, &res).tag());
+    ASSERT_EQ(res, alloc::AllocResult::QuotaExceeded);
+    // And still-charged quarantined bytes at snapshot time.
+    const Capability doomed = kernel.mallocWith(thread, token, 512, &res);
+    ASSERT_TRUE(doomed.tag());
+    ASSERT_EQ(kernel.free(thread, doomed),
+              alloc::HeapAllocator::FreeResult::Ok);
+    ASSERT_GT(kernel.allocator().quarantinedBytes(), 0u);
+
+    const alloc::QuotaLedger::Entry *entry =
+        kernel.allocator().quota().entry(1);
+    ASSERT_NE(entry, nullptr);
+    const alloc::QuotaLedger::Entry saved = *entry;
+    EXPECT_GE(saved.used, 768u);
+    EXPECT_GE(saved.denials, 1u);
+
+    const SnapshotImage machineImage = machine.saveImage();
+    Writer kernelState;
+    kernel.serialize(kernelState);
+
+    // Dirty both layers: more metered churn, revocation progress.
+    for (int n = 0; n < 4; ++n) {
+        const Capability extra =
+            kernel.mallocWith(thread, token, 64, &res);
+        if (extra.tag()) {
+            ASSERT_EQ(kernel.free(thread, extra),
+                      alloc::HeapAllocator::FreeResult::Ok);
+        }
+    }
+    kernel.allocator().synchronise();
+    machine.idle(3'000);
+
+    ASSERT_TRUE(machine.restoreImage(machineImage));
+    Reader kernelReader(kernelState.buffer().data(),
+                        kernelState.buffer().size());
+    ASSERT_TRUE(kernel.deserialize(kernelReader));
+    EXPECT_TRUE(kernelReader.exhausted());
+
+    Writer again;
+    kernel.serialize(again);
+    EXPECT_EQ(kernelState.buffer(), again.buffer());
+    EXPECT_EQ(machine.saveImage().data, machineImage.data);
+
+    entry = kernel.allocator().quota().entry(1);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->used, saved.used);
+    EXPECT_EQ(entry->peak, saved.peak);
+    EXPECT_EQ(entry->denials, saved.denials);
+    EXPECT_EQ(entry->limit, saved.limit);
+
+    // The pre-snapshot sealed token still unseals and meters against
+    // the restored ledger (functional check last: it runs the clock).
+    const Capability after = kernel.mallocWith(thread, token, 64, &res);
+    ASSERT_TRUE(after.tag());
+    EXPECT_EQ(res, alloc::AllocResult::Ok);
+    EXPECT_GT(entry->used, saved.used);
+}
+
+TEST(SnapshotRoundtrip, QuotaActivityFuzzRoundTripsByteIdentical)
+{
+    // Randomized metered malloc/free interleavings — including
+    // natural quota denials, backpressure waits and watchdog
+    // bookkeeping — snapshotted at an arbitrary point: restoring and
+    // re-serializing must be byte-identical in every run.
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        sim::Machine machine(smallConfig());
+        rtos::Kernel kernel(machine);
+        kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+        rtos::Compartment &a = kernel.createCompartment("a", 1024, 512);
+        rtos::Compartment &b = kernel.createCompartment("b", 1024, 512);
+        rtos::Thread &thread = kernel.createThread("main", 1, 4096);
+        kernel.activate(thread);
+        const Capability tokens[2] = {
+            kernel.mintAllocatorCapability(a, 6u << 10),
+            kernel.mintAllocatorCapability(b, 12u << 10),
+        };
+        ASSERT_TRUE(tokens[0].tag());
+        ASSERT_TRUE(tokens[1].tag());
+
+        Rng rng(seed * 0x51ed5eed);
+        std::vector<Capability> held;
+        const auto churn = [&](int rounds) {
+            for (int n = 0; n < rounds; ++n) {
+                if (rng.chance(2, 3) || held.empty()) {
+                    alloc::AllocResult res;
+                    const Capability ptr = kernel.mallocWith(
+                        thread, tokens[rng.below(2)],
+                        16 + rng.below(700), &res);
+                    if (ptr.tag()) {
+                        held.push_back(ptr);
+                    }
+                } else {
+                    const uint32_t pick = rng.below(
+                        static_cast<uint32_t>(held.size()));
+                    EXPECT_EQ(kernel.free(thread, held[pick]),
+                              alloc::HeapAllocator::FreeResult::Ok);
+                    held[pick] = held.back();
+                    held.pop_back();
+                }
+            }
+        };
+        churn(40);
+
+        const SnapshotImage machineImage = machine.saveImage();
+        Writer kernelState;
+        kernel.serialize(kernelState);
+
+        churn(20);
+        machine.idle(rng.range(100, 2'000));
+
+        ASSERT_TRUE(machine.restoreImage(machineImage)) << "seed "
+                                                        << seed;
+        Reader kernelReader(kernelState.buffer().data(),
+                            kernelState.buffer().size());
+        ASSERT_TRUE(kernel.deserialize(kernelReader)) << "seed " << seed;
+        EXPECT_TRUE(kernelReader.exhausted());
+
+        Writer again;
+        kernel.serialize(again);
+        EXPECT_EQ(kernelState.buffer(), again.buffer())
+            << "seed " << seed;
+        EXPECT_EQ(machine.saveImage().data, machineImage.data)
+            << "seed " << seed;
+    }
+}
+
 TEST(SnapshotRoundtrip, EveryFlippedBitIsDetected)
 {
     sim::Machine machine(smallConfig());
