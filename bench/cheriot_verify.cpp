@@ -1,0 +1,252 @@
+/**
+ * @file
+ * cheriot-verify CLI: static capability-flow analysis and image
+ * linting for compartment binaries.
+ *
+ * Three subjects:
+ *   --workload coremark|iot|alloc|stress|all   verify shipped images
+ *   --corpus                                   run the seeded corpus
+ *   --policy FILE                              custom lint policy
+ *
+ * Exit codes: 0 = no findings, 1 = findings reported, 2 = usage/IO
+ * error or broken corpus contract. CI runs the workloads expecting 0
+ * and the corpus expecting 1.
+ */
+
+#include "rtos/kernel.h"
+#include "verify/corpus.h"
+#include "verify/policy.h"
+#include "verify/verifier.h"
+#include "workloads/coremark/coremark.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+using namespace cheriot;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cheriot_verify [--workload coremark|iot|alloc|stress|all]\n"
+        "                      [--corpus] [--selftest] [--policy FILE]\n"
+        "                      [--verbose]\n");
+    return 2;
+}
+
+/** Analyze the CoreMark guest binary (the one real-ISA workload). */
+verify::Report
+verifyCoreMark()
+{
+    workloads::CoreMarkConfig config;
+    workloads::CoreMarkBuilder builder(config);
+    verify::ProgramImage image;
+    image.name = "coremark";
+    image.base = workloads::CoreMarkBuilder::kProgramBase;
+    image.entry = builder.entry();
+    image.words = builder.build();
+    return verify::analyzeProgram(image);
+}
+
+/** Boot the IoT image's structure (compartments, threads, heap) and
+ * lint it against the policy. Entry bodies are host-modelled, so the
+ * manifest is the verifiable surface. */
+verify::Report
+verifyIot(const verify::Policy &policy)
+{
+    sim::MachineConfig mc;
+    mc.sramSize = 160u << 10;
+    mc.heapOffset = 96u << 10;
+    mc.heapSize = 64u << 10;
+    sim::Machine machine(mc);
+    rtos::Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
+    kernel.createCompartment("net");
+    kernel.createCompartment("tls");
+    kernel.createCompartment("mqtt");
+    kernel.createCompartment("js");
+    kernel.createThread("net", 2, 2048);
+    kernel.createThread("js", 1, 2048);
+    verify::Report report = verify::verifyKernel(kernel, policy);
+    report.image = "iot";
+    return report;
+}
+
+verify::Report
+verifyAlloc(const verify::Policy &policy)
+{
+    sim::MachineConfig mc;
+    mc.sramSize = (256u << 10) + (16u << 10);
+    mc.heapOffset = 16u << 10;
+    mc.heapSize = 256u << 10;
+    sim::Machine machine(mc);
+    rtos::Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+    kernel.createThread("bench", 1, 2048);
+    verify::Report report = verify::verifyKernel(kernel, policy);
+    report.image = "alloc";
+    return report;
+}
+
+verify::Report
+verifyStress(const verify::Policy &policy)
+{
+    sim::MachineConfig mc;
+    mc.sramSize = (64u << 10) + (32u << 10);
+    mc.heapOffset = 32u << 10;
+    mc.heapSize = 64u << 10;
+    sim::Machine machine(mc);
+    rtos::Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
+    kernel.createCompartment("victim", 1024, 512);
+    kernel.createCompartment("attacker", 1024, 512);
+    kernel.createThread("victim", 2, 512);
+    kernel.createThread("attacker", 1, 512);
+    verify::Report report = verify::verifyKernel(kernel, policy);
+    report.image = "stress";
+    return report;
+}
+
+/** Run the corpus; returns 2 on a broken detection contract, else the
+ * number of findings (capped at 1). */
+int
+runCorpus(bool verbose)
+{
+    bool contractBroken = false;
+    size_t findings = 0;
+    for (const auto &c : verify::corpus()) {
+        const verify::Report report = verify::analyzeProgram(c.image);
+        findings += report.findings.size();
+        if (c.violating) {
+            bool hit = false;
+            for (const auto &f : report.findings) {
+                if (f.cls == c.expected && f.pc == c.expectedPc) {
+                    hit = true;
+                }
+            }
+            std::printf("%-14s %s (%zu finding(s), expect %s @%08x)\n",
+                        c.name.c_str(), hit ? "DETECTED" : "MISSED",
+                        report.findings.size(),
+                        verify::findingClassName(c.expected),
+                        c.expectedPc);
+            if (!hit) {
+                contractBroken = true;
+            }
+        } else {
+            std::printf("%-14s %s (%zu finding(s))\n", c.name.c_str(),
+                        report.ok() ? "CLEAN" : "FALSE-POSITIVE",
+                        report.findings.size());
+            if (!report.ok()) {
+                contractBroken = true;
+            }
+        }
+        if (verbose || (c.violating != report.ok() && !report.ok())) {
+            for (const auto &f : report.findings) {
+                std::printf("%s\n", f.toString().c_str());
+            }
+        }
+    }
+    if (contractBroken) {
+        std::fprintf(stderr,
+                     "cheriot_verify: corpus detection contract broken\n");
+        return 2;
+    }
+    return findings > 0 ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    bool corpus = false;
+    bool selftest = false;
+    bool verbose = false;
+    verify::Policy policy = verify::Policy::defaultPolicy();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload" && i + 1 < argc) {
+            workload = argv[++i];
+        } else if (arg == "--corpus") {
+            corpus = true;
+        } else if (arg == "--selftest") {
+            selftest = true;
+        } else if (arg == "--policy" && i + 1 < argc) {
+            std::ifstream in(argv[++i]);
+            if (!in) {
+                std::fprintf(stderr, "cheriot_verify: cannot read %s\n",
+                             argv[i]);
+                return 2;
+            }
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            std::string error;
+            const auto parsed = verify::Policy::parse(buffer.str(), &error);
+            if (!parsed) {
+                std::fprintf(stderr, "cheriot_verify: bad policy: %s\n",
+                             error.c_str());
+                return 2;
+            }
+            policy = *parsed;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            return usage();
+        }
+    }
+    if (selftest) {
+        // Corpus contract check: exit 0 iff every seeded violation is
+        // detected and every clean twin verifies clean.
+        return runCorpus(verbose) == 2 ? 2 : 0;
+    }
+    if (workload.empty() && !corpus) {
+        workload = "all";
+    }
+
+    std::vector<verify::Report> reports;
+    const bool all = workload == "all";
+    if (all || workload == "coremark") {
+        reports.push_back(verifyCoreMark());
+    }
+    if (all || workload == "iot") {
+        reports.push_back(verifyIot(policy));
+    }
+    if (all || workload == "alloc") {
+        reports.push_back(verifyAlloc(policy));
+    }
+    if (all || workload == "stress") {
+        reports.push_back(verifyStress(policy));
+    }
+    if (!all && !workload.empty() && reports.empty()) {
+        return usage();
+    }
+
+    int exitCode = 0;
+    for (const auto &report : reports) {
+        std::printf("%s", report.toString().c_str());
+        if (!report.ok() || report.budgetExhausted) {
+            exitCode = 1;
+        }
+    }
+
+    if (corpus) {
+        const int corpusCode = runCorpus(verbose);
+        if (corpusCode == 2) {
+            return 2;
+        }
+        if (corpusCode != 0) {
+            exitCode = 1;
+        }
+    }
+    return exitCode;
+}

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Textual assembly parser: the inverse of disassemble(). Accepts
+ * exactly the rendering the disassembler emits (one instruction per
+ * line, ABI register names, absolute branch/jump targets) so that
+ * assemble -> encode -> decode -> disassemble -> reassemble round
+ * trips are checkable across the whole instruction set.
+ */
+
+#include "isa/encoding.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cheriot::isa
+{
+
+namespace
+{
+
+/** Split a line into the mnemonic and comma-separated operand texts,
+ * unwrapping the "imm(reg)" memory-operand form into two fields. */
+struct Tokens
+{
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+std::optional<Tokens>
+tokenize(const std::string &line)
+{
+    const std::string text = trim(line);
+    if (text.empty()) {
+        return std::nullopt;
+    }
+    Tokens tokens;
+    size_t pos = 0;
+    while (pos < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+    }
+    tokens.mnemonic = text.substr(0, pos);
+    std::string rest = trim(text.substr(pos));
+    if (rest.empty()) {
+        return tokens;
+    }
+    size_t start = 0;
+    while (start <= rest.size()) {
+        size_t comma = rest.find(',', start);
+        std::string field = trim(
+            comma == std::string::npos ? rest.substr(start)
+                                       : rest.substr(start, comma - start));
+        // "imm(reg)" splits into the immediate and the register.
+        const size_t open = field.find('(');
+        if (open != std::string::npos && field.back() == ')') {
+            tokens.operands.push_back(trim(field.substr(0, open)));
+            tokens.operands.push_back(trim(
+                field.substr(open + 1, field.size() - open - 2)));
+        } else if (!field.empty()) {
+            tokens.operands.push_back(field);
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        start = comma + 1;
+    }
+    return tokens;
+}
+
+std::optional<uint8_t>
+regFromName(const std::string &name)
+{
+    for (uint8_t i = 0; i < kNumRegs; ++i) {
+        if (name == regName(i)) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<int64_t>
+parseNumber(const std::string &text)
+{
+    if (text.empty()) {
+        return std::nullopt;
+    }
+    char *end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0') {
+        return std::nullopt;
+    }
+    return value;
+}
+
+std::optional<Op>
+opFromName(const std::string &name)
+{
+    if (name == "illegal") {
+        return Op::Illegal;
+    }
+    for (Op op : allOps()) {
+        if (name == opName(op)) {
+            return op;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Inst>
+parseAssembly(const std::string &text, uint32_t pc)
+{
+    const auto tokens = tokenize(text);
+    if (!tokens) {
+        return std::nullopt;
+    }
+    const auto op = opFromName(tokens->mnemonic);
+    if (!op) {
+        return std::nullopt;
+    }
+    Inst inst;
+    inst.op = *op;
+    const auto &ops = tokens->operands;
+
+    auto reg = [&](size_t index) -> std::optional<uint8_t> {
+        return index < ops.size() ? regFromName(ops[index]) : std::nullopt;
+    };
+    auto num = [&](size_t index) -> std::optional<int64_t> {
+        return index < ops.size() ? parseNumber(ops[index]) : std::nullopt;
+    };
+
+    switch (inst.op) {
+      case Op::Illegal:
+        return ops.empty() ? std::optional<Inst>(inst) : std::nullopt;
+
+      case Op::Lui:
+      case Op::Auipc: {
+        const auto rd = reg(0);
+        const auto imm = num(1);
+        if (!rd || !imm || ops.size() != 2) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.imm =
+            static_cast<int32_t>(static_cast<uint32_t>(*imm) << 12);
+        return inst;
+      }
+
+      case Op::Jal: {
+        const auto rd = reg(0);
+        const auto target = num(1);
+        if (!rd || !target || ops.size() != 2) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.imm = static_cast<int32_t>(
+            static_cast<uint32_t>(*target) - pc);
+        return inst;
+      }
+
+      case Op::Jalr:
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+      case Op::Clc: {
+        const auto rd = reg(0);
+        const auto imm = num(1);
+        const auto rs1 = reg(2);
+        if (!rd || !imm || !rs1 || ops.size() != 3) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.imm = static_cast<int32_t>(*imm);
+        inst.rs1 = *rs1;
+        return inst;
+      }
+
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu: {
+        const auto rs1 = reg(0);
+        const auto rs2 = reg(1);
+        const auto target = num(2);
+        if (!rs1 || !rs2 || !target || ops.size() != 3) {
+            return std::nullopt;
+        }
+        inst.rs1 = *rs1;
+        inst.rs2 = *rs2;
+        inst.imm = static_cast<int32_t>(
+            static_cast<uint32_t>(*target) - pc);
+        return inst;
+      }
+
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Csc: {
+        const auto rs2 = reg(0);
+        const auto imm = num(1);
+        const auto rs1 = reg(2);
+        if (!rs2 || !imm || !rs1 || ops.size() != 3) {
+            return std::nullopt;
+        }
+        inst.rs2 = *rs2;
+        inst.imm = static_cast<int32_t>(*imm);
+        inst.rs1 = *rs1;
+        return inst;
+      }
+
+      case Op::Addi: case Op::Slti: case Op::Sltiu: case Op::Xori:
+      case Op::Ori: case Op::Andi: case Op::Slli: case Op::Srli:
+      case Op::Srai: case Op::CIncAddrImm: case Op::CSetBoundsImm: {
+        const auto rd = reg(0);
+        const auto rs1 = reg(1);
+        const auto imm = num(2);
+        if (!rd || !rs1 || !imm || ops.size() != 3) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        inst.imm = static_cast<int32_t>(*imm);
+        return inst;
+      }
+
+      case Op::Ecall: case Op::Ebreak: case Op::Mret:
+        return ops.empty() ? std::optional<Inst>(inst) : std::nullopt;
+
+      case Op::Csrrw: case Op::Csrrs: case Op::Csrrc: {
+        const auto rd = reg(0);
+        const auto csr = num(1);
+        const auto rs1 = reg(2);
+        if (!rd || !csr || !rs1 || ops.size() != 3) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.csr = static_cast<uint16_t>(*csr);
+        inst.rs1 = *rs1;
+        return inst;
+      }
+
+      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci: {
+        const auto rd = reg(0);
+        const auto csr = num(1);
+        const auto imm = num(2);
+        if (!rd || !csr || !imm || ops.size() != 3) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.csr = static_cast<uint16_t>(*csr);
+        inst.imm = static_cast<int32_t>(*imm);
+        return inst;
+      }
+
+      case Op::CGetPerm: case Op::CGetType: case Op::CGetBase:
+      case Op::CGetLen: case Op::CGetTop: case Op::CGetTag:
+      case Op::CGetAddr: case Op::CMove: case Op::CClearTag:
+      case Op::CRrl: case Op::CRam: {
+        const auto rd = reg(0);
+        const auto rs1 = reg(1);
+        if (!rd || !rs1 || ops.size() != 2) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        return inst;
+      }
+
+      case Op::CSpecialRw: {
+        // "cspecialrw rd, scrN, rs1"
+        const auto rd = reg(0);
+        const auto rs1 = reg(2);
+        if (!rd || !rs1 || ops.size() != 3 ||
+            ops[1].rfind("scr", 0) != 0) {
+            return std::nullopt;
+        }
+        const auto scr = parseNumber(ops[1].substr(3));
+        if (!scr) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        inst.imm = static_cast<int32_t>(*scr);
+        return inst;
+      }
+
+      case Op::CSealEntry: {
+        // "csealentry rd, rs1, posture=N"
+        const auto rd = reg(0);
+        const auto rs1 = reg(1);
+        if (!rd || !rs1 || ops.size() != 3 ||
+            ops[2].rfind("posture=", 0) != 0) {
+            return std::nullopt;
+        }
+        const auto posture = parseNumber(ops[2].substr(8));
+        if (!posture) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        inst.imm = static_cast<int32_t>(*posture);
+        return inst;
+      }
+
+      default: {
+        // R-type: "name rd, rs1, rs2".
+        const auto rd = reg(0);
+        const auto rs1 = reg(1);
+        const auto rs2 = reg(2);
+        if (!rd || !rs1 || !rs2 || ops.size() != 3) {
+            return std::nullopt;
+        }
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        inst.rs2 = *rs2;
+        return inst;
+      }
+    }
+}
+
+} // namespace cheriot::isa

@@ -120,6 +120,7 @@ class Assembler
     /** @name RV32M @{ */
     void mul(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Mul, rd, rs1, rs2, 0, 0}); }
     void mulh(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Mulh, rd, rs1, rs2, 0, 0}); }
+    void mulhsu(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Mulhsu, rd, rs1, rs2, 0, 0}); }
     void mulhu(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Mulhu, rd, rs1, rs2, 0, 0}); }
     void div(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Div, rd, rs1, rs2, 0, 0}); }
     void divu(uint8_t rd, uint8_t rs1, uint8_t rs2) { emit({Op::Divu, rd, rs1, rs2, 0, 0}); }

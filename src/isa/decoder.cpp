@@ -2,7 +2,9 @@
  * @file
  * Binary instruction decoder. The inverse of encode(); unrecognised
  * words decode to Op::Illegal, which the executor turns into an
- * illegal-instruction trap.
+ * illegal-instruction trap. The two-argument overload additionally
+ * reports a typed diagnosis (which field of which opcode was
+ * reserved/malformed) for precise tooling and trap messages.
  */
 
 #include "isa/encoding.h"
@@ -54,14 +56,31 @@ immJ(uint32_t word)
     return signExtend32(imm, 21);
 }
 
-Inst
-illegal()
+/** Collects the typed diagnosis for the failing path. */
+struct ErrorSink
 {
-    return Inst{};
-}
+    DecodeError *error;
+    uint8_t opcode;
+
+    Inst fail(DecodeErrorKind kind, const char *field, uint32_t value)
+    {
+        if (error != nullptr) {
+            error->kind = kind;
+            error->opcode = opcode;
+            error->field = field;
+            error->value = value;
+        }
+        return Inst{};
+    }
+
+    Inst badReg(const char *field, uint32_t value)
+    {
+        return fail(DecodeErrorKind::RegisterOutOfRange, field, value);
+    }
+};
 
 Inst
-decodeCheri(uint32_t word, Inst inst)
+decodeCheri(uint32_t word, Inst inst, ErrorSink &sink)
 {
     const uint32_t f3 = bits(word, 12u, 3u);
     const uint32_t f7 = bits(word, 25u, 7u);
@@ -80,7 +99,7 @@ decodeCheri(uint32_t word, Inst inst)
         return inst;
     }
     if (f3 != 0) {
-        return illegal();
+        return sink.fail(DecodeErrorKind::ReservedFunct3, "funct3", f3);
     }
 
     if (f7 == 0x7f) {
@@ -98,14 +117,16 @@ decodeCheri(uint32_t word, Inst inst)
           case 0x0b: inst.op = Op::CClearTag; return inst;
           case 0x0f: inst.op = Op::CGetAddr; return inst;
           case 0x18: inst.op = Op::CGetTop; return inst;
-          default: return illegal();
+          default:
+            return sink.fail(DecodeErrorKind::ReservedSubOp, "subop",
+                             rs2Slot);
         }
     }
 
     // Remaining encodings are R-type: the rs2 slot names a register
     // (except CSpecialRw/CSealEntry, which carry a selector there).
     if (f7 != 0x01 && f7 != 0x12 && rs2Slot >= kNumRegs) {
-        return illegal();
+        return sink.badReg("rs2", rs2Slot);
     }
 
     switch (f7) {
@@ -122,21 +143,31 @@ decodeCheri(uint32_t word, Inst inst)
       case 0x10: inst.op = Op::CSetAddr; return inst;
       case 0x11: inst.op = Op::CIncAddr; return inst;
       case 0x12:
+        if (rs2Slot > 2) {
+            // Only the three interrupt postures are defined; a lax
+            // decode here would let makeSentry mint arbitrary otypes.
+            return sink.fail(DecodeErrorKind::ReservedSubOp, "posture",
+                             rs2Slot);
+        }
         inst.op = Op::CSealEntry;
         inst.imm = static_cast<int32_t>(rs2Slot);
         inst.rs2 = 0;
         return inst;
       case 0x20: inst.op = Op::CTestSubset; return inst;
       case 0x21: inst.op = Op::CSetEqualExact; return inst;
-      default: return illegal();
+      default:
+        return sink.fail(DecodeErrorKind::ReservedFunct7, "funct7", f7);
     }
 }
 
 } // namespace
 
 Inst
-decode(uint32_t word)
+decode(uint32_t word, DecodeError *error)
 {
+    if (error != nullptr) {
+        *error = DecodeError{};
+    }
     Inst inst;
     inst.rd = static_cast<uint8_t>(bits(word, 7u, 5u));
     inst.rs1 = static_cast<uint8_t>(bits(word, 15u, 5u));
@@ -144,43 +175,46 @@ decode(uint32_t word)
     const uint32_t opcode = bits(word, 0u, 7u);
     const uint32_t f3 = bits(word, 12u, 3u);
     const uint32_t f7 = bits(word, 25u, 7u);
+    ErrorSink sink{error, static_cast<uint8_t>(opcode)};
 
-    // RV32E: register specifiers above 15 are illegal.
-    if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs ||
-        inst.rs2 >= kNumRegs) {
-        // CSR-immediate and CHERI sub-op encodings reuse the rs1/rs2
-        // slots for non-register payloads, so defer the check to the
-        // per-format paths below; flag only plain register formats.
-        // (Handled per-case; fall through.)
-    }
-
+    // RV32E register-range checks happen per-format below: CSR-
+    // immediate and CHERI sub-op encodings reuse the rs1/rs2 slots for
+    // non-register payloads, so only genuine register fields are
+    // flagged.
     switch (opcode) {
       case 0x37:
         inst.op = Op::Lui;
         inst.imm = immU(word);
         inst.rs1 = 0;
         inst.rs2 = 0;
-        return inst.rd < kNumRegs ? inst : illegal();
+        return inst.rd < kNumRegs ? inst : sink.badReg("rd", inst.rd);
       case 0x17:
         inst.op = Op::Auipc;
         inst.imm = immU(word);
         inst.rs1 = 0;
         inst.rs2 = 0;
-        return inst.rd < kNumRegs ? inst : illegal();
+        return inst.rd < kNumRegs ? inst : sink.badReg("rd", inst.rd);
       case 0x6f:
         inst.op = Op::Jal;
         inst.imm = immJ(word);
         inst.rs1 = 0;
         inst.rs2 = 0;
-        return inst.rd < kNumRegs ? inst : illegal();
+        return inst.rd < kNumRegs ? inst : sink.badReg("rd", inst.rd);
       case 0x67:
         if (f3 != 0) {
-            return illegal();
+            return sink.fail(DecodeErrorKind::ReservedFunct3, "funct3",
+                             f3);
         }
         inst.op = Op::Jalr;
         inst.imm = immI(word);
         inst.rs2 = 0;
-        return inst.rd < kNumRegs && inst.rs1 < kNumRegs ? inst : illegal();
+        if (inst.rd >= kNumRegs) {
+            return sink.badReg("rd", inst.rd);
+        }
+        if (inst.rs1 >= kNumRegs) {
+            return sink.badReg("rs1", inst.rs1);
+        }
+        return inst;
       case 0x63: {
         static constexpr Op kBranches[8] = {Op::Beq, Op::Bne, Op::Illegal,
                                             Op::Illegal, Op::Blt, Op::Bge,
@@ -188,9 +222,15 @@ decode(uint32_t word)
         inst.op = kBranches[f3];
         inst.imm = immB(word);
         inst.rd = 0;
-        if (inst.op == Op::Illegal || inst.rs1 >= kNumRegs ||
-            inst.rs2 >= kNumRegs) {
-            return illegal();
+        if (inst.op == Op::Illegal) {
+            return sink.fail(DecodeErrorKind::ReservedFunct3, "funct3",
+                             f3);
+        }
+        if (inst.rs1 >= kNumRegs) {
+            return sink.badReg("rs1", inst.rs1);
+        }
+        if (inst.rs2 >= kNumRegs) {
+            return sink.badReg("rs2", inst.rs2);
         }
         return inst;
       }
@@ -201,9 +241,15 @@ decode(uint32_t word)
         inst.op = kLoads[f3];
         inst.imm = immI(word);
         inst.rs2 = 0;
-        if (inst.op == Op::Illegal || inst.rd >= kNumRegs ||
-            inst.rs1 >= kNumRegs) {
-            return illegal();
+        if (inst.op == Op::Illegal) {
+            return sink.fail(DecodeErrorKind::ReservedFunct3, "funct3",
+                             f3);
+        }
+        if (inst.rd >= kNumRegs) {
+            return sink.badReg("rd", inst.rd);
+        }
+        if (inst.rs1 >= kNumRegs) {
+            return sink.badReg("rs1", inst.rs1);
         }
         return inst;
       }
@@ -214,22 +260,32 @@ decode(uint32_t word)
         inst.op = kStores[f3];
         inst.imm = immS(word);
         inst.rd = 0;
-        if (inst.op == Op::Illegal || inst.rs1 >= kNumRegs ||
-            inst.rs2 >= kNumRegs) {
-            return illegal();
+        if (inst.op == Op::Illegal) {
+            return sink.fail(DecodeErrorKind::ReservedFunct3, "funct3",
+                             f3);
+        }
+        if (inst.rs1 >= kNumRegs) {
+            return sink.badReg("rs1", inst.rs1);
+        }
+        if (inst.rs2 >= kNumRegs) {
+            return sink.badReg("rs2", inst.rs2);
         }
         return inst;
       }
       case 0x13: {
         inst.rs2 = 0;
-        if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs) {
-            return illegal();
+        if (inst.rd >= kNumRegs) {
+            return sink.badReg("rd", inst.rd);
+        }
+        if (inst.rs1 >= kNumRegs) {
+            return sink.badReg("rs1", inst.rs1);
         }
         switch (f3) {
           case 0: inst.op = Op::Addi; inst.imm = immI(word); return inst;
           case 1:
             if (f7 != 0) {
-                return illegal();
+                return sink.fail(DecodeErrorKind::ReservedFunct7,
+                                 "funct7", f7);
             }
             inst.op = Op::Slli;
             inst.imm = static_cast<int32_t>(bits(word, 20u, 5u));
@@ -243,19 +299,25 @@ decode(uint32_t word)
             } else if (f7 == 0x20) {
                 inst.op = Op::Srai;
             } else {
-                return illegal();
+                return sink.fail(DecodeErrorKind::ReservedFunct7,
+                                 "funct7", f7);
             }
             inst.imm = static_cast<int32_t>(bits(word, 20u, 5u));
             return inst;
           case 6: inst.op = Op::Ori; inst.imm = immI(word); return inst;
           case 7: inst.op = Op::Andi; inst.imm = immI(word); return inst;
         }
-        return illegal();
+        return sink.fail(DecodeErrorKind::ReservedFunct3, "funct3", f3);
       }
       case 0x33: {
-        if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs ||
-            inst.rs2 >= kNumRegs) {
-            return illegal();
+        if (inst.rd >= kNumRegs) {
+            return sink.badReg("rd", inst.rd);
+        }
+        if (inst.rs1 >= kNumRegs) {
+            return sink.badReg("rs1", inst.rs1);
+        }
+        if (inst.rs2 >= kNumRegs) {
+            return sink.badReg("rs2", inst.rs2);
         }
         if (f7 == 0x00) {
             static constexpr Op kArith[8] = {Op::Add, Op::Sll, Op::Slt,
@@ -273,7 +335,8 @@ decode(uint32_t word)
                 inst.op = Op::Sra;
                 return inst;
             }
-            return illegal();
+            return sink.fail(DecodeErrorKind::ReservedFunct3, "funct3",
+                             f3);
         }
         if (f7 == 0x01) {
             static constexpr Op kMulDiv[8] = {Op::Mul, Op::Mulh, Op::Mulhsu,
@@ -282,21 +345,29 @@ decode(uint32_t word)
             inst.op = kMulDiv[f3];
             return inst;
         }
-        return illegal();
+        return sink.fail(DecodeErrorKind::ReservedFunct7, "funct7", f7);
       }
       case 0x73: {
         if (f3 == 0) {
+            // Fixed-format words: the register slots carry funct12
+            // payload, not operands — zero them so the decoded Inst
+            // is the canonical (assembler-produced) form.
+            inst.rd = 0;
+            inst.rs1 = 0;
+            inst.rs2 = 0;
             switch (word) {
               case 0x00000073: inst.op = Op::Ecall; return inst;
               case 0x00100073: inst.op = Op::Ebreak; return inst;
               case 0x30200073: inst.op = Op::Mret; return inst;
-              default: return illegal();
+              default:
+                return sink.fail(DecodeErrorKind::ReservedSystem,
+                                 "funct12", word >> 20);
             }
         }
         inst.csr = static_cast<uint16_t>(word >> 20);
         inst.rs2 = 0;
         if (inst.rd >= kNumRegs) {
-            return illegal();
+            return sink.badReg("rd", inst.rd);
         }
         switch (f3) {
           case 1: inst.op = Op::Csrrw; break;
@@ -305,25 +376,37 @@ decode(uint32_t word)
           case 5: inst.op = Op::Csrrwi; break;
           case 6: inst.op = Op::Csrrsi; break;
           case 7: inst.op = Op::Csrrci; break;
-          default: return illegal();
+          default:
+            return sink.fail(DecodeErrorKind::ReservedFunct3, "funct3",
+                             f3);
         }
         if (f3 >= 5) {
             // Immediate forms carry a 5-bit immediate in the rs1 slot.
             inst.imm = inst.rs1;
             inst.rs1 = 0;
         } else if (inst.rs1 >= kNumRegs) {
-            return illegal();
+            return sink.badReg("rs1", inst.rs1);
         }
         return inst;
       }
       case 0x5b:
-        if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs) {
-            return illegal();
+        if (inst.rd >= kNumRegs) {
+            return sink.badReg("rd", inst.rd);
         }
-        return decodeCheri(word, inst);
+        if (inst.rs1 >= kNumRegs) {
+            return sink.badReg("rs1", inst.rs1);
+        }
+        return decodeCheri(word, inst, sink);
       default:
-        return illegal();
+        return sink.fail(DecodeErrorKind::UnknownMajorOpcode, "opcode",
+                         opcode);
     }
+}
+
+Inst
+decode(uint32_t word)
+{
+    return decode(word, nullptr);
 }
 
 } // namespace cheriot::isa

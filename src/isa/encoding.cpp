@@ -3,6 +3,8 @@
 #include "util/bits.h"
 #include "util/log.h"
 
+#include <cstdio>
+
 namespace cheriot::isa
 {
 
@@ -287,6 +289,184 @@ regName(uint8_t index)
         "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
     };
     return index < kNumRegs ? kNames[index] : "?";
+}
+
+const char *
+decodeErrorKindName(DecodeErrorKind kind)
+{
+    switch (kind) {
+      case DecodeErrorKind::None: return "none";
+      case DecodeErrorKind::UnknownMajorOpcode: return "unknown-opcode";
+      case DecodeErrorKind::ReservedFunct3: return "reserved-funct3";
+      case DecodeErrorKind::ReservedFunct7: return "reserved-funct7";
+      case DecodeErrorKind::ReservedSubOp: return "reserved-subop";
+      case DecodeErrorKind::ReservedSystem: return "reserved-system";
+      case DecodeErrorKind::RegisterOutOfRange:
+        return "register-out-of-range";
+    }
+    return "?";
+}
+
+std::string
+DecodeError::toString() const
+{
+    if (ok()) {
+        return "ok";
+    }
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s: opcode=0x%02x %s=0x%x",
+                  decodeErrorKindName(kind), opcode, field, value);
+    return buffer;
+}
+
+namespace
+{
+
+/** Immediate shape implied by an op's encoding format. */
+ImmKind
+immKindFor(const OpInfo &info)
+{
+    switch (info.fmt) {
+      case Fmt::R: return ImmKind::None;
+      case Fmt::I: return ImmKind::I12;
+      case Fmt::IU: return ImmKind::U12;
+      case Fmt::IShift: return ImmKind::Shamt;
+      case Fmt::S: return ImmKind::S12;
+      case Fmt::B: return ImmKind::B13;
+      case Fmt::U: return ImmKind::U20;
+      case Fmt::J: return ImmKind::J21;
+      case Fmt::Fixed: return ImmKind::None;
+      case Fmt::Csr: return ImmKind::None;
+      case Fmt::CsrI: return ImmKind::Csr5;
+      case Fmt::TwoOp: return ImmKind::None;
+      case Fmt::ScrRw: return ImmKind::Scr;
+      case Fmt::SealE: return ImmKind::Posture;
+    }
+    return ImmKind::None;
+}
+
+/** Ops whose rd receives a capability rather than an integer. */
+bool
+producesCap(Op op)
+{
+    switch (op) {
+      case Op::Jal: case Op::Jalr: // link is a sealed return sentry
+      case Op::Auipc:
+      case Op::Clc:
+      case Op::CSeal: case Op::CUnseal: case Op::CAndPerm:
+      case Op::CSetAddr: case Op::CIncAddr: case Op::CIncAddrImm:
+      case Op::CSetBounds: case Op::CSetBoundsExact:
+      case Op::CSetBoundsImm:
+      case Op::CMove: case Op::CClearTag:
+      case Op::CSealEntry: case Op::CSpecialRw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Ops that interpret rs1 as a capability (authority or value). */
+bool
+consumesCapRs1(Op op)
+{
+    switch (op) {
+      case Op::Jalr:
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+      case Op::Sb: case Op::Sh: case Op::Sw:
+      case Op::Clc: case Op::Csc:
+      case Op::CGetPerm: case Op::CGetType: case Op::CGetBase:
+      case Op::CGetLen: case Op::CGetTop: case Op::CGetTag:
+      case Op::CGetAddr:
+      case Op::CSeal: case Op::CUnseal: case Op::CAndPerm:
+      case Op::CSetAddr: case Op::CIncAddr: case Op::CIncAddrImm:
+      case Op::CSetBounds: case Op::CSetBoundsExact:
+      case Op::CSetBoundsImm:
+      case Op::CTestSubset: case Op::CSetEqualExact:
+      case Op::CMove: case Op::CClearTag:
+      case Op::CSealEntry: case Op::CSpecialRw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+OpSummary
+buildSummary(const OpInfo &info)
+{
+    OpSummary s;
+    s.op = info.op;
+    s.immKind = immKindFor(info);
+    s.usesCsr = info.fmt == Fmt::Csr || info.fmt == Fmt::CsrI;
+    switch (info.fmt) {
+      case Fmt::R:
+        s.readsRs1 = true;
+        s.readsRs2 = true;
+        s.writesRd = true;
+        break;
+      case Fmt::I:
+      case Fmt::IU:
+      case Fmt::IShift:
+        s.readsRs1 = true;
+        s.writesRd = true;
+        break;
+      case Fmt::S:
+      case Fmt::B:
+        s.readsRs1 = true;
+        s.readsRs2 = true;
+        break;
+      case Fmt::U:
+      case Fmt::J:
+        s.writesRd = true;
+        break;
+      case Fmt::Fixed:
+        break;
+      case Fmt::Csr:
+        s.readsRs1 = true;
+        s.writesRd = true;
+        break;
+      case Fmt::CsrI:
+        s.writesRd = true;
+        break;
+      case Fmt::TwoOp:
+      case Fmt::ScrRw:
+      case Fmt::SealE:
+        s.readsRs1 = true;
+        s.writesRd = true;
+        break;
+    }
+    s.capSource = consumesCapRs1(info.op);
+    s.capResult = producesCap(info.op);
+    return s;
+}
+
+} // namespace
+
+const OpSummary &
+summaryOf(Op op)
+{
+    static const auto kSummaries = [] {
+        // Indexable by the Op enum; Illegal stays all-false.
+        std::vector<OpSummary> table(256);
+        for (const auto &info : kOps) {
+            table[static_cast<size_t>(info.op)] = buildSummary(info);
+        }
+        return table;
+    }();
+    return kSummaries[static_cast<size_t>(op)];
+}
+
+const std::vector<Op> &
+allOps()
+{
+    static const auto kAll = [] {
+        std::vector<Op> ops;
+        for (const auto &info : kOps) {
+            ops.push_back(info.op);
+        }
+        return ops;
+    }();
+    return kAll;
 }
 
 } // namespace cheriot::isa

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace cheriot::isa
 {
@@ -114,12 +115,95 @@ struct Inst
  */
 uint32_t encode(const Inst &inst);
 
+/** Why a word failed to decode. */
+enum class DecodeErrorKind : uint8_t
+{
+    None,               ///< The word decoded successfully.
+    UnknownMajorOpcode, ///< No instruction uses this major opcode.
+    ReservedFunct3,     ///< funct3 value reserved on this opcode.
+    ReservedFunct7,     ///< funct7 value reserved on this opcode/funct3.
+    ReservedSubOp,      ///< CHERI two-operand sub-op (rs2 slot) reserved.
+    ReservedSystem,     ///< SYSTEM word is not ECALL/EBREAK/MRET.
+    RegisterOutOfRange, ///< Register specifier >= 16 (RV32E).
+};
+
+/** Stable name of a decode-error kind ("reserved-funct3", ...). */
+const char *decodeErrorKindName(DecodeErrorKind kind);
+
+/**
+ * Precise diagnosis of an undecodable word: which major opcode it
+ * carried, which field was malformed, and that field's value.
+ */
+struct DecodeError
+{
+    DecodeErrorKind kind = DecodeErrorKind::None;
+    uint8_t opcode = 0;     ///< Major opcode bits [6:0].
+    const char *field = ""; ///< Offending field ("funct3", "rd", ...).
+    uint32_t value = 0;     ///< The offending field's value.
+
+    bool ok() const { return kind == DecodeErrorKind::None; }
+    std::string toString() const;
+};
+
 /**
  * Decode a 32-bit instruction word. Returns an Inst with
  * op == Op::Illegal for unrecognised encodings (the executor raises
  * an illegal-instruction trap).
  */
 Inst decode(uint32_t word);
+
+/** As decode(word), filling @p error with a typed diagnosis when the
+ * word does not decode (and clearing it when it does). */
+Inst decode(uint32_t word, DecodeError *error);
+
+/** Immediate shape of an operation (none, or which field format). */
+enum class ImmKind : uint8_t
+{
+    None,    ///< No immediate operand.
+    I12,     ///< 12-bit signed (loads, addi, jalr, cincaddrimm).
+    U12,     ///< 12-bit zero-extended (csetboundsimm).
+    S12,     ///< 12-bit signed store offset.
+    B13,     ///< 13-bit even branch offset.
+    U20,     ///< Upper-immediate (lui/auipcc; imm holds value << 12).
+    J21,     ///< 21-bit even jump offset.
+    Shamt,   ///< 5-bit shift amount.
+    Csr5,    ///< 5-bit zero-extended CSR immediate.
+    Scr,     ///< Special-capability-register index (0..31).
+    Posture, ///< Sentry interrupt posture (0..2).
+};
+
+/**
+ * Per-operation operand metadata: which register fields are live, how
+ * operands flow (integer vs capability), and the immediate shape.
+ * Drives the static capability-flow verifier and generic whole-ISA
+ * enumeration (round-trip fuzzing) without per-op special cases.
+ */
+struct OpSummary
+{
+    Op op = Op::Illegal;
+    bool readsRs1 = false;
+    bool readsRs2 = false;
+    bool writesRd = false;
+    bool capSource = false; ///< rs1 is interpreted as a capability.
+    bool capResult = false; ///< rd receives a capability (else integer).
+    ImmKind immKind = ImmKind::None;
+    bool usesCsr = false;   ///< Carries a 12-bit CSR number.
+};
+
+/** Metadata for @p op (Illegal yields an all-false summary). */
+const OpSummary &summaryOf(Op op);
+
+/** Every valid operation in a stable order (fuzz enumeration). */
+const std::vector<Op> &allOps();
+
+/**
+ * Parse one line of disassembly (the exact format disassemble()
+ * emits) back into an Inst. @p pc must be the instruction's address —
+ * branch and jump targets are printed as absolute addresses and are
+ * converted back to offsets. Returns nullopt on any syntax the
+ * disassembler cannot have produced.
+ */
+std::optional<Inst> parseAssembly(const std::string &text, uint32_t pc);
 
 /** Mnemonic for an operation. */
 const char *opName(Op op);

@@ -44,6 +44,11 @@ AuditReport::toString() const
                       c.globalsStoreLocal ? " !SL-GLOBALS" : "",
                       c.codeWritable ? " !WX" : "");
         out += line;
+        for (const auto &window : c.mmioImports) {
+            std::snprintf(line, sizeof(line), "    mmio %s\n",
+                          window.c_str());
+            out += line;
+        }
     }
     out += "--- entries running with interrupts disabled ---\n";
     const auto critical = interruptsDisabledEntries();
@@ -78,6 +83,9 @@ auditKernel(Kernel &kernel)
             compartment.globalsCap().perms().has(cap::PermStoreLocal);
         audit.codeWritable =
             compartment.codeCap().perms().has(cap::PermStore);
+        for (const auto &imported : compartment.mmioImports()) {
+            audit.mmioImports.push_back(imported.window);
+        }
         report.compartments.push_back(std::move(audit));
 
         for (uint32_t e = 0; e < compartment.exportCount(); ++e) {

@@ -46,6 +46,8 @@ struct CompartmentAudit
     size_t exportCount;
     bool globalsStoreLocal; ///< Must always be false (§5.2).
     bool codeWritable;      ///< Must always be false (W^X).
+    /** Named MMIO windows this compartment holds authority over. */
+    std::vector<std::string> mmioImports;
 };
 
 /** The whole image's audit manifest. */

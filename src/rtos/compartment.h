@@ -233,6 +233,18 @@ struct Export
     bool interruptsDisabled = false;
 };
 
+/**
+ * A named MMIO window a compartment holds a capability over. Dangerous
+ * authority (the revocation bitmap, device registers) is auditable by
+ * window name, so policies like "only the allocator imports the
+ * revocation bitmap" are checkable against the manifest (§3.1.2).
+ */
+struct MmioImport
+{
+    std::string window;
+    cap::Capability cap;
+};
+
 class Compartment
 {
   public:
@@ -274,11 +286,24 @@ class Compartment
     const FaultRecoveryState &faultState() const { return faultState_; }
     /** @} */
 
+    /** @name MMIO imports (audit §3.1.2) @{ */
+    void addMmioImport(const std::string &window,
+                       const cap::Capability &cap)
+    {
+        mmioImports_.push_back({window, cap});
+    }
+    const std::vector<MmioImport> &mmioImports() const
+    {
+        return mmioImports_;
+    }
+    /** @} */
+
   private:
     std::string name_;
     cap::Capability codeCap_;
     cap::Capability globalsCap_;
     std::vector<Export> exports_;
+    std::vector<MmioImport> mmioImports_;
     ErrorHandler errorHandler_;
     FaultRecoveryState faultState_;
 };

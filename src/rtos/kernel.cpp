@@ -2,8 +2,12 @@
 
 #include "cap/sealing.h"
 #include "mem/memory_map.h"
+#include "rtos/audit.h"
 #include "snapshot/serializer.h"
 #include "util/log.h"
+#include "verify/verifier.h"
+
+#include <cstdlib>
 
 namespace cheriot::rtos
 {
@@ -115,6 +119,51 @@ Kernel::createThread(const std::string &name, uint8_t priority,
     return *threads_.back();
 }
 
+Compartment &
+Kernel::adoptCompartment(std::unique_ptr<Compartment> c)
+{
+    compartments_.push_back(std::move(c));
+    return *compartments_.back();
+}
+
+bool
+Kernel::finalizeBoot(std::string *whyNot)
+{
+    const AuditReport report = auditKernel(*this);
+    // §3.1.2 structural boot assertions: every image the loader built
+    // satisfies these by construction; adopted or corrupted images
+    // are refused here, before any thread runs.
+    for (const auto &c : report.compartments) {
+        if (c.globalsStoreLocal) {
+            if (whyNot != nullptr) {
+                *whyNot = "compartment '" + c.name +
+                          "': globals capability carries Store-Local "
+                          "(stack references could be captured, §5.2)";
+            }
+            return false;
+        }
+        if (c.codeWritable) {
+            if (whyNot != nullptr) {
+                *whyNot = "compartment '" + c.name +
+                          "': code capability is writable (W^X)";
+            }
+            return false;
+        }
+    }
+    const char *env = std::getenv("CHERIOT_VERIFY_ON_LOAD");
+    if (env != nullptr && *env != '\0') {
+        const verify::Report vr =
+            verify::verifyKernel(*this, verify::Policy::defaultPolicy());
+        if (!vr.ok()) {
+            if (whyNot != nullptr) {
+                *whyNot = vr.toString();
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
 Import
 Kernel::importOf(Compartment &compartment, uint32_t exportIndex)
 {
@@ -210,6 +259,7 @@ Kernel::initHeap(alloc::TemporalMode mode, uint64_t quarantineThreshold)
     // The allocator compartment: the sole holder of the bitmap
     // capability, exporting malloc and free.
     allocCompartment_ = &createCompartment("alloc", 2048, 1024);
+    allocCompartment_->addMmioImport("revocation-bitmap", bitmapCap);
     const uint32_t mallocIndex = allocCompartment_->addExport(
         {"malloc",
          [this](CompartmentContext &ctx, ArgVec &args) {

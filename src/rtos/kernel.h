@@ -94,6 +94,24 @@ class Kernel
     Thread &createThread(const std::string &name, uint8_t priority,
                          uint32_t stackSize);
 
+    /** Register an externally constructed compartment verbatim (test
+     * seam for building deliberately violating images; the normal
+     * path is createCompartment, whose capabilities are always
+     * well-formed). */
+    Compartment &adoptCompartment(std::unique_ptr<Compartment> c);
+
+    /**
+     * Boot-time verification gate, called after the image is fully
+     * assembled (compartments, threads, heap). Always runs the
+     * §3.1.2 structural boot assertions over the audit manifest —
+     * SL-free globals and W^X code for every compartment. When the
+     * CHERIOT_VERIFY_ON_LOAD environment variable is set (non-empty),
+     * additionally evaluates the default verify policy (MMIO-import
+     * rules) and refuses to boot a violating image. Returns false and
+     * fills @p whyNot instead of booting a bad image.
+     */
+    bool finalizeBoot(std::string *whyNot = nullptr);
+
     /** Resolve an import of @p compartment's export @p index. */
     Import importOf(Compartment &compartment, uint32_t exportIndex);
 

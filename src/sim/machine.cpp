@@ -511,8 +511,19 @@ Machine::decodeAt(uint32_t pc)
         // miss depends on restore history — a counted read here would
         // make resumed runs diverge from straight ones in the
         // serialized access counters.
-        decodeCache_[index] = isa::decode(memory_.sram().peek32(pc));
+        isa::DecodeError error;
+        decodeCache_[index] =
+            isa::decode(memory_.sram().peek32(pc), &error);
         decodeValid_[index] = true;
+        if (!error.ok()) {
+            // Keep the typed diagnosis so the illegal-instruction trap
+            // can say precisely which field was reserved/malformed.
+            lastDecodeError_ = error;
+        }
+    } else if (decodeCache_[index].op == isa::Op::Illegal) {
+        isa::DecodeError error;
+        isa::decode(memory_.sram().peek32(pc), &error);
+        lastDecodeError_ = error;
     }
     return decodeCache_[index];
 }

@@ -211,6 +211,12 @@ class Machine
     /** Cause of the most recent trap (diagnostics). */
     TrapCause lastTrap() const { return lastTrap_; }
     uint64_t trapCount() const { return traps_.value(); }
+    /** Typed diagnosis of the most recent undecodable fetch (why the
+     * word was reserved/malformed); ok() until one occurs. */
+    const isa::DecodeError &lastDecodeError() const
+    {
+        return lastDecodeError_;
+    }
     /** @} */
 
     /** @name Program loading @{ */
@@ -288,6 +294,7 @@ class Machine
     uint64_t instructions_ = 0;
     HaltReason halt_ = HaltReason::Running;
     TrapCause lastTrap_ = TrapCause::None;
+    isa::DecodeError lastDecodeError_;
 
     /** Register written by the immediately preceding load (for the
      * load-to-use stall model); kNumRegs means none. */

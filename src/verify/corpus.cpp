@@ -1,0 +1,199 @@
+#include "verify/corpus.h"
+
+#include "cap/permissions.h"
+#include "cap/sealing.h"
+#include "isa/assembler.h"
+#include "mem/memory_map.h"
+
+namespace cheriot::verify
+{
+
+namespace
+{
+
+using isa::A0;
+using isa::A1;
+using isa::A2;
+using isa::A3;
+using isa::A4;
+using isa::Assembler;
+using isa::Ra;
+using isa::S0;
+using isa::T0;
+using isa::T1;
+using isa::Zero;
+
+constexpr uint32_t kCorpusBase = mem::kSramBase + 0x1000;
+
+CorpusCase
+finishCase(std::string name, Assembler &a, bool violating,
+           FindingClass expected, uint32_t expectedPc)
+{
+    CorpusCase c;
+    c.name = std::move(name);
+    c.image.name = c.name;
+    c.image.base = a.baseAddress();
+    c.image.entry = a.baseAddress();
+    c.image.words = a.finish();
+    c.violating = violating;
+    c.expected = expected;
+    c.expectedPc = expectedPc;
+    return c;
+}
+
+/** Narrow the memory root, then request wider bounds than the
+ * narrowed capability carries. */
+CorpusCase
+boundsWiden()
+{
+    Assembler a(kCorpusBase);
+    a.csetboundsimm(A2, A0, 16); // a2 = [0,+16) slice of the root.
+    a.li(A3, 64);
+    const uint32_t bad = a.pc();
+    a.csetbounds(A4, A2, A3); // Requests [0,+64): escapes a2's bounds.
+    a.ebreak();
+    return finishCase("bounds-widen", a, true, FindingClass::Monotonicity,
+                      bad);
+}
+
+CorpusCase
+cleanBounds()
+{
+    Assembler a(kCorpusBase);
+    a.csetboundsimm(A2, A0, 64);
+    a.csetboundsimm(A3, A2, 16); // Further narrowing: monotone.
+    a.sw(Zero, A3, 0);
+    a.sw(Zero, A3, 12);
+    a.ebreak();
+    return finishCase("clean-bounds", a, false, FindingClass::Monotonicity,
+                      0);
+}
+
+/** Store a local (GL-stripped) capability through an authority that
+ * lacks Store-Local: the §5.2 stack-capability leak. */
+CorpusCase
+stackLeak()
+{
+    Assembler a(kCorpusBase);
+    a.li(T1, cap::kAllPerms & ~cap::PermGlobal);
+    a.candperm(A2, A0, T1); // a2: a local capability.
+    a.li(T1, cap::kAllPerms & ~cap::PermStoreLocal);
+    a.candperm(A3, A0, T1); // a3: authority without SL.
+    const uint32_t bad = a.pc();
+    a.csc(A2, A3, 0); // Local value, no-SL authority: leaks.
+    a.ebreak();
+    return finishCase("stack-leak", a, true, FindingClass::StackLeak, bad);
+}
+
+CorpusCase
+cleanStore()
+{
+    Assembler a(kCorpusBase);
+    a.li(T1, cap::kAllPerms & ~cap::PermGlobal);
+    a.candperm(A2, A0, T1);
+    a.csc(A2, A0, 0); // Local value, but the root *has* SL: fine.
+    a.li(T1, cap::kAllPerms & ~cap::PermStoreLocal);
+    a.candperm(A3, A0, T1);
+    a.csc(A0, A3, 8); // Global value through no-SL authority: fine.
+    a.ebreak();
+    return finishCase("clean-store", a, false, FindingClass::StackLeak, 0);
+}
+
+/** Cross-compartment call with a capability left live in a register
+ * the switcher ABI requires the caller to clear. */
+CorpusCase
+missingClear()
+{
+    Assembler a(kCorpusBase);
+    a.auipcc(A2, 0); // PCC-derived executable capability.
+    a.csealentry(A2, A2,
+                 static_cast<int32_t>(cap::InterruptPosture::Inherit));
+    a.cmove(S0, A0); // The root stays live in s0 across the call.
+    const uint32_t bad = a.pc();
+    a.jalr(Ra, A2, 0); // Sentry call site: s0 leaks to the callee.
+    a.ebreak();
+    return finishCase("missing-clear", a, true, FindingClass::SwitcherAbi,
+                      bad);
+}
+
+CorpusCase
+cleanCall()
+{
+    Assembler a(kCorpusBase);
+    a.auipcc(A2, 0);
+    a.csealentry(A2, A2,
+                 static_cast<int32_t>(cap::InterruptPosture::Inherit));
+    a.cmove(A3, A0); // Argument registers may carry capabilities.
+    a.jalr(Ra, A2, 0);
+    a.ebreak();
+    return finishCase("clean-call", a, false, FindingClass::SwitcherAbi, 0);
+}
+
+/** Jump through a data-sealed capability: the otype grants no
+ * invocation right (only unsealing with matching authority does). */
+CorpusCase
+sealedJump()
+{
+    Assembler a(kCorpusBase);
+    a.li(T0, cap::kOtypeAllocator);
+    a.csetaddr(A2, A1, T0); // Sealing key for data otype 1.
+    a.cseal(A3, A0, A2);    // a3: sealed (non-sentry) capability.
+    const uint32_t bad = a.pc();
+    a.jalr(Zero, A3, 0);
+    a.ebreak();
+    return finishCase("sealed-jump", a, true, FindingClass::Sealing, bad);
+}
+
+CorpusCase
+cleanSeal()
+{
+    Assembler a(kCorpusBase);
+    a.li(T0, cap::kOtypeAllocator);
+    a.csetaddr(A2, A1, T0);
+    a.cseal(A3, A0, A2);   // Seal ...
+    a.cunseal(A4, A3, A2); // ... and unseal with matching authority.
+    a.sw(Zero, A4, 0);     // The unsealed result is usable again.
+    a.ebreak();
+    return finishCase("clean-seal", a, false, FindingClass::Sealing, 0);
+}
+
+/** Loop with a join point: the fixpoint must converge without
+ * spurious findings (back-edge states degrade Exact to Unknown). */
+CorpusCase
+cleanLoop()
+{
+    Assembler a(kCorpusBase);
+    a.csetboundsimm(A2, A0, 32);
+    a.li(T0, 0);
+    a.li(T1, 4);
+    const Assembler::Label loop = a.here();
+    a.sw(Zero, A2, 0);
+    a.addi(T0, T0, 1);
+    a.blt(T0, T1, loop);
+    a.ebreak();
+    return finishCase("clean-loop", a, false, FindingClass::Monotonicity,
+                      0);
+}
+
+} // namespace
+
+const std::vector<CorpusCase> &
+corpus()
+{
+    static const std::vector<CorpusCase> cases = [] {
+        std::vector<CorpusCase> v;
+        v.push_back(boundsWiden());
+        v.push_back(cleanBounds());
+        v.push_back(stackLeak());
+        v.push_back(cleanStore());
+        v.push_back(missingClear());
+        v.push_back(cleanCall());
+        v.push_back(sealedJump());
+        v.push_back(cleanSeal());
+        v.push_back(cleanLoop());
+        return v;
+    }();
+    return cases;
+}
+
+} // namespace cheriot::verify

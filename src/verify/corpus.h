@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Seeded-violation corpus for cheriot-verify.
+ *
+ * Each case is a small assembled guest program: half contain exactly
+ * one deliberate capability-discipline violation (with the expected
+ * finding class and PC recorded at assembly time), the other half are
+ * "clean twins" exercising the same instruction patterns correctly.
+ * The detection contract is 100%/0%: every violating case must yield
+ * its expected finding, every clean case must yield none.
+ */
+
+#ifndef CHERIOT_VERIFY_CORPUS_H
+#define CHERIOT_VERIFY_CORPUS_H
+
+#include "verify/verifier.h"
+
+namespace cheriot::verify
+{
+
+struct CorpusCase
+{
+    std::string name;
+    ProgramImage image;
+    bool violating = false;
+    /** Expected finding class and PC (valid iff violating). */
+    FindingClass expected = FindingClass::Monotonicity;
+    uint32_t expectedPc = 0;
+};
+
+/** The full corpus (violating cases and clean twins, stable order). */
+const std::vector<CorpusCase> &corpus();
+
+} // namespace cheriot::verify
+
+#endif // CHERIOT_VERIFY_CORPUS_H

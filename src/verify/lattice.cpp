@@ -1,0 +1,97 @@
+#include "verify/lattice.h"
+
+#include <cstdio>
+
+namespace cheriot::verify
+{
+
+const char *
+triName(Tri t)
+{
+    switch (t) {
+      case Tri::No: return "no";
+      case Tri::Yes: return "yes";
+      case Tri::Maybe: return "?";
+    }
+    return "?";
+}
+
+AbstractCap
+AbstractCap::join(const AbstractCap &other) const
+{
+    if (isExact() && other.isExact() && value == other.value) {
+        return *this;
+    }
+    return unknown(joinTri(tagged(), other.tagged()),
+                   joinTri(local(), other.local()),
+                   joinTri(sealed(), other.sealed()));
+}
+
+bool
+AbstractCap::operator==(const AbstractCap &other) const
+{
+    if (kind != other.kind) {
+        return false;
+    }
+    if (isExact()) {
+        return value == other.value;
+    }
+    return taggedAttr == other.taggedAttr &&
+           localAttr == other.localAttr && sealedAttr == other.sealedAttr;
+}
+
+std::string
+AbstractCap::toString() const
+{
+    if (isExact()) {
+        return "exact " + value.toString();
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer),
+                  "unknown tag=%s local=%s sealed=%s",
+                  triName(taggedAttr), triName(localAttr),
+                  triName(sealedAttr));
+    return buffer;
+}
+
+AbstractState
+AbstractState::join(const AbstractState &other) const
+{
+    AbstractState result;
+    for (unsigned i = 0; i < isa::kNumRegs; ++i) {
+        result.regs[i] = regs[i].join(other.regs[i]);
+    }
+    result.pcc = pcc.join(other.pcc);
+    return result;
+}
+
+bool
+AbstractState::operator==(const AbstractState &other) const
+{
+    for (unsigned i = 0; i < isa::kNumRegs; ++i) {
+        if (!(regs[i] == other.regs[i])) {
+            return false;
+        }
+    }
+    return pcc == other.pcc;
+}
+
+std::string
+AbstractState::toString() const
+{
+    std::string out;
+    const AbstractCap null = AbstractCap::exact(cap::Capability());
+    for (unsigned i = 1; i < isa::kNumRegs; ++i) {
+        if (regs[i] == null) {
+            continue;
+        }
+        out += "  ";
+        out += isa::regName(static_cast<uint8_t>(i));
+        out += ": ";
+        out += regs[i].toString();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace cheriot::verify

@@ -1,0 +1,225 @@
+#include "verify/policy.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace cheriot::verify
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : text) {
+        if (c == ',') {
+            if (!current.empty()) {
+                parts.push_back(current);
+                current.clear();
+            }
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            current += c;
+        }
+    }
+    if (!current.empty()) {
+        parts.push_back(current);
+    }
+    return parts;
+}
+
+bool
+allows(const std::vector<std::string> &allowed, const std::string &name)
+{
+    return std::find(allowed.begin(), allowed.end(), name) !=
+           allowed.end();
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error != nullptr) {
+        *error = message;
+    }
+    return false;
+}
+
+bool
+parseLine(const std::string &line, unsigned lineNo,
+          std::vector<PolicyRule> &rules, std::string *error)
+{
+    std::istringstream in(line);
+    std::string keyword;
+    in >> keyword;
+
+    char where[32];
+    std::snprintf(where, sizeof(where), "line %u: ", lineNo);
+
+    PolicyRule rule;
+    rule.text = line;
+
+    if (keyword == "require") {
+        std::string what;
+        in >> what;
+        if (what == "globals-no-store-local") {
+            rule.kind = PolicyRule::Kind::RequireGlobalsNoStoreLocal;
+        } else if (what == "code-not-writable") {
+            rule.kind = PolicyRule::Kind::RequireCodeNotWritable;
+        } else {
+            return fail(error, where + ("unknown requirement '" + what +
+                                        "'"));
+        }
+    } else if (keyword == "mmio") {
+        std::string window, only, list;
+        in >> window >> only;
+        std::getline(in, list);
+        if (window.empty() || only != "only") {
+            return fail(error,
+                        where +
+                            std::string("expected 'mmio <window> only "
+                                        "<compartments|none>'"));
+        }
+        rule.kind = PolicyRule::Kind::MmioOnly;
+        rule.window = window;
+        rule.allowed = splitList(list);
+        if (rule.allowed.size() == 1 && rule.allowed[0] == "none") {
+            rule.allowed.clear();
+        } else if (rule.allowed.empty()) {
+            return fail(error, where + std::string(
+                                   "mmio rule needs a compartment list "
+                                   "or 'none'"));
+        }
+    } else if (keyword == "interrupts-disabled") {
+        std::string only, list;
+        in >> only;
+        std::getline(in, list);
+        if (only != "only") {
+            return fail(error,
+                        where + std::string(
+                                    "expected 'interrupts-disabled only "
+                                    "<compartments|none>'"));
+        }
+        rule.kind = PolicyRule::Kind::InterruptsDisabledOnly;
+        rule.allowed = splitList(list);
+        if (rule.allowed.size() == 1 && rule.allowed[0] == "none") {
+            rule.allowed.clear();
+        } else if (rule.allowed.empty()) {
+            return fail(error,
+                        where + std::string(
+                                    "interrupts-disabled rule needs a "
+                                    "compartment list or 'none'"));
+        }
+    } else {
+        return fail(error, where + ("unknown keyword '" + keyword + "'"));
+    }
+
+    rules.push_back(std::move(rule));
+    return true;
+}
+
+} // namespace
+
+std::optional<Policy>
+Policy::parse(const std::string &text, std::string *error)
+{
+    Policy policy;
+    std::istringstream in(text);
+    std::string line;
+    unsigned lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        const auto firstNonSpace = line.find_first_not_of(" \t\r");
+        if (firstNonSpace == std::string::npos) {
+            continue;
+        }
+        if (!parseLine(line, lineNo, policy.rules_, error)) {
+            return std::nullopt;
+        }
+    }
+    return policy;
+}
+
+Policy
+Policy::defaultPolicy()
+{
+    auto policy = parse("require globals-no-store-local\n"
+                        "require code-not-writable\n"
+                        "mmio revocation-bitmap only alloc\n");
+    return *policy;
+}
+
+std::vector<PolicyViolation>
+Policy::evaluate(const rtos::AuditReport &report) const
+{
+    std::vector<PolicyViolation> violations;
+    for (const auto &rule : rules_) {
+        switch (rule.kind) {
+          case PolicyRule::Kind::RequireGlobalsNoStoreLocal:
+            for (const auto &c : report.compartments) {
+                if (c.globalsStoreLocal) {
+                    violations.push_back(
+                        {rule.text, c.name,
+                         "globals capability carries Store-Local: stack "
+                         "references could be captured (§5.2)"});
+                }
+            }
+            break;
+          case PolicyRule::Kind::RequireCodeNotWritable:
+            for (const auto &c : report.compartments) {
+                if (c.codeWritable) {
+                    violations.push_back(
+                        {rule.text, c.name,
+                         "code capability is writable: W^X violated"});
+                }
+            }
+            break;
+          case PolicyRule::Kind::MmioOnly:
+            for (const auto &c : report.compartments) {
+                for (const auto &window : c.mmioImports) {
+                    if (window == rule.window &&
+                        !allows(rule.allowed, c.name)) {
+                        violations.push_back(
+                            {rule.text, c.name,
+                             "imports MMIO window '" + window +
+                                 "' but is not on the allow list"});
+                    }
+                }
+            }
+            break;
+          case PolicyRule::Kind::InterruptsDisabledOnly:
+            for (const auto &e : report.exports) {
+                if (e.interruptsDisabled &&
+                    !allows(rule.allowed, e.compartment)) {
+                    violations.push_back(
+                        {rule.text, e.compartment,
+                         "export '" + e.entryPoint +
+                             "' runs with interrupts disabled but the "
+                             "compartment is not on the allow list"});
+                }
+            }
+            break;
+        }
+    }
+    return violations;
+}
+
+std::string
+Policy::toString() const
+{
+    std::string out;
+    for (const auto &rule : rules_) {
+        out += rule.text;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace cheriot::verify

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Declarative lint policies over the audit manifest (paper §3.1.2).
+ *
+ * A policy is a small line-based document an auditor can read and
+ * diff: structural requirements (SL-free globals, W^X code) plus
+ * authority rules naming which compartments may hold a given MMIO
+ * window or run entries with interrupts disabled. Policies are
+ * evaluated against rtos::AuditReport; each violated rule yields a
+ * PolicyViolation the verifier surfaces as a Lint finding.
+ *
+ * Grammar (one rule per line; '#' comments and blank lines ignored):
+ *
+ *   require globals-no-store-local
+ *   require code-not-writable
+ *   mmio <window> only <comp>[,<comp>...] | none
+ *   interrupts-disabled only <comp>[,<comp>...] | none
+ */
+
+#ifndef CHERIOT_VERIFY_POLICY_H
+#define CHERIOT_VERIFY_POLICY_H
+
+#include "rtos/audit.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cheriot::verify
+{
+
+/** One parsed policy rule. */
+struct PolicyRule
+{
+    enum class Kind : uint8_t
+    {
+        /** Every compartment's globals capability lacks SL (§5.2). */
+        RequireGlobalsNoStoreLocal,
+        /** Every compartment's code capability lacks Store (W^X). */
+        RequireCodeNotWritable,
+        /** Only listed compartments may import the named window. */
+        MmioOnly,
+        /** Only listed compartments may export IRQ-disabled entries. */
+        InterruptsDisabledOnly,
+    };
+
+    Kind kind;
+    std::string window;               ///< MmioOnly only.
+    std::vector<std::string> allowed; ///< MmioOnly / IRQ rules.
+    std::string text;                 ///< Source line, for diagnostics.
+};
+
+/** One rule violation: which rule, which compartment, why. */
+struct PolicyViolation
+{
+    std::string rule;
+    std::string compartment;
+    std::string message;
+};
+
+class Policy
+{
+  public:
+    /** Parse a policy document; nullopt (and *error) on bad syntax. */
+    static std::optional<Policy> parse(const std::string &text,
+                                       std::string *error = nullptr);
+
+    /** The policy every shipped image must satisfy: structural
+     * invariants plus "only the allocator touches the revocation
+     * bitmap". */
+    static Policy defaultPolicy();
+
+    /** Check every rule against @p report; empty means compliant. */
+    std::vector<PolicyViolation>
+    evaluate(const rtos::AuditReport &report) const;
+
+    const std::vector<PolicyRule> &rules() const { return rules_; }
+
+    /** Canonical rendering (re-parseable). */
+    std::string toString() const;
+
+  private:
+    std::vector<PolicyRule> rules_;
+};
+
+} // namespace cheriot::verify
+
+#endif // CHERIOT_VERIFY_POLICY_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * cheriot-verify: static capability-flow analysis and image linting
+ * for compartment binaries (paper §3.1.2, §5.2, §5.3).
+ *
+ * The analyzer abstract-interprets a linked program image through the
+ * real decoder, tracking an AbstractCap lattice per register (see
+ * lattice.h), and reports four classes of violation:
+ *
+ *  1. Monotonicity — instruction sequences that attempt to widen
+ *     bounds relative to the loader-derived roots, or that use the
+ *     untagged residue of a non-monotone manipulation as authority.
+ *  2. Switcher ABI — cross-compartment call sites (jumps through
+ *     forward sentries) that leave non-argument capability registers
+ *     live, leaking caller capabilities into the callee compartment.
+ *  3. Store-Local discipline — a definitely-local (stack-derived)
+ *     capability stored through an authority that definitely lacks
+ *     Store-Local: the §5.2 stack-capability-leak pattern.
+ *  4. Sealing — jumps through sealed non-sentry capabilities,
+ *     seal/unseal without matching otype authority, sentry minting
+ *     from sealed or non-executable inputs.
+ *
+ * Checks fire only on *definite* facts (Exact lattice values or
+ * definite tri-state attributes), so correct images — including every
+ * shipped workload — produce zero findings. Kernel-booted images are
+ * additionally linted against the audit manifest via a declarative
+ * Policy (see policy.h): W^X, SL-free globals, MMIO-import and
+ * interrupt-posture rules.
+ */
+
+#ifndef CHERIOT_VERIFY_VERIFIER_H
+#define CHERIOT_VERIFY_VERIFIER_H
+
+#include "verify/lattice.h"
+#include "verify/policy.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cheriot::rtos
+{
+class Kernel;
+}
+
+namespace cheriot::verify
+{
+
+/** The four violation classes (plus image lint). */
+enum class FindingClass : uint8_t
+{
+    Monotonicity, ///< Bounds widening / authority insufficient.
+    SwitcherAbi,  ///< Missing register clear at a call site.
+    StackLeak,    ///< Store-Local discipline violation.
+    Sealing,      ///< Sentry/otype misuse.
+    Lint,         ///< Structural/policy violation from the manifest.
+};
+
+const char *findingClassName(FindingClass cls);
+
+/** One diagnostic: class, compartment (or image), PC, and the lattice
+ * state that proves the violation. */
+struct Finding
+{
+    FindingClass cls = FindingClass::Lint;
+    std::string compartment;
+    uint32_t pc = 0; ///< 0 for lint findings (no code location).
+    std::string message;
+    std::string latticeState; ///< Register lattice at the site.
+
+    std::string toString() const;
+};
+
+/** Result of verifying one image. */
+struct Report
+{
+    std::string image;
+    std::vector<Finding> findings;
+    uint64_t statesExplored = 0;      ///< Worklist state updates.
+    uint64_t instructionsAnalyzed = 0; ///< Distinct PCs visited.
+    bool budgetExhausted = false;
+
+    bool ok() const { return findings.empty(); }
+    bool hasClass(FindingClass cls) const;
+    std::string toString() const;
+};
+
+/** A linked guest program image to analyze. */
+struct ProgramImage
+{
+    std::string name;
+    std::vector<uint32_t> words;
+    uint32_t base = 0;  ///< Load address of words[0].
+    uint32_t entry = 0; ///< Analysis entry point (reset PC).
+};
+
+struct AnalyzerOptions
+{
+    /** Abort (budgetExhausted) after this many state updates. */
+    uint64_t maxStateUpdates = 1u << 20;
+};
+
+/**
+ * Abstract-interpret @p image from its entry point with the §3.1.1
+ * reset state (memory root in a0, sealing root in a1, PCC at entry).
+ */
+Report analyzeProgram(const ProgramImage &image,
+                      const AnalyzerOptions &options = {});
+
+/**
+ * Verify a kernel-booted image: evaluate @p policy over the audit
+ * manifest (W^X, SL-free globals, MMIO-import and interrupt-posture
+ * rules). Compartment entry bodies in this model are host functions,
+ * so the instruction-level walk applies to guest program images via
+ * analyzeProgram; the kernel surface is covered by the manifest lint.
+ */
+Report verifyKernel(rtos::Kernel &kernel, const Policy &policy);
+
+} // namespace cheriot::verify
+
+#endif // CHERIOT_VERIFY_VERIFIER_H

@@ -25,6 +25,11 @@ runAllocBench(const AllocBenchConfig &config)
     kernel.initHeap(config.mode, config.quarantineThreshold);
     rtos::Thread &thread =
         kernel.createThread("bench", 1, config.threadStack);
+    std::string bootError;
+    if (!kernel.finalizeBoot(&bootError)) {
+        fatal("allocbench: boot verification failed: %s",
+              bootError.c_str());
+    }
     kernel.activate(thread);
 
     AllocBenchResult result;

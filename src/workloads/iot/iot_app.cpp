@@ -58,6 +58,11 @@ runIotApp(const IotAppConfig &config)
 
     rtos::Thread &netThread = kernel.createThread("net", 2, 2048);
     rtos::Thread &jsThread = kernel.createThread("js", 1, 2048);
+
+    std::string bootError;
+    if (!kernel.finalizeBoot(&bootError)) {
+        fatal("iot: boot verification failed: %s", bootError.c_str());
+    }
     kernel.activate(netThread);
 
     TlsSession session;

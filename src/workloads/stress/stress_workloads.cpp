@@ -86,6 +86,11 @@ runStressScenario(const StressConfig &config)
     rtos::Thread &victimThread = kernel.createThread("victim", 2, 512);
     rtos::Thread &attackerThread = kernel.createThread("attacker", 1, 512);
 
+    std::string bootError;
+    if (!kernel.finalizeBoot(&bootError)) {
+        fatal("stress: boot verification failed: %s", bootError.c_str());
+    }
+
     const Capability victimCap =
         kernel.mintAllocatorCapability(victim, config.victimQuota);
     const Capability attackerCap =

@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <memory>
+
 namespace cheriot::rtos
 {
 namespace
@@ -116,6 +119,138 @@ TEST(Audit, PolicyCheckExample)
         EXPECT_NE(entry.compartment, "vendor_blob")
             << "policy violation: vendor code with IRQs off";
     }
+}
+
+TEST(Audit, MmioImportsAppearInManifest)
+{
+    sim::Machine machine(config());
+    Kernel kernel(machine);
+    // Heap init hands the allocator compartment its revocation-bitmap
+    // window; the manifest must record that authority by name.
+    kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+
+    const AuditReport report = auditKernel(kernel);
+    bool found = false;
+    for (const auto &c : report.compartments) {
+        for (const auto &window : c.mmioImports) {
+            if (window == "revocation-bitmap") {
+                EXPECT_EQ(c.name, "alloc");
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_NE(report.toString().find("mmio revocation-bitmap"),
+              std::string::npos);
+}
+
+TEST(BootAssertions, LoaderBuiltImagesPassFinalizeBoot)
+{
+    sim::Machine machine(config());
+    Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
+    kernel.createCompartment("app");
+    kernel.createThread("app", 1, 1024);
+
+    std::string whyNot;
+    EXPECT_TRUE(kernel.finalizeBoot(&whyNot)) << whyNot;
+    EXPECT_TRUE(whyNot.empty());
+}
+
+TEST(BootAssertions, RejectsGlobalsWithStoreLocal)
+{
+    sim::Machine machine(config());
+    Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::None);
+    // The loader cannot mint this by construction; an adopted (i.e.
+    // corrupted or foreign) image can. The memory root still carries
+    // SL, so using it as a globals capability violates §5.2.
+    kernel.adoptCompartment(std::make_unique<Compartment>(
+        "evil", cap::Capability::executableRoot(),
+        cap::Capability::memoryRoot()));
+
+    std::string whyNot;
+    EXPECT_FALSE(kernel.finalizeBoot(&whyNot));
+    EXPECT_NE(whyNot.find("evil"), std::string::npos) << whyNot;
+    EXPECT_NE(whyNot.find("Store-Local"), std::string::npos) << whyNot;
+}
+
+TEST(BootAssertions, RejectsWritableCode)
+{
+    sim::Machine machine(config());
+    Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::None);
+    // Writable memory used as a code capability breaks W^X.
+    kernel.adoptCompartment(std::make_unique<Compartment>(
+        "patchable",
+        cap::Capability::memoryRoot().withPermsAnd(
+            static_cast<uint16_t>(~cap::PermStoreLocal)),
+        cap::Capability::memoryRoot().withPermsAnd(
+            static_cast<uint16_t>(~cap::PermStoreLocal))));
+
+    std::string whyNot;
+    EXPECT_FALSE(kernel.finalizeBoot(&whyNot));
+    EXPECT_NE(whyNot.find("patchable"), std::string::npos) << whyNot;
+    EXPECT_NE(whyNot.find("W^X"), std::string::npos) << whyNot;
+}
+
+/** RAII guard for the CHERIOT_VERIFY_ON_LOAD environment variable. */
+class VerifyOnLoadGuard
+{
+  public:
+    VerifyOnLoadGuard() { ::setenv("CHERIOT_VERIFY_ON_LOAD", "1", 1); }
+    ~VerifyOnLoadGuard() { ::unsetenv("CHERIOT_VERIFY_ON_LOAD"); }
+};
+
+TEST(BootAssertions, VerifyOnLoadAcceptsCleanImages)
+{
+    VerifyOnLoadGuard guard;
+    sim::Machine machine(config());
+    Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+    kernel.createCompartment("app");
+    kernel.createThread("app", 1, 1024);
+
+    std::string whyNot;
+    EXPECT_TRUE(kernel.finalizeBoot(&whyNot)) << whyNot;
+}
+
+TEST(BootAssertions, VerifyOnLoadEnforcesTheDefaultPolicy)
+{
+    VerifyOnLoadGuard guard;
+    sim::Machine machine(config());
+    Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+    // Structurally sound, but the default policy says only the
+    // allocator may hold the revocation bitmap: without the verify
+    // hook this image boots, with it the loader refuses.
+    Compartment &vendor = kernel.createCompartment("vendor");
+    // The window *name* is what the manifest audits; any authority
+    // standing in for the window demonstrates the violation.
+    vendor.addMmioImport("revocation-bitmap",
+                         cap::Capability::memoryRoot());
+
+    std::string whyNot;
+    EXPECT_FALSE(kernel.finalizeBoot(&whyNot));
+    EXPECT_NE(whyNot.find("revocation-bitmap"), std::string::npos)
+        << whyNot;
+    EXPECT_NE(whyNot.find("vendor"), std::string::npos) << whyNot;
+}
+
+TEST(BootAssertions, WithoutEnvPolicyLintIsNotEnforced)
+{
+    ::unsetenv("CHERIOT_VERIFY_ON_LOAD");
+    sim::Machine machine(config());
+    Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+    Compartment &vendor = kernel.createCompartment("vendor");
+    vendor.addMmioImport("revocation-bitmap",
+                         cap::Capability::memoryRoot());
+
+    // Structural assertions still run, but the opt-in policy lint
+    // does not: the env var is the deployment switch.
+    std::string whyNot;
+    EXPECT_TRUE(kernel.finalizeBoot(&whyNot)) << whyNot;
 }
 
 } // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Declarative lint policies: parsing the line grammar, the default
+ * policy, and evaluation against synthetic audit manifests.
+ */
+
+#include "verify/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot::verify
+{
+namespace
+{
+
+rtos::CompartmentAudit
+compartment(const std::string &name)
+{
+    rtos::CompartmentAudit c;
+    c.name = name;
+    c.codeBase = 0x20000000;
+    c.codeSize = 0x1000;
+    c.globalsBase = 0x20010000;
+    c.globalsSize = 0x400;
+    c.exportCount = 0;
+    c.globalsStoreLocal = false;
+    c.codeWritable = false;
+    return c;
+}
+
+TEST(Policy, ParsesFullGrammar)
+{
+    const std::string text = "# integrator policy\n"
+                             "require globals-no-store-local\n"
+                             "require code-not-writable\n"
+                             "\n"
+                             "mmio revocation-bitmap only alloc\n"
+                             "mmio uart only net, console\n"
+                             "interrupts-disabled only sched\n";
+    std::string error;
+    const auto policy = Policy::parse(text, &error);
+    ASSERT_TRUE(policy.has_value()) << error;
+    ASSERT_EQ(policy->rules().size(), 5u);
+    EXPECT_EQ(policy->rules()[2].kind, PolicyRule::Kind::MmioOnly);
+    EXPECT_EQ(policy->rules()[2].window, "revocation-bitmap");
+    ASSERT_EQ(policy->rules()[3].allowed.size(), 2u);
+    EXPECT_EQ(policy->rules()[3].allowed[0], "net");
+    EXPECT_EQ(policy->rules()[3].allowed[1], "console");
+    EXPECT_EQ(policy->rules()[4].kind,
+              PolicyRule::Kind::InterruptsDisabledOnly);
+}
+
+TEST(Policy, NoneMeansEmptyAllowList)
+{
+    const auto policy =
+        Policy::parse("interrupts-disabled only none\n"
+                      "mmio dma only none\n");
+    ASSERT_TRUE(policy.has_value());
+    EXPECT_TRUE(policy->rules()[0].allowed.empty());
+    EXPECT_TRUE(policy->rules()[1].allowed.empty());
+}
+
+TEST(Policy, RejectsBadSyntaxWithDiagnostic)
+{
+    for (const char *bad : {
+             "frobnicate the image\n",
+             "require\n",
+             "require something-unknown\n",
+             "mmio only alloc\n",          // missing window
+             "mmio uart alloc\n",          // missing "only"
+             "interrupts-disabled alloc\n" // missing "only"
+         }) {
+        std::string error;
+        EXPECT_FALSE(Policy::parse(bad, &error).has_value()) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST(Policy, ToStringReparsesToSameRules)
+{
+    const Policy policy = Policy::defaultPolicy();
+    const auto reparsed = Policy::parse(policy.toString());
+    ASSERT_TRUE(reparsed.has_value()) << policy.toString();
+    ASSERT_EQ(reparsed->rules().size(), policy.rules().size());
+    for (size_t i = 0; i < policy.rules().size(); ++i) {
+        EXPECT_EQ(reparsed->rules()[i].kind, policy.rules()[i].kind);
+        EXPECT_EQ(reparsed->rules()[i].window, policy.rules()[i].window);
+        EXPECT_EQ(reparsed->rules()[i].allowed,
+                  policy.rules()[i].allowed);
+    }
+}
+
+TEST(Policy, DefaultPolicyGuardsTheRevocationBitmap)
+{
+    rtos::AuditReport report;
+    report.compartments.push_back(compartment("alloc"));
+    report.compartments.back().mmioImports.push_back(
+        "revocation-bitmap");
+    EXPECT_TRUE(Policy::defaultPolicy().evaluate(report).empty());
+
+    // The same authority in any other compartment violates it.
+    report.compartments.push_back(compartment("vendor"));
+    report.compartments.back().mmioImports.push_back(
+        "revocation-bitmap");
+    const auto violations = Policy::defaultPolicy().evaluate(report);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].compartment, "vendor");
+    EXPECT_NE(violations[0].message.find("revocation-bitmap"),
+              std::string::npos)
+        << violations[0].message;
+}
+
+TEST(Policy, StructuralRequirementsFlagBrokenCompartments)
+{
+    rtos::AuditReport report;
+    report.compartments.push_back(compartment("good"));
+    report.compartments.push_back(compartment("sl_globals"));
+    report.compartments.back().globalsStoreLocal = true;
+    report.compartments.push_back(compartment("wx"));
+    report.compartments.back().codeWritable = true;
+
+    const auto violations = Policy::defaultPolicy().evaluate(report);
+    ASSERT_EQ(violations.size(), 2u);
+    bool sawSl = false;
+    bool sawWx = false;
+    for (const auto &v : violations) {
+        sawSl |= v.compartment == "sl_globals";
+        sawWx |= v.compartment == "wx";
+        EXPECT_NE(v.compartment, "good");
+    }
+    EXPECT_TRUE(sawSl);
+    EXPECT_TRUE(sawWx);
+}
+
+TEST(Policy, InterruptsDisabledOnlyChecksExports)
+{
+    const auto policy =
+        Policy::parse("interrupts-disabled only sched\n");
+    ASSERT_TRUE(policy.has_value());
+
+    rtos::AuditReport report;
+    report.exports.push_back({"sched", "tick", true});
+    report.exports.push_back({"app", "main", false});
+    EXPECT_TRUE(policy->evaluate(report).empty());
+
+    report.exports.push_back({"vendor", "spin", true});
+    const auto violations = policy->evaluate(report);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].compartment, "vendor");
+    EXPECT_NE(violations[0].message.find("spin"), std::string::npos);
+}
+
+TEST(Policy, MmioNoneForbidsEveryImporter)
+{
+    const auto policy = Policy::parse("mmio dma only none\n");
+    ASSERT_TRUE(policy.has_value());
+
+    rtos::AuditReport report;
+    report.compartments.push_back(compartment("driver"));
+    report.compartments.back().mmioImports.push_back("dma");
+    const auto violations = policy->evaluate(report);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].compartment, "driver");
+}
+
+TEST(Policy, UnmentionedWindowsAreUnconstrained)
+{
+    const auto policy = Policy::parse("mmio dma only none\n");
+    ASSERT_TRUE(policy.has_value());
+    rtos::AuditReport report;
+    report.compartments.push_back(compartment("driver"));
+    report.compartments.back().mmioImports.push_back("uart");
+    EXPECT_TRUE(policy->evaluate(report).empty());
+}
+
+} // namespace
+} // namespace cheriot::verify
