@@ -13,6 +13,7 @@
  * and the corpus expecting 1.
  */
 
+#include "net/net_stack.h"
 #include "rtos/kernel.h"
 #include "verify/corpus.h"
 #include "verify/policy.h"
@@ -69,7 +70,7 @@ verifyIot(const verify::Policy &policy)
     sim::Machine machine(mc);
     rtos::Kernel kernel(machine);
     kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
-    kernel.createCompartment("net");
+    net::addNetCompartments(kernel);
     kernel.createCompartment("tls");
     kernel.createCompartment("mqtt");
     kernel.createCompartment("js");
@@ -149,6 +150,36 @@ runCorpus(bool verbose)
             }
         }
         if (verbose || (c.violating != report.ok() && !report.ok())) {
+            for (const auto &f : report.findings) {
+                std::printf("%s\n", f.toString().c_str());
+            }
+        }
+    }
+    // Manifest-level lint corpus: whole images whose MMIO-import
+    // manifests must (or must not) trip the default policy.
+    for (const auto &c : verify::lintCorpus()) {
+        const verify::Report report = c.run();
+        findings += report.findings.size();
+        if (c.violating) {
+            bool hit = false;
+            for (const auto &f : report.findings) {
+                hit |= f.cls == verify::FindingClass::Lint;
+            }
+            std::printf("%-14s %s (%zu finding(s), expect lint)\n",
+                        c.name.c_str(), hit ? "DETECTED" : "MISSED",
+                        report.findings.size());
+            if (!hit) {
+                contractBroken = true;
+            }
+        } else {
+            std::printf("%-14s %s (%zu finding(s))\n", c.name.c_str(),
+                        report.ok() ? "CLEAN" : "FALSE-POSITIVE",
+                        report.findings.size());
+            if (!report.ok()) {
+                contractBroken = true;
+            }
+        }
+        if (verbose) {
             for (const auto &f : report.findings) {
                 std::printf("%s\n", f.toString().c_str());
             }

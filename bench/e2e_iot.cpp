@@ -53,6 +53,15 @@ main(int argc, char **argv)
     std::printf("cross-compartment calls: %llu\n",
                 static_cast<unsigned long long>(
                     result.crossCompartmentCalls));
+    std::printf("NIC RX packets:          %llu (drops=%llu errors=%llu)\n",
+                static_cast<unsigned long long>(result.nicRxPackets),
+                static_cast<unsigned long long>(result.nicRxDrops),
+                static_cast<unsigned long long>(result.nicRxErrors));
+    std::printf("NIC TX packets (acks):   %llu (sent=%llu)\n",
+                static_cast<unsigned long long>(result.nicTxPackets),
+                static_cast<unsigned long long>(result.netAcksSent));
+    std::printf("firewall parse drops:    %llu\n",
+                static_cast<unsigned long long>(result.netParseDrops));
     std::printf("final LED state:         0x%02x\n", result.finalLedState);
     std::printf("run %s\n", result.ok ? "OK" : "FAILED");
     return result.ok ? 0 : 1;

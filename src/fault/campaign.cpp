@@ -51,7 +51,14 @@ iotRecoveryObserved(const workloads::IotAppResult &run,
            run.forcedUnwinds > ref.forcedUnwinds ||
            run.watchdogQuarantines > 0 || run.watchdogRestarts > 0 ||
            run.revokerKicks > 0 || run.busRetries > 0 ||
-           run.trapsTaken > ref.trapsTaken;
+           run.trapsTaken > ref.trapsTaken ||
+           // NIC-path detectors: a corrupted descriptor or payload is
+           // contained by dropping the packet, and these counters are
+           // the visible evidence.
+           run.nicRxDrops > ref.nicRxDrops ||
+           run.nicRxErrors > ref.nicRxErrors ||
+           run.netParseDrops > ref.netParseDrops ||
+           run.netRingCorruptionsDetected > ref.netRingCorruptionsDetected;
 }
 
 Outcome
@@ -273,6 +280,11 @@ runFaultCampaign(const CampaignConfig &config)
                 refs.iotRef.handlerInvocations;
             record.iotRef.forcedUnwinds = refs.iotRef.forcedUnwinds;
             record.iotRef.trapsTaken = refs.iotRef.trapsTaken;
+            record.iotRef.nicRxDrops = refs.iotRef.nicRxDrops;
+            record.iotRef.nicRxErrors = refs.iotRef.nicRxErrors;
+            record.iotRef.netParseDrops = refs.iotRef.netParseDrops;
+            record.iotRef.netRingCorruptionsDetected =
+                refs.iotRef.netRingCorruptionsDetected;
             record.cmRef.valid = refs.cmRef.valid;
             record.cmRef.checksum = refs.cmRef.checksum;
             record.preFaultImage = std::move(preFault);
@@ -326,6 +338,10 @@ writeReproRecord(const ReproRecord &record, const std::string &path)
     w.u64(record.iotRef.handlerInvocations);
     w.u64(record.iotRef.forcedUnwinds);
     w.u64(record.iotRef.trapsTaken);
+    w.u64(record.iotRef.nicRxDrops);
+    w.u64(record.iotRef.nicRxErrors);
+    w.u64(record.iotRef.netParseDrops);
+    w.u64(record.iotRef.netRingCorruptionsDetected);
     w.b(record.cmRef.valid);
     w.u32(record.cmRef.checksum);
     out.endSection();
@@ -372,6 +388,10 @@ readReproRecord(const std::string &path, ReproRecord *out)
     out->iotRef.handlerInvocations = r.u64();
     out->iotRef.forcedUnwinds = r.u64();
     out->iotRef.trapsTaken = r.u64();
+    out->iotRef.nicRxDrops = r.u64();
+    out->iotRef.nicRxErrors = r.u64();
+    out->iotRef.netParseDrops = r.u64();
+    out->iotRef.netRingCorruptionsDetected = r.u64();
     out->cmRef.valid = r.b();
     out->cmRef.checksum = r.u32();
     if (!r.exhausted()) {
@@ -416,6 +436,11 @@ replayRepro(const ReproRecord &record)
         ref.handlerInvocations = record.iotRef.handlerInvocations;
         ref.forcedUnwinds = record.iotRef.forcedUnwinds;
         ref.trapsTaken = record.iotRef.trapsTaken;
+        ref.nicRxDrops = record.iotRef.nicRxDrops;
+        ref.nicRxErrors = record.iotRef.nicRxErrors;
+        ref.netParseDrops = record.iotRef.netParseDrops;
+        ref.netRingCorruptionsDetected =
+            record.iotRef.netRingCorruptionsDetected;
         result.outcome = classifyIot(run, ref, injector.fired());
     } else {
         auto workload =

@@ -164,6 +164,10 @@ struct ReproRecord
         uint64_t handlerInvocations = 0;
         uint64_t forcedUnwinds = 0;
         uint64_t trapsTaken = 0;
+        uint64_t nicRxDrops = 0;
+        uint64_t nicRxErrors = 0;
+        uint64_t netParseDrops = 0;
+        uint64_t netRingCorruptionsDetected = 0;
     } iotRef;
     struct CoreMarkReference
     {

@@ -39,6 +39,8 @@ faultSiteName(FaultSite site)
       case FaultSite::SpuriousFault: return "spurious-fault";
       case FaultSite::FaultStorm: return "fault-storm";
       case FaultSite::MallocStall: return "malloc-stall";
+      case FaultSite::NicDmaCorrupt: return "nic-dma-corrupt";
+      case FaultSite::NicRingCorrupt: return "nic-ring-corrupt";
       case FaultSite::kCount: break;
     }
     return "unknown";
@@ -61,6 +63,8 @@ FaultInjector::FaultInjector(uint64_t seed)
     stats_.registerCounter("bitmapBitsPainted", bitmapBitsPainted);
     stats_.registerCounter("spuriousFaults", spuriousFaults);
     stats_.registerCounter("kicksObserved", kicksObserved);
+    stats_.registerCounter("nicPayloadFlips", nicPayloadFlips);
+    stats_.registerCounter("nicDescriptorFlips", nicDescriptorFlips);
     stats_.registerCounter("safetyViolations", safetyViolations);
 }
 
@@ -102,6 +106,14 @@ FaultInjector::planNext(uint64_t horizonCycles, uint32_t memBase,
         // beyond the backoff budget" so both the recovered-retry and
         // the bounded-timeout → OutOfMemory paths get exercised.
         plan.param = 4096 + rng.below(512 * 1024);
+        break;
+      case FaultSite::NicDmaCorrupt:
+      case FaultSite::NicRingCorrupt:
+        // Fires on the Nth packet delivery; the short count keeps the
+        // trigger inside a campaign run's modest packet budget. The
+        // param picks the granule and bit at delivery time.
+        plan.triggerTransaction = rng.below(16);
+        plan.param = static_cast<uint32_t>(rng.next64());
         break;
       case FaultSite::RevokerStuckEpoch:
         break;
@@ -185,6 +197,8 @@ FaultInjector::fire(uint64_t nowCycle)
       case FaultSite::BusDrop:
       case FaultSite::BusDelay:
       case FaultSite::MallocStall:
+      case FaultSite::NicDmaCorrupt:
+      case FaultSite::NicRingCorrupt:
       case FaultSite::kCount:
         break; // Event-triggered: delivered by their own hooks.
     }
@@ -203,7 +217,9 @@ FaultInjector::tick(uint64_t nowCycle)
     }
     if (plan_.site == FaultSite::BusDrop ||
         plan_.site == FaultSite::BusDelay ||
-        plan_.site == FaultSite::MallocStall) {
+        plan_.site == FaultSite::MallocStall ||
+        plan_.site == FaultSite::NicDmaCorrupt ||
+        plan_.site == FaultSite::NicRingCorrupt) {
         return; // Event-triggered, not cycle-triggered.
     }
     if (nowCycle >= plan_.triggerCycle) {
@@ -259,6 +275,47 @@ FaultInjector::mallocBackoffStarted(uint64_t nowCycle)
     revokerStalls++;
     stalled_ = true;
     stallDeadline_ = nowCycle + plan_.param;
+}
+
+void
+FaultInjector::nicDeliveryStarting(uint32_t descAddr)
+{
+    const uint64_t ordinal = nicDeliveries_++;
+    if (!armed_ || fired_ || sram_ == nullptr ||
+        plan_.site != FaultSite::NicRingCorrupt ||
+        ordinal < plan_.triggerTransaction) {
+        return;
+    }
+    fired_ = true;
+    faultsInjected++;
+    nicDescriptorFlips++;
+    // The descriptor is exactly one granule; flip a bit of it right
+    // before the device fetches it.
+    if (sram_->tagAt(descAddr)) {
+        poisoned_.insert(descAddr & ~7u);
+    }
+    sram_->injectDataFlip(descAddr, plan_.param % 64,
+                          /*failSafe=*/!allowForgery_);
+}
+
+void
+FaultInjector::nicDmaLanded(uint32_t addr, uint32_t bytes)
+{
+    if (!armed_ || fired_ || sram_ == nullptr || bytes == 0 ||
+        plan_.site != FaultSite::NicDmaCorrupt ||
+        nicDeliveries_ <= plan_.triggerTransaction) {
+        return;
+    }
+    fired_ = true;
+    faultsInjected++;
+    nicPayloadFlips++;
+    const uint32_t granules = (bytes + 7) / 8;
+    const uint32_t target = (addr & ~7u) + 8 * (plan_.param % granules);
+    if (sram_->tagAt(target)) {
+        poisoned_.insert(target & ~7u);
+    }
+    sram_->injectDataFlip(target, (plan_.param >> 8) % 64,
+                          /*failSafe=*/!allowForgery_);
 }
 
 void

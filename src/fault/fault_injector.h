@@ -68,6 +68,10 @@ enum class FaultSite : uint8_t
     MallocStall,          ///< Revoker stalls as a blocking malloc
                           ///< enters its backoff loop (exercises the
                           ///< bounded-backoff / OutOfMemory path).
+    NicDmaCorrupt,        ///< NIC DMA writes a corrupted beat into a
+                          ///< landing packet payload.
+    NicRingCorrupt,       ///< A bit flips in the RX descriptor the
+                          ///< NIC is about to fetch.
     kCount,
 };
 
@@ -152,6 +156,21 @@ class FaultInjector
     void mallocBackoffStarted(uint64_t nowCycle);
     /** @} */
 
+    /** @name NIC hooks (called by NicDevice mid-delivery)
+     * Both NIC sites are event-triggered on the Nth packet delivery
+     * (plan.triggerTransaction counts deliveries), so the corruption
+     * always lands while the device owns the target granule — exactly
+     * the transient a glitching DMA engine or descriptor fetch
+     * produces. Flips go through TaggedMemory's fail-safe back door:
+     * they can revoke a capability's validity but never forge one. @{ */
+    /** Descriptor at @p descAddr is about to be fetched; an armed
+     * NicRingCorrupt plan flips a bit in that granule. */
+    void nicDeliveryStarting(uint32_t descAddr);
+    /** Payload landed at [@p addr, @p addr + @p bytes); an armed
+     * NicDmaCorrupt plan flips a bit in one landed granule. */
+    void nicDmaLanded(uint32_t addr, uint32_t bytes);
+    /** @} */
+
     /** @name Safety oracle @{ */
     /** Is the granule containing @p addr corrupted-but-unrepaired? */
     bool isPoisoned(uint32_t addr) const;
@@ -183,6 +202,8 @@ class FaultInjector
     Counter bitmapBitsPainted;  ///< Spurious revocation bits set.
     Counter spuriousFaults;     ///< Spurious traps delivered.
     Counter kicksObserved;      ///< Recovery kicks that cleared us.
+    Counter nicPayloadFlips;    ///< Corrupted NIC payload beats.
+    Counter nicDescriptorFlips; ///< Corrupted NIC RX descriptors.
     Counter safetyViolations;   ///< MUST stay zero outside forgery mode.
 
   private:
@@ -202,6 +223,7 @@ class FaultInjector
 
     /** Delivery state. */
     uint64_t busTransactions_ = 0;
+    uint64_t nicDeliveries_ = 0;
     uint32_t pendingSpurious_ = 0;
     uint32_t spuriousCause_ = 0;
     bool stalled_ = false;

@@ -31,6 +31,9 @@ constexpr uint32_t kTimerMmioSize = 0x100;
 /** Read-only allocator/quarantine telemetry (admission control). */
 constexpr uint32_t kHeapPressureMmioBase = 0x30040000;
 constexpr uint32_t kHeapPressureMmioSize = 0x100;
+/** NIC with DMA descriptor rings (driver compartment only). */
+constexpr uint32_t kNicMmioBase = 0x30050000;
+constexpr uint32_t kNicMmioSize = 0x100;
 /** @} */
 
 /**

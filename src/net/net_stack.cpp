@@ -1,0 +1,483 @@
+#include "net/net_stack.h"
+
+#include "mem/memory_map.h"
+#include "rtos/kernel.h"
+#include "snapshot/serializer.h"
+#include "util/log.h"
+
+namespace cheriot::net
+{
+
+using cap::Capability;
+using rtos::ArgVec;
+using rtos::CallResult;
+using rtos::CompartmentContext;
+
+namespace
+{
+
+/** Firewall parse budget on top of the per-word checksum loads. */
+constexpr uint32_t kFirewallParseCyclesPerByte = 8;
+
+/** Deterministic payload word for frame position @p i of frame
+ * @p seq (the traffic generator and the ack builder share it). */
+uint32_t
+frameWord(uint32_t seq, uint32_t i)
+{
+    return (seq * 0x9e3779b9u) ^ (i * 0x85ebca6bu) ^ 0xc3a5c85cu;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+buildFrame(uint32_t seq, uint32_t bytes)
+{
+    const uint32_t words = bytes < 8 ? 2 : (bytes + 3) / 4;
+    std::vector<uint8_t> frame(words * 4);
+    uint32_t checksum = 0;
+    for (uint32_t i = 0; i < words; ++i) {
+        // The final word balances the XOR of the whole frame to zero.
+        const uint32_t word =
+            i + 1 < words ? frameWord(seq, i) : checksum;
+        checksum ^= word;
+        frame[i * 4 + 0] = static_cast<uint8_t>(word);
+        frame[i * 4 + 1] = static_cast<uint8_t>(word >> 8);
+        frame[i * 4 + 2] = static_cast<uint8_t>(word >> 16);
+        frame[i * 4 + 3] = static_cast<uint8_t>(word >> 24);
+    }
+    return frame;
+}
+
+NetCompartments
+addNetCompartments(rtos::Kernel &kernel)
+{
+    NetCompartments parts;
+    parts.nicWindow =
+        kernel.loader().mmioCap(mem::kNicMmioBase, mem::kNicMmioSize);
+    parts.driver = &kernel.createCompartment("net_driver");
+    parts.driver->addMmioImport("nic", parts.nicWindow);
+    parts.firewall = &kernel.createCompartment("firewall");
+    return parts;
+}
+
+NetStack::NetStack(rtos::Kernel &kernel, NicDevice &nic,
+                   const NetCompartments &compartments,
+                   NetStackConfig config)
+    : kernel_(kernel), nic_(nic), driver_(*compartments.driver),
+      firewall_(*compartments.firewall),
+      nicCap_(compartments.nicWindow), config_(config)
+{
+    if (config_.rxRingEntries == 0 || config_.txRingEntries == 0 ||
+        config_.bufBytes < 16) {
+        fatal("net: degenerate stack configuration");
+    }
+}
+
+uint32_t
+NetStack::mmioRead(CompartmentContext &ctx, uint32_t reg)
+{
+    return ctx.mem.loadWord(nicCap_, nicCap_.base() + reg);
+}
+
+void
+NetStack::mmioWrite(CompartmentContext &ctx, uint32_t reg,
+                    uint32_t value)
+{
+    ctx.mem.storeWord(nicCap_, nicCap_.base() + reg, value);
+}
+
+void
+NetStack::connect(const std::vector<NetConsumer> &consumers)
+{
+    consumers_ = consumers;
+    const uint32_t pumpIndex = driver_.addExport(
+        {"pump",
+         [this](CompartmentContext &ctx, ArgVec &) {
+             return pumpBody(ctx);
+         },
+         /*interruptsDisabled=*/false});
+    const uint32_t txIndex = driver_.addExport(
+        {"tx",
+         [this](CompartmentContext &ctx, ArgVec &args) {
+             return txBody(ctx, args);
+         },
+         /*interruptsDisabled=*/false});
+    const uint32_t processIndex = firewall_.addExport(
+        {"process",
+         [this](CompartmentContext &ctx, ArgVec &args) {
+             return processBody(ctx, args);
+         },
+         /*interruptsDisabled=*/false});
+    pumpImport_ = kernel_.importOf(driver_, pumpIndex);
+    txImport_ = kernel_.importOf(driver_, txIndex);
+    processImport_ = kernel_.importOf(firewall_, processIndex);
+}
+
+void
+NetStack::start(rtos::Thread &thread)
+{
+    rtos::GuestContext &g = kernel_.guest();
+    rxSlots_.assign(config_.rxRingEntries, Capability());
+    txSlots_.assign(config_.txRingEntries, Capability());
+
+    rxRing_ = kernel_.malloc(thread,
+                             config_.rxRingEntries * NicDevice::kDescBytes);
+    txRing_ = kernel_.malloc(thread,
+                             config_.txRingEntries * NicDevice::kDescBytes);
+    if (!rxRing_.tag() || !txRing_.tag()) {
+        fatal("net: descriptor ring allocation failed");
+    }
+    for (uint32_t i = 0; i < config_.txRingEntries; ++i) {
+        g.storeWord(txRing_, txRing_.base() + i * NicDevice::kDescBytes,
+                    0);
+        g.storeWord(txRing_,
+                    txRing_.base() + i * NicDevice::kDescBytes + 4, 0);
+    }
+
+    // Post one freshly allocated buffer per RX slot.
+    for (uint32_t i = 0; i < config_.rxRingEntries; ++i) {
+        const Capability buf = kernel_.malloc(thread, config_.bufBytes);
+        if (!buf.tag()) {
+            fatal("net: boot-time RX buffer allocation failed");
+        }
+        rxSlots_[i] = buf;
+        const uint32_t descAddr =
+            rxRing_.base() + i * NicDevice::kDescBytes;
+        g.storeWord(rxRing_, descAddr, buf.base());
+        g.storeWord(rxRing_, descAddr + 4,
+                    config_.bufBytes & NicDevice::kDescLenMask);
+    }
+    rxPosted_ = config_.rxRingEntries;
+
+    // Program the device: rings, the heap-bounded DMA window, enables.
+    const uint32_t base = nicCap_.base();
+    const uint32_t heapBase = kernel_.machine().heapBase();
+    const uint32_t heapSize =
+        kernel_.machine().machineConfig().heapSize;
+    g.storeWord(nicCap_, base + NicDevice::kRegRxRingBase,
+                rxRing_.base());
+    g.storeWord(nicCap_, base + NicDevice::kRegRxRingCount,
+                config_.rxRingEntries);
+    g.storeWord(nicCap_, base + NicDevice::kRegTxRingBase,
+                txRing_.base());
+    g.storeWord(nicCap_, base + NicDevice::kRegTxRingCount,
+                config_.txRingEntries);
+    g.storeWord(nicCap_, base + NicDevice::kRegDmaBase, heapBase);
+    g.storeWord(nicCap_, base + NicDevice::kRegDmaSize, heapSize);
+    g.storeWord(nicCap_, base + NicDevice::kRegRxTail, rxPosted_);
+    g.storeWord(nicCap_, base + NicDevice::kRegIrqEnable,
+                NicDevice::kIrqRxPacket | NicDevice::kIrqRxOverflow |
+                    NicDevice::kIrqTxDone | NicDevice::kIrqRxError);
+    g.storeWord(nicCap_, base + NicDevice::kRegCtrl,
+                NicDevice::kCtrlRxEnable | NicDevice::kCtrlTxEnable);
+}
+
+uint32_t
+NetStack::pump(rtos::Thread &thread)
+{
+    const CallResult result = kernel_.call(thread, pumpImport_, {});
+    return result.ok() ? result.value.address() : 0;
+}
+
+CallResult
+NetStack::pumpBody(CompartmentContext &ctx)
+{
+    // Driver activation frame (ISR bookkeeping spilled to the stack).
+    const Capability frame = ctx.stackAlloc(64);
+    if (!frame.tag()) {
+        return CallResult::faulted(sim::TrapCause::CheriBoundsViolation);
+    }
+    ctx.mem.storeWord(frame, frame.base(), 0);
+
+    // Acknowledge the level-triggered interrupt before draining.
+    const uint32_t status = mmioRead(ctx, NicDevice::kRegIrqStatus);
+    if (status != 0) {
+        mmioWrite(ctx, NicDevice::kRegIrqStatus, status);
+    }
+
+    uint32_t accepted = 0;
+    const uint32_t head = mmioRead(ctx, NicDevice::kRegRxHead);
+    while (rxConsumed_ != head) {
+        const uint32_t slot = rxConsumed_ % config_.rxRingEntries;
+        const uint32_t descAddr =
+            rxRing_.base() + slot * NicDevice::kDescBytes;
+        const uint32_t w0 = ctx.mem.loadWord(rxRing_, descAddr);
+        const uint32_t w1 = ctx.mem.loadWord(rxRing_, descAddr + 4);
+        if ((w1 & NicDevice::kDescDone) == 0) {
+            break; // Device has not filled this slot yet.
+        }
+        const Capability buf = rxSlots_[slot];
+        const uint32_t len = w1 & NicDevice::kDescLenMask;
+        bool deliverable = true;
+        if (!buf.tag()) {
+            ringCorruptionsDetected_++;
+            deliverable = false;
+        } else if ((w1 & NicDevice::kDescError) != 0) {
+            rxErrorsSeen_++;
+            deliverable = false;
+        } else if (w0 != buf.base() || len < 8 || (len & 3) != 0 ||
+                   len > config_.bufBytes) {
+            // Descriptor bytes are device-written data with no
+            // authority: the slot table is the ground truth, and a
+            // mismatch means the ring was corrupted. The packet is
+            // lost; nothing is dereferenced through the bad bytes.
+            ringCorruptionsDetected_++;
+            deliverable = false;
+        }
+        if (deliverable) {
+            // Zero-copy lend: bounded to the landed frame, Global
+            // stripped so the firewall can hold it only in registers
+            // and on the wiped stack.
+            Capability lent =
+                buf.withAddress(buf.base()).withBounds(len);
+            if (!lent.tag()) {
+                lent = buf;
+            }
+            lent = lent.withPermsAnd(
+                static_cast<uint16_t>(~cap::PermGlobal));
+            ArgVec fwArgs = ArgVec::of(
+                {lent, Capability().withAddress(len)});
+            const CallResult handled =
+                ctx.kernel.call(ctx.thread, processImport_, fwArgs);
+            if (handled.ok() && handled.value.address() == 1) {
+                accepted++;
+                packetsAccepted_++;
+                bytesAccepted_ += len;
+            } else if (!handled.ok()) {
+                consumerRejects_++;
+            }
+        }
+        if (buf.tag()) {
+            // Release the driver's ownership. If the firewall (or a
+            // consumer beyond it) still holds a claim, the memory
+            // stays live; the last release quarantines it.
+            ctx.kernel.free(ctx.thread, buf);
+        }
+        rxSlots_[slot] = Capability();
+        rxConsumed_++;
+        pendingRefills_++;
+    }
+
+    // Repost consumed slots. A failed refill leaves the ring short —
+    // the NIC drops until the heap recovers: physical backpressure.
+    while (pendingRefills_ > 0) {
+        const Capability buf =
+            ctx.kernel.malloc(ctx.thread, config_.bufBytes);
+        if (!buf.tag()) {
+            refillFailures_++;
+            break;
+        }
+        const uint32_t slot = rxPosted_ % config_.rxRingEntries;
+        const uint32_t descAddr =
+            rxRing_.base() + slot * NicDevice::kDescBytes;
+        rxSlots_[slot] = buf;
+        ctx.mem.storeWord(rxRing_, descAddr, buf.base());
+        ctx.mem.storeWord(rxRing_, descAddr + 4,
+                          config_.bufBytes & NicDevice::kDescLenMask);
+        rxPosted_++;
+        pendingRefills_--;
+    }
+    mmioWrite(ctx, NicDevice::kRegRxTail, rxPosted_);
+
+    reapTx(ctx);
+    return CallResult::ofInt(accepted);
+}
+
+void
+NetStack::reapTx(CompartmentContext &ctx)
+{
+    const uint32_t tail = mmioRead(ctx, NicDevice::kRegTxTail);
+    while (txReaped_ != tail) {
+        const uint32_t slot = txReaped_ % config_.txRingEntries;
+        if (txSlots_[slot].tag()) {
+            // Transmit done: release the claim taken at post time.
+            ctx.kernel.free(ctx.thread, txSlots_[slot]);
+            txCompleted_++;
+        }
+        txSlots_[slot] = Capability();
+        txReaped_++;
+    }
+}
+
+CallResult
+NetStack::txBody(CompartmentContext &ctx, ArgVec &args)
+{
+    const Capability frame = ctx.stackAlloc(48);
+    if (!frame.tag()) {
+        return CallResult::faulted(sim::TrapCause::CheriBoundsViolation);
+    }
+    ctx.mem.storeWord(frame, frame.base(), 0);
+
+    reapTx(ctx); // Recycle completed slots before checking capacity.
+    const Capability buf = args[0];
+    const uint32_t len = args[1].address();
+    if (!buf.tag() || len < 8 || (len & 3) != 0 ||
+        len > NicDevice::kDescLenMask ||
+        txPosted_ - txReaped_ >= config_.txRingEntries) {
+        return CallResult::ofInt(0); // Busy or refused.
+    }
+    // Claim keeps the caller's buffer alive until transmit completes,
+    // however quickly the caller frees its own reference.
+    if (ctx.kernel.claim(ctx.thread, buf) !=
+        alloc::HeapAllocator::FreeResult::Ok) {
+        return CallResult::ofInt(0);
+    }
+    const uint32_t slot = txPosted_ % config_.txRingEntries;
+    const uint32_t descAddr =
+        txRing_.base() + slot * NicDevice::kDescBytes;
+    txSlots_[slot] = buf;
+    ctx.mem.storeWord(txRing_, descAddr, buf.base());
+    ctx.mem.storeWord(txRing_, descAddr + 4, len);
+    txPosted_++;
+    mmioWrite(ctx, NicDevice::kRegTxHead, txPosted_);
+    mmioWrite(ctx, NicDevice::kRegTxKick, 1);
+    return CallResult::ofInt(1);
+}
+
+CallResult
+NetStack::processBody(CompartmentContext &ctx, ArgVec &args)
+{
+    const Capability frame = ctx.stackAlloc(64);
+    if (!frame.tag()) {
+        return CallResult::faulted(sim::TrapCause::CheriBoundsViolation);
+    }
+    ctx.mem.storeWord(frame, frame.base(), 0);
+
+    const Capability payload = args[0];
+    const uint32_t len = args[1].address();
+    if (!payload.tag() || len < 8 || (len & 3) != 0 ||
+        payload.length() < len) {
+        parseDrops_++;
+        return CallResult::ofInt(0);
+    }
+    // heap_claim: from here the buffer outlives the driver's free.
+    if (ctx.kernel.claim(ctx.thread, payload) !=
+        alloc::HeapAllocator::FreeResult::Ok) {
+        parseDrops_++;
+        return CallResult::ofInt(0);
+    }
+
+    // Frame integrity: the XOR of every payload word must balance to
+    // zero (the generator's trailing checksum word ensures it).
+    uint32_t checksum = 0;
+    for (uint32_t off = 0; off < len; off += 4) {
+        checksum ^= ctx.mem.loadWord(payload, payload.base() + off);
+    }
+    ctx.mem.chargeExecution(len * kFirewallParseCyclesPerByte);
+    if (checksum != 0) {
+        parseDrops_++;
+        ctx.kernel.free(ctx.thread, payload);
+        return CallResult::ofInt(0);
+    }
+
+    // Mutating consumers (TLS decrypts records in place) keep the
+    // writable view; everyone else sees read-only, non-capability
+    // memory.
+    const Capability readOnly = payload.withPermsAnd(
+        static_cast<uint16_t>(~(cap::PermStore | cap::PermStoreLocal |
+                                cap::PermMemCap)));
+    for (const auto &consumer : consumers_) {
+        ArgVec consumerArgs = ArgVec::of(
+            {consumer.mutates ? payload : readOnly,
+             Capability().withAddress(len)});
+        const CallResult result =
+            ctx.kernel.call(ctx.thread, consumer.import, consumerArgs);
+        if (!result.ok()) {
+            ctx.kernel.free(ctx.thread, payload);
+            return result; // Propagate: the driver drops the packet.
+        }
+    }
+
+    // Ack every Nth accepted packet: the TX half of the claim
+    // contract — the driver claims the ack buffer, we free our own
+    // reference immediately, and the memory lives until transmit
+    // completes.
+    if (config_.ackEveryN != 0 && ++ackCountdown_ >= config_.ackEveryN) {
+        ackCountdown_ = 0;
+        const Capability ack =
+            ctx.kernel.malloc(ctx.thread, config_.ackBytes);
+        if (ack.tag()) {
+            const uint32_t words = config_.ackBytes / 4;
+            uint32_t ackSum = 0;
+            for (uint32_t i = 0; i + 1 < words; ++i) {
+                const uint32_t word = frameWord(0xacu, i);
+                ackSum ^= word;
+                ctx.mem.storeWord(ack, ack.base() + i * 4, word);
+            }
+            ctx.mem.storeWord(ack, ack.base() + (words - 1) * 4, ackSum);
+            ArgVec txArgs = ArgVec::of(
+                {ack, Capability().withAddress(config_.ackBytes)});
+            const CallResult sent =
+                ctx.kernel.call(ctx.thread, txImport_, txArgs);
+            if (sent.ok() && sent.value.address() == 1) {
+                acksSent_++;
+            }
+            ctx.kernel.free(ctx.thread, ack);
+        }
+    }
+
+    // Release the claim: the driver's free is now the last reference.
+    ctx.kernel.free(ctx.thread, payload);
+    return CallResult::ofInt(1);
+}
+
+void
+NetStack::serialize(snapshot::Writer &w) const
+{
+    w.u32(config_.rxRingEntries);
+    w.u32(config_.txRingEntries);
+    w.u32(rxConsumed_);
+    w.u32(rxPosted_);
+    w.u32(pendingRefills_);
+    w.u32(txPosted_);
+    w.u32(txReaped_);
+    w.u32(ackCountdown_);
+    for (const Capability &slot : rxSlots_) {
+        w.cap(slot);
+    }
+    for (const Capability &slot : txSlots_) {
+        w.cap(slot);
+    }
+    w.u64(packetsAccepted_);
+    w.u64(bytesAccepted_);
+    w.u64(parseDrops_);
+    w.u64(consumerRejects_);
+    w.u64(ringCorruptionsDetected_);
+    w.u64(refillFailures_);
+    w.u64(rxErrorsSeen_);
+    w.u64(acksSent_);
+    w.u64(txCompleted_);
+}
+
+bool
+NetStack::deserialize(snapshot::Reader &r)
+{
+    if (r.u32() != config_.rxRingEntries ||
+        r.u32() != config_.txRingEntries) {
+        return false;
+    }
+    rxConsumed_ = r.u32();
+    rxPosted_ = r.u32();
+    pendingRefills_ = r.u32();
+    txPosted_ = r.u32();
+    txReaped_ = r.u32();
+    ackCountdown_ = r.u32();
+    for (Capability &slot : rxSlots_) {
+        slot = r.cap();
+    }
+    for (Capability &slot : txSlots_) {
+        slot = r.cap();
+    }
+    packetsAccepted_ = r.u64();
+    bytesAccepted_ = r.u64();
+    parseDrops_ = r.u64();
+    consumerRejects_ = r.u64();
+    ringCorruptionsDetected_ = r.u64();
+    refillFailures_ = r.u64();
+    rxErrorsSeen_ = r.u64();
+    acksSent_ = r.u64();
+    txCompleted_ = r.u64();
+    return r.ok();
+}
+
+} // namespace cheriot::net

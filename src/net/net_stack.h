@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Compartmentalized zero-copy network stack over the NIC.
+ *
+ * Two guest compartments own the receive path:
+ *
+ *  - `net_driver` — the *sole* importer of the NIC MMIO window (the
+ *    audit manifest records that authority; cheriot-verify's default
+ *    policy lints it). It allocates the descriptor rings and per-slot
+ *    packet buffers from the shared heap, posts them to the device,
+ *    and on every pump consumes DONE descriptors, cross-checking each
+ *    against its own slot table — descriptor bytes are device-written
+ *    data and carry no authority, so a corrupted descriptor can at
+ *    worst lose a packet, never widen a capability.
+ *
+ *  - `firewall` — the parser. The driver lends it each landed packet
+ *    as a *bounded, Global-less* capability: zero-copy, but holdable
+ *    only in registers and on the (wiped) stack (§2.6, §5.2). The
+ *    firewall `claim()`s the buffer so it survives the driver's own
+ *    free (CHERIoT's heap_claim lending contract: the *last* release
+ *    quarantines, not the first), validates the frame checksum, and
+ *    hands the payload on to its consumers — mutating consumers (TLS
+ *    decrypts records in place) get the write-capable view, everyone
+ *    downstream gets a read-only one.
+ *
+ * Backpressure is physical: a consumed slot is reposted only after a
+ * successful refill malloc, so when the heap is exhausted (or
+ * quarantine is holding memory hostage) the ring shrinks until the
+ * NIC starts dropping — the drop counter and the heap-pressure MMIO
+ * window feed the PR-3 admission-gate machinery.
+ */
+
+#ifndef CHERIOT_NET_NET_STACK_H
+#define CHERIOT_NET_NET_STACK_H
+
+#include "net/nic_device.h"
+#include "rtos/compartment.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cheriot::rtos
+{
+class Kernel;
+class Thread;
+} // namespace cheriot::rtos
+
+namespace cheriot::snapshot
+{
+class Writer;
+class Reader;
+} // namespace cheriot::snapshot
+
+namespace cheriot::net
+{
+
+/**
+ * Build a deterministic test frame: little-endian words derived from
+ * @p seq with a trailing checksum word that XORs the whole frame to
+ * zero. @p bytes is rounded up to a whole number of words, minimum 8.
+ */
+std::vector<uint8_t> buildFrame(uint32_t seq, uint32_t bytes);
+
+/** The net compartments plus the NIC window capability (minted
+ * before boot; the loader refuses new roots afterwards). */
+struct NetCompartments
+{
+    rtos::Compartment *driver = nullptr;
+    rtos::Compartment *firewall = nullptr;
+    cap::Capability nicWindow;
+};
+
+/** Create `net_driver` (importing the NIC MMIO window by name) and
+ * `firewall`. Call before Kernel::finalizeBoot — the import is part
+ * of the audited image. */
+NetCompartments addNetCompartments(rtos::Kernel &kernel);
+
+/** A downstream packet consumer: an export called as (payload, len).
+ * Mutating consumers receive the writable view of the buffer. */
+struct NetConsumer
+{
+    rtos::Import import;
+    bool mutates = false;
+};
+
+struct NetStackConfig
+{
+    uint32_t rxRingEntries = 8;
+    uint32_t txRingEntries = 4;
+    /** Per-slot buffer capacity (heap allocation size). */
+    uint32_t bufBytes = 1536;
+    /** Firewall transmits an ack for every Nth accepted packet
+     * (0 = never): the TX direction of the claim contract. */
+    uint32_t ackEveryN = 16;
+    uint32_t ackBytes = 32;
+};
+
+class NetStack
+{
+  public:
+    NetStack(rtos::Kernel &kernel, NicDevice &nic,
+             const NetCompartments &compartments,
+             NetStackConfig config = {});
+
+    /** Add the driver/firewall exports and resolve imports. Call
+     * after finalizeBoot (entry bodies are not part of the audited
+     * structure), before start(). */
+    void connect(const std::vector<NetConsumer> &consumers);
+
+    /** Allocate rings and buffers, program and enable the NIC. Part
+     * of the deterministic boot: runs before any snapshot restore. */
+    void start(rtos::Thread &thread);
+
+    /** Drain completed RX/TX descriptors — a real cross-compartment
+     * call into the driver. Returns packets accepted this pump. */
+    uint32_t pump(rtos::Thread &thread);
+
+    /** Driver's tx export: (buffer, len), claims the buffer until
+     * transmit completes. Returns 1 posted / 0 busy-or-refused. */
+    const rtos::Import &txImport() const { return txImport_; }
+
+    /** @name Stack counters @{ */
+    uint64_t packetsAccepted() const { return packetsAccepted_; }
+    uint64_t bytesAccepted() const { return bytesAccepted_; }
+    uint64_t parseDrops() const { return parseDrops_; }
+    uint64_t consumerRejects() const { return consumerRejects_; }
+    uint64_t ringCorruptionsDetected() const
+    {
+        return ringCorruptionsDetected_;
+    }
+    uint64_t refillFailures() const { return refillFailures_; }
+    uint64_t rxErrorsSeen() const { return rxErrorsSeen_; }
+    uint64_t acksSent() const { return acksSent_; }
+    uint64_t txCompleted() const { return txCompleted_; }
+    /** @} */
+
+    /** @name Snapshot state
+     * The rings and the boot-time buffer posts are rebuilt by the
+     * deterministic boot; this captures the dynamic state on top —
+     * ring cursors, slot-table capabilities and counters. @{ */
+    void serialize(snapshot::Writer &w) const;
+    bool deserialize(snapshot::Reader &r);
+    /** @} */
+
+  private:
+    uint32_t mmioRead(rtos::CompartmentContext &ctx, uint32_t reg);
+    void mmioWrite(rtos::CompartmentContext &ctx, uint32_t reg,
+                   uint32_t value);
+    /** The driver pump body (RX consume + refill + TX reap). */
+    rtos::CallResult pumpBody(rtos::CompartmentContext &ctx);
+    rtos::CallResult txBody(rtos::CompartmentContext &ctx,
+                            rtos::ArgVec &args);
+    /** The firewall process body (claim, validate, consume, release). */
+    rtos::CallResult processBody(rtos::CompartmentContext &ctx,
+                                 rtos::ArgVec &args);
+    void reapTx(rtos::CompartmentContext &ctx);
+
+    rtos::Kernel &kernel_;
+    NicDevice &nic_;
+    rtos::Compartment &driver_;
+    rtos::Compartment &firewall_;
+    cap::Capability nicCap_;
+    NetStackConfig config_;
+
+    std::vector<NetConsumer> consumers_;
+    rtos::Import pumpImport_;
+    rtos::Import txImport_;
+    rtos::Import processImport_;
+
+    /** Driver state: rings and the authoritative slot table. @{ */
+    cap::Capability rxRing_;
+    cap::Capability txRing_;
+    std::vector<cap::Capability> rxSlots_;
+    std::vector<cap::Capability> txSlots_;
+    uint32_t rxConsumed_ = 0; ///< Free-running consumed count.
+    uint32_t rxPosted_ = 0;   ///< Free-running posted count (RX_TAIL).
+    uint32_t pendingRefills_ = 0;
+    uint32_t txPosted_ = 0; ///< Free-running posted count (TX_HEAD).
+    uint32_t txReaped_ = 0; ///< Free-running reaped count.
+    /** @} */
+
+    uint64_t packetsAccepted_ = 0;
+    uint64_t bytesAccepted_ = 0;
+    uint64_t parseDrops_ = 0;
+    uint64_t consumerRejects_ = 0;
+    uint64_t ringCorruptionsDetected_ = 0;
+    uint64_t refillFailures_ = 0;
+    uint64_t rxErrorsSeen_ = 0;
+    uint64_t acksSent_ = 0;
+    uint64_t txCompleted_ = 0;
+    uint32_t ackCountdown_ = 0;
+};
+
+} // namespace cheriot::net
+
+#endif // CHERIOT_NET_NET_STACK_H

@@ -292,6 +292,22 @@ Kernel::initHeap(alloc::TemporalMode mode, uint64_t quarantineThreshold)
              return CallResult::ofInt(static_cast<uint32_t>(result));
          },
          /*interruptsDisabled=*/false});
+    const uint32_t claimIndex = allocCompartment_->addExport(
+        {"claim",
+         [this](CompartmentContext &ctx, ArgVec &args) {
+             // Same shape as free: walk the chunk metadata, link a
+             // claim record (spilled locals move the high-water mark).
+             const Capability frame = ctx.stackAlloc(80);
+             if (!frame.tag()) {
+                 return CallResult::faulted(
+                     sim::TrapCause::CheriBoundsViolation);
+             }
+             ctx.mem.storeWord(frame, frame.base(), 0);
+             ctx.mem.storeWord(frame, frame.base() + 72, 0);
+             const auto result = allocator_->claim(args[0]);
+             return CallResult::ofInt(static_cast<uint32_t>(result));
+         },
+         /*interruptsDisabled=*/false});
     const uint32_t mallocQuotaIndex = allocCompartment_->addExport(
         {"malloc_quota",
          [this](CompartmentContext &ctx, ArgVec &args) {
@@ -314,6 +330,7 @@ Kernel::initHeap(alloc::TemporalMode mode, uint64_t quarantineThreshold)
          /*interruptsDisabled=*/false});
     mallocImport_ = importOf(*allocCompartment_, mallocIndex);
     freeImport_ = importOf(*allocCompartment_, freeIndex);
+    claimImport_ = importOf(*allocCompartment_, claimIndex);
     mallocQuotaImport_ = importOf(*allocCompartment_, mallocQuotaIndex);
 }
 
@@ -336,6 +353,21 @@ Kernel::free(Thread &thread, const Capability &ptr)
     }
     ArgVec args = ArgVec::of({ptr});
     const CallResult result = call(thread, freeImport_, args);
+    if (!result.ok()) {
+        return alloc::HeapAllocator::FreeResult::InvalidCap;
+    }
+    return static_cast<alloc::HeapAllocator::FreeResult>(
+        result.value.address());
+}
+
+alloc::HeapAllocator::FreeResult
+Kernel::claim(Thread &thread, const Capability &ptr)
+{
+    if (allocator_ == nullptr) {
+        panic("kernel: claim before initHeap");
+    }
+    ArgVec args = ArgVec::of({ptr});
+    const CallResult result = call(thread, claimImport_, args);
     if (!result.ok()) {
         return alloc::HeapAllocator::FreeResult::InvalidCap;
     }

@@ -147,6 +147,11 @@ class Kernel
     cap::Capability malloc(Thread &thread, uint32_t size);
     alloc::HeapAllocator::FreeResult free(Thread &thread,
                                           const cap::Capability &ptr);
+    /** heap_claim: keep @p ptr's allocation alive until a matching
+     * free — the zero-copy lending contract between untrusting
+     * compartments (the last release quarantines, not the first). */
+    alloc::HeapAllocator::FreeResult claim(Thread &thread,
+                                           const cap::Capability &ptr);
     /** Direct handle (tests / in-compartment use). */
     alloc::HeapAllocator &allocator() { return *allocator_; }
     bool hasHeap() const { return allocator_ != nullptr; }
@@ -225,6 +230,7 @@ class Kernel
     Compartment *allocCompartment_ = nullptr;
     Import mallocImport_;
     Import freeImport_;
+    Import claimImport_;
     Import mallocQuotaImport_;
 
     /** Allocator-capability machinery. @{ */

@@ -4,6 +4,8 @@
 #include "cap/sealing.h"
 #include "isa/assembler.h"
 #include "mem/memory_map.h"
+#include "rtos/kernel.h"
+#include "verify/policy.h"
 
 namespace cheriot::verify
 {
@@ -191,6 +193,58 @@ corpus()
         v.push_back(sealedJump());
         v.push_back(cleanSeal());
         v.push_back(cleanLoop());
+        return v;
+    }();
+    return cases;
+}
+
+namespace
+{
+
+/** Boot a minimal image with the NIC window imported by @p importers
+ * and lint it against the default policy. */
+Report
+lintNicImage(const std::string &imageName,
+             const std::vector<std::string> &importers)
+{
+    sim::MachineConfig mc;
+    mc.sramSize = 96u << 10;
+    mc.heapOffset = 64u << 10;
+    mc.heapSize = 32u << 10;
+    sim::Machine machine(mc);
+    rtos::Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
+    const cap::Capability nicWindow =
+        kernel.loader().mmioCap(mem::kNicMmioBase, mem::kNicMmioSize);
+    for (const auto &name : importers) {
+        kernel.createCompartment(name).addMmioImport("nic", nicWindow);
+    }
+    kernel.createCompartment("js");
+    kernel.createThread("main", 1, 1024);
+    Report report = verifyKernel(kernel, Policy::defaultPolicy());
+    report.image = imageName;
+    return report;
+}
+
+} // namespace
+
+const std::vector<LintCorpusCase> &
+lintCorpus()
+{
+    static const std::vector<LintCorpusCase> cases = [] {
+        std::vector<LintCorpusCase> v;
+        // A rogue application compartment imports the NIC MMIO window
+        // beside the legitimate driver: the default policy's
+        // `mmio nic only net_driver` rule must flag it.
+        v.push_back({"nic-rogue-import", true, [] {
+                         return lintNicImage("nic-rogue-import",
+                                             {"net_driver", "app"});
+                     }});
+        // The clean twin: the driver alone holds the window.
+        v.push_back({"nic-clean-twin", false, [] {
+                         return lintNicImage("nic-clean-twin",
+                                             {"net_driver"});
+                     }});
         return v;
     }();
     return cases;

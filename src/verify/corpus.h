@@ -15,6 +15,8 @@
 
 #include "verify/verifier.h"
 
+#include <functional>
+
 namespace cheriot::verify
 {
 
@@ -30,6 +32,24 @@ struct CorpusCase
 
 /** The full corpus (violating cases and clean twins, stable order). */
 const std::vector<CorpusCase> &corpus();
+
+/**
+ * A manifest-level lint case: boots a whole kernel image and lints it
+ * against the default policy (kernels are not copyable, so each case
+ * carries a builder instead of a prebuilt image). Violating cases
+ * must yield at least one Lint finding; clean twins must yield none —
+ * the same 100%/0% contract as the instruction corpus.
+ */
+struct LintCorpusCase
+{
+    std::string name;
+    bool violating = false;
+    /** Build the image and return its lint report. */
+    std::function<Report()> run;
+};
+
+/** Manifest lint corpus (violating images and clean twins). */
+const std::vector<LintCorpusCase> &lintCorpus();
 
 } // namespace cheriot::verify
 

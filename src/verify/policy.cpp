@@ -152,7 +152,8 @@ Policy::defaultPolicy()
 {
     auto policy = parse("require globals-no-store-local\n"
                         "require code-not-writable\n"
-                        "mmio revocation-bitmap only alloc\n");
+                        "mmio revocation-bitmap only alloc\n"
+                        "mmio nic only net_driver\n");
     return *policy;
 }
 

@@ -1,5 +1,8 @@
 #include "workloads/iot/iot_app.h"
 
+#include "mem/memory_map.h"
+#include "net/net_stack.h"
+#include "net/nic_device.h"
 #include "rtos/kernel.h"
 #include "util/log.h"
 #include "workloads/iot/microvm.h"
@@ -19,8 +22,7 @@ using rtos::CompartmentContext;
 namespace
 {
 
-/** Per-byte parsing budgets for the stack layers. */
-constexpr uint32_t kNetChecksumCyclesPerByte = 16;
+/** MQTT per-byte parsing budget. */
 constexpr uint32_t kMqttParseCyclesPerByte = 30;
 
 } // namespace
@@ -50,8 +52,18 @@ runIotApp(const IotAppConfig &config)
         kernel.watchdog().setPolicy(policy);
     }
 
-    // One compartment per stack layer, as in the paper's application.
-    rtos::Compartment &net = kernel.createCompartment("net");
+    // The NIC: packets arrive by DMA into tagged SRAM through RX
+    // descriptor rings; drops and errors feed back as interrupts.
+    net::NicDevice nic(machine.memory().sram());
+    machine.memory().mmio().map(mem::kNicMmioBase, mem::kNicMmioSize,
+                                &nic);
+    nic.setFaultInjector(config.injector);
+
+    // One compartment per stack layer, as in the paper's application:
+    // net_driver and firewall own the receive path (net_driver is the
+    // sole importer of the NIC MMIO window), TLS and MQTT consume the
+    // lent packet buffers, the JS engine animates LEDs beside them.
+    net::NetCompartments netParts = net::addNetCompartments(kernel);
     rtos::Compartment &tls = kernel.createCompartment("tls");
     rtos::Compartment &mqtt = kernel.createCompartment("mqtt");
     rtos::Compartment &js = kernel.createCompartment("js");
@@ -70,11 +82,15 @@ runIotApp(const IotAppConfig &config)
     IotAppResult result;
 
     if (config.installErrorHandlers) {
-        // The driver's recovery policy: a fault anywhere below rx is
-        // contained by dropping the packet — unwind to the scheduler
-        // loop, which simply polls the next arrival (§5.2's error
-        // handling model).
-        net.setErrorHandler(
+        // The receive path's recovery policy: a fault anywhere below
+        // the driver is contained by dropping the packet — unwind to
+        // the scheduler loop, which simply polls the next arrival
+        // (§5.2's error handling model).
+        netParts.driver->setErrorHandler(
+            [](CompartmentContext &, const rtos::FaultInfo &) {
+                return rtos::HandlerDecision::forceUnwind();
+            });
+        netParts.firewall->setErrorHandler(
             [](CompartmentContext &, const rtos::FaultInfo &) {
                 return rtos::HandlerDecision::forceUnwind();
             });
@@ -124,57 +140,15 @@ runIotApp(const IotAppConfig &config)
          },
          false});
 
-    // --- Network compartment ---------------------------------------------
-    const auto tlsProcessImport = kernel.importOf(tls, tlsProcess);
-    const auto mqttHandleImport = kernel.importOf(mqtt, mqttHandle);
-    const uint32_t netRx = net.addExport(
-        {"rx",
-         [&](CompartmentContext &ctx, ArgVec &args) {
-             const uint32_t bytes = args[0].address();
-             // Every received packet is a separate heap allocation.
-             const Capability buffer =
-                 ctx.kernel.malloc(ctx.thread, bytes);
-             if (!buffer.tag()) {
-                 return CallResult::faulted(
-                     sim::TrapCause::LoadAccessFault);
-             }
-             // DMA fill (modelled: the MAC writes the payload) plus
-             // the driver's checksum pass.
-             for (uint32_t off = 0; off + 4 <= bytes; off += 16) {
-                 ctx.mem.storeWord(buffer, buffer.base() + off,
-                                   0xab00 + off);
-             }
-             ctx.mem.chargeExecution(bytes * kNetChecksumCyclesPerByte);
-
-             // Hand the buffer to TLS *ephemerally*: without GL it can
-             // be held only in registers and on the (wiped) stack
-             // (§2.6, §5.2).
-             const Capability ephemeral = buffer.withPermsAnd(
-                 static_cast<uint16_t>(~cap::PermGlobal));
-             ArgVec tlsArgs = ArgVec::of(
-                 {ephemeral, Capability().withAddress(bytes)});
-             const CallResult auth = ctx.kernel.call(
-                 ctx.thread, tlsProcessImport, tlsArgs);
-             if (!auth.ok()) {
-                 return auth;
-             }
-
-             ArgVec mqttArgs = ArgVec::of(
-                 {ephemeral, Capability().withAddress(bytes)});
-             const CallResult handled = ctx.kernel.call(
-                 ctx.thread, mqttHandleImport, mqttArgs);
-             if (!handled.ok()) {
-                 return handled;
-             }
-
-             const auto freed = ctx.kernel.free(ctx.thread, buffer);
-             if (freed != alloc::HeapAllocator::FreeResult::Ok) {
-                 return CallResult::faulted(
-                     sim::TrapCause::StoreAccessFault);
-             }
-             return CallResult::ofInt(bytes);
-         },
-         false});
+    // --- The network stack -------------------------------------------------
+    // TLS decrypts records in place, so it is the mutating consumer;
+    // MQTT sees the read-only view of the same buffer.
+    net::NetStackConfig netConfig;
+    net::NetStack stack(kernel, nic, netParts, netConfig);
+    stack.connect({{kernel.importOf(tls, tlsProcess), /*mutates=*/true},
+                   {kernel.importOf(mqtt, mqttHandle),
+                    /*mutates=*/false}});
+    stack.start(netThread);
 
     // --- JS compartment ---------------------------------------------------
     const uint32_t jsTick = js.addExport(
@@ -194,9 +168,9 @@ runIotApp(const IotAppConfig &config)
     // --- Wire the schedule -------------------------------------------------
     rtos::Scheduler &scheduler = kernel.scheduler();
     PacketSource source(config.clockHz, config.packetsPerSec);
-    const auto netRxImport = kernel.importOf(net, netRx);
     const auto jsTickImport = kernel.importOf(js, jsTick);
     const auto tlsHandshakeImport = kernel.importOf(tls, tlsHandshake);
+    uint32_t frameSeq = 0;
 
     const uint64_t horizon =
         static_cast<uint64_t>(config.simSeconds * config.clockHz);
@@ -213,29 +187,53 @@ runIotApp(const IotAppConfig &config)
                                            done.ok();
                                    });
 
-    // Network poll: drain due packet arrivals.
+    // Network poll: deliver due arrivals into the NIC (the arrival
+    // process is the frame generator now), then pump the driver.
     scheduler.addPeriodic(
         "net-poll", config.clockHz / (config.packetsPerSec * 4), 2, [&] {
             kernel.activate(netThread);
             Packet packet;
             while (source.poll(machine.cycles(), &packet)) {
-                ArgVec args = ArgVec::of(
-                    {Capability().withAddress(packet.bytes)});
-                const CallResult handled =
-                    kernel.call(netThread, netRxImport, args);
-                if (handled.ok()) {
-                    result.packetsProcessed++;
-                    result.bytesReceived += packet.bytes;
-                }
+                const auto frame =
+                    net::buildFrame(frameSeq++, packet.bytes);
+                nic.deliver(frame.data(),
+                            static_cast<uint32_t>(frame.size()));
+            }
+            if (nic.interruptPending()) {
+                stack.pump(netThread);
             }
         });
 
-    // The 10 ms JavaScript animation tick.
+    // The 10 ms JavaScript animation tick. Elastic work: under heap
+    // overload (quarantine holding most of the heap hostage, or free
+    // memory too low to repost a ring buffer) the admission gate
+    // defers the tick so the receive path can drain — the PR-3
+    // pressure machinery fed by ring-full backpressure. The
+    // thresholds are far outside a healthy run's envelope.
     scheduler.addPeriodic("js-tick", config.clockHz / config.jsTickHz, 1,
                           [&] {
                               kernel.activate(jsThread);
                               kernel.call(jsThread, jsTickImport, {});
                           });
+    const Capability pressure = kernel.heapPressureCap();
+    const uint32_t heapSize = machineConfig.heapSize;
+    const uint32_t bufBytes = netConfig.bufBytes;
+    kernel.scheduler().setAdmissionGate(
+        [&kernel, pressure, heapSize,
+         bufBytes](const rtos::Scheduler::Task &task) {
+            if (task.name != "js-tick") {
+                return false;
+            }
+            const uint32_t quarantined = kernel.guest().loadWord(
+                pressure,
+                pressure.base() +
+                    rtos::HeapPressureDevice::kRegQuarantinedBytes);
+            const uint32_t freeBytes = kernel.guest().loadWord(
+                pressure,
+                pressure.base() + rtos::HeapPressureDevice::kRegFreeBytes);
+            return quarantined > heapSize - heapSize / 4 ||
+                   freeBytes < 2 * bufBytes;
+        });
 
     // Measurement baselines are captured at the end of the (fully
     // deterministic) boot, *before* any restore rewinds the clock to
@@ -247,8 +245,9 @@ runIotApp(const IotAppConfig &config)
 
     // Everything mutable that the workload depends on goes into the
     // checkpoint: the machine, the kernel's dynamic state, and the
-    // host-side workload models plus the result accumulators their
-    // task closures feed.
+    // host-side workload models — including the NIC's registers and
+    // the stack's ring cursors / slot capabilities, which are not
+    // part of the machine image.
     const auto takeCheckpoint = [&] {
         snapshot::SnapshotWriter out;
         machine.save(out);
@@ -259,8 +258,9 @@ runIotApp(const IotAppConfig &config)
         session.serialize(iw);
         vm.serialize(iw);
         source.serialize(iw);
-        iw.u64(result.packetsProcessed);
-        iw.u64(result.bytesReceived);
+        nic.serialize(iw);
+        stack.serialize(iw);
+        iw.u32(frameSeq);
         iw.b(result.handshakeCompleted);
         out.endSection();
         return out.finish();
@@ -278,11 +278,11 @@ runIotApp(const IotAppConfig &config)
         }
         snapshot::Reader ir = in.section("iot");
         if (!session.deserialize(ir) || !vm.deserialize(ir) ||
-            !source.deserialize(ir)) {
+            !source.deserialize(ir) || !nic.deserialize(ir) ||
+            !stack.deserialize(ir)) {
             fatal("iot: resume image rejected by the workload");
         }
-        result.packetsProcessed = ir.u64();
-        result.bytesReceived = ir.u64();
+        frameSeq = ir.u32();
         result.handshakeCompleted = ir.b();
         if (!ir.exhausted()) {
             fatal("iot: trailing bytes in the workload section");
@@ -316,6 +316,8 @@ runIotApp(const IotAppConfig &config)
                                      static_cast<double>(measured);
     result.cycles = horizon;
     result.finalDigest = machine.stateDigest();
+    result.packetsProcessed = stack.packetsAccepted();
+    result.bytesReceived = stack.bytesAccepted();
     result.jsTicks = vm.ticks();
     result.jsObjects = vm.objectsAllocated();
     result.gcPasses = vm.gcPasses();
@@ -334,6 +336,14 @@ runIotApp(const IotAppConfig &config)
     result.busRetries = machine.bus().retries.value();
     result.busDelayCycles = machine.bus().delayCycles.value();
     result.trapsTaken = machine.trapCount();
+    result.nicRxPackets = nic.rxPackets();
+    result.nicRxDrops = nic.rxDrops();
+    result.nicRxErrors = nic.rxErrors();
+    result.nicTxPackets = nic.txPackets();
+    result.netParseDrops = stack.parseDrops();
+    result.netRingCorruptionsDetected = stack.ringCorruptionsDetected();
+    result.netRefillFailures = stack.refillFailures();
+    result.netAcksSent = stack.acksSent();
     result.ok = result.handshakeCompleted && result.packetsProcessed > 0 &&
                 vm.ticks() > 0;
     return result;

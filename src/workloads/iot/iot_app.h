@@ -98,6 +98,20 @@ struct IotAppResult
     uint64_t trapsTaken = 0;
     /** @} */
 
+    /** @name NIC / network-stack observability
+     * The RX path is the real DMA path: packets land in the simulated
+     * NIC's descriptor rings and flow net_driver → firewall → TLS →
+     * MQTT as zero-copy capability lends. @{ */
+    uint64_t nicRxPackets = 0;
+    uint64_t nicRxDrops = 0;  ///< Ring-full backpressure drops.
+    uint64_t nicRxErrors = 0; ///< Device-refused descriptors/buffers.
+    uint64_t nicTxPackets = 0;
+    uint64_t netParseDrops = 0; ///< Firewall checksum rejections.
+    uint64_t netRingCorruptionsDetected = 0;
+    uint64_t netRefillFailures = 0; ///< Heap-exhausted reposts.
+    uint64_t netAcksSent = 0;
+    /** @} */
+
     /** Whole-machine state digest at the end of the measured window:
      * an interrupted-and-resumed run must report the same digest as
      * an uninterrupted one. */

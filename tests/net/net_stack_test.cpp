@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Tests for the compartmentalized zero-copy network stack: packets
+ * flow NIC → net_driver → firewall → consumer as bounded Global-less
+ * capability lends; the claim()/free() lending contract keeps buffers
+ * alive across untrusting compartments (the *last* release
+ * quarantines); a freed-but-unclaimed stash is killed by the load
+ * filter; heap exhaustion shrinks the ring into NIC backpressure and
+ * recovers; NIC+ring state survives a mid-run snapshot/restore
+ * bit-identically; and injected NIC faults are contained.
+ */
+
+#include "fault/fault_injector.h"
+#include "mem/memory_map.h"
+#include "net/net_stack.h"
+#include "net/nic_device.h"
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+#include "snapshot/checkpoint.h"
+#include "workloads/iot/iot_app.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace cheriot::net
+{
+namespace
+{
+
+using alloc::HeapAllocator;
+using cap::Capability;
+using rtos::ArgVec;
+using rtos::CallResult;
+using rtos::CompartmentContext;
+using sim::TrapCause;
+
+class NetStackTest : public ::testing::Test
+{
+  protected:
+    NetStackTest()
+        : machine(config()), kernel(machine),
+          nic(machine.memory().sram())
+    {
+        kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
+        machine.memory().mmio().map(mem::kNicMmioBase, mem::kNicMmioSize,
+                                    &nic);
+        parts = addNetCompartments(kernel);
+        app = &kernel.createCompartment("app");
+        // Store-Local-capable alias of the heap, minted while the
+        // loader still holds the roots: the UAF test stashes a lent
+        // (local) capability through it.
+        slAuth = kernel.loader().dataCap(
+            machine.heapBase(), machine.machineConfig().heapSize,
+            /*storeLocal=*/true);
+        thread = &kernel.createThread("net", 2, 4096);
+        std::string error;
+        if (!kernel.finalizeBoot(&error)) {
+            ADD_FAILURE() << "boot: " << error;
+        }
+        kernel.activate(*thread);
+    }
+
+    static sim::MachineConfig config()
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 192u << 10;
+        c.heapOffset = 64u << 10;
+        c.heapSize = 128u << 10;
+        return c;
+    }
+
+    /** Register the app consumer and bring the stack up. The handler
+     * runs inside the app compartment for every delivered packet. */
+    void connectAndStart(NetStackConfig cfg, bool mutates = false)
+    {
+        const uint32_t index = app->addExport(
+            {"handle",
+             [this](CompartmentContext &ctx, ArgVec &args) {
+                 return onPacket ? onPacket(ctx, args)
+                                 : CallResult::ofInt(1);
+             },
+             /*interruptsDisabled=*/false});
+        stack = std::make_unique<NetStack>(kernel, nic, parts, cfg);
+        stack->connect({{kernel.importOf(*app, index), mutates}});
+        stack->start(*thread);
+    }
+
+    /** Deliver @p count checksum-balanced frames, pumping as we go. */
+    void run(uint32_t count, uint32_t bytes = 64)
+    {
+        for (uint32_t i = 0; i < count; ++i) {
+            const std::vector<uint8_t> frame = buildFrame(seq_++, bytes);
+            nic.deliver(frame.data(),
+                        static_cast<uint32_t>(frame.size()));
+            stack->pump(*thread);
+        }
+    }
+
+    static NetStackConfig smallConfig()
+    {
+        NetStackConfig cfg;
+        cfg.rxRingEntries = 4;
+        cfg.txRingEntries = 2;
+        cfg.bufBytes = 128;
+        cfg.ackEveryN = 0;
+        return cfg;
+    }
+
+    sim::Machine machine;
+    rtos::Kernel kernel;
+    NicDevice nic;
+    NetCompartments parts;
+    rtos::Compartment *app = nullptr;
+    rtos::Thread *thread = nullptr;
+    Capability slAuth;
+    std::unique_ptr<NetStack> stack;
+    std::function<CallResult(CompartmentContext &, ArgVec &)> onPacket;
+    uint32_t seq_ = 0;
+};
+
+TEST_F(NetStackTest, DeliversPacketsZeroCopyWithLocalReadOnlyViews)
+{
+    uint32_t seen = 0;
+    uint32_t checksum = 0xdead;
+    bool viewsOk = true;
+    onPacket = [&](CompartmentContext &ctx, ArgVec &args) {
+        const Capability payload = args[0];
+        const uint32_t len = args[1].address();
+        // The lent view is bounded to the landed frame, Global-less
+        // (registers/stack only) and read-only for a non-mutating
+        // consumer.
+        viewsOk = viewsOk && payload.tag() && payload.length() == len &&
+                  !payload.perms().has(cap::PermGlobal) &&
+                  !payload.perms().has(cap::PermStore);
+        checksum = 0;
+        for (uint32_t off = 0; off < len; off += 4) {
+            checksum ^= ctx.mem.loadWord(payload, payload.base() + off);
+        }
+        seen++;
+        return CallResult::ofInt(1);
+    };
+    connectAndStart(smallConfig());
+    run(10);
+
+    EXPECT_EQ(seen, 10u);
+    EXPECT_TRUE(viewsOk);
+    EXPECT_EQ(checksum, 0u) << "frames are checksum-balanced";
+    EXPECT_EQ(stack->packetsAccepted(), 10u);
+    EXPECT_EQ(stack->parseDrops(), 0u);
+    EXPECT_EQ(nic.rxPackets(), 10u);
+    EXPECT_EQ(nic.rxDrops(), 0u);
+    // Over 10 packets the ring wrapped at least twice (4 entries).
+    EXPECT_GT(nic.read32(NicDevice::kRegRxHead),
+              smallConfig().rxRingEntries);
+}
+
+TEST_F(NetStackTest, ClaimLifecycleLastReleaseQuarantinesNotFirst)
+{
+    Capability stash;
+    uint32_t claimsInsideHandler = 0;
+    onPacket = [&](CompartmentContext &ctx, ArgVec &args) {
+        stash = args[0];
+        // The firewall already holds one claim; ours is the second.
+        if (ctx.kernel.claim(ctx.thread, stash) !=
+            HeapAllocator::FreeResult::Ok) {
+            return CallResult::ofInt(0);
+        }
+        claimsInsideHandler =
+            ctx.kernel.allocator().claimCount(stash);
+        return CallResult::ofInt(1);
+    };
+    connectAndStart(smallConfig());
+    run(1);
+
+    ASSERT_EQ(stack->packetsAccepted(), 1u);
+    ASSERT_TRUE(stash.tag());
+    EXPECT_EQ(claimsInsideHandler, 2u);
+
+    // The firewall's release and the driver's free both happened
+    // during the pump — but our claim pinned the buffer: the payload
+    // is still readable, byte for byte the delivered frame.
+    uint32_t word = 0;
+    ASSERT_EQ(machine.loadData(stash, stash.base(), 4, false, &word,
+                               false),
+              TrapCause::None);
+    const std::vector<uint8_t> frame = buildFrame(0, 64);
+    EXPECT_EQ(word, static_cast<uint32_t>(frame[0]) |
+                        static_cast<uint32_t>(frame[1]) << 8 |
+                        static_cast<uint32_t>(frame[2]) << 16 |
+                        static_cast<uint32_t>(frame[3]) << 24);
+
+    // Our release is the last one: only now does the chunk enter
+    // quarantine.
+    const uint64_t quarantined = kernel.allocator().quarantinedBytes();
+    ASSERT_EQ(kernel.allocator().free(stash),
+              HeapAllocator::FreeResult::Ok);
+    EXPECT_GT(kernel.allocator().quarantinedBytes(), quarantined);
+    // And a use of the dead pointer is now a double free.
+    EXPECT_NE(kernel.allocator().free(stash),
+              HeapAllocator::FreeResult::Ok);
+}
+
+TEST_F(NetStackTest, LentViewCannotBeStoredThroughNonStoreLocalAuthority)
+{
+    // §2.6 / §5.2: the lent capability is local (GL stripped), and
+    // heap capabilities carry no Store-Local permission — so a
+    // consumer cannot smuggle the loan into the heap for later.
+    const Capability heapStash = kernel.allocator().malloc(16);
+    ASSERT_TRUE(heapStash.tag());
+    TrapCause escape = TrapCause::None;
+    onPacket = [&](CompartmentContext &, ArgVec &args) {
+        escape = machine.storeCap(heapStash, heapStash.base(), args[0],
+                                  /*charge=*/false);
+        return CallResult::ofInt(1);
+    };
+    connectAndStart(smallConfig());
+    run(1);
+
+    ASSERT_EQ(stack->packetsAccepted(), 1u);
+    EXPECT_EQ(escape, TrapCause::CheriStoreLocalViolation);
+    ASSERT_EQ(kernel.allocator().free(heapStash),
+              HeapAllocator::FreeResult::Ok);
+}
+
+TEST_F(NetStackTest, UafProbeThroughFreedBufferTrapsViaLoadFilter)
+{
+    // The stash region has SL authority (minted pre-boot), so the
+    // local lent capability *can* be parked there — modelling a
+    // consumer that holds the loan on its stack without claiming.
+    const Capability stashMem = kernel.allocator().malloc(16);
+    ASSERT_TRUE(stashMem.tag());
+    bool stashed = false;
+    onPacket = [&](CompartmentContext &, ArgVec &args) {
+        stashed = machine.storeCap(slAuth, stashMem.base(), args[0],
+                                   /*charge=*/false) == TrapCause::None;
+        return CallResult::ofInt(1);
+    };
+    connectAndStart(smallConfig());
+    run(1);
+
+    ASSERT_EQ(stack->packetsAccepted(), 1u);
+    ASSERT_TRUE(stashed);
+
+    // The pump freed the buffer (no claim outstanding) and the sweep
+    // painted its granules: the load filter must return the stashed
+    // capability untagged, and the dereference must trap. This is
+    // deterministic — no race with the revoker, synchronise() runs a
+    // full sweep.
+    kernel.allocator().synchronise();
+    Capability reloaded;
+    ASSERT_EQ(machine.loadCap(slAuth, stashMem.base(), &reloaded,
+                              /*charge=*/false),
+              TrapCause::None);
+    EXPECT_FALSE(reloaded.tag())
+        << "load filter must revoke the freed loan";
+    uint32_t word = 0;
+    EXPECT_EQ(machine.loadData(reloaded, reloaded.address(), 4, false,
+                               &word, false),
+              TrapCause::CheriTagViolation);
+    ASSERT_EQ(kernel.allocator().free(stashMem),
+              HeapAllocator::FreeResult::Ok);
+}
+
+TEST_F(NetStackTest, HeapExhaustionShrinksRingIntoBackpressureAndRecovers)
+{
+    // A hoarding consumer claims every payload and never releases:
+    // freed ring buffers stay live under the claims, so no sweep can
+    // recover them — eventually the refill mallocs genuinely fail,
+    // the ring shrinks to nothing and the NIC starts dropping.
+    std::vector<Capability> hoard;
+    onPacket = [&](CompartmentContext &ctx, ArgVec &args) {
+        if (ctx.kernel.claim(ctx.thread, args[0]) !=
+            HeapAllocator::FreeResult::Ok) {
+            return CallResult::ofInt(0); // Heap exhausted: reject.
+        }
+        hoard.push_back(args[0]);
+        return CallResult::ofInt(1);
+    };
+    connectAndStart(smallConfig());
+
+    // 128 KiB heap / 128-byte buffers: a couple thousand packets
+    // starve it with room to spare.
+    while (nic.rxDrops() == 0 && seq_ < 4000) {
+        run(8);
+    }
+    EXPECT_GT(stack->refillFailures(), 0u);
+    EXPECT_GT(nic.rxDrops(), 0u);
+    EXPECT_LT(stack->packetsAccepted(), seq_);
+    const uint64_t acceptedUnderPressure = stack->packetsAccepted();
+
+    // Release the hoard (each release is the last reference, so the
+    // buffers quarantine), sweep, and pump: every pending slot
+    // refills and delivery resumes at full rate.
+    for (const Capability &claimed : hoard) {
+        ASSERT_EQ(kernel.allocator().free(claimed),
+                  HeapAllocator::FreeResult::Ok);
+    }
+    hoard.clear();
+    onPacket = nullptr; // Back to a well-behaved consumer.
+    kernel.allocator().synchronise();
+    stack->pump(*thread);
+    const uint64_t dropsBefore = nic.rxDrops();
+    run(8);
+    EXPECT_EQ(stack->packetsAccepted(), acceptedUnderPressure + 8);
+    EXPECT_EQ(nic.rxDrops(), dropsBefore);
+}
+
+TEST_F(NetStackTest, AcksFlowBackThroughTheClaimedTxPath)
+{
+    NetStackConfig cfg = smallConfig();
+    cfg.ackEveryN = 2; // Ack every second packet.
+    connectAndStart(cfg);
+    run(8);
+
+    EXPECT_EQ(stack->packetsAccepted(), 8u);
+    EXPECT_EQ(stack->acksSent(), 4u);
+    EXPECT_EQ(nic.txPackets(), 4u);
+    // Every transmitted ack's claim was reaped and released.
+    EXPECT_EQ(stack->txCompleted(), 4u);
+    // Acks are checksum-balanced frames, so the wire XOR stays zero.
+    EXPECT_EQ(nic.txChecksum(), 0u);
+}
+
+/** Fresh scratch directory, removed on scope exit. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : path_(std::filesystem::path(::testing::TempDir()) /
+                ("cheriot-net-" + tag))
+    {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    std::filesystem::path path_;
+};
+
+TEST(NetSnapshot, NicAndRingStateSurviveMidRunRestoreBitIdentical)
+{
+    // The IoT workload drives the real DMA path; kill it mid-run —
+    // with packets in flight through the NIC rings — restore from the
+    // newest checkpoint, and require the finished run to match an
+    // uninterrupted one bit-for-bit, including every NIC and stack
+    // counter.
+    constexpr double kSeconds = 0.6;
+    workloads::IotAppConfig reference;
+    reference.simSeconds = kSeconds;
+    const workloads::IotAppResult straight = runIotApp(reference);
+    ASSERT_TRUE(straight.ok);
+    ASSERT_GT(straight.nicRxPackets, 0u);
+
+    ScratchDir dir("midrun");
+    snapshot::CheckpointManager checkpoints(dir.str(), "net");
+    workloads::IotAppConfig interrupted = reference;
+    interrupted.checkpointIntervalCycles = 250'000;
+    interrupted.checkpoints = &checkpoints;
+    interrupted.maxRunCycles = static_cast<uint64_t>(
+        (kSeconds / 3) * interrupted.clockHz);
+    runIotApp(interrupted);
+    ASSERT_GT(checkpoints.nextSequence(), 0u);
+
+    snapshot::CheckpointManager recovered(dir.str(), "net");
+    snapshot::SnapshotImage image;
+    ASSERT_GE(recovered.loadLatest(&image), 0);
+    workloads::IotAppConfig resumed = reference;
+    resumed.resumeImage = &image;
+    const workloads::IotAppResult result = runIotApp(resumed);
+
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.finalDigest, straight.finalDigest);
+    EXPECT_EQ(result.cycles, straight.cycles);
+    EXPECT_EQ(result.packetsProcessed, straight.packetsProcessed);
+    EXPECT_EQ(result.nicRxPackets, straight.nicRxPackets);
+    EXPECT_EQ(result.nicRxDrops, straight.nicRxDrops);
+    EXPECT_EQ(result.nicRxErrors, straight.nicRxErrors);
+    EXPECT_EQ(result.nicTxPackets, straight.nicTxPackets);
+    EXPECT_EQ(result.netParseDrops, straight.netParseDrops);
+    EXPECT_EQ(result.netAcksSent, straight.netAcksSent);
+    EXPECT_EQ(result.bytesReceived, straight.bytesReceived);
+}
+
+class NicFaultContainment
+    : public ::testing::TestWithParam<fault::FaultSite>
+{};
+
+TEST_P(NicFaultContainment, CorruptedDeliveryIsContained)
+{
+    // Injected NIC corruption (descriptor or payload) may cost
+    // packets, never safety: the app keeps running, the run stays
+    // healthy, and no corrupted capability is ever dereferenced.
+    for (const uint64_t trigger : {2ull, 5ull, 9ull}) {
+        fault::FaultInjector injector(0x5eedu + trigger);
+        fault::FaultPlan plan;
+        plan.site = GetParam();
+        plan.triggerTransaction = trigger;
+        plan.param = 1 + static_cast<uint32_t>(trigger) * 7;
+        injector.arm(plan);
+
+        workloads::IotAppConfig config;
+        config.simSeconds = 0.6;
+        config.injector = &injector;
+        config.installErrorHandlers = true;
+        const workloads::IotAppResult run = runIotApp(config);
+
+        EXPECT_TRUE(injector.fired())
+            << "trigger " << trigger << " never reached";
+        EXPECT_EQ(injector.safetyViolations.value(), 0u)
+            << "corrupted capability dereferenced";
+        EXPECT_TRUE(run.ok) << "app did not survive the fault";
+        EXPECT_GT(run.jsTicks, 0u);
+        EXPECT_GT(run.packetsProcessed, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NicSites, NicFaultContainment,
+    ::testing::Values(fault::FaultSite::NicDmaCorrupt,
+                      fault::FaultSite::NicRingCorrupt),
+    [](const ::testing::TestParamInfo<fault::FaultSite> &info) {
+        return info.param == fault::FaultSite::NicDmaCorrupt
+                   ? "NicDmaCorrupt"
+                   : "NicRingCorrupt";
+    });
+
+} // namespace
+} // namespace cheriot::net

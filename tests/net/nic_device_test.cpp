@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the simulated NIC MMIO device: the descriptor-ring
+ * contract (free-running head/tail, wraparound, overflow
+ * backpressure), the §4 tagged-bus rule (DMA through the data ports
+ * clears capability micro-tags, never forges), DMA-window
+ * enforcement, the TX wire checksum and snapshot roundtrips.
+ */
+
+#include "mem/memory_map.h"
+#include "net/net_stack.h"
+#include "net/nic_device.h"
+#include "snapshot/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cheriot::net
+{
+namespace
+{
+
+class NicDeviceTest : public ::testing::Test
+{
+  protected:
+    static constexpr uint32_t kRingEntries = 4;
+    static constexpr uint32_t kBufBytes = 256;
+    static constexpr uint32_t kRingAddr = mem::kSramBase + 0x100;
+    static constexpr uint32_t kBufArea = mem::kSramBase + 0x1000;
+
+    NicDeviceTest() : sram(mem::kSramBase, 64u << 10), nic(sram) {}
+
+    uint32_t bufAddr(uint32_t slot) const
+    {
+        return kBufArea + slot * kBufBytes;
+    }
+
+    uint32_t descAddr(uint32_t slot) const
+    {
+        return kRingAddr + (slot % kRingEntries) * NicDevice::kDescBytes;
+    }
+
+    /** Post the descriptor for free-running index @p index (slot =
+     * index % ring entries) and advance RX_TAIL past it. */
+    void post(uint32_t index)
+    {
+        sram.write32(descAddr(index), bufAddr(index % kRingEntries));
+        sram.write32(descAddr(index) + 4,
+                     kBufBytes & NicDevice::kDescLenMask);
+        posted_ = index + 1;
+        nic.write32(NicDevice::kRegRxTail, posted_);
+    }
+
+    /** Program rings and window, enable RX+TX, post the full ring. */
+    void bringUp()
+    {
+        nic.write32(NicDevice::kRegRxRingBase, kRingAddr);
+        nic.write32(NicDevice::kRegRxRingCount, kRingEntries);
+        nic.write32(NicDevice::kRegDmaBase, mem::kSramBase);
+        nic.write32(NicDevice::kRegDmaSize, 64u << 10);
+        nic.write32(NicDevice::kRegIrqEnable,
+                    NicDevice::kIrqRxPacket | NicDevice::kIrqRxOverflow |
+                        NicDevice::kIrqRxError);
+        nic.write32(NicDevice::kRegCtrl,
+                    NicDevice::kCtrlRxEnable | NicDevice::kCtrlTxEnable);
+        for (uint32_t i = 0; i < kRingEntries; ++i) {
+            post(i);
+        }
+    }
+
+    bool deliverFrame(uint32_t seq, uint32_t bytes)
+    {
+        const std::vector<uint8_t> frame = buildFrame(seq, bytes);
+        return nic.deliver(frame.data(),
+                           static_cast<uint32_t>(frame.size()));
+    }
+
+    mem::TaggedMemory sram;
+    NicDevice nic;
+    uint32_t posted_ = 0;
+};
+
+TEST_F(NicDeviceTest, RxRingWrapsAroundWithFreeRunningCounters)
+{
+    bringUp();
+    // Three full ring generations: consume (clear DONE + repost) as
+    // the device produces, crossing the wrap boundary repeatedly.
+    uint32_t consumed = 0;
+    for (uint32_t seq = 0; seq < 3 * kRingEntries; ++seq) {
+        ASSERT_TRUE(deliverFrame(seq, 64)) << "seq " << seq;
+        const uint32_t slot = seq % kRingEntries;
+        const uint32_t w1 = sram.read32(descAddr(slot) + 4);
+        EXPECT_NE(w1 & NicDevice::kDescDone, 0u);
+        EXPECT_EQ(w1 & NicDevice::kDescError, 0u);
+        const std::vector<uint8_t> expect = buildFrame(seq, 64);
+        EXPECT_EQ(w1 & NicDevice::kDescLenMask, expect.size());
+        for (uint32_t off = 0; off < expect.size(); off += 4) {
+            const uint32_t want =
+                static_cast<uint32_t>(expect[off]) |
+                static_cast<uint32_t>(expect[off + 1]) << 8 |
+                static_cast<uint32_t>(expect[off + 2]) << 16 |
+                static_cast<uint32_t>(expect[off + 3]) << 24;
+            EXPECT_EQ(sram.read32(bufAddr(slot) + off), want);
+        }
+        // Driver-side consume + repost of the same slot.
+        consumed++;
+        post(posted_);
+        EXPECT_EQ(nic.read32(NicDevice::kRegRxHead), consumed);
+    }
+    // The counters are free-running: they run past the ring size
+    // instead of wrapping at it.
+    EXPECT_EQ(nic.rxPackets(), 3u * kRingEntries);
+    EXPECT_GT(nic.read32(NicDevice::kRegRxHead), kRingEntries);
+    EXPECT_EQ(nic.rxDrops(), 0u);
+    EXPECT_EQ(nic.rxErrors(), 0u);
+}
+
+TEST_F(NicDeviceTest, DmaClearsCapabilityTagsOnLandedGranules)
+{
+    bringUp();
+    // Plant a (fake-bits) capability in the slot-0 buffer: the tagged
+    // granule models a stale pointer left behind by a previous owner.
+    sram.writeCap(bufAddr(0), 0x1234'5678'9abc'def0ull, true);
+    ASSERT_TRUE(sram.tagAt(bufAddr(0)));
+
+    ASSERT_TRUE(deliverFrame(7, 64));
+    // §4 tagged-bus rule: the DMA master writes through the data
+    // ports, so the landed payload granule cannot carry a valid
+    // capability — the device can revoke, never forge.
+    EXPECT_FALSE(sram.tagAt(bufAddr(0)));
+}
+
+TEST_F(NicDeviceTest, RingFullDropsAndLatchesOverflowIrq)
+{
+    bringUp();
+    for (uint32_t seq = 0; seq < kRingEntries; ++seq) {
+        ASSERT_TRUE(deliverFrame(seq, 64));
+    }
+    // Ring exhausted (head == tail): the next packets drop on the
+    // floor — physical backpressure, visible as a counter + IRQ.
+    EXPECT_FALSE(deliverFrame(100, 64));
+    EXPECT_FALSE(deliverFrame(101, 64));
+    EXPECT_EQ(nic.rxDrops(), 2u);
+    EXPECT_EQ(nic.rxPackets(), kRingEntries);
+    EXPECT_NE(nic.read32(NicDevice::kRegIrqStatus) &
+                  NicDevice::kIrqRxOverflow,
+              0u);
+    EXPECT_TRUE(nic.interruptPending());
+
+    // Consuming one slot restores capacity.
+    post(posted_);
+    EXPECT_TRUE(deliverFrame(102, 64));
+    EXPECT_EQ(nic.rxDrops(), 2u);
+
+    // W1C acknowledges the latched overflow.
+    nic.write32(NicDevice::kRegIrqStatus, NicDevice::kIrqRxOverflow);
+    EXPECT_EQ(nic.read32(NicDevice::kRegIrqStatus) &
+                  NicDevice::kIrqRxOverflow,
+              0u);
+}
+
+TEST_F(NicDeviceTest, BufferOutsideDmaWindowIsRefusedWithErrorWriteback)
+{
+    bringUp();
+    // Shrink the window so the ring stays inside but every buffer
+    // falls outside: the descriptor fetch succeeds, the buffer DMA is
+    // refused with an error writeback the driver can observe.
+    nic.write32(NicDevice::kRegDmaSize, 0x1000);
+    EXPECT_FALSE(deliverFrame(0, 64));
+    EXPECT_EQ(nic.rxErrors(), 1u);
+    EXPECT_EQ(nic.rxPackets(), 0u);
+    const uint32_t w1 = sram.read32(descAddr(0) + 4);
+    EXPECT_NE(w1 & NicDevice::kDescDone, 0u);
+    EXPECT_NE(w1 & NicDevice::kDescError, 0u);
+    EXPECT_NE(nic.read32(NicDevice::kRegIrqStatus) &
+                  NicDevice::kIrqRxError,
+              0u);
+    // The bad descriptor was consumed: the next slot still works once
+    // the window is restored.
+    nic.write32(NicDevice::kRegDmaSize, 64u << 10);
+    EXPECT_TRUE(deliverFrame(1, 64));
+
+    // A ring outside the window is refused outright — the device
+    // cannot even write an error flag back.
+    nic.write32(NicDevice::kRegDmaBase, kBufArea);
+    EXPECT_FALSE(deliverFrame(2, 64));
+    EXPECT_EQ(nic.rxErrors(), 2u);
+}
+
+TEST_F(NicDeviceTest, UndersizedDescriptorIsRefused)
+{
+    bringUp();
+    // Slot 0 claims less capacity than the arriving frame.
+    sram.write32(descAddr(0) + 4, 16);
+    EXPECT_FALSE(deliverFrame(0, 64));
+    EXPECT_EQ(nic.rxErrors(), 1u);
+    const uint32_t w1 = sram.read32(descAddr(0) + 4);
+    EXPECT_NE(w1 & NicDevice::kDescError, 0u);
+}
+
+TEST_F(NicDeviceTest, RxDisabledDropsEverything)
+{
+    bringUp();
+    nic.write32(NicDevice::kRegCtrl, 0);
+    EXPECT_FALSE(deliverFrame(0, 64));
+    EXPECT_EQ(nic.rxDrops(), 1u);
+}
+
+TEST_F(NicDeviceTest, TxTransmitsPostedDescriptorsOntoTheWire)
+{
+    bringUp();
+    nic.write32(NicDevice::kRegTxRingBase, kRingAddr + 0x80);
+    nic.write32(NicDevice::kRegTxRingCount, 2);
+
+    const std::vector<uint8_t> frame = buildFrame(3, 32);
+    const uint32_t payloadAddr = kBufArea + 0x800;
+    uint32_t wire = 0;
+    for (uint32_t off = 0; off < frame.size(); off += 4) {
+        const uint32_t word =
+            static_cast<uint32_t>(frame[off]) |
+            static_cast<uint32_t>(frame[off + 1]) << 8 |
+            static_cast<uint32_t>(frame[off + 2]) << 16 |
+            static_cast<uint32_t>(frame[off + 3]) << 24;
+        sram.write32(payloadAddr + off, word);
+        wire ^= word;
+    }
+    sram.write32(kRingAddr + 0x80, payloadAddr);
+    sram.write32(kRingAddr + 0x84,
+                 static_cast<uint32_t>(frame.size()));
+    nic.write32(NicDevice::kRegTxHead, 1);
+    nic.write32(NicDevice::kRegTxKick, 1);
+
+    EXPECT_EQ(nic.txPackets(), 1u);
+    EXPECT_EQ(nic.read32(NicDevice::kRegTxTail), 1u);
+    // A checksum-balanced frame XORs to zero on the wire.
+    EXPECT_EQ(nic.txChecksum(), wire);
+    EXPECT_EQ(wire, 0u);
+    EXPECT_NE(sram.read32(kRingAddr + 0x84) & NicDevice::kDescDone, 0u);
+}
+
+TEST_F(NicDeviceTest, SnapshotRoundtripRestoresRegistersAndCounters)
+{
+    bringUp();
+    for (uint32_t seq = 0; seq < kRingEntries + 2; ++seq) {
+        deliverFrame(seq, 64); // Last two drop: ring exhausted.
+    }
+
+    snapshot::SnapshotWriter sw;
+    nic.serialize(sw.beginSection("nic"));
+    sw.endSection();
+    const snapshot::SnapshotImage image = sw.finish();
+
+    NicDevice restored(sram);
+    snapshot::SnapshotReader sr(image);
+    ASSERT_TRUE(sr.valid());
+    snapshot::Reader r = sr.section("nic");
+    ASSERT_TRUE(restored.deserialize(r));
+
+    for (const uint32_t reg :
+         {NicDevice::kRegCtrl, NicDevice::kRegIrqStatus,
+          NicDevice::kRegIrqEnable, NicDevice::kRegRxRingBase,
+          NicDevice::kRegRxRingCount, NicDevice::kRegRxHead,
+          NicDevice::kRegRxTail, NicDevice::kRegDmaBase,
+          NicDevice::kRegDmaSize, NicDevice::kRegRxPackets,
+          NicDevice::kRegRxDrops, NicDevice::kRegRxErrors,
+          NicDevice::kRegTxChecksum}) {
+        EXPECT_EQ(restored.read32(reg), nic.read32(reg)) << reg;
+    }
+    EXPECT_EQ(restored.lastRxAddr(), nic.lastRxAddr());
+    EXPECT_EQ(restored.lastRxBytes(), nic.lastRxBytes());
+
+    // The restored device continues the ring exactly where the
+    // original stood: still full, so the next packet drops.
+    const std::vector<uint8_t> frame = buildFrame(99, 64);
+    EXPECT_FALSE(
+        restored.deliver(frame.data(),
+                         static_cast<uint32_t>(frame.size())));
+    EXPECT_EQ(restored.rxDrops(), nic.rxDrops() + 1);
+}
+
+} // namespace
+} // namespace cheriot::net

@@ -80,6 +80,35 @@ TEST(Corpus, CleanTwinsProduceZeroFindings)
     }
 }
 
+TEST(LintCorpus, ViolatingImagesAreDetectedAndCleanTwinsAreClean)
+{
+    // The manifest-level half of the contract: images whose MMIO
+    // imports break the default policy (a rogue compartment importing
+    // the NIC window beside net_driver) must yield a Lint finding;
+    // their clean twins must yield none.
+    const auto &cases = lintCorpus();
+    ASSERT_FALSE(cases.empty());
+    size_t violating = 0;
+    for (const auto &c : cases) {
+        const Report report = c.run();
+        if (c.violating) {
+            ++violating;
+            bool hit = false;
+            for (const auto &f : report.findings) {
+                hit |= f.cls == FindingClass::Lint;
+            }
+            EXPECT_TRUE(hit) << c.name << " missed:\n"
+                             << report.toString();
+        } else {
+            EXPECT_TRUE(report.ok())
+                << c.name << " false positive:\n"
+                << report.toString();
+        }
+    }
+    EXPECT_GE(violating, 1u);
+    EXPECT_GE(cases.size() - violating, 1u);
+}
+
 TEST(Corpus, EveryFindingClassIsExercised)
 {
     std::set<FindingClass> covered;
