@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Fleet-scale chaos campaign: N independently-owned Machines on the
+ * virtual switch, each speaking the reliable (ARQ) fleet protocol,
+ * driven through a warmup → chaos → heal → drain schedule. The chaos
+ * window applies a ≥10% drop/corrupt/duplicate/reorder/delay profile
+ * to every link, opens and heals seeded partitions, stalls switch
+ * ports, bursts NIC link drops, and quarantines one device with an
+ * injected ring-corruption fault before restarting it in place.
+ *
+ * The campaign gates on the fleet invariants:
+ *  - zero corrupted-capability dereferences fleet-wide (every node's
+ *    injector plus the fabric injector report no safety violations);
+ *  - exactly-once delivery for every accepted message between
+ *    surviving nodes, despite forced duplication and reordering;
+ *  - at-least-once (all incarnations) into the restarted node, and
+ *    at-most-once per incarnation — restart slides, never replays;
+ *  - full reconvergence after heal: the fabric drains, no peer is
+ *    left presumed-dead;
+ *  - per-device heap audit: every node's free-byte count returns to
+ *    its post-boot baseline after a final revocation sweep.
+ *
+ * Emits BENCH_fleet.json: aggregate frames/sec through the fabric,
+ * per-device p50/p99 delivery latency (in rounds), and the
+ * retransmit/backoff/probe/rejoin counters. On failure it prints the
+ * exact seed, the failing link/node, and the chaos schedule with
+ * injection indices, plus a one-command repro line.
+ */
+
+#include "net/switch.h"
+#include "sim/fleet.h"
+#include "util/log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cheriot;
+
+namespace
+{
+
+struct LatencyRow
+{
+    uint32_t node = 0;
+    uint64_t deliveries = 0;
+    uint32_t p50 = 0;
+    uint32_t p99 = 0;
+};
+
+struct BenchRow
+{
+    std::string core;
+    uint32_t nodes = 0;
+    uint32_t rounds = 0;
+    uint64_t seed = 0;
+    double hostSeconds = 0.0;
+    double framesPerSec = 0.0;
+    uint64_t fabricFrames = 0;
+    uint64_t sendsAccepted = 0;
+    uint64_t amnestySends = 0;
+    uint64_t sendRefusals = 0;
+    uint64_t delivered = 0;
+    uint64_t retransmits = 0;
+    uint64_t acksSent = 0;
+    uint64_t probesSent = 0;
+    uint64_t rejoins = 0;
+    uint64_t peerDeaths = 0;
+    uint64_t duplicatesDropped = 0;
+    uint64_t refillTimeouts = 0;
+    uint64_t switchQueueDrops = 0;
+    uint64_t switchFaultDrops = 0;
+    uint64_t switchCorrupted = 0;
+    uint64_t switchDuplicated = 0;
+    uint64_t switchReordered = 0;
+    uint64_t switchDelayed = 0;
+    uint64_t switchPartitionDrops = 0;
+    uint64_t switchStallTicks = 0;
+    uint64_t nicLinkDrops = 0;
+    uint64_t chaosEvents = 0;
+    uint64_t safetyViolations = 0;
+    uint32_t restartIncarnation = 0;
+    bool drained = false;
+    bool ok = false;
+    std::vector<LatencyRow> latency;
+    std::vector<std::string> failures;
+};
+
+uint32_t
+percentile(std::vector<uint32_t> &values, uint32_t p)
+{
+    if (values.empty()) {
+        return 0;
+    }
+    std::sort(values.begin(), values.end());
+    return values[(values.size() - 1) * p / 100];
+}
+
+void
+fail(BenchRow &row, const std::string &what)
+{
+    row.failures.push_back(what);
+}
+
+/** Exactly-once gate, restart-aware (see file comment). */
+void
+checkDeliveryContract(sim::Fleet &fleet, uint32_t quarantined,
+                      BenchRow &row)
+{
+    const uint32_t qMac = quarantined + 1;
+    for (uint32_t id = 0; id < fleet.size(); ++id) {
+        for (const sim::FleetSend &send : fleet.node(id).sends()) {
+            sim::FleetNode &dst = fleet.node(send.dstMac - 1);
+            const auto &counts = dst.deliveryCounts();
+            const auto it = counts.find(send.msgId);
+            const uint32_t seen = it == counts.end() ? 0 : it->second;
+            if (send.dstMac == qMac) {
+                // Into the restarted node: the pre-restart
+                // incarnation may have consumed it, so require
+                // at-least-once across incarnations and
+                // at-most-once within the current one.
+                if (seen > 1) {
+                    fail(row, "msg " + std::to_string(send.msgId) +
+                                  " from node " + std::to_string(id) +
+                                  " replayed into restarted node");
+                }
+                const auto &allTime = dst.allTimeDeliveryCounts();
+                if (allTime.count(send.msgId) == 0) {
+                    fail(row, "msg " + std::to_string(send.msgId) +
+                                  " from node " + std::to_string(id) +
+                                  " lost across the restart");
+                }
+            } else if (seen != 1) {
+                fail(row, "msg " + std::to_string(send.msgId) +
+                              " from node " + std::to_string(id) +
+                              " to mac " +
+                              std::to_string(send.dstMac) +
+                              " delivered " + std::to_string(seen) +
+                              "x (want exactly once)");
+            }
+        }
+        // Amnesty sends (accepted by a wiped incarnation): never
+        // more than once — a restart must not replay.
+        for (const sim::FleetSend &send :
+             fleet.node(id).amnestySends()) {
+            sim::FleetNode &dst = fleet.node(send.dstMac - 1);
+            const auto &counts = dst.deliveryCounts();
+            const auto it = counts.find(send.msgId);
+            if (it != counts.end() && it->second > 1) {
+                fail(row, "amnesty msg " + std::to_string(send.msgId) +
+                              " delivered " +
+                              std::to_string(it->second) + "x");
+            }
+        }
+    }
+}
+
+BenchRow
+runCampaign(const sim::CoreConfig &core, const std::string &name,
+            uint32_t nodes, uint32_t rounds, uint64_t seed)
+{
+    BenchRow row;
+    row.core = name;
+    row.nodes = nodes;
+    row.rounds = rounds;
+    row.seed = seed;
+
+    sim::FleetConfig fc;
+    fc.nodes = nodes;
+    fc.seed = seed;
+    fc.core = core;
+    fc.stack.arqRtoStartCycles = 1024;
+    fc.stack.arqRtoCapCycles = 16384;
+    fc.stack.arqMaxRetries = 6;
+    fc.stack.arqProbeIntervalCycles = 4096;
+    sim::Fleet fleet(fc);
+
+    // Schedule: 1/5 clean warmup, 3/5 chaos window, 1/5 active heal
+    // tail, then a quiet drain until the fabric and every ARQ idle.
+    const uint32_t warmup = rounds / 5;
+    const uint32_t chaosLen = rounds * 3 / 5;
+    sim::ChaosConfig cc;
+    cc.startRound = warmup;
+    cc.endRound = warmup + chaosLen;
+    cc.linkFaults.dropPermille = 100;      // ≥10% of frames dropped,
+    cc.linkFaults.corruptPermille = 100;   // corrupted,
+    cc.linkFaults.duplicatePermille = 100; // duplicated,
+    cc.linkFaults.reorderPermille = 100;   // reordered,
+    cc.linkFaults.delayPermille = 100;     // and delayed.
+    cc.partitionPeriod = std::max(4u, chaosLen / 6);
+    cc.partitionLength = std::max(4u, chaosLen / 8);
+    cc.stallPeriod = 11;
+    cc.linkDropPeriod = 9;
+    cc.quarantineNode = static_cast<int32_t>(nodes / 2);
+    cc.quarantineRound = warmup + chaosLen / 3;
+    cc.restartDelay = 4;
+    cc.quarantineSite = fault::FaultSite::NicRingCorrupt;
+    sim::ChaosEngine chaos(seed, cc);
+    fleet.setChaos(&chaos);
+
+    sim::FleetTraffic traffic;
+    traffic.sendPermille = 600;
+    traffic.payloadWords = 8;
+
+    const auto startWall = std::chrono::steady_clock::now();
+    fleet.run(rounds, traffic);
+    row.drained = fleet.drain(/*maxRounds=*/rounds * 40);
+    const auto wall = std::chrono::steady_clock::now() - startWall;
+    row.hostSeconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(wall)
+            .count();
+
+    // ---- Metrics ----------------------------------------------------
+    row.fabricFrames = fleet.fabric().totalDelivered();
+    row.framesPerSec =
+        row.hostSeconds > 0.0
+            ? static_cast<double>(row.fabricFrames) / row.hostSeconds
+            : 0.0;
+    row.chaosEvents = chaos.history().size();
+    const uint32_t quarantined =
+        static_cast<uint32_t>(cc.quarantineNode);
+    row.restartIncarnation = fleet.node(quarantined).incarnation();
+    for (uint32_t id = 0; id < nodes; ++id) {
+        sim::FleetNode &node = fleet.node(id);
+        net::NetStack &stack = node.stack();
+        row.sendsAccepted += node.sends().size();
+        row.amnestySends += node.amnestySends().size();
+        row.sendRefusals += node.sendRefusals();
+        row.delivered += stack.arqDelivered();
+        row.retransmits += stack.arqRetransmits();
+        row.acksSent += stack.arqAcksSent();
+        row.probesSent += stack.arqProbesSent();
+        row.rejoins += stack.arqRejoins();
+        row.peerDeaths += stack.arqPeerDeaths();
+        row.duplicatesDropped += stack.arqDuplicatesDropped();
+        row.refillTimeouts += stack.refillTimeouts();
+        row.nicLinkDrops += node.injector().nicLinkDrops.value();
+
+        const net::VirtualSwitch::PortCounters &port =
+            fleet.fabric().counters(id);
+        row.switchQueueDrops += port.queueDrops;
+        row.switchFaultDrops += port.faultDrops;
+        row.switchCorrupted += port.corrupted;
+        row.switchDuplicated += port.duplicated;
+        row.switchReordered += port.reordered;
+        row.switchDelayed += port.delayed;
+        row.switchPartitionDrops += port.partitionDrops;
+        row.switchStallTicks += port.stallTicks;
+
+        std::vector<uint32_t> lats;
+        lats.reserve(node.deliveries().size());
+        for (const sim::FleetDelivery &d : node.deliveries()) {
+            lats.push_back(d.recvRound - d.sentRound);
+        }
+        LatencyRow lat;
+        lat.node = id;
+        lat.deliveries = node.deliveries().size();
+        lat.p50 = percentile(lats, 50);
+        lat.p99 = percentile(lats, 99);
+        row.latency.push_back(lat);
+    }
+    row.safetyViolations = fleet.totalSafetyViolations();
+
+    // ---- Invariant gate ---------------------------------------------
+    if (!row.drained) {
+        fail(row, "fleet failed to drain after heal");
+    }
+    if (row.safetyViolations != 0) {
+        fail(row, "corrupted-capability dereference observed (" +
+                      std::to_string(row.safetyViolations) + ")");
+    }
+    if (fleet.anyPeerDead()) {
+        fail(row, "a peer is still presumed dead after heal+drain");
+    }
+    if (row.restartIncarnation != 1) {
+        fail(row, "quarantined node " + std::to_string(quarantined) +
+                      " did not restart exactly once");
+    }
+    checkDeliveryContract(fleet, quarantined, row);
+    for (uint32_t id = 0; id < nodes; ++id) {
+        const uint64_t baseline = fleet.node(id).baselineFreeBytes();
+        const uint64_t now = fleet.node(id).freeBytesNow();
+        if (now != baseline) {
+            fail(row, "node " + std::to_string(id) + " leaked " +
+                          std::to_string(static_cast<int64_t>(
+                              baseline - now)) +
+                          " heap bytes");
+        }
+    }
+    // The chaos actually bit: a campaign that never exercised the
+    // fault paths proves nothing.
+    if (row.switchCorrupted == 0 || row.switchDuplicated == 0 ||
+        row.switchReordered == 0 || row.retransmits == 0) {
+        fail(row, "chaos window left a fault class unexercised");
+    }
+    row.ok = row.failures.empty();
+
+    if (!row.ok) {
+        std::fprintf(stderr,
+                     "\nfleet_chaos FAILED (core=%s seed=0x%llx)\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(seed));
+        for (const std::string &why : row.failures) {
+            std::fprintf(stderr, "  - %s\n", why.c_str());
+        }
+        std::fprintf(stderr, "chaos schedule (injection index, round, "
+                             "event, link/node, param):\n");
+        for (const sim::ChaosEventRecord &event : chaos.history()) {
+            std::fprintf(stderr, "  [%3u] round %4u %-16s target=%u "
+                                 "param=0x%x\n",
+                         event.index, event.round, event.kind.c_str(),
+                         event.target, event.param);
+        }
+        std::fprintf(stderr,
+                     "repro: fleet_chaos --nodes %u --rounds %u "
+                     "--seed 0x%llx\n",
+                     nodes, rounds,
+                     static_cast<unsigned long long>(seed));
+    }
+    return row;
+}
+
+void
+printRow(const BenchRow &row)
+{
+    uint32_t p99Max = 0;
+    for (const LatencyRow &lat : row.latency) {
+        p99Max = std::max(p99Max, lat.p99);
+    }
+    std::printf("%-6s %3u nodes %5u rounds  %8.0f frames/s (host)  "
+                "sends=%llu rtx=%llu dups=%llu rejoins=%llu "
+                "p99<=%u rounds  %s\n",
+                row.core.c_str(), row.nodes, row.rounds,
+                row.framesPerSec,
+                static_cast<unsigned long long>(row.sendsAccepted),
+                static_cast<unsigned long long>(row.retransmits),
+                static_cast<unsigned long long>(row.duplicatesDropped),
+                static_cast<unsigned long long>(row.rejoins), p99Max,
+                row.ok ? "OK" : "FAILED");
+}
+
+void
+writeJson(const std::vector<BenchRow> &rows, const std::string &path,
+          bool ok)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        warn("fleet_chaos: cannot write %s", path.c_str());
+        return;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"fleet_chaos\",\n");
+    std::fprintf(out, "  \"ok\": %s,\n  \"rows\": [\n",
+                 ok ? "true" : "false");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const BenchRow &r = rows[i];
+        std::fprintf(
+            out,
+            "    {\"core\": \"%s\", \"nodes\": %u, \"rounds\": %u, "
+            "\"seed\": %llu, \"host_seconds\": %.3f, "
+            "\"frames_per_sec\": %.0f, \"fabric_frames\": %llu, "
+            "\"sends\": %llu, \"amnesty_sends\": %llu, "
+            "\"send_refusals\": %llu, \"delivered\": %llu, "
+            "\"retransmits\": %llu, \"acks\": %llu, "
+            "\"probes\": %llu, \"rejoins\": %llu, "
+            "\"peer_deaths\": %llu, \"duplicates_dropped\": %llu, "
+            "\"refill_timeouts\": %llu, \"queue_drops\": %llu, "
+            "\"fault_drops\": %llu, \"corrupted\": %llu, "
+            "\"duplicated\": %llu, \"reordered\": %llu, "
+            "\"delayed\": %llu, \"partition_drops\": %llu, "
+            "\"stall_ticks\": %llu, \"nic_link_drops\": %llu, "
+            "\"chaos_events\": %llu, \"safety_violations\": %llu, "
+            "\"restart_incarnation\": %u, \"drained\": %s, "
+            "\"latency\": [",
+            r.core.c_str(), r.nodes, r.rounds,
+            static_cast<unsigned long long>(r.seed), r.hostSeconds,
+            r.framesPerSec,
+            static_cast<unsigned long long>(r.fabricFrames),
+            static_cast<unsigned long long>(r.sendsAccepted),
+            static_cast<unsigned long long>(r.amnestySends),
+            static_cast<unsigned long long>(r.sendRefusals),
+            static_cast<unsigned long long>(r.delivered),
+            static_cast<unsigned long long>(r.retransmits),
+            static_cast<unsigned long long>(r.acksSent),
+            static_cast<unsigned long long>(r.probesSent),
+            static_cast<unsigned long long>(r.rejoins),
+            static_cast<unsigned long long>(r.peerDeaths),
+            static_cast<unsigned long long>(r.duplicatesDropped),
+            static_cast<unsigned long long>(r.refillTimeouts),
+            static_cast<unsigned long long>(r.switchQueueDrops),
+            static_cast<unsigned long long>(r.switchFaultDrops),
+            static_cast<unsigned long long>(r.switchCorrupted),
+            static_cast<unsigned long long>(r.switchDuplicated),
+            static_cast<unsigned long long>(r.switchReordered),
+            static_cast<unsigned long long>(r.switchDelayed),
+            static_cast<unsigned long long>(r.switchPartitionDrops),
+            static_cast<unsigned long long>(r.switchStallTicks),
+            static_cast<unsigned long long>(r.nicLinkDrops),
+            static_cast<unsigned long long>(r.chaosEvents),
+            static_cast<unsigned long long>(r.safetyViolations),
+            r.restartIncarnation, r.drained ? "true" : "false");
+        for (size_t j = 0; j < r.latency.size(); ++j) {
+            const LatencyRow &lat = r.latency[j];
+            std::fprintf(out,
+                         "{\"node\": %u, \"deliveries\": %llu, "
+                         "\"p50_rounds\": %u, \"p99_rounds\": %u}%s",
+                         lat.node,
+                         static_cast<unsigned long long>(
+                             lat.deliveries),
+                         lat.p50, lat.p99,
+                         j + 1 < r.latency.size() ? ", " : "");
+        }
+        std::fprintf(out, "], \"ok\": %s}%s\n",
+                     r.ok ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t nodes = 16;
+    uint32_t rounds = 150;
+    uint64_t seed = 0xf1ee7c8a;
+    std::string outPath = "BENCH_fleet.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+            nodes = static_cast<uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--rounds") == 0 &&
+                   i + 1 < argc) {
+            rounds = static_cast<uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: fleet_chaos [--nodes N] [--rounds N] "
+                         "[--seed S] [--out FILE]\n");
+            return 2;
+        }
+    }
+    if (nodes < 4) {
+        std::fprintf(stderr, "fleet_chaos: need at least 4 nodes\n");
+        return 2;
+    }
+
+    std::printf("fleet chaos campaign: %u nodes, %u rounds, "
+                "seed 0x%llx\n\n",
+                nodes, rounds, static_cast<unsigned long long>(seed));
+    std::vector<BenchRow> rows;
+    rows.push_back(runCampaign(sim::CoreConfig::ibex(), "ibex", nodes,
+                               rounds, seed));
+    printRow(rows.back());
+    rows.push_back(runCampaign(sim::CoreConfig::flute(), "flute",
+                               nodes, rounds, seed));
+    printRow(rows.back());
+
+    bool ok = true;
+    for (const auto &row : rows) {
+        ok = ok && row.ok;
+    }
+    writeJson(rows, outPath, ok);
+    std::printf("\nwrote %s\nfleet_chaos %s\n", outPath.c_str(),
+                ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}

@@ -41,6 +41,8 @@ faultSiteName(FaultSite site)
       case FaultSite::MallocStall: return "malloc-stall";
       case FaultSite::NicDmaCorrupt: return "nic-dma-corrupt";
       case FaultSite::NicRingCorrupt: return "nic-ring-corrupt";
+      case FaultSite::NicLinkDrop: return "nic-link-drop";
+      case FaultSite::SwitchPortStall: return "switch-port-stall";
       case FaultSite::kCount: break;
     }
     return "unknown";
@@ -65,6 +67,8 @@ FaultInjector::FaultInjector(uint64_t seed)
     stats_.registerCounter("kicksObserved", kicksObserved);
     stats_.registerCounter("nicPayloadFlips", nicPayloadFlips);
     stats_.registerCounter("nicDescriptorFlips", nicDescriptorFlips);
+    stats_.registerCounter("nicLinkDrops", nicLinkDrops);
+    stats_.registerCounter("switchPortStalls", switchPortStalls);
     stats_.registerCounter("safetyViolations", safetyViolations);
 }
 
@@ -114,6 +118,19 @@ FaultInjector::planNext(uint64_t horizonCycles, uint32_t memBase,
         // param picks the granule and bit at delivery time.
         plan.triggerTransaction = rng.below(16);
         plan.param = static_cast<uint32_t>(rng.next64());
+        break;
+      case FaultSite::NicLinkDrop:
+        // Fires on the Nth frame arrival; a short burst, so a
+        // retransmitting sender always gets through eventually.
+        plan.triggerTransaction = rng.below(64);
+        plan.param = 1 + rng.below(4);
+        break;
+      case FaultSite::SwitchPortStall:
+        // Fires on the Nth fabric tick; addr selects the port
+        // (reduced modulo the port count at delivery).
+        plan.triggerTransaction = rng.below(256);
+        plan.addr = rng.next();
+        plan.param = 1 + rng.below(32); // Stall window in ticks.
         break;
       case FaultSite::RevokerStuckEpoch:
         break;
@@ -199,6 +216,8 @@ FaultInjector::fire(uint64_t nowCycle)
       case FaultSite::MallocStall:
       case FaultSite::NicDmaCorrupt:
       case FaultSite::NicRingCorrupt:
+      case FaultSite::NicLinkDrop:
+      case FaultSite::SwitchPortStall:
       case FaultSite::kCount:
         break; // Event-triggered: delivered by their own hooks.
     }
@@ -219,7 +238,9 @@ FaultInjector::tick(uint64_t nowCycle)
         plan_.site == FaultSite::BusDelay ||
         plan_.site == FaultSite::MallocStall ||
         plan_.site == FaultSite::NicDmaCorrupt ||
-        plan_.site == FaultSite::NicRingCorrupt) {
+        plan_.site == FaultSite::NicRingCorrupt ||
+        plan_.site == FaultSite::NicLinkDrop ||
+        plan_.site == FaultSite::SwitchPortStall) {
         return; // Event-triggered, not cycle-triggered.
     }
     if (nowCycle >= plan_.triggerCycle) {
@@ -316,6 +337,42 @@ FaultInjector::nicDmaLanded(uint32_t addr, uint32_t bytes)
     }
     sram_->injectDataFlip(target, (plan_.param >> 8) % 64,
                           /*failSafe=*/!allowForgery_);
+}
+
+bool
+FaultInjector::nicLinkFrameArriving()
+{
+    const uint64_t ordinal = nicArrivals_++;
+    if (linkDropBurstLeft_ > 0) {
+        linkDropBurstLeft_--;
+        nicLinkDrops++;
+        return true;
+    }
+    if (!armed_ || fired_ || plan_.site != FaultSite::NicLinkDrop ||
+        ordinal < plan_.triggerTransaction) {
+        return false;
+    }
+    fired_ = true;
+    faultsInjected++;
+    nicLinkDrops++;
+    linkDropBurstLeft_ = plan_.param > 0 ? plan_.param - 1 : 0;
+    return true;
+}
+
+bool
+FaultInjector::switchTick(uint32_t *portSel, uint32_t *stallTicks)
+{
+    const uint64_t ordinal = switchTicks_++;
+    if (!armed_ || fired_ || plan_.site != FaultSite::SwitchPortStall ||
+        ordinal < plan_.triggerTransaction) {
+        return false;
+    }
+    fired_ = true;
+    faultsInjected++;
+    switchPortStalls++;
+    *portSel = plan_.addr;
+    *stallTicks = plan_.param;
+    return true;
 }
 
 void

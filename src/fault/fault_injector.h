@@ -72,6 +72,10 @@ enum class FaultSite : uint8_t
                           ///< landing packet payload.
     NicRingCorrupt,       ///< A bit flips in the RX descriptor the
                           ///< NIC is about to fetch.
+    NicLinkDrop,          ///< The link eats a burst of arriving
+                          ///< frames before the NIC sees them.
+    SwitchPortStall,      ///< A switch port's egress freezes for a
+                          ///< window; its bounded queue backs up.
     kCount,
 };
 
@@ -169,6 +173,23 @@ class FaultInjector
     /** Payload landed at [@p addr, @p addr + @p bytes); an armed
      * NicDmaCorrupt plan flips a bit in one landed granule. */
     void nicDmaLanded(uint32_t addr, uint32_t bytes);
+    /**
+     * A frame is arriving on the wire, before the NIC sees it. An
+     * armed NicLinkDrop plan returns true for a burst of plan.param
+     * frames starting at the plan's arrival ordinal: the link ate
+     * them. Counts its own ordinal stream (arrivals, not deliveries)
+     * so arming it never shifts the NIC corruption sites' triggers.
+     */
+    bool nicLinkFrameArriving();
+    /** @} */
+
+    /** @name Switch hook (called by VirtualSwitch::tick) @{ */
+    /**
+     * An armed SwitchPortStall plan fires on the Nth fabric tick:
+     * returns true once with the port selector (reduce modulo the
+     * port count) and the stall window length in ticks.
+     */
+    bool switchTick(uint32_t *portSel, uint32_t *stallTicks);
     /** @} */
 
     /** @name Safety oracle @{ */
@@ -204,6 +225,8 @@ class FaultInjector
     Counter kicksObserved;      ///< Recovery kicks that cleared us.
     Counter nicPayloadFlips;    ///< Corrupted NIC payload beats.
     Counter nicDescriptorFlips; ///< Corrupted NIC RX descriptors.
+    Counter nicLinkDrops;       ///< Frames eaten by the link.
+    Counter switchPortStalls;   ///< Switch-port stall windows opened.
     Counter safetyViolations;   ///< MUST stay zero outside forgery mode.
 
   private:
@@ -224,6 +247,9 @@ class FaultInjector
     /** Delivery state. */
     uint64_t busTransactions_ = 0;
     uint64_t nicDeliveries_ = 0;
+    uint64_t nicArrivals_ = 0;
+    uint64_t switchTicks_ = 0;
+    uint32_t linkDropBurstLeft_ = 0;
     uint32_t pendingSpurious_ = 0;
     uint32_t spuriousCause_ = 0;
     bool stalled_ = false;

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The fleet wire format: the frame layout every Machine in a fleet
+ * puts on the virtual switch fabric.
+ *
+ * A frame is a whole number of little-endian 32-bit words:
+ *
+ *   word 0   destination node id ("MAC"; 0xffffffff broadcasts)
+ *   word 1   source node id
+ *   word 2   frame type (data / ack / probe)
+ *   word 3   ARQ sequence number (data: the message's sequence;
+ *            ack: the sequence being acknowledged; probe: receiver's
+ *            contiguous-delivery base, informational)
+ *   word 4+  payload words (data frames only)
+ *   last     checksum word balancing the XOR of the whole frame to
+ *            zero — the same invariant the PR-5 firewall already
+ *            enforces, so corruption anywhere (header included) dies
+ *            at the checksum, before the ARQ layer or any consumer
+ *            sees a byte.
+ *
+ * The header is deliberately *data*, not capabilities: a frame
+ * crosses the host-modelled wire as raw bytes, and the tagged-bus
+ * rule (§4) guarantees the receiving NIC's DMA can never materialise
+ * authority from them.
+ */
+
+#ifndef CHERIOT_NET_FLEET_FRAME_H
+#define CHERIOT_NET_FLEET_FRAME_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cheriot::net
+{
+
+/** @name Fleet frame geometry @{ */
+constexpr uint32_t kFleetHeaderWords = 4;
+constexpr uint32_t kFleetHeaderBytes = kFleetHeaderWords * 4;
+/** Header + checksum: the smallest well-formed fleet frame. */
+constexpr uint32_t kFleetMinFrameBytes = kFleetHeaderBytes + 4;
+constexpr uint32_t kFleetBroadcast = 0xffffffffu;
+/** @} */
+
+/** Frame types (word 2). */
+enum class FleetFrameType : uint32_t
+{
+    Data = 1,  ///< Carries payload; ARQ-sequenced, acked, deduped.
+    Ack = 2,   ///< Acknowledges one data sequence number.
+    Probe = 3, ///< Liveness probe while a peer is presumed dead.
+};
+
+struct FleetFrameHeader
+{
+    uint32_t dst = 0;
+    uint32_t src = 0;
+    FleetFrameType type = FleetFrameType::Data;
+    uint32_t seq = 0;
+};
+
+/** Read one little-endian word out of a raw frame. */
+inline uint32_t
+fleetFrameWord(const uint8_t *frame, uint32_t wordIndex)
+{
+    const uint8_t *p = frame + wordIndex * 4;
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+/** Destination id of a raw frame (the only field the switch needs;
+ * undersized frames route as broadcast and die at the checksum). */
+inline uint32_t
+fleetFrameDst(const uint8_t *frame, uint32_t bytes)
+{
+    return bytes >= 4 ? fleetFrameWord(frame, 0) : kFleetBroadcast;
+}
+
+/** Source id of a raw frame (what the switch's MAC table learns). */
+inline uint32_t
+fleetFrameSrc(const uint8_t *frame, uint32_t bytes)
+{
+    return bytes >= 8 ? fleetFrameWord(frame, 1) : kFleetBroadcast;
+}
+
+/**
+ * Build a checksum-balanced fleet frame on the host side (traffic
+ * generators and tests; guest senders assemble the same layout word
+ * by word through their capabilities).
+ */
+inline std::vector<uint8_t>
+buildFleetFrame(const FleetFrameHeader &header,
+                const std::vector<uint32_t> &payload)
+{
+    const uint32_t words =
+        kFleetHeaderWords + static_cast<uint32_t>(payload.size()) + 1;
+    std::vector<uint8_t> frame(words * 4);
+    uint32_t checksum = 0;
+    const auto put = [&](uint32_t index, uint32_t word) {
+        checksum ^= word;
+        frame[index * 4 + 0] = static_cast<uint8_t>(word);
+        frame[index * 4 + 1] = static_cast<uint8_t>(word >> 8);
+        frame[index * 4 + 2] = static_cast<uint8_t>(word >> 16);
+        frame[index * 4 + 3] = static_cast<uint8_t>(word >> 24);
+    };
+    put(0, header.dst);
+    put(1, header.src);
+    put(2, static_cast<uint32_t>(header.type));
+    put(3, header.seq);
+    for (uint32_t i = 0; i < payload.size(); ++i) {
+        put(kFleetHeaderWords + i, payload[i]);
+    }
+    put(words - 1, checksum);
+    return frame;
+}
+
+} // namespace cheriot::net
+
+#endif // CHERIOT_NET_FLEET_FRAME_H

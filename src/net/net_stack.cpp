@@ -2,8 +2,11 @@
 
 #include "mem/memory_map.h"
 #include "rtos/kernel.h"
+#include "sim/machine.h"
 #include "snapshot/serializer.h"
 #include "util/log.h"
+
+#include <algorithm>
 
 namespace cheriot::net
 {
@@ -71,6 +74,15 @@ NetStack::NetStack(rtos::Kernel &kernel, NicDevice &nic,
         config_.bufBytes < 16) {
         fatal("net: degenerate stack configuration");
     }
+    if (config_.reliable &&
+        (config_.arqWindow == 0 ||
+         config_.arqWindow >= config_.arqDedupWindow)) {
+        // The dedup span must exceed the in-flight span: a live
+        // sender can then never push a fresh seq past the receiver's
+        // window, so a far-ahead seq always means receiver restart.
+        fatal("net: ARQ window must be positive and below the dedup "
+              "window");
+    }
 }
 
 uint32_t
@@ -108,9 +120,23 @@ NetStack::connect(const std::vector<NetConsumer> &consumers)
              return processBody(ctx, args);
          },
          /*interruptsDisabled=*/false});
+    const uint32_t sendIndex = firewall_.addExport(
+        {"send",
+         [this](CompartmentContext &ctx, ArgVec &args) {
+             return sendBody(ctx, args);
+         },
+         /*interruptsDisabled=*/false});
+    const uint32_t serviceIndex = firewall_.addExport(
+        {"service",
+         [this](CompartmentContext &ctx, ArgVec &) {
+             return serviceBody(ctx);
+         },
+         /*interruptsDisabled=*/false});
     pumpImport_ = kernel_.importOf(driver_, pumpIndex);
     txImport_ = kernel_.importOf(driver_, txIndex);
     processImport_ = kernel_.importOf(firewall_, processIndex);
+    sendImport_ = kernel_.importOf(firewall_, sendIndex);
+    serviceImport_ = kernel_.importOf(firewall_, serviceIndex);
 }
 
 void
@@ -176,7 +202,22 @@ uint32_t
 NetStack::pump(rtos::Thread &thread)
 {
     const CallResult result = kernel_.call(thread, pumpImport_, {});
+    if (config_.reliable) {
+        kernel_.call(thread, serviceImport_, {});
+    }
     return result.ok() ? result.value.address() : 0;
+}
+
+bool
+NetStack::sendMessage(rtos::Thread &thread, uint32_t dst,
+                      uint32_t payloadWords, uint32_t w0, uint32_t w1)
+{
+    ArgVec args = ArgVec::of({Capability().withAddress(dst),
+                              Capability().withAddress(payloadWords),
+                              Capability().withAddress(w0),
+                              Capability().withAddress(w1)});
+    const CallResult result = kernel_.call(thread, sendImport_, args);
+    return result.ok() && result.value.address() == 1;
 }
 
 CallResult
@@ -258,29 +299,53 @@ NetStack::pumpBody(CompartmentContext &ctx)
         pendingRefills_++;
     }
 
-    // Repost consumed slots. A failed refill leaves the ring short —
+    // Repost consumed slots. A refill timeout leaves the ring short —
     // the NIC drops until the heap recovers: physical backpressure.
     while (pendingRefills_ > 0) {
-        const Capability buf =
-            ctx.kernel.malloc(ctx.thread, config_.bufBytes);
-        if (!buf.tag()) {
+        if (refillOne(ctx) != RefillResult::Ok) {
             refillFailures_++;
+            refillTimeouts_++;
             break;
         }
-        const uint32_t slot = rxPosted_ % config_.rxRingEntries;
-        const uint32_t descAddr =
-            rxRing_.base() + slot * NicDevice::kDescBytes;
-        rxSlots_[slot] = buf;
-        ctx.mem.storeWord(rxRing_, descAddr, buf.base());
-        ctx.mem.storeWord(rxRing_, descAddr + 4,
-                          config_.bufBytes & NicDevice::kDescLenMask);
-        rxPosted_++;
         pendingRefills_--;
     }
     mmioWrite(ctx, NicDevice::kRegRxTail, rxPosted_);
 
     reapTx(ctx);
     return CallResult::ofInt(accepted);
+}
+
+NetStack::RefillResult
+NetStack::refillOne(CompartmentContext &ctx)
+{
+    // Bounded wait, the MessageQueueService discipline: retry the
+    // exhausted heap with doubling backoff, then yield with a *typed*
+    // timeout instead of blocking the pump forever. The ring stays
+    // short and the NIC's drop counter carries the backpressure.
+    uint64_t waited = 0;
+    uint32_t backoff = kRefillBackoffStartCycles;
+    for (;;) {
+        const Capability buf =
+            ctx.kernel.malloc(ctx.thread, config_.bufBytes);
+        if (buf.tag()) {
+            const uint32_t slot = rxPosted_ % config_.rxRingEntries;
+            const uint32_t descAddr =
+                rxRing_.base() + slot * NicDevice::kDescBytes;
+            rxSlots_[slot] = buf;
+            ctx.mem.storeWord(rxRing_, descAddr, buf.base());
+            ctx.mem.storeWord(rxRing_, descAddr + 4,
+                              config_.bufBytes &
+                                  NicDevice::kDescLenMask);
+            rxPosted_++;
+            return RefillResult::Ok;
+        }
+        if (waited >= config_.refillTimeoutCycles) {
+            return RefillResult::Timeout;
+        }
+        ctx.mem.chargeExecution(backoff);
+        waited += backoff;
+        backoff = std::min(backoff * 2, kRefillBackoffCapCycles);
+    }
 }
 
 void
@@ -335,6 +400,29 @@ NetStack::txBody(CompartmentContext &ctx, ArgVec &args)
 }
 
 CallResult
+NetStack::fanOut(CompartmentContext &ctx, const Capability &payload,
+                 uint32_t len)
+{
+    // Mutating consumers (TLS decrypts records in place) keep the
+    // writable view; everyone else sees read-only, non-capability
+    // memory.
+    const Capability readOnly = payload.withPermsAnd(
+        static_cast<uint16_t>(~(cap::PermStore | cap::PermStoreLocal |
+                                cap::PermMemCap)));
+    for (const auto &consumer : consumers_) {
+        ArgVec consumerArgs = ArgVec::of(
+            {consumer.mutates ? payload : readOnly,
+             Capability().withAddress(len)});
+        const CallResult result =
+            ctx.kernel.call(ctx.thread, consumer.import, consumerArgs);
+        if (!result.ok()) {
+            return result;
+        }
+    }
+    return CallResult::ofInt(1);
+}
+
+CallResult
 NetStack::processBody(CompartmentContext &ctx, ArgVec &args)
 {
     const Capability frame = ctx.stackAlloc(64);
@@ -358,7 +446,9 @@ NetStack::processBody(CompartmentContext &ctx, ArgVec &args)
     }
 
     // Frame integrity: the XOR of every payload word must balance to
-    // zero (the generator's trailing checksum word ensures it).
+    // zero (the generator's trailing checksum word ensures it). This
+    // is where a link-corrupted frame dies: still untrusted bytes,
+    // before the ARQ layer or any consumer capability touches it.
     uint32_t checksum = 0;
     for (uint32_t off = 0; off < len; off += 4) {
         checksum ^= ctx.mem.loadWord(payload, payload.base() + off);
@@ -370,22 +460,19 @@ NetStack::processBody(CompartmentContext &ctx, ArgVec &args)
         return CallResult::ofInt(0);
     }
 
-    // Mutating consumers (TLS decrypts records in place) keep the
-    // writable view; everyone else sees read-only, non-capability
-    // memory.
-    const Capability readOnly = payload.withPermsAnd(
-        static_cast<uint16_t>(~(cap::PermStore | cap::PermStoreLocal |
-                                cap::PermMemCap)));
-    for (const auto &consumer : consumers_) {
-        ArgVec consumerArgs = ArgVec::of(
-            {consumer.mutates ? payload : readOnly,
-             Capability().withAddress(len)});
-        const CallResult result =
-            ctx.kernel.call(ctx.thread, consumer.import, consumerArgs);
-        if (!result.ok()) {
+    if (config_.reliable) {
+        if (len < kFleetMinFrameBytes) {
+            parseDrops_++;
             ctx.kernel.free(ctx.thread, payload);
-            return result; // Propagate: the driver drops the packet.
+            return CallResult::ofInt(0);
         }
+        return handleReliable(ctx, payload, len);
+    }
+
+    const CallResult consumed = fanOut(ctx, payload, len);
+    if (!consumed.ok()) {
+        ctx.kernel.free(ctx.thread, payload);
+        return consumed; // Propagate: the driver drops the packet.
     }
 
     // Ack every Nth accepted packet: the TX half of the claim
@@ -421,6 +508,386 @@ NetStack::processBody(CompartmentContext &ctx, ArgVec &args)
     return CallResult::ofInt(1);
 }
 
+bool
+NetStack::postFrame(CompartmentContext &ctx, const Capability &buf,
+                    uint32_t len)
+{
+    ArgVec txArgs =
+        ArgVec::of({buf, Capability().withAddress(len)});
+    const CallResult sent =
+        ctx.kernel.call(ctx.thread, txImport_, txArgs);
+    return sent.ok() && sent.value.address() == 1;
+}
+
+void
+NetStack::sendControl(CompartmentContext &ctx, uint32_t dst,
+                      FleetFrameType type, uint32_t seq)
+{
+    const Capability buf =
+        ctx.kernel.malloc(ctx.thread, kFleetMinFrameBytes);
+    if (!buf.tag()) {
+        return; // Lost control frame: the ARQ retransmit absorbs it.
+    }
+    const uint32_t words[kFleetHeaderWords] = {
+        dst, config_.localMac, static_cast<uint32_t>(type), seq};
+    uint32_t checksum = 0;
+    for (uint32_t i = 0; i < kFleetHeaderWords; ++i) {
+        checksum ^= words[i];
+        ctx.mem.storeWord(buf, buf.base() + i * 4, words[i]);
+    }
+    ctx.mem.storeWord(buf, buf.base() + kFleetHeaderWords * 4,
+                      checksum);
+    // The tx claim carries the frame through transmit; our reference
+    // goes away now either way.
+    postFrame(ctx, buf, kFleetMinFrameBytes);
+    ctx.kernel.free(ctx.thread, buf);
+}
+
+CallResult
+NetStack::handleReliable(CompartmentContext &ctx,
+                         const Capability &payload, uint32_t len)
+{
+    const uint32_t base = payload.base();
+    const uint32_t dst = ctx.mem.loadWord(payload, base);
+    const uint32_t src = ctx.mem.loadWord(payload, base + 4);
+    const uint32_t type = ctx.mem.loadWord(payload, base + 8);
+    const uint32_t seq = ctx.mem.loadWord(payload, base + 12);
+
+    if (dst != config_.localMac || src == config_.localMac) {
+        // Flooded (unlearned MAC) or reflected traffic: not ours.
+        wrongDest_++;
+        ctx.kernel.free(ctx.thread, payload);
+        return CallResult::ofInt(0);
+    }
+
+    const uint64_t now = ctx.kernel.machine().cycles();
+    ArqPeer &peer = peers_[src];
+    peer.lastHeard = now;
+    if (peer.dead) {
+        // Heard from a presumed-dead peer: rejoin. Pending frames
+        // restart their retransmit schedule from scratch; the backlog
+        // drains on the next service pass.
+        peer.dead = false;
+        arqRejoins_++;
+        for (ArqMessage &msg : peer.pending) {
+            msg.retries = 0;
+            msg.rto = config_.arqRtoStartCycles;
+            msg.nextRetry = now;
+        }
+    }
+
+    switch (static_cast<FleetFrameType>(type)) {
+      case FleetFrameType::Ack: {
+        arqAcksReceived_++;
+        for (auto it = peer.pending.begin(); it != peer.pending.end();
+             ++it) {
+            if (it->seq == seq) {
+                // Delivered: drop the sender's retransmit reference.
+                ctx.kernel.free(ctx.thread, it->buf);
+                peer.pending.erase(it);
+                break;
+            }
+        }
+        ctx.kernel.free(ctx.thread, payload);
+        return CallResult::ofInt(1);
+      }
+      case FleetFrameType::Probe: {
+        // Alive echo: an ack no data seq will ever match, so it only
+        // updates liveness (kFleetBroadcast is never a data seq).
+        sendControl(ctx, src, FleetFrameType::Ack, kFleetBroadcast);
+        arqAcksSent_++;
+        ctx.kernel.free(ctx.thread, payload);
+        return CallResult::ofInt(1);
+      }
+      case FleetFrameType::Data: {
+        bool fresh;
+        const uint32_t epoch = seq >> 24;
+        bool staleEpoch = false;
+        if (epoch != peer.rxEpoch) {
+            // Epochs are incarnation counters, so only ever move the
+            // window *forward* (serial arithmetic on the 8-bit
+            // epoch). Frames from a superseded incarnation can still
+            // be in flight — delayed or duplicated by the fabric —
+            // after a restart; regressing the window for them would
+            // wipe the new epoch's delivery history and turn its
+            // undelivered messages into "stale duplicates".
+            if (((epoch - peer.rxEpoch) & 0xffu) < 0x80u) {
+                // New sender incarnation: restart the dedup window at
+                // the new epoch's *origin*, not at this frame — the
+                // first frame to arrive may be a reordered later one,
+                // and its undelivered predecessors must still
+                // classify as fresh below.
+                peer.rxEpoch = epoch;
+                peer.rxSeen.clear();
+                peer.rxBase = epoch << 24;
+            } else {
+                staleEpoch = true; // Dead incarnation: ack, no deliver.
+            }
+        }
+        if (staleEpoch) {
+            fresh = false;
+        } else if (const uint32_t ahead = seq - peer.rxBase;
+                   ahead < config_.arqDedupWindow) {
+            // Serial-number arithmetic within the epoch: `ahead` and
+            // `behind` are modular distances from the delivery base.
+            // A live sender stays within the dedup window ahead
+            // (in-flight span < window), link duplicates land within
+            // it behind, and anything outside both horizons restarts
+            // the window.
+            if (peer.rxSeen.count(seq) != 0) {
+                fresh = false;
+            } else {
+                peer.rxSeen.insert(seq);
+                while (peer.rxSeen.count(peer.rxBase) != 0) {
+                    peer.rxSeen.erase(peer.rxBase);
+                    peer.rxBase++;
+                }
+                fresh = true;
+            }
+        } else if (peer.rxBase - seq <= config_.arqDedupWindow) {
+            // Recently delivered: a duplicate or a retransmission
+            // that crossed its own ack.
+            fresh = false;
+        } else {
+            peer.rxSeen.clear();
+            peer.rxBase = seq + 1;
+            fresh = true;
+        }
+        // Ack duplicates too: the first ack may have been eaten by
+        // the link, and only a fresh ack stops the retransmissions.
+        sendControl(ctx, src, FleetFrameType::Ack, seq);
+        arqAcksSent_++;
+        if (!fresh) {
+            arqDuplicatesDropped_++;
+            ctx.kernel.free(ctx.thread, payload);
+            return CallResult::ofInt(0);
+        }
+        const CallResult consumed = fanOut(ctx, payload, len);
+        ctx.kernel.free(ctx.thread, payload);
+        if (!consumed.ok()) {
+            return consumed;
+        }
+        arqDelivered_++;
+        return CallResult::ofInt(1);
+      }
+      default:
+        parseDrops_++;
+        ctx.kernel.free(ctx.thread, payload);
+        return CallResult::ofInt(0);
+    }
+}
+
+CallResult
+NetStack::sendBody(CompartmentContext &ctx, ArgVec &args)
+{
+    const Capability frame = ctx.stackAlloc(48);
+    if (!frame.tag()) {
+        return CallResult::faulted(sim::TrapCause::CheriBoundsViolation);
+    }
+    ctx.mem.storeWord(frame, frame.base(), 0);
+
+    const uint32_t dst = args[0].address();
+    const uint32_t payloadWords = std::max(args[1].address(), 2u);
+    const uint32_t w0 = args[2].address();
+    const uint32_t w1 = args[3].address();
+    const uint32_t len = (kFleetHeaderWords + payloadWords + 1) * 4;
+    if (!config_.reliable || dst == config_.localMac ||
+        dst == kFleetBroadcast || len > config_.bufBytes) {
+        arqSendDrops_++;
+        return CallResult::ofInt(0);
+    }
+
+    ArqPeer &peer = peers_[dst];
+    const bool windowOpen = !peer.dead && peer.backlog.empty() &&
+                            peer.pending.size() < config_.arqWindow;
+    if (!windowOpen && peer.backlog.size() >= config_.arqBacklogMax) {
+        // Local-buffering mode is bounded; beyond it the send is
+        // refused and the caller sees the drop.
+        arqSendDrops_++;
+        return CallResult::ofInt(0);
+    }
+
+    const Capability buf = ctx.kernel.malloc(ctx.thread, len);
+    if (!buf.tag()) {
+        arqSendDrops_++;
+        return CallResult::ofInt(0);
+    }
+    ArqMessage msg;
+    // The epoch (sender incarnation) rides in the sequence high byte:
+    // a receiver distinguishes "restarted sender, fresh seq 0" from
+    // "stale duplicate" by epoch, not by guessing from distance.
+    msg.seq = ((config_.arqEpoch & 0xffu) << 24) |
+              (peer.nextSeq++ & 0xffffffu);
+    msg.buf = buf;
+    msg.len = len;
+    const uint32_t header[kFleetHeaderWords] = {
+        dst, config_.localMac,
+        static_cast<uint32_t>(FleetFrameType::Data), msg.seq};
+    uint32_t checksum = 0;
+    uint32_t index = 0;
+    const auto put = [&](uint32_t word) {
+        checksum ^= word;
+        ctx.mem.storeWord(buf, buf.base() + index * 4, word);
+        index++;
+    };
+    for (uint32_t i = 0; i < kFleetHeaderWords; ++i) {
+        put(header[i]);
+    }
+    for (uint32_t i = 0; i < payloadWords; ++i) {
+        put(i == 0 ? w0 : i == 1 ? w1 : frameWord(w1, i));
+    }
+    ctx.mem.storeWord(buf, buf.base() + index * 4, checksum);
+
+    if (windowOpen) {
+        const uint64_t now = ctx.kernel.machine().cycles();
+        msg.sentAt = now;
+        msg.rto = config_.arqRtoStartCycles;
+        msg.nextRetry = now + msg.rto;
+        postFrame(ctx, buf, len); // Busy tx: the retry timer covers it.
+        arqSent_++;
+        peer.pending.push_back(msg);
+    } else {
+        peer.backlog.push_back(msg);
+    }
+    return CallResult::ofInt(1);
+}
+
+CallResult
+NetStack::serviceBody(CompartmentContext &ctx)
+{
+    const Capability frame = ctx.stackAlloc(48);
+    if (!frame.tag()) {
+        return CallResult::faulted(sim::TrapCause::CheriBoundsViolation);
+    }
+    ctx.mem.storeWord(frame, frame.base(), 0);
+    if (!config_.reliable) {
+        return CallResult::ofInt(0);
+    }
+
+    const uint64_t now = ctx.kernel.machine().cycles();
+    for (auto &[mac, peer] : peers_) {
+        // Flush the backlog into the window while there is room.
+        while (!peer.dead && !peer.backlog.empty() &&
+               peer.pending.size() < config_.arqWindow) {
+            ArqMessage msg = peer.backlog.front();
+            peer.backlog.pop_front();
+            msg.sentAt = now;
+            msg.rto = config_.arqRtoStartCycles;
+            msg.nextRetry = now + msg.rto;
+            postFrame(ctx, msg.buf, msg.len);
+            arqSent_++;
+            peer.pending.push_back(msg);
+        }
+        if (peer.dead) {
+            if (now >= peer.nextProbe) {
+                sendControl(ctx, mac, FleetFrameType::Probe,
+                            peer.rxBase);
+                arqProbesSent_++;
+                peer.nextProbe = now + config_.arqProbeIntervalCycles;
+            }
+            continue;
+        }
+        // Retransmit expired in-flight frames with doubling backoff;
+        // past the retry budget the peer is presumed dead and the
+        // destination degrades to local buffering + probes.
+        for (ArqMessage &msg : peer.pending) {
+            if (now < msg.nextRetry) {
+                continue;
+            }
+            if (msg.retries >= config_.arqMaxRetries) {
+                peer.dead = true;
+                arqPeerDeaths_++;
+                peer.nextProbe = now + config_.arqProbeIntervalCycles;
+                break;
+            }
+            postFrame(ctx, msg.buf, msg.len);
+            arqRetransmits_++;
+            msg.retries++;
+            msg.rto = std::min(msg.rto * 2, config_.arqRtoCapCycles);
+            msg.nextRetry = now + msg.rto;
+        }
+    }
+    return CallResult::ofInt(0);
+}
+
+bool
+NetStack::peerKnown(uint32_t mac) const
+{
+    return peers_.count(mac) != 0;
+}
+
+bool
+NetStack::peerDead(uint32_t mac) const
+{
+    const auto it = peers_.find(mac);
+    return it != peers_.end() && it->second.dead;
+}
+
+uint32_t
+NetStack::peerPending(uint32_t mac) const
+{
+    const auto it = peers_.find(mac);
+    return it == peers_.end()
+               ? 0
+               : static_cast<uint32_t>(it->second.pending.size());
+}
+
+uint32_t
+NetStack::peerBacklog(uint32_t mac) const
+{
+    const auto it = peers_.find(mac);
+    return it == peers_.end()
+               ? 0
+               : static_cast<uint32_t>(it->second.backlog.size());
+}
+
+uint64_t
+NetStack::peerRto(uint32_t mac) const
+{
+    const auto it = peers_.find(mac);
+    return it == peers_.end() || it->second.pending.empty()
+               ? 0
+               : it->second.pending.front().rto;
+}
+
+uint32_t
+NetStack::peerRetries(uint32_t mac) const
+{
+    const auto it = peers_.find(mac);
+    return it == peers_.end() || it->second.pending.empty()
+               ? 0
+               : it->second.pending.front().retries;
+}
+
+uint32_t
+NetStack::peerRxBase(uint32_t mac) const
+{
+    const auto it = peers_.find(mac);
+    return it == peers_.end() ? 0 : it->second.rxBase;
+}
+
+std::vector<uint32_t>
+NetStack::peerMacs() const
+{
+    std::vector<uint32_t> macs;
+    macs.reserve(peers_.size());
+    for (const auto &[mac, peer] : peers_) {
+        macs.push_back(mac);
+    }
+    return macs;
+}
+
+bool
+NetStack::arqIdle() const
+{
+    for (const auto &[mac, peer] : peers_) {
+        if (!peer.pending.empty() || !peer.backlog.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
 void
 NetStack::serialize(snapshot::Writer &w) const
 {
@@ -444,9 +911,50 @@ NetStack::serialize(snapshot::Writer &w) const
     w.u64(consumerRejects_);
     w.u64(ringCorruptionsDetected_);
     w.u64(refillFailures_);
+    w.u64(refillTimeouts_);
     w.u64(rxErrorsSeen_);
     w.u64(acksSent_);
     w.u64(txCompleted_);
+    w.u64(arqSent_);
+    w.u64(arqDelivered_);
+    w.u64(arqDuplicatesDropped_);
+    w.u64(arqRetransmits_);
+    w.u64(arqAcksSent_);
+    w.u64(arqAcksReceived_);
+    w.u64(arqPeerDeaths_);
+    w.u64(arqRejoins_);
+    w.u64(arqProbesSent_);
+    w.u64(arqSendDrops_);
+    w.u64(wrongDest_);
+    // Peer map: std::map iteration order is the MAC order, so equal
+    // logical state always serializes to equal bytes (the canonical-
+    // image property the snapshot invariants rest on).
+    w.u32(static_cast<uint32_t>(peers_.size()));
+    for (const auto &[mac, peer] : peers_) {
+        w.u32(mac);
+        w.u32(peer.nextSeq);
+        w.b(peer.dead);
+        w.u64(peer.lastHeard);
+        w.u64(peer.nextProbe);
+        w.u32(peer.rxBase);
+        w.u32(peer.rxEpoch);
+        w.u32(static_cast<uint32_t>(peer.rxSeen.size()));
+        for (const uint32_t seq : peer.rxSeen) {
+            w.u32(seq);
+        }
+        for (const auto *queue : {&peer.pending, &peer.backlog}) {
+            w.u32(static_cast<uint32_t>(queue->size()));
+            for (const ArqMessage &msg : *queue) {
+                w.u32(msg.seq);
+                w.cap(msg.buf);
+                w.u32(msg.len);
+                w.u64(msg.sentAt);
+                w.u64(msg.nextRetry);
+                w.u64(msg.rto);
+                w.u32(msg.retries);
+            }
+        }
+    }
 }
 
 bool
@@ -474,9 +982,51 @@ NetStack::deserialize(snapshot::Reader &r)
     consumerRejects_ = r.u64();
     ringCorruptionsDetected_ = r.u64();
     refillFailures_ = r.u64();
+    refillTimeouts_ = r.u64();
     rxErrorsSeen_ = r.u64();
     acksSent_ = r.u64();
     txCompleted_ = r.u64();
+    arqSent_ = r.u64();
+    arqDelivered_ = r.u64();
+    arqDuplicatesDropped_ = r.u64();
+    arqRetransmits_ = r.u64();
+    arqAcksSent_ = r.u64();
+    arqAcksReceived_ = r.u64();
+    arqPeerDeaths_ = r.u64();
+    arqRejoins_ = r.u64();
+    arqProbesSent_ = r.u64();
+    arqSendDrops_ = r.u64();
+    wrongDest_ = r.u64();
+    peers_.clear();
+    const uint32_t peerCount = r.u32();
+    for (uint32_t p = 0; p < peerCount && r.ok(); ++p) {
+        const uint32_t mac = r.u32();
+        ArqPeer &peer = peers_[mac];
+        peer.nextSeq = r.u32();
+        peer.dead = r.b();
+        peer.lastHeard = r.u64();
+        peer.nextProbe = r.u64();
+        peer.rxBase = r.u32();
+        peer.rxEpoch = r.u32();
+        const uint32_t seen = r.u32();
+        for (uint32_t i = 0; i < seen && r.ok(); ++i) {
+            peer.rxSeen.insert(r.u32());
+        }
+        for (auto *queue : {&peer.pending, &peer.backlog}) {
+            const uint32_t depth = r.u32();
+            for (uint32_t i = 0; i < depth && r.ok(); ++i) {
+                ArqMessage msg;
+                msg.seq = r.u32();
+                msg.buf = r.cap();
+                msg.len = r.u32();
+                msg.sentAt = r.u64();
+                msg.nextRetry = r.u64();
+                msg.rto = r.u64();
+                msg.retries = r.u32();
+                queue->push_back(msg);
+            }
+        }
+    }
     return r.ok();
 }
 

@@ -27,16 +27,37 @@
  * successful refill malloc, so when the heap is exhausted (or
  * quarantine is holding memory hostage) the ring shrinks until the
  * NIC starts dropping — the drop counter and the heap-pressure MMIO
- * window feed the PR-3 admission-gate machinery.
+ * window feed the PR-3 admission-gate machinery. The refill wait is
+ * *bounded*: a typed RefillResult::Timeout (mirroring the PR-2
+ * MessageQueueService pattern) caps how long a pump can stall on an
+ * exhausted heap before yielding with the ring short.
+ *
+ * Reliable mode (the fleet ARQ layer, firewall-owned): between the
+ * checksum and the consumers sits a selective-repeat protocol over
+ * fleet frames (net/fleet_frame.h). Senders number data frames per
+ * peer, hold them for retransmission with capped exponential backoff,
+ * and declare a peer dead after the retry budget — degrading that
+ * destination to local buffering (a bounded backlog) with periodic
+ * probes; any frame heard from the peer rejoins it and the backlog
+ * drains. Receivers ack every data frame (including duplicates) and
+ * deduplicate through a window that exceeds the sender's in-flight
+ * span, so consumers see each message exactly once per receiver
+ * incarnation no matter what the link duplicates or reorders. A
+ * corrupted frame never gets this far: the checksum rejects it while
+ * it is still untrusted bytes.
  */
 
 #ifndef CHERIOT_NET_NET_STACK_H
 #define CHERIOT_NET_NET_STACK_H
 
+#include "net/fleet_frame.h"
 #include "net/nic_device.h"
 #include "rtos/compartment.h"
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
 #include <vector>
 
 namespace cheriot::rtos
@@ -90,14 +111,51 @@ struct NetStackConfig
     /** Per-slot buffer capacity (heap allocation size). */
     uint32_t bufBytes = 1536;
     /** Firewall transmits an ack for every Nth accepted packet
-     * (0 = never): the TX direction of the claim contract. */
+     * (0 = never; unused in reliable mode, where every data frame is
+     * acked individually): the TX direction of the claim contract. */
     uint32_t ackEveryN = 16;
     uint32_t ackBytes = 32;
+    /** Bounded refill wait before a typed timeout (satellite of the
+     * MessageQueueService bounded-block discipline). */
+    uint64_t refillTimeoutCycles = 4096;
+
+    /** @name Reliable-delivery (ARQ) layer @{ */
+    bool reliable = false; ///< Parse fleet frames, run the ARQ.
+    uint32_t localMac = 0; ///< This node's fleet id.
+    /** Sender incarnation, stamped into the sequence-number high
+     * byte. A restarted node announces itself through a new epoch, so
+     * receivers restart their dedup window instead of mistaking the
+     * fresh seq 0 for a stale duplicate (by sequence alone the two
+     * are indistinguishable when little history exists). */
+    uint32_t arqEpoch = 0;
+    /** Max in-flight (unacked) data frames per peer. Must stay below
+     * arqDedupWindow so a live sender can never outrun the receiver's
+     * dedup span — only a receiver restart slides the window. */
+    uint32_t arqWindow = 16;
+    uint32_t arqDedupWindow = 64;
+    uint64_t arqRtoStartCycles = 2048; ///< First retransmit timeout.
+    uint64_t arqRtoCapCycles = 32768;  ///< Backoff doubling cap.
+    /** Retries before the peer is presumed dead and the destination
+     * degrades to local buffering + probes. */
+    uint32_t arqMaxRetries = 8;
+    uint64_t arqProbeIntervalCycles = 8192;
+    uint32_t arqBacklogMax = 64; ///< Local-buffering depth per peer.
+    /** @} */
 };
 
 class NetStack
 {
   public:
+    /** Typed outcome of one RX slot refill. */
+    enum class RefillResult : uint8_t
+    {
+        Ok = 0,
+        Timeout, ///< Heap stayed exhausted past the bounded wait.
+    };
+    /** Refill backoff schedule (the MessageQueueService constants). */
+    static constexpr uint32_t kRefillBackoffStartCycles = 16;
+    static constexpr uint32_t kRefillBackoffCapCycles = 1024;
+
     NetStack(rtos::Kernel &kernel, NicDevice &nic,
              const NetCompartments &compartments,
              NetStackConfig config = {});
@@ -112,8 +170,23 @@ class NetStack
     void start(rtos::Thread &thread);
 
     /** Drain completed RX/TX descriptors — a real cross-compartment
-     * call into the driver. Returns packets accepted this pump. */
+     * call into the driver — then, in reliable mode, run the ARQ
+     * service pass (backlog flush, retransmit timers, probes).
+     * Returns packets accepted this pump. */
     uint32_t pump(rtos::Thread &thread);
+
+    /**
+     * Reliable send to peer @p dst: the firewall builds a sequenced
+     * data frame whose payload words are (@p w0, @p w1, then
+     * deterministic filler) of @p payloadWords total, posts it inside
+     * the ARQ window or backlogs it (peer dead / window full).
+     * Returns true when accepted — an accepted message is delivered
+     * exactly once to the peer's consumers, eventually, as long as
+     * the peer heals; false only when the bounded backlog (or the
+     * heap) refuses it, counted in arqSendDrops().
+     */
+    bool sendMessage(rtos::Thread &thread, uint32_t dst,
+                     uint32_t payloadWords, uint32_t w0, uint32_t w1);
 
     /** Driver's tx export: (buffer, len), claims the buffer until
      * transmit completes. Returns 1 posted / 0 busy-or-refused. */
@@ -129,20 +202,87 @@ class NetStack
         return ringCorruptionsDetected_;
     }
     uint64_t refillFailures() const { return refillFailures_; }
+    uint64_t refillTimeouts() const { return refillTimeouts_; }
     uint64_t rxErrorsSeen() const { return rxErrorsSeen_; }
     uint64_t acksSent() const { return acksSent_; }
     uint64_t txCompleted() const { return txCompleted_; }
     /** @} */
 
+    /** @name ARQ counters @{ */
+    uint64_t arqSent() const { return arqSent_; }
+    uint64_t arqDelivered() const { return arqDelivered_; }
+    uint64_t arqDuplicatesDropped() const
+    {
+        return arqDuplicatesDropped_;
+    }
+    uint64_t arqRetransmits() const { return arqRetransmits_; }
+    uint64_t arqAcksSent() const { return arqAcksSent_; }
+    uint64_t arqAcksReceived() const { return arqAcksReceived_; }
+    uint64_t arqPeerDeaths() const { return arqPeerDeaths_; }
+    uint64_t arqRejoins() const { return arqRejoins_; }
+    uint64_t arqProbesSent() const { return arqProbesSent_; }
+    uint64_t arqSendDrops() const { return arqSendDrops_; }
+    uint64_t wrongDest() const { return wrongDest_; }
+    /** @} */
+
+    /** @name ARQ peer introspection (tests, fleet invariant gate) @{ */
+    bool peerKnown(uint32_t mac) const;
+    bool peerDead(uint32_t mac) const;
+    uint32_t peerPending(uint32_t mac) const;
+    uint32_t peerBacklog(uint32_t mac) const;
+    /** Current retransmit timeout of the oldest pending message
+     * (0 when nothing is pending) — the backoff-schedule probe. */
+    uint64_t peerRto(uint32_t mac) const;
+    uint32_t peerRetries(uint32_t mac) const;
+    uint32_t peerRxBase(uint32_t mac) const;
+    /** Every peer's pending and backlog queues are empty: the fleet
+     * drain condition. */
+    bool arqIdle() const;
+    /** All peer ids this node has ARQ state for. */
+    std::vector<uint32_t> peerMacs() const;
+    /** @} */
+
     /** @name Snapshot state
      * The rings and the boot-time buffer posts are rebuilt by the
      * deterministic boot; this captures the dynamic state on top —
-     * ring cursors, slot-table capabilities and counters. @{ */
+     * ring cursors, slot-table capabilities, ARQ peer state and
+     * counters. @{ */
     void serialize(snapshot::Writer &w) const;
     bool deserialize(snapshot::Reader &r);
     /** @} */
 
   private:
+    /** One ARQ data frame the sender still owns (in flight or
+     * backlogged); buf is the sender's heap reference, freed when the
+     * ack arrives. */
+    struct ArqMessage
+    {
+        uint32_t seq = 0;
+        cap::Capability buf;
+        uint32_t len = 0;
+        uint64_t sentAt = 0;
+        uint64_t nextRetry = 0;
+        uint64_t rto = 0;
+        uint32_t retries = 0;
+    };
+    /** Per-peer ARQ state (both directions). std::map / std::set keep
+     * iteration — and therefore serialization — deterministic. */
+    struct ArqPeer
+    {
+        uint32_t nextSeq = 0;
+        bool dead = false;
+        uint64_t lastHeard = 0;
+        uint64_t nextProbe = 0;
+        std::deque<ArqMessage> pending;
+        std::deque<ArqMessage> backlog;
+        /** Receive side: everything below rxBase is delivered;
+         * rxSeen holds the out-of-order seqs at or above it. rxEpoch
+         * is the sender incarnation the window belongs to. */
+        uint32_t rxBase = 0;
+        uint32_t rxEpoch = 0;
+        std::set<uint32_t> rxSeen;
+    };
+
     uint32_t mmioRead(rtos::CompartmentContext &ctx, uint32_t reg);
     void mmioWrite(rtos::CompartmentContext &ctx, uint32_t reg,
                    uint32_t value);
@@ -153,6 +293,27 @@ class NetStack
     /** The firewall process body (claim, validate, consume, release). */
     rtos::CallResult processBody(rtos::CompartmentContext &ctx,
                                  rtos::ArgVec &args);
+    /** The firewall ARQ bodies. @{ */
+    rtos::CallResult sendBody(rtos::CompartmentContext &ctx,
+                              rtos::ArgVec &args);
+    rtos::CallResult serviceBody(rtos::CompartmentContext &ctx);
+    rtos::CallResult handleReliable(rtos::CompartmentContext &ctx,
+                                    const cap::Capability &payload,
+                                    uint32_t len);
+    /** @} */
+    /** Fan the validated payload out to every consumer. */
+    rtos::CallResult fanOut(rtos::CompartmentContext &ctx,
+                            const cap::Capability &payload,
+                            uint32_t len);
+    /** Post a frame to the driver's tx export (claims the buffer). */
+    bool postFrame(rtos::CompartmentContext &ctx,
+                   const cap::Capability &buf, uint32_t len);
+    /** Build and post a transient ack/probe frame to @p dst. */
+    void sendControl(rtos::CompartmentContext &ctx, uint32_t dst,
+                     FleetFrameType type, uint32_t seq);
+    /** Allocate, post and record one RX slot buffer, with a bounded
+     * backoff wait when the heap is exhausted. */
+    RefillResult refillOne(rtos::CompartmentContext &ctx);
     void reapTx(rtos::CompartmentContext &ctx);
 
     rtos::Kernel &kernel_;
@@ -166,6 +327,8 @@ class NetStack
     rtos::Import pumpImport_;
     rtos::Import txImport_;
     rtos::Import processImport_;
+    rtos::Import sendImport_;
+    rtos::Import serviceImport_;
 
     /** Driver state: rings and the authoritative slot table. @{ */
     cap::Capability rxRing_;
@@ -179,16 +342,32 @@ class NetStack
     uint32_t txReaped_ = 0; ///< Free-running reaped count.
     /** @} */
 
+    /** Firewall ARQ state, keyed by peer id. */
+    std::map<uint32_t, ArqPeer> peers_;
+
     uint64_t packetsAccepted_ = 0;
     uint64_t bytesAccepted_ = 0;
     uint64_t parseDrops_ = 0;
     uint64_t consumerRejects_ = 0;
     uint64_t ringCorruptionsDetected_ = 0;
     uint64_t refillFailures_ = 0;
+    uint64_t refillTimeouts_ = 0;
     uint64_t rxErrorsSeen_ = 0;
     uint64_t acksSent_ = 0;
     uint64_t txCompleted_ = 0;
     uint32_t ackCountdown_ = 0;
+
+    uint64_t arqSent_ = 0;
+    uint64_t arqDelivered_ = 0;
+    uint64_t arqDuplicatesDropped_ = 0;
+    uint64_t arqRetransmits_ = 0;
+    uint64_t arqAcksSent_ = 0;
+    uint64_t arqAcksReceived_ = 0;
+    uint64_t arqPeerDeaths_ = 0;
+    uint64_t arqRejoins_ = 0;
+    uint64_t arqProbesSent_ = 0;
+    uint64_t arqSendDrops_ = 0;
+    uint64_t wrongDest_ = 0;
 };
 
 } // namespace cheriot::net

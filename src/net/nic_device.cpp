@@ -3,6 +3,8 @@
 #include "fault/fault_injector.h"
 #include "snapshot/serializer.h"
 
+#include <vector>
+
 namespace cheriot::net
 {
 
@@ -69,6 +71,14 @@ NicDevice::dmaOk(uint32_t addr, uint32_t bytes) const
 bool
 NicDevice::deliver(const uint8_t *frame, uint32_t bytes)
 {
+    if (injector_ != nullptr && injector_->nicLinkFrameArriving()) {
+        // The link ate the frame before the device saw it
+        // (NicLinkDrop): indistinguishable from ring-full loss to the
+        // stack above, and recovered the same way — retransmission.
+        rxDrops_++;
+        raise(kIrqRxOverflow);
+        return false;
+    }
     if ((ctrl_ & kCtrlRxEnable) == 0 || rxRingCount_ == 0 ||
         bytes == 0 || bytes > kDescLenMask) {
         rxDrops_++;
@@ -166,9 +176,17 @@ NicDevice::processTx()
             raise(kIrqRxError);
             continue;
         }
-        // "Transmit": fold the payload into the wire checksum.
+        // "Transmit": fold the payload into the wire checksum, and
+        // hand the bytes to the sink (the fleet fabric) if wired.
         for (uint32_t off = 0; off + 4 <= len; off += 4) {
             txChecksum_ ^= sram_.read32(bufAddr + off);
+        }
+        if (txSink_) {
+            std::vector<uint8_t> wire(len);
+            for (uint32_t off = 0; off < len; ++off) {
+                wire[off] = sram_.read8(bufAddr + off);
+            }
+            txSink_(wire.data(), len);
         }
         sram_.write32(descAddr + 4, len | kDescDone);
         txTail_++;

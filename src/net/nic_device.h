@@ -30,6 +30,7 @@
 #include "mem/tagged_memory.h"
 
 #include <cstdint>
+#include <functional>
 
 namespace cheriot::snapshot
 {
@@ -125,6 +126,16 @@ class NicDevice : public mem::MmioDevice
         injector_ = injector;
     }
 
+    /**
+     * Where transmitted frames go. Without a sink the wire is the
+     * checksum accumulator alone (the single-machine stack); with one
+     * (a fleet's virtual switch), processTx also hands every frame's
+     * payload bytes to the sink. The checksum accumulator still runs —
+     * the wire-conservation audit is sink-independent.
+     */
+    using TxSink = std::function<void(const uint8_t *, uint32_t)>;
+    void setTxSink(TxSink sink) { txSink_ = std::move(sink); }
+
     /** @name Host-side introspection (tests, fault targeting) @{ */
     uint32_t rxRingBase() const { return rxRingBase_; }
     uint32_t rxRingCount() const { return rxRingCount_; }
@@ -152,6 +163,7 @@ class NicDevice : public mem::MmioDevice
 
     mem::TaggedMemory &sram_;
     fault::FaultInjector *injector_ = nullptr;
+    TxSink txSink_;
 
     uint32_t ctrl_ = 0;
     uint32_t irqStatus_ = 0;

@@ -1,0 +1,216 @@
+#include "net/switch.h"
+
+#include "fault/fault_injector.h"
+#include "net/nic_device.h"
+
+namespace cheriot::net
+{
+
+uint32_t
+VirtualSwitch::addPort(NicDevice *nic)
+{
+    const uint32_t id = static_cast<uint32_t>(ports_.size());
+    ports_.emplace_back(nic, seed_, id);
+    return id;
+}
+
+void
+VirtualSwitch::attachNic(uint32_t port, NicDevice *nic)
+{
+    ports_.at(port).nic = nic;
+}
+
+void
+VirtualSwitch::setLinkFaults(uint32_t port, const LinkFaultConfig &config)
+{
+    ports_.at(port).link.config = config;
+}
+
+const LinkFaultConfig &
+VirtualSwitch::linkFaults(uint32_t port) const
+{
+    return ports_.at(port).link.config;
+}
+
+void
+VirtualSwitch::setPartitioned(uint32_t port, bool isolated)
+{
+    ports_.at(port).link.partitioned = isolated;
+}
+
+bool
+VirtualSwitch::partitioned(uint32_t port) const
+{
+    return ports_.at(port).link.partitioned;
+}
+
+void
+VirtualSwitch::stallPort(uint32_t port, uint32_t ticks)
+{
+    Port &p = ports_.at(port);
+    if (ticks > p.stallTicksLeft) {
+        p.stallTicksLeft = ticks;
+    }
+}
+
+int32_t
+VirtualSwitch::learnedPort(uint32_t mac) const
+{
+    const auto it = macTable_.find(mac);
+    return it == macTable_.end() ? -1
+                                 : static_cast<int32_t>(it->second);
+}
+
+void
+VirtualSwitch::ingress(uint32_t port, const uint8_t *frame,
+                       uint32_t bytes)
+{
+    if (port >= ports_.size() || bytes == 0) {
+        return;
+    }
+    Port &in = ports_[port];
+    in.counters.ingressFrames++;
+    if (in.link.partitioned) {
+        in.counters.partitionDrops++;
+        return;
+    }
+
+    const uint32_t src = fleetFrameSrc(frame, bytes);
+    if (src != kFleetBroadcast) {
+        macTable_[src] = port;
+    }
+
+    const uint32_t dst = fleetFrameDst(frame, bytes);
+    const auto it = dst == kFleetBroadcast ? macTable_.end()
+                                           : macTable_.find(dst);
+    if (it != macTable_.end()) {
+        if (it->second != port) {
+            enqueue(it->second, frame, bytes);
+        }
+        return;
+    }
+    // Unknown unicast or broadcast: flood to every other port.
+    for (uint32_t out = 0; out < ports_.size(); ++out) {
+        if (out == port) {
+            continue;
+        }
+        enqueue(out, frame, bytes);
+        ports_[out].counters.flooded++;
+    }
+}
+
+void
+VirtualSwitch::enqueue(uint32_t port, const uint8_t *frame,
+                       uint32_t bytes)
+{
+    Port &out = ports_[port];
+    if (out.link.partitioned) {
+        out.counters.partitionDrops++;
+        return;
+    }
+    if (out.queue.size() >= maxQueueDepth_) {
+        out.counters.queueDrops++;
+        return;
+    }
+    QueuedFrame queued;
+    queued.bytes.assign(frame, frame + bytes);
+    queued.dueTick = now_;
+    if (out.link.roll(out.link.config.delayPermille)) {
+        queued.dueTick = now_ + out.link.delayTicks();
+        out.counters.delayed++;
+    }
+    out.queue.push_back(std::move(queued));
+}
+
+void
+VirtualSwitch::tick()
+{
+    if (injector_ != nullptr) {
+        uint32_t portSel = 0;
+        uint32_t stallTicks = 0;
+        if (injector_->switchTick(&portSel, &stallTicks) &&
+            !ports_.empty()) {
+            stallPort(portSel % ports_.size(), stallTicks);
+        }
+    }
+    for (Port &port : ports_) {
+        if (port.stallTicksLeft > 0) {
+            port.stallTicksLeft--;
+            port.counters.stallTicks++;
+            continue; // Egress frozen; the queue keeps filling.
+        }
+        // Drain every frame due this tick. Delayed frames stay; a
+        // reorder roll swaps the head with the next due frame before
+        // it goes out.
+        size_t scanned = 0;
+        while (scanned < port.queue.size()) {
+            if (port.queue[scanned].dueTick > now_) {
+                scanned++;
+                continue;
+            }
+            if (port.queue.size() - scanned > 1 &&
+                port.link.roll(port.link.config.reorderPermille)) {
+                // Find the next due frame behind this one and let it
+                // jump the queue.
+                for (size_t j = scanned + 1; j < port.queue.size();
+                     ++j) {
+                    if (port.queue[j].dueTick <= now_) {
+                        std::swap(port.queue[scanned], port.queue[j]);
+                        port.counters.reordered++;
+                        break;
+                    }
+                }
+            }
+            std::vector<uint8_t> frame =
+                std::move(port.queue[scanned].bytes);
+            port.queue.erase(port.queue.begin() +
+                             static_cast<long>(scanned));
+            deliverThroughLink(port, std::move(frame));
+        }
+    }
+    now_++;
+}
+
+void
+VirtualSwitch::deliverThroughLink(Port &port, std::vector<uint8_t> frame)
+{
+    if (port.link.partitioned) {
+        port.counters.partitionDrops++;
+        return;
+    }
+    if (port.link.roll(port.link.config.dropPermille)) {
+        port.counters.faultDrops++;
+        return;
+    }
+    if (port.link.roll(port.link.config.corruptPermille) &&
+        !frame.empty()) {
+        const uint32_t bit =
+            port.link.corruptBit(static_cast<uint32_t>(frame.size()));
+        frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        port.counters.corrupted++;
+    }
+    const bool duplicate =
+        port.link.roll(port.link.config.duplicatePermille);
+    deliverToNic(port, frame);
+    if (duplicate) {
+        port.counters.duplicated++;
+        deliverToNic(port, frame);
+    }
+}
+
+void
+VirtualSwitch::deliverToNic(Port &port, const std::vector<uint8_t> &frame)
+{
+    if (port.nic == nullptr) {
+        return;
+    }
+    if (port.nic->deliver(frame.data(),
+                          static_cast<uint32_t>(frame.size()))) {
+        port.counters.forwarded++;
+        totalDelivered_++;
+    } else {
+        port.counters.nicBackpressure++;
+    }
+}
+
+} // namespace cheriot::net

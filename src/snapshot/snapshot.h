@@ -37,8 +37,10 @@ namespace cheriot::snapshot
 
 /** Current image format version.
  * v2: quota ledger + chunk-owner map + heap-pressure counters in the
- * allocator stream; alloc-failure budget in FaultRecoveryState. */
-constexpr uint32_t kSnapshotVersion = 2;
+ * allocator stream; alloc-failure budget in FaultRecoveryState.
+ * v3: refill-timeout counter + ARQ peer state (sequence/retransmit/
+ * dedup queues) in the net-stack stream. */
+constexpr uint32_t kSnapshotVersion = 3;
 /** 'CHSN' little-endian. */
 constexpr uint32_t kSnapshotMagic = 0x4e534843;
 

@@ -310,6 +310,70 @@ TEST_F(NetStackTest, HeapExhaustionShrinksRingIntoBackpressureAndRecovers)
     EXPECT_EQ(nic.rxDrops(), dropsBefore);
 }
 
+TEST_F(NetStackTest, RefillWaitTimesOutTypedAndBounded)
+{
+    // Same starvation as above, but the property under test is the
+    // *typed* timeout: an exhausted refill returns
+    // RefillResult::Timeout after a bounded backoff wait (the
+    // MessageQueueService discipline) instead of blocking the pump,
+    // and each timed-out wait is counted exactly once.
+    std::vector<Capability> hoard;
+    onPacket = [&](CompartmentContext &ctx, ArgVec &args) {
+        if (ctx.kernel.claim(ctx.thread, args[0]) !=
+            HeapAllocator::FreeResult::Ok) {
+            return CallResult::ofInt(0);
+        }
+        hoard.push_back(args[0]);
+        return CallResult::ofInt(1);
+    };
+    NetStackConfig cfg = smallConfig();
+    cfg.refillTimeoutCycles = 512; // Short deadline, fast test.
+    connectAndStart(cfg);
+
+    while (nic.rxDrops() == 0 && seq_ < 4000) {
+        run(8);
+    }
+    EXPECT_GT(stack->refillTimeouts(), 0u);
+    // Every refill failure under exhaustion is a *timeout*, not some
+    // untyped error: the counters move in lockstep.
+    EXPECT_EQ(stack->refillTimeouts(), stack->refillFailures());
+
+    // Exactly one bounded wait per pump: with the heap still starved
+    // and refills pending, a bare pump times out once and charges at
+    // most deadline + one capped backoff step, then returns.
+    const uint64_t timeoutsBefore = stack->refillTimeouts();
+    const uint64_t cyclesBefore = machine.cycles();
+    stack->pump(*thread);
+    EXPECT_EQ(stack->refillTimeouts(), timeoutsBefore + 1);
+    // The backoff wait itself is bounded by deadline + one capped
+    // step; each failed malloc attempt additionally charges the
+    // allocator's free-list walk, hence the slack term.
+    constexpr uint64_t kMallocAttemptSlack = 4096;
+    EXPECT_LE(machine.cycles() - cyclesBefore,
+              cfg.refillTimeoutCycles +
+                  NetStack::kRefillBackoffCapCycles +
+                  kMallocAttemptSlack)
+        << "the wait must be bounded by the configured deadline";
+
+    // Recovery: once the hoard releases, refills succeed again and
+    // the timeout counter freezes.
+    for (const Capability &claimed : hoard) {
+        ASSERT_EQ(kernel.allocator().free(claimed),
+                  HeapAllocator::FreeResult::Ok);
+    }
+    hoard.clear();
+    onPacket = nullptr;
+    kernel.allocator().synchronise();
+    stack->pump(*thread);
+    const uint64_t timeoutsAtRecovery = stack->refillTimeouts();
+    const uint64_t acceptedAtRecovery = stack->packetsAccepted();
+    const uint64_t dropsAtRecovery = nic.rxDrops();
+    run(8);
+    EXPECT_EQ(stack->refillTimeouts(), timeoutsAtRecovery);
+    EXPECT_EQ(stack->packetsAccepted(), acceptedAtRecovery + 8);
+    EXPECT_EQ(nic.rxDrops(), dropsAtRecovery);
+}
+
 TEST_F(NetStackTest, AcksFlowBackThroughTheClaimedTxPath)
 {
     NetStackConfig cfg = smallConfig();

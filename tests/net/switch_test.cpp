@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Tests for the virtual L2 switch and its seeded link-fault models:
+ * MAC learning and unicast forwarding vs. flooding, bounded egress
+ * queues dropping under congestion, per-link fault determinism from
+ * (seed, linkId) alone, SwitchPortStall freezing one port's egress
+ * while the rest of the fabric keeps moving, and the containment
+ * property the whole fleet design leans on — a frame corrupted on the
+ * wire (or a NicLinkDrop burst at the receiver) costs exactly that
+ * frame; it dies at the firewall checksum as untrusted bytes and
+ * never reaches a consumer's capability.
+ */
+
+#include "fault/fault_injector.h"
+#include "mem/memory_map.h"
+#include "net/net_stack.h"
+#include "net/nic_device.h"
+#include "net/switch.h"
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace cheriot::net
+{
+namespace
+{
+
+using cap::Capability;
+using rtos::ArgVec;
+using rtos::CallResult;
+using rtos::CompartmentContext;
+
+/** A bare NIC on its own SRAM, rings programmed and fully posted —
+ * enough device to count what the switch delivers. */
+struct PortNic
+{
+    static constexpr uint32_t kRingEntries = 8;
+    static constexpr uint32_t kBufBytes = 256;
+    static constexpr uint32_t kRingAddr = mem::kSramBase + 0x100;
+    static constexpr uint32_t kBufArea = mem::kSramBase + 0x1000;
+
+    PortNic() : sram(mem::kSramBase, 64u << 10), nic(sram)
+    {
+        nic.write32(NicDevice::kRegRxRingBase, kRingAddr);
+        nic.write32(NicDevice::kRegRxRingCount, kRingEntries);
+        nic.write32(NicDevice::kRegDmaBase, mem::kSramBase);
+        nic.write32(NicDevice::kRegDmaSize, 64u << 10);
+        nic.write32(NicDevice::kRegCtrl, NicDevice::kCtrlRxEnable |
+                                             NicDevice::kCtrlTxEnable);
+        for (uint32_t i = 0; i < kRingEntries; ++i) {
+            post(i);
+        }
+    }
+
+    void post(uint32_t index)
+    {
+        const uint32_t slot = index % kRingEntries;
+        sram.write32(kRingAddr + slot * NicDevice::kDescBytes,
+                     kBufArea + slot * kBufBytes);
+        sram.write32(kRingAddr + slot * NicDevice::kDescBytes + 4,
+                     kBufBytes & NicDevice::kDescLenMask);
+        nic.write32(NicDevice::kRegRxTail, index + 1);
+    }
+
+    /** Consume-and-repost everything DONE so the ring never applies
+     * backpressure in tests that don't want it. */
+    void drainRing()
+    {
+        while (consumed_ < nic.read32(NicDevice::kRegRxHead)) {
+            const uint32_t slot = consumed_ % kRingEntries;
+            sram.write32(kRingAddr + slot * NicDevice::kDescBytes + 4,
+                         kBufBytes & NicDevice::kDescLenMask);
+            consumed_++;
+            post(consumed_ + kRingEntries - 1);
+        }
+    }
+
+    mem::TaggedMemory sram;
+    NicDevice nic;
+    uint32_t consumed_ = 0;
+};
+
+std::vector<uint8_t>
+dataFrame(uint32_t dst, uint32_t src, uint32_t seq)
+{
+    FleetFrameHeader header;
+    header.dst = dst;
+    header.src = src;
+    header.type = FleetFrameType::Data;
+    header.seq = seq;
+    return buildFleetFrame(header, {seq, seq ^ 0x5a5a5a5a});
+}
+
+class SwitchTest : public ::testing::Test
+{
+  protected:
+    SwitchTest() : fabric(0x5eed)
+    {
+        for (auto &port : nics) {
+            fabric.addPort(&port.nic);
+        }
+    }
+
+    void ingressAndTick(uint32_t port, const std::vector<uint8_t> &f)
+    {
+        fabric.ingress(port, f.data(),
+                       static_cast<uint32_t>(f.size()));
+        fabric.tick();
+    }
+
+    /** Tick until every queue drains (delay/stall tests). */
+    void settle(uint32_t maxTicks = 64)
+    {
+        for (uint32_t i = 0; i < maxTicks && fabric.queuedFrames() > 0;
+             ++i) {
+            fabric.tick();
+        }
+    }
+
+    VirtualSwitch fabric;
+    PortNic nics[3];
+};
+
+TEST_F(SwitchTest, UnknownDestinationFloodsThenLearnedUnicasts)
+{
+    // MAC 2 is unlearned: the frame floods to both other ports.
+    ingressAndTick(0, dataFrame(/*dst=*/2, /*src=*/1, 0));
+    EXPECT_EQ(fabric.learnedPort(1), 0);
+    EXPECT_EQ(fabric.learnedPort(2), -1);
+    EXPECT_EQ(nics[1].nic.rxPackets(), 1u);
+    EXPECT_EQ(nics[2].nic.rxPackets(), 1u);
+
+    // Node 2 talks (port 1): its MAC is learned and traffic to it
+    // stops flooding.
+    ingressAndTick(1, dataFrame(/*dst=*/1, /*src=*/2, 0));
+    EXPECT_EQ(fabric.learnedPort(2), 1);
+
+    ingressAndTick(0, dataFrame(/*dst=*/2, /*src=*/1, 1));
+    EXPECT_EQ(nics[1].nic.rxPackets(), 2u);
+    EXPECT_EQ(nics[2].nic.rxPackets(), 1u) << "no longer flooded";
+    EXPECT_EQ(fabric.counters(1).forwarded, 2u);
+    EXPECT_EQ(fabric.counters(2).forwarded, 1u);
+    EXPECT_EQ(fabric.counters(2).flooded, 1u);
+}
+
+TEST_F(SwitchTest, BroadcastReachesEveryOtherPortNeverTheSource)
+{
+    ingressAndTick(0, dataFrame(kFleetBroadcast, 1, 0));
+    EXPECT_EQ(nics[0].nic.rxPackets(), 0u);
+    EXPECT_EQ(nics[1].nic.rxPackets(), 1u);
+    EXPECT_EQ(nics[2].nic.rxPackets(), 1u);
+}
+
+TEST_F(SwitchTest, BoundedEgressQueueDropsWhenCongested)
+{
+    VirtualSwitch tiny(0x5eed, /*maxQueueDepth=*/4);
+    PortNic a, b;
+    tiny.addPort(&a.nic);
+    tiny.addPort(&b.nic);
+    // Stall the egress port so nothing drains while we flood it.
+    tiny.stallPort(1, 100);
+    for (uint32_t i = 0; i < 10; ++i) {
+        const auto f = dataFrame(2, 1, i);
+        tiny.ingress(0, f.data(), static_cast<uint32_t>(f.size()));
+    }
+    EXPECT_EQ(tiny.counters(1).queueDrops, 6u);
+    EXPECT_EQ(tiny.queuedFrames(), 4u);
+}
+
+TEST_F(SwitchTest, LinkFaultsAreDeterministicFromSeedAndLinkId)
+{
+    LinkFaultConfig lossy;
+    lossy.dropPermille = 200;
+    lossy.corruptPermille = 150;
+    lossy.duplicatePermille = 150;
+    lossy.reorderPermille = 100;
+    lossy.delayPermille = 200;
+
+    const auto runOnce = [&](uint64_t seed) {
+        VirtualSwitch sw(seed);
+        PortNic a, b;
+        sw.addPort(&a.nic);
+        sw.addPort(&b.nic);
+        sw.setLinkFaults(1, lossy);
+        for (uint32_t i = 0; i < 200; ++i) {
+            const auto f = dataFrame(2, 1, i);
+            sw.ingress(0, f.data(), static_cast<uint32_t>(f.size()));
+            sw.tick();
+            b.drainRing();
+        }
+        for (uint32_t i = 0; i < 32; ++i) {
+            sw.tick();
+            b.drainRing();
+        }
+        return sw.counters(1);
+    };
+
+    const VirtualSwitch::PortCounters first = runOnce(0xabc);
+    const VirtualSwitch::PortCounters again = runOnce(0xabc);
+    const VirtualSwitch::PortCounters other = runOnce(0xdef);
+
+    EXPECT_EQ(first.faultDrops, again.faultDrops);
+    EXPECT_EQ(first.corrupted, again.corrupted);
+    EXPECT_EQ(first.duplicated, again.duplicated);
+    EXPECT_EQ(first.reordered, again.reordered);
+    EXPECT_EQ(first.delayed, again.delayed);
+    EXPECT_EQ(first.forwarded, again.forwarded);
+    // Every fault class actually exercised at these rates…
+    EXPECT_GT(first.faultDrops, 0u);
+    EXPECT_GT(first.corrupted, 0u);
+    EXPECT_GT(first.duplicated, 0u);
+    EXPECT_GT(first.delayed, 0u);
+    // …and a different seed draws a different schedule.
+    EXPECT_NE(first.faultDrops + first.corrupted + first.duplicated,
+              other.faultDrops + other.corrupted + other.duplicated);
+}
+
+TEST_F(SwitchTest, PartitionedPortDropsBothDirectionsUntilHealed)
+{
+    ingressAndTick(1, dataFrame(1, 2, 0)); // Learn MAC 2 → port 1.
+    fabric.setPartitioned(1, true);
+
+    ingressAndTick(0, dataFrame(2, 1, 1)); // Toward the island.
+    ingressAndTick(1, dataFrame(1, 2, 1)); // From the island.
+    EXPECT_EQ(nics[1].nic.rxPackets(), 0u);
+    EXPECT_EQ(nics[0].nic.rxPackets(), 1u) << "only the pre-partition frame";
+    EXPECT_GE(fabric.counters(1).partitionDrops, 2u);
+
+    fabric.setPartitioned(1, false);
+    ingressAndTick(0, dataFrame(2, 1, 2));
+    EXPECT_EQ(nics[1].nic.rxPackets(), 1u) << "heals cleanly";
+}
+
+TEST_F(SwitchTest, InjectedPortStallFreezesOnePortOnly)
+{
+    fault::FaultInjector injector(0x57a11);
+    fabric.setFaultInjector(&injector);
+    ingressAndTick(1, dataFrame(1, 2, 0)); // Learn 2 → 1.
+    ingressAndTick(0, dataFrame(2, 1, 0)); // Learn 1 → 0.
+    const uint64_t port1Before = nics[1].nic.rxPackets();
+
+    fault::FaultPlan plan;
+    plan.site = fault::FaultSite::SwitchPortStall;
+    plan.triggerTransaction = 0; // Next tick.
+    plan.addr = 1;               // Port 1 (modulo port count).
+    plan.param = 5;
+    injector.arm(plan);
+
+    // During the stall, traffic to port 1 queues; port 0 still flows.
+    for (uint32_t i = 0; i < 3; ++i) {
+        const auto toIsland = dataFrame(2, 1, 10 + i);
+        const auto toMain = dataFrame(1, 2, 10 + i);
+        fabric.ingress(0, toIsland.data(),
+                       static_cast<uint32_t>(toIsland.size()));
+        fabric.ingress(1, toMain.data(),
+                       static_cast<uint32_t>(toMain.size()));
+        fabric.tick();
+    }
+    EXPECT_TRUE(injector.fired());
+    EXPECT_EQ(injector.switchPortStalls.value(), 1u);
+    EXPECT_EQ(nics[1].nic.rxPackets(), port1Before) << "egress frozen";
+    EXPECT_EQ(nics[0].nic.rxPackets(), 4u) << "others unaffected";
+    EXPECT_GT(fabric.counters(1).stallTicks, 0u);
+
+    // The stall expires on its own and the queue drains: an
+    // availability fault, not a loss.
+    settle();
+    EXPECT_EQ(nics[1].nic.rxPackets(), port1Before + 3);
+    EXPECT_EQ(fabric.counters(1).queueDrops, 0u);
+}
+
+/**
+ * Full-guest containment fixture: one Machine with the PR-5 net stack
+ * (plain mode — the checksum gate under test is the same one the ARQ
+ * sits behind) receiving frames through a switch port.
+ */
+class SwitchContainmentTest : public ::testing::Test
+{
+  protected:
+    SwitchContainmentTest()
+        : injector(0xfee1), machine(config(&injector)),
+          kernel(machine), nic(machine.memory().sram()),
+          fabric(0x5eed)
+    {
+        kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
+        machine.memory().mmio().map(mem::kNicMmioBase,
+                                    mem::kNicMmioSize, &nic);
+        nic.setFaultInjector(&injector);
+        parts = addNetCompartments(kernel);
+        app = &kernel.createCompartment("app");
+        const uint32_t index = app->addExport(
+            {"handle",
+             [this](CompartmentContext &ctx, ArgVec &args) {
+                 const Capability payload = args[0];
+                 const uint32_t len = args[1].address();
+                 uint32_t sum = 0;
+                 for (uint32_t off = 0; off < len; off += 4) {
+                     sum ^= ctx.mem.loadWord(payload,
+                                             payload.base() + off);
+                 }
+                 framesSeen++;
+                 lastSum = sum;
+                 return CallResult::ofInt(1);
+             },
+             false});
+        thread = &kernel.createThread("net", 2, 4096);
+        std::string error;
+        if (!kernel.finalizeBoot(&error)) {
+            ADD_FAILURE() << "boot: " << error;
+        }
+        kernel.activate(*thread);
+
+        NetStackConfig cfg;
+        cfg.rxRingEntries = 8;
+        cfg.bufBytes = 256;
+        cfg.ackEveryN = 0;
+        stack = std::make_unique<NetStack>(kernel, nic, parts, cfg);
+        stack->connect({{kernel.importOf(*app, index), false}});
+        stack->start(*thread);
+
+        sender = fabric.addPort(nullptr);
+        receiver = fabric.addPort(&nic);
+    }
+
+    static sim::MachineConfig config(fault::FaultInjector *injector)
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 192u << 10;
+        c.heapOffset = 64u << 10;
+        c.heapSize = 128u << 10;
+        c.injector = injector;
+        return c;
+    }
+
+    void sendThroughFabric(uint32_t count)
+    {
+        for (uint32_t i = 0; i < count; ++i) {
+            const auto f = dataFrame(/*dst=*/7, /*src=*/3, i);
+            fabric.ingress(sender, f.data(),
+                           static_cast<uint32_t>(f.size()));
+            fabric.tick();
+            stack->pump(*thread);
+        }
+        fabric.tick();
+        stack->pump(*thread);
+    }
+
+    fault::FaultInjector injector;
+    sim::Machine machine;
+    rtos::Kernel kernel;
+    NicDevice nic;
+    NetCompartments parts;
+    rtos::Compartment *app = nullptr;
+    rtos::Thread *thread = nullptr;
+    std::unique_ptr<NetStack> stack;
+    VirtualSwitch fabric;
+    uint32_t sender = 0;
+    uint32_t receiver = 0;
+    uint32_t framesSeen = 0;
+    uint32_t lastSum = 0;
+};
+
+TEST_F(SwitchContainmentTest,
+       CorruptedFramesDieAtTheFirewallChecksumNeverAtAConsumer)
+{
+    LinkFaultConfig alwaysCorrupt;
+    alwaysCorrupt.corruptPermille = 1000;
+    fabric.setLinkFaults(receiver, alwaysCorrupt);
+
+    sendThroughFabric(20);
+    EXPECT_EQ(fabric.counters(receiver).corrupted, 20u);
+    // Every corrupted frame reached the guest as bytes, failed the
+    // checksum inside the firewall, and was freed — no consumer call,
+    // no trap, no capability ever derived from wire data.
+    EXPECT_EQ(framesSeen, 0u);
+    EXPECT_EQ(stack->parseDrops(), 20u);
+    EXPECT_EQ(stack->packetsAccepted(), 0u);
+    EXPECT_EQ(machine.trapCount(), 0u);
+    EXPECT_EQ(injector.safetyViolations.value(), 0u);
+
+    // Clean link again: the path still works, balanced frames XOR to
+    // zero through the consumer's read-only view.
+    fabric.setLinkFaults(receiver, LinkFaultConfig{});
+    sendThroughFabric(5);
+    EXPECT_EQ(framesSeen, 5u);
+    EXPECT_EQ(lastSum, 0u);
+}
+
+struct LinkDropCase
+{
+    uint64_t trigger;
+    uint32_t burst;
+};
+
+class NicLinkDropTest : public SwitchContainmentTest,
+                        public ::testing::WithParamInterface<LinkDropCase>
+{};
+
+TEST_P(NicLinkDropTest, DropsExactlyTheBurstThenRecovers)
+{
+    const LinkDropCase &c = GetParam();
+    fault::FaultPlan plan;
+    plan.site = fault::FaultSite::NicLinkDrop;
+    plan.triggerTransaction = c.trigger;
+    plan.param = c.burst;
+    injector.arm(plan);
+
+    const uint32_t total = 20;
+    sendThroughFabric(total);
+    EXPECT_TRUE(injector.fired());
+    EXPECT_EQ(injector.nicLinkDrops.value(), c.burst);
+    EXPECT_EQ(nic.rxDrops(), c.burst);
+    // An availability fault costs exactly the burst, nothing else:
+    // every surviving frame still checksums clean into the consumer.
+    EXPECT_EQ(framesSeen, total - c.burst);
+    EXPECT_EQ(stack->parseDrops(), 0u);
+    EXPECT_EQ(injector.safetyViolations.value(), 0u);
+    EXPECT_EQ(machine.trapCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bursts, NicLinkDropTest,
+                         ::testing::Values(LinkDropCase{0, 1},
+                                           LinkDropCase{3, 2},
+                                           LinkDropCase{7, 4},
+                                           LinkDropCase{15, 3}));
+
+} // namespace
+} // namespace cheriot::net
