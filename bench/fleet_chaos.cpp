@@ -30,6 +30,7 @@
 #include "net/switch.h"
 #include "sim/fleet.h"
 #include "util/log.h"
+#include "workloads/rogue/rogue_device.h"
 
 #include <algorithm>
 #include <chrono>
@@ -52,8 +53,22 @@ struct LatencyRow
     uint32_t p99 = 0;
 };
 
+/** Per-port fabric accounting (drop/stall attribution per device). */
+struct PortRow
+{
+    uint32_t port = 0;
+    uint64_t ingress = 0;
+    uint64_t forwarded = 0;
+    uint64_t queueDrops = 0;
+    uint64_t faultDrops = 0;
+    uint64_t partitionDrops = 0;
+    uint64_t stallTicks = 0;
+    uint64_t nicBackpressure = 0;
+};
+
 struct BenchRow
 {
+    std::string kind = "chaos"; ///< chaos | app-baseline | rogue.
     std::string core;
     uint32_t nodes = 0;
     uint32_t rounds = 0;
@@ -87,7 +102,36 @@ struct BenchRow
     bool drained = false;
     bool ok = false;
     std::vector<LatencyRow> latency;
+    std::vector<PortRow> ports;
+    std::vector<uint64_t> retxHistogram;
     std::vector<std::string> failures;
+
+    /** Rogue-phase extras (kind == rogue / app-baseline). */
+    uint32_t rogueMac = 0;
+    uint64_t rogueForged = 0;
+    uint32_t rogueStrikesMax = 0;
+    uint32_t localQuarantineVotes = 0;
+    bool fabricQuarantined = false;
+    uint64_t fwStrikes = 0;
+    uint64_t fwMalformed = 0;
+    uint64_t fwOversized = 0;
+    uint64_t fwRateLimited = 0;
+    uint64_t fwStaleEpochs = 0;
+    uint64_t fwQuarantineDrops = 0;
+    uint64_t flowOpens = 0;
+    uint64_t flowAccepts = 0;
+    uint64_t flowSegments = 0;
+    uint64_t flowWindowStalls = 0;
+    uint64_t flowResets = 0;
+    uint64_t spoofDrops = 0;
+    uint64_t brokerPublished = 0;
+    uint64_t brokerDelivered = 0;
+    uint64_t brokerShed[3] = {0, 0, 0};
+    uint64_t brokerBackpressure = 0;
+    uint64_t brokerCorruptDrops = 0;
+    uint64_t brokerHeapLive = 0;
+    uint32_t honestP99 = 0;
+    double p99Limit = 0.0;
 };
 
 uint32_t
@@ -98,6 +142,26 @@ percentile(std::vector<uint32_t> &values, uint32_t p)
     }
     std::sort(values.begin(), values.end());
     return values[(values.size() - 1) * p / 100];
+}
+
+/** Name every live heap chunk on @p node: a leak message that says
+ * "16 bytes" is unactionable, one that says "1 live 24-byte internal
+ * chunk at 0x..." points at the holder. */
+std::string
+describeLiveChunks(sim::FleetNode &node)
+{
+    std::string out;
+    node.kernel().allocator().forEachChunk(
+        [&](uint32_t addr, uint32_t size, bool inUse, bool internal) {
+            if (!inUse) {
+                return;
+            }
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), " [0x%x +%u%s]", addr,
+                          size, internal ? " internal" : "");
+            out += buf;
+        });
+    return out.empty() ? " (no live chunks: accounting drift)" : out;
 }
 
 void
@@ -159,6 +223,134 @@ checkDeliveryContract(sim::Fleet &fleet, uint32_t quarantined,
     }
 }
 
+/** Shared per-node metric sweep: ARQ/firewall/app counters, per-port
+ * fabric accounting, the aggregate retransmit histogram, and per-node
+ * latency percentiles. */
+void
+collectMetrics(sim::Fleet &fleet, BenchRow &row)
+{
+    row.fabricFrames = fleet.fabric().totalDelivered();
+    row.retxHistogram.assign(net::NetStack::kRetxHistogramBuckets, 0);
+    for (uint32_t id = 0; id < fleet.size(); ++id) {
+        sim::FleetNode &node = fleet.node(id);
+        net::NetStack &stack = node.stack();
+        row.sendsAccepted += node.sends().size();
+        row.amnestySends += node.amnestySends().size();
+        row.sendRefusals += node.sendRefusals();
+        row.spoofDrops += node.spoofDrops();
+        row.delivered += stack.arqDelivered();
+        row.retransmits += stack.arqRetransmits();
+        row.acksSent += stack.arqAcksSent();
+        row.probesSent += stack.arqProbesSent();
+        row.rejoins += stack.arqRejoins();
+        row.peerDeaths += stack.arqPeerDeaths();
+        row.duplicatesDropped += stack.arqDuplicatesDropped();
+        row.refillTimeouts += stack.refillTimeouts();
+        row.nicLinkDrops += node.injector().nicLinkDrops.value();
+        row.fwStrikes += stack.fwStrikes();
+        row.fwMalformed += stack.fwMalformed();
+        row.fwOversized += stack.fwOversized();
+        row.fwRateLimited += stack.fwRateLimited();
+        row.fwStaleEpochs += stack.fwStaleEpochs();
+        row.fwQuarantineDrops += stack.fwQuarantineDrops();
+        const std::vector<uint64_t> hist = stack.retxHistogram();
+        for (size_t b = 0;
+             b < hist.size() && b < row.retxHistogram.size(); ++b) {
+            row.retxHistogram[b] += hist[b];
+        }
+        if (net::FlowManager *fm = node.flowManager()) {
+            row.flowOpens += fm->opens();
+            row.flowAccepts += fm->accepts();
+            row.flowSegments += fm->segmentsSent();
+            row.flowWindowStalls += fm->windowStalls();
+            row.flowResets += fm->resetsSent() + fm->resetsReceived();
+        }
+        if (net::TelemetryBroker *broker = node.broker()) {
+            row.brokerPublished += broker->published();
+            row.brokerDelivered += broker->delivered();
+            for (uint32_t c = 0; c < 3; ++c) {
+                row.brokerShed[c] += broker->shedByClass(c);
+            }
+            row.brokerBackpressure += broker->backpressureRefusals();
+            row.brokerCorruptDrops += broker->corruptDrops();
+            row.brokerHeapLive += broker->heapBytesLive();
+        }
+
+        const net::VirtualSwitch::PortCounters &port =
+            fleet.fabric().counters(id);
+        row.switchQueueDrops += port.queueDrops;
+        row.switchFaultDrops += port.faultDrops;
+        row.switchCorrupted += port.corrupted;
+        row.switchDuplicated += port.duplicated;
+        row.switchReordered += port.reordered;
+        row.switchDelayed += port.delayed;
+        row.switchPartitionDrops += port.partitionDrops;
+        row.switchStallTicks += port.stallTicks;
+        PortRow portRow;
+        portRow.port = id;
+        portRow.ingress = port.ingressFrames;
+        portRow.forwarded = port.forwarded;
+        portRow.queueDrops = port.queueDrops;
+        portRow.faultDrops = port.faultDrops;
+        portRow.partitionDrops = port.partitionDrops;
+        portRow.stallTicks = port.stallTicks;
+        portRow.nicBackpressure = port.nicBackpressure;
+        row.ports.push_back(portRow);
+
+        std::vector<uint32_t> lats;
+        lats.reserve(node.deliveries().size());
+        for (const sim::FleetDelivery &d : node.deliveries()) {
+            lats.push_back(d.recvRound - d.sentRound);
+        }
+        LatencyRow lat;
+        lat.node = id;
+        lat.deliveries = node.deliveries().size();
+        lat.p50 = percentile(lats, 50);
+        lat.p99 = percentile(lats, 99);
+        row.latency.push_back(lat);
+    }
+    row.safetyViolations = fleet.totalSafetyViolations();
+}
+
+/** Strict exactly-once gate (no restart, so no amnesty carve-out). */
+void
+checkExactlyOnce(sim::Fleet &fleet, BenchRow &row)
+{
+    for (uint32_t id = 0; id < fleet.size(); ++id) {
+        for (const sim::FleetSend &send : fleet.node(id).sends()) {
+            sim::FleetNode &dst = fleet.node(send.dstMac - 1);
+            const auto &counts = dst.deliveryCounts();
+            const auto it = counts.find(send.msgId);
+            const uint32_t seen = it == counts.end() ? 0 : it->second;
+            if (seen != 1) {
+                fail(row, "msg " + std::to_string(send.msgId) +
+                              " from node " + std::to_string(id) +
+                              " to mac " +
+                              std::to_string(send.dstMac) +
+                              " delivered " + std::to_string(seen) +
+                              "x (want exactly once)");
+            }
+        }
+    }
+}
+
+/** Pooled delivery-latency p99 across every node except @p skip. */
+uint32_t
+pooledP99(sim::Fleet &fleet, int32_t skip)
+{
+    std::vector<uint32_t> lats;
+    for (uint32_t id = 0; id < fleet.size(); ++id) {
+        if (skip >= 0 && id == static_cast<uint32_t>(skip)) {
+            continue;
+        }
+        for (const sim::FleetDelivery &d :
+             fleet.node(id).deliveries()) {
+            lats.push_back(d.recvRound - d.sentRound);
+        }
+    }
+    return percentile(lats, 99);
+}
+
 BenchRow
 runCampaign(const sim::CoreConfig &core, const std::string &name,
             uint32_t nodes, uint32_t rounds, uint64_t seed)
@@ -215,7 +407,7 @@ runCampaign(const sim::CoreConfig &core, const std::string &name,
             .count();
 
     // ---- Metrics ----------------------------------------------------
-    row.fabricFrames = fleet.fabric().totalDelivered();
+    collectMetrics(fleet, row);
     row.framesPerSec =
         row.hostSeconds > 0.0
             ? static_cast<double>(row.fabricFrames) / row.hostSeconds
@@ -224,46 +416,6 @@ runCampaign(const sim::CoreConfig &core, const std::string &name,
     const uint32_t quarantined =
         static_cast<uint32_t>(cc.quarantineNode);
     row.restartIncarnation = fleet.node(quarantined).incarnation();
-    for (uint32_t id = 0; id < nodes; ++id) {
-        sim::FleetNode &node = fleet.node(id);
-        net::NetStack &stack = node.stack();
-        row.sendsAccepted += node.sends().size();
-        row.amnestySends += node.amnestySends().size();
-        row.sendRefusals += node.sendRefusals();
-        row.delivered += stack.arqDelivered();
-        row.retransmits += stack.arqRetransmits();
-        row.acksSent += stack.arqAcksSent();
-        row.probesSent += stack.arqProbesSent();
-        row.rejoins += stack.arqRejoins();
-        row.peerDeaths += stack.arqPeerDeaths();
-        row.duplicatesDropped += stack.arqDuplicatesDropped();
-        row.refillTimeouts += stack.refillTimeouts();
-        row.nicLinkDrops += node.injector().nicLinkDrops.value();
-
-        const net::VirtualSwitch::PortCounters &port =
-            fleet.fabric().counters(id);
-        row.switchQueueDrops += port.queueDrops;
-        row.switchFaultDrops += port.faultDrops;
-        row.switchCorrupted += port.corrupted;
-        row.switchDuplicated += port.duplicated;
-        row.switchReordered += port.reordered;
-        row.switchDelayed += port.delayed;
-        row.switchPartitionDrops += port.partitionDrops;
-        row.switchStallTicks += port.stallTicks;
-
-        std::vector<uint32_t> lats;
-        lats.reserve(node.deliveries().size());
-        for (const sim::FleetDelivery &d : node.deliveries()) {
-            lats.push_back(d.recvRound - d.sentRound);
-        }
-        LatencyRow lat;
-        lat.node = id;
-        lat.deliveries = node.deliveries().size();
-        lat.p50 = percentile(lats, 50);
-        lat.p99 = percentile(lats, 99);
-        row.latency.push_back(lat);
-    }
-    row.safetyViolations = fleet.totalSafetyViolations();
 
     // ---- Invariant gate ---------------------------------------------
     if (!row.drained) {
@@ -288,7 +440,8 @@ runCampaign(const sim::CoreConfig &core, const std::string &name,
             fail(row, "node " + std::to_string(id) + " leaked " +
                           std::to_string(static_cast<int64_t>(
                               baseline - now)) +
-                          " heap bytes");
+                          " heap bytes:" +
+                          describeLiveChunks(fleet.node(id)));
         }
     }
     // The chaos actually bit: a campaign that never exercised the
@@ -324,6 +477,217 @@ runCampaign(const sim::CoreConfig &core, const std::string &name,
     return row;
 }
 
+/**
+ * Application-tier campaign: every node runs flows + a telemetry
+ * broker over the firewall-admitted ARQ stack. With @p withRogue one
+ * node is driven by a host-side Byzantine forger through an attack
+ * window; the gate demands containment (local quarantine within the
+ * strike budget, fleet-level port partition), zero safety violations,
+ * exactly-once honest delivery, bounded honest-latency degradation
+ * against @p baselineP99, and a full heap-and-broker heal.
+ */
+BenchRow
+runAppCampaign(const sim::CoreConfig &core, const std::string &name,
+               uint32_t nodes, uint32_t rounds, uint64_t seed,
+               bool withRogue, uint32_t baselineP99)
+{
+    BenchRow row;
+    row.kind = withRogue ? "rogue" : "app-baseline";
+    row.core = name;
+    row.nodes = nodes;
+    row.rounds = rounds;
+    row.seed = seed;
+
+    sim::FleetConfig fc;
+    fc.nodes = nodes;
+    fc.seed = seed;
+    fc.core = core;
+    // Application-tier rounds cost ~40k guest cycles (flow service,
+    // broker calls): ARQ and keepalive timers scale with that, or
+    // every ack loses the race against its own retransmit clock.
+    fc.stack.arqRtoStartCycles = 131072;
+    fc.stack.arqRtoCapCycles = 1u << 20;
+    fc.stack.arqMaxRetries = 6;
+    fc.stack.arqProbeIntervalCycles = 262144;
+    fc.flow.keepaliveIdleCycles = 1u << 21;
+    fc.appTier = true;
+    fc.rogueNode = withRogue ? static_cast<int32_t>(nodes / 2) : -1;
+    fc.fabricQuarantineVotes = 2;
+    fc.stack.firewall.admission = true;
+    fc.stack.firewall.strikeBudget = 8;
+    net::FirewallRule rule;     // Wildcard rule for every device:
+    rule.maxFrameBytes = 256;   // oversize floods violate it, honest
+    rule.burstFrames = 24;      // flow segments never do.
+    rule.ratePer1KCycles256 = 8 * 256;
+    rule.maxInflightBytes = 16 * 1024;
+    fc.stack.firewall.rules.push_back(rule);
+    sim::Fleet fleet(fc);
+
+    const uint32_t warmup = rounds / 5;
+    const uint32_t attackLen = rounds * 3 / 5;
+    workloads::RogueConfig rc;
+    rc.startRound = warmup;
+    rc.endRound = warmup + attackLen;
+    rc.framesPerRound = 6;
+    rc.oversizeWords = 120; // 500-byte frames: rule-oversized, yet
+                            // comfortably inside the NIC buffer.
+    const uint32_t rogueMac = static_cast<uint32_t>(nodes / 2) + 1;
+    row.rogueMac = withRogue ? rogueMac : 0;
+    workloads::RogueDevice rogue(rogueMac, seed, rc);
+
+    sim::FleetTraffic traffic;
+    traffic.sendPermille = 600;
+    traffic.payloadWords = 8;
+
+    const auto startWall = std::chrono::steady_clock::now();
+    for (uint32_t r = 0; r < rounds; ++r) {
+        if (withRogue) {
+            rogue.emit(fleet.round(),
+                       fleet.node(nodes / 2).outbox(), nodes);
+        }
+        fleet.run(1, traffic);
+    }
+    row.drained = fleet.drain(/*maxRounds=*/rounds * 40);
+    const auto wall = std::chrono::steady_clock::now() - startWall;
+    row.hostSeconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(wall)
+            .count();
+
+    // ---- Metrics ----------------------------------------------------
+    collectMetrics(fleet, row);
+    row.framesPerSec =
+        row.hostSeconds > 0.0
+            ? static_cast<double>(row.fabricFrames) / row.hostSeconds
+            : 0.0;
+    row.rogueForged = rogue.forged();
+    row.honestP99 = pooledP99(fleet, fc.rogueNode);
+    for (uint32_t id = 0; id < nodes; ++id) {
+        net::NetStack &stack = fleet.node(id).stack();
+        row.rogueStrikesMax = std::max(
+            row.rogueStrikesMax, stack.deviceStrikes(rogueMac));
+        if (withRogue && id != nodes / 2 &&
+            stack.deviceQuarantined(rogueMac)) {
+            row.localQuarantineVotes++;
+        }
+    }
+    const auto &fabricQ = fleet.fabricQuarantines();
+    row.fabricQuarantined =
+        std::find(fabricQ.begin(), fabricQ.end(), rogueMac) !=
+        fabricQ.end();
+
+    // ---- Invariant gate ---------------------------------------------
+    if (!row.drained) {
+        fail(row, "fleet failed to drain after the attack window");
+    }
+    if (row.safetyViolations != 0) {
+        fail(row, "corrupted-capability dereference observed (" +
+                      std::to_string(row.safetyViolations) + ")");
+    }
+    if (fleet.anyPeerDead()) {
+        fail(row, "a peer is still presumed dead after drain");
+    }
+    checkExactlyOnce(fleet, row);
+    for (uint32_t id = 0; id < nodes; ++id) {
+        const uint64_t baseline = fleet.node(id).baselineFreeBytes();
+        const uint64_t now = fleet.node(id).freeBytesNow();
+        if (now != baseline) {
+            fail(row, "node " + std::to_string(id) + " leaked " +
+                          std::to_string(
+                              static_cast<int64_t>(baseline - now)) +
+                          " heap bytes:" +
+                          describeLiveChunks(fleet.node(id)));
+        }
+    }
+    if (row.brokerHeapLive != 0) {
+        fail(row, "broker heap did not heal to baseline (" +
+                      std::to_string(row.brokerHeapLive) +
+                      " bytes live)");
+    }
+    if (withRogue) {
+        if (row.rogueForged == 0) {
+            fail(row, "rogue device forged nothing");
+        }
+        if (!row.fabricQuarantined) {
+            fail(row, "rogue was never escalated to fabric "
+                      "quarantine");
+        }
+        for (const uint32_t mac : fabricQ) {
+            if (mac != rogueMac) {
+                fail(row, "honest mac " + std::to_string(mac) +
+                              " was fabric-quarantined");
+            }
+        }
+        for (uint32_t id = 0; id < nodes; ++id) {
+            for (const uint32_t mac :
+                 fleet.node(id).stack().quarantinedMacs()) {
+                if (mac != rogueMac) {
+                    fail(row, "node " + std::to_string(id) +
+                                  " quarantined honest mac " +
+                                  std::to_string(mac));
+                }
+            }
+        }
+        // Containment cost is bounded: no victim needed more than
+        // twice the strike budget before the rogue went dark.
+        if (row.rogueStrikesMax >
+            2 * fc.stack.firewall.strikeBudget) {
+            fail(row, "rogue accumulated " +
+                          std::to_string(row.rogueStrikesMax) +
+                          " strikes (budget " +
+                          std::to_string(
+                              fc.stack.firewall.strikeBudget) +
+                          ")");
+        }
+        if (row.fwMalformed + row.fwOversized + row.fwRateLimited +
+                row.fwStaleEpochs ==
+            0) {
+            fail(row, "no typed firewall rejects: the attack never "
+                      "bit");
+        }
+        // Containment evidence, either level: a stack that shunned a
+        // post-quarantine frame, or the fabric partition eating the
+        // rogue's forgeries at its own port. Fast schedules see only
+        // the latter — once the vote lands, every node purges the
+        // MAC in the same serial phase, so no stack ever receives
+        // another rogue frame.
+        const uint64_t roguePortDrops =
+            row.ports.at(nodes / 2).partitionDrops;
+        if (row.fwQuarantineDrops == 0 && roguePortDrops == 0) {
+            fail(row, "no post-quarantine drops at any stack and no "
+                      "fabric drops on the rogue port: containment "
+                      "never engaged");
+        }
+        // Bounded degradation: honest p99 within 8x the rogue-free
+        // baseline (floor of 8 rounds absorbs tiny baselines).
+        row.p99Limit = std::max(8.0 * baselineP99, 8.0);
+        if (static_cast<double>(row.honestP99) > row.p99Limit) {
+            fail(row, "honest p99 " + std::to_string(row.honestP99) +
+                          " rounds exceeds bound " +
+                          std::to_string(row.p99Limit) +
+                          " (baseline " +
+                          std::to_string(baselineP99) + ")");
+        }
+    }
+    row.ok = row.failures.empty();
+
+    if (!row.ok) {
+        std::fprintf(stderr,
+                     "\nfleet_chaos --rogue FAILED (%s core=%s "
+                     "seed=0x%llx)\n",
+                     row.kind.c_str(), name.c_str(),
+                     static_cast<unsigned long long>(seed));
+        for (const std::string &why : row.failures) {
+            std::fprintf(stderr, "  - %s\n", why.c_str());
+        }
+        std::fprintf(stderr,
+                     "repro: fleet_chaos --rogue --nodes %u "
+                     "--rounds %u --seed 0x%llx\n",
+                     nodes, rounds,
+                     static_cast<unsigned long long>(seed));
+    }
+    return row;
+}
+
 void
 printRow(const BenchRow &row)
 {
@@ -331,11 +695,11 @@ printRow(const BenchRow &row)
     for (const LatencyRow &lat : row.latency) {
         p99Max = std::max(p99Max, lat.p99);
     }
-    std::printf("%-6s %3u nodes %5u rounds  %8.0f frames/s (host)  "
-                "sends=%llu rtx=%llu dups=%llu rejoins=%llu "
+    std::printf("%-12s %-6s %3u nodes %5u rounds  %8.0f frames/s "
+                "(host)  sends=%llu rtx=%llu dups=%llu rejoins=%llu "
                 "p99<=%u rounds  %s\n",
-                row.core.c_str(), row.nodes, row.rounds,
-                row.framesPerSec,
+                row.kind.c_str(), row.core.c_str(), row.nodes,
+                row.rounds, row.framesPerSec,
                 static_cast<unsigned long long>(row.sendsAccepted),
                 static_cast<unsigned long long>(row.retransmits),
                 static_cast<unsigned long long>(row.duplicatesDropped),
@@ -359,7 +723,8 @@ writeJson(const std::vector<BenchRow> &rows, const std::string &path,
         const BenchRow &r = rows[i];
         std::fprintf(
             out,
-            "    {\"core\": \"%s\", \"nodes\": %u, \"rounds\": %u, "
+            "    {\"kind\": \"%s\", \"core\": \"%s\", \"nodes\": %u, "
+            "\"rounds\": %u, "
             "\"seed\": %llu, \"host_seconds\": %.3f, "
             "\"frames_per_sec\": %.0f, \"fabric_frames\": %llu, "
             "\"sends\": %llu, \"amnesty_sends\": %llu, "
@@ -375,7 +740,7 @@ writeJson(const std::vector<BenchRow> &rows, const std::string &path,
             "\"chaos_events\": %llu, \"safety_violations\": %llu, "
             "\"restart_incarnation\": %u, \"drained\": %s, "
             "\"latency\": [",
-            r.core.c_str(), r.nodes, r.rounds,
+            r.kind.c_str(), r.core.c_str(), r.nodes, r.rounds,
             static_cast<unsigned long long>(r.seed), r.hostSeconds,
             r.framesPerSec,
             static_cast<unsigned long long>(r.fabricFrames),
@@ -413,7 +778,81 @@ writeJson(const std::vector<BenchRow> &rows, const std::string &path,
                          lat.p50, lat.p99,
                          j + 1 < r.latency.size() ? ", " : "");
         }
-        std::fprintf(out, "], \"ok\": %s}%s\n",
+        std::fprintf(out, "], \"retx_histogram\": [");
+        for (size_t j = 0; j < r.retxHistogram.size(); ++j) {
+            std::fprintf(
+                out, "%llu%s",
+                static_cast<unsigned long long>(r.retxHistogram[j]),
+                j + 1 < r.retxHistogram.size() ? ", " : "");
+        }
+        std::fprintf(out, "], \"ports\": [");
+        for (size_t j = 0; j < r.ports.size(); ++j) {
+            const PortRow &p = r.ports[j];
+            std::fprintf(
+                out,
+                "{\"port\": %u, \"ingress\": %llu, "
+                "\"forwarded\": %llu, \"queue_drops\": %llu, "
+                "\"fault_drops\": %llu, \"partition_drops\": %llu, "
+                "\"stall_ticks\": %llu, \"nic_backpressure\": %llu}%s",
+                p.port, static_cast<unsigned long long>(p.ingress),
+                static_cast<unsigned long long>(p.forwarded),
+                static_cast<unsigned long long>(p.queueDrops),
+                static_cast<unsigned long long>(p.faultDrops),
+                static_cast<unsigned long long>(p.partitionDrops),
+                static_cast<unsigned long long>(p.stallTicks),
+                static_cast<unsigned long long>(p.nicBackpressure),
+                j + 1 < r.ports.size() ? ", " : "");
+        }
+        std::fprintf(out, "]");
+        if (r.kind != "chaos") {
+            std::fprintf(
+                out,
+                ", \"rogue_mac\": %u, \"rogue_forged\": %llu, "
+                "\"rogue_strikes_max\": %u, "
+                "\"local_quarantine_votes\": %u, "
+                "\"fabric_quarantined\": %s, \"fw_strikes\": %llu, "
+                "\"fw_malformed\": %llu, \"fw_oversized\": %llu, "
+                "\"fw_rate_limited\": %llu, "
+                "\"fw_stale_epochs\": %llu, "
+                "\"fw_quarantine_drops\": %llu, "
+                "\"flow_opens\": %llu, \"flow_accepts\": %llu, "
+                "\"flow_segments\": %llu, "
+                "\"flow_window_stalls\": %llu, "
+                "\"flow_resets\": %llu, \"spoof_drops\": %llu, "
+                "\"broker_published\": %llu, "
+                "\"broker_delivered\": %llu, "
+                "\"broker_shed\": [%llu, %llu, %llu], "
+                "\"broker_backpressure\": %llu, "
+                "\"broker_corrupt_drops\": %llu, "
+                "\"broker_heap_live\": %llu, \"honest_p99\": %u, "
+                "\"p99_limit\": %.1f",
+                r.rogueMac,
+                static_cast<unsigned long long>(r.rogueForged),
+                r.rogueStrikesMax, r.localQuarantineVotes,
+                r.fabricQuarantined ? "true" : "false",
+                static_cast<unsigned long long>(r.fwStrikes),
+                static_cast<unsigned long long>(r.fwMalformed),
+                static_cast<unsigned long long>(r.fwOversized),
+                static_cast<unsigned long long>(r.fwRateLimited),
+                static_cast<unsigned long long>(r.fwStaleEpochs),
+                static_cast<unsigned long long>(r.fwQuarantineDrops),
+                static_cast<unsigned long long>(r.flowOpens),
+                static_cast<unsigned long long>(r.flowAccepts),
+                static_cast<unsigned long long>(r.flowSegments),
+                static_cast<unsigned long long>(r.flowWindowStalls),
+                static_cast<unsigned long long>(r.flowResets),
+                static_cast<unsigned long long>(r.spoofDrops),
+                static_cast<unsigned long long>(r.brokerPublished),
+                static_cast<unsigned long long>(r.brokerDelivered),
+                static_cast<unsigned long long>(r.brokerShed[0]),
+                static_cast<unsigned long long>(r.brokerShed[1]),
+                static_cast<unsigned long long>(r.brokerShed[2]),
+                static_cast<unsigned long long>(r.brokerBackpressure),
+                static_cast<unsigned long long>(r.brokerCorruptDrops),
+                static_cast<unsigned long long>(r.brokerHeapLive),
+                r.honestP99, r.p99Limit);
+        }
+        std::fprintf(out, ", \"ok\": %s}%s\n",
                      r.ok ? "true" : "false",
                      i + 1 < rows.size() ? "," : "");
     }
@@ -429,9 +868,13 @@ main(int argc, char **argv)
     uint32_t nodes = 16;
     uint32_t rounds = 150;
     uint64_t seed = 0xf1ee7c8a;
+    bool rogueMode = false;
     std::string outPath = "BENCH_fleet.json";
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--rogue") == 0) {
+            rogueMode = true;
+        } else if (std::strcmp(argv[i], "--nodes") == 0 &&
+                   i + 1 < argc) {
             nodes = static_cast<uint32_t>(
                 std::strtoul(argv[++i], nullptr, 0));
         } else if (std::strcmp(argv[i], "--rounds") == 0 &&
@@ -445,8 +888,8 @@ main(int argc, char **argv)
             outPath = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: fleet_chaos [--nodes N] [--rounds N] "
-                         "[--seed S] [--out FILE]\n");
+                         "usage: fleet_chaos [--rogue] [--nodes N] "
+                         "[--rounds N] [--seed S] [--out FILE]\n");
             return 2;
         }
     }
@@ -455,16 +898,36 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::printf("fleet chaos campaign: %u nodes, %u rounds, "
+    std::printf("fleet %s campaign: %u nodes, %u rounds, "
                 "seed 0x%llx\n\n",
-                nodes, rounds, static_cast<unsigned long long>(seed));
+                rogueMode ? "rogue-containment" : "chaos", nodes,
+                rounds, static_cast<unsigned long long>(seed));
     std::vector<BenchRow> rows;
-    rows.push_back(runCampaign(sim::CoreConfig::ibex(), "ibex", nodes,
-                               rounds, seed));
-    printRow(rows.back());
-    rows.push_back(runCampaign(sim::CoreConfig::flute(), "flute",
-                               nodes, rounds, seed));
-    printRow(rows.back());
+    if (rogueMode) {
+        // Per core: a rogue-free application-tier baseline (for the
+        // degradation bound), then the Byzantine campaign.
+        for (const auto &[core, name] :
+             {std::pair<sim::CoreConfig, const char *>{
+                  sim::CoreConfig::ibex(), "ibex"},
+              {sim::CoreConfig::flute(), "flute"}}) {
+            rows.push_back(runAppCampaign(core, name, nodes, rounds,
+                                          seed, /*withRogue=*/false,
+                                          0));
+            printRow(rows.back());
+            const uint32_t baseP99 = rows.back().honestP99;
+            rows.push_back(runAppCampaign(core, name, nodes, rounds,
+                                          seed, /*withRogue=*/true,
+                                          baseP99));
+            printRow(rows.back());
+        }
+    } else {
+        rows.push_back(runCampaign(sim::CoreConfig::ibex(), "ibex",
+                                   nodes, rounds, seed));
+        printRow(rows.back());
+        rows.push_back(runCampaign(sim::CoreConfig::flute(), "flute",
+                                   nodes, rounds, seed));
+        printRow(rows.back());
+    }
 
     bool ok = true;
     for (const auto &row : rows) {

@@ -189,6 +189,24 @@ HeapAllocator::oldestEpochAge() const
     return now > oldest ? now - oldest : 0;
 }
 
+void
+HeapAllocator::forEachChunk(
+    const std::function<void(uint32_t addr, uint32_t size, bool inUse,
+                             bool internal)> &cb)
+{
+    const uint32_t sentinel = heapEnd_ - kChunkOverhead;
+    uint32_t chunk = heapBase_;
+    while (chunk < sentinel) {
+        const uint32_t size = view_.sizeOf(chunk);
+        if (size < kMinChunkSize || chunk + size > sentinel) {
+            break; // Corrupt boundary tag: stop, don't loop.
+        }
+        cb(chunk, size, view_.inUse(chunk),
+           isInternal(chunk + kPayloadOffset));
+        chunk += size;
+    }
+}
+
 uint32_t
 HeapAllocator::reclaimWithBackoff(uint32_t need, uint32_t alignMask)
 {
@@ -384,9 +402,14 @@ HeapAllocator::mallocCharged(QuotaId owner, uint32_t size,
     const uint32_t nextChunk = chunk + chunkSize;
     view_.setHead(nextChunk, view_.head(nextChunk) | kPinuse);
 
+    // A remainder too small to split back stays part of the chunk;
+    // track it so heal audits can tell held slack from a leak.
+    if (chunkSize != need) {
+        chunkSlack_[chunk] = chunkSize - need;
+        slackBytes_ += chunkSize - need;
+    }
     if (owner != kUnmeteredQuota) {
-        // A remainder too small to split back stays part of the
-        // chunk: charge the slop so the release-time credit (which
+        // Charge the slop too, so the release-time credit (which
         // settles the real chunk size) balances exactly.
         quota_.chargeUnchecked(owner, chunkSize - need);
         chunkOwners_[chunk] = owner;
@@ -660,6 +683,11 @@ HeapAllocator::releaseChunk(uint32_t chunk, uint32_t size, bool clearBits)
         quota_.credit(owner->second, size);
         chunkOwners_.erase(owner);
     }
+    const auto slack = chunkSlack_.find(chunk);
+    if (slack != chunkSlack_.end()) {
+        slackBytes_ -= slack->second;
+        chunkSlack_.erase(slack);
+    }
     if (clearBits) {
         paintBits(chunk + kPayloadOffset, size - kChunkOverhead, false);
     }
@@ -743,6 +771,12 @@ HeapAllocator::serialize(snapshot::Writer &w) const
         w.u32(chunk);
         w.u32(owner);
     }
+    w.u32(static_cast<uint32_t>(chunkSlack_.size()));
+    for (const auto &[chunk, bytes] : chunkSlack_) {
+        w.u32(chunk);
+        w.u32(bytes);
+    }
+    w.u64(slackBytes_);
     w.counter(quotaDenials);
     w.counter(blockedMallocs);
     w.counter(backoffWaitCycles);
@@ -774,6 +808,13 @@ HeapAllocator::deserialize(snapshot::Reader &r)
         const uint32_t chunk = r.u32();
         chunkOwners_[chunk] = r.u32();
     }
+    chunkSlack_.clear();
+    const uint32_t slacked = r.u32();
+    for (uint32_t i = 0; i < slacked; ++i) {
+        const uint32_t chunk = r.u32();
+        chunkSlack_[chunk] = r.u32();
+    }
+    slackBytes_ = r.u64();
     r.counter(quotaDenials);
     r.counter(blockedMallocs);
     r.counter(backoffWaitCycles);

@@ -160,6 +160,26 @@ class HeapAllocator
 
     /** @name Introspection @{ */
     uint64_t freeBytes() const { return freeList_.freeBytes(); }
+    /**
+     * Bytes of placement slack currently held by live chunks: a
+     * split remainder below kMinChunkSize cannot stand as its own
+     * free chunk, so it stays attached to the allocation and leaves
+     * the free lists until that chunk is released. Heal audits that
+     * compare freeBytes() against a baseline must add this, or a
+     * live long-lived buffer that landed on a slacked chunk reads as
+     * a (phantom) 8- or 16-byte leak.
+     */
+    uint64_t slackBytes() const { return slackBytes_; }
+    /**
+     * Walk every chunk's boundary tag from the heap base to the top
+     * sentinel, calling @p cb(addr, size, inUse, internal) for each.
+     * `internal` marks allocator-private chunks (claim records).
+     * Diagnostics: leak audits use it to name what is still live.
+     * Stops early on a corrupt tag rather than looping.
+     */
+    void forEachChunk(
+        const std::function<void(uint32_t addr, uint32_t size,
+                                 bool inUse, bool internal)> &cb);
     uint64_t quarantinedBytes() const { return quarantine_.bytes(); }
     uint32_t quarantinedChunks() const
     {
@@ -292,6 +312,13 @@ class HeapAllocator
      * Ordered map: snapshot serialization must be canonical.
      */
     std::map<uint32_t, QuotaId> chunkOwners_;
+    /**
+     * Chunk address → absorbed split remainder (bytes). Settled at
+     * releaseChunk like chunkOwners_; the sum is slackBytes_.
+     * Ordered map: snapshot serialization must be canonical.
+     */
+    std::map<uint32_t, uint32_t> chunkSlack_;
+    uint64_t slackBytes_ = 0;
     std::function<void(uint64_t)> backoffWait_;
     /** Head of the claim-record list (payload address; 0 = empty). */
     uint32_t claimsHead_ = 0;

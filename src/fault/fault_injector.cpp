@@ -43,6 +43,8 @@ faultSiteName(FaultSite site)
       case FaultSite::NicRingCorrupt: return "nic-ring-corrupt";
       case FaultSite::NicLinkDrop: return "nic-link-drop";
       case FaultSite::SwitchPortStall: return "switch-port-stall";
+      case FaultSite::FlowStateCorrupt: return "flow-state-corrupt";
+      case FaultSite::BrokerQueueCorrupt: return "broker-queue-corrupt";
       case FaultSite::kCount: break;
     }
     return "unknown";
@@ -69,6 +71,8 @@ FaultInjector::FaultInjector(uint64_t seed)
     stats_.registerCounter("nicDescriptorFlips", nicDescriptorFlips);
     stats_.registerCounter("nicLinkDrops", nicLinkDrops);
     stats_.registerCounter("switchPortStalls", switchPortStalls);
+    stats_.registerCounter("flowStateFlips", flowStateFlips);
+    stats_.registerCounter("brokerQueueFlips", brokerQueueFlips);
     stats_.registerCounter("safetyViolations", safetyViolations);
 }
 
@@ -131,6 +135,13 @@ FaultInjector::planNext(uint64_t horizonCycles, uint32_t memBase,
         plan.triggerTransaction = rng.below(256);
         plan.addr = rng.next();
         plan.param = 1 + rng.below(32); // Stall window in ticks.
+        break;
+      case FaultSite::FlowStateCorrupt:
+      case FaultSite::BrokerQueueCorrupt:
+        // Fires on the Nth flow-table / broker-queue touch; the param
+        // is the scramble pattern applied to the targeted entry.
+        plan.triggerTransaction = rng.below(32);
+        plan.param = static_cast<uint32_t>(rng.next64() | 1u);
         break;
       case FaultSite::RevokerStuckEpoch:
         break;
@@ -218,6 +229,8 @@ FaultInjector::fire(uint64_t nowCycle)
       case FaultSite::NicRingCorrupt:
       case FaultSite::NicLinkDrop:
       case FaultSite::SwitchPortStall:
+      case FaultSite::FlowStateCorrupt:
+      case FaultSite::BrokerQueueCorrupt:
       case FaultSite::kCount:
         break; // Event-triggered: delivered by their own hooks.
     }
@@ -240,7 +253,9 @@ FaultInjector::tick(uint64_t nowCycle)
         plan_.site == FaultSite::NicDmaCorrupt ||
         plan_.site == FaultSite::NicRingCorrupt ||
         plan_.site == FaultSite::NicLinkDrop ||
-        plan_.site == FaultSite::SwitchPortStall) {
+        plan_.site == FaultSite::SwitchPortStall ||
+        plan_.site == FaultSite::FlowStateCorrupt ||
+        plan_.site == FaultSite::BrokerQueueCorrupt) {
         return; // Event-triggered, not cycle-triggered.
     }
     if (nowCycle >= plan_.triggerCycle) {
@@ -372,6 +387,37 @@ FaultInjector::switchTick(uint32_t *portSel, uint32_t *stallTicks)
     switchPortStalls++;
     *portSel = plan_.addr;
     *stallTicks = plan_.param;
+    return true;
+}
+
+bool
+FaultInjector::flowStateTouched(uint32_t *param)
+{
+    const uint64_t ordinal = flowTouches_++;
+    if (!armed_ || fired_ || plan_.site != FaultSite::FlowStateCorrupt ||
+        ordinal < plan_.triggerTransaction) {
+        return false;
+    }
+    fired_ = true;
+    faultsInjected++;
+    flowStateFlips++;
+    *param = plan_.param;
+    return true;
+}
+
+bool
+FaultInjector::brokerQueueTouched(uint32_t *param)
+{
+    const uint64_t ordinal = brokerTouches_++;
+    if (!armed_ || fired_ ||
+        plan_.site != FaultSite::BrokerQueueCorrupt ||
+        ordinal < plan_.triggerTransaction) {
+        return false;
+    }
+    fired_ = true;
+    faultsInjected++;
+    brokerQueueFlips++;
+    *param = plan_.param;
     return true;
 }
 

@@ -76,6 +76,12 @@ enum class FaultSite : uint8_t
                           ///< frames before the NIC sees them.
     SwitchPortStall,      ///< A switch port's egress freezes for a
                           ///< window; its bounded queue backs up.
+    FlowStateCorrupt,     ///< A bit pattern scrambles a flow-table
+                          ///< entry; the flow layer must detect it
+                          ///< and die with a typed reset.
+    BrokerQueueCorrupt,   ///< A queued broker record's metadata is
+                          ///< disturbed; the broker must drop the
+                          ///< record, never trap a subscriber.
     kCount,
 };
 
@@ -192,6 +198,22 @@ class FaultInjector
     bool switchTick(uint32_t *portSel, uint32_t *stallTicks);
     /** @} */
 
+    /** @name Application-tier hooks (flow manager / broker) @{ */
+    /**
+     * The flow layer is about to act on a flow-table entry. An armed
+     * FlowStateCorrupt plan fires on the Nth touch: returns true once
+     * with a scramble pattern in @p param. Counts its own ordinal
+     * stream so arming it never shifts the NIC or switch triggers.
+     */
+    bool flowStateTouched(uint32_t *param);
+    /**
+     * The broker enqueued (or is about to deliver) a record. An armed
+     * BrokerQueueCorrupt plan fires on the Nth touch: returns true
+     * once with a scramble pattern in @p param.
+     */
+    bool brokerQueueTouched(uint32_t *param);
+    /** @} */
+
     /** @name Safety oracle @{ */
     /** Is the granule containing @p addr corrupted-but-unrepaired? */
     bool isPoisoned(uint32_t addr) const;
@@ -227,6 +249,8 @@ class FaultInjector
     Counter nicDescriptorFlips; ///< Corrupted NIC RX descriptors.
     Counter nicLinkDrops;       ///< Frames eaten by the link.
     Counter switchPortStalls;   ///< Switch-port stall windows opened.
+    Counter flowStateFlips;     ///< Scrambled flow-table entries.
+    Counter brokerQueueFlips;   ///< Scrambled broker queue records.
     Counter safetyViolations;   ///< MUST stay zero outside forgery mode.
 
   private:
@@ -249,6 +273,8 @@ class FaultInjector
     uint64_t nicDeliveries_ = 0;
     uint64_t nicArrivals_ = 0;
     uint64_t switchTicks_ = 0;
+    uint64_t flowTouches_ = 0;
+    uint64_t brokerTouches_ = 0;
     uint32_t linkDropBurstLeft_ = 0;
     uint32_t pendingSpurious_ = 0;
     uint32_t spuriousCause_ = 0;

@@ -47,7 +47,35 @@ enum class FleetFrameType : uint32_t
     Data = 1,  ///< Carries payload; ARQ-sequenced, acked, deduped.
     Ack = 2,   ///< Acknowledges one data sequence number.
     Probe = 3, ///< Liveness probe while a peer is presumed dead.
+    /** Carries payload with *no* ARQ state: not sequenced, not acked,
+     * not deduplicated — delivered at most once per copy the fabric
+     * produces. The flow layer rides its idempotent control segments
+     * (keepalives, resets) on these so replying to an unresponsive or
+     * rogue peer never creates retransmit state toward it. */
+    Unreliable = 4,
 };
+
+/** @name Flow-segment payload format
+ * The flow layer rides inside fleet-frame payloads: payload word 0 is
+ * the flow header (magic ≫ 16 | kind ≫ 8 | class), payload word 1 is
+ * (flowId ≫ 16 | kind-specific 16-bit argument), payload words 2/3
+ * are the application words. The magic lets the firewall classify a
+ * frame's flow class without trusting anything else about it. @{ */
+constexpr uint32_t kFlowMagic = 0xF10Au;
+
+inline uint32_t
+flowHeaderWord(uint8_t kind, uint8_t flowClass)
+{
+    return (kFlowMagic << 16) | (static_cast<uint32_t>(kind) << 8) |
+           flowClass;
+}
+
+inline bool
+isFlowHeaderWord(uint32_t w0)
+{
+    return (w0 >> 16) == kFlowMagic;
+}
+/** @} */
 
 struct FleetFrameHeader
 {

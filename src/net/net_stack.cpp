@@ -210,12 +210,29 @@ NetStack::pump(rtos::Thread &thread)
 
 bool
 NetStack::sendMessage(rtos::Thread &thread, uint32_t dst,
-                      uint32_t payloadWords, uint32_t w0, uint32_t w1)
+                      uint32_t payloadWords, uint32_t w0, uint32_t w1,
+                      uint32_t w2, uint32_t w3)
 {
     ArgVec args = ArgVec::of({Capability().withAddress(dst),
                               Capability().withAddress(payloadWords),
                               Capability().withAddress(w0),
-                              Capability().withAddress(w1)});
+                              Capability().withAddress(w1),
+                              Capability().withAddress(w2),
+                              Capability().withAddress(w3)});
+    const CallResult result = kernel_.call(thread, sendImport_, args);
+    return result.ok() && result.value.address() == 1;
+}
+
+bool
+NetStack::sendUnreliable(rtos::Thread &thread, uint32_t dst,
+                         uint32_t payloadWords, uint32_t w0,
+                         uint32_t w1, uint32_t w2, uint32_t w3)
+{
+    ArgVec args = ArgVec::of(
+        {Capability().withAddress(dst),
+         Capability().withAddress(payloadWords | kSendUnreliableFlag),
+         Capability().withAddress(w0), Capability().withAddress(w1),
+         Capability().withAddress(w2), Capability().withAddress(w3)});
     const CallResult result = kernel_.call(thread, sendImport_, args);
     return result.ok() && result.value.address() == 1;
 }
@@ -560,6 +577,22 @@ NetStack::handleReliable(CompartmentContext &ctx,
         return CallResult::ofInt(0);
     }
 
+    // Firewall admission: rule lookup, rate limiting and in-flight
+    // accounting happen *before* any ARQ state is touched, so a
+    // rejected frame costs the stack nothing but the strike
+    // bookkeeping against its source.
+    bool inflightCharged = false;
+    if (config_.firewall.admission) {
+        const uint32_t flowClass = frameFlowClass(ctx, payload, len);
+        const AdmitResult admit = admitFrame(ctx, src, type, len,
+                                             flowClass,
+                                             &inflightCharged);
+        if (admit != AdmitResult::Ok) {
+            ctx.kernel.free(ctx.thread, payload);
+            return CallResult::ofInt(0);
+        }
+    }
+
     const uint64_t now = ctx.kernel.machine().cycles();
     ArqPeer &peer = peers_[src];
     peer.lastHeard = now;
@@ -583,6 +616,8 @@ NetStack::handleReliable(CompartmentContext &ctx,
              ++it) {
             if (it->seq == seq) {
                 // Delivered: drop the sender's retransmit reference.
+                retxHistogram_[std::min(it->retries,
+                                        kRetxHistogramBuckets - 1)]++;
                 ctx.kernel.free(ctx.thread, it->buf);
                 peer.pending.erase(it);
                 break;
@@ -622,6 +657,23 @@ NetStack::handleReliable(CompartmentContext &ctx,
                 peer.rxBase = epoch << 24;
             } else {
                 staleEpoch = true; // Dead incarnation: ack, no deliver.
+                if (config_.firewall.admission) {
+                    // Replaying a superseded incarnation is a
+                    // signature rogue move, not normal reordering at
+                    // this volume: it strikes.
+                    fwStaleEpochs_++;
+                    if (strikeDevice(src)) {
+                        // The quarantining strike. No ack — the
+                        // device is dead to us — and the ARQ purge
+                        // invalidates `peer`, so the frame dies here.
+                        if (inflightCharged) {
+                            creditInflight(src, len);
+                        }
+                        ctx.kernel.free(ctx.thread, payload);
+                        purgePeer(ctx.thread, src);
+                        return CallResult::ofInt(0);
+                    }
+                }
             }
         }
         if (staleEpoch) {
@@ -659,15 +711,38 @@ NetStack::handleReliable(CompartmentContext &ctx,
         arqAcksSent_++;
         if (!fresh) {
             arqDuplicatesDropped_++;
+            if (inflightCharged) {
+                creditInflight(src, len);
+            }
             ctx.kernel.free(ctx.thread, payload);
             return CallResult::ofInt(0);
         }
         const CallResult consumed = fanOut(ctx, payload, len);
+        if (inflightCharged) {
+            // The admission charge covered the frame's walk through
+            // the stack; any residency beyond this point (broker
+            // queues) is charged separately by the holder.
+            creditInflight(src, len);
+        }
         ctx.kernel.free(ctx.thread, payload);
         if (!consumed.ok()) {
             return consumed;
         }
         arqDelivered_++;
+        return CallResult::ofInt(1);
+      }
+      case FleetFrameType::Unreliable: {
+        // No sequencing, no ack, no dedup: every copy the fabric
+        // produced fans out. Only idempotent traffic belongs here.
+        const CallResult consumed = fanOut(ctx, payload, len);
+        if (inflightCharged) {
+            creditInflight(src, len);
+        }
+        ctx.kernel.free(ctx.thread, payload);
+        if (!consumed.ok()) {
+            return consumed;
+        }
+        unreliableDelivered_++;
         return CallResult::ofInt(1);
       }
       default:
@@ -687,14 +762,64 @@ NetStack::sendBody(CompartmentContext &ctx, ArgVec &args)
     ctx.mem.storeWord(frame, frame.base(), 0);
 
     const uint32_t dst = args[0].address();
-    const uint32_t payloadWords = std::max(args[1].address(), 2u);
+    const uint32_t rawWords = args[1].address();
+    const bool unreliable = (rawWords & kSendUnreliableFlag) != 0;
+    const uint32_t payloadWords =
+        std::max(rawWords & ~kSendUnreliableFlag, 2u);
     const uint32_t w0 = args[2].address();
     const uint32_t w1 = args[3].address();
+    const uint32_t w2 = args[4].address();
+    const uint32_t w3 = args[5].address();
     const uint32_t len = (kFleetHeaderWords + payloadWords + 1) * 4;
     if (!config_.reliable || dst == config_.localMac ||
         dst == kFleetBroadcast || len > config_.bufBytes) {
         arqSendDrops_++;
         return CallResult::ofInt(0);
+    }
+    if (config_.firewall.admission && deviceQuarantined(dst)) {
+        // Shun on TX too: a reliable frame toward a quarantined
+        // device would rebuild the retransmit state the purge just
+        // removed, and no ack will ever clear it.
+        fwQuarantineDrops_++;
+        return CallResult::ofInt(0);
+    }
+
+    const auto build = [&](const Capability &buf, FleetFrameType type,
+                           uint32_t seq) {
+        const uint32_t header[kFleetHeaderWords] = {
+            dst, config_.localMac, static_cast<uint32_t>(type), seq};
+        uint32_t checksum = 0;
+        uint32_t index = 0;
+        const auto put = [&](uint32_t word) {
+            checksum ^= word;
+            ctx.mem.storeWord(buf, buf.base() + index * 4, word);
+            index++;
+        };
+        for (uint32_t i = 0; i < kFleetHeaderWords; ++i) {
+            put(header[i]);
+        }
+        for (uint32_t i = 0; i < payloadWords; ++i) {
+            put(i == 0   ? w0
+                : i == 1 ? w1
+                : i == 2 ? w2
+                : i == 3 ? w3
+                         : frameWord(w1, i));
+        }
+        ctx.mem.storeWord(buf, buf.base() + index * 4, checksum);
+    };
+
+    if (unreliable) {
+        // Fire-and-forget: one posted copy, no sequence, no peer
+        // state — losing it must be acceptable to the caller.
+        const Capability buf = ctx.kernel.malloc(ctx.thread, len);
+        if (!buf.tag()) {
+            arqSendDrops_++;
+            return CallResult::ofInt(0);
+        }
+        build(buf, FleetFrameType::Unreliable, 0);
+        const bool posted = postFrame(ctx, buf, len);
+        ctx.kernel.free(ctx.thread, buf);
+        return CallResult::ofInt(posted ? 1 : 0);
     }
 
     ArqPeer &peer = peers_[dst];
@@ -720,23 +845,7 @@ NetStack::sendBody(CompartmentContext &ctx, ArgVec &args)
               (peer.nextSeq++ & 0xffffffu);
     msg.buf = buf;
     msg.len = len;
-    const uint32_t header[kFleetHeaderWords] = {
-        dst, config_.localMac,
-        static_cast<uint32_t>(FleetFrameType::Data), msg.seq};
-    uint32_t checksum = 0;
-    uint32_t index = 0;
-    const auto put = [&](uint32_t word) {
-        checksum ^= word;
-        ctx.mem.storeWord(buf, buf.base() + index * 4, word);
-        index++;
-    };
-    for (uint32_t i = 0; i < kFleetHeaderWords; ++i) {
-        put(header[i]);
-    }
-    for (uint32_t i = 0; i < payloadWords; ++i) {
-        put(i == 0 ? w0 : i == 1 ? w1 : frameWord(w1, i));
-    }
-    ctx.mem.storeWord(buf, buf.base() + index * 4, checksum);
+    build(buf, FleetFrameType::Data, msg.seq);
 
     if (windowOpen) {
         const uint64_t now = ctx.kernel.machine().cycles();
@@ -877,6 +986,220 @@ NetStack::peerMacs() const
     return macs;
 }
 
+std::vector<uint64_t>
+NetStack::retxHistogram() const
+{
+    return std::vector<uint64_t>(retxHistogram_,
+                                 retxHistogram_ +
+                                     kRetxHistogramBuckets);
+}
+
+NetStack::FwDevice &
+NetStack::fwDeviceFor(uint32_t src, uint32_t flowClass)
+{
+    const auto it = fwDevices_.find(src);
+    if (it != fwDevices_.end()) {
+        return it->second;
+    }
+    // First contact binds the device to the first matching rule; its
+    // in-flight ledger entry is minted against that rule's ceiling.
+    FwDevice dev;
+    for (size_t i = 0; i < config_.firewall.rules.size(); ++i) {
+        const FirewallRule &rule = config_.firewall.rules[i];
+        if ((rule.srcMac == 0 || rule.srcMac == src) &&
+            (rule.flowClass == 0xff || rule.flowClass == flowClass)) {
+            dev.rule = static_cast<int32_t>(i);
+            dev.tokens256 =
+                static_cast<uint64_t>(rule.burstFrames) * 256;
+            dev.quota = fwLedger_.create(rule.maxInflightBytes);
+            break;
+        }
+    }
+    return fwDevices_.emplace(src, dev).first->second;
+}
+
+bool
+NetStack::strikeDevice(uint32_t src)
+{
+    const auto it = fwDevices_.find(src);
+    if (it == fwDevices_.end()) {
+        return false;
+    }
+    FwDevice &dev = it->second;
+    fwStrikes_++;
+    dev.strikes++;
+    if (!dev.quarantined &&
+        dev.strikes >= config_.firewall.strikeBudget) {
+        dev.quarantined = true;
+        fwQuarantines_++;
+        return true;
+    }
+    return false;
+}
+
+void
+NetStack::purgePeer(rtos::Thread &thread, uint32_t src)
+{
+    const auto it = peers_.find(src);
+    if (it == peers_.end()) {
+        return;
+    }
+    for (ArqMessage &msg : it->second.pending) {
+        kernel_.free(thread, msg.buf);
+    }
+    for (ArqMessage &msg : it->second.backlog) {
+        kernel_.free(thread, msg.buf);
+    }
+    peers_.erase(it);
+}
+
+void
+NetStack::quarantineMac(rtos::Thread &thread, uint32_t mac)
+{
+    FwDevice &dev = fwDeviceFor(mac, 0);
+    if (!dev.quarantined) {
+        dev.quarantined = true;
+        fwQuarantines_++;
+    }
+    purgePeer(thread, mac);
+}
+
+uint32_t
+NetStack::frameFlowClass(CompartmentContext &ctx,
+                         const Capability &payload, uint32_t len)
+{
+    if (len < (kFleetHeaderWords + 2) * 4) {
+        return 0;
+    }
+    const uint32_t w0 =
+        ctx.mem.loadWord(payload, payload.base() + kFleetHeaderBytes);
+    return isFlowHeaderWord(w0) ? (w0 & 0xffu) : 0;
+}
+
+NetStack::AdmitResult
+NetStack::admitFrame(CompartmentContext &ctx, uint32_t src,
+                     uint32_t type, uint32_t len, uint32_t flowClass,
+                     bool *inflightCharged)
+{
+    *inflightCharged = false;
+    FwDevice &dev = fwDeviceFor(src, flowClass);
+    if (dev.quarantined) {
+        fwQuarantineDrops_++;
+        return AdmitResult::Quarantined;
+    }
+    // A checksum-valid frame with a nonsense type is deliberate
+    // garbage, not line noise (noise dies at the checksum).
+    if (type < static_cast<uint32_t>(FleetFrameType::Data) ||
+        type > static_cast<uint32_t>(FleetFrameType::Unreliable)) {
+        fwMalformed_++;
+        if (strikeDevice(src)) {
+            purgePeer(ctx.thread, src);
+        }
+        return AdmitResult::Malformed;
+    }
+    if (dev.rule < 0) {
+        if (config_.firewall.defaultDeny) {
+            if (strikeDevice(src)) {
+                purgePeer(ctx.thread, src);
+            }
+            return AdmitResult::NoRule;
+        }
+        fwAdmitted_++;
+        return AdmitResult::Ok; // Open (unmetered) by default.
+    }
+    const FirewallRule &rule =
+        config_.firewall.rules[static_cast<size_t>(dev.rule)];
+    if (len > rule.maxFrameBytes) {
+        fwOversized_++;
+        if (strikeDevice(src)) {
+            purgePeer(ctx.thread, src);
+        }
+        return AdmitResult::Oversized;
+    }
+    const bool carriesPayload =
+        type == static_cast<uint32_t>(FleetFrameType::Data) ||
+        type == static_cast<uint32_t>(FleetFrameType::Unreliable);
+    if (carriesPayload) {
+        // Token bucket: rate is per 1024 cycles in 1/256-frame units;
+        // acks and probes are protocol echoes and stay unmetered.
+        const uint64_t now = ctx.kernel.machine().cycles();
+        if (now > dev.lastRefill) {
+            const uint64_t cap =
+                static_cast<uint64_t>(rule.burstFrames) * 256;
+            dev.tokens256 += (now - dev.lastRefill) *
+                             rule.ratePer1KCycles256 / 1024;
+            dev.tokens256 = std::min(dev.tokens256, cap);
+            dev.lastRefill = now;
+        }
+        if (dev.tokens256 < 256) {
+            fwRateLimited_++;
+            if (strikeDevice(src)) {
+                purgePeer(ctx.thread, src);
+            }
+            return AdmitResult::RateLimited;
+        }
+        dev.tokens256 -= 256;
+        if (!fwLedger_.charge(dev.quota, len)) {
+            fwInflightDenied_++;
+            if (strikeDevice(src)) {
+                purgePeer(ctx.thread, src);
+            }
+            return AdmitResult::InflightExceeded;
+        }
+        *inflightCharged = true;
+    }
+    fwAdmitted_++;
+    return AdmitResult::Ok;
+}
+
+bool
+NetStack::chargeInflight(uint32_t srcMac, uint64_t bytes)
+{
+    const auto it = fwDevices_.find(srcMac);
+    if (it == fwDevices_.end() ||
+        it->second.quota == alloc::kUnmeteredQuota) {
+        return true;
+    }
+    return fwLedger_.charge(it->second.quota, bytes);
+}
+
+void
+NetStack::creditInflight(uint32_t srcMac, uint64_t bytes)
+{
+    const auto it = fwDevices_.find(srcMac);
+    if (it == fwDevices_.end() ||
+        it->second.quota == alloc::kUnmeteredQuota) {
+        return;
+    }
+    fwLedger_.credit(it->second.quota, bytes);
+}
+
+uint32_t
+NetStack::deviceStrikes(uint32_t mac) const
+{
+    const auto it = fwDevices_.find(mac);
+    return it == fwDevices_.end() ? 0 : it->second.strikes;
+}
+
+bool
+NetStack::deviceQuarantined(uint32_t mac) const
+{
+    const auto it = fwDevices_.find(mac);
+    return it != fwDevices_.end() && it->second.quarantined;
+}
+
+std::vector<uint32_t>
+NetStack::quarantinedMacs() const
+{
+    std::vector<uint32_t> macs;
+    for (const auto &[mac, dev] : fwDevices_) {
+        if (dev.quarantined) {
+            macs.push_back(mac);
+        }
+    }
+    return macs;
+}
+
 bool
 NetStack::arqIdle() const
 {
@@ -955,6 +1278,32 @@ NetStack::serialize(snapshot::Writer &w) const
             }
         }
     }
+    // Firewall admission state + retransmit histogram (appended after
+    // the PR-6 layout; symmetric with deserialize below).
+    w.u64(unreliableDelivered_);
+    for (uint32_t i = 0; i < kRetxHistogramBuckets; ++i) {
+        w.u64(retxHistogram_[i]);
+    }
+    w.u64(fwAdmitted_);
+    w.u64(fwRateLimited_);
+    w.u64(fwInflightDenied_);
+    w.u64(fwOversized_);
+    w.u64(fwMalformed_);
+    w.u64(fwStaleEpochs_);
+    w.u64(fwQuarantineDrops_);
+    w.u64(fwStrikes_);
+    w.u64(fwQuarantines_);
+    w.u32(static_cast<uint32_t>(fwDevices_.size()));
+    for (const auto &[mac, dev] : fwDevices_) {
+        w.u32(mac);
+        w.u32(static_cast<uint32_t>(dev.rule));
+        w.u32(dev.quota);
+        w.u64(dev.tokens256);
+        w.u64(dev.lastRefill);
+        w.u32(dev.strikes);
+        w.b(dev.quarantined);
+    }
+    fwLedger_.serialize(w);
 }
 
 bool
@@ -1026,6 +1375,34 @@ NetStack::deserialize(snapshot::Reader &r)
                 queue->push_back(msg);
             }
         }
+    }
+    unreliableDelivered_ = r.u64();
+    for (uint32_t i = 0; i < kRetxHistogramBuckets; ++i) {
+        retxHistogram_[i] = r.u64();
+    }
+    fwAdmitted_ = r.u64();
+    fwRateLimited_ = r.u64();
+    fwInflightDenied_ = r.u64();
+    fwOversized_ = r.u64();
+    fwMalformed_ = r.u64();
+    fwStaleEpochs_ = r.u64();
+    fwQuarantineDrops_ = r.u64();
+    fwStrikes_ = r.u64();
+    fwQuarantines_ = r.u64();
+    fwDevices_.clear();
+    const uint32_t devCount = r.u32();
+    for (uint32_t i = 0; i < devCount && r.ok(); ++i) {
+        const uint32_t mac = r.u32();
+        FwDevice &dev = fwDevices_[mac];
+        dev.rule = static_cast<int32_t>(r.u32());
+        dev.quota = r.u32();
+        dev.tokens256 = r.u64();
+        dev.lastRefill = r.u64();
+        dev.strikes = r.u32();
+        dev.quarantined = r.b();
+    }
+    if (!fwLedger_.deserialize(r)) {
+        return false;
     }
     return r.ok();
 }

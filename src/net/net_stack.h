@@ -50,6 +50,7 @@
 #ifndef CHERIOT_NET_NET_STACK_H
 #define CHERIOT_NET_NET_STACK_H
 
+#include "alloc/quota.h"
 #include "net/fleet_frame.h"
 #include "net/nic_device.h"
 #include "rtos/compartment.h"
@@ -104,6 +105,45 @@ struct NetConsumer
     bool mutates = false;
 };
 
+/**
+ * One declarative firewall admission rule. A frame is matched by
+ * (source device, flow class); the first matching rule supplies the
+ * device's token bucket and in-flight budget. Wildcards: srcMac 0
+ * matches any device, flowClass 0xff matches any class.
+ */
+struct FirewallRule
+{
+    uint32_t srcMac = 0;      ///< 0 = any device.
+    uint32_t flowClass = 0xff; ///< 0xff = any class.
+    /** Token-bucket refill: data frames admitted per 1024 cycles,
+     * in 1/256 frame units (256 = one frame per 1024 cycles). */
+    uint32_t ratePer1KCycles256 = 16 * 256;
+    uint32_t burstFrames = 32; ///< Bucket capacity.
+    /** Ceiling on bytes this device may have in flight downstream
+     * (charged against the stack's quota ledger at admission and by
+     * the broker for queue residency). */
+    uint64_t maxInflightBytes = 16 * 1024;
+    /** Frames longer than this are an oversize violation. */
+    uint32_t maxFrameBytes = 1536;
+};
+
+/**
+ * Per-flow firewall admission (off by default: the plain PR-5/PR-6
+ * stack behaves exactly as before). When enabled, every reliable-mode
+ * frame passes rule lookup, token-bucket rate limiting and in-flight
+ * quota accounting before it can touch ARQ state; violations get a
+ * typed reject, cost the device a strike, and enough strikes
+ * quarantine the device locally (every frame dropped) — the signal
+ * the fleet runner escalates to fabric-level quarantine.
+ */
+struct FirewallConfig
+{
+    bool admission = false;
+    uint32_t strikeBudget = 8;
+    bool defaultDeny = false; ///< No matching rule: drop (and strike).
+    std::vector<FirewallRule> rules;
+};
+
 struct NetStackConfig
 {
     uint32_t rxRingEntries = 8;
@@ -141,6 +181,9 @@ struct NetStackConfig
     uint64_t arqProbeIntervalCycles = 8192;
     uint32_t arqBacklogMax = 64; ///< Local-buffering depth per peer.
     /** @} */
+
+    /** Per-flow admission rules (reliable mode only). */
+    FirewallConfig firewall;
 };
 
 class NetStack
@@ -155,6 +198,22 @@ class NetStack
     /** Refill backoff schedule (the MessageQueueService constants). */
     static constexpr uint32_t kRefillBackoffStartCycles = 16;
     static constexpr uint32_t kRefillBackoffCapCycles = 1024;
+
+    /** Typed firewall admission outcome (reliable mode). */
+    enum class AdmitResult : uint8_t
+    {
+        Ok = 0,
+        Quarantined,      ///< Device already struck out; frame dropped.
+        RateLimited,      ///< Token bucket empty.
+        InflightExceeded, ///< In-flight byte quota denied the charge.
+        Oversized,        ///< Frame longer than the rule allows.
+        Malformed,        ///< Valid checksum, nonsense frame type.
+        NoRule,           ///< defaultDeny and nothing matched.
+    };
+    /** Retransmit histogram buckets: retries 0..7, then 8+. */
+    static constexpr uint32_t kRetxHistogramBuckets = 9;
+    /** sendBody flag bit: build an Unreliable frame (no ARQ state). */
+    static constexpr uint32_t kSendUnreliableFlag = 0x80000000u;
 
     NetStack(rtos::Kernel &kernel, NicDevice &nic,
              const NetCompartments &compartments,
@@ -186,11 +245,27 @@ class NetStack
      * heap) refuses it, counted in arqSendDrops().
      */
     bool sendMessage(rtos::Thread &thread, uint32_t dst,
-                     uint32_t payloadWords, uint32_t w0, uint32_t w1);
+                     uint32_t payloadWords, uint32_t w0, uint32_t w1,
+                     uint32_t w2 = 0, uint32_t w3 = 0);
+
+    /**
+     * Unreliable send: builds a checksum-balanced Unreliable frame
+     * and posts it once — no sequence number, no retransmission, no
+     * peer state. The flow layer's idempotent control segments ride
+     * these. Returns true when the frame was posted.
+     */
+    bool sendUnreliable(rtos::Thread &thread, uint32_t dst,
+                        uint32_t payloadWords, uint32_t w0, uint32_t w1,
+                        uint32_t w2 = 0, uint32_t w3 = 0);
 
     /** Driver's tx export: (buffer, len), claims the buffer until
      * transmit completes. Returns 1 posted / 0 busy-or-refused. */
     const rtos::Import &txImport() const { return txImport_; }
+
+    /** Firewall's send export (guest-context senders: the flow layer
+     * replies from inside its deliver body through this). Args are
+     * (dst, payloadWords [| kSendUnreliableFlag], w0, w1, w2, w3). */
+    const rtos::Import &sendImport() const { return sendImport_; }
 
     /** @name Stack counters @{ */
     uint64_t packetsAccepted() const { return packetsAccepted_; }
@@ -223,6 +298,42 @@ class NetStack
     uint64_t arqProbesSent() const { return arqProbesSent_; }
     uint64_t arqSendDrops() const { return arqSendDrops_; }
     uint64_t wrongDest() const { return wrongDest_; }
+    uint64_t unreliableDelivered() const { return unreliableDelivered_; }
+    /** Acked-message retry counts: bucket i = messages that needed i
+     * retransmissions (last bucket is 8+). The chaos campaign exports
+     * this so retransmit-behaviour regressions are diffable. */
+    std::vector<uint64_t> retxHistogram() const;
+    /** @} */
+
+    /** @name Firewall admission (reliable mode) @{ */
+    uint64_t fwAdmitted() const { return fwAdmitted_; }
+    uint64_t fwRateLimited() const { return fwRateLimited_; }
+    uint64_t fwInflightDenied() const { return fwInflightDenied_; }
+    uint64_t fwOversized() const { return fwOversized_; }
+    uint64_t fwMalformed() const { return fwMalformed_; }
+    uint64_t fwStaleEpochs() const { return fwStaleEpochs_; }
+    uint64_t fwQuarantineDrops() const { return fwQuarantineDrops_; }
+    uint64_t fwStrikes() const { return fwStrikes_; }
+    uint64_t fwQuarantines() const { return fwQuarantines_; }
+    uint32_t deviceStrikes(uint32_t mac) const;
+    bool deviceQuarantined(uint32_t mac) const;
+    /** Devices this stack has locally struck out — the fleet runner's
+     * escalation signal for fabric-level quarantine. */
+    std::vector<uint32_t> quarantinedMacs() const;
+    /** Fleet-level escalation entry: force-quarantine @p mac (no
+     * strike accounting) and purge all ARQ state toward it, so a
+     * fabric-partitioned rogue leaves no retransmit residue. */
+    void quarantineMac(rtos::Thread &thread, uint32_t mac);
+    /**
+     * Downstream in-flight accounting: the broker charges a device's
+     * budget while a record derived from its frame sits in a
+     * subscriber queue, and credits it on delivery or shed. A denied
+     * charge means the device is over its in-flight ceiling — the
+     * broker sheds, and subsequent frames from the device are
+     * rejected at admission.
+     */
+    bool chargeInflight(uint32_t srcMac, uint64_t bytes);
+    void creditInflight(uint32_t srcMac, uint64_t bytes);
     /** @} */
 
     /** @name ARQ peer introspection (tests, fleet invariant gate) @{ */
@@ -316,6 +427,37 @@ class NetStack
     RefillResult refillOne(rtos::CompartmentContext &ctx);
     void reapTx(rtos::CompartmentContext &ctx);
 
+    /** Firewall admission state for one source device. */
+    struct FwDevice
+    {
+        int32_t rule = -1; ///< Index into config rules; -1 = no match.
+        alloc::QuotaId quota = alloc::kUnmeteredQuota;
+        uint64_t tokens256 = 0; ///< Bucket level, 1/256 frame units.
+        uint64_t lastRefill = 0;
+        uint32_t strikes = 0;
+        bool quarantined = false;
+    };
+    FwDevice &fwDeviceFor(uint32_t src, uint32_t flowClass);
+    /** Token-bucket + quota admission for one frame; charges @p len
+     * in-flight bytes on Ok (sets @p inflightCharged; the caller
+     * credits it back when frame handling completes). */
+    AdmitResult admitFrame(rtos::CompartmentContext &ctx, uint32_t src,
+                           uint32_t type, uint32_t len,
+                           uint32_t flowClass, bool *inflightCharged);
+    /** A violation costs the device a strike; enough strikes
+     * quarantine it. Returns true when this strike *newly*
+     * quarantined the device — the caller then purges ARQ state. */
+    bool strikeDevice(uint32_t src);
+    /** Drop all ARQ state toward/from @p src (frees held buffers):
+     * retransmit state toward a quarantined device would otherwise
+     * keep the heap above baseline and the ARQ forever non-idle. */
+    void purgePeer(rtos::Thread &thread, uint32_t src);
+    /** Flow class of a reliable frame: payload word 0's class byte
+     * when the flow magic is present, else 0. */
+    uint32_t frameFlowClass(rtos::CompartmentContext &ctx,
+                            const cap::Capability &payload,
+                            uint32_t len);
+
     rtos::Kernel &kernel_;
     NicDevice &nic_;
     rtos::Compartment &driver_;
@@ -368,6 +510,21 @@ class NetStack
     uint64_t arqProbesSent_ = 0;
     uint64_t arqSendDrops_ = 0;
     uint64_t wrongDest_ = 0;
+    uint64_t unreliableDelivered_ = 0;
+    uint64_t retxHistogram_[kRetxHistogramBuckets] = {};
+
+    /** Firewall admission state (reliable mode, admission on). */
+    std::map<uint32_t, FwDevice> fwDevices_;
+    alloc::QuotaLedger fwLedger_;
+    uint64_t fwAdmitted_ = 0;
+    uint64_t fwRateLimited_ = 0;
+    uint64_t fwInflightDenied_ = 0;
+    uint64_t fwOversized_ = 0;
+    uint64_t fwMalformed_ = 0;
+    uint64_t fwStaleEpochs_ = 0;
+    uint64_t fwQuarantineDrops_ = 0;
+    uint64_t fwStrikes_ = 0;
+    uint64_t fwQuarantines_ = 0;
 };
 
 } // namespace cheriot::net

@@ -45,6 +45,15 @@ VirtualSwitch::partitioned(uint32_t port) const
 }
 
 void
+VirtualSwitch::setDirectionalPartition(uint32_t port, bool txBlocked,
+                                       bool rxBlocked)
+{
+    Port &p = ports_.at(port);
+    p.link.txBlocked = txBlocked;
+    p.link.rxBlocked = rxBlocked;
+}
+
+void
 VirtualSwitch::stallPort(uint32_t port, uint32_t ticks)
 {
     Port &p = ports_.at(port);
@@ -70,7 +79,7 @@ VirtualSwitch::ingress(uint32_t port, const uint8_t *frame,
     }
     Port &in = ports_[port];
     in.counters.ingressFrames++;
-    if (in.link.partitioned) {
+    if (in.link.ingressBlocked()) {
         in.counters.partitionDrops++;
         return;
     }
@@ -104,7 +113,7 @@ VirtualSwitch::enqueue(uint32_t port, const uint8_t *frame,
                        uint32_t bytes)
 {
     Port &out = ports_[port];
-    if (out.link.partitioned) {
+    if (out.link.egressBlocked()) {
         out.counters.partitionDrops++;
         return;
     }
@@ -174,7 +183,7 @@ VirtualSwitch::tick()
 void
 VirtualSwitch::deliverThroughLink(Port &port, std::vector<uint8_t> frame)
 {
-    if (port.link.partitioned) {
+    if (port.link.egressBlocked()) {
         port.counters.partitionDrops++;
         return;
     }

@@ -81,6 +81,14 @@ class LinkFaultModel
 
     LinkFaultConfig config;
     bool partitioned = false;
+    /** Directional partition halves: txBlocked eats frames the port's
+     * node transmits (others never hear it); rxBlocked eats frames
+     * destined for it (it hears nothing). `partitioned` is both. */
+    bool txBlocked = false;
+    bool rxBlocked = false;
+
+    bool ingressBlocked() const { return partitioned || txBlocked; }
+    bool egressBlocked() const { return partitioned || rxBlocked; }
 
     bool roll(uint32_t permille)
     {
@@ -143,6 +151,14 @@ class VirtualSwitch
      * until healed. */
     void setPartitioned(uint32_t port, bool isolated);
     bool partitioned(uint32_t port) const;
+    /**
+     * Asymmetric partition: block only one direction of @p port's
+     * link. @p txBlocked eats everything the attached node sends
+     * (the rest of the fabric goes deaf to it); @p rxBlocked eats
+     * everything addressed to it (the node itself goes deaf).
+     */
+    void setDirectionalPartition(uint32_t port, bool txBlocked,
+                                 bool rxBlocked);
     /** Freeze @p port's egress for @p ticks rounds. */
     void stallPort(uint32_t port, uint32_t ticks);
     /** Armed SwitchPortStall plans fire through this injector. */

@@ -59,23 +59,39 @@ FleetNode::Rig::Rig(FleetNode &node, const FleetConfig &config)
         node.outbox_.emplace_back(frame, frame + bytes);
     });
     parts = net::addNetCompartments(kernel);
+    if (config.appTier) {
+        flowParts = net::addFlowCompartment(kernel);
+        brokerParts = net::addBrokerCompartment(kernel);
+    }
     consumer = &kernel.createCompartment("consumer");
     const uint32_t handleIndex = consumer->addExport(
         {"handle",
          [&node](CompartmentContext &ctx, ArgVec &args) {
              const cap::Capability payload = args[0];
              const uint32_t len = args[1].address();
-             // Data frame: 4 header words, >= 2 payload words
-             // (sentRound, msgId), 1 checksum word.
-             if (len < (net::kFleetHeaderWords + 3) * 4) {
+             // Plain mode: 4 header words, >= 2 payload words
+             // (sentRound, msgId), 1 checksum word. App tier: the two
+             // application words sit behind the 2-word flow header.
+             const bool appTier = node.config_.appTier;
+             const uint32_t appWords = appTier ? 4u : 2u;
+             if (len < (net::kFleetHeaderWords + appWords + 1) * 4) {
                  return CallResult::ofInt(0);
              }
              const uint32_t base = payload.base();
+             const uint32_t appBase =
+                 base + (net::kFleetHeaderWords + appWords - 2) * 4;
              const uint32_t src = ctx.mem.loadWord(payload, base + 4);
              const uint32_t sentRound =
-                 ctx.mem.loadWord(payload, base + 16);
+                 ctx.mem.loadWord(payload, appBase);
              const uint32_t msgId =
-                 ctx.mem.loadWord(payload, base + 20);
+                 ctx.mem.loadWord(payload, appBase + 4);
+             if (appTier && (msgId >> 20) != src - 1) {
+                 // Forged provenance: the msgId namespace is the
+                 // sender's node id, and this frame's source MAC
+                 // does not own it.
+                 node.spoofDrops_++;
+                 return CallResult::ofInt(0);
+             }
              node.onDelivered(src, msgId, sentRound);
              return CallResult::ofInt(1);
          },
@@ -96,7 +112,35 @@ FleetNode::Rig::Rig(FleetNode &node, const FleetConfig &config)
     stackConfig.arqEpoch = node.incarnation();
     stack = std::make_unique<net::NetStack>(kernel, nic, parts,
                                             stackConfig);
-    stack->connect({{kernel.importOf(*consumer, handleIndex), false}});
+    if (config.appTier) {
+        net::FlowConfig flowConfig = config.flow;
+        flowConfig.epoch = node.incarnation();
+        flowMgr = std::make_unique<net::FlowManager>(
+            kernel, *stack, flowParts, flowConfig);
+        flowMgr->setFaultInjector(&injector);
+        broker = std::make_unique<net::TelemetryBroker>(
+            kernel, brokerParts, config.broker);
+        broker->setFaultInjector(&injector);
+        broker->connect();
+        net::NetStack *stackPtr = stack.get();
+        broker->setInflightHooks(
+            [stackPtr](uint32_t mac, uint64_t bytes) {
+                return stackPtr->chargeInflight(mac, bytes);
+            },
+            [stackPtr](uint32_t mac, uint64_t bytes) {
+                stackPtr->creditInflight(mac, bytes);
+            });
+        // Delivered flow segments fan out to the broker (as
+        // publications) and to the recording consumer.
+        flowMgr->connect(
+            {{broker->ingestImport()},
+             {kernel.importOf(*consumer, handleIndex)}});
+        stack->connect({{flowMgr->deliverImport(), false}});
+        brokerSub = broker->subscribe(0x7);
+    } else {
+        stack->connect(
+            {{kernel.importOf(*consumer, handleIndex), false}});
+    }
     stack->start(*thread);
 }
 
@@ -113,24 +157,68 @@ FleetNode::runSlice(uint32_t round, const FleetTraffic &traffic,
                     uint32_t fleetNodes)
 {
     currentRound_ = round;
-    if (fleetNodes > 1 && traffic.sendPermille > 0 &&
+    const bool isRogue =
+        config_.rogueNode >= 0 &&
+        static_cast<uint32_t>(config_.rogueNode) == id_;
+    const bool rogueElsewhere =
+        config_.rogueNode >= 0 && !isRogue &&
+        static_cast<uint32_t>(config_.rogueNode) < fleetNodes;
+    const uint32_t honestOthers =
+        fleetNodes - 1 - (rogueElsewhere ? 1 : 0);
+    if (!isRogue && honestOthers > 0 && traffic.sendPermille > 0 &&
         trafficRng_.chance(traffic.sendPermille, 1000)) {
         // Uniform destination among the *other* nodes.
         uint32_t dst = trafficRng_.below(fleetNodes - 1);
         if (dst >= id_) {
             dst++;
         }
+        // Honest devices have no business talking to the rogue; remap
+        // deterministically so the exactly-once gate stays clean.
+        if (rogueElsewhere &&
+            dst == static_cast<uint32_t>(config_.rogueNode)) {
+            do {
+                dst = (dst + 1) % fleetNodes;
+            } while (dst == id_ ||
+                     dst == static_cast<uint32_t>(config_.rogueNode));
+        }
         const uint32_t dstMac = dst + 1;
         const uint32_t msgId = (id_ << 20) | (nextMsg_++ & 0xfffff);
-        if (rig_->stack->sendMessage(*rig_->thread, dstMac,
-                                     traffic.payloadWords, round,
-                                     msgId)) {
+        if (config_.appTier) {
+            net::FlowManager &fm = *rig_->flowMgr;
+            if (!fm.txKnown(dstMac)) {
+                fm.open(*rig_->thread, dstMac,
+                        static_cast<net::FlowClass>((id_ ^ dst) % 3));
+            }
+            const auto result =
+                fm.send(*rig_->thread, dstMac, round, msgId);
+            if (result == net::FlowManager::SendResult::Ok) {
+                sends_.push_back({dstMac, msgId, round});
+            } else {
+                sendRefusals_++;
+            }
+        } else if (rig_->stack->sendMessage(*rig_->thread, dstMac,
+                                            traffic.payloadWords,
+                                            round, msgId)) {
             sends_.push_back({dstMac, msgId, round});
         } else {
             sendRefusals_++;
         }
     }
     rig_->stack->pump(*rig_->thread);
+    if (config_.appTier) {
+        // Quiesce (drain) rounds go silent: no keepalive probes.
+        rig_->flowMgr->service(*rig_->thread,
+                               traffic.sendPermille != 0);
+        // A slow-but-live subscriber: drain up to two broker records
+        // per round, so queues bound under load and empty at drain.
+        net::TelemetryBroker::Record record;
+        for (int i = 0; i < 2; ++i) {
+            if (!rig_->broker->poll(*rig_->thread, rig_->brokerSub,
+                                    &record)) {
+                break;
+            }
+        }
+    }
     rig_->machine.idle(config_.idleCyclesPerRound);
 }
 
@@ -178,6 +266,10 @@ FleetNode::saveImage() const
     snapshot::Writer &fw = out.beginSection("fleet");
     rig_->nic.serialize(fw);
     rig_->stack->serialize(fw);
+    if (config_.appTier) {
+        rig_->flowMgr->serialize(fw);
+        rig_->broker->serialize(fw);
+    }
     fw.u32(currentRound_);
     fw.u32(nextMsg_);
     uint32_t rngState[4];
@@ -208,6 +300,11 @@ FleetNode::restoreImage(const snapshot::SnapshotImage &image)
     if (!rig_->nic.deserialize(fr) || !rig_->stack->deserialize(fr)) {
         return false;
     }
+    if (config_.appTier &&
+        (!rig_->flowMgr->deserialize(fr) ||
+         !rig_->broker->deserialize(fr))) {
+        return false;
+    }
     currentRound_ = fr.u32();
     nextMsg_ = fr.u32();
     uint32_t rngState[4];
@@ -231,7 +328,8 @@ void
 FleetNode::captureBaseline()
 {
     rig_->kernel.allocator().synchronise();
-    baselineFree_ = rig_->kernel.allocator().freeBytes();
+    baselineFree_ = rig_->kernel.allocator().freeBytes() +
+                    rig_->kernel.allocator().slackBytes();
 }
 
 uint64_t
@@ -239,13 +337,17 @@ FleetNode::freeBytesNow()
 {
     // Sweep until the quarantine is empty so the audit compares like
     // with like (freed-but-unswept chunks are latency, not leaks).
+    // Slack held by live chunks counts as healable for the same
+    // reason: a recycled ring buffer that landed on a chunk with an
+    // absorbed sub-minimum remainder is placement, not a leak.
     for (int i = 0; i < 8; ++i) {
         rig_->kernel.allocator().synchronise();
         if (rig_->kernel.allocator().quarantinedBytes() == 0) {
             break;
         }
     }
-    return rig_->kernel.allocator().freeBytes();
+    return rig_->kernel.allocator().freeBytes() +
+           rig_->kernel.allocator().slackBytes();
 }
 
 // --- ChaosEngine ----------------------------------------------------
@@ -424,6 +526,33 @@ Fleet::serialPhase()
 {
     if (chaos_ != nullptr) {
         chaos_->apply(round_, *this);
+    }
+    // Fabric-level quarantine: when enough independent nodes have
+    // locally struck a MAC out, partition its port and have every
+    // node shun it — one compromised device cannot outvote the fleet,
+    // and two colluding local false-positives are the floor.
+    if (config_.fabricQuarantineVotes > 0 &&
+        config_.stack.firewall.admission) {
+        std::map<uint32_t, uint32_t> votes;
+        for (auto &node : nodes_) {
+            for (uint32_t mac : node->stack().quarantinedMacs()) {
+                votes[mac]++;
+            }
+        }
+        for (const auto &[mac, count] : votes) {
+            if (count < config_.fabricQuarantineVotes || mac == 0 ||
+                mac > nodes_.size() ||
+                std::find(fabricQuarantines_.begin(),
+                          fabricQuarantines_.end(),
+                          mac) != fabricQuarantines_.end()) {
+                continue;
+            }
+            switch_.setPartitioned(ports_.at(mac - 1), true);
+            for (auto &node : nodes_) {
+                node->quarantineMac(mac);
+            }
+            fabricQuarantines_.push_back(mac);
+        }
     }
     for (uint32_t id = 0; id < nodes_.size(); ++id) {
         auto &outbox = nodes_[id]->outbox();

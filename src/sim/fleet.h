@@ -36,6 +36,8 @@
 #define CHERIOT_SIM_FLEET_H
 
 #include "fault/fault_injector.h"
+#include "net/broker.h"
+#include "net/flow.h"
 #include "net/net_stack.h"
 #include "net/nic_device.h"
 #include "net/switch.h"
@@ -70,6 +72,18 @@ struct FleetConfig
     /** Bound on each switch port's egress queue. */
     uint32_t switchQueueDepth = 64;
     net::NetStackConfig stack; ///< reliable/localMac are set per node.
+    /** Application tier: every node runs a FlowManager (traffic rides
+     * flows, not raw sends) and a TelemetryBroker subscribed to it. */
+    bool appTier = false;
+    /** Node id driven by a host-side RogueDevice instead of honest
+     * traffic (-1: none). Honest nodes never pick it as destination. */
+    int32_t rogueNode = -1;
+    net::FlowConfig flow;     ///< epoch is set per node incarnation.
+    net::BrokerConfig broker; ///< Per-node broker sizing.
+    /** Fleet-level escalation: when this many distinct nodes have
+     * locally quarantined the same MAC, the serial phase partitions
+     * its switch port and every node shuns it (0 disables). */
+    uint32_t fabricQuarantineVotes = 2;
 };
 
 /** Per-round traffic generation knobs. */
@@ -135,8 +149,20 @@ class FleetNode
     /** @name System access @{ */
     sim::Machine &machine() { return rig_->machine; }
     rtos::Kernel &kernel() { return rig_->kernel; }
+    /** The node's service thread (tests drive flow/broker calls). */
+    rtos::Thread &thread() { return *rig_->thread; }
     net::NetStack &stack() { return *rig_->stack; }
     fault::FaultInjector &injector() { return rig_->injector; }
+    /** Application tier (null unless config.appTier). @{ */
+    net::FlowManager *flowManager() { return rig_->flowMgr.get(); }
+    net::TelemetryBroker *broker() { return rig_->broker.get(); }
+    uint32_t brokerSubscriber() const { return rig_->brokerSub; }
+    /** @} */
+    /** Fleet-escalation hook: shun @p mac (quarantine + ARQ purge). */
+    void quarantineMac(uint32_t mac)
+    {
+        rig_->stack->quarantineMac(*rig_->thread, mac);
+    }
     /** @} */
 
     /** @name Invariant-gate observations @{ */
@@ -148,6 +174,9 @@ class FleetNode
         return amnestySends_;
     }
     uint64_t sendRefusals() const { return sendRefusals_; }
+    /** Deliveries dropped because the embedded msgId did not match
+     * the frame's source MAC (app tier only: forged provenance). */
+    uint64_t spoofDrops() const { return spoofDrops_; }
     const std::vector<FleetDelivery> &deliveries() const
     {
         return deliveries_;
@@ -184,9 +213,14 @@ class FleetNode
         rtos::Kernel kernel;
         net::NicDevice nic;
         net::NetCompartments parts;
+        net::FlowCompartment flowParts;     ///< appTier only.
+        net::BrokerCompartment brokerParts; ///< appTier only.
         rtos::Compartment *consumer = nullptr;
         rtos::Thread *thread = nullptr;
         std::unique_ptr<net::NetStack> stack;
+        std::unique_ptr<net::FlowManager> flowMgr; ///< appTier only.
+        std::unique_ptr<net::TelemetryBroker> broker;
+        uint32_t brokerSub = 0;
     };
 
     void onDelivered(uint32_t srcMac, uint32_t msgId,
@@ -204,6 +238,7 @@ class FleetNode
     std::vector<FleetSend> sends_;
     std::vector<FleetSend> amnestySends_;
     uint64_t sendRefusals_ = 0;
+    uint64_t spoofDrops_ = 0;
     std::vector<FleetDelivery> deliveries_;
     std::map<uint32_t, uint32_t> deliveryCounts_;
     std::map<uint32_t, uint32_t> allTimeDeliveryCounts_;
@@ -311,6 +346,13 @@ class Fleet
     bool anyPeerDead();
     /** @} */
 
+    /** MACs escalated to fabric-level quarantine (port partitioned
+     * and shunned by every node), in escalation order. */
+    const std::vector<uint32_t> &fabricQuarantines() const
+    {
+        return fabricQuarantines_;
+    }
+
   private:
     void parallelPhase(const FleetTraffic &traffic);
     void serialPhase();
@@ -322,6 +364,7 @@ class Fleet
     std::vector<uint32_t> ports_;
     ChaosEngine *chaos_ = nullptr;
     uint32_t round_ = 0;
+    std::vector<uint32_t> fabricQuarantines_;
 };
 
 } // namespace cheriot::sim

@@ -202,10 +202,12 @@ namespace
 {
 
 /** Boot a minimal image with the NIC window imported by @p importers
- * and lint it against the default policy. */
+ * (plus @p bystanders, compartments that import nothing) and lint it
+ * against the default policy. */
 Report
 lintNicImage(const std::string &imageName,
-             const std::vector<std::string> &importers)
+             const std::vector<std::string> &importers,
+             const std::vector<std::string> &bystanders = {})
 {
     sim::MachineConfig mc;
     mc.sramSize = 96u << 10;
@@ -218,6 +220,9 @@ lintNicImage(const std::string &imageName,
         kernel.loader().mmioCap(mem::kNicMmioBase, mem::kNicMmioSize);
     for (const auto &name : importers) {
         kernel.createCompartment(name).addMmioImport("nic", nicWindow);
+    }
+    for (const auto &name : bystanders) {
+        kernel.createCompartment(name);
     }
     kernel.createCompartment("js");
     kernel.createThread("main", 1, 1024);
@@ -244,6 +249,26 @@ lintCorpus()
         v.push_back({"nic-clean-twin", false, [] {
                          return lintNicImage("nic-clean-twin",
                                              {"net_driver"});
+                     }});
+        // The application tier rides entirely on cross-compartment
+        // calls: a telemetry_broker (or flow) compartment holding the
+        // NIC MMIO window could read frames before firewall admission
+        // and bypass the heap-claim discipline, so the same
+        // `mmio nic only net_driver` rule must flag it.
+        v.push_back({"broker-rogue-import", true, [] {
+                         return lintNicImage(
+                             "broker-rogue-import",
+                             {"net_driver", "telemetry_broker"},
+                             {"flow", "firewall"});
+                     }});
+        // The clean twin is the shipped app-tier layout: flow,
+        // firewall and broker present, only the driver imports the
+        // window.
+        v.push_back({"broker-clean-twin", false, [] {
+                         return lintNicImage(
+                             "broker-clean-twin", {"net_driver"},
+                             {"flow", "firewall",
+                              "telemetry_broker"});
                      }});
         return v;
     }();

@@ -156,6 +156,58 @@ TEST(ArqTest, ForcedDuplicationIsInvisibleToConsumers)
     EXPECT_EQ(fleet.totalSafetyViolations(), 0u);
 }
 
+TEST(ArqTest, AsymmetricPartitionKillsOnlyTheDeafSide)
+{
+    Fleet fleet(twoNodeConfig(21));
+    net::NetStack &deaf = fleet.node(1).stack();
+    net::NetStack &hearing = fleet.node(0).stack();
+
+    // Node 1 goes deaf: its transmissions still reach the fabric, but
+    // everything destined for its port is eaten. This is the nasty
+    // half-duplex failure — B's data arrives, B's acks don't.
+    fleet.fabric().setDirectionalPartition(1, /*txBlocked=*/false,
+                                           /*rxBlocked=*/true);
+
+    for (uint32_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(fleet.node(1).sendNow(/*dstMac=*/1, 4,
+                                          fleet.round()));
+    }
+    fleet.run(2, kQuiet);
+    // The hearing side delivered everything on the first copies...
+    EXPECT_EQ(fleet.node(0).deliveryCounts().size(), 4u);
+
+    // ...but its acks never land, so the deaf side burns its retry
+    // budget into the hearing side's dedup window and declares a dead
+    // peer. The hearing side has no unacked state toward the deaf
+    // node (acks carry no ARQ state), so death is one-sided.
+    for (uint32_t round = 0; round < 500 && !deaf.peerDead(1);
+         ++round) {
+        fleet.run(1, kQuiet);
+    }
+    EXPECT_TRUE(deaf.peerDead(1));
+    EXPECT_EQ(deaf.arqPeerDeaths(), 1u);
+    EXPECT_EQ(hearing.arqPeerDeaths(), 0u);
+    EXPECT_FALSE(hearing.peerDead(2));
+    EXPECT_GT(hearing.arqDuplicatesDropped(), 0u)
+        << "retransmits really reached the hearing side";
+
+    // Heal. The deaf side's probe finally gets an audible echo, it
+    // rejoins, the pending frames retransmit once more — and the
+    // dedup window keeps the rejoin from double-delivering.
+    fleet.fabric().setDirectionalPartition(1, false, false);
+    for (uint32_t round = 0; round < 500 && deaf.peerDead(1);
+         ++round) {
+        fleet.run(1, kQuiet);
+    }
+    EXPECT_FALSE(deaf.peerDead(1));
+    EXPECT_EQ(deaf.arqRejoins(), 1u);
+    ASSERT_TRUE(fleet.drain(500));
+    EXPECT_EQ(fleet.node(0).deliveryCounts().size(), 4u);
+    expectExactlyOnce(fleet, 1);
+    EXPECT_FALSE(fleet.anyPeerDead());
+    EXPECT_EQ(fleet.totalSafetyViolations(), 0u);
+}
+
 TEST(ArqTest, ReceiverRestartSlidesTheDedupWindowBothDirections)
 {
     Fleet fleet(twoNodeConfig(11));

@@ -9,8 +9,10 @@
  * keeps its delivery guarantees.
  */
 
+#include "net/net_stack.h"
 #include "net/switch.h"
 #include "sim/fleet.h"
+#include "workloads/rogue/rogue_device.h"
 
 #include <gtest/gtest.h>
 
@@ -233,6 +235,95 @@ TEST(FleetTest, QuarantinedDeviceRestartsWithoutDisturbingNeighbors)
         if (counts.count(send.msgId) != 0) {
             EXPECT_LE(counts.at(send.msgId), 1u);
         }
+    }
+    EXPECT_FALSE(fleet.anyPeerDead());
+    EXPECT_EQ(fleet.totalSafetyViolations(), 0u);
+}
+
+TEST(FleetTest, RogueDeviceIsContainedByFabricQuarantine)
+{
+    // The bench campaign's containment story as a deterministic unit
+    // test: an app-tier fleet with one Byzantine member whose forged
+    // frames must converge strikes onto its MAC, escalate to
+    // fabric-level quarantine of exactly that port, and leave every
+    // honest stream's exactly-once guarantee untouched.
+    FleetConfig fc;
+    fc.nodes = 5;
+    fc.seed = 0x506e;
+    fc.threads = 2;
+    fc.appTier = true;
+    fc.rogueNode = 2;
+    fc.fabricQuarantineVotes = 2;
+    fc.stack.arqRtoStartCycles = 131072;
+    fc.stack.arqRtoCapCycles = 1u << 20;
+    fc.stack.arqMaxRetries = 6;
+    fc.stack.arqProbeIntervalCycles = 262144;
+    fc.flow.keepaliveIdleCycles = 1u << 21;
+    fc.stack.firewall.admission = true;
+    fc.stack.firewall.strikeBudget = 8;
+    net::FirewallRule rule; // Wildcard: honest segments never violate.
+    rule.maxFrameBytes = 256;
+    rule.burstFrames = 24;
+    rule.ratePer1KCycles256 = 8 * 256;
+    rule.maxInflightBytes = 16 * 1024;
+    fc.stack.firewall.rules = {rule};
+    Fleet fleet(fc);
+
+    workloads::RogueConfig rc;
+    rc.startRound = 4;
+    rc.endRound = 40;
+    rc.framesPerRound = 6;
+    rc.oversizeWords = 120;
+    const uint32_t rogueMac = 3; // Node 2.
+    workloads::RogueDevice rogue(rogueMac, fc.seed, rc);
+
+    FleetTraffic traffic;
+    traffic.sendPermille = 600;
+    traffic.payloadWords = 8;
+    for (uint32_t round = 0; round < 60; ++round) {
+        rogue.emit(fleet.round(), fleet.node(2).outbox(),
+                   fleet.size());
+        fleet.run(1, traffic);
+    }
+    ASSERT_TRUE(fleet.drain(3000));
+    ASSERT_GT(rogue.forged(), 0u);
+
+    // The fabric quarantined exactly the rogue's port, and every
+    // honest node's local quarantine list names only the rogue —
+    // nobody was collaterally shunned.
+    ASSERT_EQ(fleet.fabricQuarantines().size(), 1u);
+    EXPECT_EQ(fleet.fabricQuarantines()[0], rogueMac);
+    for (uint32_t id = 0; id < fleet.size(); ++id) {
+        if (id == 2) {
+            continue;
+        }
+        for (const uint32_t mac :
+             fleet.node(id).stack().quarantinedMacs()) {
+            EXPECT_EQ(mac, rogueMac)
+                << "node " << id << " shunned an honest device";
+        }
+    }
+
+    // Honest streams: strict exactly-once, no dead peers, and both
+    // the broker heap-claim ledger and the node heap heal to
+    // baseline — containment costs no permanent state.
+    for (uint32_t id = 0; id < fleet.size(); ++id) {
+        if (id == 2) {
+            continue;
+        }
+        for (const FleetSend &send : fleet.node(id).sends()) {
+            FleetNode &dst = fleet.node(send.dstMac - 1);
+            const auto &counts = dst.deliveryCounts();
+            const auto it = counts.find(send.msgId);
+            ASSERT_NE(it, counts.end())
+                << "honest msg 0x" << std::hex << send.msgId
+                << " never delivered";
+            EXPECT_EQ(it->second, 1u);
+        }
+        EXPECT_EQ(fleet.node(id).broker()->heapBytesLive(), 0u);
+        EXPECT_EQ(fleet.node(id).freeBytesNow(),
+                  fleet.node(id).baselineFreeBytes())
+            << "node " << id;
     }
     EXPECT_FALSE(fleet.anyPeerDead());
     EXPECT_EQ(fleet.totalSafetyViolations(), 0u);
