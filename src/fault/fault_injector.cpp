@@ -45,6 +45,7 @@ faultSiteName(FaultSite site)
       case FaultSite::SwitchPortStall: return "switch-port-stall";
       case FaultSite::FlowStateCorrupt: return "flow-state-corrupt";
       case FaultSite::BrokerQueueCorrupt: return "broker-queue-corrupt";
+      case FaultSite::CapTableCorrupt: return "cap-table-corrupt";
       case FaultSite::kCount: break;
     }
     return "unknown";
@@ -73,6 +74,7 @@ FaultInjector::FaultInjector(uint64_t seed)
     stats_.registerCounter("switchPortStalls", switchPortStalls);
     stats_.registerCounter("flowStateFlips", flowStateFlips);
     stats_.registerCounter("brokerQueueFlips", brokerQueueFlips);
+    stats_.registerCounter("capTableFlips", capTableFlips);
     stats_.registerCounter("safetyViolations", safetyViolations);
 }
 
@@ -138,8 +140,10 @@ FaultInjector::planNext(uint64_t horizonCycles, uint32_t memBase,
         break;
       case FaultSite::FlowStateCorrupt:
       case FaultSite::BrokerQueueCorrupt:
-        // Fires on the Nth flow-table / broker-queue touch; the param
-        // is the scramble pattern applied to the targeted entry.
+      case FaultSite::CapTableCorrupt:
+        // Fires on the Nth flow-table / broker-queue / cap-table
+        // touch; the param is the scramble pattern applied to the
+        // targeted entry.
         plan.triggerTransaction = rng.below(32);
         plan.param = static_cast<uint32_t>(rng.next64() | 1u);
         break;
@@ -231,6 +235,7 @@ FaultInjector::fire(uint64_t nowCycle)
       case FaultSite::SwitchPortStall:
       case FaultSite::FlowStateCorrupt:
       case FaultSite::BrokerQueueCorrupt:
+      case FaultSite::CapTableCorrupt:
       case FaultSite::kCount:
         break; // Event-triggered: delivered by their own hooks.
     }
@@ -255,7 +260,8 @@ FaultInjector::tick(uint64_t nowCycle)
         plan_.site == FaultSite::NicLinkDrop ||
         plan_.site == FaultSite::SwitchPortStall ||
         plan_.site == FaultSite::FlowStateCorrupt ||
-        plan_.site == FaultSite::BrokerQueueCorrupt) {
+        plan_.site == FaultSite::BrokerQueueCorrupt ||
+        plan_.site == FaultSite::CapTableCorrupt) {
         return; // Event-triggered, not cycle-triggered.
     }
     if (nowCycle >= plan_.triggerCycle) {
@@ -417,6 +423,22 @@ FaultInjector::brokerQueueTouched(uint32_t *param)
     fired_ = true;
     faultsInjected++;
     brokerQueueFlips++;
+    *param = plan_.param;
+    return true;
+}
+
+bool
+FaultInjector::capTableTouched(uint32_t *param)
+{
+    const uint64_t ordinal = capTouches_++;
+    if (!armed_ || fired_ ||
+        plan_.site != FaultSite::CapTableCorrupt ||
+        ordinal < plan_.triggerTransaction) {
+        return false;
+    }
+    fired_ = true;
+    faultsInjected++;
+    capTableFlips++;
     *param = plan_.param;
     return true;
 }

@@ -82,6 +82,10 @@ enum class FaultSite : uint8_t
     BrokerQueueCorrupt,   ///< A queued broker record's metadata is
                           ///< disturbed; the broker must drop the
                           ///< record, never trap a subscriber.
+    CapTableCorrupt,      ///< An object-capability table entry (or
+                          ///< its tree links) is scrambled; the table
+                          ///< must refuse it typed on use and kill
+                          ///< the subtree, never grant authority.
     kCount,
 };
 
@@ -212,6 +216,14 @@ class FaultInjector
      * once with a scramble pattern in @p param.
      */
     bool brokerQueueTouched(uint32_t *param);
+    /**
+     * The object-capability table is about to validate an entry. An
+     * armed CapTableCorrupt plan fires on the Nth touch: returns true
+     * once with a scramble pattern in @p param, applied to the entry
+     * *before* its canary is checked. Counts its own ordinal stream
+     * so arming it never shifts any other site's triggers.
+     */
+    bool capTableTouched(uint32_t *param);
     /** @} */
 
     /** @name Safety oracle @{ */
@@ -251,6 +263,7 @@ class FaultInjector
     Counter switchPortStalls;   ///< Switch-port stall windows opened.
     Counter flowStateFlips;     ///< Scrambled flow-table entries.
     Counter brokerQueueFlips;   ///< Scrambled broker queue records.
+    Counter capTableFlips;      ///< Scrambled object-cap entries.
     Counter safetyViolations;   ///< MUST stay zero outside forgery mode.
 
   private:
@@ -275,6 +288,7 @@ class FaultInjector
     uint64_t switchTicks_ = 0;
     uint64_t flowTouches_ = 0;
     uint64_t brokerTouches_ = 0;
+    uint64_t capTouches_ = 0;
     uint32_t linkDropBurstLeft_ = 0;
     uint32_t pendingSpurious_ = 0;
     uint32_t spuriousCause_ = 0;

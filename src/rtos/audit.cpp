@@ -2,6 +2,7 @@
 
 #include "rtos/kernel.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace cheriot::rtos
@@ -49,6 +50,11 @@ AuditReport::toString() const
                           window.c_str());
             out += line;
         }
+        for (const auto &holding : c.tokenHoldings) {
+            std::snprintf(line, sizeof(line), "    hold %s\n",
+                          holding.c_str());
+            out += line;
+        }
     }
     out += "--- entries running with interrupts disabled ---\n";
     const auto critical = interruptsDisabledEntries();
@@ -92,6 +98,26 @@ auditKernel(Kernel &kernel)
             const Export &exported = compartment.exportAt(e);
             report.exports.push_back({compartment.name(), exported.name,
                                       exported.interruptsDisabled});
+        }
+    }
+    // Enumerate live object-capability holdings per compartment: the
+    // audit reads the derivation table, so a *revoked* capability no
+    // longer shows up as held authority.
+    if (const ObjectCapTable *caps = kernel.objectCapsIfPresent()) {
+        for (uint32_t id = 0; id < caps->size(); ++id) {
+            if (!caps->aliveAt(id)) {
+                continue;
+            }
+            const uint32_t owner = caps->ownerOf(id);
+            if (owner >= report.compartments.size()) {
+                continue;
+            }
+            auto &holdings = report.compartments[owner].tokenHoldings;
+            const std::string name = objectCapTypeName(caps->typeAt(id));
+            if (std::find(holdings.begin(), holdings.end(), name) ==
+                holdings.end()) {
+                holdings.push_back(name);
+            }
         }
     }
     return report;

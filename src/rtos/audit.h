@@ -48,6 +48,10 @@ struct CompartmentAudit
     bool codeWritable;      ///< Must always be false (W^X).
     /** Named MMIO windows this compartment holds authority over. */
     std::vector<std::string> mmioImports;
+    /** Live object-capability types this compartment holds ("time",
+     * "channel", "monitor") — the delegable kernel authority an
+     * auditor wants enumerated next to the MMIO windows. */
+    std::vector<std::string> tokenHoldings;
 };
 
 /** The whole image's audit manifest. */

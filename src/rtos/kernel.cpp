@@ -391,24 +391,84 @@ Kernel::tokenLibrary()
     return *tokenLibrary_;
 }
 
+uint32_t
+Kernel::compartmentIndexOf(const Compartment &compartment) const
+{
+    for (size_t i = 0; i < compartments_.size(); ++i) {
+        if (compartments_[i].get() == &compartment) {
+            return static_cast<uint32_t>(i);
+        }
+    }
+    panic("kernel: foreign compartment '%s' has no image index",
+          compartment.name().c_str());
+}
+
+ObjectCapTable &
+Kernel::objectCaps()
+{
+    if (objectCaps_ == nullptr) {
+        objectCaps_ = std::make_unique<ObjectCapTable>(
+            guest_, tokenLibrary(), *allocator_);
+        objectCaps_->attachInjector(machine_.faultInjector());
+        scheduler_->setTimeAuthority(objectCaps_.get());
+        watchdog_.setMonitorAuthority(objectCaps_.get());
+    }
+    return *objectCaps_;
+}
+
+Capability
+Kernel::mintTimeCap(Compartment &owner, uint64_t beginSlot,
+                    uint64_t endSlot)
+{
+    return objectCaps().mintTime(compartmentIndexOf(owner), beginSlot,
+                                 endSlot);
+}
+
+Capability
+Kernel::mintChannelCap(Compartment &owner,
+                       const Capability &queueHandle, bool canSend,
+                       bool canReceive)
+{
+    return objectCaps().mintChannel(compartmentIndexOf(owner),
+                                    queueHandle, canSend, canReceive);
+}
+
+Capability
+Kernel::mintMonitorCap(Compartment &owner, Compartment &target)
+{
+    return objectCaps().mintMonitor(compartmentIndexOf(owner),
+                                    compartmentIndexOf(target));
+}
+
+CapResult
+Kernel::transferObjectCap(const Capability &token, Compartment &newOwner)
+{
+    return objectCaps().transfer(token, compartmentIndexOf(newOwner));
+}
+
+CapResult
+Kernel::requestQuarantine(const Capability &monitorCap,
+                          Compartment &target)
+{
+    return watchdog_.requestQuarantine(monitorCap, target,
+                                       compartmentIndexOf(target),
+                                       machine_.cycles());
+}
+
+CapResult
+Kernel::requestRestart(const Capability &monitorCap, Compartment &target)
+{
+    return watchdog_.requestRestart(monitorCap, target,
+                                    compartmentIndexOf(target));
+}
+
 Capability
 Kernel::mintAllocatorCapability(Compartment &owner, uint64_t limitBytes)
 {
     TokenLibrary &tokens = tokenLibrary();
     // The sealed record names the owner by position: a restore (same
     // deterministic boot) resolves it to the same compartment.
-    uint32_t ownerIndex = ~uint32_t{0};
-    for (size_t i = 0; i < compartments_.size(); ++i) {
-        if (compartments_[i].get() == &owner) {
-            ownerIndex = static_cast<uint32_t>(i);
-            break;
-        }
-    }
-    if (ownerIndex == ~uint32_t{0}) {
-        panic("kernel: minting allocator capability for foreign "
-              "compartment '%s'",
-              owner.name().c_str());
-    }
+    const uint32_t ownerIndex = compartmentIndexOf(owner);
     const alloc::QuotaId id = allocator_->quota().create(limitBytes);
     // The record itself is kernel bookkeeping: unmetered.
     const Capability record = allocator_->malloc(kAllocCapRecordSize);
@@ -523,6 +583,10 @@ Kernel::serialize(snapshot::Writer &w) const
         tokenLibrary_->serialize(w);
         w.cap(allocKey_);
     }
+    w.b(objectCaps_ != nullptr);
+    if (objectCaps_ != nullptr) {
+        objectCaps_->serialize(w);
+    }
 }
 
 bool
@@ -586,6 +650,18 @@ Kernel::deserialize(snapshot::Reader &r)
         }
         allocKey_ = r.cap();
     } else if (tokenLibrary_ != nullptr) {
+        return false;
+    }
+    if (r.b()) {
+        // The saving boot created the object-cap table before the
+        // snapshot; an identically booted kernel has it too (its
+        // records and token boxes already live in the restored heap
+        // image). A missing table means a structurally different
+        // boot: refuse.
+        if (objectCaps_ == nullptr || !objectCaps_->deserialize(r)) {
+            return false;
+        }
+    } else if (objectCaps_ != nullptr) {
         return false;
     }
     return r.ok();

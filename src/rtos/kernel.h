@@ -15,6 +15,7 @@
 #include "rtos/guest_context.h"
 #include "rtos/heap_pressure.h"
 #include "rtos/loader.h"
+#include "rtos/object_cap.h"
 #include "rtos/scheduler.h"
 #include "rtos/switcher.h"
 #include "rtos/thread.h"
@@ -189,6 +190,47 @@ class Kernel
     /** Token library (lazily created on first mint). */
     TokenLibrary &tokenLibrary();
 
+    /** @name Kernel object capabilities (revocable authority)
+     * The object-capability table generalizes the sealed-token
+     * pattern to schedule slices (Time), queue endpoints (Channel)
+     * and quarantine/restart authority (Monitor). Lazily created on
+     * first use; creation wires the scheduler's slot gate and the
+     * watchdog's monitor admission to the table. @{ */
+    ObjectCapTable &objectCaps();
+    /** Non-creating view (audit / snapshot). */
+    ObjectCapTable *objectCapsIfPresent() { return objectCaps_.get(); }
+    const ObjectCapTable *objectCapsIfPresent() const
+    {
+        return objectCaps_.get();
+    }
+
+    /** Position of @p compartment in the image (panics if foreign) —
+     * the stable name object-capability records use for owners and
+     * targets, resolved identically by a restored boot. */
+    uint32_t compartmentIndexOf(const Compartment &compartment) const;
+
+    /** Mint a Time capability covering schedule slots
+     * [beginSlot, endSlot) for @p owner. */
+    cap::Capability mintTimeCap(Compartment &owner, uint64_t beginSlot,
+                                uint64_t endSlot);
+    /** Mint a Channel capability wrapping @p queueHandle. */
+    cap::Capability mintChannelCap(Compartment &owner,
+                                   const cap::Capability &queueHandle,
+                                   bool canSend, bool canReceive);
+    /** Mint a Monitor capability over @p target for @p owner. */
+    cap::Capability mintMonitorCap(Compartment &owner,
+                                   Compartment &target);
+    /** Move an object capability to @p newOwner's books. */
+    CapResult transferObjectCap(const cap::Capability &token,
+                                Compartment &newOwner);
+    /** Watchdog actions under Monitor-capability authority. @{ */
+    CapResult requestQuarantine(const cap::Capability &monitorCap,
+                                Compartment &target);
+    CapResult requestRestart(const cap::Capability &monitorCap,
+                             Compartment &target);
+    /** @} */
+    /** @} */
+
     /** Capability over the heap-pressure MMIO window (read-only
      * telemetry for admission control); untagged before initHeap. */
     const cap::Capability &heapPressureCap() const
@@ -240,6 +282,7 @@ class Kernel
     static constexpr uint32_t kAllocCapRecordSize = 16;
     std::unique_ptr<TokenLibrary> tokenLibrary_;
     cap::Capability allocKey_; ///< Sealing key for allocator caps.
+    std::unique_ptr<ObjectCapTable> objectCaps_;
     std::unique_ptr<HeapPressureDevice> heapPressure_;
     cap::Capability heapPressureCap_;
     /** Unseal + validate an allocator capability; runs watchdog

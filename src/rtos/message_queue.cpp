@@ -10,6 +10,30 @@ namespace cheriot::rtos
 
 using cap::Capability;
 
+const char *
+MessageQueueService::resultName(Result result)
+{
+    switch (result) {
+    case Result::Ok:
+        return "Ok";
+    case Result::InvalidHandle:
+        return "InvalidHandle";
+    case Result::InvalidBuffer:
+        return "InvalidBuffer";
+    case Result::Full:
+        return "Full";
+    case Result::Empty:
+        return "Empty";
+    case Result::Timeout:
+        return "Timeout";
+    case Result::Revoked:
+        return "Revoked";
+    case Result::NotPermitted:
+        return "NotPermitted";
+    }
+    return "?";
+}
+
 MessageQueueService::MessageQueueService(GuestContext &guest,
                                          alloc::HeapAllocator &allocator,
                                          Capability sealer)
@@ -178,6 +202,119 @@ MessageQueueService::receiveTimeout(const Capability &handle,
     uint64_t backoff = kBackoffStartCycles;
     for (;;) {
         const Result result = receive(handle, buffer);
+        if (result != Result::Empty) {
+            return result;
+        }
+        const uint64_t now = machine.cycles();
+        if (now >= deadline) {
+            return Result::Timeout;
+        }
+        machine.idle(std::min(backoff, deadline - now));
+        backoff = std::min(backoff * 2, kBackoffCapCycles);
+    }
+}
+
+ChannelGrant
+MessageQueueService::resolveChannel(const Capability &channel,
+                                    bool wantSend, Result *fail)
+{
+    ChannelGrant grant;
+    if (channelAuthority_ == nullptr) {
+        *fail = Result::InvalidHandle;
+        return grant;
+    }
+    grant = channelAuthority_->checkChannel(channel);
+    if (grant.status == CapResult::Revoked) {
+        *fail = Result::Revoked;
+        grant.status = CapResult::Revoked;
+        grant.queue = Capability();
+        return grant;
+    }
+    if (grant.status != CapResult::Ok) {
+        *fail = Result::InvalidHandle;
+        grant.queue = Capability();
+        return grant;
+    }
+    if (wantSend ? !grant.canSend : !grant.canReceive) {
+        *fail = Result::NotPermitted;
+        grant.status = CapResult::PermViolation;
+        grant.queue = Capability();
+        return grant;
+    }
+    *fail = Result::Ok;
+    return grant;
+}
+
+MessageQueueService::Result
+MessageQueueService::sendVia(const Capability &channel,
+                             const Capability &message)
+{
+    Result fail = Result::Ok;
+    const ChannelGrant grant = resolveChannel(channel, true, &fail);
+    if (fail != Result::Ok) {
+        return fail;
+    }
+    return send(grant.queue, message);
+}
+
+MessageQueueService::Result
+MessageQueueService::receiveVia(const Capability &channel,
+                                const Capability &buffer)
+{
+    Result fail = Result::Ok;
+    const ChannelGrant grant = resolveChannel(channel, false, &fail);
+    if (fail != Result::Ok) {
+        return fail;
+    }
+    return receive(grant.queue, buffer);
+}
+
+MessageQueueService::Result
+MessageQueueService::sendViaTimeout(const Capability &channel,
+                                    const Capability &message,
+                                    uint64_t timeoutCycles)
+{
+    sim::Machine &machine = guest_.machine();
+    const uint64_t deadline = machine.cycles() + timeoutCycles;
+    uint64_t backoff = kBackoffStartCycles;
+    for (;;) {
+        // The grant is re-resolved on every retry: a Channel
+        // capability revoked while this sender is blocked surfaces as
+        // Result::Revoked at the very next backoff expiry.
+        Result fail = Result::Ok;
+        const ChannelGrant grant = resolveChannel(channel, true, &fail);
+        if (fail != Result::Ok) {
+            return fail;
+        }
+        const Result result = send(grant.queue, message);
+        if (result != Result::Full) {
+            return result;
+        }
+        const uint64_t now = machine.cycles();
+        if (now >= deadline) {
+            return Result::Timeout;
+        }
+        machine.idle(std::min(backoff, deadline - now));
+        backoff = std::min(backoff * 2, kBackoffCapCycles);
+    }
+}
+
+MessageQueueService::Result
+MessageQueueService::receiveViaTimeout(const Capability &channel,
+                                       const Capability &buffer,
+                                       uint64_t timeoutCycles)
+{
+    sim::Machine &machine = guest_.machine();
+    const uint64_t deadline = machine.cycles() + timeoutCycles;
+    uint64_t backoff = kBackoffStartCycles;
+    for (;;) {
+        Result fail = Result::Ok;
+        const ChannelGrant grant =
+            resolveChannel(channel, false, &fail);
+        if (fail != Result::Ok) {
+            return fail;
+        }
+        const Result result = receive(grant.queue, buffer);
         if (result != Result::Empty) {
             return result;
         }

@@ -19,6 +19,7 @@
 
 #include "alloc/heap_allocator.h"
 #include "rtos/guest_context.h"
+#include "rtos/object_cap.h"
 
 namespace cheriot::rtos
 {
@@ -49,7 +50,12 @@ class MessageQueueService
         Full,
         Empty,
         Timeout,       ///< Bounded wait expired (Full/Empty persisted).
+        Revoked,       ///< The presented Channel capability died
+                       ///< (possibly mid-wait): typed, never a trap.
+        NotPermitted,  ///< Channel capability lacks the direction.
     };
+
+    static const char *resultName(Result result);
 
     /** @name Bounded-wait backoff parameters
      * The wait loop idles between retries (yielding the memory port,
@@ -83,6 +89,32 @@ class MessageQueueService
                           uint64_t timeoutCycles);
     /** @} */
 
+    /** @name Channel object capabilities
+     * With a ChannelAuthority wired, callers present a *Channel
+     * capability* instead of the raw queue handle: the authority
+     * resolves it to the wrapped handle plus direction permissions
+     * (the handle itself never escapes to the caller). A dead
+     * capability surfaces as Result::Revoked; a missing direction as
+     * Result::NotPermitted. The bounded waits re-check the grant on
+     * every backoff retry, so a capability revoked *mid-wait*
+     * unblocks the sender at the next retry with a typed Revoked —
+     * and, because the wait loop owns no heap, with zero leak. @{ */
+    void setChannelAuthority(ChannelAuthority *authority)
+    {
+        channelAuthority_ = authority;
+    }
+    Result sendVia(const cap::Capability &channel,
+                   const cap::Capability &message);
+    Result receiveVia(const cap::Capability &channel,
+                      const cap::Capability &buffer);
+    Result sendViaTimeout(const cap::Capability &channel,
+                          const cap::Capability &message,
+                          uint64_t timeoutCycles);
+    Result receiveViaTimeout(const cap::Capability &channel,
+                             const cap::Capability &buffer,
+                             uint64_t timeoutCycles);
+    /** @} */
+
     /** Elements currently queued; 0 on a bad handle. */
     uint32_t depth(const cap::Capability &handle);
 
@@ -104,9 +136,15 @@ class MessageQueueService
      * on failure. */
     cap::Capability open(const cap::Capability &handle);
 
+    /** Resolve a Channel capability for @p wantSend; Ok grant or a
+     * typed refusal mapped into @p fail. */
+    ChannelGrant resolveChannel(const cap::Capability &channel,
+                                bool wantSend, Result *fail);
+
     GuestContext &guest_;
     alloc::HeapAllocator &allocator_;
     cap::Capability sealer_;
+    ChannelAuthority *channelAuthority_ = nullptr;
 };
 
 } // namespace cheriot::rtos

@@ -78,6 +78,19 @@ Scheduler::addPeriodicWithDelay(std::string name, uint64_t periodCycles,
     tasks_.push_back(std::move(task));
 }
 
+bool
+Scheduler::bindTimeCap(const std::string &name,
+                       const cap::Capability &token)
+{
+    for (Task &task : tasks_) {
+        if (task.name == name) {
+            task.timeCap = token;
+            return true;
+        }
+    }
+    return false;
+}
+
 double
 Scheduler::runFor(uint64_t horizon)
 {
@@ -117,6 +130,20 @@ Scheduler::runFor(uint64_t horizon)
             }
             continue;
         }
+        if (next->timeCap.tag() && timeAuthority_ != nullptr &&
+            timeAuthority_->checkTime(next->timeCap,
+                                      slotAt(machine.cycles())) !=
+                CapResult::Ok) {
+            // No live Time capability for this slot: the task is
+            // preempted at the scheduling point, exactly like an
+            // admission-gate deferral — typed, one period, no trap.
+            timeCapDeferrals++;
+            next->nextDue += next->periodCycles;
+            if (next->nextDue <= machine.cycles()) {
+                next->nextDue = machine.cycles() + next->periodCycles;
+            }
+            continue;
+        }
         contextSwitch();
         const uint64_t busyStart = machine.cycles();
         next->fn();
@@ -150,6 +177,8 @@ Scheduler::serialize(snapshot::Writer &w) const
     w.counter(idleCycleCount);
     w.counter(busyCycleCount);
     w.counter(admissionDeferrals);
+    w.counter(timeCapDeferrals);
+    w.u64(slotCycles_);
 }
 
 bool
@@ -175,7 +204,9 @@ Scheduler::deserialize(snapshot::Reader &r)
     r.counter(idleCycleCount);
     r.counter(busyCycleCount);
     r.counter(admissionDeferrals);
-    return r.ok();
+    r.counter(timeCapDeferrals);
+    slotCycles_ = r.u64();
+    return r.ok() && slotCycles_ != 0;
 }
 
 } // namespace cheriot::rtos

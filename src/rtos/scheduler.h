@@ -19,6 +19,7 @@
 #define CHERIOT_RTOS_SCHEDULER_H
 
 #include "rtos/guest_context.h"
+#include "rtos/object_cap.h"
 #include "rtos/thread.h"
 #include "util/stats.h"
 
@@ -46,6 +47,7 @@ class Scheduler
         stats_.registerCounter("idleCycles", idleCycleCount);
         stats_.registerCounter("busyCycles", busyCycleCount);
         stats_.registerCounter("admissionDeferrals", admissionDeferrals);
+        stats_.registerCounter("timeCapDeferrals", timeCapDeferrals);
     }
 
     /**
@@ -73,6 +75,9 @@ class Scheduler
         uint64_t nextDue;
         uint8_t priority;
         std::function<void()> fn;
+        /** Time object capability gating dispatch; untagged = the
+         * legacy ambient schedule (no gate). */
+        cap::Capability timeCap;
     };
 
     void addPeriodic(std::string name, uint64_t periodCycles,
@@ -91,6 +96,29 @@ class Scheduler
     {
         admissionGate_ = std::move(gate);
     }
+
+    /** @name Time object capabilities (revocable schedule slices)
+     * With a TimeAuthority wired, a task bound to a Time capability
+     * runs only while the capability is live and covers the current
+     * slot (machine cycle / slotCycles). A revoked or out-of-slice
+     * capability defers the activation exactly like the admission
+     * gate: typed accounting, one period slide, never a trap — so
+     * revocation mid-slice preempts at the next scheduling point. @{ */
+    void setTimeAuthority(TimeAuthority *authority)
+    {
+        timeAuthority_ = authority;
+    }
+    /** Bind @p token to the task named @p name; false if unknown. */
+    bool bindTimeCap(const std::string &name,
+                     const cap::Capability &token);
+    void setSlotCycles(uint64_t slotCycles)
+    {
+        slotCycles_ = slotCycles == 0 ? 1 : slotCycles;
+    }
+    uint64_t slotCycles() const { return slotCycles_; }
+    /** The slot the scheduler is in at machine cycle @p cycle. */
+    uint64_t slotAt(uint64_t cycle) const { return cycle / slotCycles_; }
+    /** @} */
 
     /** As addPeriodic, but the first activation is due @p firstDelay
      * cycles from now (0 = immediately; e.g. one-shot setup work). */
@@ -121,6 +149,7 @@ class Scheduler
     Counter idleCycleCount;
     Counter busyCycleCount;
     Counter admissionDeferrals;
+    Counter timeCapDeferrals; ///< Dispatches refused by a Time cap.
 
     StatGroup &stats() { return stats_; }
 
@@ -129,6 +158,9 @@ class Scheduler
     cap::Capability saveArea_;
     std::vector<Task> tasks_;
     std::function<bool(const Task &)> admissionGate_;
+    TimeAuthority *timeAuthority_ = nullptr;
+    /** Schedule-slot width for Time-capability checks. */
+    uint64_t slotCycles_ = 4096;
     StatGroup stats_{"scheduler"};
 };
 

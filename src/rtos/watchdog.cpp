@@ -104,6 +104,51 @@ Watchdog::restart(Compartment &compartment)
          compartment.name().c_str(), state.restarts);
 }
 
+CapResult
+Watchdog::requestQuarantine(const cap::Capability &monitorCap,
+                            Compartment &target, uint32_t targetIndex,
+                            uint64_t nowCycle)
+{
+    const CapResult verdict =
+        monitorAuthority_ == nullptr
+            ? CapResult::InvalidCap
+            : monitorAuthority_->checkMonitor(monitorCap, targetIndex);
+    if (verdict != CapResult::Ok) {
+        monitorActionsRefused++;
+        return verdict;
+    }
+    FaultRecoveryState &state = target.faultState();
+    state.quarantined = true;
+    state.quarantines++;
+    state.restartDueCycle = nowCycle + policy_.restartDelayCycles;
+    quarantines++;
+    monitorActionsGranted++;
+    logf(LogLevel::Info,
+         "watchdog: compartment '%s' quarantined by monitor capability",
+         target.name().c_str());
+    return CapResult::Ok;
+}
+
+CapResult
+Watchdog::requestRestart(const cap::Capability &monitorCap,
+                         Compartment &target, uint32_t targetIndex)
+{
+    const CapResult verdict =
+        monitorAuthority_ == nullptr
+            ? CapResult::InvalidCap
+            : monitorAuthority_->checkMonitor(monitorCap, targetIndex);
+    if (verdict != CapResult::Ok) {
+        // A Monitor revoked mid-recovery degrades typed: the target
+        // stays quarantined and heals through the ordinary lazy
+        // restart path (shouldReject) when its delay elapses.
+        monitorActionsRefused++;
+        return verdict;
+    }
+    restart(target);
+    monitorActionsGranted++;
+    return CapResult::Ok;
+}
+
 void
 Watchdog::serialize(snapshot::Writer &w) const
 {
@@ -116,6 +161,8 @@ Watchdog::serialize(snapshot::Writer &w) const
     w.counter(rejectedCalls);
     w.counter(allocFailuresObserved);
     w.counter(overloadQuarantines);
+    w.counter(monitorActionsGranted);
+    w.counter(monitorActionsRefused);
 }
 
 bool
@@ -130,6 +177,8 @@ Watchdog::deserialize(snapshot::Reader &r)
     r.counter(rejectedCalls);
     r.counter(allocFailuresObserved);
     r.counter(overloadQuarantines);
+    r.counter(monitorActionsGranted);
+    r.counter(monitorActionsRefused);
     return r.ok();
 }
 

@@ -24,6 +24,7 @@
 #include "alloc/alloc_result.h"
 #include "rtos/compartment.h"
 #include "rtos/guest_context.h"
+#include "rtos/object_cap.h"
 #include "util/stats.h"
 
 namespace cheriot::rtos
@@ -62,6 +63,10 @@ class Watchdog
                                allocFailuresObserved);
         stats_.registerCounter("overloadQuarantines",
                                overloadQuarantines);
+        stats_.registerCounter("monitorActionsGranted",
+                               monitorActionsGranted);
+        stats_.registerCounter("monitorActionsRefused",
+                               monitorActionsRefused);
     }
 
     const Policy &policy() const { return policy_; }
@@ -98,6 +103,32 @@ class Watchdog
     /** Zero globals and re-admit (also available to tests). */
     void restart(Compartment &compartment);
 
+    /** @name Monitor object capabilities
+     * With a MonitorAuthority wired, *requested* quarantines and
+     * restarts — the supervisory actions a compartment may take over
+     * another — are gated on a live Monitor capability naming the
+     * target. Refusals are typed (InvalidCap / Revoked /
+     * PermViolation), so revoking the Monitor mid-recovery degrades
+     * the supervisor's authority without faulting anyone; the
+     * internal budget-driven paths above stay ambient kernel
+     * machinery. Without an authority wired, every request is
+     * refused InvalidCap — monitor actions are opt-in. @{ */
+    void setMonitorAuthority(MonitorAuthority *authority)
+    {
+        monitorAuthority_ = authority;
+    }
+    /** Quarantine @p target (index @p targetIndex) until the policy's
+     * restart delay elapses, on the authority of @p monitorCap. */
+    CapResult requestQuarantine(const cap::Capability &monitorCap,
+                                Compartment &target,
+                                uint32_t targetIndex,
+                                uint64_t nowCycle);
+    /** Restart @p target immediately on the authority of
+     * @p monitorCap. */
+    CapResult requestRestart(const cap::Capability &monitorCap,
+                             Compartment &target, uint32_t targetIndex);
+    /** @} */
+
     /** @name Snapshot state (policy + counters; per-compartment fault
      * state is serialized with each Compartment) @{ */
     void serialize(snapshot::Writer &w) const;
@@ -110,12 +141,15 @@ class Watchdog
     Counter rejectedCalls;
     Counter allocFailuresObserved; ///< Failed allocations charged.
     Counter overloadQuarantines;   ///< Quarantines for heap abuse.
+    Counter monitorActionsGranted; ///< Monitor-capability actions run.
+    Counter monitorActionsRefused; ///< Typed monitor refusals.
 
     StatGroup &stats() { return stats_; }
 
   private:
     GuestContext &guest_;
     Policy policy_;
+    MonitorAuthority *monitorAuthority_ = nullptr;
     StatGroup stats_{"watchdog"};
 };
 

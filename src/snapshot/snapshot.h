@@ -39,8 +39,12 @@ namespace cheriot::snapshot
  * v2: quota ledger + chunk-owner map + heap-pressure counters in the
  * allocator stream; alloc-failure budget in FaultRecoveryState.
  * v3: refill-timeout counter + ARQ peer state (sequence/retransmit/
- * dedup queues) in the net-stack stream. */
-constexpr uint32_t kSnapshotVersion = 3;
+ * dedup queues) in the net-stack stream.
+ * v4: object-capability table (entries, derivation tree, pending
+ * revocations, counters) in the kernel stream; time-cap deferral
+ * counter + slot width in the scheduler stream; monitor-action
+ * counters in the watchdog stream. */
+constexpr uint32_t kSnapshotVersion = 4;
 /** 'CHSN' little-endian. */
 constexpr uint32_t kSnapshotMagic = 0x4e534843;
 

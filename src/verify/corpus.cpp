@@ -231,6 +231,44 @@ lintNicImage(const std::string &imageName,
     return report;
 }
 
+/**
+ * Boot a minimal supervised image — a supervisor compartment holding
+ * Monitor (and Time) object capabilities over a worker — and lint it
+ * against the default policy extended with
+ * `hold monitor only supervisor`. When @p rogueHoldsMonitor, the
+ * worker is also handed a Monitor capability over the supervisor:
+ * delegable restart authority in the wrong hands, which the hold
+ * rule must flag.
+ */
+Report
+lintHoldImage(const std::string &imageName, bool rogueHoldsMonitor)
+{
+    sim::MachineConfig mc;
+    mc.sramSize = 96u << 10;
+    mc.heapOffset = 64u << 10;
+    mc.heapSize = 32u << 10;
+    sim::Machine machine(mc);
+    rtos::Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
+    rtos::Compartment &supervisor =
+        kernel.createCompartment("supervisor");
+    rtos::Compartment &worker = kernel.createCompartment("worker");
+    kernel.createThread("main", 1, 1024);
+    kernel.mintMonitorCap(supervisor, worker);
+    kernel.mintTimeCap(supervisor, 0, 4096);
+    if (rogueHoldsMonitor) {
+        kernel.mintMonitorCap(worker, supervisor);
+    }
+    std::string error;
+    const auto policy =
+        Policy::parse(Policy::defaultPolicy().toString() +
+                          "hold monitor only supervisor\n",
+                      &error);
+    Report report = verifyKernel(kernel, *policy);
+    report.image = imageName;
+    return report;
+}
+
 } // namespace
 
 const std::vector<LintCorpusCase> &
@@ -269,6 +307,20 @@ lintCorpus()
                              "broker-clean-twin", {"net_driver"},
                              {"flow", "firewall",
                               "telemetry_broker"});
+                     }});
+        // Object-capability holdings: a worker compartment holding a
+        // live Monitor capability over its supervisor is delegated
+        // restart authority flowing the wrong way; the
+        // `hold monitor only supervisor` rule must flag it.
+        v.push_back({"hold-rogue-monitor", true, [] {
+                         return lintHoldImage("hold-rogue-monitor",
+                                              true);
+                     }});
+        // The clean twin: only the supervisor holds Monitor (and
+        // Time) capabilities.
+        v.push_back({"hold-clean-twin", false, [] {
+                         return lintHoldImage("hold-clean-twin",
+                                              false);
                      }});
         return v;
     }();

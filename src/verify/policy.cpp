@@ -93,6 +93,28 @@ parseLine(const std::string &line, unsigned lineNo,
                                    "mmio rule needs a compartment list "
                                    "or 'none'"));
         }
+    } else if (keyword == "hold") {
+        std::string type, only, list;
+        in >> type >> only;
+        std::getline(in, list);
+        if ((type != "time" && type != "channel" && type != "monitor") ||
+            only != "only") {
+            return fail(error,
+                        where + std::string(
+                                    "expected 'hold "
+                                    "<time|channel|monitor> only "
+                                    "<compartments|none>'"));
+        }
+        rule.kind = PolicyRule::Kind::HoldOnly;
+        rule.window = type;
+        rule.allowed = splitList(list);
+        if (rule.allowed.size() == 1 && rule.allowed[0] == "none") {
+            rule.allowed.clear();
+        } else if (rule.allowed.empty()) {
+            return fail(error, where + std::string(
+                                   "hold rule needs a compartment list "
+                                   "or 'none'"));
+        }
     } else if (keyword == "interrupts-disabled") {
         std::string only, list;
         in >> only;
@@ -191,6 +213,20 @@ Policy::evaluate(const rtos::AuditReport &report) const
                             {rule.text, c.name,
                              "imports MMIO window '" + window +
                                  "' but is not on the allow list"});
+                    }
+                }
+            }
+            break;
+          case PolicyRule::Kind::HoldOnly:
+            for (const auto &c : report.compartments) {
+                for (const auto &holding : c.tokenHoldings) {
+                    if (holding == rule.window &&
+                        !allows(rule.allowed, c.name)) {
+                        violations.push_back(
+                            {rule.text, c.name,
+                             "holds a live '" + holding +
+                                 "' object capability but is not on "
+                                 "the allow list"});
                     }
                 }
             }

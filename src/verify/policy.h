@@ -15,6 +15,7 @@
  *   require code-not-writable
  *   mmio <window> only <comp>[,<comp>...] | none
  *   interrupts-disabled only <comp>[,<comp>...] | none
+ *   hold <time|channel|monitor> only <comp>[,<comp>...] | none
  */
 
 #ifndef CHERIOT_VERIFY_POLICY_H
@@ -42,11 +43,15 @@ struct PolicyRule
         MmioOnly,
         /** Only listed compartments may export IRQ-disabled entries. */
         InterruptsDisabledOnly,
+        /** Only listed compartments may hold live object capabilities
+         * of the named type (time/channel/monitor). */
+        HoldOnly,
     };
 
     Kind kind;
-    std::string window;               ///< MmioOnly only.
-    std::vector<std::string> allowed; ///< MmioOnly / IRQ rules.
+    std::string window;               ///< MmioOnly window / HoldOnly
+                                      ///< capability type.
+    std::vector<std::string> allowed; ///< MmioOnly / IRQ / Hold rules.
     std::string text;                 ///< Source line, for diagnostics.
 };
 

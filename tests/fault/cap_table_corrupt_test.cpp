@@ -1,0 +1,136 @@
+/**
+ * @file
+ * CapTableCorrupt containment: a scrambled object-capability table
+ * entry (parameterized over the touch ordinal and scramble pattern)
+ * must be refused typed at the next validate-on-use — the canary
+ * mismatch kills the entry's subtree fail-safe — and must never
+ * grant usable authority or trap. Corruption can delete authority,
+ * never forge it.
+ */
+
+#include "fault/fault_injector.h"
+#include "rtos/kernel.h"
+#include "rtos/object_cap.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace cheriot::fault
+{
+namespace
+{
+
+using cap::Capability;
+using rtos::CapResult;
+using rtos::Kernel;
+using rtos::ObjectCapTable;
+
+class CapTableCorruptTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>>
+{
+  protected:
+    CapTableCorruptTest() : machine(config()), kernel(machine)
+    {
+        kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+        kernel.activate(kernel.createThread("main", 1, 4096));
+        app = &kernel.createCompartment("app");
+    }
+
+    static sim::MachineConfig config()
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 192u << 10;
+        c.heapOffset = 128u << 10;
+        c.heapSize = 64u << 10;
+        return c;
+    }
+
+    sim::Machine machine;
+    Kernel kernel;
+    rtos::Compartment *app = nullptr;
+};
+
+TEST_P(CapTableCorruptTest, ScrambledEntryRefusedTypedNeverForged)
+{
+    const uint32_t ordinal = std::get<0>(GetParam());
+    const uint64_t pattern = std::get<1>(GetParam());
+
+    ObjectCapTable &caps = kernel.objectCaps();
+    FaultInjector injector(0xfau);
+    caps.attachInjector(&injector);
+
+    // A derivation forest: the victim tree plus an unrelated
+    // bystander root that must keep its authority throughout.
+    const Capability root = kernel.mintTimeCap(*app, 0, 1u << 20);
+    const Capability child = caps.deriveTime(root, 0, 1u << 10);
+    const Capability bystander =
+        kernel.mintTimeCap(*app, 0, 1u << 20);
+    ASSERT_TRUE(child.tag());
+    ASSERT_TRUE(bystander.tag());
+
+    FaultPlan plan;
+    plan.site = FaultSite::CapTableCorrupt;
+    plan.triggerTransaction = ordinal;
+    plan.param = pattern;
+    injector.arm(plan);
+
+    // Touch the victim tokens until the scramble lands. The touch
+    // that receives it must observe a typed refusal — the canary
+    // mismatch — not a trap and not granted authority.
+    bool sawRefusal = false;
+    for (uint32_t touch = 0; touch < ordinal + 4 && !sawRefusal;
+         ++touch) {
+        const Capability &present = (touch & 1) ? child : root;
+        const CapResult verdict = caps.checkTime(present, 1);
+        if (injector.fired()) {
+            EXPECT_NE(verdict, CapResult::Ok)
+                << "scrambled entry granted authority";
+            sawRefusal = true;
+        } else {
+            EXPECT_EQ(verdict, CapResult::Ok);
+        }
+    }
+    ASSERT_TRUE(injector.fired()) << "fault never delivered";
+    ASSERT_TRUE(sawRefusal);
+    EXPECT_EQ(caps.corruptEntriesRefused.value(), 1u);
+    EXPECT_GE(injector.capTableFlips.value(), 1u);
+
+    // Containment: the corrupt entry's whole subtree is dead — no
+    // descendant authority survives — and every later presentation
+    // of either token stays a typed refusal.
+    for (const Capability &present : {root, child}) {
+        const CapResult verdict = caps.checkTime(present, 1);
+        EXPECT_TRUE(verdict == CapResult::Revoked ||
+                    verdict == CapResult::InvalidCap)
+            << rtos::capResultName(verdict);
+    }
+    const uint32_t rootId = caps.idOf(root);
+    if (rootId != ObjectCapTable::kNoParent &&
+        !caps.aliveAt(rootId)) {
+        EXPECT_TRUE(caps.subtreeDead(rootId));
+    }
+
+    // The bystander tree is untouched: corruption of one entry
+    // deletes that entry's authority, nothing else.
+    EXPECT_EQ(caps.checkTime(bystander, 1), CapResult::Ok);
+
+    // Dead entries reclaim cleanly even after a scramble.
+    EXPECT_GE(caps.reclaim(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TouchOrdinalsAndPatterns, CapTableCorruptTest,
+    ::testing::Combine(
+        // Touch ordinal: root's first touch, child's first, later.
+        ::testing::Values(0u, 1u, 3u),
+        // Scramble patterns covering every field the injector can
+        // hit (pattern % 6 selects owner/parent/bounds/target/
+        // children/type+perms).
+        ::testing::Values(0x2aull, 0x1ull, 0x2ull, 0x3d5ull,
+                          0x4ull, 0xdeadbeefull)));
+
+} // namespace
+} // namespace cheriot::fault

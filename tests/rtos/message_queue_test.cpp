@@ -265,5 +265,81 @@ TEST_F(MessageQueueTest, TimeoutPropagatesHardErrorsImmediately)
               MessageQueueService::Result::InvalidHandle);
 }
 
+TEST_F(MessageQueueTest, ChannelCapabilitiesRouteAndRestrict)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    service->setChannelAuthority(&caps);
+    const Capability queue = service->create(8, 4);
+    ASSERT_TRUE(queue.tag());
+
+    const Capability duplex = kernel.mintChannelCap(
+        kernel.allocatorCompartment(), queue, true, true);
+    const Capability rxOnly =
+        caps.deriveChannel(duplex, false, true);
+    ASSERT_TRUE(duplex.tag());
+    ASSERT_TRUE(rxOnly.tag());
+
+    const Capability msg = buffer(8, 0xabc0);
+    const Capability out = kernel.malloc(*thread, 8);
+
+    // The receive-only child cannot send; the duplex parent can.
+    EXPECT_EQ(service->sendVia(rxOnly, msg),
+              MessageQueueService::Result::NotPermitted);
+    ASSERT_EQ(service->sendVia(duplex, msg),
+              MessageQueueService::Result::Ok);
+    ASSERT_EQ(service->receiveVia(rxOnly, out),
+              MessageQueueService::Result::Ok);
+    EXPECT_EQ(kernel.guest().loadWord(out, out.base()), 0xabc0u);
+
+    // Without an authority wired, channel entry points refuse typed.
+    service->setChannelAuthority(nullptr);
+    EXPECT_EQ(service->sendVia(duplex, msg),
+              MessageQueueService::Result::InvalidHandle);
+}
+
+TEST_F(MessageQueueTest, ChannelRevokedMidWaitUnblocksTypedNoLeak)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    service->setChannelAuthority(&caps);
+    const Capability queue = service->create(8, 1);
+    const Capability chan = kernel.mintChannelCap(
+        kernel.allocatorCompartment(), queue, true, true);
+    ASSERT_TRUE(chan.tag());
+
+    // Fill the queue so the next sendViaTimeout blocks in backoff.
+    const Capability msg = buffer(8, 1);
+    ASSERT_EQ(service->sendVia(chan, msg),
+              MessageQueueService::Result::Ok);
+
+    const uint64_t heapBefore = kernel.allocator().freeBytes() +
+                                kernel.allocator().slackBytes();
+    const uint64_t before = machine.cycles();
+    // The channel dies 20k cycles into a 1M-cycle wait: the blocked
+    // sender must unblock at the next backoff retry with a typed
+    // Revoked, long before the timeout, leaking nothing.
+    ASSERT_EQ(caps.scheduleRevoke(chan, before + 20'000),
+              CapResult::Ok);
+    EXPECT_EQ(service->sendViaTimeout(chan, msg, 1'000'000),
+              MessageQueueService::Result::Revoked);
+    const uint64_t waited = machine.cycles() - before;
+    EXPECT_GE(waited, 20'000u);
+    EXPECT_LT(waited, 100'000u) << "unblocked at next retry";
+    EXPECT_EQ(kernel.allocator().freeBytes() +
+                  kernel.allocator().slackBytes(),
+              heapBefore);
+
+    // Every later presentation stays typed.
+    EXPECT_EQ(service->receiveVia(chan, msg),
+              MessageQueueService::Result::Revoked);
+    caps.reclaim();
+    EXPECT_EQ(service->sendVia(chan, msg),
+              MessageQueueService::Result::InvalidHandle);
+    // The raw handle still works: revoking a channel capability
+    // kills delegated authority, not the queue itself.
+    const Capability out = kernel.malloc(*thread, 8);
+    EXPECT_EQ(service->receive(queue, out),
+              MessageQueueService::Result::Ok);
+}
+
 } // namespace
 } // namespace cheriot::rtos

@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Kernel object-capability tests: minting, s3k-style Time slicing,
+ * derivation-tree invariants under randomized interleavings,
+ * recursive revoke (transitive + idempotent), scheduled revocation,
+ * reclaim heap accounting, and the consumer integrations (scheduler
+ * Time gate, watchdog Monitor admission).
+ */
+
+#include "rtos/audit.h"
+#include "rtos/kernel.h"
+#include "rtos/message_queue.h"
+#include "rtos/object_cap.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cheriot::rtos
+{
+namespace
+{
+
+using cap::Capability;
+
+class ObjectCapTest : public ::testing::Test
+{
+  protected:
+    ObjectCapTest() : machine(config()), kernel(machine)
+    {
+        kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+        thread = &kernel.createThread("main", 1, 4096);
+        kernel.activate(*thread);
+        app = &kernel.createCompartment("app");
+        peer = &kernel.createCompartment("peer");
+    }
+
+    static sim::MachineConfig config()
+    {
+        sim::MachineConfig c;
+        c.core = sim::CoreConfig::ibex();
+        c.sramSize = 192u << 10;
+        c.heapOffset = 128u << 10;
+        c.heapSize = 64u << 10;
+        return c;
+    }
+
+    /** Drain the quarantine so freed bytes return to the free lists
+     * (software revocation parks frees until a sweep passes). */
+    void drainQuarantine()
+    {
+        for (int i = 0;
+             i < 8 && kernel.allocator().quarantinedBytes() > 0; ++i) {
+            kernel.allocator().synchronise();
+        }
+    }
+
+    sim::Machine machine;
+    Kernel kernel;
+    Thread *thread = nullptr;
+    Compartment *app = nullptr;
+    Compartment *peer = nullptr;
+};
+
+TEST_F(ObjectCapTest, MintedTokensAreSealedAndTyped)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    const Capability time = kernel.mintTimeCap(*app, 0, 1u << 20);
+    const Capability monitor = kernel.mintMonitorCap(*app, *peer);
+    ASSERT_TRUE(time.tag());
+    ASSERT_TRUE(monitor.tag());
+    EXPECT_TRUE(time.isSealed());
+    EXPECT_TRUE(monitor.isSealed());
+
+    const uint32_t timeId = caps.idOf(time);
+    const uint32_t monitorId = caps.idOf(monitor);
+    ASSERT_NE(timeId, ObjectCapTable::kNoParent);
+    ASSERT_NE(monitorId, ObjectCapTable::kNoParent);
+    EXPECT_EQ(caps.typeAt(timeId), ObjectCapType::Time);
+    EXPECT_EQ(caps.typeAt(monitorId), ObjectCapType::Monitor);
+    EXPECT_EQ(caps.parentOf(timeId), ObjectCapTable::kNoParent);
+    EXPECT_EQ(caps.ownerOf(timeId),
+              kernel.compartmentIndexOf(*app));
+    EXPECT_EQ(caps.capsMinted.value(), 2u);
+}
+
+TEST_F(ObjectCapTest, ForgedTokenRefusedTyped)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    kernel.mintTimeCap(*app, 0, 100);
+
+    // An unsealed heap pointer is not an object capability.
+    const Capability fake = kernel.malloc(*thread, 16);
+    EXPECT_EQ(caps.checkTime(fake, 0), CapResult::InvalidCap);
+    // A token sealed by a *different* token-library key is refused
+    // too: the unseal succeeds structurally only under the table key.
+    const Capability otherKey = kernel.tokenLibrary().createKey();
+    const Capability boxed =
+        kernel.tokenLibrary().seal(otherKey, fake);
+    EXPECT_EQ(caps.checkTime(boxed, 0), CapResult::InvalidCap);
+    EXPECT_GE(caps.invalidTokensRefused.value(), 2u);
+}
+
+TEST_F(ObjectCapTest, TimeDerivationFollowsBeginMarkEnd)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    const Capability root = kernel.mintTimeCap(*app, 100, 200);
+    ASSERT_TRUE(root.tag());
+
+    // First child must start at or after the mark (== begin).
+    CapResult why = CapResult::Ok;
+    const Capability early = caps.deriveTime(root, 50, 120, &why);
+    EXPECT_FALSE(early.tag());
+    EXPECT_EQ(why, CapResult::BoundsViolation);
+
+    const Capability a = caps.deriveTime(root, 100, 140, &why);
+    ASSERT_TRUE(a.tag()) << capResultName(why);
+
+    // The parent's mark advanced to 140: overlapping a sibling fails.
+    const Capability overlap = caps.deriveTime(root, 120, 160, &why);
+    EXPECT_FALSE(overlap.tag());
+    EXPECT_EQ(why, CapResult::BoundsViolation);
+
+    // Exceeding the parent's end fails.
+    const Capability wide = caps.deriveTime(root, 150, 250, &why);
+    EXPECT_FALSE(wide.tag());
+    EXPECT_EQ(why, CapResult::BoundsViolation);
+
+    const Capability b = caps.deriveTime(root, 150, 200, &why);
+    ASSERT_TRUE(b.tag()) << capResultName(why);
+
+    uint64_t begin = 0, mark = 0, end = 0;
+    caps.timeBoundsAt(caps.idOf(root), &begin, &mark, &end);
+    EXPECT_EQ(begin, 100u);
+    EXPECT_EQ(mark, 200u); // Fully carved: nothing left to derive.
+    EXPECT_EQ(end, 200u);
+
+    // Grandchild nests inside the child's bounds.
+    const Capability aa = caps.deriveTime(a, 110, 130, &why);
+    ASSERT_TRUE(aa.tag()) << capResultName(why);
+    EXPECT_EQ(caps.parentOf(caps.idOf(aa)), caps.idOf(a));
+}
+
+TEST_F(ObjectCapTest, ChannelDerivationOnlySheds)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    MessageQueueService service(
+        kernel.guest(), kernel.allocator(),
+        kernel.loader().sealerFor(cap::kDataOtypeFree0));
+    const Capability queue = service.create(8, 4);
+    ASSERT_TRUE(queue.tag());
+
+    const Capability sendOnly =
+        kernel.mintChannelCap(*app, queue, true, false);
+    ASSERT_TRUE(sendOnly.tag());
+
+    CapResult why = CapResult::Ok;
+    // Adding receive to a send-only parent is a permission escape.
+    EXPECT_FALSE(caps.deriveChannel(sendOnly, true, true, &why).tag());
+    EXPECT_EQ(why, CapResult::PermViolation);
+    // An empty permission set is no authority at all.
+    EXPECT_FALSE(
+        caps.deriveChannel(sendOnly, false, false, &why).tag());
+    EXPECT_EQ(why, CapResult::PermViolation);
+    // Re-deriving the same subset is fine.
+    const Capability child =
+        caps.deriveChannel(sendOnly, true, false, &why);
+    ASSERT_TRUE(child.tag()) << capResultName(why);
+
+    const ChannelGrant grant = caps.checkChannel(child);
+    EXPECT_EQ(grant.status, CapResult::Ok);
+    EXPECT_TRUE(grant.canSend);
+    EXPECT_FALSE(grant.canReceive);
+}
+
+TEST_F(ObjectCapTest, RevokeIsTransitiveAndIdempotent)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    const Capability root = kernel.mintTimeCap(*app, 0, 1000);
+    const Capability a = caps.deriveTime(root, 0, 400);
+    const Capability b = caps.deriveTime(root, 400, 800);
+    const Capability aa = caps.deriveTime(a, 0, 100);
+    ASSERT_TRUE(aa.tag());
+
+    // Revoking the middle node kills its subtree but not siblings.
+    ASSERT_EQ(caps.revoke(a), CapResult::Ok);
+    EXPECT_FALSE(caps.aliveAt(caps.idOf(a)));
+    EXPECT_TRUE(caps.subtreeDead(caps.idOf(a)));
+    EXPECT_EQ(caps.checkTime(aa, 50), CapResult::Revoked);
+    EXPECT_EQ(caps.checkTime(b, 500), CapResult::Ok);
+    EXPECT_EQ(caps.descendantsRevoked.value(), 1u);
+
+    // Idempotent: the second revoke is Ok and changes nothing.
+    const uint64_t killed = caps.revocations.value();
+    EXPECT_EQ(caps.revoke(a), CapResult::Ok);
+    EXPECT_EQ(caps.revocations.value(), killed);
+
+    // Revoking the root takes everything with it.
+    ASSERT_EQ(caps.revoke(root), CapResult::Ok);
+    EXPECT_TRUE(caps.subtreeDead(caps.idOf(root)));
+    EXPECT_EQ(caps.checkTime(b, 500), CapResult::Revoked);
+    EXPECT_EQ(caps.checkTime(root, 10), CapResult::Revoked);
+    EXPECT_GE(caps.staleTokensRefused.value(), 3u);
+}
+
+TEST_F(ObjectCapTest, ScheduledRevocationLandsAtNextAccess)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    const Capability root = kernel.mintTimeCap(*app, 0, 1u << 30);
+    const uint64_t now = machine.cycles();
+    ASSERT_EQ(caps.scheduleRevoke(root, now + 5000), CapResult::Ok);
+
+    // Before the deadline the capability still grants.
+    EXPECT_EQ(caps.checkTime(root, 1), CapResult::Ok);
+    machine.idle(10000);
+    // The first access at/after the deadline delivers the revocation.
+    EXPECT_EQ(caps.checkTime(root, 1), CapResult::Revoked);
+    EXPECT_EQ(caps.scheduledRevocations.value(), 1u);
+}
+
+TEST_F(ObjectCapTest, ReclaimReturnsHeapAndDegradesTokensTyped)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    drainQuarantine();
+    const uint64_t baseline =
+        kernel.allocator().freeBytes() + kernel.allocator().slackBytes();
+
+    const Capability root = kernel.mintTimeCap(*app, 0, 1u << 20);
+    std::vector<Capability> kids;
+    for (int i = 0; i < 6; ++i) {
+        const Capability kid =
+            caps.deriveTime(root, 100 * i, 100 * i + 50);
+        ASSERT_TRUE(kid.tag());
+        kids.push_back(kid);
+    }
+    EXPECT_LT(kernel.allocator().freeBytes() +
+                  kernel.allocator().slackBytes(),
+              baseline);
+
+    ASSERT_EQ(caps.revoke(root), CapResult::Ok);
+    // Dead-but-unreclaimed entries still answer typed Revoked.
+    EXPECT_EQ(caps.checkTime(kids[0], 0), CapResult::Revoked);
+
+    EXPECT_EQ(caps.reclaim(), 7u);
+    drainQuarantine();
+    EXPECT_EQ(kernel.allocator().freeBytes() +
+                  kernel.allocator().slackBytes(),
+              baseline);
+    // After reclaim the token box is gone: stale tokens degrade to
+    // InvalidCap — still typed, never a trap.
+    EXPECT_EQ(caps.checkTime(kids[0], 0), CapResult::InvalidCap);
+    EXPECT_EQ(caps.checkTime(root, 0), CapResult::InvalidCap);
+}
+
+TEST_F(ObjectCapTest, TransferMovesOwnershipOnly)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    const Capability root = kernel.mintTimeCap(*app, 0, 100);
+    const uint32_t id = caps.idOf(root);
+    ASSERT_EQ(caps.transfer(root, kernel.compartmentIndexOf(*peer)),
+              CapResult::Ok);
+    EXPECT_EQ(caps.ownerOf(id), kernel.compartmentIndexOf(*peer));
+    // Authority is unchanged by the move.
+    EXPECT_EQ(caps.checkTime(root, 50), CapResult::Ok);
+    EXPECT_EQ(caps.capsTransferred.value(), 1u);
+
+    ASSERT_EQ(caps.revoke(root), CapResult::Ok);
+    EXPECT_EQ(caps.transfer(root, 0), CapResult::Revoked);
+}
+
+/**
+ * Randomized derive/transfer/revoke interleavings. After every
+ * operation the derivation tree must satisfy:
+ *  - acyclic: every parent id is strictly smaller than its child
+ *    (entries are append-only, so this implies no cycles);
+ *  - Time-slice nesting: a live child's [begin, end) sits inside its
+ *    parent's bounds and below the parent's mark;
+ *  - revoke transitivity: no live descendant of any dead node.
+ */
+TEST_F(ObjectCapTest, RandomizedInterleavingsKeepTreeInvariants)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+
+    for (uint64_t seed : {11ull, 23ull, 47ull}) {
+        Rng rng = Rng::forStream(0xca95'0bedull, seed);
+        std::vector<Capability> tokens;
+        tokens.push_back(
+            kernel.mintTimeCap(*app, 0, 1ull << 40));
+        ASSERT_TRUE(tokens.back().tag());
+
+        for (int op = 0; op < 120; ++op) {
+            const Capability &pick =
+                tokens[rng.below(static_cast<uint32_t>(tokens.size()))];
+            switch (rng.below(4)) {
+              case 0:
+              case 1: { // Derive a sub-slice from the parent's mark.
+                const uint32_t pid = caps.idOf(pick);
+                if (pid == ObjectCapTable::kNoParent ||
+                    !caps.aliveAt(pid)) {
+                    break;
+                }
+                uint64_t begin = 0, mark = 0, end = 0;
+                caps.timeBoundsAt(pid, &begin, &mark, &end);
+                if (mark >= end) {
+                    break;
+                }
+                const uint64_t b = mark + rng.below(8);
+                const uint64_t e = b + 1 + rng.below(64);
+                CapResult why = CapResult::Ok;
+                const Capability kid =
+                    caps.deriveTime(pick, b, e, &why);
+                if (b < end && e <= end) {
+                    ASSERT_TRUE(kid.tag()) << capResultName(why);
+                    tokens.push_back(kid);
+                } else {
+                    EXPECT_FALSE(kid.tag());
+                    EXPECT_EQ(why, CapResult::BoundsViolation);
+                }
+                break;
+              }
+              case 2: { // Transfer to a random owner.
+                caps.transfer(pick, rng.below(2));
+                break;
+              }
+              case 3: { // Revoke (possibly already dead: idempotent).
+                const uint32_t id = caps.idOf(pick);
+                EXPECT_EQ(caps.revoke(pick), CapResult::Ok);
+                if (id != ObjectCapTable::kNoParent) {
+                    EXPECT_TRUE(caps.subtreeDead(id));
+                }
+                break;
+              }
+            }
+
+            // Tree invariants hold after every operation.
+            for (uint32_t id = 0; id < caps.size(); ++id) {
+                const uint32_t parent = caps.parentOf(id);
+                if (parent == ObjectCapTable::kNoParent) {
+                    continue;
+                }
+                ASSERT_LT(parent, id); // Append-only ⇒ acyclic.
+                if (!caps.aliveAt(id)) {
+                    continue;
+                }
+                // A live node's parent must be live (transitivity).
+                ASSERT_TRUE(caps.aliveAt(parent));
+                if (caps.typeAt(id) != ObjectCapType::Time) {
+                    continue;
+                }
+                uint64_t cb = 0, cm = 0, ce = 0;
+                uint64_t pb = 0, pm = 0, pe = 0;
+                caps.timeBoundsAt(id, &cb, &cm, &ce);
+                caps.timeBoundsAt(parent, &pb, &pm, &pe);
+                ASSERT_GE(cb, pb);
+                ASSERT_LE(ce, pe);
+                ASSERT_LE(ce, pm); // Mark advanced past every child.
+            }
+        }
+
+        // End of round: revoke the root, everything must die.
+        EXPECT_EQ(caps.revoke(tokens[0]), CapResult::Ok);
+        const uint32_t rootId = caps.idOf(tokens[0]);
+        if (rootId != ObjectCapTable::kNoParent) {
+            EXPECT_TRUE(caps.subtreeDead(rootId));
+        }
+        EXPECT_GT(caps.reclaim(), 0u);
+    }
+}
+
+TEST_F(ObjectCapTest, SchedulerGateStopsRevokedTaskAtNextSlot)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    Scheduler &sched = kernel.scheduler();
+
+    uint64_t gatedRuns = 0;
+    uint64_t ambientRuns = 0;
+    sched.addPeriodic("gated", 2048, 2, [&] { ++gatedRuns; });
+    sched.addPeriodic("ambient", 2048, 1, [&] { ++ambientRuns; });
+
+    const Capability timeCap =
+        kernel.mintTimeCap(*app, 0, 1ull << 40);
+    ASSERT_TRUE(sched.bindTimeCap("gated", timeCap));
+    EXPECT_FALSE(sched.bindTimeCap("nope", timeCap));
+
+    sched.runFor(20000);
+    EXPECT_GT(gatedRuns, 0u);
+    const uint64_t beforeRevoke = gatedRuns;
+
+    // Revoke mid-run: the task stops at the next scheduling point —
+    // a typed deferral, never a trap — while ambient work continues.
+    ASSERT_EQ(caps.revoke(timeCap), CapResult::Ok);
+    const uint64_t ambientBefore = ambientRuns;
+    sched.runFor(20000);
+    EXPECT_EQ(gatedRuns, beforeRevoke);
+    EXPECT_GT(ambientRuns, ambientBefore);
+    EXPECT_GT(sched.timeCapDeferrals.value(), 0u);
+}
+
+TEST_F(ObjectCapTest, SchedulerHonoursTimeSliceBounds)
+{
+    Scheduler &sched = kernel.scheduler();
+    sched.setSlotCycles(4096);
+
+    uint64_t runs = 0;
+    sched.addPeriodic("sliced", 1024, 1, [&] { ++runs; });
+
+    // Run the clock past slot 0 so a [0, 1) slice is strictly in
+    // the past: it grants nothing.
+    machine.idle(4 * sched.slotCycles());
+    ASSERT_GT(sched.slotAt(machine.cycles()), 1u);
+    const Capability stale = kernel.mintTimeCap(*app, 0, 1);
+    ASSERT_TRUE(sched.bindTimeCap("sliced", stale));
+    sched.runFor(16384);
+    EXPECT_EQ(runs, 0u);
+    EXPECT_GT(sched.timeCapDeferrals.value(), 0u);
+
+    // Rebind to a slice covering the present: the task runs again.
+    const Capability live = kernel.mintTimeCap(
+        *app, sched.slotAt(machine.cycles()), 1ull << 40);
+    ASSERT_TRUE(sched.bindTimeCap("sliced", live));
+    sched.runFor(16384);
+    EXPECT_GT(runs, 0u);
+}
+
+TEST_F(ObjectCapTest, WatchdogRequiresMonitorCapability)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    Watchdog &dog = kernel.watchdog();
+
+    const Capability monitor = kernel.mintMonitorCap(*app, *peer);
+    ASSERT_TRUE(monitor.tag());
+
+    // A Monitor over `peer` grants nothing over `app`.
+    EXPECT_EQ(kernel.requestQuarantine(monitor, *app),
+              CapResult::PermViolation);
+    EXPECT_FALSE(dog.shouldReject(*app, machine.cycles()));
+
+    ASSERT_EQ(kernel.requestQuarantine(monitor, *peer),
+              CapResult::Ok);
+    EXPECT_TRUE(dog.shouldReject(*peer, machine.cycles()));
+
+    ASSERT_EQ(kernel.requestRestart(monitor, *peer), CapResult::Ok);
+    EXPECT_FALSE(dog.shouldReject(*peer, machine.cycles()));
+    EXPECT_EQ(dog.monitorActionsGranted.value(), 2u);
+    EXPECT_EQ(dog.monitorActionsRefused.value(), 1u);
+
+    // Revoked mid-lifecycle: quarantine landed, restart is refused
+    // typed and the target heals through the ordinary lazy path.
+    ASSERT_EQ(kernel.requestQuarantine(monitor, *peer),
+              CapResult::Ok);
+    ASSERT_EQ(caps.revoke(monitor), CapResult::Ok);
+    EXPECT_EQ(kernel.requestRestart(monitor, *peer),
+              CapResult::Revoked);
+    EXPECT_TRUE(dog.shouldReject(*peer, machine.cycles()));
+}
+
+TEST_F(ObjectCapTest, WatchdogWithoutAuthorityRefusesEverything)
+{
+    // objectCaps() never called: no MonitorAuthority is wired, so
+    // every monitor request is refused typed.
+    const Capability untagged;
+    EXPECT_EQ(kernel.requestQuarantine(untagged, *peer),
+              CapResult::InvalidCap);
+    EXPECT_EQ(kernel.watchdog().monitorActionsRefused.value(), 1u);
+}
+
+TEST_F(ObjectCapTest, AuditReportsLiveHoldings)
+{
+    ObjectCapTable &caps = kernel.objectCaps();
+    const Capability time = kernel.mintTimeCap(*app, 0, 100);
+    const Capability monitor = kernel.mintMonitorCap(*app, *peer);
+    (void)time;
+
+    AuditReport report = auditKernel(kernel);
+    const CompartmentAudit *audited = nullptr;
+    for (const auto &c : report.compartments) {
+        if (c.name == "app") {
+            audited = &c;
+        }
+    }
+    ASSERT_NE(audited, nullptr);
+    EXPECT_EQ(audited->tokenHoldings.size(), 2u);
+
+    // Revoked authority no longer shows as held.
+    ASSERT_EQ(caps.revoke(monitor), CapResult::Ok);
+    report = auditKernel(kernel);
+    for (const auto &c : report.compartments) {
+        if (c.name == "app") {
+            EXPECT_EQ(c.tokenHoldings,
+                      std::vector<std::string>{"time"});
+        }
+    }
+}
+
+} // namespace
+} // namespace cheriot::rtos

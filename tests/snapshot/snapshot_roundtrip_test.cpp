@@ -341,6 +341,113 @@ TEST(SnapshotRoundtrip, QuotaActivityFuzzRoundTripsByteIdentical)
     }
 }
 
+TEST(SnapshotRoundtrip, ObjectCapStormRoundTripsByteIdentical)
+{
+    // A checkpoint taken *mid revocation storm* — a derivation forest
+    // with transfers applied, some subtrees already revoked, and
+    // scheduled revocations still pending delivery — must restore to
+    // the identical table: same tree links, same pending deadlines,
+    // same counters, byte-for-byte. Afterwards the pending revocation
+    // must still deliver on the restored clock, and live/stale tokens
+    // must keep their verdicts.
+    using rtos::CapResult;
+    using rtos::ObjectCapTable;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        sim::Machine machine(smallConfig());
+        rtos::Kernel kernel(machine);
+        kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+        rtos::Compartment &a = kernel.createCompartment("a");
+        rtos::Compartment &b = kernel.createCompartment("b");
+        rtos::Thread &thread = kernel.createThread("main", 1, 4096);
+        kernel.activate(thread);
+
+        ObjectCapTable &caps = kernel.objectCaps();
+        Rng rng(seed * 0x0bedc0de);
+        std::vector<Capability> tokens;
+        tokens.push_back(kernel.mintTimeCap(a, 0, 1ull << 40));
+        tokens.push_back(kernel.mintMonitorCap(a, b));
+        ASSERT_TRUE(tokens[0].tag());
+        for (int op = 0; op < 40; ++op) {
+            const Capability &pick = tokens[rng.below(
+                static_cast<uint32_t>(tokens.size()))];
+            switch (rng.below(4)) {
+              case 0:
+              case 1: {
+                const uint32_t id = caps.idOf(pick);
+                if (id == ObjectCapTable::kNoParent ||
+                    caps.typeAt(id) != rtos::ObjectCapType::Time) {
+                    break;
+                }
+                uint64_t begin = 0, mark = 0, end = 0;
+                caps.timeBoundsAt(id, &begin, &mark, &end);
+                if (mark + 2 >= end) {
+                    break;
+                }
+                const Capability kid = caps.deriveTime(
+                    pick, mark, mark + 1 + rng.below(1u << 10));
+                if (kid.tag()) {
+                    tokens.push_back(kid);
+                }
+                break;
+              }
+              case 2:
+                caps.transfer(pick, rng.below(2));
+                break;
+              case 3:
+                // Half immediate revokes, half scheduled into the
+                // future so the snapshot lands mid-storm with
+                // deliveries pending.
+                if (rng.chance(1, 2)) {
+                    EXPECT_EQ(caps.revoke(pick), CapResult::Ok);
+                } else {
+                    caps.scheduleRevoke(
+                        pick,
+                        machine.cycles() + 5'000 + rng.below(20'000));
+                }
+                break;
+            }
+        }
+        // At least one revocation must still be pending at the
+        // snapshot point for the case to mean anything.
+        caps.scheduleRevoke(tokens[0], machine.cycles() + 10'000);
+
+        const SnapshotImage machineImage = machine.saveImage();
+        Writer kernelState;
+        kernel.serialize(kernelState);
+        const uint64_t revocationsAtSave = caps.revocations.value();
+
+        // Dirty both layers: let pending revocations deliver, derive
+        // more, reclaim the casualties, run the clock.
+        machine.idle(40'000);
+        (void)caps.checkTime(tokens[0], 0);
+        caps.reclaim();
+
+        ASSERT_TRUE(machine.restoreImage(machineImage)) << "seed "
+                                                        << seed;
+        Reader kernelReader(kernelState.buffer().data(),
+                            kernelState.buffer().size());
+        ASSERT_TRUE(kernel.deserialize(kernelReader)) << "seed " << seed;
+        EXPECT_TRUE(kernelReader.exhausted());
+
+        Writer again;
+        kernel.serialize(again);
+        EXPECT_EQ(kernelState.buffer(), again.buffer())
+            << "seed " << seed;
+        EXPECT_EQ(machine.saveImage().data, machineImage.data)
+            << "seed " << seed;
+        EXPECT_EQ(caps.revocations.value(), revocationsAtSave);
+
+        // The restored storm resumes: the pending root revocation
+        // delivers on the restored clock at the next table access.
+        machine.idle(40'000);
+        EXPECT_EQ(caps.checkTime(tokens[0], 0), CapResult::Revoked)
+            << "seed " << seed;
+        const uint32_t rootId = caps.idOf(tokens[0]);
+        ASSERT_NE(rootId, ObjectCapTable::kNoParent);
+        EXPECT_TRUE(caps.subtreeDead(rootId)) << "seed " << seed;
+    }
+}
+
 TEST(SnapshotRoundtrip, EveryFlippedBitIsDetected)
 {
     sim::Machine machine(smallConfig());

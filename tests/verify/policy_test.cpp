@@ -173,5 +173,64 @@ TEST(Policy, UnmentionedWindowsAreUnconstrained)
     EXPECT_TRUE(policy->evaluate(report).empty());
 }
 
+TEST(Policy, ParsesHoldRules)
+{
+    std::string error;
+    const auto policy =
+        Policy::parse("hold monitor only supervisor\n"
+                      "hold time only sched, supervisor\n"
+                      "hold channel only none\n",
+                      &error);
+    ASSERT_TRUE(policy.has_value()) << error;
+    ASSERT_EQ(policy->rules().size(), 3u);
+    EXPECT_EQ(policy->rules()[0].kind, PolicyRule::Kind::HoldOnly);
+    EXPECT_EQ(policy->rules()[0].window, "monitor");
+    ASSERT_EQ(policy->rules()[1].allowed.size(), 2u);
+    EXPECT_EQ(policy->rules()[1].allowed[0], "sched");
+    EXPECT_TRUE(policy->rules()[2].allowed.empty());
+
+    // Canonical rendering survives a re-parse (toString contract).
+    const auto again = Policy::parse(policy->toString(), &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    EXPECT_EQ(again->toString(), policy->toString());
+}
+
+TEST(Policy, RejectsBadHoldSyntax)
+{
+    std::string error;
+    // Unknown capability type.
+    EXPECT_FALSE(Policy::parse("hold heap only alloc\n", &error)
+                     .has_value());
+    EXPECT_NE(error.find("hold"), std::string::npos);
+    // Missing 'only'.
+    EXPECT_FALSE(
+        Policy::parse("hold monitor supervisor\n").has_value());
+    // Missing compartment list.
+    EXPECT_FALSE(Policy::parse("hold monitor only\n").has_value());
+}
+
+TEST(Policy, HoldOnlyFlagsUnauthorizedHolders)
+{
+    const auto policy =
+        Policy::parse("hold monitor only supervisor\n");
+    ASSERT_TRUE(policy.has_value());
+
+    rtos::AuditReport report;
+    report.compartments.push_back(compartment("supervisor"));
+    report.compartments.back().tokenHoldings.push_back("monitor");
+    report.compartments.push_back(compartment("worker"));
+    // The worker holds time authority: unconstrained by this policy.
+    report.compartments.back().tokenHoldings.push_back("time");
+    EXPECT_TRUE(policy->evaluate(report).empty());
+
+    // A live monitor capability in the worker's hands is flagged.
+    report.compartments.back().tokenHoldings.push_back("monitor");
+    const auto violations = policy->evaluate(report);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].compartment, "worker");
+    EXPECT_NE(violations[0].message.find("monitor"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace cheriot::verify
