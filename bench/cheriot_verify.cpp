@@ -8,6 +8,12 @@
  *   --corpus                                   run the seeded corpus
  *   --policy FILE                              custom lint policy
  *
+ * Tooling outputs:
+ *   --json FILE       aggregate machine-readable report (findings per
+ *                     class, analysis statistics, wall time per image)
+ *   --graph dot|json  dump the recovered call graph of every analyzed
+ *                     program image to stdout
+ *
  * Exit codes: 0 = no findings, 1 = findings reported, 2 = usage/IO
  * error or broken corpus contract. CI runs the workloads expecting 0
  * and the corpus expecting 1.
@@ -15,11 +21,13 @@
 
 #include "net/net_stack.h"
 #include "rtos/kernel.h"
+#include "verify/callgraph.h"
 #include "verify/corpus.h"
 #include "verify/policy.h"
 #include "verify/verifier.h"
 #include "workloads/coremark/coremark.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,13 +47,29 @@ usage()
         stderr,
         "usage: cheriot_verify [--workload coremark|iot|alloc|stress|all]\n"
         "                      [--corpus] [--selftest] [--policy FILE]\n"
+        "                      [--json FILE] [--graph dot|json]\n"
         "                      [--verbose]\n");
     return 2;
 }
 
+/** One verified image plus its wall-clock cost. */
+struct TimedReport
+{
+    verify::Report report;
+    double wallMs = 0.0;
+};
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
 /** Analyze the CoreMark guest binary (the one real-ISA workload). */
-verify::Report
-verifyCoreMark()
+TimedReport
+verifyCoreMark(const std::string &graphMode)
 {
     workloads::CoreMarkConfig config;
     workloads::CoreMarkBuilder builder(config);
@@ -54,13 +78,23 @@ verifyCoreMark()
     image.base = workloads::CoreMarkBuilder::kProgramBase;
     image.entry = builder.entry();
     image.words = builder.build();
-    return verify::analyzeProgram(image);
+    const auto start = std::chrono::steady_clock::now();
+    verify::CallGraph graph;
+    TimedReport timed;
+    timed.report = verify::analyzeProgram(image, {}, &graph);
+    timed.wallMs = msSince(start);
+    if (graphMode == "dot") {
+        std::printf("%s", graph.toDot(image.name).c_str());
+    } else if (graphMode == "json") {
+        std::printf("%s\n", graph.toJson(image.name).c_str());
+    }
+    return timed;
 }
 
 /** Boot the IoT image's structure (compartments, threads, heap) and
  * lint it against the policy. Entry bodies are host-modelled, so the
  * manifest is the verifiable surface. */
-verify::Report
+TimedReport
 verifyIot(const verify::Policy &policy)
 {
     sim::MachineConfig mc;
@@ -76,12 +110,15 @@ verifyIot(const verify::Policy &policy)
     kernel.createCompartment("js");
     kernel.createThread("net", 2, 2048);
     kernel.createThread("js", 1, 2048);
-    verify::Report report = verify::verifyKernel(kernel, policy);
-    report.image = "iot";
-    return report;
+    const auto start = std::chrono::steady_clock::now();
+    TimedReport timed;
+    timed.report = verify::verifyKernel(kernel, policy);
+    timed.report.image = "iot";
+    timed.wallMs = msSince(start);
+    return timed;
 }
 
-verify::Report
+TimedReport
 verifyAlloc(const verify::Policy &policy)
 {
     sim::MachineConfig mc;
@@ -92,12 +129,15 @@ verifyAlloc(const verify::Policy &policy)
     rtos::Kernel kernel(machine);
     kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
     kernel.createThread("bench", 1, 2048);
-    verify::Report report = verify::verifyKernel(kernel, policy);
-    report.image = "alloc";
-    return report;
+    const auto start = std::chrono::steady_clock::now();
+    TimedReport timed;
+    timed.report = verify::verifyKernel(kernel, policy);
+    timed.report.image = "alloc";
+    timed.wallMs = msSince(start);
+    return timed;
 }
 
-verify::Report
+TimedReport
 verifyStress(const verify::Policy &policy)
 {
     sim::MachineConfig mc;
@@ -111,9 +151,61 @@ verifyStress(const verify::Policy &policy)
     kernel.createCompartment("attacker", 1024, 512);
     kernel.createThread("victim", 2, 512);
     kernel.createThread("attacker", 1, 512);
-    verify::Report report = verify::verifyKernel(kernel, policy);
-    report.image = "stress";
-    return report;
+    const auto start = std::chrono::steady_clock::now();
+    TimedReport timed;
+    timed.report = verify::verifyKernel(kernel, policy);
+    timed.report.image = "stress";
+    timed.wallMs = msSince(start);
+    return timed;
+}
+
+/** Findings per class for one report, in FindingClass order. */
+std::vector<size_t>
+classCounts(const verify::Report &report)
+{
+    std::vector<size_t> counts(6, 0);
+    for (const auto &f : report.findings) {
+        counts[static_cast<size_t>(f.cls)] += 1;
+    }
+    return counts;
+}
+
+bool
+writeJson(const std::string &path,
+          const std::vector<TimedReport> &reports)
+{
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << "{\"bench\": \"cheriot_verify\", \"images\": [";
+    bool first = true;
+    for (const auto &timed : reports) {
+        const verify::Report &r = timed.report;
+        const auto counts = classCounts(r);
+        out << (first ? "" : ", ") << "{\"name\": \"" << r.image
+            << "\", \"findings\": {";
+        for (size_t cls = 0; cls < counts.size(); ++cls) {
+            out << (cls == 0 ? "" : ", ") << "\""
+                << verify::findingClassName(
+                       static_cast<verify::FindingClass>(cls))
+                << "\": " << counts[cls];
+        }
+        out << "}, \"findings_total\": " << r.findings.size()
+            << ", \"states_explored\": " << r.statesExplored
+            << ", \"instructions_analyzed\": " << r.instructionsAnalyzed
+            << ", \"fixpoint_iterations\": " << r.fixpointIterations
+            << ", \"call_graph_functions\": " << r.callGraphFunctions
+            << ", \"call_graph_edges\": " << r.callGraphEdges
+            << ", \"summaries_computed\": " << r.summariesComputed
+            << ", \"summary_applications\": " << r.summaryApplications
+            << ", \"budget_exhausted\": "
+            << (r.budgetExhausted ? "true" : "false")
+            << ", \"wall_ms\": " << timed.wallMs << "}";
+        first = false;
+    }
+    out << "]}\n";
+    return static_cast<bool>(out);
 }
 
 /** Run the corpus; returns 2 on a broken detection contract, else the
@@ -133,7 +225,7 @@ runCorpus(bool verbose)
                     hit = true;
                 }
             }
-            std::printf("%-14s %s (%zu finding(s), expect %s @%08x)\n",
+            std::printf("%-26s %s (%zu finding(s), expect %s @%08x)\n",
                         c.name.c_str(), hit ? "DETECTED" : "MISSED",
                         report.findings.size(),
                         verify::findingClassName(c.expected),
@@ -142,7 +234,7 @@ runCorpus(bool verbose)
                 contractBroken = true;
             }
         } else {
-            std::printf("%-14s %s (%zu finding(s))\n", c.name.c_str(),
+            std::printf("%-26s %s (%zu finding(s))\n", c.name.c_str(),
                         report.ok() ? "CLEAN" : "FALSE-POSITIVE",
                         report.findings.size());
             if (!report.ok()) {
@@ -155,24 +247,25 @@ runCorpus(bool verbose)
             }
         }
     }
-    // Manifest-level lint corpus: whole images whose MMIO-import
-    // manifests must (or must not) trip the default policy.
+    // Manifest-level lint corpus: whole images whose import manifests
+    // must (or must not) trip the default policy.
     for (const auto &c : verify::lintCorpus()) {
         const verify::Report report = c.run();
         findings += report.findings.size();
         if (c.violating) {
             bool hit = false;
             for (const auto &f : report.findings) {
-                hit |= f.cls == verify::FindingClass::Lint;
+                hit |= f.cls == c.expected;
             }
-            std::printf("%-14s %s (%zu finding(s), expect lint)\n",
+            std::printf("%-26s %s (%zu finding(s), expect %s)\n",
                         c.name.c_str(), hit ? "DETECTED" : "MISSED",
-                        report.findings.size());
+                        report.findings.size(),
+                        verify::findingClassName(c.expected));
             if (!hit) {
                 contractBroken = true;
             }
         } else {
-            std::printf("%-14s %s (%zu finding(s))\n", c.name.c_str(),
+            std::printf("%-26s %s (%zu finding(s))\n", c.name.c_str(),
                         report.ok() ? "CLEAN" : "FALSE-POSITIVE",
                         report.findings.size());
             if (!report.ok()) {
@@ -199,6 +292,8 @@ int
 main(int argc, char **argv)
 {
     std::string workload;
+    std::string jsonPath;
+    std::string graphMode;
     bool corpus = false;
     bool selftest = false;
     bool verbose = false;
@@ -212,17 +307,26 @@ main(int argc, char **argv)
             corpus = true;
         } else if (arg == "--selftest") {
             selftest = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (arg == "--graph" && i + 1 < argc) {
+            graphMode = argv[++i];
+            if (graphMode != "dot" && graphMode != "json") {
+                return usage();
+            }
         } else if (arg == "--policy" && i + 1 < argc) {
-            std::ifstream in(argv[++i]);
+            const std::string path = argv[++i];
+            std::ifstream in(path);
             if (!in) {
                 std::fprintf(stderr, "cheriot_verify: cannot read %s\n",
-                             argv[i]);
+                             path.c_str());
                 return 2;
             }
             std::stringstream buffer;
             buffer << in.rdbuf();
             std::string error;
-            const auto parsed = verify::Policy::parse(buffer.str(), &error);
+            const auto parsed =
+                verify::Policy::parse(buffer.str(), &error, path);
             if (!parsed) {
                 std::fprintf(stderr, "cheriot_verify: bad policy: %s\n",
                              error.c_str());
@@ -244,10 +348,10 @@ main(int argc, char **argv)
         workload = "all";
     }
 
-    std::vector<verify::Report> reports;
+    std::vector<TimedReport> reports;
     const bool all = workload == "all";
     if (all || workload == "coremark") {
-        reports.push_back(verifyCoreMark());
+        reports.push_back(verifyCoreMark(graphMode));
     }
     if (all || workload == "iot") {
         reports.push_back(verifyIot(policy));
@@ -263,10 +367,18 @@ main(int argc, char **argv)
     }
 
     int exitCode = 0;
-    for (const auto &report : reports) {
-        std::printf("%s", report.toString().c_str());
-        if (!report.ok() || report.budgetExhausted) {
+    for (const auto &timed : reports) {
+        std::printf("%s", timed.report.toString().c_str());
+        if (!timed.report.ok() || timed.report.budgetExhausted) {
             exitCode = 1;
+        }
+    }
+
+    if (!jsonPath.empty() && !reports.empty()) {
+        if (!writeJson(jsonPath, reports)) {
+            std::fprintf(stderr, "cheriot_verify: cannot write %s\n",
+                         jsonPath.c_str());
+            return 2;
         }
     }
 

@@ -66,6 +66,14 @@ FlowManager::connect(const std::vector<FlowConsumer> &consumers)
          },
          /*interruptsDisabled=*/false});
     deliverImport_ = {&compartment_, deliverIndex};
+    // Audit-manifest wiring: reassembled messages fan out from the
+    // flow compartment to every registered consumer entry.
+    for (const auto &consumer : consumers_) {
+        if (consumer.import.valid()) {
+            compartment_.addEntryImport(*consumer.import.compartment,
+                                        consumer.import.target().name);
+        }
+    }
 }
 
 uint32_t

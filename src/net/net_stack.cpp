@@ -137,6 +137,17 @@ NetStack::connect(const std::vector<NetConsumer> &consumers)
     processImport_ = kernel_.importOf(firewall_, processIndex);
     sendImport_ = kernel_.importOf(firewall_, sendIndex);
     serviceImport_ = kernel_.importOf(firewall_, serviceIndex);
+    // Record the wiring in the audit manifest: the driver hands every
+    // frame to the firewall, the firewall calls back into the driver
+    // to transmit and fans admitted frames out to the consumers.
+    driver_.addEntryImport(firewall_, "process");
+    firewall_.addEntryImport(driver_, "tx");
+    for (const auto &consumer : consumers_) {
+        if (consumer.import.valid()) {
+            firewall_.addEntryImport(*consumer.import.compartment,
+                                     consumer.import.target().name);
+        }
+    }
 }
 
 void

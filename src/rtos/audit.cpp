@@ -46,8 +46,14 @@ AuditReport::toString() const
                       c.codeWritable ? " !WX" : "");
         out += line;
         for (const auto &window : c.mmioImports) {
-            std::snprintf(line, sizeof(line), "    mmio %s\n",
-                          window.c_str());
+            std::snprintf(line, sizeof(line), "    mmio %s%s\n",
+                          window.window.c_str(),
+                          window.writable ? "" : " (ro)");
+            out += line;
+        }
+        for (const auto &edge : c.entryImports) {
+            std::snprintf(line, sizeof(line), "    calls %s.%s\n",
+                          edge.target.c_str(), edge.entry.c_str());
             out += line;
         }
         for (const auto &holding : c.tokenHoldings) {
@@ -90,7 +96,13 @@ auditKernel(Kernel &kernel)
         audit.codeWritable =
             compartment.codeCap().perms().has(cap::PermStore);
         for (const auto &imported : compartment.mmioImports()) {
-            audit.mmioImports.push_back(imported.window);
+            audit.mmioImports.push_back(
+                {imported.window,
+                 imported.cap.perms().has(cap::PermStore)});
+        }
+        for (const auto &imported : compartment.entryImports()) {
+            audit.entryImports.push_back(
+                {imported.target->name(), imported.entry});
         }
         report.compartments.push_back(std::move(audit));
 

@@ -35,6 +35,21 @@ struct ExportAudit
     bool interruptsDisabled;
 };
 
+/** One MMIO window import, with the access it grants. */
+struct MmioImportAudit
+{
+    std::string window;
+    bool writable = true; ///< The imported capability carries SD.
+};
+
+/** One cross-compartment entry import (an edge in the call graph the
+ * reachability rules walk). */
+struct EntryImportAudit
+{
+    std::string target; ///< Exporting compartment.
+    std::string entry;  ///< Imported entry point.
+};
+
 /** One compartment's audit entry. */
 struct CompartmentAudit
 {
@@ -47,7 +62,9 @@ struct CompartmentAudit
     bool globalsStoreLocal; ///< Must always be false (§5.2).
     bool codeWritable;      ///< Must always be false (W^X).
     /** Named MMIO windows this compartment holds authority over. */
-    std::vector<std::string> mmioImports;
+    std::vector<MmioImportAudit> mmioImports;
+    /** Entry points of other compartments this one can invoke. */
+    std::vector<EntryImportAudit> entryImports;
     /** Live object-capability types this compartment holds ("time",
      * "channel", "monitor") — the delegable kernel authority an
      * auditor wants enumerated next to the MMIO windows. */

@@ -245,6 +245,19 @@ struct MmioImport
     cap::Capability cap;
 };
 
+/**
+ * A recorded cross-compartment entry import: this compartment holds a
+ * sentry capability for @p entry of @p target. The record exists for
+ * the audit manifest — authority-reachability rules walk these edges
+ * to compute which compartments can transitively invoke a holder of
+ * dangerous authority (§3.1.2).
+ */
+struct EntryImportRecord
+{
+    const Compartment *target = nullptr;
+    std::string entry;
+};
+
 class Compartment
 {
   public:
@@ -296,6 +309,18 @@ class Compartment
     {
         return mmioImports_;
     }
+
+    /** Record that this compartment imports @p entry of @p target
+     * (feeds the reachability closure in verify/reach.h). */
+    void addEntryImport(const Compartment &target,
+                        const std::string &entry)
+    {
+        entryImports_.push_back({&target, entry});
+    }
+    const std::vector<EntryImportRecord> &entryImports() const
+    {
+        return entryImports_;
+    }
     /** @} */
 
   private:
@@ -304,6 +329,7 @@ class Compartment
     cap::Capability globalsCap_;
     std::vector<Export> exports_;
     std::vector<MmioImport> mmioImports_;
+    std::vector<EntryImportRecord> entryImports_;
     ErrorHandler errorHandler_;
     FaultRecoveryState faultState_;
 };

@@ -5,6 +5,7 @@
 #include "rtos/audit.h"
 #include "snapshot/serializer.h"
 #include "util/log.h"
+#include "verify/reach.h"
 #include "verify/verifier.h"
 
 #include <cstdlib>
@@ -149,6 +150,16 @@ Kernel::finalizeBoot(std::string *whyNot)
             }
             return false;
         }
+    }
+    // The static sharing lint is a boot assertion like SL/W^X: a
+    // writable authority mutable from two domains without channel
+    // discipline is a data race no runtime check will catch.
+    for (const auto &issue :
+         verify::AuthorityReach(report).sharedMutable()) {
+        if (whyNot != nullptr) {
+            *whyNot = issue.message;
+        }
+        return false;
     }
     const char *env = std::getenv("CHERIOT_VERIFY_ON_LOAD");
     if (env != nullptr && *env != '\0') {

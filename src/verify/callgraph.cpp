@@ -1,0 +1,151 @@
+#include "verify/callgraph.h"
+
+#include "verify/verifier.h"
+
+#include <cstdio>
+#include <optional>
+
+namespace cheriot::verify
+{
+
+CallGraph
+CallGraph::recover(const ProgramImage &image)
+{
+    CallGraph graph;
+    // Per-register pending address of an auipcc-derived value. The
+    // pattern tracked is auipcc rd, then any chain of cincaddrimm,
+    // ending in csealentry: the classic static sentry mint. Any other
+    // write to a tracked register invalidates it.
+    std::optional<uint32_t> pending[isa::kNumRegs];
+    for (size_t i = 0; i < image.words.size(); ++i) {
+        const uint32_t pc = image.base + static_cast<uint32_t>(i) * 4;
+        const isa::Inst inst = isa::decode(image.words[i]);
+        switch (inst.op) {
+          case isa::Op::Auipc:
+            pending[inst.rd] = pc + inst.imm;
+            continue;
+          case isa::Op::CIncAddrImm:
+            if (pending[inst.rs1].has_value()) {
+                pending[inst.rd] = *pending[inst.rs1] + inst.imm;
+            } else {
+                pending[inst.rd].reset();
+            }
+            continue;
+          case isa::Op::CSealEntry:
+            if (pending[inst.rs1].has_value()) {
+                graph.addNode(*pending[inst.rs1] & ~1u,
+                              /*root=*/false, /*staticSentry=*/true);
+            }
+            pending[inst.rd].reset();
+            continue;
+          case isa::Op::Jal:
+            if (inst.rd != 0) {
+                graph.addEdge({pc, pc + inst.imm, /*viaSentry=*/false,
+                               /*direct=*/true});
+                graph.addNode(pc + inst.imm, false, false);
+            }
+            pending[inst.rd].reset();
+            continue;
+          default:
+            // Anything else writing rd drops the tracked value. Loads,
+            // stores and branches have rd == 0 in this encoding, so
+            // clearing pending[rd] unconditionally is safe (x0 is
+            // never tracked).
+            pending[inst.rd].reset();
+            continue;
+        }
+    }
+    return graph;
+}
+
+void
+CallGraph::addNode(uint32_t entry, bool root, bool staticSentry)
+{
+    CallGraphNode &node = nodes_[entry];
+    node.entry = entry;
+    node.root |= root;
+    node.staticSentry |= staticSentry;
+}
+
+void
+CallGraph::addEdge(const CallEdge &edge)
+{
+    const uint64_t key =
+        (static_cast<uint64_t>(edge.sitePc) << 32) | edge.target;
+    if (!edgeKeys_.insert(key).second) {
+        return;
+    }
+    edges_.push_back(edge);
+    addNode(edge.target, false, false);
+}
+
+uint32_t
+CallGraph::functionOf(uint32_t pc) const
+{
+    auto it = nodes_.upper_bound(pc);
+    if (it == nodes_.begin()) {
+        return 0;
+    }
+    return std::prev(it)->first;
+}
+
+std::string
+CallGraph::toDot(const std::string &name) const
+{
+    std::string out = "digraph \"" + name + "\" {\n";
+    char line[160];
+    for (const auto &[entry, node] : nodes_) {
+        const char *shape = node.root ? "doubleoctagon"
+                            : node.staticSentry ? "octagon"
+                                                : "box";
+        std::snprintf(line, sizeof(line),
+                      "  f%08x [label=\"%08x%s\", shape=%s];\n", entry,
+                      entry, node.staticSentry ? "\\n(sentry)" : "",
+                      shape);
+        out += line;
+    }
+    for (const auto &edge : edges_) {
+        std::snprintf(line, sizeof(line),
+                      "  f%08x -> f%08x [label=\"@%08x\"%s];\n",
+                      functionOf(edge.sitePc), edge.target, edge.sitePc,
+                      edge.viaSentry ? ", style=bold, color=red" : "");
+        out += line;
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+CallGraph::toJson(const std::string &name) const
+{
+    std::string out = "{\"image\": \"" + name + "\", \"functions\": [";
+    char item[128];
+    bool first = true;
+    for (const auto &[entry, node] : nodes_) {
+        std::snprintf(item, sizeof(item),
+                      "%s{\"entry\": %u, \"root\": %s, "
+                      "\"static_sentry\": %s}",
+                      first ? "" : ", ", entry,
+                      node.root ? "true" : "false",
+                      node.staticSentry ? "true" : "false");
+        out += item;
+        first = false;
+    }
+    out += "], \"edges\": [";
+    first = true;
+    for (const auto &edge : edges_) {
+        std::snprintf(item, sizeof(item),
+                      "%s{\"site\": %u, \"caller\": %u, \"target\": %u, "
+                      "\"via_sentry\": %s, \"direct\": %s}",
+                      first ? "" : ", ", edge.sitePc,
+                      functionOf(edge.sitePc), edge.target,
+                      edge.viaSentry ? "true" : "false",
+                      edge.direct ? "true" : "false");
+        out += item;
+        first = false;
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace cheriot::verify

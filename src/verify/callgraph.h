@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Call-graph recovery and per-function capability summaries for the
+ * interprocedural analyzer.
+ *
+ * Two recovery layers feed the same graph:
+ *
+ *  - A *static* peephole scan over the linked image recognises the
+ *    sentry-minting idiom (auipcc, an optional cincaddrimm chain,
+ *    csealentry) and records the minted entry addresses. The scan is
+ *    metadata only — a branch into the middle of the pattern could
+ *    misidentify an address, so static results are never used as
+ *    verification roots, only to label the graph dump.
+ *
+ *  - The abstract interpreter records *definite* facts as it runs:
+ *    every direct jal call, every exact resolved jalr target and
+ *    every exact forward-sentry call site becomes an edge, and exact
+ *    sentry targets become verification roots. Only this layer feeds
+ *    the checkers, preserving the zero-false-positive contract.
+ *
+ * Function summaries (see FunctionSummary) describe a callee's effect
+ * on the register file in terms of the Param lattice kind: a register
+ * whose summary out-value is Param(i) definitely holds the caller's
+ * entry value of register i on every return path.
+ */
+
+#ifndef CHERIOT_VERIFY_CALLGRAPH_H
+#define CHERIOT_VERIFY_CALLGRAPH_H
+
+#include "verify/lattice.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cheriot::verify
+{
+
+struct ProgramImage;
+
+/** One recovered call site. */
+struct CallEdge
+{
+    uint32_t sitePc = 0;    ///< Address of the jal/jalr instruction.
+    uint32_t target = 0;    ///< Resolved callee entry.
+    bool viaSentry = false; ///< Through a forward sentry (cross-
+                            ///< compartment ABI applies).
+    bool direct = false;    ///< jal with an immediate target.
+};
+
+/** One known function entry. */
+struct CallGraphNode
+{
+    uint32_t entry = 0;
+    bool root = false;         ///< Served as a verification root.
+    bool staticSentry = false; ///< Found by the static peephole scan.
+};
+
+/**
+ * The effect of calling a function, expressed over the summary
+ * lattice. Built by abstract-interpreting the callee once with
+ * Param(i) in every register; memoized per entry point.
+ */
+struct FunctionSummary
+{
+    enum class Kind : uint8_t
+    {
+        /** No usable summary: apply the conservative havoc (every
+         * register Unknown after the call). Used for recursion,
+         * escapes the analysis cannot classify, and budget
+         * exhaustion. */
+        Havoc,
+        /** Every escaping path is a definite return; @c out describes
+         * the register file at return (Param values refer to the
+         * caller's state at the call site). */
+        Returns,
+        /** Every escaping path definitely traps: the call never
+         * returns and the continuation is unreachable. */
+        NoReturn,
+    };
+
+    Kind kind = Kind::Havoc;
+    AbstractState out; ///< Valid iff kind == Returns.
+};
+
+class CallGraph
+{
+  public:
+    /** Static recovery: scan @p image for the sentry-minting peephole
+     * and direct jal call sites. */
+    static CallGraph recover(const ProgramImage &image);
+
+    void addNode(uint32_t entry, bool root, bool staticSentry);
+    void addEdge(const CallEdge &edge); ///< Dedups by (sitePc, target).
+
+    const std::map<uint32_t, CallGraphNode> &nodes() const
+    {
+        return nodes_;
+    }
+    const std::vector<CallEdge> &edges() const { return edges_; }
+    size_t nodeCount() const { return nodes_.size(); }
+    size_t edgeCount() const { return edges_.size(); }
+
+    /** The function a site belongs to: the greatest known entry at or
+     * below @p pc (0 when none is known). */
+    uint32_t functionOf(uint32_t pc) const;
+
+    /** Graphviz rendering (one node per function, edges labelled with
+     * their call-site PC). */
+    std::string toDot(const std::string &name) const;
+
+    /** Machine-readable rendering for tooling diffs. */
+    std::string toJson(const std::string &name) const;
+
+  private:
+    std::map<uint32_t, CallGraphNode> nodes_;
+    std::vector<CallEdge> edges_;
+    std::set<uint64_t> edgeKeys_;
+};
+
+} // namespace cheriot::verify
+
+#endif // CHERIOT_VERIFY_CALLGRAPH_H

@@ -5,6 +5,7 @@
 #include "isa/assembler.h"
 #include "mem/memory_map.h"
 #include "rtos/kernel.h"
+#include "rtos/message_queue.h"
 #include "verify/policy.h"
 
 namespace cheriot::verify
@@ -177,6 +178,44 @@ cleanLoop()
                       0);
 }
 
+/** Interprocedural taint: a helper destroys the tag of a capability
+ * argument, the caller uses it as load authority after the call. The
+ * violation is only visible through the callee's summary. */
+CorpusCase
+interprocTaint()
+{
+    Assembler a(kCorpusBase);
+    const Assembler::Label helper = a.newLabel();
+    a.call(helper); // Summary: a2 comes back definitely untagged.
+    const uint32_t bad = a.pc();
+    a.lw(T0, A2, 0); // Load through the untagged residue.
+    a.ebreak();
+    a.bind(helper);
+    a.ccleartag(A2, A2);
+    a.ret();
+    return finishCase("interproc-taint", a, true,
+                      FindingClass::Monotonicity, bad);
+}
+
+/** The clean twin: the helper preserves its capability argument, and
+ * the caller's post-call store is exactly as safe as before the call
+ * (the summary's Param pass-through keeps a2 precise). */
+CorpusCase
+interprocClean()
+{
+    Assembler a(kCorpusBase);
+    const Assembler::Label helper = a.newLabel();
+    a.csetboundsimm(A2, A0, 16);
+    a.call(helper);
+    a.sw(Zero, A2, 0); // a2 survives the call untouched.
+    a.ebreak();
+    a.bind(helper);
+    a.cmove(A3, A2);
+    a.ret();
+    return finishCase("interproc-clean", a, false,
+                      FindingClass::Monotonicity, 0);
+}
+
 } // namespace
 
 const std::vector<CorpusCase> &
@@ -193,6 +232,8 @@ corpus()
         v.push_back(sealedJump());
         v.push_back(cleanSeal());
         v.push_back(cleanLoop());
+        v.push_back(interprocTaint());
+        v.push_back(interprocClean());
         return v;
     }();
     return cases;
@@ -269,6 +310,78 @@ lintHoldImage(const std::string &imageName, bool rogueHoldsMonitor)
     return report;
 }
 
+/**
+ * Boot an image where two compartments share a writable MMIO window
+ * ("dma-scratch" — deliberately not covered by any mmio possession
+ * rule, so only the sharing lint can see it). Variants: the second
+ * importer writable (the race) or read-only (clean), and both writers
+ * holding Channel capabilities over a shared queue (disciplined —
+ * also clean).
+ */
+Report
+lintSharedImage(const std::string &imageName, bool secondWritable,
+                bool channelDiscipline)
+{
+    sim::MachineConfig mc;
+    mc.sramSize = 96u << 10;
+    mc.heapOffset = 64u << 10;
+    mc.heapSize = 32u << 10;
+    sim::Machine machine(mc);
+    rtos::Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
+    const cap::Capability window = kernel.loader().mmioCap(
+        mem::kConsoleMmioBase, mem::kConsoleMmioSize);
+    rtos::Compartment &logger = kernel.createCompartment("logger");
+    rtos::Compartment &sampler = kernel.createCompartment("sampler");
+    logger.addMmioImport("dma-scratch", window);
+    sampler.addMmioImport(
+        "dma-scratch",
+        secondWritable
+            ? window
+            : window.withPermsAnd(static_cast<uint16_t>(
+                  cap::kAllPerms & ~cap::PermStore)));
+    if (channelDiscipline) {
+        rtos::MessageQueueService service(
+            kernel.guest(), kernel.allocator(),
+            kernel.loader().sealerFor(cap::kDataOtypeFree0));
+        const cap::Capability queue = service.create(8, 4);
+        kernel.mintChannelCap(logger, queue, true, false);
+        kernel.mintChannelCap(sampler, queue, false, true);
+    }
+    kernel.createThread("main", 1, 1024);
+    Report report = verifyKernel(kernel, Policy::defaultPolicy());
+    report.image = imageName;
+    return report;
+}
+
+/**
+ * Boot an image where an application compartment imports the
+ * allocator's malloc entry directly (instead of using the ambient
+ * kernel API): it can now invoke the holder of the revocation bitmap,
+ * so the default `reach revocation-bitmap only alloc` rule must flag
+ * it. The clean twin has no such edge.
+ */
+Report
+lintReachImage(const std::string &imageName, bool rogueEdge)
+{
+    sim::MachineConfig mc;
+    mc.sramSize = 96u << 10;
+    mc.heapOffset = 64u << 10;
+    mc.heapSize = 32u << 10;
+    sim::Machine machine(mc);
+    rtos::Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::HardwareRevocation);
+    rtos::Compartment &app = kernel.createCompartment("app");
+    kernel.createCompartment("logger");
+    if (rogueEdge) {
+        app.addEntryImport(kernel.allocatorCompartment(), "malloc");
+    }
+    kernel.createThread("main", 1, 1024);
+    Report report = verifyKernel(kernel, Policy::defaultPolicy());
+    report.image = imageName;
+    return report;
+}
+
 } // namespace
 
 const std::vector<LintCorpusCase> &
@@ -279,12 +392,12 @@ lintCorpus()
         // A rogue application compartment imports the NIC MMIO window
         // beside the legitimate driver: the default policy's
         // `mmio nic only net_driver` rule must flag it.
-        v.push_back({"nic-rogue-import", true, [] {
+        v.push_back({"nic-rogue-import", true, FindingClass::Lint, [] {
                          return lintNicImage("nic-rogue-import",
                                              {"net_driver", "app"});
                      }});
         // The clean twin: the driver alone holds the window.
-        v.push_back({"nic-clean-twin", false, [] {
+        v.push_back({"nic-clean-twin", false, FindingClass::Lint, [] {
                          return lintNicImage("nic-clean-twin",
                                              {"net_driver"});
                      }});
@@ -293,7 +406,8 @@ lintCorpus()
         // NIC MMIO window could read frames before firewall admission
         // and bypass the heap-claim discipline, so the same
         // `mmio nic only net_driver` rule must flag it.
-        v.push_back({"broker-rogue-import", true, [] {
+        v.push_back({"broker-rogue-import", true, FindingClass::Lint,
+                     [] {
                          return lintNicImage(
                              "broker-rogue-import",
                              {"net_driver", "telemetry_broker"},
@@ -302,7 +416,8 @@ lintCorpus()
         // The clean twin is the shipped app-tier layout: flow,
         // firewall and broker present, only the driver imports the
         // window.
-        v.push_back({"broker-clean-twin", false, [] {
+        v.push_back({"broker-clean-twin", false, FindingClass::Lint,
+                     [] {
                          return lintNicImage(
                              "broker-clean-twin", {"net_driver"},
                              {"flow", "firewall",
@@ -312,15 +427,53 @@ lintCorpus()
         // live Monitor capability over its supervisor is delegated
         // restart authority flowing the wrong way; the
         // `hold monitor only supervisor` rule must flag it.
-        v.push_back({"hold-rogue-monitor", true, [] {
+        v.push_back({"hold-rogue-monitor", true, FindingClass::Lint,
+                     [] {
                          return lintHoldImage("hold-rogue-monitor",
                                               true);
                      }});
         // The clean twin: only the supervisor holds Monitor (and
         // Time) capabilities.
-        v.push_back({"hold-clean-twin", false, [] {
+        v.push_back({"hold-clean-twin", false, FindingClass::Lint, [] {
                          return lintHoldImage("hold-clean-twin",
                                               false);
+                     }});
+        // Two compartments mutate the same MMIO window from separate
+        // protection domains without any channel between them: the
+        // static race the sharing lint exists for.
+        v.push_back({"shared-mutable-rogue", true,
+                     FindingClass::SharedMutable, [] {
+                         return lintSharedImage("shared-mutable-rogue",
+                                                true, false);
+                     }});
+        // Clean twin: the second importer only reads the window.
+        v.push_back({"shared-mutable-clean-twin", false,
+                     FindingClass::SharedMutable, [] {
+                         return lintSharedImage(
+                             "shared-mutable-clean-twin", false,
+                             false);
+                     }});
+        // Disciplined twin: both importers write, but both hold
+        // Channel capabilities over a shared queue — the sharing is
+        // mediated, so the lint stays quiet.
+        v.push_back({"shared-mutable-channel-twin", false,
+                     FindingClass::SharedMutable, [] {
+                         return lintSharedImage(
+                             "shared-mutable-channel-twin", true,
+                             true);
+                     }});
+        // An app compartment with a direct entry import into the
+        // allocator can reach the revocation bitmap transitively: the
+        // default reach rule pins that authority to `alloc` alone.
+        v.push_back({"reach-rogue-edge", true, FindingClass::Lint, [] {
+                         return lintReachImage("reach-rogue-edge",
+                                               true);
+                     }});
+        // Clean twin: no edge, no transitive authority.
+        v.push_back({"reach-clean-twin", false, FindingClass::Lint,
+                     [] {
+                         return lintReachImage("reach-clean-twin",
+                                               false);
                      }});
         return v;
     }();

@@ -44,6 +44,9 @@ struct LintCorpusCase
 {
     std::string name;
     bool violating = false;
+    /** Finding class a violating case must produce (Lint for policy
+     * rules, SharedMutable for the sharing lint). */
+    FindingClass expected = FindingClass::Lint;
     /** Build the image and return its lint report. */
     std::function<Report()> run;
 };

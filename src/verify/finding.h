@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Finding types shared by the cheriot-verify layers.
+ *
+ * The instruction-level analyzer (verifier.h), the manifest policy
+ * engine (policy.h) and the authority-reachability / sharing lint
+ * (reach.h) all report through the same Finding record; keeping the
+ * class enum here lets policy rules carry a finding class without
+ * pulling the whole analyzer interface into every consumer.
+ */
+
+#ifndef CHERIOT_VERIFY_FINDING_H
+#define CHERIOT_VERIFY_FINDING_H
+
+#include <cstdint>
+#include <string>
+
+namespace cheriot::verify
+{
+
+/** The violation classes (four capability-flow classes plus the
+ * manifest lint and the static sharing lint). */
+enum class FindingClass : uint8_t
+{
+    Monotonicity, ///< Bounds widening / authority insufficient.
+    SwitcherAbi,  ///< Missing register clear at a call site.
+    StackLeak,    ///< Store-Local discipline violation.
+    Sealing,      ///< Sentry/otype misuse.
+    Lint,         ///< Structural/policy violation from the manifest.
+    SharedMutable, ///< Writable authority shared by >=2 mutator
+                   ///< domains without channel discipline.
+};
+
+const char *findingClassName(FindingClass cls);
+
+/** One diagnostic: class, compartment (or image), PC, and the lattice
+ * state that proves the violation. */
+struct Finding
+{
+    FindingClass cls = FindingClass::Lint;
+    std::string compartment;
+    uint32_t pc = 0; ///< 0 for lint findings (no code location).
+    std::string message;
+    std::string latticeState; ///< Register lattice at the site.
+
+    std::string toString() const;
+};
+
+} // namespace cheriot::verify
+
+#endif // CHERIOT_VERIFY_FINDING_H

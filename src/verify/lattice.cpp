@@ -22,6 +22,9 @@ AbstractCap::join(const AbstractCap &other) const
     if (isExact() && other.isExact() && value == other.value) {
         return *this;
     }
+    if (isParam() && other.isParam() && paramIndex == other.paramIndex) {
+        return *this;
+    }
     return unknown(joinTri(tagged(), other.tagged()),
                    joinTri(local(), other.local()),
                    joinTri(sealed(), other.sealed()));
@@ -36,6 +39,9 @@ AbstractCap::operator==(const AbstractCap &other) const
     if (isExact()) {
         return value == other.value;
     }
+    if (isParam()) {
+        return paramIndex == other.paramIndex;
+    }
     return taggedAttr == other.taggedAttr &&
            localAttr == other.localAttr && sealedAttr == other.sealedAttr;
 }
@@ -47,6 +53,11 @@ AbstractCap::toString() const
         return "exact " + value.toString();
     }
     char buffer[64];
+    if (isParam()) {
+        std::snprintf(buffer, sizeof(buffer), "entry(%s)",
+                      isa::regName(paramIndex));
+        return buffer;
+    }
     std::snprintf(buffer, sizeof(buffer),
                   "unknown tag=%s local=%s sealed=%s",
                   triName(taggedAttr), triName(localAttr),

@@ -11,6 +11,15 @@
  * degrades to Unknown with merged attributes, so the lattice has
  * finite height and the fixpoint terminates.
  *
+ * The interprocedural summary layer adds a third kind, *Param*: "the
+ * value this register (or some other register) held on entry to the
+ * function under summary analysis". Param values survive only CMove
+ * (every real manipulation degrades them to Unknown), so a register
+ * whose value is Param(i) at every return point is *definitely* the
+ * caller's entry value of register i — the fact function summaries
+ * are built from. Joining two different Params, or a Param with
+ * anything else, degrades to Unknown, preserving finite height.
+ *
  * The zero-false-positive discipline rests on this split: checks fire
  * only on facts that hold on *every* execution reaching a program
  * point (an Exact value, or a definite Yes/No attribute), never on a
@@ -58,12 +67,18 @@ struct AbstractCap
     {
         Exact,   ///< value is the precise architectural capability.
         Unknown, ///< only the tri-state attributes are known.
+        Param,   ///< the entry value of register paramIndex (summary
+                 ///< analysis only; never appears in a finding pass
+                 ///< entry state).
     };
 
     Kind kind = Kind::Exact;
     cap::Capability value; ///< Valid iff kind == Exact.
+    uint8_t paramIndex = 0; ///< Valid iff kind == Param.
 
-    /** Attributes when Unknown (derived from value when Exact). */
+    /** Attributes when Unknown or Param (derived from value when
+     * Exact). A Param's attributes are all Maybe: nothing is known
+     * about the caller's entry values. */
     Tri taggedAttr = Tri::Maybe;
     Tri localAttr = Tri::Maybe;
     Tri sealedAttr = Tri::Maybe;
@@ -102,7 +117,21 @@ struct AbstractCap
         return unknown(Tri::No, Tri::No, Tri::No);
     }
 
+    /** The entry value of register @p index (summary analysis). */
+    static AbstractCap param(uint8_t index)
+    {
+        AbstractCap a;
+        a.kind = Kind::Param;
+        a.paramIndex = index;
+        return a;
+    }
+
     bool isExact() const { return kind == Kind::Exact; }
+    bool isParam() const { return kind == Kind::Param; }
+    bool isParamOf(uint8_t index) const
+    {
+        return kind == Kind::Param && paramIndex == index;
+    }
 
     /** @name Definite facts (valid regardless of kind) @{ */
     Tri tagged() const

@@ -1,5 +1,7 @@
 #include "verify/policy.h"
 
+#include "verify/reach.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -50,14 +52,15 @@ fail(std::string *error, const std::string &message)
 
 bool
 parseLine(const std::string &line, unsigned lineNo,
-          std::vector<PolicyRule> &rules, std::string *error)
+          const std::string &sourceName, std::vector<PolicyRule> &rules,
+          std::string *error)
 {
     std::istringstream in(line);
     std::string keyword;
     in >> keyword;
 
-    char where[32];
-    std::snprintf(where, sizeof(where), "line %u: ", lineNo);
+    const std::string where =
+        sourceName + ":" + std::to_string(lineNo) + ": ";
 
     PolicyRule rule;
     rule.text = line;
@@ -69,29 +72,32 @@ parseLine(const std::string &line, unsigned lineNo,
             rule.kind = PolicyRule::Kind::RequireGlobalsNoStoreLocal;
         } else if (what == "code-not-writable") {
             rule.kind = PolicyRule::Kind::RequireCodeNotWritable;
+        } else if (what == "no-shared-mutable") {
+            rule.kind = PolicyRule::Kind::RequireNoSharedMutable;
         } else {
-            return fail(error, where + ("unknown requirement '" + what +
-                                        "'"));
+            return fail(error, where + "unknown requirement '" + what +
+                                   "'");
         }
-    } else if (keyword == "mmio") {
+    } else if (keyword == "mmio" || keyword == "reach") {
         std::string window, only, list;
         in >> window >> only;
         std::getline(in, list);
         if (window.empty() || only != "only") {
-            return fail(error,
-                        where +
-                            std::string("expected 'mmio <window> only "
-                                        "<compartments|none>'"));
+            return fail(error, where + "expected '" + keyword +
+                                   " <window> only "
+                                   "<compartments|none>', got '" +
+                                   (only.empty() ? window : only) + "'");
         }
-        rule.kind = PolicyRule::Kind::MmioOnly;
+        rule.kind = keyword == "mmio" ? PolicyRule::Kind::MmioOnly
+                                      : PolicyRule::Kind::ReachOnly;
         rule.window = window;
         rule.allowed = splitList(list);
         if (rule.allowed.size() == 1 && rule.allowed[0] == "none") {
             rule.allowed.clear();
         } else if (rule.allowed.empty()) {
-            return fail(error, where + std::string(
-                                   "mmio rule needs a compartment list "
-                                   "or 'none'"));
+            return fail(error, where + keyword +
+                                   " rule needs a compartment list "
+                                   "or 'none'");
         }
     } else if (keyword == "hold") {
         std::string type, only, list;
@@ -99,11 +105,11 @@ parseLine(const std::string &line, unsigned lineNo,
         std::getline(in, list);
         if ((type != "time" && type != "channel" && type != "monitor") ||
             only != "only") {
-            return fail(error,
-                        where + std::string(
-                                    "expected 'hold "
-                                    "<time|channel|monitor> only "
-                                    "<compartments|none>'"));
+            return fail(error, where + "expected 'hold "
+                                   "<time|channel|monitor> only "
+                                   "<compartments|none>', got '" +
+                                   type + (only.empty() ? "" : " ") +
+                                   only + "'");
         }
         rule.kind = PolicyRule::Kind::HoldOnly;
         rule.window = type;
@@ -120,10 +126,9 @@ parseLine(const std::string &line, unsigned lineNo,
         in >> only;
         std::getline(in, list);
         if (only != "only") {
-            return fail(error,
-                        where + std::string(
-                                    "expected 'interrupts-disabled only "
-                                    "<compartments|none>'"));
+            return fail(error, where + "expected 'interrupts-disabled "
+                                   "only <compartments|none>', got '" +
+                                   only + "'");
         }
         rule.kind = PolicyRule::Kind::InterruptsDisabledOnly;
         rule.allowed = splitList(list);
@@ -136,7 +141,7 @@ parseLine(const std::string &line, unsigned lineNo,
                                     "compartment list or 'none'"));
         }
     } else {
-        return fail(error, where + ("unknown keyword '" + keyword + "'"));
+        return fail(error, where + "unknown keyword '" + keyword + "'");
     }
 
     rules.push_back(std::move(rule));
@@ -146,7 +151,8 @@ parseLine(const std::string &line, unsigned lineNo,
 } // namespace
 
 std::optional<Policy>
-Policy::parse(const std::string &text, std::string *error)
+Policy::parse(const std::string &text, std::string *error,
+              const std::string &sourceName)
 {
     Policy policy;
     std::istringstream in(text);
@@ -162,7 +168,7 @@ Policy::parse(const std::string &text, std::string *error)
         if (firstNonSpace == std::string::npos) {
             continue;
         }
-        if (!parseLine(line, lineNo, policy.rules_, error)) {
+        if (!parseLine(line, lineNo, sourceName, policy.rules_, error)) {
             return std::nullopt;
         }
     }
@@ -174,8 +180,11 @@ Policy::defaultPolicy()
 {
     auto policy = parse("require globals-no-store-local\n"
                         "require code-not-writable\n"
+                        "require no-shared-mutable\n"
                         "mmio revocation-bitmap only alloc\n"
-                        "mmio nic only net_driver\n");
+                        "mmio nic only net_driver\n"
+                        "reach revocation-bitmap only alloc\n",
+                        nullptr, "default-policy");
     return *policy;
 }
 
@@ -183,6 +192,15 @@ std::vector<PolicyViolation>
 Policy::evaluate(const rtos::AuditReport &report) const
 {
     std::vector<PolicyViolation> violations;
+    // The reachability closure is shared by every reach/sharing rule;
+    // build it lazily so purely structural policies stay cheap.
+    std::optional<AuthorityReach> reach;
+    auto reachability = [&]() -> const AuthorityReach & {
+        if (!reach) {
+            reach.emplace(report);
+        }
+        return *reach;
+    };
     for (const auto &rule : rules_) {
         switch (rule.kind) {
           case PolicyRule::Kind::RequireGlobalsNoStoreLocal:
@@ -207,14 +225,39 @@ Policy::evaluate(const rtos::AuditReport &report) const
           case PolicyRule::Kind::MmioOnly:
             for (const auto &c : report.compartments) {
                 for (const auto &window : c.mmioImports) {
-                    if (window == rule.window &&
+                    if (window.window == rule.window &&
                         !allows(rule.allowed, c.name)) {
                         violations.push_back(
                             {rule.text, c.name,
-                             "imports MMIO window '" + window +
+                             "imports MMIO window '" + window.window +
                                  "' but is not on the allow list"});
                     }
                 }
+            }
+            break;
+          case PolicyRule::Kind::ReachOnly:
+            for (const auto &name :
+                 reachability().reachers(rule.window)) {
+                if (!allows(rule.allowed, name)) {
+                    violations.push_back(
+                        {rule.text, name,
+                         "can reach authority '" + rule.window +
+                             "' (holds it or can invoke a holder) but "
+                             "is not on the allow list"});
+                }
+            }
+            break;
+          case PolicyRule::Kind::RequireNoSharedMutable:
+            for (const auto &issue : reachability().sharedMutable()) {
+                std::string writers;
+                for (const auto &writer : issue.writers) {
+                    if (!writers.empty()) {
+                        writers += ",";
+                    }
+                    writers += writer;
+                }
+                violations.push_back({rule.text, writers, issue.message,
+                                      FindingClass::SharedMutable});
             }
             break;
           case PolicyRule::Kind::HoldOnly:

@@ -13,15 +13,29 @@
  *
  *   require globals-no-store-local
  *   require code-not-writable
+ *   require no-shared-mutable
  *   mmio <window> only <comp>[,<comp>...] | none
+ *   reach <window|token> only <comp>[,<comp>...] | none
  *   interrupts-disabled only <comp>[,<comp>...] | none
  *   hold <time|channel|monitor> only <comp>[,<comp>...] | none
+ *
+ * `mmio` constrains *direct* possession; `reach` constrains the
+ * transitive closure over entry imports (see reach.h) — who could
+ * exercise the authority by calling into a holder. `require
+ * no-shared-mutable` runs the static sharing lint: no writable
+ * authority mutable from two compartments (or from both interrupt
+ * postures of one) without channel discipline.
+ *
+ * Parse diagnostics carry the source name, line number and offending
+ * token ("boot-policy:3: unknown keyword 'requrie'") so a rejected
+ * policy file points at the exact edit that broke it.
  */
 
 #ifndef CHERIOT_VERIFY_POLICY_H
 #define CHERIOT_VERIFY_POLICY_H
 
 #include "rtos/audit.h"
+#include "verify/finding.h"
 
 #include <optional>
 #include <string>
@@ -46,6 +60,12 @@ struct PolicyRule
         /** Only listed compartments may hold live object capabilities
          * of the named type (time/channel/monitor). */
         HoldOnly,
+        /** Only listed compartments may *reach* the named authority,
+         * transitively through entry imports. */
+        ReachOnly,
+        /** No writable authority shared across mutator domains
+         * without channel discipline (the static race lint). */
+        RequireNoSharedMutable,
     };
 
     Kind kind;
@@ -61,18 +81,23 @@ struct PolicyViolation
     std::string rule;
     std::string compartment;
     std::string message;
+    /** Finding class the verifier should report this under (Lint for
+     * structural/authority rules, SharedMutable for the race lint). */
+    FindingClass cls = FindingClass::Lint;
 };
 
 class Policy
 {
   public:
-    /** Parse a policy document; nullopt (and *error) on bad syntax. */
-    static std::optional<Policy> parse(const std::string &text,
-                                       std::string *error = nullptr);
+    /** Parse a policy document; nullopt (and *error) on bad syntax.
+     * @p sourceName labels diagnostics ("<source>:<line>: ..."). */
+    static std::optional<Policy>
+    parse(const std::string &text, std::string *error = nullptr,
+          const std::string &sourceName = "policy");
 
     /** The policy every shipped image must satisfy: structural
-     * invariants plus "only the allocator touches the revocation
-     * bitmap". */
+     * invariants, the sharing lint, and "only the allocator touches
+     * (or can reach) the revocation bitmap". */
     static Policy defaultPolicy();
 
     /** Check every rule against @p report; empty means compliant. */

@@ -1,0 +1,215 @@
+#include "verify/reach.h"
+
+#include "rtos/audit.h"
+
+#include <algorithm>
+
+namespace cheriot::verify
+{
+
+AuthorityReach::AuthorityReach(const rtos::AuditReport &audit)
+{
+    // Direct holders. Kernel services consumed through the ambient
+    // allocator API (malloc/free/claim) are not edges: only authority
+    // the manifest can name participates.
+    for (const auto &compartment : audit.compartments) {
+        for (const auto &window : compartment.mmioImports) {
+            reach_[window.window].insert(compartment.name);
+            if (window.writable) {
+                writers_[window.window].push_back(compartment.name);
+            }
+        }
+        for (const auto &holding : compartment.tokenHoldings) {
+            reach_[holding].insert(compartment.name);
+            if (holding == "channel") {
+                channelHolders_.insert(compartment.name);
+            }
+        }
+        for (const auto &edge : compartment.entryImports) {
+            calls_[compartment.name].insert(edge.target);
+        }
+    }
+
+    // Interrupt-posture split per compartment.
+    std::map<std::string, uint8_t> postures;
+    for (const auto &exported : audit.exports) {
+        postures[exported.compartment] |=
+            exported.interruptsDisabled ? 2 : 1;
+    }
+    for (const auto &[name, mask] : postures) {
+        if (mask == 3) {
+            postureSplit_.insert(name);
+        }
+    }
+
+    // Transitive closure: a caller reaches whatever its callees
+    // reach. Iterate to fixpoint (manifest graphs are tiny).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &[authority, reachers] : reach_) {
+            for (const auto &[caller, callees] : calls_) {
+                if (reachers.count(caller) != 0) {
+                    continue;
+                }
+                for (const auto &callee : callees) {
+                    if (reachers.count(callee) != 0) {
+                        reachers.insert(caller);
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::vector<std::string>
+AuthorityReach::authorities() const
+{
+    std::vector<std::string> out;
+    out.reserve(reach_.size());
+    for (const auto &[authority, reachers] : reach_) {
+        out.push_back(authority);
+    }
+    return out;
+}
+
+const std::set<std::string> &
+AuthorityReach::reachers(const std::string &authority) const
+{
+    static const std::set<std::string> kEmpty;
+    auto it = reach_.find(authority);
+    return it == reach_.end() ? kEmpty : it->second;
+}
+
+bool
+AuthorityReach::reaches(const std::string &compartment,
+                        const std::string &authority) const
+{
+    return reachers(authority).count(compartment) != 0;
+}
+
+std::vector<SharedMutableIssue>
+AuthorityReach::sharedMutable() const
+{
+    std::vector<SharedMutableIssue> issues;
+    for (const auto &[authority, writers] : writers_) {
+        // Mutator domains: one per writing compartment, plus one for
+        // each writer that mutates from both interrupt postures (its
+        // enabled entries race its disabled ones).
+        size_t domains = writers.size();
+        bool split = false;
+        for (const auto &writer : writers) {
+            if (postureSplit_.count(writer) != 0) {
+                domains += 1;
+                split = true;
+            }
+        }
+        if (domains < 2) {
+            continue;
+        }
+        // Channel discipline: every writer provably serialises its
+        // mutations through a kernel channel.
+        bool disciplined = true;
+        for (const auto &writer : writers) {
+            if (channelHolders_.count(writer) == 0) {
+                disciplined = false;
+                break;
+            }
+        }
+        if (disciplined) {
+            continue;
+        }
+        SharedMutableIssue issue;
+        issue.authority = authority;
+        issue.writers = writers;
+        issue.postureSplit = split;
+        std::string list;
+        for (const auto &writer : writers) {
+            if (!list.empty()) {
+                list += ", ";
+            }
+            list += writer;
+        }
+        issue.message = "writable authority '" + authority +
+                        "' is mutable from " +
+                        std::to_string(domains) + " domains (" + list +
+                        (split ? "; task+ISR posture split" : "") +
+                        ") without channel discipline";
+        issues.push_back(std::move(issue));
+    }
+    return issues;
+}
+
+std::string
+AuthorityReach::toDot() const
+{
+    std::string out = "digraph authority_reach {\n";
+    std::set<std::string> compartments;
+    for (const auto &[caller, callees] : calls_) {
+        compartments.insert(caller);
+        compartments.insert(callees.begin(), callees.end());
+    }
+    for (const auto &[authority, reachers] : reach_) {
+        compartments.insert(reachers.begin(), reachers.end());
+    }
+    for (const auto &name : compartments) {
+        out += "  \"" + name + "\" [shape=ellipse];\n";
+    }
+    for (const auto &[authority, reachers] : reach_) {
+        out += "  \"#" + authority + "\" [shape=box, style=filled];\n";
+    }
+    for (const auto &[caller, callees] : calls_) {
+        for (const auto &callee : callees) {
+            out += "  \"" + caller + "\" -> \"" + callee + "\";\n";
+        }
+    }
+    for (const auto &[authority, writers] : writers_) {
+        for (const auto &writer : writers) {
+            out += "  \"" + writer + "\" -> \"#" + authority +
+                   "\" [style=bold];\n";
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+AuthorityReach::toJson() const
+{
+    std::string out = "{\"authorities\": [";
+    bool firstAuthority = true;
+    for (const auto &[authority, reachers] : reach_) {
+        if (!firstAuthority) {
+            out += ", ";
+        }
+        firstAuthority = false;
+        out += "{\"name\": \"" + authority + "\", \"reachers\": [";
+        bool first = true;
+        for (const auto &name : reachers) {
+            if (!first) {
+                out += ", ";
+            }
+            first = false;
+            out += "\"" + name + "\"";
+        }
+        out += "]}";
+    }
+    out += "], \"calls\": [";
+    bool firstEdge = true;
+    for (const auto &[caller, callees] : calls_) {
+        for (const auto &callee : callees) {
+            if (!firstEdge) {
+                out += ", ";
+            }
+            firstEdge = false;
+            out += "{\"from\": \"" + caller + "\", \"to\": \"" + callee +
+                   "\"}";
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace cheriot::verify

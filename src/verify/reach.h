@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Authority reachability and the static sharing lint (paper §3.1.2).
+ *
+ * The audit manifest names who *directly* holds dangerous authority
+ * (MMIO windows, kernel object capabilities). An auditor usually
+ * needs the transitive question instead: which compartments can
+ * *reach* that authority — hold it, or invoke (directly or through a
+ * chain of entry imports) a compartment that holds it? AuthorityReach
+ * computes that closure over the manifest's entry-import edges, so
+ * policies can pin blast radius ("reach revocation-bitmap only
+ * alloc") rather than mere possession.
+ *
+ * The same manifest also supports a static sharing/race lint: a
+ * writable authority (an MMIO window imported with SD) mutated from
+ * two compartments — or from both interrupt postures of one
+ * compartment (task vs ISR-like entries) — is a data race waiting to
+ * happen unless every writer follows a message-passing discipline,
+ * which in this model is witnessed by holding a kernel "channel"
+ * object capability. Sharing is judged over *direct* importers only:
+ * a caller of the driver does not itself own the window.
+ */
+
+#ifndef CHERIOT_VERIFY_REACH_H
+#define CHERIOT_VERIFY_REACH_H
+
+#include "verify/finding.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cheriot::rtos
+{
+struct AuditReport;
+}
+
+namespace cheriot::verify
+{
+
+/** One shared-mutable-authority diagnostic. */
+struct SharedMutableIssue
+{
+    std::string authority; ///< The shared window.
+    std::vector<std::string> writers; ///< Compartments importing it
+                                      ///< with SD.
+    /** At least one writer mutates from both interrupt postures
+     * (enabled and disabled entries), i.e. races with itself. */
+    bool postureSplit = false;
+    std::string message;
+};
+
+class AuthorityReach
+{
+  public:
+    explicit AuthorityReach(const rtos::AuditReport &audit);
+
+    /** Every authority named in the manifest (MMIO windows and object-
+     * capability types), sorted. */
+    std::vector<std::string> authorities() const;
+
+    /** Compartments that hold @p authority or can transitively invoke
+     * a holder. */
+    const std::set<std::string> &reachers(
+        const std::string &authority) const;
+
+    bool reaches(const std::string &compartment,
+                 const std::string &authority) const;
+
+    /** The sharing lint: writable authorities mutated from >=2
+     * domains whose writers lack channel discipline. */
+    std::vector<SharedMutableIssue> sharedMutable() const;
+
+    /** Graphviz rendering: compartments, call edges, authorities and
+     * holder edges. */
+    std::string toDot() const;
+
+    /** Machine-readable rendering for tooling diffs. */
+    std::string toJson() const;
+
+  private:
+    /** authority name -> compartments that reach it (closure). */
+    std::map<std::string, std::set<std::string>> reach_;
+    /** authority -> direct writable importers. */
+    std::map<std::string, std::vector<std::string>> writers_;
+    /** compartment -> invoked compartments (entry-import edges). */
+    std::map<std::string, std::set<std::string>> calls_;
+    /** compartments holding a live "channel" object capability. */
+    std::set<std::string> channelHolders_;
+    /** compartments exporting entries under both interrupt postures. */
+    std::set<std::string> postureSplit_;
+};
+
+} // namespace cheriot::verify
+
+#endif // CHERIOT_VERIFY_REACH_H

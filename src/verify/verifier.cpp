@@ -37,17 +37,120 @@ linkValue()
     return AbstractCap::unknown(Tri::Yes, Tri::No, Tri::Yes);
 }
 
+struct Interp;
+
+/**
+ * One fixpoint over one verification root. Every root gets its own
+ * state map: sentry roots run under a worst-case (all-Unknown) entry
+ * state, and sharing a map with the main root would join that
+ * pessimism into the precise entry states and mask real findings.
+ * Findings, budget, summaries and the call graph live in the shared
+ * Interp so facts are deduplicated across roots.
+ *
+ * In summary mode the same transfer functions run over a Param entry
+ * state (regs[i] = Param(i)); findings still fire (a definite fact
+ * derived under the fully abstract entry holds for every concrete
+ * call), and every escaping path is classified: a definite return
+ * through Param(ra) contributes to the summary out-state, a definite
+ * trap ends the path, and anything else poisons the summary back to
+ * the conservative havoc.
+ */
 struct Analyzer
+{
+    Interp &interp;
+    const uint32_t rootEntry;
+    const bool summaryMode;
+
+    std::map<uint32_t, AbstractState> states;
+    std::deque<uint32_t> worklist;
+
+    /** Join of the register file over all definite return points
+     * (summary mode only). */
+    AbstractState returnOut;
+    bool sawReturn = false;
+    /** An escape the analysis cannot classify as return-or-trap was
+     * reached: the summary degrades to havoc. */
+    bool poisoned = false;
+
+    Analyzer(Interp &owner, uint32_t root, bool summary)
+        : interp(owner), rootEntry(root), summaryMode(summary)
+    {}
+
+    bool inImage(uint32_t pc) const;
+    uint32_t wordAt(uint32_t pc) const;
+    void finding(FindingClass cls, uint32_t pc,
+                 const std::string &message, const AbstractState &st);
+
+    /** Join @p st into the stored state at @p pc and (re)enqueue on
+     * change. Targets outside the image end the path (and poison a
+     * summary: leaving the image is an unclassifiable escape). */
+    void post(uint32_t pc, const AbstractState &st);
+
+    /** Post-call continuation fallback: a callee may clobber every
+     * register (arguments, temporaries, even callee-saves — the
+     * analyzer makes no calling-convention assumptions), so all 15
+     * registers havoc. Only PCC survives. */
+    static AbstractState havocked(const AbstractState &st)
+    {
+        AbstractState out;
+        out.pcc = st.pcc;
+        for (unsigned i = 1; i < isa::kNumRegs; ++i) {
+            out.regs[i] = AbstractCap::unknown();
+        }
+        return out;
+    }
+
+    void checkCallSiteClears(uint32_t pc, const AbstractState &st,
+                             uint8_t targetReg, uint8_t linkReg)
+    {
+        for (uint8_t r : kMustClearAtCall) {
+            if (r == targetReg || r == linkReg) {
+                continue;
+            }
+            if (st.reg(r).definitelyTagged()) {
+                finding(FindingClass::SwitcherAbi, pc,
+                        std::string("capability register ") +
+                            isa::regName(r) +
+                            " live across a sentry call: callee can "
+                            "capture the caller's authority",
+                        st);
+            }
+        }
+    }
+
+    /** Refine the continuation of a call to @p target using the
+     * callee's summary (havoc when no usable summary exists). */
+    void applyCall(uint32_t target, const AbstractState &st,
+                   uint8_t linkReg, uint32_t nextPc);
+
+    bool memAccessFaults(uint32_t pc, const AbstractState &st,
+                         const AbstractCap &auth, int32_t imm,
+                         unsigned bytes, bool isStore, bool capStore,
+                         const AbstractCap &stored);
+
+    void step(uint32_t pc, AbstractState st);
+
+    void run(const AbstractState &entryState);
+};
+
+/** Shared interprocedural context: report, budget, finding dedup,
+ * memoized function summaries, discovered verification roots, and the
+ * call graph under recovery. */
+struct Interp
 {
     const ProgramImage &image;
     const AnalyzerOptions &options;
     Report report;
+    CallGraph graph;
 
-    std::map<uint32_t, AbstractState> states;
-    std::deque<uint32_t> worklist;
     std::set<std::string> dedup;
+    std::set<uint32_t> visited;
+    std::map<uint32_t, FunctionSummary> summaries;
+    std::set<uint32_t> inProgress;
+    std::deque<uint32_t> pendingRoots;
+    std::set<uint32_t> knownRoots;
 
-    Analyzer(const ProgramImage &img, const AnalyzerOptions &opts)
+    Interp(const ProgramImage &img, const AnalyzerOptions &opts)
         : image(img), options(opts)
     {
         report.image = img.name;
@@ -82,159 +185,268 @@ struct Analyzer
         report.findings.push_back(std::move(f));
     }
 
-    /** Join @p st into the stored state at @p pc and (re)enqueue on
-     * change. Targets outside the image end the path. */
-    void post(uint32_t pc, const AbstractState &st)
+    /** Register an analysis-discovered sentry entry as a verification
+     * root (analyzed later under a worst-case entry state). */
+    void addRoot(uint32_t entry)
     {
-        if (!inImage(pc)) {
+        if (!inImage(entry)) {
             return;
         }
-        if (report.statesExplored >= options.maxStateUpdates) {
-            report.budgetExhausted = true;
-            return;
+        if (knownRoots.insert(entry).second) {
+            pendingRoots.push_back(entry);
         }
-        auto it = states.find(pc);
-        if (it == states.end()) {
-            states.emplace(pc, st);
-        } else {
-            AbstractState joined = it->second.join(st);
-            if (joined == it->second) {
-                return;
-            }
-            it->second = joined;
-        }
-        ++report.statesExplored;
-        worklist.push_back(pc);
     }
 
-    /** Post-call continuation: a callee may clobber every register
-     * (arguments, temporaries, even callee-saves — the analyzer makes
-     * no calling-convention assumptions), so all 15 registers havoc.
-     * Only PCC survives. */
-    static AbstractState havocked(const AbstractState &st)
+    /** Memoized per-entry summary. Recursive requests (an entry whose
+     * summary is still being computed) fall back to havoc, which is
+     * always sound. */
+    const FunctionSummary &summaryFor(uint32_t entry)
     {
-        AbstractState out;
-        out.pcc = st.pcc;
+        static const FunctionSummary kHavoc{};
+        if (!inImage(entry)) {
+            return kHavoc;
+        }
+        auto it = summaries.find(entry);
+        if (it != summaries.end()) {
+            return it->second;
+        }
+        if (!inProgress.insert(entry).second) {
+            return kHavoc;
+        }
+        Analyzer analyzer(*this, entry, /*summary=*/true);
+        AbstractState init;
         for (unsigned i = 1; i < isa::kNumRegs; ++i) {
-            out.regs[i] = AbstractCap::unknown();
+            init.regs[i] = AbstractCap::param(static_cast<uint8_t>(i));
         }
-        return out;
+        init.pcc = AbstractCap::exact(
+            Capability::executableRoot().withAddress(entry));
+        analyzer.run(init);
+        FunctionSummary summary;
+        if (analyzer.poisoned || report.budgetExhausted) {
+            summary.kind = FunctionSummary::Kind::Havoc;
+        } else if (!analyzer.sawReturn) {
+            summary.kind = FunctionSummary::Kind::NoReturn;
+        } else {
+            summary.kind = FunctionSummary::Kind::Returns;
+            summary.out = analyzer.returnOut;
+        }
+        inProgress.erase(entry);
+        ++report.summariesComputed;
+        return summaries.emplace(entry, summary).first->second;
     }
-
-    void checkCallSiteClears(uint32_t pc, const AbstractState &st,
-                             uint8_t targetReg, uint8_t linkReg)
-    {
-        for (uint8_t r : kMustClearAtCall) {
-            if (r == targetReg || r == linkReg) {
-                continue;
-            }
-            if (st.reg(r).definitelyTagged()) {
-                finding(FindingClass::SwitcherAbi, pc,
-                        std::string("capability register ") +
-                            isa::regName(r) +
-                            " live across a sentry call: callee can "
-                            "capture the caller's authority",
-                        st);
-            }
-        }
-    }
-
-    /**
-     * Model the checked-memory-access rules of Machine::checkAccess /
-     * storeCap. Returns true when the access *definitely* traps (the
-     * finding is recorded and the path ends). @p stored is the value
-     * operand for capability stores (Csc), else ignored.
-     */
-    bool memAccessFaults(uint32_t pc, const AbstractState &st,
-                         const AbstractCap &auth, int32_t imm,
-                         unsigned bytes, bool isStore, bool capStore,
-                         const AbstractCap &stored)
-    {
-        const char *what = isStore ? "store" : "load";
-        if (auth.definitelyUntagged()) {
-            finding(FindingClass::Monotonicity, pc,
-                    std::string(what) +
-                        " through untagged capability (authority was "
-                        "destroyed by a non-monotone manipulation)",
-                    st);
-            return true;
-        }
-        if (auth.definitelySealed()) {
-            finding(FindingClass::Sealing, pc,
-                    std::string(what) + " through sealed capability",
-                    st);
-            return true;
-        }
-        if (!auth.isExact()) {
-            return false; // No definite fact: assume the access is fine.
-        }
-        const Capability &c = auth.value; // Tagged and unsealed here.
-        const uint16_t need = isStore ? cap::PermStore : cap::PermLoad;
-        if (!c.perms().has(need)) {
-            finding(FindingClass::Monotonicity, pc,
-                    std::string(what) + " authority lacks " +
-                        (isStore ? "SD" : "LD") + " permission",
-                    st);
-            return true;
-        }
-        const uint32_t addr = c.address() + imm;
-        if (!c.inBounds(addr, bytes)) {
-            char msg[96];
-            std::snprintf(msg, sizeof(msg),
-                          "out-of-bounds %s: [%08x,+%u) outside "
-                          "[%08x,%08x)",
-                          what, addr, bytes, c.base(),
-                          static_cast<uint32_t>(c.top()));
-            finding(FindingClass::Monotonicity, pc, msg, st);
-            return true;
-        }
-        if ((addr & (bytes - 1)) != 0) {
-            finding(FindingClass::Monotonicity, pc,
-                    std::string("misaligned ") + what, st);
-            return true;
-        }
-        if (capStore && isStore && stored.definitelyTagged()) {
-            if (!c.perms().has(cap::PermMemCap)) {
-                finding(FindingClass::Monotonicity, pc,
-                        "capability store through data-only (no MC) "
-                        "authority",
-                        st);
-                return true;
-            }
-            if (stored.definitelyLocal() &&
-                !c.perms().has(cap::PermStoreLocal)) {
-                finding(FindingClass::StackLeak, pc,
-                        "local (stack-derived) capability stored "
-                        "through authority without Store-Local: the "
-                        "§5.2 stack-capability leak",
-                        st);
-                return true;
-            }
-        }
-        return false;
-    }
-
-    void step(uint32_t pc, AbstractState st);
 
     Report run()
     {
-        AbstractState init;
-        init.write(isa::A0, AbstractCap::exact(Capability::memoryRoot()));
-        init.write(isa::A1,
-                   AbstractCap::exact(Capability::sealingRoot()));
-        init.pcc = AbstractCap::exact(
-            Capability::executableRoot().withAddress(image.entry));
-        post(image.entry, init);
+        graph = CallGraph::recover(image);
+        graph.addNode(image.entry, /*root=*/true, false);
+        knownRoots.insert(image.entry);
 
-        while (!worklist.empty() && !report.budgetExhausted) {
-            const uint32_t pc = worklist.front();
-            worklist.pop_front();
-            step(pc, states.at(pc));
+        // Main root: the §3.1.1 reset state.
+        {
+            Analyzer analyzer(*this, image.entry, /*summary=*/false);
+            AbstractState init;
+            init.write(isa::A0,
+                       AbstractCap::exact(Capability::memoryRoot()));
+            init.write(isa::A1,
+                       AbstractCap::exact(Capability::sealingRoot()));
+            init.pcc = AbstractCap::exact(
+                Capability::executableRoot().withAddress(image.entry));
+            analyzer.run(init);
         }
-        report.instructionsAnalyzed = states.size();
+
+        // Discovered sentry entries: in-image sentry calls execute
+        // without the switcher, so the callee sees whatever the
+        // caller left in the registers — the sound entry state is
+        // all-Unknown, not all-zero.
+        while (!pendingRoots.empty() && !report.budgetExhausted) {
+            const uint32_t root = pendingRoots.front();
+            pendingRoots.pop_front();
+            graph.addNode(root, /*root=*/true, false);
+            Analyzer analyzer(*this, root, /*summary=*/false);
+            AbstractState init;
+            for (unsigned i = 1; i < isa::kNumRegs; ++i) {
+                init.regs[i] = AbstractCap::unknown();
+            }
+            init.pcc = AbstractCap::exact(
+                Capability::executableRoot().withAddress(root));
+            analyzer.run(init);
+        }
+
+        report.instructionsAnalyzed = visited.size();
+        report.callGraphFunctions = graph.nodeCount();
+        report.callGraphEdges = graph.edgeCount();
         return std::move(report);
     }
 };
+
+bool
+Analyzer::inImage(uint32_t pc) const
+{
+    return interp.inImage(pc);
+}
+
+uint32_t
+Analyzer::wordAt(uint32_t pc) const
+{
+    return interp.wordAt(pc);
+}
+
+void
+Analyzer::finding(FindingClass cls, uint32_t pc,
+                  const std::string &message, const AbstractState &st)
+{
+    interp.finding(cls, pc, message, st);
+}
+
+void
+Analyzer::post(uint32_t pc, const AbstractState &st)
+{
+    if (!inImage(pc)) {
+        if (summaryMode) {
+            poisoned = true;
+        }
+        return;
+    }
+    if (interp.report.statesExplored >= interp.options.maxStateUpdates) {
+        interp.report.budgetExhausted = true;
+        if (summaryMode) {
+            poisoned = true;
+        }
+        return;
+    }
+    auto it = states.find(pc);
+    if (it == states.end()) {
+        states.emplace(pc, st);
+    } else {
+        AbstractState joined = it->second.join(st);
+        if (joined == it->second) {
+            return;
+        }
+        it->second = joined;
+    }
+    ++interp.report.statesExplored;
+    worklist.push_back(pc);
+}
+
+void
+Analyzer::applyCall(uint32_t target, const AbstractState &st,
+                    uint8_t linkReg, uint32_t nextPc)
+{
+    const FunctionSummary &summary = interp.summaryFor(target);
+    switch (summary.kind) {
+      case FunctionSummary::Kind::Havoc:
+        post(nextPc, havocked(st));
+        return;
+      case FunctionSummary::Kind::NoReturn:
+        // Every path through the callee definitely traps: the
+        // continuation is unreachable.
+        return;
+      case FunctionSummary::Kind::Returns: {
+        ++interp.report.summaryApplications;
+        // Param out-values name the callee's entry registers, i.e.
+        // the caller's state *after* the link write.
+        AbstractState atEntry = st;
+        atEntry.write(linkReg, linkValue());
+        AbstractState cont;
+        cont.pcc = st.pcc;
+        for (unsigned i = 1; i < isa::kNumRegs; ++i) {
+            const AbstractCap &out = summary.out.regs[i];
+            cont.regs[i] =
+                out.isParam() ? atEntry.regs[out.paramIndex] : out;
+        }
+        post(nextPc, cont);
+        return;
+      }
+    }
+}
+
+/**
+ * Model the checked-memory-access rules of Machine::checkAccess /
+ * storeCap. Returns true when the access *definitely* traps (the
+ * finding is recorded and the path ends). @p stored is the value
+ * operand for capability stores (Csc), else ignored.
+ */
+bool
+Analyzer::memAccessFaults(uint32_t pc, const AbstractState &st,
+                          const AbstractCap &auth, int32_t imm,
+                          unsigned bytes, bool isStore, bool capStore,
+                          const AbstractCap &stored)
+{
+    const char *what = isStore ? "store" : "load";
+    if (auth.definitelyUntagged()) {
+        finding(FindingClass::Monotonicity, pc,
+                std::string(what) +
+                    " through untagged capability (authority was "
+                    "destroyed by a non-monotone manipulation)",
+                st);
+        return true;
+    }
+    if (auth.definitelySealed()) {
+        finding(FindingClass::Sealing, pc,
+                std::string(what) + " through sealed capability", st);
+        return true;
+    }
+    if (!auth.isExact()) {
+        return false; // No definite fact: assume the access is fine.
+    }
+    const Capability &c = auth.value; // Tagged and unsealed here.
+    const uint16_t need = isStore ? cap::PermStore : cap::PermLoad;
+    if (!c.perms().has(need)) {
+        finding(FindingClass::Monotonicity, pc,
+                std::string(what) + " authority lacks " +
+                    (isStore ? "SD" : "LD") + " permission",
+                st);
+        return true;
+    }
+    const uint32_t addr = c.address() + imm;
+    if (!c.inBounds(addr, bytes)) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "out-of-bounds %s: [%08x,+%u) outside "
+                      "[%08x,%08x)",
+                      what, addr, bytes, c.base(),
+                      static_cast<uint32_t>(c.top()));
+        finding(FindingClass::Monotonicity, pc, msg, st);
+        return true;
+    }
+    if ((addr & (bytes - 1)) != 0) {
+        finding(FindingClass::Monotonicity, pc,
+                std::string("misaligned ") + what, st);
+        return true;
+    }
+    if (capStore && isStore && stored.definitelyTagged()) {
+        if (!c.perms().has(cap::PermMemCap)) {
+            finding(FindingClass::Monotonicity, pc,
+                    "capability store through data-only (no MC) "
+                    "authority",
+                    st);
+            return true;
+        }
+        if (stored.definitelyLocal() &&
+            !c.perms().has(cap::PermStoreLocal)) {
+            finding(FindingClass::StackLeak, pc,
+                    "local (stack-derived) capability stored "
+                    "through authority without Store-Local: the "
+                    "§5.2 stack-capability leak",
+                    st);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Analyzer::run(const AbstractState &entryState)
+{
+    post(rootEntry, entryState);
+    while (!worklist.empty() && !interp.report.budgetExhausted) {
+        const uint32_t pc = worklist.front();
+        worklist.pop_front();
+        ++interp.report.fixpointIterations;
+        interp.visited.insert(pc);
+        step(pc, states.at(pc));
+    }
+}
 
 void
 Analyzer::step(uint32_t pc, AbstractState st)
@@ -285,12 +497,15 @@ Analyzer::step(uint32_t pc, AbstractState st)
       case Op::Jal: {
         const uint32_t target = pc + inst.imm;
         if (inst.rd != 0) {
-            // A call: analyze the callee with a sealed link value, and
-            // the post-return continuation with havocked registers.
+            // A call: analyze the callee inline with the precise
+            // call-site state (and a sealed link value), and refine
+            // the continuation through the callee's summary.
+            interp.graph.addEdge(
+                {pc, target, /*viaSentry=*/false, /*direct=*/true});
             AbstractState callee = st;
             callee.write(inst.rd, linkValue());
             post(target, callee);
-            post(nextPc, havocked(st));
+            applyCall(target, st, inst.rd, nextPc);
         } else {
             post(target, st);
         }
@@ -317,16 +532,32 @@ Analyzer::step(uint32_t pc, AbstractState st)
                 // requires every non-argument capability register to
                 // be dead here.
                 checkCallSiteClears(pc, st, inst.rs1, inst.rd);
+                const uint32_t dest = c.address() & ~1u;
+                interp.graph.addEdge(
+                    {pc, dest, /*viaSentry=*/true, /*direct=*/false});
+                // The callee becomes its own verification root,
+                // analyzed under a worst-case entry state.
+                interp.addRoot(dest);
                 if (inst.rd != 0) {
-                    post(nextPc, havocked(st));
+                    applyCall(dest, st, inst.rd, nextPc);
+                } else if (summaryMode) {
+                    // Tail sentry call: the callee returns to *our*
+                    // caller with a register file this summary cannot
+                    // describe.
+                    poisoned = true;
                 }
-                return; // The callee is a separate verification root.
+                return;
             }
             if (c.isReturnSentry()) {
                 if (inst.imm != 0) {
                     finding(FindingClass::Sealing, pc,
                             "return-sentry jump with non-zero offset",
                             st);
+                }
+                if (summaryMode) {
+                    // An exact return sentry cannot be the entry link
+                    // value (that is Param(ra)): unknown continuation.
+                    poisoned = true;
                 }
                 return; // Return: the path leaves this activation.
             }
@@ -344,21 +575,36 @@ Analyzer::step(uint32_t pc, AbstractState st)
             }
             const uint32_t dest = (c.address() + inst.imm) & ~1u;
             if (inst.rd != 0) {
+                interp.graph.addEdge(
+                    {pc, dest, /*viaSentry=*/false, /*direct=*/false});
                 AbstractState callee = st;
                 callee.write(inst.rd, linkValue());
                 post(dest, callee);
-                post(nextPc, havocked(st));
+                applyCall(dest, st, inst.rd, nextPc);
             } else {
                 post(dest, st);
             }
             return;
         }
-        // Unknown target (typically a return through a havocked link
-        // register): the jump leaves the analyzed region. A
-        // call-shaped jump still has a post-return continuation.
-        if (inst.rd != 0) {
-            post(nextPc, havocked(st));
+        // Non-exact target.
+        if (inst.rd == 0) {
+            if (summaryMode) {
+                if (aRs1.isParamOf(isa::Ra) && inst.imm == 0) {
+                    // A definite return: the jump target is exactly
+                    // the caller-provided return sentry.
+                    returnOut = sawReturn ? returnOut.join(st) : st;
+                    sawReturn = true;
+                } else {
+                    poisoned = true;
+                }
+            }
+            // Finding pass: typically a return through a havocked
+            // link register — the jump leaves the analyzed region.
+            return;
         }
+        // A call-shaped jump through an unknown target still has a
+        // post-return continuation (with no usable summary).
+        post(nextPc, havocked(st));
         return;
       }
 
@@ -549,14 +795,17 @@ Analyzer::step(uint32_t pc, AbstractState st)
 
       case Op::Ecall:
       case Op::Ebreak:
-        return; // Trap / halt: the path ends.
+        return; // Trap / halt: the path ends (a definite non-return).
       case Op::Mret:
         if (st.pcc.isExact() &&
             !st.pcc.value.perms().has(cap::PermSystemRegs)) {
             finding(FindingClass::Monotonicity, pc,
                     "mret without SystemRegs permission on PCC", st);
         }
-        return; // Resumes at MEPCC, which is not tracked.
+        if (summaryMode) {
+            poisoned = true; // Resumes at MEPCC, which is not tracked.
+        }
+        return;
 
       case Op::Csrrw: case Op::Csrrs: case Op::Csrrc:
       case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci:
@@ -824,6 +1073,7 @@ findingClassName(FindingClass cls)
       case FindingClass::StackLeak: return "stack-leak";
       case FindingClass::Sealing: return "sealing";
       case FindingClass::Lint: return "lint";
+      case FindingClass::SharedMutable: return "shared-mutable";
     }
     return "?";
 }
@@ -861,14 +1111,20 @@ Report::hasClass(FindingClass cls) const
 std::string
 Report::toString() const
 {
-    char head[128];
-    std::snprintf(head, sizeof(head),
-                  "cheriot-verify %s: %zu finding(s), %llu state "
-                  "update(s), %llu instruction(s)%s\n",
-                  image.c_str(), findings.size(),
-                  static_cast<unsigned long long>(statesExplored),
-                  static_cast<unsigned long long>(instructionsAnalyzed),
-                  budgetExhausted ? " [budget exhausted]" : "");
+    char head[224];
+    std::snprintf(
+        head, sizeof(head),
+        "cheriot-verify %s: %zu finding(s), %llu state "
+        "update(s), %llu instruction(s), %llu function(s), "
+        "%llu edge(s), %llu summar%s%s\n",
+        image.c_str(), findings.size(),
+        static_cast<unsigned long long>(statesExplored),
+        static_cast<unsigned long long>(instructionsAnalyzed),
+        static_cast<unsigned long long>(callGraphFunctions),
+        static_cast<unsigned long long>(callGraphEdges),
+        static_cast<unsigned long long>(summariesComputed),
+        summariesComputed == 1 ? "y" : "ies",
+        budgetExhausted ? " [budget exhausted]" : "");
     std::string out = head;
     for (const auto &f : findings) {
         out += f.toString();
@@ -880,10 +1136,15 @@ Report::toString() const
 }
 
 Report
-analyzeProgram(const ProgramImage &image, const AnalyzerOptions &options)
+analyzeProgram(const ProgramImage &image, const AnalyzerOptions &options,
+               CallGraph *graphOut)
 {
-    Analyzer analyzer(image, options);
-    return analyzer.run();
+    Interp interp(image, options);
+    Report report = interp.run();
+    if (graphOut != nullptr) {
+        *graphOut = std::move(interp.graph);
+    }
+    return report;
 }
 
 Report
@@ -894,7 +1155,7 @@ verifyKernel(rtos::Kernel &kernel, const Policy &policy)
     const rtos::AuditReport audit = rtos::auditKernel(kernel);
     for (const auto &violation : policy.evaluate(audit)) {
         Finding f;
-        f.cls = FindingClass::Lint;
+        f.cls = violation.cls;
         f.compartment = violation.compartment;
         f.pc = 0;
         f.message = violation.message + " [" + violation.rule + "]";

@@ -20,17 +20,25 @@
  *     seal/unseal without matching otype authority, sentry minting
  *     from sealed or non-executable inputs.
  *
- * Checks fire only on *definite* facts (Exact lattice values or
- * definite tri-state attributes), so correct images — including every
- * shipped workload — produce zero findings. Kernel-booted images are
- * additionally linted against the audit manifest via a declarative
- * Policy (see policy.h): W^X, SL-free globals, MMIO-import and
- * interrupt-posture rules.
+ * The analysis is *interprocedural*: call sites are resolved into a
+ * call graph (callgraph.h), every discovered callee is summarized
+ * once over the Param lattice kind, and the summary is applied at
+ * each call-site continuation — so the checkers fire through calls
+ * instead of stopping at them. Exact forward-sentry targets become
+ * additional verification roots, analyzed under a worst-case
+ * (all-Unknown) entry state. Checks still fire only on *definite*
+ * facts (Exact lattice values or definite tri-state attributes), so
+ * correct images — including every shipped workload — produce zero
+ * findings. Kernel-booted images are additionally linted against the
+ * audit manifest via a declarative Policy (policy.h) including the
+ * authority-reachability and sharing rules (reach.h).
  */
 
 #ifndef CHERIOT_VERIFY_VERIFIER_H
 #define CHERIOT_VERIFY_VERIFIER_H
 
+#include "verify/callgraph.h"
+#include "verify/finding.h"
 #include "verify/lattice.h"
 #include "verify/policy.h"
 
@@ -46,38 +54,18 @@ class Kernel;
 namespace cheriot::verify
 {
 
-/** The four violation classes (plus image lint). */
-enum class FindingClass : uint8_t
-{
-    Monotonicity, ///< Bounds widening / authority insufficient.
-    SwitcherAbi,  ///< Missing register clear at a call site.
-    StackLeak,    ///< Store-Local discipline violation.
-    Sealing,      ///< Sentry/otype misuse.
-    Lint,         ///< Structural/policy violation from the manifest.
-};
-
-const char *findingClassName(FindingClass cls);
-
-/** One diagnostic: class, compartment (or image), PC, and the lattice
- * state that proves the violation. */
-struct Finding
-{
-    FindingClass cls = FindingClass::Lint;
-    std::string compartment;
-    uint32_t pc = 0; ///< 0 for lint findings (no code location).
-    std::string message;
-    std::string latticeState; ///< Register lattice at the site.
-
-    std::string toString() const;
-};
-
 /** Result of verifying one image. */
 struct Report
 {
     std::string image;
     std::vector<Finding> findings;
-    uint64_t statesExplored = 0;      ///< Worklist state updates.
+    uint64_t statesExplored = 0;       ///< Worklist state updates.
     uint64_t instructionsAnalyzed = 0; ///< Distinct PCs visited.
+    uint64_t fixpointIterations = 0;   ///< Worklist pops, all roots.
+    uint64_t callGraphFunctions = 0;   ///< Recovered function entries.
+    uint64_t callGraphEdges = 0;       ///< Recovered call sites.
+    uint64_t summariesComputed = 0;    ///< Distinct callees summarized.
+    uint64_t summaryApplications = 0;  ///< Call continuations refined.
     bool budgetExhausted = false;
 
     bool ok() const { return findings.empty(); }
@@ -102,17 +90,22 @@ struct AnalyzerOptions
 
 /**
  * Abstract-interpret @p image from its entry point with the §3.1.1
- * reset state (memory root in a0, sealing root in a1, PCC at entry).
+ * reset state (memory root in a0, sealing root in a1, PCC at entry),
+ * then from every discovered sentry entry under a worst-case state.
+ * When @p graphOut is non-null it receives the recovered call graph
+ * (static peephole scan merged with analysis-discovered edges).
  */
 Report analyzeProgram(const ProgramImage &image,
-                      const AnalyzerOptions &options = {});
+                      const AnalyzerOptions &options = {},
+                      CallGraph *graphOut = nullptr);
 
 /**
  * Verify a kernel-booted image: evaluate @p policy over the audit
- * manifest (W^X, SL-free globals, MMIO-import and interrupt-posture
- * rules). Compartment entry bodies in this model are host functions,
- * so the instruction-level walk applies to guest program images via
- * analyzeProgram; the kernel surface is covered by the manifest lint.
+ * manifest (W^X, SL-free globals, MMIO-import, interrupt-posture,
+ * authority-reachability and sharing rules). Compartment entry bodies
+ * in this model are host functions, so the instruction-level walk
+ * applies to guest program images via analyzeProgram; the kernel
+ * surface is covered by the manifest lint.
  */
 Report verifyKernel(rtos::Kernel &kernel, const Policy &policy);
 

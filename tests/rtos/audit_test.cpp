@@ -133,8 +133,9 @@ TEST(Audit, MmioImportsAppearInManifest)
     bool found = false;
     for (const auto &c : report.compartments) {
         for (const auto &window : c.mmioImports) {
-            if (window == "revocation-bitmap") {
+            if (window.window == "revocation-bitmap") {
                 EXPECT_EQ(c.name, "alloc");
+                EXPECT_TRUE(window.writable);
                 found = true;
             }
         }
@@ -226,9 +227,12 @@ TEST(BootAssertions, VerifyOnLoadEnforcesTheDefaultPolicy)
     // hook this image boots, with it the loader refuses.
     Compartment &vendor = kernel.createCompartment("vendor");
     // The window *name* is what the manifest audits; any authority
-    // standing in for the window demonstrates the violation.
+    // standing in for the window demonstrates the violation. Read-only
+    // so it is the policy rule (not the sharing lint) that refuses.
     vendor.addMmioImport("revocation-bitmap",
-                         cap::Capability::memoryRoot());
+                         cap::Capability::memoryRoot().withPermsAnd(
+                             static_cast<uint16_t>(cap::kAllPerms &
+                                                   ~cap::PermStore)));
 
     std::string whyNot;
     EXPECT_FALSE(kernel.finalizeBoot(&whyNot));
@@ -245,12 +249,66 @@ TEST(BootAssertions, WithoutEnvPolicyLintIsNotEnforced)
     kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
     Compartment &vendor = kernel.createCompartment("vendor");
     vendor.addMmioImport("revocation-bitmap",
-                         cap::Capability::memoryRoot());
+                         cap::Capability::memoryRoot().withPermsAnd(
+                             static_cast<uint16_t>(cap::kAllPerms &
+                                                   ~cap::PermStore)));
 
     // Structural assertions still run, but the opt-in policy lint
     // does not: the env var is the deployment switch.
     std::string whyNot;
     EXPECT_TRUE(kernel.finalizeBoot(&whyNot)) << whyNot;
+}
+
+TEST(BootAssertions, RejectsSharedMutableAuthorityUnconditionally)
+{
+    // The sharing lint is a structural boot assertion, not an opt-in
+    // policy: a second *writable* importer of the allocator's
+    // revocation bitmap is a cross-compartment data race and must be
+    // refused even without CHERIOT_VERIFY_ON_LOAD.
+    ::unsetenv("CHERIOT_VERIFY_ON_LOAD");
+    sim::Machine machine(config());
+    Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::SoftwareRevocation);
+    Compartment &vendor = kernel.createCompartment("vendor");
+    vendor.addMmioImport("revocation-bitmap",
+                         cap::Capability::memoryRoot());
+
+    std::string whyNot;
+    EXPECT_FALSE(kernel.finalizeBoot(&whyNot));
+    EXPECT_NE(whyNot.find("revocation-bitmap"), std::string::npos)
+        << whyNot;
+    EXPECT_NE(whyNot.find("mutable"), std::string::npos) << whyNot;
+    EXPECT_NE(whyNot.find("vendor"), std::string::npos) << whyNot;
+}
+
+TEST(Audit, EntryImportsAppearInManifest)
+{
+    sim::Machine machine(config());
+    Kernel kernel(machine);
+    kernel.initHeap(alloc::TemporalMode::None);
+    Compartment &app = kernel.createCompartment("app");
+    Compartment &driver = kernel.createCompartment("driver");
+    driver.addExport({"read",
+                      [](CompartmentContext &, ArgVec &) {
+                          return CallResult::ofInt(0);
+                      },
+                      /*interruptsDisabled=*/false});
+    app.addEntryImport(driver, "read");
+
+    const AuditReport report = auditKernel(kernel);
+    bool found = false;
+    for (const auto &c : report.compartments) {
+        for (const auto &call : c.entryImports) {
+            if (c.name == "app") {
+                EXPECT_EQ(call.target, "driver");
+                EXPECT_EQ(call.entry, "read");
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_NE(report.toString().find("calls driver.read"),
+              std::string::npos);
 }
 
 } // namespace

@@ -84,8 +84,9 @@ TEST(LintCorpus, ViolatingImagesAreDetectedAndCleanTwinsAreClean)
 {
     // The manifest-level half of the contract: images whose MMIO
     // imports break the default policy (a rogue compartment importing
-    // the NIC window beside net_driver) must yield a Lint finding;
-    // their clean twins must yield none.
+    // the NIC window beside net_driver) must yield their expected
+    // finding class (Lint for policy rules, SharedMutable for the
+    // sharing lint); their clean twins must yield none.
     const auto &cases = lintCorpus();
     ASSERT_FALSE(cases.empty());
     size_t violating = 0;
@@ -95,10 +96,12 @@ TEST(LintCorpus, ViolatingImagesAreDetectedAndCleanTwinsAreClean)
             ++violating;
             bool hit = false;
             for (const auto &f : report.findings) {
-                hit |= f.cls == FindingClass::Lint;
+                hit |= f.cls == c.expected;
             }
-            EXPECT_TRUE(hit) << c.name << " missed:\n"
-                             << report.toString();
+            EXPECT_TRUE(hit)
+                << c.name << " missed (expected "
+                << findingClassName(c.expected) << "):\n"
+                << report.toString();
         } else {
             EXPECT_TRUE(report.ok())
                 << c.name << " false positive:\n"

@@ -95,19 +95,38 @@ TEST(Policy, DefaultPolicyGuardsTheRevocationBitmap)
     rtos::AuditReport report;
     report.compartments.push_back(compartment("alloc"));
     report.compartments.back().mmioImports.push_back(
-        "revocation-bitmap");
+        {"revocation-bitmap", true});
     EXPECT_TRUE(Policy::defaultPolicy().evaluate(report).empty());
 
-    // The same authority in any other compartment violates it.
+    // The same authority in any other compartment violates the
+    // possession rule, the reach rule, and (as a second writable
+    // importer) the sharing lint.
     report.compartments.push_back(compartment("vendor"));
     report.compartments.back().mmioImports.push_back(
-        "revocation-bitmap");
+        {"revocation-bitmap", true});
     const auto violations = Policy::defaultPolicy().evaluate(report);
-    ASSERT_EQ(violations.size(), 1u);
-    EXPECT_EQ(violations[0].compartment, "vendor");
-    EXPECT_NE(violations[0].message.find("revocation-bitmap"),
-              std::string::npos)
-        << violations[0].message;
+    bool sawMmio = false;
+    bool sawReach = false;
+    bool sawShared = false;
+    for (const auto &v : violations) {
+        if (v.rule.find("mmio") == 0) {
+            sawMmio = true;
+            EXPECT_EQ(v.compartment, "vendor");
+            EXPECT_NE(v.message.find("revocation-bitmap"),
+                      std::string::npos)
+                << v.message;
+        } else if (v.rule.find("reach") == 0) {
+            sawReach = true;
+            EXPECT_EQ(v.compartment, "vendor");
+        } else if (v.rule.find("no-shared-mutable") !=
+                   std::string::npos) {
+            sawShared = true;
+            EXPECT_EQ(v.cls, FindingClass::SharedMutable);
+        }
+    }
+    EXPECT_TRUE(sawMmio);
+    EXPECT_TRUE(sawReach);
+    EXPECT_TRUE(sawShared);
 }
 
 TEST(Policy, StructuralRequirementsFlagBrokenCompartments)
@@ -157,7 +176,7 @@ TEST(Policy, MmioNoneForbidsEveryImporter)
 
     rtos::AuditReport report;
     report.compartments.push_back(compartment("driver"));
-    report.compartments.back().mmioImports.push_back("dma");
+    report.compartments.back().mmioImports.push_back({"dma", true});
     const auto violations = policy->evaluate(report);
     ASSERT_EQ(violations.size(), 1u);
     EXPECT_EQ(violations[0].compartment, "driver");
@@ -169,7 +188,7 @@ TEST(Policy, UnmentionedWindowsAreUnconstrained)
     ASSERT_TRUE(policy.has_value());
     rtos::AuditReport report;
     report.compartments.push_back(compartment("driver"));
-    report.compartments.back().mmioImports.push_back("uart");
+    report.compartments.back().mmioImports.push_back({"uart", true});
     EXPECT_TRUE(policy->evaluate(report).empty());
 }
 
@@ -230,6 +249,71 @@ TEST(Policy, HoldOnlyFlagsUnauthorizedHolders)
     EXPECT_EQ(violations[0].compartment, "worker");
     EXPECT_NE(violations[0].message.find("monitor"),
               std::string::npos);
+}
+
+TEST(Policy, ParsesReachAndSharingRules)
+{
+    std::string error;
+    const auto policy =
+        Policy::parse("reach revocation-bitmap only alloc\n"
+                      "reach nic only net_driver, firewall\n"
+                      "require no-shared-mutable\n",
+                      &error);
+    ASSERT_TRUE(policy.has_value()) << error;
+    ASSERT_EQ(policy->rules().size(), 3u);
+    EXPECT_EQ(policy->rules()[0].kind, PolicyRule::Kind::ReachOnly);
+    EXPECT_EQ(policy->rules()[0].window, "revocation-bitmap");
+    ASSERT_EQ(policy->rules()[1].allowed.size(), 2u);
+    EXPECT_EQ(policy->rules()[1].allowed[1], "firewall");
+    EXPECT_EQ(policy->rules()[2].kind,
+              PolicyRule::Kind::RequireNoSharedMutable);
+
+    // Canonical rendering survives a re-parse.
+    const auto again = Policy::parse(policy->toString(), &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    EXPECT_EQ(again->toString(), policy->toString());
+}
+
+TEST(Policy, ReachOnlyWalksEntryImportEdges)
+{
+    const auto policy = Policy::parse("reach dma only driver\n");
+    ASSERT_TRUE(policy.has_value());
+
+    rtos::AuditReport report;
+    report.compartments.push_back(compartment("driver"));
+    report.compartments.back().mmioImports.push_back({"dma", true});
+    report.compartments.push_back(compartment("app"));
+    EXPECT_TRUE(policy->evaluate(report).empty());
+
+    // An entry import into the holder makes the importer a reacher.
+    report.compartments.back().entryImports.push_back(
+        {"driver", "tx"});
+    const auto violations = policy->evaluate(report);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].compartment, "app");
+    EXPECT_NE(violations[0].message.find("dma"), std::string::npos);
+}
+
+TEST(Policy, DiagnosticsCarrySourceLineAndToken)
+{
+    std::string error;
+    EXPECT_FALSE(Policy::parse("require globals-no-store-local\n"
+                               "# comment\n"
+                               "requrie code-not-writable\n",
+                               &error, "boot-policy")
+                     .has_value());
+    EXPECT_NE(error.find("boot-policy:3:"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("'requrie'"), std::string::npos) << error;
+
+    EXPECT_FALSE(Policy::parse("reach dma alloc\n", &error).has_value());
+    EXPECT_NE(error.find("policy:1:"), std::string::npos) << error;
+    EXPECT_NE(error.find("'alloc'"), std::string::npos) << error;
+
+    EXPECT_FALSE(
+        Policy::parse("require no-shared-mutble\n", &error).has_value());
+    EXPECT_NE(error.find("'no-shared-mutble'"), std::string::npos)
+        << error;
 }
 
 } // namespace

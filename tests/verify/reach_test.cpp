@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Authority reachability and the static sharing lint: the transitive
+ * closure over entry-import edges, the shared-mutable-authority
+ * diagnostics (writable imports, posture splits, channel discipline),
+ * and the graph renderings.
+ */
+
+#include "verify/reach.h"
+
+#include "rtos/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cheriot::verify
+{
+namespace
+{
+
+rtos::CompartmentAudit
+compartment(const std::string &name)
+{
+    rtos::CompartmentAudit c;
+    c.name = name;
+    c.codeBase = 0;
+    c.codeSize = 4;
+    c.globalsBase = 0;
+    c.globalsSize = 4;
+    c.exportCount = 0;
+    c.globalsStoreLocal = false;
+    c.codeWritable = false;
+    return c;
+}
+
+TEST(AuthorityReach, DirectHoldersReachTheirAuthority)
+{
+    rtos::AuditReport audit;
+    rtos::CompartmentAudit driver = compartment("driver");
+    driver.mmioImports.push_back({"nic", true});
+    audit.compartments.push_back(driver);
+    audit.compartments.push_back(compartment("bystander"));
+
+    const AuthorityReach reach(audit);
+    EXPECT_TRUE(reach.reaches("driver", "nic"));
+    EXPECT_FALSE(reach.reaches("bystander", "nic"));
+    const auto names = reach.authorities();
+    EXPECT_NE(std::find(names.begin(), names.end(), "nic"),
+              names.end());
+}
+
+TEST(AuthorityReach, ClosureWalksEntryImportChains)
+{
+    // app -> svc -> driver(holds dma): both callers reach the window
+    // transitively; an unconnected compartment does not.
+    rtos::AuditReport audit;
+    rtos::CompartmentAudit driver = compartment("driver");
+    driver.mmioImports.push_back({"dma", true});
+    rtos::CompartmentAudit svc = compartment("svc");
+    svc.entryImports.push_back({"driver", "tx"});
+    rtos::CompartmentAudit app = compartment("app");
+    app.entryImports.push_back({"svc", "send"});
+    audit.compartments.push_back(driver);
+    audit.compartments.push_back(svc);
+    audit.compartments.push_back(app);
+    audit.compartments.push_back(compartment("idle"));
+
+    const AuthorityReach reach(audit);
+    EXPECT_TRUE(reach.reaches("driver", "dma"));
+    EXPECT_TRUE(reach.reaches("svc", "dma"));
+    EXPECT_TRUE(reach.reaches("app", "dma"));
+    EXPECT_FALSE(reach.reaches("idle", "dma"));
+    EXPECT_EQ(reach.reachers("dma").size(), 3u);
+    // Unknown authorities have no reachers rather than throwing.
+    EXPECT_TRUE(reach.reachers("no-such-window").empty());
+}
+
+TEST(AuthorityReach, TokenHoldingsAreAuthoritiesToo)
+{
+    rtos::AuditReport audit;
+    rtos::CompartmentAudit timekeeper = compartment("timekeeper");
+    timekeeper.tokenHoldings.push_back("time");
+    rtos::CompartmentAudit app = compartment("app");
+    app.entryImports.push_back({"timekeeper", "now"});
+    audit.compartments.push_back(timekeeper);
+    audit.compartments.push_back(app);
+
+    const AuthorityReach reach(audit);
+    EXPECT_TRUE(reach.reaches("app", "time"));
+}
+
+TEST(SharingLint, FlagsTwoWritableImporters)
+{
+    rtos::AuditReport audit;
+    rtos::CompartmentAudit logger = compartment("logger");
+    logger.mmioImports.push_back({"scratch", true});
+    rtos::CompartmentAudit sampler = compartment("sampler");
+    sampler.mmioImports.push_back({"scratch", true});
+    audit.compartments.push_back(logger);
+    audit.compartments.push_back(sampler);
+
+    const auto issues = AuthorityReach(audit).sharedMutable();
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].authority, "scratch");
+    EXPECT_EQ(issues[0].writers.size(), 2u);
+    EXPECT_FALSE(issues[0].postureSplit);
+    EXPECT_NE(issues[0].message.find("2 domains"), std::string::npos)
+        << issues[0].message;
+    EXPECT_NE(issues[0].message.find("logger"), std::string::npos);
+    EXPECT_NE(issues[0].message.find("sampler"), std::string::npos);
+}
+
+TEST(SharingLint, ReadOnlySecondImporterIsNotASecondDomain)
+{
+    rtos::AuditReport audit;
+    rtos::CompartmentAudit logger = compartment("logger");
+    logger.mmioImports.push_back({"scratch", true});
+    rtos::CompartmentAudit viewer = compartment("viewer");
+    viewer.mmioImports.push_back({"scratch", /*writable=*/false});
+    audit.compartments.push_back(logger);
+    audit.compartments.push_back(viewer);
+
+    EXPECT_TRUE(AuthorityReach(audit).sharedMutable().empty());
+}
+
+TEST(SharingLint, ChannelDisciplineSuppressesTheIssue)
+{
+    rtos::AuditReport audit;
+    rtos::CompartmentAudit logger = compartment("logger");
+    logger.mmioImports.push_back({"scratch", true});
+    logger.tokenHoldings.push_back("channel");
+    rtos::CompartmentAudit sampler = compartment("sampler");
+    sampler.mmioImports.push_back({"scratch", true});
+    audit.compartments.push_back(logger);
+    audit.compartments.push_back(sampler);
+
+    // Only one of the two writers is disciplined: still an issue.
+    EXPECT_EQ(AuthorityReach(audit).sharedMutable().size(), 1u);
+
+    // Every writer disciplined: suppressed.
+    audit.compartments[1].tokenHoldings.push_back("channel");
+    EXPECT_TRUE(AuthorityReach(audit).sharedMutable().empty());
+}
+
+TEST(SharingLint, PostureSplitWriterRacesWithItself)
+{
+    // A single writer whose exports span both interrupt postures
+    // counts as two mutator domains: its task-level entries race its
+    // ISR-like ones.
+    rtos::AuditReport audit;
+    rtos::CompartmentAudit driver = compartment("driver");
+    driver.mmioImports.push_back({"fifo", true});
+    audit.compartments.push_back(driver);
+    audit.exports.push_back({"driver", "tx", /*irqOff=*/false});
+
+    EXPECT_TRUE(AuthorityReach(audit).sharedMutable().empty());
+
+    audit.exports.push_back({"driver", "isr", /*irqOff=*/true});
+    const auto issues = AuthorityReach(audit).sharedMutable();
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_TRUE(issues[0].postureSplit);
+    EXPECT_NE(issues[0].message.find("task+ISR posture split"),
+              std::string::npos)
+        << issues[0].message;
+}
+
+TEST(SharingLint, TransitiveCallersDoNotBecomeWriters)
+{
+    // A caller of the driver reaches the window but does not import
+    // it: sharing is judged over direct importers only, so the
+    // shipped caller->driver pattern stays clean.
+    rtos::AuditReport audit;
+    rtos::CompartmentAudit driver = compartment("driver");
+    driver.mmioImports.push_back({"nic", true});
+    rtos::CompartmentAudit firewall = compartment("firewall");
+    firewall.entryImports.push_back({"driver", "tx"});
+    audit.compartments.push_back(driver);
+    audit.compartments.push_back(firewall);
+
+    const AuthorityReach reach(audit);
+    EXPECT_TRUE(reach.reaches("firewall", "nic"));
+    EXPECT_TRUE(reach.sharedMutable().empty());
+}
+
+TEST(AuthorityReach, DotAndJsonRenderTheGraph)
+{
+    rtos::AuditReport audit;
+    rtos::CompartmentAudit driver = compartment("driver");
+    driver.mmioImports.push_back({"nic", true});
+    rtos::CompartmentAudit app = compartment("app");
+    app.entryImports.push_back({"driver", "tx"});
+    audit.compartments.push_back(driver);
+    audit.compartments.push_back(app);
+
+    const AuthorityReach reach(audit);
+    const std::string dot = reach.toDot();
+    EXPECT_NE(dot.find("digraph authority_reach"), std::string::npos);
+    EXPECT_NE(dot.find("\"app\" -> \"driver\""), std::string::npos)
+        << dot;
+    EXPECT_NE(dot.find("\"driver\" -> \"#nic\""), std::string::npos)
+        << dot;
+    const std::string json = reach.toJson();
+    EXPECT_NE(json.find("\"name\": \"nic\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("{\"from\": \"app\", \"to\": \"driver\"}"),
+              std::string::npos)
+        << json;
+}
+
+} // namespace
+} // namespace cheriot::verify
