@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared emitter for the unified `"stats"` block every BENCH_*.json
+ * carries.
+ *
+ * Harnesses capture `machine.simStats().snapshot()` (per machine, per
+ * node, per row — whatever their shape is), merge the maps with
+ * mergeStats(), and hand the result to writeStatsBlock() inside their
+ * existing writeJson, so every artifact exposes the same
+ * `"stats": {"<group>.<counter>": <value>, ...}` object regardless of
+ * which harness produced it. `--stats-json <path>` additionally dumps
+ * the block as a standalone file via writeStatsJson().
+ */
+
+#ifndef CHERIOT_BENCH_BENCH_STATS_H
+#define CHERIOT_BENCH_BENCH_STATS_H
+
+#include "debug/stats.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace cheriot::bench
+{
+
+using StatsMap = std::map<std::string, uint64_t>;
+
+/** Sum @p add into @p into (same-named counters accumulate — the
+ * cross-machine / cross-node merge). */
+inline void
+mergeStats(StatsMap &into, const StatsMap &add)
+{
+    for (const auto &entry : add) {
+        into[entry.first] += entry.second;
+    }
+}
+
+/**
+ * Emit `"stats": {...}` at @p indent. No leading or trailing
+ * newline/comma: the caller owns the surrounding JSON syntax.
+ */
+inline void
+writeStatsBlock(std::FILE *out, const StatsMap &stats,
+                const char *indent = "  ")
+{
+    std::fprintf(out, "\"stats\": {");
+    size_t i = 0;
+    for (const auto &entry : stats) {
+        std::fprintf(out, "%s\n%s  \"%s\": %llu", i == 0 ? "" : ",",
+                     indent, entry.first.c_str(),
+                     static_cast<unsigned long long>(entry.second));
+        ++i;
+    }
+    std::fprintf(out, "\n%s}", indent);
+}
+
+/** The `--stats-json <path>` emitter: a standalone
+ * `{"bench": ..., "stats": {...}}` document. */
+inline bool
+writeStatsJson(const std::string &path, const char *bench,
+               const StatsMap &stats)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        return false;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  ", bench);
+    writeStatsBlock(out, stats, "  ");
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    return true;
+}
+
+} // namespace cheriot::bench
+
+#endif // CHERIOT_BENCH_BENCH_STATS_H

@@ -32,6 +32,7 @@
 #include "rtos/kernel.h"
 #include "rtos/message_queue.h"
 #include "rtos/object_cap.h"
+#include "bench_stats.h"
 #include "sim/machine.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -70,6 +71,7 @@ struct BenchRow
     uint64_t traps = 0;
     double hostSeconds = 0.0;
     bool ok = false;
+    bench::StatsMap stats; ///< Merged simStats across scenarios.
 };
 
 sim::MachineConfig
@@ -168,6 +170,7 @@ schedulerStorm(const sim::CoreConfig &core, BenchRow &row)
     row.scheduledDeliveries += caps.scheduledRevocations.value();
     row.timeCapDeferrals += sched.timeCapDeferrals.value();
     row.traps += machine.trapCount() - trapsBefore;
+    bench::mergeStats(row.stats, machine.simStats().snapshot());
     if (sched.timeCapDeferrals.value() == 0) {
         row.invariantViolations++; // Degradation must be typed.
     }
@@ -268,6 +271,7 @@ channelStorm(const sim::CoreConfig &core, BenchRow &row)
     row.leakedBytes += static_cast<int64_t>(baseline) -
                        static_cast<int64_t>(heapLevel(kernel));
     row.traps += machine.trapCount() - trapsBefore;
+    bench::mergeStats(row.stats, machine.simStats().snapshot());
 }
 
 /**
@@ -318,6 +322,7 @@ monitorStorm(const sim::CoreConfig &core, BenchRow &row)
     row.monitorRefusals += dog.monitorActionsRefused.value();
     row.revocations += caps.revocations.value();
     row.traps += machine.trapCount() - trapsBefore;
+    bench::mergeStats(row.stats, machine.simStats().snapshot());
 }
 
 /**
@@ -512,6 +517,7 @@ randomStorm(const sim::CoreConfig &core, uint64_t seed, BenchRow &row)
     row.scheduledDeliveries += caps.scheduledRevocations.value();
     row.staleRefusals += caps.staleTokensRefused.value();
     row.traps += machine.trapCount() - trapsBefore;
+    bench::mergeStats(row.stats, machine.simStats().snapshot());
 }
 
 BenchRow
@@ -574,9 +580,14 @@ writeJson(const std::vector<BenchRow> &rows, const std::string &path,
         warn("cap_chaos: cannot write %s", path.c_str());
         return;
     }
+    bench::StatsMap merged;
+    for (const BenchRow &row : rows) {
+        bench::mergeStats(merged, row.stats);
+    }
     std::fprintf(out, "{\n  \"bench\": \"cap_chaos\",\n");
-    std::fprintf(out, "  \"ok\": %s,\n  \"rows\": [\n",
-                 ok ? "true" : "false");
+    std::fprintf(out, "  \"ok\": %s,\n  ", ok ? "true" : "false");
+    bench::writeStatsBlock(out, merged, "  ");
+    std::fprintf(out, ",\n  \"rows\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const BenchRow &r = rows[i];
         std::fprintf(
@@ -618,14 +629,19 @@ main(int argc, char **argv)
 {
     uint64_t seed = 0x0bedc0de;
     std::string outPath = "BENCH_caps.json";
+    std::string statsPath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            statsPath = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: cap_chaos [--seed N] [--out FILE]\n");
+                         "usage: cap_chaos [--seed N] [--out FILE] "
+                         "[--stats-json FILE]\n");
             return 2;
         }
     }
@@ -644,6 +660,13 @@ main(int argc, char **argv)
         ok = ok && row.ok;
     }
     writeJson(rows, outPath, ok);
+    if (!statsPath.empty()) {
+        bench::StatsMap merged;
+        for (const auto &row : rows) {
+            bench::mergeStats(merged, row.stats);
+        }
+        bench::writeStatsJson(statsPath, "cap_chaos", merged);
+    }
     std::printf("\nwrote %s\ncap_chaos %s\n", outPath.c_str(),
                 ok ? "OK" : "FAILED");
     return ok ? 0 : 1;

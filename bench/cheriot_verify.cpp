@@ -19,6 +19,7 @@
  * and the corpus expecting 1.
  */
 
+#include "bench_stats.h"
 #include "net/net_stack.h"
 #include "rtos/kernel.h"
 #include "verify/callgraph.h"
@@ -57,6 +58,9 @@ struct TimedReport
 {
     verify::Report report;
     double wallMs = 0.0;
+    /** simStats of the machine that hosted the image's boot (empty
+     * for the static-image workloads with no machine). */
+    bench::StatsMap stats;
 };
 
 double
@@ -115,6 +119,7 @@ verifyIot(const verify::Policy &policy)
     timed.report = verify::verifyKernel(kernel, policy);
     timed.report.image = "iot";
     timed.wallMs = msSince(start);
+    timed.stats = machine.simStats().snapshot();
     return timed;
 }
 
@@ -134,6 +139,7 @@ verifyAlloc(const verify::Policy &policy)
     timed.report = verify::verifyKernel(kernel, policy);
     timed.report.image = "alloc";
     timed.wallMs = msSince(start);
+    timed.stats = machine.simStats().snapshot();
     return timed;
 }
 
@@ -156,6 +162,7 @@ verifyStress(const verify::Policy &policy)
     timed.report = verify::verifyKernel(kernel, policy);
     timed.report.image = "stress";
     timed.wallMs = msSince(start);
+    timed.stats = machine.simStats().snapshot();
     return timed;
 }
 
@@ -178,7 +185,20 @@ writeJson(const std::string &path,
     if (!out) {
         return false;
     }
-    out << "{\"bench\": \"cheriot_verify\", \"images\": [";
+    bench::StatsMap merged;
+    for (const auto &timed : reports) {
+        bench::mergeStats(merged, timed.stats);
+    }
+    out << "{\"bench\": \"cheriot_verify\", \"stats\": {";
+    {
+        bool firstStat = true;
+        for (const auto &entry : merged) {
+            out << (firstStat ? "" : ", ") << "\"" << entry.first
+                << "\": " << entry.second;
+            firstStat = false;
+        }
+    }
+    out << "}, \"images\": [";
     bool first = true;
     for (const auto &timed : reports) {
         const verify::Report &r = timed.report;

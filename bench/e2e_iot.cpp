@@ -13,8 +13,15 @@
 
 #include "workloads/iot/iot_app.h"
 
+#include "debug/gdb_server.h"
+#include "debug/gdb_socket.h"
+#include "rtos/kernel.h"
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <unistd.h>
 
 using namespace cheriot;
 using namespace cheriot::workloads;
@@ -23,7 +30,61 @@ int
 main(int argc, char **argv)
 {
     IotAppConfig config;
-    config.simSeconds = argc > 1 ? std::atof(argv[1]) : 60.0;
+    long gdbPort = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--gdb") == 0 && i + 1 < argc) {
+            // Serve one GDB client on 127.0.0.1:<port> (0 picks an
+            // ephemeral port). The run blocks until it attaches.
+            gdbPort = std::strtol(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--fault-probe") == 0 &&
+                   i + 1 < argc) {
+            // Inject a capability bounds fault this many measured
+            // cycles in — the debugger walkthrough's break target.
+            config.faultProbeAtCycle =
+                std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--seconds") == 0 &&
+                   i + 1 < argc) {
+            config.simSeconds = std::atof(argv[++i]);
+        } else if (argv[i][0] != '-') {
+            config.simSeconds = std::atof(argv[i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: e2e_iot [SECONDS] [--seconds S] "
+                         "[--gdb PORT] [--fault-probe CYCLES]\n");
+            return 2;
+        }
+    }
+
+    // With --gdb, the first scheduler pause accepts one client and
+    // serves it in external-run mode: resume packets hand control
+    // back to the scheduler, and stops recorded by the RunControl
+    // hooks (breakpoints, watchpoints, the --fault-probe capability
+    // fault) are delivered at the next pause.
+    std::unique_ptr<debug::GdbServer> gdbServer;
+    std::unique_ptr<debug::GdbSocket> gdbSocket;
+    int gdbFd = -1;
+    if (gdbPort >= 0) {
+        config.debugPoll = [&](sim::Machine &machine,
+                               rtos::Kernel &kernel) {
+            if (gdbServer == nullptr) {
+                gdbFd = debug::GdbSocket::acceptTcp(
+                    static_cast<uint16_t>(gdbPort));
+                if (gdbFd < 0) {
+                    std::fprintf(stderr,
+                                 "e2e_iot: --gdb: accept failed\n");
+                    std::exit(2);
+                }
+                gdbServer = std::make_unique<debug::GdbServer>(
+                    machine, &kernel);
+                gdbServer->setExternalRun(true);
+                gdbSocket =
+                    std::make_unique<debug::GdbSocket>(*gdbServer);
+                gdbSocket->attach(gdbFd);
+                return;
+            }
+            gdbSocket->pump();
+        };
+    }
 
     std::printf("End-to-end IoT application (paper §7.2.3)\n");
     std::printf("20 MHz CHERIoT-Ibex, %0.0f simulated seconds, hardware "
@@ -31,6 +92,13 @@ main(int argc, char **argv)
                 config.simSeconds);
 
     const IotAppResult result = runIotApp(config);
+
+    if (gdbSocket != nullptr) {
+        gdbSocket->finishSession(result.ok ? 0 : 1);
+    }
+    if (gdbFd >= 0) {
+        ::close(gdbFd);
+    }
 
     std::printf("CPU load:                %6.2f%%   (paper: 17.5%%)\n",
                 result.cpuLoad * 100.0);

@@ -27,13 +27,16 @@
  * injection indices, plus a one-command repro line.
  */
 
+#include "bench_stats.h"
 #include "net/switch.h"
 #include "sim/fleet.h"
 #include "util/log.h"
+#include "util/stats.h"
 #include "workloads/rogue/rogue_device.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -132,16 +135,17 @@ struct BenchRow
     uint64_t brokerHeapLive = 0;
     uint32_t honestP99 = 0;
     double p99Limit = 0.0;
+    bench::StatsMap stats; ///< Merged simStats across all nodes.
 };
 
 uint32_t
 percentile(std::vector<uint32_t> &values, uint32_t p)
 {
-    if (values.empty()) {
-        return 0;
-    }
-    std::sort(values.begin(), values.end());
-    return values[(values.size() - 1) * p / 100];
+    // Interpolated (R-7) estimator from util/stats.h; the old
+    // nearest-rank truncation collapsed small-sample tails.
+    std::vector<uint64_t> wide(values.begin(), values.end());
+    return static_cast<uint32_t>(
+        std::llround(percentileInterpolated(std::move(wide), p)));
 }
 
 /** Name every live heap chunk on @p node: a leak message that says
@@ -308,6 +312,8 @@ collectMetrics(sim::Fleet &fleet, BenchRow &row)
         lat.p50 = percentile(lats, 50);
         lat.p99 = percentile(lats, 99);
         row.latency.push_back(lat);
+        bench::mergeStats(row.stats,
+                          node.machine().simStats().snapshot());
     }
     row.safetyViolations = fleet.totalSafetyViolations();
 }
@@ -716,9 +722,14 @@ writeJson(const std::vector<BenchRow> &rows, const std::string &path,
         warn("fleet_chaos: cannot write %s", path.c_str());
         return;
     }
+    bench::StatsMap merged;
+    for (const BenchRow &row : rows) {
+        bench::mergeStats(merged, row.stats);
+    }
     std::fprintf(out, "{\n  \"bench\": \"fleet_chaos\",\n");
-    std::fprintf(out, "  \"ok\": %s,\n  \"rows\": [\n",
-                 ok ? "true" : "false");
+    std::fprintf(out, "  \"ok\": %s,\n  ", ok ? "true" : "false");
+    bench::writeStatsBlock(out, merged, "  ");
+    std::fprintf(out, ",\n  \"rows\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const BenchRow &r = rows[i];
         std::fprintf(
@@ -870,6 +881,7 @@ main(int argc, char **argv)
     uint64_t seed = 0xf1ee7c8a;
     bool rogueMode = false;
     std::string outPath = "BENCH_fleet.json";
+    std::string statsPath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--rogue") == 0) {
             rogueMode = true;
@@ -886,10 +898,14 @@ main(int argc, char **argv)
             seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            statsPath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: fleet_chaos [--rogue] [--nodes N] "
-                         "[--rounds N] [--seed S] [--out FILE]\n");
+                         "[--rounds N] [--seed S] [--out FILE] "
+                         "[--stats-json FILE]\n");
             return 2;
         }
     }
@@ -934,6 +950,13 @@ main(int argc, char **argv)
         ok = ok && row.ok;
     }
     writeJson(rows, outPath, ok);
+    if (!statsPath.empty()) {
+        bench::StatsMap merged;
+        for (const auto &row : rows) {
+            bench::mergeStats(merged, row.stats);
+        }
+        bench::writeStatsJson(statsPath, "fleet_chaos", merged);
+    }
     std::printf("\nwrote %s\nfleet_chaos %s\n", outPath.c_str(),
                 ok ? "OK" : "FAILED");
     return ok ? 0 : 1;

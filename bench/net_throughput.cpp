@@ -17,6 +17,7 @@
  * target packets accepted, zero leaked bytes, zero callee faults.
  */
 
+#include "bench_stats.h"
 #include "mem/memory_map.h"
 #include "net/net_stack.h"
 #include "net/nic_device.h"
@@ -58,6 +59,7 @@ struct BenchRow
     uint64_t calleeFaults = 0;
     uint64_t traps = 0;
     bool ok = false;
+    bench::StatsMap stats; ///< simStats snapshot at end of run.
 };
 
 BenchRow
@@ -183,6 +185,7 @@ runCore(const sim::CoreConfig &core, const std::string &name,
     row.ok = row.packetsAccepted >= targetPackets &&
              row.leakedBytes == 0 && row.calleeFaults == 0 &&
              row.nicRxErrors == 0 && row.parseDrops == 0;
+    row.stats = machine.simStats().snapshot();
     return row;
 }
 
@@ -211,9 +214,14 @@ writeJson(const std::vector<BenchRow> &rows, const std::string &path,
         warn("net_throughput: cannot write %s", path.c_str());
         return;
     }
+    bench::StatsMap merged;
+    for (const BenchRow &row : rows) {
+        bench::mergeStats(merged, row.stats);
+    }
     std::fprintf(out, "{\n  \"bench\": \"net_throughput\",\n");
-    std::fprintf(out, "  \"ok\": %s,\n  \"rows\": [\n",
-                 ok ? "true" : "false");
+    std::fprintf(out, "  \"ok\": %s,\n  ", ok ? "true" : "false");
+    bench::writeStatsBlock(out, merged, "  ");
+    std::fprintf(out, ",\n  \"rows\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const BenchRow &r = rows[i];
         std::fprintf(
@@ -252,15 +260,19 @@ main(int argc, char **argv)
 {
     uint64_t packets = 1'000'000;
     std::string outPath = "BENCH_net.json";
+    std::string statsPath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
             packets = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            statsPath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: net_throughput [--packets N] "
-                         "[--out FILE]\n");
+                         "[--out FILE] [--stats-json FILE]\n");
             return 2;
         }
     }
@@ -279,6 +291,13 @@ main(int argc, char **argv)
         ok = ok && row.ok;
     }
     writeJson(rows, outPath, ok);
+    if (!statsPath.empty()) {
+        bench::StatsMap merged;
+        for (const auto &row : rows) {
+            bench::mergeStats(merged, row.stats);
+        }
+        bench::writeStatsJson(statsPath, "net_throughput", merged);
+    }
     std::printf("\nwrote %s\nnet_throughput %s\n", outPath.c_str(),
                 ok ? "OK" : "FAILED");
     return ok ? 0 : 1;

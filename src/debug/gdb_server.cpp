@@ -1,0 +1,637 @@
+#include "debug/gdb_server.h"
+
+#include "cap/permissions.h"
+#include "debug/rsp.h"
+#include "isa/encoding.h"
+#include "rtos/kernel.h"
+#include "sim/machine.h"
+
+#include <cstdio>
+
+namespace cheriot::debug
+{
+
+using cap::Capability;
+
+namespace
+{
+
+/** qXfer window: 'l' + final chunk, or 'm' + more-to-come chunk. */
+std::string
+xferSlice(const std::string &doc, uint64_t offset, uint64_t length)
+{
+    if (offset >= doc.size()) {
+        return "l";
+    }
+    const std::string chunk =
+        doc.substr(static_cast<size_t>(offset),
+                   static_cast<size_t>(length));
+    const bool last = offset + chunk.size() >= doc.size();
+    return (last ? "l" : "m") + chunk;
+}
+
+std::string
+hex32(uint32_t value)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%x", value);
+    return buf;
+}
+
+} // namespace
+
+GdbServer::GdbServer(sim::Machine &machine, rtos::Kernel *kernel)
+    : machine_(machine), kernel_(kernel)
+{
+    machine_.setRunControl(&rc_);
+}
+
+GdbServer::~GdbServer()
+{
+    if (machine_.runControlHook() == &rc_) {
+        machine_.setRunControl(nullptr);
+    }
+}
+
+uint32_t
+GdbServer::ctags() const
+{
+    uint32_t tags = 0;
+    for (unsigned i = 0; i < isa::kNumRegs; ++i) {
+        if (machine_.readReg(i).tag()) {
+            tags |= 1u << i;
+        }
+    }
+    if (machine_.pcc().tag()) {
+        tags |= 1u << kPccRegnum;
+    }
+    return tags;
+}
+
+std::string
+GdbServer::readRegister(unsigned regnum) const
+{
+    if (regnum < isa::kNumRegs) {
+        return hexLe(machine_.readReg(regnum).toBits(), 8);
+    }
+    switch (regnum) {
+      case kPccRegnum:
+        return hexLe(machine_.pcc().toBits(), 8);
+      case kCtagsRegnum:
+        return hexLe(ctags(), 4);
+      case kMcauseRegnum:
+        return hexLe(const_cast<sim::Machine &>(machine_).csrs().mcause,
+                     4);
+      case kMtvalRegnum:
+        return hexLe(const_cast<sim::Machine &>(machine_).csrs().mtval,
+                     4);
+      default:
+        return "";
+    }
+}
+
+bool
+GdbServer::writeRegister(unsigned regnum, uint64_t value)
+{
+    // The guarded write rule for capability-bearing registers: an
+    // address-only change rides Capability::withAddress (metadata and
+    // tag survive, modulo the sealed guard); anything that edits
+    // metadata lands *untagged*. The debugger can inspect and move
+    // capabilities but never forge one.
+    const auto guardedWrite = [&](const Capability &current) {
+        if (value == current.toBits() && current.tag()) {
+            return current;
+        }
+        if ((value >> 32) == (current.toBits() >> 32)) {
+            return current.withAddress(static_cast<uint32_t>(value));
+        }
+        return Capability::fromBits(value, false);
+    };
+
+    if (regnum < isa::kNumRegs) {
+        machine_.writeReg(regnum, guardedWrite(machine_.readReg(regnum)));
+        return true;
+    }
+    switch (regnum) {
+      case kPccRegnum:
+        machine_.setPcc(guardedWrite(machine_.pcc()));
+        return true;
+      case kCtagsRegnum:
+        // Tag writes only ever *clear*: 0-bits invalidate, 1-bits
+        // cannot conjure validity.
+        for (unsigned i = 0; i < isa::kNumRegs; ++i) {
+            const Capability reg = machine_.readReg(i);
+            if (reg.tag() && (value & (1u << i)) == 0) {
+                machine_.writeReg(i, reg.withTagCleared());
+            }
+        }
+        if (machine_.pcc().tag() &&
+            (value & (1u << kPccRegnum)) == 0) {
+            machine_.setPcc(machine_.pcc().withTagCleared());
+        }
+        return true;
+      case kMcauseRegnum:
+        machine_.csrs().mcause = static_cast<uint32_t>(value);
+        return true;
+      case kMtvalRegnum:
+        machine_.csrs().mtval = static_cast<uint32_t>(value);
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+GdbServer::stopReply() const
+{
+    const StopState &s = rc_.stop();
+    switch (s.reason) {
+      case StopReason::SwBreakpoint:
+        return "T05swbreak:;";
+      case StopReason::HwBreakpoint:
+        return "T05hwbreak:;";
+      case StopReason::Watchpoint: {
+        const char *kind = s.watchKind == WatchKind::Write ? "watch"
+                           : s.watchKind == WatchKind::Read
+                               ? "rwatch"
+                               : "awatch";
+        return std::string("T05") + kind + ":" + hex32(s.watchAddr) +
+               ";";
+      }
+      case StopReason::Step:
+        return "T05";
+      case StopReason::Interrupt:
+        return "T02";
+      case StopReason::CapFault:
+        // The CHERIoT-specific stop: the trap cause rides a custom
+        // T-packet pair so a script (or a gdb with our XML) can
+        // decode why the capability check failed.
+        return "T05cheriflt:" +
+               hex32(static_cast<uint32_t>(s.cause)) +
+               ";cheritval:" + hex32(s.tval) + ";";
+      case StopReason::Halted:
+        if (machine_.haltReason() == sim::HaltReason::ConsoleExit) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "W%02x",
+                          machine_.console().exitCode() & 0xff);
+            return buf;
+        }
+        return "S05";
+      case StopReason::None:
+      default:
+        return "S05";
+    }
+}
+
+std::string
+GdbServer::resume(bool singleStep)
+{
+    rc_.clearStop();
+    uint64_t executed = 0;
+    for (;;) {
+        uint64_t slice = singleStep ? 1 : kSliceInstructions;
+        if (resumeBudget_ != 0) {
+            const uint64_t left = resumeBudget_ - executed;
+            slice = slice < left ? slice : left;
+        }
+        const sim::RunResult r = machine_.runControl(slice, singleStep);
+        executed += r.instructions;
+        if (rc_.stopPending()) {
+            break;
+        }
+        if (singleStep || machine_.halted()) {
+            // runControl records Step/Halted stops itself; this is a
+            // belt-and-braces exit for a zero-instruction step.
+            rc_.stopWith(StopReason::Halted, machine_.pcc().address());
+            break;
+        }
+        if (resumeBudget_ != 0 && executed >= resumeBudget_) {
+            rc_.stopWith(StopReason::Interrupt,
+                         machine_.pcc().address());
+            break;
+        }
+        // A slice boundary must not eat a breakpoint: the next
+        // runControl call would exempt the resume PC (gdb semantics),
+        // so an exactly-at-boundary hit is taken here instead.
+        const uint32_t pc = machine_.pcc().address();
+        if (rc_.hitsBreakpoint(pc)) {
+            rc_.stopWith(rc_.hitsHwBreakpoint(pc)
+                             ? StopReason::HwBreakpoint
+                             : StopReason::SwBreakpoint,
+                         pc);
+            break;
+        }
+        if (interruptPoll_ && interruptPoll_()) {
+            rc_.stopWith(StopReason::Interrupt, pc);
+            break;
+        }
+    }
+    return stopReply();
+}
+
+void
+GdbServer::interruptStop()
+{
+    rc_.stopWith(StopReason::Interrupt, machine_.pcc().address());
+}
+
+std::string
+GdbServer::handleBreakpoint(const std::string &payload, bool insert)
+{
+    // Zt,addr,kind
+    if (payload.size() < 4 || payload[2] != ',') {
+        return "E01";
+    }
+    const char type = payload[1];
+    const size_t comma = payload.find(',', 3);
+    if (comma == std::string::npos) {
+        return "E01";
+    }
+    uint64_t addr = 0;
+    uint64_t kind = 0;
+    if (!parseHex(payload.substr(3, comma - 3), &addr) ||
+        !parseHex(payload.substr(comma + 1), &kind)) {
+        return "E01";
+    }
+    const auto a = static_cast<uint32_t>(addr);
+    const auto len =
+        static_cast<uint32_t>(kind == 0 ? 1 : kind);
+    switch (type) {
+      case '0':
+      case '1': {
+        const bool hardware = type == '1';
+        if (insert) {
+            rc_.setBreakpoint(a, hardware);
+        } else if (!rc_.clearBreakpoint(a, hardware)) {
+            return "E02";
+        }
+        return "OK";
+      }
+      case '2':
+      case '3':
+      case '4': {
+        const WatchKind wk = type == '2'   ? WatchKind::Write
+                             : type == '3' ? WatchKind::Read
+                                           : WatchKind::Access;
+        if (insert) {
+            rc_.setWatchpoint(wk, a, len);
+        } else if (!rc_.clearWatchpoint(wk, a, len)) {
+            return "E02";
+        }
+        return "OK";
+      }
+      default:
+        // Unsupported breakpoint type: empty reply per RSP.
+        return "";
+    }
+}
+
+std::string
+GdbServer::targetXml() const
+{
+    std::string xml =
+        "<?xml version=\"1.0\"?>\n"
+        "<!DOCTYPE target SYSTEM \"gdb-target.dtd\">\n"
+        "<target version=\"1.0\">\n"
+        "  <architecture>riscv:rv32</architecture>\n"
+        "  <feature name=\"org.cheriot.sim.caps\">\n";
+    for (unsigned i = 0; i < isa::kNumRegs; ++i) {
+        xml += "    <reg name=\"c";
+        xml += isa::regName(static_cast<uint8_t>(i));
+        xml += "\" bitsize=\"64\" type=\"uint64\" regnum=\"" +
+               std::to_string(i) + "\"/>\n";
+    }
+    xml += "    <reg name=\"pcc\" bitsize=\"64\" type=\"code_ptr\" "
+           "regnum=\"16\"/>\n"
+           "    <reg name=\"ctags\" bitsize=\"32\" type=\"uint32\" "
+           "regnum=\"17\"/>\n"
+           "    <reg name=\"mcause\" bitsize=\"32\" type=\"uint32\" "
+           "regnum=\"18\"/>\n"
+           "    <reg name=\"mtval\" bitsize=\"32\" type=\"uint32\" "
+           "regnum=\"19\"/>\n"
+           "  </feature>\n"
+           "</target>\n";
+    return xml;
+}
+
+std::string
+GdbServer::statsDocument() const
+{
+    std::string doc;
+    for (const auto &entry : machine_.simStats().snapshot()) {
+        doc += entry.first;
+        doc += ' ';
+        doc += std::to_string(entry.second);
+        doc += '\n';
+    }
+    return doc;
+}
+
+std::string
+GdbServer::handleCheriotQuery(const std::string &payload)
+{
+    // qCheriot.reg:<n> — symbolic capability view of one register.
+    if (payload.rfind("qCheriot.reg:", 0) == 0) {
+        uint64_t regnum = 0;
+        if (!parseHex(payload.substr(13), &regnum) ||
+            regnum > kPccRegnum) {
+            return "E01";
+        }
+        const Capability cap =
+            regnum == kPccRegnum
+                ? machine_.pcc()
+                : machine_.readReg(static_cast<unsigned>(regnum));
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      " tag=%u address=0x%08x base=0x%08x top=0x%09llx",
+                      cap.tag() ? 1u : 0u, cap.address(), cap.base(),
+                      static_cast<unsigned long long>(cap.top()));
+        std::string out =
+            regnum == kPccRegnum
+                ? "pcc"
+                : std::string("c") +
+                      isa::regName(static_cast<uint8_t>(regnum));
+        out += buf;
+        out += " perms=" + cap::permsToString(cap.perms());
+        out += " otype=" + std::to_string(cap.otype());
+        out += cap.isSealed() ? " sealed=1" : " sealed=0";
+        return out;
+    }
+    // qCheriot.compartments — identity, quarantine state and cycle
+    // attribution for every compartment the kernel hosts.
+    if (payload == "qCheriot.compartments") {
+        if (kernel_ == nullptr) {
+            return "E01";
+        }
+        rtos::Switcher &sw = kernel_->switcher();
+        std::string out = "current=" + sw.currentCompartment();
+        for (size_t i = 0; i < kernel_->compartmentCount(); ++i) {
+            rtos::Compartment &c = kernel_->compartmentAt(i);
+            out += ";" + c.name();
+            out += c.faultState().quarantined ? ":quarantined" : ":ok";
+            out += ":budget=" +
+                   std::to_string(
+                       kernel_->watchdog().budgetRemaining(c));
+            out += ":cycles=" +
+                   std::to_string(sw.cyclesAttributedTo(c.name()));
+        }
+        return out;
+    }
+    // qCheriot.fault — details of the last stop (capability faults
+    // carry the decoded trap cause).
+    if (payload == "qCheriot.fault") {
+        const StopState &s = rc_.stop();
+        std::string out = "reason=";
+        out += stopReasonName(s.reason);
+        if (s.reason == StopReason::CapFault) {
+            out += ";cause=";
+            out += sim::trapCauseName(s.cause);
+            char buf[48];
+            std::snprintf(buf, sizeof(buf),
+                          ";mcause=0x%x;tval=0x%08x",
+                          static_cast<uint32_t>(s.cause), s.tval);
+            out += buf;
+        }
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), ";pc=0x%08x", s.pc);
+        out += buf;
+        return out;
+    }
+    // qCheriot.epoch — temporal-safety machinery state.
+    if (payload == "qCheriot.epoch") {
+        auto &revoker = machine_.backgroundRevoker();
+        std::string out = "epoch=" + std::to_string(revoker.epoch());
+        out += revoker.sweeping() ? ";sweeping=1" : ";sweeping=0";
+        if (kernel_ != nullptr && kernel_->hasHeap()) {
+            out += ";quarantined_bytes=" +
+                   std::to_string(
+                       kernel_->allocator().quarantinedBytes());
+        }
+        return out;
+    }
+    // qCheriot.stats — the whole counter registry, inline (the qXfer
+    // object is the windowed variant for large registries).
+    if (payload == "qCheriot.stats") {
+        return statsDocument();
+    }
+    return "";
+}
+
+std::string
+GdbServer::handleQuery(const std::string &payload)
+{
+    if (payload.rfind("qSupported", 0) == 0) {
+        return "PacketSize=4096;qXfer:features:read+;"
+               "qXfer:cheriot-stats:read+;swbreak+;hwbreak+;"
+               "QStartNoAckMode+";
+    }
+    if (payload == "qAttached") {
+        return "1";
+    }
+    if (payload == "qC") {
+        return "QC1";
+    }
+    if (payload == "qfThreadInfo") {
+        return "m1";
+    }
+    if (payload == "qsThreadInfo") {
+        return "l";
+    }
+    if (payload.rfind("qXfer:", 0) == 0) {
+        // qXfer:<object>:read:<annex>:<offset>,<length>
+        const size_t tail = payload.rfind(':');
+        const size_t comma = payload.find(',', tail);
+        if (tail == std::string::npos || comma == std::string::npos) {
+            return "E01";
+        }
+        uint64_t offset = 0;
+        uint64_t length = 0;
+        if (!parseHex(payload.substr(tail + 1, comma - tail - 1),
+                      &offset) ||
+            !parseHex(payload.substr(comma + 1), &length)) {
+            return "E01";
+        }
+        if (payload.rfind("qXfer:features:read:", 0) == 0) {
+            return xferSlice(targetXml(), offset, length);
+        }
+        if (payload.rfind("qXfer:cheriot-stats:read:", 0) == 0) {
+            return xferSlice(statsDocument(), offset, length);
+        }
+        return "";
+    }
+    if (payload.rfind("qCheriot.", 0) == 0) {
+        return handleCheriotQuery(payload);
+    }
+    return "";
+}
+
+std::string
+GdbServer::handlePacket(const std::string &payload)
+{
+    if (payload.empty()) {
+        return "E01";
+    }
+    switch (payload[0]) {
+      case '?':
+        return stopReply();
+
+      case 'g': {
+        std::string out;
+        for (unsigned i = 0; i < kNumGdbRegs; ++i) {
+            out += readRegister(i);
+        }
+        return out;
+      }
+
+      case 'G': {
+        // 17 × 8-byte + 3 × 4-byte registers, little-endian hex.
+        size_t pos = 1;
+        for (unsigned i = 0; i < kNumGdbRegs; ++i) {
+            const unsigned bytes = i <= kPccRegnum ? 8 : 4;
+            if (payload.size() < pos + bytes * 2) {
+                return "E01";
+            }
+            std::vector<uint8_t> raw;
+            if (!parseHexBytes(payload.substr(pos, bytes * 2), &raw)) {
+                return "E01";
+            }
+            uint64_t value = 0;
+            for (unsigned b = 0; b < bytes; ++b) {
+                value |= static_cast<uint64_t>(raw[b]) << (8 * b);
+            }
+            writeRegister(i, value);
+            pos += bytes * 2;
+        }
+        return "OK";
+      }
+
+      case 'p': {
+        uint64_t regnum = 0;
+        if (!parseHex(payload.substr(1), &regnum) ||
+            regnum >= kNumGdbRegs) {
+            return "E01";
+        }
+        return readRegister(static_cast<unsigned>(regnum));
+      }
+
+      case 'P': {
+        const size_t eq = payload.find('=');
+        if (eq == std::string::npos) {
+            return "E01";
+        }
+        uint64_t regnum = 0;
+        if (!parseHex(payload.substr(1, eq - 1), &regnum) ||
+            regnum >= kNumGdbRegs) {
+            return "E01";
+        }
+        std::vector<uint8_t> raw;
+        if (!parseHexBytes(payload.substr(eq + 1), &raw) ||
+            raw.empty() || raw.size() > 8) {
+            return "E01";
+        }
+        uint64_t value = 0;
+        for (size_t b = 0; b < raw.size(); ++b) {
+            value |= static_cast<uint64_t>(raw[b]) << (8 * b);
+        }
+        return writeRegister(static_cast<unsigned>(regnum), value)
+                   ? "OK"
+                   : "E01";
+      }
+
+      case 'm': {
+        const size_t comma = payload.find(',');
+        if (comma == std::string::npos) {
+            return "E01";
+        }
+        uint64_t addr = 0;
+        uint64_t len = 0;
+        if (!parseHex(payload.substr(1, comma - 1), &addr) ||
+            !parseHex(payload.substr(comma + 1), &len)) {
+            return "E01";
+        }
+        std::vector<uint8_t> data;
+        if (!machine_.debugReadMem(static_cast<uint32_t>(addr),
+                                   static_cast<uint32_t>(len), &data)) {
+            return "E02";
+        }
+        return toHex(data.data(), data.size());
+      }
+
+      case 'M': {
+        const size_t comma = payload.find(',');
+        const size_t colon = payload.find(':');
+        if (comma == std::string::npos || colon == std::string::npos ||
+            colon < comma) {
+            return "E01";
+        }
+        uint64_t addr = 0;
+        uint64_t len = 0;
+        if (!parseHex(payload.substr(1, comma - 1), &addr) ||
+            !parseHex(payload.substr(comma + 1, colon - comma - 1),
+                      &len)) {
+            return "E01";
+        }
+        std::vector<uint8_t> data;
+        if (!parseHexBytes(payload.substr(colon + 1), &data) ||
+            data.size() != len) {
+            return "E01";
+        }
+        return machine_.debugWriteMem(static_cast<uint32_t>(addr), data)
+                   ? "OK"
+                   : "E02";
+      }
+
+      case 'c':
+      case 's': {
+        if (payload.size() > 1) {
+            uint64_t addr = 0;
+            if (!parseHex(payload.substr(1), &addr)) {
+                return "E01";
+            }
+            machine_.setPcc(machine_.pcc().withAddress(
+                static_cast<uint32_t>(addr)));
+        }
+        if (externalRun_) {
+            // The harness owns execution: clear the old stop, note
+            // the deferred resume, and send nothing — the stop reply
+            // goes out when the simulation next stops (pump()).
+            rc_.clearStop();
+            resumeDeferred_ = true;
+            return "";
+        }
+        return resume(payload[0] == 's');
+      }
+
+      case 'Z':
+        return handleBreakpoint(payload, /*insert=*/true);
+      case 'z':
+        return handleBreakpoint(payload, /*insert=*/false);
+
+      case 'D':
+      case 'k':
+        machine_.setRunControl(nullptr);
+        detached_ = true;
+        return "OK";
+
+      case 'H':
+        return "OK";
+      case 'T':
+        return "OK";
+
+      case 'q':
+        return handleQuery(payload);
+
+      case 'Q':
+        if (payload == "QStartNoAckMode") {
+            noAckMode_ = true;
+            return "OK";
+        }
+        return "";
+
+      default:
+        // Unknown packet: the RSP-mandated empty reply.
+        return "";
+    }
+}
+
+} // namespace cheriot::debug

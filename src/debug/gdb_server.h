@@ -1,0 +1,156 @@
+/**
+ * @file
+ * GDB Remote Serial Protocol stub for one Machine.
+ *
+ * The server speaks transport-agnostic RSP: handlePacket() maps one
+ * unescaped packet payload to one reply payload, and the socket layer
+ * (gdb_socket.h) owns framing, acks and the byte stream. Resume
+ * packets (`c`/`s`) run the machine *inside* handlePacket through
+ * Machine::runControl in bounded instruction slices, polling an
+ * optional interrupt callback between slices so a client ^C can stop
+ * a free-running guest.
+ *
+ * Register map presented to gdb (target XML, feature
+ * "org.cheriot.sim.caps"):
+ *
+ *   0–15  c0..c15   64-bit packed capability image (Capability::toBits)
+ *   16    pcc       64-bit packed capability image
+ *   17    ctags     32-bit; bit i = tag of ci, bit 16 = tag of pcc
+ *   18    mcause    32-bit
+ *   19    mtval     32-bit
+ *
+ * Capability register writes follow the guarded rule: a write whose
+ * 64-bit image differs from the current one only in the address field
+ * is applied with Capability::withAddress (metadata and tag survive,
+ * subject to the sealed-capability guard); any metadata-changing
+ * write yields an *untagged* capability — the debugger has no tag
+ * forging back door. Writes to ctags can only clear tags, never set.
+ *
+ * Beyond stock RSP, `qCheriot.*` query packets expose the CHERIoT
+ * system state a capability debugger wants: symbolic register views
+ * (tag/base/top/perms/otype), compartment identity and quarantine
+ * state, the revocation epoch, and the last capability fault. The
+ * unified counter registry is served as a qXfer object
+ * (`qXfer:cheriot-stats:read`).
+ */
+
+#ifndef CHERIOT_DEBUG_GDB_SERVER_H
+#define CHERIOT_DEBUG_GDB_SERVER_H
+
+#include "debug/run_control.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cheriot::sim
+{
+class Machine;
+}
+namespace cheriot::rtos
+{
+class Kernel;
+}
+
+namespace cheriot::debug
+{
+
+class GdbServer
+{
+  public:
+    /** GDB register numbers (see file comment). */
+    static constexpr unsigned kPccRegnum = 16;
+    static constexpr unsigned kCtagsRegnum = 17;
+    static constexpr unsigned kMcauseRegnum = 18;
+    static constexpr unsigned kMtvalRegnum = 19;
+    static constexpr unsigned kNumGdbRegs = 20;
+
+    /** Instructions per resume slice between interrupt polls. */
+    static constexpr uint64_t kSliceInstructions = 65536;
+
+    /**
+     * Attach to @p machine (installs this server's RunControl; the
+     * machine must not already have one). @p kernel enables the
+     * compartment-aware qCheriot queries; null degrades them
+     * gracefully.
+     */
+    explicit GdbServer(sim::Machine &machine,
+                       rtos::Kernel *kernel = nullptr);
+    ~GdbServer();
+
+    GdbServer(const GdbServer &) = delete;
+    GdbServer &operator=(const GdbServer &) = delete;
+
+    /**
+     * Process one packet payload; returns the reply payload
+     * (unframed, unescaped). Unknown packets return "" per RSP.
+     * Resume packets block until the next stop and return the stop
+     * reply.
+     */
+    std::string handlePacket(const std::string &payload);
+
+    /** Stop reply for the current stop state (the `?` answer). */
+    std::string stopReply() const;
+
+    /** Polled between resume slices; return true to interrupt. */
+    void setInterruptPoll(std::function<bool()> poll)
+    {
+        interruptPoll_ = std::move(poll);
+    }
+
+    /** Hard cap on instructions per resume (0 = unlimited). A guest
+     * that never stops otherwise wedges the stub; tests set this. */
+    void setResumeBudget(uint64_t maxInstructions)
+    {
+        resumeBudget_ = maxInstructions;
+    }
+
+    /** @name External-run mode
+     * For simulations the stub does not drive: the modelled-RTOS
+     * harnesses execute through the scheduler, not Machine::run, so a
+     * resume packet cannot spin Machine::runControl. With external-run
+     * set, `c`/`s` record a deferred resume (resumeDeferred()) and
+     * return no reply; the transport hands control back to the
+     * harness, which runs its scheduler until the RunControl hooks
+     * record a stop, then sends the stop reply (GdbSocket::pump).
+     * @{ */
+    void setExternalRun(bool on) { externalRun_ = on; }
+    bool externalRun() const { return externalRun_; }
+    bool resumeDeferred() const { return resumeDeferred_; }
+    void clearResumeDeferred() { resumeDeferred_ = false; }
+    /** Record a client ^C as the pending stop (external-run only). */
+    void interruptStop();
+    /** @} */
+
+    /** True once the client detached (`D`) or killed (`k`). */
+    bool detached() const { return detached_; }
+    /** True once QStartNoAckMode was negotiated. */
+    bool noAckMode() const { return noAckMode_; }
+
+    RunControl &runControl() { return rc_; }
+
+  private:
+    std::string readRegister(unsigned regnum) const;
+    bool writeRegister(unsigned regnum, uint64_t value);
+    uint32_t ctags() const;
+    std::string handleQuery(const std::string &payload);
+    std::string handleCheriotQuery(const std::string &payload);
+    std::string handleBreakpoint(const std::string &payload, bool insert);
+    std::string resume(bool singleStep);
+    std::string targetXml() const;
+    std::string statsDocument() const;
+
+    sim::Machine &machine_;
+    rtos::Kernel *kernel_;
+    RunControl rc_;
+    std::function<bool()> interruptPoll_;
+    uint64_t resumeBudget_ = 0;
+    bool detached_ = false;
+    bool noAckMode_ = false;
+    bool externalRun_ = false;
+    bool resumeDeferred_ = false;
+};
+
+} // namespace cheriot::debug
+
+#endif // CHERIOT_DEBUG_GDB_SERVER_H

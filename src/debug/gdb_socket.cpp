@@ -1,0 +1,281 @@
+#include "debug/gdb_socket.h"
+
+#include "util/log.h"
+
+#include <arpa/inet.h>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cheriot::debug
+{
+
+bool
+GdbSocket::sendAll(int fd, const std::string &bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + sent, bytes.size() - sent);
+        if (n <= 0) {
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+GdbSocket::pollInterrupt(int fd)
+{
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    if (::poll(&pfd, 1, 0) <= 0 || (pfd.revents & POLLIN) == 0) {
+        return false;
+    }
+    char buf[256];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+        return false;
+    }
+    bool interrupted = false;
+    for (ssize_t i = 0; i < n; ++i) {
+        if (buf[i] == '\x03') {
+            interrupted = true;
+        } else {
+            // Anything else read mid-run is replayed to the main
+            // loop once the resume returns.
+            pending_ += buf[i];
+        }
+    }
+    return interrupted;
+}
+
+uint64_t
+GdbSocket::serveFd(int fd)
+{
+    server_.setInterruptPoll([this, fd] { return pollInterrupt(fd); });
+    uint64_t packets = 0;
+    bool done = false;
+    while (!done) {
+        std::string chunk;
+        if (!pending_.empty()) {
+            chunk.swap(pending_);
+        } else {
+            char buf[4096];
+            const ssize_t n = ::read(fd, buf, sizeof(buf));
+            if (n <= 0) {
+                break;
+            }
+            chunk.assign(buf, static_cast<size_t>(n));
+        }
+        const auto events = framer_.feed(
+            reinterpret_cast<const uint8_t *>(chunk.data()),
+            chunk.size());
+        for (const RspEvent &event : events) {
+            if (done) {
+                break;
+            }
+            switch (event.kind) {
+              case RspEvent::Kind::Packet: {
+                if (!server_.noAckMode()) {
+                    sendAll(fd, "+");
+                }
+                const std::string reply =
+                    server_.handlePacket(event.payload);
+                lastReply_ = rspFrame(reply);
+                if (!sendAll(fd, lastReply_)) {
+                    done = true;
+                    break;
+                }
+                packets++;
+                if (server_.detached()) {
+                    done = true;
+                }
+                break;
+              }
+              case RspEvent::Kind::Nak:
+                sendAll(fd, "-");
+                break;
+              case RspEvent::Kind::Interrupt:
+                // ^C between packets: pre-arm the interrupt so the
+                // next resume returns immediately.
+                server_.runControl().requestInterrupt();
+                break;
+              case RspEvent::Kind::ResendReq:
+                if (!lastReply_.empty() &&
+                    !sendAll(fd, lastReply_)) {
+                    done = true;
+                }
+                break;
+              case RspEvent::Kind::Ack:
+                break;
+            }
+        }
+    }
+    server_.setInterruptPoll(nullptr);
+    return packets;
+}
+
+bool
+GdbSocket::serveStopped()
+{
+    while (true) {
+        std::string chunk;
+        if (!pending_.empty()) {
+            chunk.swap(pending_);
+        } else {
+            char buf[4096];
+            const ssize_t n = ::read(sessionFd_, buf, sizeof(buf));
+            if (n <= 0) {
+                sessionDone_ = true;
+                return false;
+            }
+            chunk.assign(buf, static_cast<size_t>(n));
+        }
+        const auto events = framer_.feed(
+            reinterpret_cast<const uint8_t *>(chunk.data()),
+            chunk.size());
+        for (const RspEvent &event : events) {
+            switch (event.kind) {
+              case RspEvent::Kind::Packet: {
+                if (!server_.noAckMode()) {
+                    sendAll(sessionFd_, "+");
+                }
+                const std::string reply =
+                    server_.handlePacket(event.payload);
+                if (server_.resumeDeferred()) {
+                    // `c`/`s`: no reply yet — the harness runs, and
+                    // pump() sends the stop reply when it pauses.
+                    server_.clearResumeDeferred();
+                    sessionRunning_ = true;
+                    return true;
+                }
+                lastReply_ = rspFrame(reply);
+                if (!sendAll(sessionFd_, lastReply_) ||
+                    server_.detached()) {
+                    sessionDone_ = true;
+                    return false;
+                }
+                break;
+              }
+              case RspEvent::Kind::Nak:
+                sendAll(sessionFd_, "-");
+                break;
+              case RspEvent::Kind::Interrupt:
+                // ^C while already stopped: nothing to stop.
+                break;
+              case RspEvent::Kind::ResendReq:
+                if (!lastReply_.empty() &&
+                    !sendAll(sessionFd_, lastReply_)) {
+                    sessionDone_ = true;
+                    return false;
+                }
+                break;
+              case RspEvent::Kind::Ack:
+                break;
+            }
+        }
+    }
+}
+
+bool
+GdbSocket::attach(int fd)
+{
+    sessionFd_ = fd;
+    sessionDone_ = false;
+    sessionRunning_ = false;
+    return serveStopped();
+}
+
+void
+GdbSocket::pump()
+{
+    if (!sessionActive() || !sessionRunning_) {
+        return;
+    }
+    RunControl &rc = server_.runControl();
+    if (!rc.stopPending() && pollInterrupt(sessionFd_)) {
+        server_.interruptStop();
+    }
+    if (!rc.stopPending()) {
+        return;
+    }
+    sessionRunning_ = false;
+    lastReply_ = rspFrame(server_.stopReply());
+    if (!sendAll(sessionFd_, lastReply_)) {
+        sessionDone_ = true;
+        return;
+    }
+    serveStopped();
+}
+
+void
+GdbSocket::finishSession(uint8_t exitCode)
+{
+    if (sessionActive() && sessionRunning_) {
+        char reply[8];
+        std::snprintf(reply, sizeof(reply), "W%02x", exitCode);
+        sendAll(sessionFd_, rspFrame(reply));
+    }
+    sessionDone_ = true;
+    sessionFd_ = -1;
+}
+
+int
+GdbSocket::acceptTcp(uint16_t port, uint16_t *boundPort)
+{
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) {
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listener, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listener, 1) != 0) {
+        ::close(listener);
+        return -1;
+    }
+    socklen_t addrLen = sizeof(addr);
+    if (::getsockname(listener,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      &addrLen) == 0 &&
+        boundPort != nullptr) {
+        *boundPort = ntohs(addr.sin_port);
+    }
+    inform("gdb stub: listening on 127.0.0.1:%u",
+           ntohs(addr.sin_port));
+    const int client = ::accept(listener, nullptr, nullptr);
+    ::close(listener);
+    if (client >= 0) {
+        inform("gdb stub: client attached");
+    }
+    return client;
+}
+
+bool
+GdbSocket::listenTcp(uint16_t port, uint16_t *boundPort)
+{
+    const int client = acceptTcp(port, boundPort);
+    if (client < 0) {
+        return false;
+    }
+    serveFd(client);
+    ::close(client);
+    inform("gdb stub: client detached");
+    return true;
+}
+
+} // namespace cheriot::debug

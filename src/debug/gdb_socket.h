@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Byte-stream transport for the GDB stub.
+ *
+ * Owns the framing side of the protocol over any stream fd: feeds
+ * received bytes through RspFramer, acks (`+`/`-`) packets unless
+ * no-ack mode was negotiated, frames and retransmits replies, and
+ * installs an interrupt poll on the server so a `0x03` arriving while
+ * the guest is free-running stops it between resume slices.
+ *
+ * Two entry points: serveFd() speaks over an already-connected fd
+ * (tests use a socketpair; no network anywhere), and listenTcp()
+ * binds a loopback TCP port for a live `gdb` / scripted client.
+ */
+
+#ifndef CHERIOT_DEBUG_GDB_SOCKET_H
+#define CHERIOT_DEBUG_GDB_SOCKET_H
+
+#include "debug/gdb_server.h"
+#include "debug/rsp.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cheriot::debug
+{
+
+class GdbSocket
+{
+  public:
+    explicit GdbSocket(GdbServer &server) : server_(server) {}
+
+    /**
+     * Serve one client over the connected stream @p fd until it
+     * detaches, kills, or closes the connection. Returns the number
+     * of packets handled. Does not close @p fd.
+     */
+    uint64_t serveFd(int fd);
+
+    /**
+     * Bind 127.0.0.1:@p port, accept exactly one client, serve it,
+     * and close. @p boundPort (optional) receives the actual port
+     * (useful with port 0). False on any socket-layer failure.
+     */
+    bool listenTcp(uint16_t port, uint16_t *boundPort = nullptr);
+
+    /** Bind 127.0.0.1:@p port and accept exactly one client without
+     * serving it; returns the connected fd (-1 on failure). The
+     * listener is closed either way. */
+    static int acceptTcp(uint16_t port, uint16_t *boundPort = nullptr);
+
+    /** @name Externally-driven sessions
+     * For scheduler-paced simulations (GdbServer::setExternalRun):
+     * attach() serves the paused client until it requests a resume or
+     * detaches, then hands control back. The harness calls pump() at
+     * every pause point (scheduler slice boundary); when a stop is
+     * pending, pump() sends the deferred stop reply and blocks
+     * serving the client again. finishSession() reports target exit
+     * to a client still waiting on a resume. The caller owns @p fd
+     * throughout. @{ */
+    bool attach(int fd);
+    void pump();
+    void finishSession(uint8_t exitCode);
+    bool sessionActive() const
+    {
+        return sessionFd_ >= 0 && !sessionDone_;
+    }
+    /** @} */
+
+  private:
+    bool sendAll(int fd, const std::string &bytes);
+    /** Drain readable bytes without blocking; true if ^C was seen.
+     * Non-interrupt bytes are buffered for the main loop. */
+    bool pollInterrupt(int fd);
+    /** Blocking packet service while the target is paused; true when
+     * the client deferred a resume, false when the session ended. */
+    bool serveStopped();
+
+    GdbServer &server_;
+    RspFramer framer_;
+    std::string pending_; ///< Bytes read by the interrupt poll.
+    std::string lastReply_;
+    int sessionFd_ = -1; ///< attach()ed fd (externally owned).
+    bool sessionDone_ = false;
+    bool sessionRunning_ = false; ///< A resume is in flight.
+};
+
+} // namespace cheriot::debug
+
+#endif // CHERIOT_DEBUG_GDB_SOCKET_H

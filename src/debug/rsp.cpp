@@ -1,0 +1,242 @@
+#include "debug/rsp.h"
+
+#include <cstdio>
+
+namespace cheriot::debug
+{
+
+namespace
+{
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9') {
+        return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+        return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+        return c - 'A' + 10;
+    }
+    return -1;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+bool
+needsEscape(char c)
+{
+    return c == '$' || c == '#' || c == '}' || c == '*';
+}
+
+} // namespace
+
+std::string
+rspEscape(const std::string &payload)
+{
+    std::string out;
+    out.reserve(payload.size());
+    for (char c : payload) {
+        if (needsEscape(c)) {
+            out.push_back('}');
+            out.push_back(static_cast<char>(c ^ 0x20));
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+uint8_t
+rspChecksum(const std::string &payload)
+{
+    uint8_t sum = 0;
+    for (char c : payload) {
+        sum = static_cast<uint8_t>(sum + static_cast<uint8_t>(c));
+    }
+    return sum;
+}
+
+std::string
+rspFrame(const std::string &payload)
+{
+    const std::string escaped = rspEscape(payload);
+    std::string out;
+    out.reserve(escaped.size() + 4);
+    out.push_back('$');
+    out += escaped;
+    out.push_back('#');
+    const uint8_t sum = rspChecksum(escaped);
+    out.push_back(kHexDigits[sum >> 4]);
+    out.push_back(kHexDigits[sum & 0xf]);
+    return out;
+}
+
+std::string
+toHex(const uint8_t *data, size_t size)
+{
+    std::string out;
+    out.reserve(size * 2);
+    for (size_t i = 0; i < size; ++i) {
+        out.push_back(kHexDigits[data[i] >> 4]);
+        out.push_back(kHexDigits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+std::string
+toHex(const std::string &data)
+{
+    return toHex(reinterpret_cast<const uint8_t *>(data.data()),
+                 data.size());
+}
+
+std::string
+hexLe(uint64_t value, unsigned bytes)
+{
+    std::string out;
+    out.reserve(bytes * 2);
+    for (unsigned i = 0; i < bytes; ++i) {
+        const uint8_t b = static_cast<uint8_t>(value >> (8 * i));
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0xf]);
+    }
+    return out;
+}
+
+bool
+parseHex(const std::string &text, uint64_t *out)
+{
+    if (text.empty() || text.size() > 16) {
+        return false;
+    }
+    uint64_t value = 0;
+    for (char c : text) {
+        const int digit = hexDigit(c);
+        if (digit < 0) {
+            return false;
+        }
+        value = (value << 4) | static_cast<uint64_t>(digit);
+    }
+    *out = value;
+    return true;
+}
+
+bool
+parseHexBytes(const std::string &text, std::vector<uint8_t> *out)
+{
+    if (text.size() % 2 != 0) {
+        return false;
+    }
+    out->clear();
+    out->reserve(text.size() / 2);
+    for (size_t i = 0; i < text.size(); i += 2) {
+        const int hi = hexDigit(text[i]);
+        const int lo = hexDigit(text[i + 1]);
+        if (hi < 0 || lo < 0) {
+            return false;
+        }
+        out->push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return true;
+}
+
+std::vector<RspEvent>
+RspFramer::feed(const uint8_t *data, size_t size)
+{
+    std::vector<RspEvent> events;
+    for (size_t i = 0; i < size; ++i) {
+        const uint8_t byte = data[i];
+        switch (state_) {
+          case State::Idle:
+            if (byte == '$') {
+                state_ = State::Payload;
+                payload_.clear();
+                sum_ = 0;
+                escaped_ = false;
+                overrun_ = false;
+            } else if (byte == 0x03) {
+                events.push_back({RspEvent::Kind::Interrupt, {}});
+            } else if (byte == '+') {
+                events.push_back({RspEvent::Kind::Ack, {}});
+            } else if (byte == '-') {
+                events.push_back({RspEvent::Kind::ResendReq, {}});
+            }
+            // Anything else between packets is line noise; drop it.
+            break;
+
+          case State::Payload:
+            if (byte == '#') {
+                state_ = State::Check1;
+                break;
+            }
+            if (byte == '$') {
+                // A '$' mid-packet means the previous packet was
+                // truncated; abandon it and start over.
+                payload_.clear();
+                sum_ = 0;
+                escaped_ = false;
+                break;
+            }
+            // The checksum covers the *wire* bytes, escapes included.
+            sum_ = static_cast<uint8_t>(sum_ + byte);
+            if (escaped_) {
+                payload_.push_back(static_cast<char>(byte ^ 0x20));
+                escaped_ = false;
+            } else if (byte == '}') {
+                escaped_ = true;
+            } else {
+                payload_.push_back(static_cast<char>(byte));
+            }
+            if (payload_.size() > maxPayload_) {
+                state_ = State::Overrun;
+                overrun_ = true;
+                payload_.clear();
+            }
+            break;
+
+          case State::Check1: {
+            const int digit = hexDigit(static_cast<char>(byte));
+            if (digit < 0) {
+                events.push_back({RspEvent::Kind::Nak, {}});
+                state_ = State::Idle;
+                break;
+            }
+            checkHigh_ = static_cast<uint8_t>(digit);
+            state_ = State::Check2;
+            break;
+          }
+
+          case State::Check2: {
+            const int digit = hexDigit(static_cast<char>(byte));
+            state_ = State::Idle;
+            if (digit < 0) {
+                events.push_back({RspEvent::Kind::Nak, {}});
+                break;
+            }
+            const uint8_t expect =
+                static_cast<uint8_t>((checkHigh_ << 4) | digit);
+            if (overrun_ || expect != sum_ || escaped_) {
+                // Oversized, wrong checksum, or ended mid-escape.
+                overrun_ = false;
+                events.push_back({RspEvent::Kind::Nak, {}});
+                break;
+            }
+            events.push_back({RspEvent::Kind::Packet, payload_});
+            break;
+          }
+
+          case State::Overrun:
+            // Swallow until the terminator; overrun_ forces the Nak.
+            if (byte == '#') {
+                state_ = State::Check1;
+            }
+            break;
+        }
+    }
+    return events;
+}
+
+} // namespace cheriot::debug

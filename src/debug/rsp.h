@@ -1,0 +1,96 @@
+/**
+ * @file
+ * GDB Remote Serial Protocol framing.
+ *
+ * The wire format is `$<payload>#<2-hex-digit checksum>` where the
+ * checksum is the modulo-256 sum of the payload bytes, acknowledged
+ * with `+` (good) or `-` (resend). Payload bytes `$`, `#`, `}` and
+ * `*` are escaped as `}` followed by the byte XOR 0x20. A single
+ * `0x03` byte outside any packet is the interrupt request (^C).
+ *
+ * The framer is a byte-at-a-time state machine deliberately tolerant
+ * of garbage: anything outside `$...#xx` is dropped (except `0x03`),
+ * a bad checksum yields a Nak event and the packet is discarded, and
+ * a payload longer than the configured bound is discarded without
+ * ever growing the buffer past the bound — a malformed or hostile
+ * client can never crash or balloon the stub.
+ */
+
+#ifndef CHERIOT_DEBUG_RSP_H
+#define CHERIOT_DEBUG_RSP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cheriot::debug
+{
+
+/** Modulo-256 sum of @p payload (the RSP checksum). */
+uint8_t rspChecksum(const std::string &payload);
+
+/** Wrap @p payload as `$...#xx`, escaping `$ # } *`. */
+std::string rspFrame(const std::string &payload);
+
+/** Escape one payload for transmission (no framing). */
+std::string rspEscape(const std::string &payload);
+
+/** @name Hex helpers (RSP uses lowercase hex throughout) @{ */
+std::string toHex(const uint8_t *data, size_t size);
+std::string toHex(const std::string &data);
+/** Little-endian hex image of @p value over @p bytes bytes. */
+std::string hexLe(uint64_t value, unsigned bytes);
+/** Parse hex; false on any non-hex character or empty input. */
+bool parseHex(const std::string &text, uint64_t *out);
+/** Parse pairs of hex digits into bytes; false on odd/garbage. */
+bool parseHexBytes(const std::string &text, std::vector<uint8_t> *out);
+/** @} */
+
+/** One event produced by feeding bytes to the framer. */
+struct RspEvent
+{
+    enum class Kind : uint8_t
+    {
+        Packet,    ///< A well-formed packet; payload is unescaped.
+        Nak,       ///< Bad checksum or oversized packet: send `-`.
+        Interrupt, ///< 0x03 outside a packet (^C).
+        Ack,       ///< `+` received (informational).
+        ResendReq, ///< `-` received: retransmit the last reply.
+    };
+    Kind kind;
+    std::string payload;
+};
+
+class RspFramer
+{
+  public:
+    /** @param maxPayload discard bound for a single packet. */
+    explicit RspFramer(size_t maxPayload = 1u << 16)
+        : maxPayload_(maxPayload)
+    {}
+
+    /** Feed raw bytes; returns the events they complete, in order. */
+    std::vector<RspEvent> feed(const uint8_t *data, size_t size);
+
+  private:
+    enum class State : uint8_t
+    {
+        Idle,     ///< Outside a packet.
+        Payload,  ///< Between `$` and `#`.
+        Check1,   ///< First checksum digit.
+        Check2,   ///< Second checksum digit.
+        Overrun,  ///< Oversized payload: discarding until `#xx`.
+    };
+
+    size_t maxPayload_;
+    State state_ = State::Idle;
+    bool escaped_ = false;
+    bool overrun_ = false;
+    std::string payload_;
+    uint8_t sum_ = 0;
+    uint8_t checkHigh_ = 0;
+};
+
+} // namespace cheriot::debug
+
+#endif // CHERIOT_DEBUG_RSP_H

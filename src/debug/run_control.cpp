@@ -1,0 +1,130 @@
+#include "debug/run_control.h"
+
+namespace cheriot::debug
+{
+
+namespace
+{
+
+bool
+isCheriCause(sim::TrapCause cause)
+{
+    switch (cause) {
+      case sim::TrapCause::CheriTagViolation:
+      case sim::TrapCause::CheriSealViolation:
+      case sim::TrapCause::CheriPermViolation:
+      case sim::TrapCause::CheriBoundsViolation:
+      case sim::TrapCause::CheriStoreLocalViolation:
+      case sim::TrapCause::CompartmentQuarantined:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+RunControl::setBreakpoint(uint32_t addr, bool hardware)
+{
+    (hardware ? hwBreakpoints_ : swBreakpoints_).insert(addr);
+}
+
+bool
+RunControl::clearBreakpoint(uint32_t addr, bool hardware)
+{
+    return (hardware ? hwBreakpoints_ : swBreakpoints_).erase(addr) > 0;
+}
+
+bool
+RunControl::hitsBreakpoint(uint32_t pc) const
+{
+    return swBreakpoints_.count(pc) != 0 ||
+           hwBreakpoints_.count(pc) != 0;
+}
+
+void
+RunControl::setWatchpoint(WatchKind kind, uint32_t addr, uint32_t len)
+{
+    watchpoints_.insert({kind, addr, len == 0 ? 1 : len});
+}
+
+bool
+RunControl::clearWatchpoint(WatchKind kind, uint32_t addr, uint32_t len)
+{
+    return watchpoints_.erase({kind, addr, len == 0 ? 1 : len}) > 0;
+}
+
+void
+RunControl::noteMemAccess(bool isWrite, uint32_t addr, uint32_t bytes)
+{
+    if (stopPending() || watchpoints_.empty()) {
+        return;
+    }
+    for (const Watchpoint &w : watchpoints_) {
+        const bool kindMatches =
+            w.kind == WatchKind::Access ||
+            (isWrite ? w.kind == WatchKind::Write
+                     : w.kind == WatchKind::Read);
+        if (!kindMatches) {
+            continue;
+        }
+        // Ranges overlap?
+        if (addr < w.addr + w.len && w.addr < addr + bytes) {
+            stop_.reason = StopReason::Watchpoint;
+            stop_.watchKind = w.kind;
+            stop_.watchAddr = w.addr;
+            return;
+        }
+    }
+}
+
+void
+RunControl::noteCapCheckFail(sim::TrapCause cause, uint32_t addr,
+                             uint32_t pc)
+{
+    if (stopPending() || !breakOnCapFault_ || !isCheriCause(cause)) {
+        return;
+    }
+    stop_.reason = StopReason::CapFault;
+    stop_.pc = pc;
+    stop_.cause = cause;
+    stop_.tval = addr;
+}
+
+void
+RunControl::noteTrap(sim::TrapCause cause, uint32_t tval, uint32_t pc)
+{
+    if (stopPending() || !breakOnCapFault_ || !isCheriCause(cause)) {
+        return;
+    }
+    stop_.reason = StopReason::CapFault;
+    stop_.pc = pc;
+    stop_.cause = cause;
+    stop_.tval = tval;
+}
+
+void
+RunControl::stopWith(StopReason reason, uint32_t pc)
+{
+    stop_.reason = reason;
+    stop_.pc = pc;
+}
+
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::None: return "none";
+      case StopReason::SwBreakpoint: return "swbreak";
+      case StopReason::HwBreakpoint: return "hwbreak";
+      case StopReason::Watchpoint: return "watchpoint";
+      case StopReason::Step: return "step";
+      case StopReason::Interrupt: return "interrupt";
+      case StopReason::CapFault: return "capfault";
+      case StopReason::Halted: return "halted";
+    }
+    return "unknown";
+}
+
+} // namespace cheriot::debug

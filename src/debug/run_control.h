@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Debugger run control: the seam between the Machine's execution loop
+ * and the GDB stub.
+ *
+ * A RunControl instance holds the breakpoint/watchpoint sets and the
+ * pending stop state. The Machine consults it from exactly three
+ * places: Machine::runControl() checks software/hardware breakpoints
+ * against the next PC before executing, the checked memory operations
+ * report completed accesses (watchpoints) and capability-check
+ * failures (break-on-capability-fault), and Machine::raiseTrap
+ * reports every architectural trap. Because the checked memory
+ * operations are shared between the instruction executor and the
+ * modelled RTOS primitives, watchpoints and capability-fault breaks
+ * fire identically for guest instructions and for kernel-modelled
+ * accesses.
+ *
+ * Everything here is observation-only bookkeeping: RunControl never
+ * mutates machine state, is not serialized, and detaching a debugger
+ * leaves the machine bit-identical to a run that never had one.
+ */
+
+#ifndef CHERIOT_DEBUG_RUN_CONTROL_H
+#define CHERIOT_DEBUG_RUN_CONTROL_H
+
+#include "sim/csr.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace cheriot::debug
+{
+
+/** Watchpoint kinds, mirroring the RSP Z2/Z3/Z4 packets. */
+enum class WatchKind : uint8_t
+{
+    Write,  ///< Z2
+    Read,   ///< Z3
+    Access, ///< Z4
+};
+
+/** Why the run loop handed control back to the debugger. */
+enum class StopReason : uint8_t
+{
+    None,
+    SwBreakpoint,   ///< Z0 hit (or guest EBREAK).
+    HwBreakpoint,   ///< Z1 hit.
+    Watchpoint,     ///< Data watchpoint hit.
+    Step,           ///< Single-step completed.
+    Interrupt,      ///< Client ^C.
+    CapFault,       ///< Capability check failed (cause recorded).
+    Halted,         ///< The machine halted (exit / double trap).
+};
+
+struct StopState
+{
+    StopReason reason = StopReason::None;
+    uint32_t pc = 0;
+    /** Watchpoint details (Watchpoint only). */
+    WatchKind watchKind = WatchKind::Write;
+    uint32_t watchAddr = 0;
+    /** Trap details (CapFault only). */
+    sim::TrapCause cause = sim::TrapCause::None;
+    uint32_t tval = 0;
+};
+
+class RunControl
+{
+  public:
+    /** @name Breakpoints @{ */
+    void setBreakpoint(uint32_t addr, bool hardware);
+    bool clearBreakpoint(uint32_t addr, bool hardware);
+    bool hitsBreakpoint(uint32_t pc) const;
+    bool hitsHwBreakpoint(uint32_t pc) const
+    {
+        return hwBreakpoints_.count(pc) != 0;
+    }
+    size_t breakpointCount() const
+    {
+        return swBreakpoints_.size() + hwBreakpoints_.size();
+    }
+    /** @} */
+
+    /** @name Watchpoints (byte ranges) @{ */
+    void setWatchpoint(WatchKind kind, uint32_t addr, uint32_t len);
+    bool clearWatchpoint(WatchKind kind, uint32_t addr, uint32_t len);
+    bool hasWatchpoints() const { return !watchpoints_.empty(); }
+    /** @} */
+
+    /** Break whenever a capability check fails (default on: the whole
+     * point of attaching gdb to this machine). */
+    void setBreakOnCapFault(bool on) { breakOnCapFault_ = on; }
+    bool breakOnCapFault() const { return breakOnCapFault_; }
+
+    /** @name Machine-side hooks @{ */
+    /** A checked memory access completed. */
+    void noteMemAccess(bool isWrite, uint32_t addr, uint32_t bytes);
+    /** A checked memory access failed its capability check before
+     * touching memory. */
+    void noteCapCheckFail(sim::TrapCause cause, uint32_t addr,
+                          uint32_t pc);
+    /** An architectural trap is being taken. */
+    void noteTrap(sim::TrapCause cause, uint32_t tval, uint32_t pc);
+    /** @} */
+
+    /** @name Stop state @{ */
+    bool stopPending() const
+    {
+        return stop_.reason != StopReason::None;
+    }
+    const StopState &stop() const { return stop_; }
+    void clearStop() { stop_ = StopState{}; }
+    void stopWith(StopReason reason, uint32_t pc);
+    /** @} */
+
+    /** @name Client interrupt (^C) @{ */
+    void requestInterrupt() { interruptRequested_ = true; }
+    bool takeInterrupt()
+    {
+        const bool was = interruptRequested_;
+        interruptRequested_ = false;
+        return was;
+    }
+    /** @} */
+
+  private:
+    struct Watchpoint
+    {
+        WatchKind kind;
+        uint32_t addr;
+        uint32_t len;
+        bool operator<(const Watchpoint &other) const
+        {
+            if (kind != other.kind) {
+                return kind < other.kind;
+            }
+            if (addr != other.addr) {
+                return addr < other.addr;
+            }
+            return len < other.len;
+        }
+    };
+
+    std::set<uint32_t> swBreakpoints_;
+    std::set<uint32_t> hwBreakpoints_;
+    std::set<Watchpoint> watchpoints_;
+    bool breakOnCapFault_ = true;
+    bool interruptRequested_ = false;
+    StopState stop_;
+};
+
+/** Human-readable stop reason (diagnostics / qCheriot.fault). */
+const char *stopReasonName(StopReason reason);
+
+} // namespace cheriot::debug
+
+#endif // CHERIOT_DEBUG_RUN_CONTROL_H

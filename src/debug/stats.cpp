@@ -1,0 +1,33 @@
+#include "debug/stats.h"
+
+namespace cheriot::debug
+{
+
+void
+SimStats::attach(const StatGroup &group)
+{
+    groups_.push_back(&group);
+}
+
+void
+SimStats::attachCounter(const std::string &name, const Counter &counter)
+{
+    extras_.emplace_back(name, &counter);
+}
+
+std::map<std::string, uint64_t>
+SimStats::snapshot() const
+{
+    std::map<std::string, uint64_t> result;
+    for (const StatGroup *group : groups_) {
+        for (const auto &[name, value] : group->snapshot()) {
+            result[name] = value;
+        }
+    }
+    for (const auto &[name, counter] : extras_) {
+        result[name] = counter->value();
+    }
+    return result;
+}
+
+} // namespace cheriot::debug

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SimStats: the unified perf-counter registry for one simulated
+ * system.
+ *
+ * Components keep owning their counters and StatGroups exactly as
+ * before; SimStats is a flat directory over them. The Machine attaches
+ * its own group plus every memory/revoker-side group at construction,
+ * and the Kernel attaches the RTOS-side groups (switcher,
+ * per-compartment cycle attribution) when it boots on the machine, so
+ * any holder of a Machine reference — a bench harness, the GDB stub's
+ * qXfer:cheriot-stats handler — sees one coherent name → value map.
+ *
+ * None of the counters reached exclusively through SimStats are part
+ * of the snapshot image: they are measurement, not architectural
+ * state, and a restored run owes them nothing (the same contract the
+ * fault injector follows). Counters that *are* serialized (the
+ * machine's retired/loads/stores set, the bus transaction counters)
+ * appear here too — the registry only reads.
+ */
+
+#ifndef CHERIOT_DEBUG_STATS_H
+#define CHERIOT_DEBUG_STATS_H
+
+#include "util/stats.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cheriot::debug
+{
+
+class SimStats
+{
+  public:
+    /** Attach @p group; its counters appear in every later snapshot
+     * under "<group>.<counter>". The group must outlive the registry
+     * user (in practice: component groups live as long as the
+     * Machine/Kernel that registered them). */
+    void attach(const StatGroup &group);
+
+    /** Register one free-standing counter under @p name verbatim
+     * (used for dynamically created counters, e.g. per-compartment
+     * cycle attribution). */
+    void attachCounter(const std::string &name, const Counter &counter);
+
+    /** Flat snapshot of every attached counter. Stable: iterating a
+     * map yields a deterministic name order, and counter values are
+     * read at one point in time (the simulator is single-threaded per
+     * machine). */
+    std::map<std::string, uint64_t> snapshot() const;
+
+    size_t groupCount() const { return groups_.size(); }
+
+  private:
+    std::vector<const StatGroup *> groups_;
+    std::vector<std::pair<std::string, const Counter *>> extras_;
+};
+
+} // namespace cheriot::debug
+
+#endif // CHERIOT_DEBUG_STATS_H

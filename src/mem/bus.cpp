@@ -10,6 +10,7 @@ BusResult
 Bus::transact(unsigned beats, fault::FaultInjector *injector)
 {
     transactions++;
+    this->beats += beats;
     if (injector == nullptr) {
         return BusResult{};
     }

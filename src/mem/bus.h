@@ -96,6 +96,7 @@ class Bus
         stats_.registerCounter("retries", retries);
         stats_.registerCounter("delayCycles", delayCycles);
         stats_.registerCounter("errors", errors);
+        stats_.registerCounter("beats", beats);
     }
 
     BusWidth width() const { return width_; }
@@ -115,6 +116,10 @@ class Bus
     Counter retries;      ///< Replays after drops.
     Counter delayCycles;  ///< Cycles lost to delays and backoff.
     Counter errors;       ///< Transactions that exhausted retries.
+    /** Data beats moved on the core's load-store port. Diagnostic
+     * only — not serialized, so snapshot layout and determinism
+     * digests are unchanged. */
+    Counter beats;
 
     StatGroup &stats() { return stats_; }
 

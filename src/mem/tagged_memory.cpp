@@ -74,6 +74,26 @@ TaggedMemory::peek32(uint32_t addr) const
     return value;
 }
 
+uint8_t
+TaggedMemory::peek8(uint32_t addr) const
+{
+    return data_[offsetOf(addr, 1, 1)];
+}
+
+void
+TaggedMemory::debugWrite8(uint32_t addr, uint8_t value)
+{
+    const uint32_t off = offsetOf(addr, 1, 1);
+    data_[off] = value;
+    // The tag-clearing rule is architectural, not a counter: a
+    // debugger poke still invalidates the half-granule it disturbs
+    // (no back door for forging capabilities), but the access
+    // counters stay untouched so a detach leaves the serialized
+    // machine state bit-identical to an undebugged run.
+    microTags_[off / 8] &= static_cast<uint8_t>(
+        ~((off % 8) < 4 ? 0x1 : 0x2));
+}
+
 void
 TaggedMemory::write8(uint32_t addr, uint8_t value)
 {

@@ -74,6 +74,18 @@ class TaggedMemory
      * counters that are part of the serialized machine state.
      */
     uint32_t peek32(uint32_t addr) const;
+    /** Byte read bypassing the access counters (debugger reads must
+     * not perturb serialized counter state). */
+    uint8_t peek8(uint32_t addr) const;
+    /**
+     * Debugger byte write: stores the byte and clears the covering
+     * half's micro-tag (the tag-clearing rule holds for debugger
+     * pokes too — there is no back door that forges capabilities),
+     * but bypasses the access counters so the only serialized state
+     * that changes is the memory the debugger explicitly asked to
+     * change.
+     */
+    void debugWrite8(uint32_t addr, uint8_t value);
     void write8(uint32_t addr, uint8_t value);
     void write16(uint32_t addr, uint16_t value);
     void write32(uint32_t addr, uint32_t value);

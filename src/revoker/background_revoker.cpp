@@ -19,6 +19,7 @@ BackgroundRevoker::BackgroundRevoker(mem::TaggedMemory &sram,
     stats_.registerCounter("portCycles", portCycles);
     stats_.registerCounter("stallCycles", stallCycles);
     stats_.registerCounter("kicksReceived", kicksReceived);
+    stats_.registerCounter("sweepsCompleted", sweepsCompleted);
 }
 
 bool
@@ -54,6 +55,7 @@ BackgroundRevoker::finishSweep()
         return;
     }
     ++epoch_; // Even: idle.
+    sweepsCompleted++;
     if (completionInterrupt_) {
         irqPending_ = true;
     }

@@ -116,6 +116,9 @@ class BackgroundRevoker : public mem::MmioDevice
     Counter portCycles;      ///< Memory-port cycles consumed.
     Counter stallCycles;     ///< Cycles lost to injected stalls.
     Counter kicksReceived;   ///< MMIO kicks observed.
+    /** Full sweep passes finished. Diagnostic only — not serialized
+     * (the architectural sweep progress is the epoch). */
+    Counter sweepsCompleted;
 
     StatGroup &stats() { return stats_; }
 

@@ -20,6 +20,7 @@ RevocationBitmap::RevocationBitmap(uint32_t heapBase, uint32_t heapSize,
     }
     const uint32_t bitCount = heapSize / granule;
     words_.assign((bitCount + 31) / 32, 0);
+    stats_.registerCounter("lookups", lookups);
 }
 
 uint32_t
@@ -31,6 +32,7 @@ RevocationBitmap::bitIndexOf(uint32_t addr) const
 bool
 RevocationBitmap::isRevoked(uint32_t addr) const
 {
+    lookups++;
     if (!covers(addr)) {
         return false;
     }

@@ -15,6 +15,7 @@
 #define CHERIOT_REVOKER_REVOCATION_BITMAP_H
 
 #include "mem/mmio.h"
+#include "util/stats.h"
 
 #include <cstdint>
 #include <vector>
@@ -80,6 +81,12 @@ class RevocationBitmap : public mem::MmioDevice
     void write32(uint32_t offset, uint32_t value) override;
     /** @} */
 
+    /** Revocation-bit lookups (load filter + revoker sweeps).
+     * Diagnostic only — not serialized. */
+    mutable Counter lookups;
+
+    StatGroup &stats() { return stats_; }
+
   private:
     uint32_t bitIndexOf(uint32_t addr) const;
 
@@ -87,6 +94,7 @@ class RevocationBitmap : public mem::MmioDevice
     uint32_t heapSize_;
     uint32_t granule_;
     std::vector<uint32_t> words_;
+    StatGroup stats_{"bitmap"};
 };
 
 } // namespace cheriot::revoker

@@ -79,6 +79,11 @@ Kernel::Kernel(sim::Machine &machine)
     const uint32_t saveBase = loader_.allocRegion(saveBytes, 8);
     scheduler_ = std::make_unique<Scheduler>(
         guest_, loader_.dataCap(saveBase, saveBytes, /*storeLocal=*/true));
+
+    // Publish the switcher's counters (and its dynamic
+    // per-compartment cycle attribution) to the machine-wide
+    // stats registry the debug stub and bench harnesses read.
+    switcher_.attachSimStats(machine_.simStats());
 }
 
 Kernel::~Kernel() = default;

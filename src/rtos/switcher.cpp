@@ -1,6 +1,7 @@
 #include "rtos/switcher.h"
 
 #include "cap/permissions.h"
+#include "debug/stats.h"
 #include "fault/fault_injector.h"
 #include "rtos/kernel.h"
 #include "rtos/watchdog.h"
@@ -14,6 +15,48 @@ namespace cheriot::rtos
 {
 
 using cap::Capability;
+
+void
+Switcher::attachSimStats(debug::SimStats &stats)
+{
+    simStats_ = &stats;
+    stats.attach(stats_);
+    for (auto &entry : compartmentCycles_) {
+        stats.attachCounter("compartment." + entry.first + ".cycles",
+                            entry.second);
+    }
+}
+
+Counter &
+Switcher::cyclesFor(const std::string &name)
+{
+    auto it = compartmentCycles_.find(name);
+    if (it == compartmentCycles_.end()) {
+        it = compartmentCycles_.emplace(name, Counter{}).first;
+        if (simStats_ != nullptr) {
+            simStats_->attachCounter("compartment." + name + ".cycles",
+                                     it->second);
+        }
+    }
+    return it->second;
+}
+
+uint64_t
+Switcher::cyclesAttributedTo(const std::string &name) const
+{
+    const auto it = compartmentCycles_.find(name);
+    return it == compartmentCycles_.end() ? 0 : it->second.value();
+}
+
+void
+Switcher::switchTo(const std::string &name)
+{
+    const uint64_t now = guest_.machine().cycles();
+    cyclesFor(currentCompartment_) += now - attributionMark_;
+    attributionMark_ = now;
+    currentCompartment_ = name;
+    compartmentSwitches++;
+}
 
 uint32_t
 Switcher::zeroStack(Thread &thread, uint32_t sp)
@@ -112,6 +155,12 @@ Switcher::call(Kernel &kernel, Thread &thread, const Import &import,
         machine.setInterruptsEnabled(false);
     }
 
+    // Everything up to here (the switcher prologue) is charged to the
+    // caller; from the switch until the matching return, cycles are
+    // attributed to the callee — including any error handler it runs.
+    const std::string attributionCaller = currentCompartment_;
+    switchTo(import.compartment->name());
+
     // --- Callee runs ----------------------------------------------------
     CompartmentContext context{kernel, thread, *import.compartment, guest_,
                                calleeStack, callerSp};
@@ -139,6 +188,10 @@ Switcher::call(Kernel &kernel, Thread &thread, const Import &import,
         result =
             handleCalleeFault(kernel, thread, import, context, result);
     }
+
+    // The callee (and its error handler, if one ran) is done; the
+    // switcher epilogue's cycles belong to the caller again.
+    switchTo(attributionCaller);
 
     // Zero exactly the stack the callee used.
     thread.setSp(callerSp);

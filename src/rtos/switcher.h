@@ -25,6 +25,14 @@
 #include "rtos/thread.h"
 #include "util/stats.h"
 
+#include <map>
+#include <string>
+
+namespace cheriot::debug
+{
+class SimStats;
+} // namespace cheriot::debug
+
 namespace cheriot::rtos
 {
 
@@ -53,6 +61,7 @@ class Switcher
         stats_.registerCounter("handlerInvocations", handlerInvocations);
         stats_.registerCounter("forcedUnwindFrames", forcedUnwindFrames);
         stats_.registerCounter("rejectedCalls", rejectedCalls);
+        stats_.registerCounter("compartmentSwitches", compartmentSwitches);
     }
 
     /**
@@ -74,10 +83,38 @@ class Switcher
     Counter handlerInvocations; ///< Error handlers entered.
     Counter forcedUnwindFrames; ///< Frames unwound past forcibly.
     Counter rejectedCalls;      ///< Fast-failed (unwind/quarantine).
+    /** Compartment transitions observed (call entry + return each
+     * count one). Diagnostic only — not serialized. */
+    Counter compartmentSwitches;
 
     StatGroup &stats() { return stats_; }
 
+    /**
+     * Register the switcher's stat group and its dynamic
+     * per-compartment cycle counters ("compartment.<name>.cycles")
+     * with the machine-wide SimStats registry. Cycle attribution is
+     * sampled at compartment switch: all cycles elapsed since the
+     * previous switch are charged to the compartment that held the
+     * core. Diagnostic only — none of this state is serialized.
+     */
+    void attachSimStats(debug::SimStats &stats);
+
+    /** Name of the compartment currently holding the core ("kernel"
+     * outside any cross-compartment call). For the debug stub's
+     * qCheriot.compartment query. */
+    const std::string &currentCompartment() const
+    {
+        return currentCompartment_;
+    }
+
+    /** Cycles attributed so far to @p name (0 if never scheduled). */
+    uint64_t cyclesAttributedTo(const std::string &name) const;
+
   private:
+    /** Charge cycles since the last switch to the outgoing
+     * compartment and make @p name the attribution target. */
+    void switchTo(const std::string &name);
+    Counter &cyclesFor(const std::string &name);
     /** Zero the dirty part of the unused stack; returns bytes zeroed. */
     uint32_t zeroStack(Thread &thread, uint32_t sp);
 
@@ -94,6 +131,12 @@ class Switcher
 
     GuestContext &guest_;
     StatGroup stats_{"switcher"};
+    /** Per-compartment cycle attribution (std::map for stable Counter
+     * addresses — SimStats holds pointers into it). */
+    std::map<std::string, Counter> compartmentCycles_;
+    std::string currentCompartment_{"kernel"};
+    uint64_t attributionMark_ = 0;
+    debug::SimStats *simStats_ = nullptr;
 };
 
 } // namespace cheriot::rtos

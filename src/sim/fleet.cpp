@@ -494,6 +494,9 @@ Fleet::parallelPhase(const FleetTraffic &traffic)
     workers = std::max(1u, std::min(workers, count));
     if (workers <= 1 || count <= 1) {
         for (auto &node : nodes_) {
+            if (debugHeld(node->id())) {
+                continue;
+            }
             node->runSlice(round_, traffic, count);
         }
         return;
@@ -511,6 +514,9 @@ Fleet::parallelPhase(const FleetTraffic &traffic)
                     cursor.fetch_add(1, std::memory_order_relaxed);
                 if (id >= count) {
                     return;
+                }
+                if (debugHeld(id)) {
+                    continue;
                 }
                 nodes_[id]->runSlice(round_, traffic, count);
             }
@@ -605,6 +611,18 @@ Fleet::restartNode(uint32_t id)
 {
     nodes_.at(id)->restart();
     switch_.attachNic(ports_.at(id), &nodes_[id]->nic());
+}
+
+void
+Fleet::debugAttach(uint32_t id)
+{
+    if (id >= size()) {
+        panic("fleet: debugAttach to nonexistent node %u", id);
+    }
+    if (debugHeld_ != -1) {
+        panic("fleet: node %d is already debug-held", debugHeld_);
+    }
+    debugHeld_ = static_cast<int32_t>(id);
 }
 
 uint64_t

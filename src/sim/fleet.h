@@ -341,6 +341,21 @@ class Fleet
      * fresh NIC (the ChaosEngine quarantine path). */
     void restartNode(uint32_t id);
 
+    /** @name Debugger attach (round-barrier safe)
+     * While a node is held, run()/drain() park it: its slice is
+     * skipped (the debugger owns that Machine between rounds), while
+     * its outbox still drains and its NIC still receives — the rest
+     * of the fleet keeps its deterministic schedule. Attach/detach
+     * may only happen between rounds, which is the only time the
+     * caller holds control anyway (run() is synchronous). @{ */
+    void debugAttach(uint32_t id);
+    void debugDetach() { debugHeld_ = -1; }
+    bool debugHeld(uint32_t id) const
+    {
+        return debugHeld_ == static_cast<int32_t>(id);
+    }
+    /** @} */
+
     /** Fleet-wide invariant probes. @{ */
     uint64_t totalSafetyViolations();
     bool anyPeerDead();
@@ -364,6 +379,9 @@ class Fleet
     std::vector<uint32_t> ports_;
     ChaosEngine *chaos_ = nullptr;
     uint32_t round_ = 0;
+    /** Node id parked for a debugger, or -1. Not serialized: the
+     * debugger is an observer, not fleet state. */
+    int32_t debugHeld_ = -1;
     std::vector<uint32_t> fabricQuarantines_;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/machine.h"
 
+#include "debug/run_control.h"
 #include "fault/fault_injector.h"
 #include "snapshot/snapshot.h"
 #include "util/bits.h"
@@ -155,6 +156,17 @@ Machine::Machine(const MachineConfig &config)
     stats_.registerCounter("capLoads", capLoads);
     stats_.registerCounter("capStores", capStores);
     stats_.registerCounter("traps", traps_);
+    stats_.registerCounter("decodeFills", decodeFills);
+
+    // The unified registry: every component's group in one directory,
+    // queryable by bench harnesses and the GDB stub alike. The kernel
+    // attaches the RTOS-side groups when it boots on this machine.
+    simStats_.attach(stats_);
+    simStats_.attach(memory_.sram().stats());
+    simStats_.attach(bus_.stats());
+    simStats_.attach(bitmap_.stats());
+    simStats_.attach(filter_.stats());
+    simStats_.attach(bgRevoker_.stats());
 }
 
 uint32_t
@@ -246,7 +258,13 @@ Machine::loadData(const Capability &auth, uint32_t addr, unsigned bytes,
 {
     const TrapCause cause = checkAccess(auth, addr, bytes, cap::PermLoad);
     if (cause != TrapCause::None) {
+        if (runControl_ != nullptr) {
+            runControl_->noteCapCheckFail(cause, addr, pcc_.address());
+        }
         return cause;
+    }
+    if (runControl_ != nullptr) {
+        runControl_->noteMemAccess(/*isWrite=*/false, addr, bytes);
     }
     const unsigned beats = mem::dataBeats(config_.core.bus, bytes);
     mem::BusResult bt;
@@ -285,7 +303,13 @@ Machine::storeData(const Capability &auth, uint32_t addr, unsigned bytes,
 {
     const TrapCause cause = checkAccess(auth, addr, bytes, cap::PermStore);
     if (cause != TrapCause::None) {
+        if (runControl_ != nullptr) {
+            runControl_->noteCapCheckFail(cause, addr, pcc_.address());
+        }
         return cause;
+    }
+    if (runControl_ != nullptr) {
+        runControl_->noteMemAccess(/*isWrite=*/true, addr, bytes);
     }
     const unsigned beats = mem::dataBeats(config_.core.bus, bytes);
     mem::BusResult bt;
@@ -322,7 +346,13 @@ Machine::loadCap(const Capability &auth, uint32_t addr, Capability *out,
 {
     const TrapCause cause = checkAccess(auth, addr, 8, cap::PermLoad);
     if (cause != TrapCause::None) {
+        if (runControl_ != nullptr) {
+            runControl_->noteCapCheckFail(cause, addr, pcc_.address());
+        }
         return cause;
+    }
+    if (runControl_ != nullptr) {
+        runControl_->noteMemAccess(/*isWrite=*/false, addr, 8);
     }
     const unsigned beats = mem::capBeats(config_.core.bus);
     mem::BusResult bt;
@@ -362,20 +392,26 @@ TrapCause
 Machine::storeCap(const Capability &auth, uint32_t addr,
                   const Capability &value, bool charge)
 {
-    const TrapCause cause = checkAccess(auth, addr, 8, cap::PermStore);
-    if (cause != TrapCause::None) {
-        return cause;
-    }
-    if (value.tag()) {
+    TrapCause cause = checkAccess(auth, addr, 8, cap::PermStore);
+    if (cause == TrapCause::None && value.tag()) {
         if (!auth.perms().has(cap::PermMemCap)) {
-            return TrapCause::CheriPermViolation;
-        }
-        if (value.isLocal() && !auth.perms().has(cap::PermStoreLocal)) {
+            cause = TrapCause::CheriPermViolation;
+        } else if (value.isLocal() &&
+                   !auth.perms().has(cap::PermStoreLocal)) {
             // The 1-bit information-flow scheme (§2.6): local
             // capabilities may only be stored through SL authority
             // (in practice: only onto stacks).
-            return TrapCause::CheriStoreLocalViolation;
+            cause = TrapCause::CheriStoreLocalViolation;
         }
+    }
+    if (cause != TrapCause::None) {
+        if (runControl_ != nullptr) {
+            runControl_->noteCapCheckFail(cause, addr, pcc_.address());
+        }
+        return cause;
+    }
+    if (runControl_ != nullptr) {
+        runControl_->noteMemAccess(/*isWrite=*/true, addr, 8);
     }
     const unsigned beats = mem::capBeats(config_.core.bus);
     mem::BusResult bt;
@@ -411,15 +447,21 @@ Machine::zeroMemory(const Capability &auth, uint32_t addr, uint32_t bytes,
     if (bytes == 0) {
         return TrapCause::None;
     }
-    const TrapCause cause = checkAccess(auth, addr, 1, cap::PermStore);
-    if (cause != TrapCause::None) {
-        return cause;
+    TrapCause cause = checkAccess(auth, addr, 1, cap::PermStore);
+    if (cause == TrapCause::None && !auth.inBounds(addr, bytes)) {
+        cause = TrapCause::CheriBoundsViolation;
     }
-    if (!auth.inBounds(addr, bytes)) {
-        return TrapCause::CheriBoundsViolation;
+    if (cause != TrapCause::None) {
+        if (runControl_ != nullptr) {
+            runControl_->noteCapCheckFail(cause, addr, pcc_.address());
+        }
+        return cause;
     }
     if (!memory_.isSram(addr, bytes)) {
         return TrapCause::StoreAccessFault;
+    }
+    if (runControl_ != nullptr) {
+        runControl_->noteMemAccess(/*isWrite=*/true, addr, bytes);
     }
     memory_.sram().zeroRange(addr, bytes);
     bgRevoker_.snoopStore(addr, bytes);
@@ -441,6 +483,12 @@ Machine::raiseTrap(TrapCause cause, uint32_t tval)
 {
     traps_++;
     lastTrap_ = cause;
+    if (runControl_ != nullptr) {
+        // Idempotent with the checked-op hook: the first recorded
+        // stop wins, so the executor raising the trap for a failure
+        // the memory op already reported does not double-stop.
+        runControl_->noteTrap(cause, tval, pcc_.address());
+    }
     logf(LogLevel::Debug, "machine: trap %s (tval=0x%08x) at pc=0x%08x",
          trapCauseName(cause), tval, pcc_.address());
     csrs_.mcause = static_cast<uint32_t>(cause);
@@ -515,6 +563,7 @@ Machine::decodeAt(uint32_t pc)
         decodeCache_[index] =
             isa::decode(memory_.sram().peek32(pc), &error);
         decodeValid_[index] = true;
+        decodeFills++;
         if (!error.ok()) {
             // Keep the typed diagnosis so the illegal-instruction trap
             // can say precisely which field was reserved/malformed.
@@ -526,6 +575,98 @@ Machine::decodeAt(uint32_t pc)
         lastDecodeError_ = error;
     }
     return decodeCache_[index];
+}
+
+RunResult
+Machine::runControl(uint64_t maxInstructions, bool singleStep)
+{
+    if (runControl_ == nullptr) {
+        panic("runControl: no RunControl installed");
+    }
+    debug::RunControl &rc = *runControl_;
+    rc.clearStop();
+    const uint64_t startInstructions = instructions_;
+    const uint64_t startCycles = cycles_;
+    bool first = true;
+    while (!halted() &&
+           instructions_ - startInstructions < maxInstructions) {
+        const uint32_t pc = pcc_.address();
+        // gdb resumes *from* a stop: a breakpoint at the resume PC
+        // must not re-fire before the first instruction executes.
+        if (!first && rc.hitsBreakpoint(pc)) {
+            rc.stopWith(rc.hitsHwBreakpoint(pc)
+                            ? debug::StopReason::HwBreakpoint
+                            : debug::StopReason::SwBreakpoint,
+                        pc);
+            break;
+        }
+        first = false;
+        step();
+        if (rc.stopPending()) {
+            // A watchpoint or capability fault fired inside step();
+            // the instruction (and any trap entry) has completed.
+            break;
+        }
+        if (halted() && halt_ == HaltReason::Breakpoint) {
+            // Guest EBREAK: hand control to the debugger instead of
+            // staying halted — gdb treats it as a soft breakpoint.
+            clearHalt();
+            rc.stopWith(debug::StopReason::SwBreakpoint,
+                        pcc_.address());
+            break;
+        }
+        if (singleStep) {
+            rc.stopWith(debug::StopReason::Step, pcc_.address());
+            break;
+        }
+        if (rc.takeInterrupt()) {
+            rc.stopWith(debug::StopReason::Interrupt, pcc_.address());
+            break;
+        }
+    }
+    if (!rc.stopPending() && halted()) {
+        rc.stopWith(debug::StopReason::Halted, pcc_.address());
+    }
+    RunResult result;
+    result.reason = halted() ? halt_ : HaltReason::InstrLimit;
+    result.instructions = instructions_ - startInstructions;
+    result.cycles = cycles_ - startCycles;
+    return result;
+}
+
+bool
+Machine::debugReadMem(uint32_t addr, uint32_t len,
+                      std::vector<uint8_t> *out) const
+{
+    if (len == 0 || !memory_.sram().contains(addr, len)) {
+        return false;
+    }
+    out->clear();
+    out->reserve(len);
+    for (uint32_t i = 0; i < len; ++i) {
+        out->push_back(memory_.sram().peek8(addr + i));
+    }
+    return true;
+}
+
+bool
+Machine::debugWriteMem(uint32_t addr, const std::vector<uint8_t> &data)
+{
+    const uint32_t len = static_cast<uint32_t>(data.size());
+    if (len == 0 || !memory_.sram().contains(addr, len)) {
+        return false;
+    }
+    for (uint32_t i = 0; i < len; ++i) {
+        memory_.sram().debugWrite8(addr + i, data[i]);
+    }
+    // The bytes may overlap cached decodes.
+    const uint32_t firstWord = (addr - mem::kSramBase) / 4;
+    const uint32_t lastWord = (addr + len - 1 - mem::kSramBase) / 4;
+    for (uint32_t w = firstWord;
+         w <= lastWord && w < decodeValid_.size(); ++w) {
+        decodeValid_[w] = false;
+    }
+    return true;
 }
 
 RunResult

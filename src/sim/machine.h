@@ -17,6 +17,7 @@
 #define CHERIOT_SIM_MACHINE_H
 
 #include "cap/capability.h"
+#include "debug/stats.h"
 #include "isa/encoding.h"
 #include "mem/bus.h"
 #include "mem/memory_map.h"
@@ -36,6 +37,11 @@
 namespace cheriot::fault
 {
 class FaultInjector;
+}
+
+namespace cheriot::debug
+{
+class RunControl;
 }
 
 namespace cheriot::snapshot
@@ -205,6 +211,17 @@ class Machine
     void step();
     /** Run until halt, trap-to-nowhere, or @p maxInstructions. */
     RunResult run(uint64_t maxInstructions);
+    /**
+     * Run under debugger control: like run(), but the installed
+     * RunControl's breakpoints are checked against the next PC before
+     * each instruction, watchpoint/capability-fault stops recorded by
+     * the memory/trap hooks end the loop after the current
+     * instruction, and @p singleStep retires exactly one instruction.
+     * The loop never executes the instruction at the resume PC's
+     * breakpoint (gdb resumes *from* a breakpoint; the first
+     * iteration is exempt). Requires setRunControl().
+     */
+    RunResult runControl(uint64_t maxInstructions, bool singleStep);
     bool halted() const { return halt_ != HaltReason::Running; }
     HaltReason haltReason() const { return halt_; }
     void clearHalt() { halt_ = HaltReason::Running; }
@@ -258,12 +275,39 @@ class Machine
                                          const isa::Inst &inst)>;
     void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
 
+    /** @name Debugger seam
+     * The installed RunControl observes checked memory accesses
+     * (watchpoints), capability-check failures and traps; it never
+     * mutates machine state and is not serialized. Null detaches. @{ */
+    void setRunControl(debug::RunControl *rc) { runControl_ = rc; }
+    debug::RunControl *runControlHook() { return runControl_; }
+    /**
+     * Debugger memory read/write over SRAM, bypassing the bus, the
+     * access counters and the charge model (a JTAG-style back door;
+     * MMIO is refused — device reads have side effects). Writes obey
+     * the tag-clearing rule and invalidate touched decode-cache
+     * entries. False when the range is not SRAM.
+     */
+    bool debugReadMem(uint32_t addr, uint32_t len,
+                      std::vector<uint8_t> *out) const;
+    bool debugWriteMem(uint32_t addr, const std::vector<uint8_t> &data);
+    /** @} */
+
+    /** Unified counter registry over this machine's components (the
+     * kernel attaches its groups when it boots on this machine). */
+    debug::SimStats &simStats() { return simStats_; }
+    const debug::SimStats &simStats() const { return simStats_; }
+
     Counter instructionsRetired;
     Counter loads;
     Counter stores;
     Counter capLoads;
     Counter capStores;
     Counter traps_;
+    /** Decode-cache fills. Diagnostic only — deliberately not
+     * serialized: fills happen at restore-history-dependent points
+     * (see decodeAt), so a resumed run legitimately diverges here. */
+    Counter decodeFills;
 
   private:
     friend class Executor;
@@ -305,8 +349,10 @@ class Machine
     std::vector<bool> decodeValid_;
 
     TraceHook traceHook_;
+    debug::RunControl *runControl_ = nullptr;
 
     StatGroup stats_;
+    debug::SimStats simStats_;
 };
 
 } // namespace cheriot::sim

@@ -18,6 +18,42 @@
 namespace cheriot
 {
 
+/**
+ * Percentile of @p samples with linear interpolation between closest
+ * ranks (the R-7 estimator: rank = p/100 * (n-1)). Unlike the
+ * truncating nearest-rank picks the bench harnesses used to hand-roll,
+ * small sample counts do not collapse the tail — p99 of 10 samples
+ * interpolates between the two largest values instead of simply
+ * returning the maximum. @p samples need not be sorted; a sorted copy
+ * is taken. Returns 0 for an empty set.
+ */
+double percentileInterpolated(std::vector<uint64_t> samples, double p);
+
+/**
+ * Sampled-value distribution: records every observation and reports
+ * count/min/max/mean plus interpolated percentiles. Used by bench
+ * harnesses for latency distributions; not part of any snapshot.
+ */
+class Histogram
+{
+  public:
+    void record(uint64_t value);
+
+    uint64_t count() const { return samples_.size(); }
+    uint64_t min() const;
+    uint64_t max() const;
+    double mean() const;
+    /** Interpolated percentile (see percentileInterpolated). */
+    double percentile(double p) const;
+    /** Percentile rounded to the nearest integer (JSON-friendly). */
+    uint64_t percentileRounded(double p) const;
+
+    const std::vector<uint64_t> &samples() const { return samples_; }
+
+  private:
+    std::vector<uint64_t> samples_;
+};
+
 /** A named monotonically increasing 64-bit counter. */
 class Counter
 {

@@ -296,16 +296,52 @@ runIotApp(const IotAppConfig &config)
         config.maxRunCycles == 0
             ? endCycle
             : std::min(endCycle, measureStartCycle + config.maxRunCycles);
+    bool faultProbed = false;
     while (machine.cycles() < stopCycle) {
+        if (config.faultProbeAtCycle != 0 && !faultProbed &&
+            machine.cycles() >=
+                measureStartCycle + config.faultProbeAtCycle) {
+            // The scripted capability fault for the debugger
+            // walkthrough: a 16-byte heap view read 16 bytes past its
+            // top. The bounds check fails before memory is touched,
+            // so the probe leaves machine state (beyond the charged
+            // access cycles) untouched; an attached stub sees it as a
+            // CHERI bounds-violation stop through the checked-op
+            // hooks.
+            faultProbed = true;
+            const Capability probe =
+                Capability::memoryRoot()
+                    .withAddress(mem::kSramBase +
+                                 machineConfig.heapOffset)
+                    .withBounds(16);
+            uint32_t scratch = 0;
+            machine.loadData(probe, probe.base() + 32, 4,
+                             /*signExtend=*/false, &scratch);
+        }
+        if (config.debugPoll) {
+            config.debugPoll(machine, kernel);
+        }
         uint64_t slice = stopCycle - machine.cycles();
         if (config.checkpointIntervalCycles != 0) {
             slice = std::min(slice, config.checkpointIntervalCycles);
+        }
+        if (config.debugPoll || config.faultProbeAtCycle != 0) {
+            // Pause every simulated millisecond so the debug seam
+            // stays responsive (stop delivery, ^C) and the fault
+            // probe lands near its requested cycle.
+            slice = std::min(slice, config.clockHz / 1000);
         }
         scheduler.runFor(slice);
         if (config.checkpoints != nullptr &&
             machine.cycles() < endCycle) {
             config.checkpoints->store(takeCheckpoint());
         }
+    }
+    if (config.debugPoll) {
+        // One final poll with the run complete, so a ^C that raced
+        // the horizon still gets its stop reply (and a last look at
+        // the machine) before the harness reports target exit.
+        config.debugPoll(machine, kernel);
     }
 
     const uint64_t measured = machine.cycles() - measureStartCycle;

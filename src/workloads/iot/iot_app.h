@@ -21,10 +21,19 @@
 #include "snapshot/snapshot.h"
 
 #include <cstdint>
+#include <functional>
 
 namespace cheriot::fault
 {
 class FaultInjector;
+}
+namespace cheriot::sim
+{
+class Machine;
+}
+namespace cheriot::rtos
+{
+class Kernel;
 }
 
 namespace cheriot::workloads
@@ -63,6 +72,20 @@ struct IotAppConfig
     uint64_t maxRunCycles = 0;
     /** Resume from this image instead of starting fresh after boot. */
     const snapshot::SnapshotImage *resumeImage = nullptr;
+
+    /** @name Interactive debugging
+     * debugPoll (when set) is called at every outer scheduling slice
+     * boundary with the machine and kernel — the seam the e2e harness
+     * uses to serve an attached GDB stub (the machine is paused and
+     * consistent there). faultProbeAtCycle: at the first slice past
+     * this measured cycle, the harness performs one deliberate
+     * out-of-bounds read through a 16-byte heap capability — a
+     * scripted capability fault for the debugger walkthrough to break
+     * on (0 disables; the probe is host-issued and does not perturb
+     * the guest schedule). @{ */
+    std::function<void(sim::Machine &, rtos::Kernel &)> debugPoll;
+    uint64_t faultProbeAtCycle = 0;
+    /** @} */
     /** When set, receives the full system state (machine + kernel +
      * workload) at the start of the measured window — the pre-fault
      * image fault campaigns attach to repro records. */

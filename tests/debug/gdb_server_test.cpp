@@ -1,0 +1,449 @@
+/**
+ * @file
+ * GdbServer packet semantics, one handlePacket() call at a time: the
+ * register map and its guarded capability writes (no tag forging),
+ * clear-only ctags, counter-free memory access with tag clearing,
+ * breakpoint/watchpoint lifecycle, resume stop replies, the qCheriot
+ * query family, qXfer windowing, and the observation-only contract
+ * (an inspect-and-detach session leaves the machine digest
+ * untouched).
+ */
+
+#include "debug/gdb_server.h"
+
+#include "cap/capability.h"
+#include "debug/rsp.h"
+#include "isa/assembler.h"
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cheriot::debug
+{
+namespace
+{
+
+using namespace cheriot::isa;
+using cap::Capability;
+
+constexpr uint32_t kEntry = mem::kSramBase + 0x1000;
+constexpr uint32_t kDataAddr = mem::kSramBase + 0x4000;
+
+sim::MachineConfig
+testConfig()
+{
+    sim::MachineConfig config;
+    config.core = sim::CoreConfig::ibex();
+    config.sramSize = 128u << 10;
+    config.heapOffset = 64u << 10;
+    config.heapSize = 32u << 10;
+    return config;
+}
+
+/**
+ * Guest: one marker instruction, then derive a 16-byte bounded view
+ * of kDataAddr from the reset memory root, store through it, and
+ * ebreak. The labelled sites anchor the breakpoint/step tests.
+ */
+struct Program
+{
+    std::vector<uint32_t> words;
+    uint32_t stepTarget;  ///< Second instruction (after one `s`).
+    uint32_t storeSite;   ///< The in-bounds `sw` (break/watch anchor).
+    uint32_t afterStore;  ///< Instruction following the store.
+    uint32_t ebreakSite;  ///< The final ebreak.
+};
+
+Program
+buildProgram()
+{
+    Program p;
+    Assembler a(kEntry);
+    a.addi(A3, Zero, 1);
+    p.stepTarget = a.pc();
+    a.li(T0, static_cast<int32_t>(kDataAddr));
+    a.csetaddr(A2, A0, T0);
+    a.li(T1, 16);
+    a.csetbounds(A2, A2, T1);
+    a.li(T0, 0x77);
+    p.storeSite = a.pc();
+    a.sw(T0, A2, 0);
+    p.afterStore = a.pc();
+    a.addi(A4, Zero, 2);
+    p.ebreakSite = a.pc();
+    a.ebreak();
+    p.words = a.finish();
+    return p;
+}
+
+uint64_t
+decodeLe(const std::string &hex)
+{
+    std::vector<uint8_t> raw;
+    if (!parseHexBytes(hex, &raw) || raw.empty() || raw.size() > 8) {
+        return ~uint64_t{0};
+    }
+    uint64_t value = 0;
+    for (size_t i = 0; i < raw.size(); ++i) {
+        value |= static_cast<uint64_t>(raw[i]) << (8 * i);
+    }
+    return value;
+}
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+class GdbServerTest : public ::testing::Test
+{
+  protected:
+    GdbServerTest()
+        : program_(buildProgram()), machine_(testConfig()),
+          server_(machine_)
+    {
+        machine_.loadProgram(program_.words, kEntry);
+        machine_.resetCpu(kEntry);
+        server_.setResumeBudget(1u << 12);
+    }
+
+    std::string packet(const std::string &payload)
+    {
+        return server_.handlePacket(payload);
+    }
+
+    /** `%c%x`-style formatted packet (addresses ride lowercase hex). */
+    std::string packetf(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)))
+    {
+        char buf[128];
+        va_list args;
+        va_start(args, fmt);
+        std::vsnprintf(buf, sizeof(buf), fmt, args);
+        va_end(args);
+        return packet(buf);
+    }
+
+    Program program_;
+    sim::Machine machine_;
+    GdbServer server_;
+};
+
+TEST_F(GdbServerTest, InitialStopAndRegisterImages)
+{
+    EXPECT_EQ(packet("?"), "S05");
+
+    // g: 17 × 64-bit capability images + 3 × 32-bit CSR-ish words.
+    const std::string all = packet("g");
+    EXPECT_EQ(all.size(), 17u * 16 + 3u * 8);
+
+    // pcc (regnum 16) sits after the 16 capability registers.
+    const std::string pccImage = all.substr(16 * 16, 16);
+    EXPECT_EQ(decodeLe(pccImage), machine_.pcc().toBits());
+    EXPECT_EQ(static_cast<uint32_t>(decodeLe(pccImage)), kEntry);
+    EXPECT_EQ(packet("p10"), pccImage);
+
+    // a0 (regnum 10 = 0xa) resets to the tagged memory root.
+    EXPECT_TRUE(machine_.readReg(10).tag());
+    EXPECT_EQ(decodeLe(packet("pa")), machine_.readReg(10).toBits());
+
+    EXPECT_EQ(packet("p14"), "E01"); // beyond the register map
+    EXPECT_EQ(packet("pzz"), "E01");
+}
+
+TEST_F(GdbServerTest, GuardedRegisterWritesCannotForgeTags)
+{
+    const Capability a0 = machine_.readReg(10);
+    ASSERT_TRUE(a0.tag());
+
+    // Identical image: a no-op, tag intact.
+    EXPECT_EQ(packet("Pa=" + hexLe(a0.toBits(), 8)), "OK");
+    EXPECT_TRUE(machine_.readReg(10).tag());
+
+    // Address-only change: metadata (high word) untouched, the tag
+    // survives and the register now points at the new address.
+    const uint64_t moved =
+        (a0.toBits() & ~uint64_t{0xffffffff}) | kDataAddr;
+    EXPECT_EQ(packet("Pa=" + hexLe(moved, 8)), "OK");
+    EXPECT_TRUE(machine_.readReg(10).tag());
+    EXPECT_EQ(machine_.readReg(10).address(), kDataAddr);
+
+    // Metadata change (a permission bit flipped): the write lands
+    // untagged — the debugger cannot mint authority.
+    const uint64_t forged =
+        machine_.readReg(10).toBits() ^ (uint64_t{1} << 62);
+    EXPECT_EQ(packet("Pa=" + hexLe(forged, 8)), "OK");
+    EXPECT_FALSE(machine_.readReg(10).tag());
+
+    EXPECT_EQ(packet("P"), "E01");       // no '='
+    EXPECT_EQ(packet("Pzz=00"), "E01");  // bad regnum
+    EXPECT_EQ(packet("Pa=xyz"), "E01");  // bad image
+}
+
+TEST_F(GdbServerTest, CtagsWritesOnlyEverClear)
+{
+    // ctags is regnum 17 = 0x11: bit i = tag of ci, bit 16 = pcc.
+    const auto tags = static_cast<uint32_t>(decodeLe(packet("p11")));
+    EXPECT_NE(tags & (1u << 10), 0u) << "a0 resets tagged";
+    EXPECT_NE(tags & (1u << 16), 0u) << "pcc resets tagged";
+
+    // Clearing a0's bit invalidates the register...
+    EXPECT_EQ(packet("P11=" + hexLe(tags & ~(1u << 10), 4)), "OK");
+    EXPECT_FALSE(machine_.readReg(10).tag());
+
+    // ...and an all-ones write cannot conjure the tag back.
+    EXPECT_EQ(packet("P11=ffffffff"), "OK");
+    EXPECT_FALSE(machine_.readReg(10).tag());
+    EXPECT_TRUE(machine_.pcc().tag()) << "set bits never clear";
+
+    EXPECT_EQ(packet("P11=00000000"), "OK");
+    EXPECT_FALSE(machine_.pcc().tag());
+}
+
+TEST_F(GdbServerTest, MemoryAccessUsesTheDebugPath)
+{
+    EXPECT_EQ(packetf("M%x,4:deadbeef", kDataAddr), "OK");
+    EXPECT_EQ(packetf("m%x,4", kDataAddr), "deadbeef");
+
+    EXPECT_EQ(packetf("m%x", kDataAddr), "E01");  // no length
+    EXPECT_EQ(packet("mzz,4"), "E01");
+    EXPECT_EQ(packetf("M%x,5:deadbeef", kDataAddr), "E01"); // len lie
+
+    // Outside SRAM (unmapped and MMIO alike) the debug path refuses
+    // rather than touching device state.
+    EXPECT_EQ(packet("mf0000000,4"), "E02");
+    EXPECT_EQ(packetf("m%x,4", mem::kConsoleMmioBase), "E02");
+    EXPECT_EQ(packetf("M%x,4:00000000", mem::kConsoleMmioBase), "E02");
+}
+
+TEST_F(GdbServerTest, DebugMemoryWritesClearCapabilityTags)
+{
+    // Plant a genuine tagged capability in SRAM...
+    const Capability root = Capability::memoryRoot();
+    const uint32_t slot = kDataAddr + 16;
+    ASSERT_EQ(machine_.storeCap(root, slot, root.withAddress(kDataAddr),
+                                /*charge=*/false),
+              sim::TrapCause::None);
+    Capability loaded;
+    ASSERT_EQ(machine_.loadCap(root, slot, &loaded, /*charge=*/false),
+              sim::TrapCause::None);
+    ASSERT_TRUE(loaded.tag());
+
+    // ...then scribble one word of it from the debugger: the data
+    // lands but the tag must die with it.
+    EXPECT_EQ(packetf("M%x,4:00000000", slot), "OK");
+    ASSERT_EQ(machine_.loadCap(root, slot, &loaded, /*charge=*/false),
+              sim::TrapCause::None);
+    EXPECT_FALSE(loaded.tag());
+}
+
+TEST_F(GdbServerTest, BreakpointLifecycleAndResume)
+{
+    EXPECT_EQ(packetf("Z0,%x,4", program_.storeSite), "OK");
+    EXPECT_EQ(packet("c"), "T05swbreak:;");
+    EXPECT_EQ(static_cast<uint32_t>(decodeLe(packet("p10"))),
+              program_.storeSite);
+
+    EXPECT_EQ(packetf("z0,%x,4", program_.storeSite), "OK");
+    EXPECT_EQ(packetf("z0,%x,4", program_.storeSite), "E02")
+        << "double clear";
+
+    EXPECT_EQ(packet("s"), "T05");
+    EXPECT_EQ(static_cast<uint32_t>(decodeLe(packet("p10"))),
+              program_.afterStore);
+
+    // Continue to the final ebreak: reported as a breakpoint trap
+    // (standard gdb semantics for a guest ebreak), pinned at its site.
+    EXPECT_EQ(packet("c"), "T05swbreak:;");
+    EXPECT_EQ(static_cast<uint32_t>(decodeLe(packet("p10"))),
+              program_.ebreakSite);
+
+    EXPECT_EQ(packet("Z0"), "E01");
+    EXPECT_EQ(packet("Z0,zz,4"), "E01");
+    EXPECT_EQ(packet("Z9,100,4"), "") << "unsupported type";
+}
+
+TEST_F(GdbServerTest, WatchpointCatchesTheStore)
+{
+    EXPECT_EQ(packetf("Z2,%x,4", kDataAddr), "OK");
+    const std::string stop = packet("c");
+    EXPECT_TRUE(contains(stop, "T05watch:")) << stop;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%x", kDataAddr);
+    EXPECT_TRUE(contains(stop, buf)) << stop;
+
+    EXPECT_EQ(packetf("z2,%x,4", kDataAddr), "OK");
+    EXPECT_EQ(packet("c"), "T05swbreak:;") << "runs on to the ebreak";
+}
+
+TEST_F(GdbServerTest, StepAndResumeAtAddress)
+{
+    EXPECT_EQ(packet("s"), "T05");
+    EXPECT_EQ(static_cast<uint32_t>(decodeLe(packet("p10"))),
+              program_.stepTarget);
+    EXPECT_EQ(machine_.readRegInt(A3), 1u)
+        << "the stepped instruction executed";
+
+    // `c <addr>` resumes from the given address: jump straight to the
+    // ebreak — the skipped body (including a4's marker) never runs.
+    EXPECT_EQ(packetf("c%x", program_.ebreakSite), "T05swbreak:;");
+    EXPECT_EQ(static_cast<uint32_t>(decodeLe(packet("p10"))),
+              program_.ebreakSite);
+    EXPECT_EQ(machine_.readRegInt(A4), 0u);
+}
+
+TEST_F(GdbServerTest, ResumeBudgetStopsARunawayGuest)
+{
+    server_.setResumeBudget(2);
+    EXPECT_EQ(packet("c"), "T02")
+        << "budget exhaustion reads as an interrupt stop";
+}
+
+TEST_F(GdbServerTest, QueryPackets)
+{
+    const std::string supported = packet("qSupported:swbreak+");
+    EXPECT_TRUE(contains(supported, "qXfer:cheriot-stats:read+"));
+    EXPECT_TRUE(contains(supported, "qXfer:features:read+"));
+    EXPECT_TRUE(contains(supported, "QStartNoAckMode+"));
+
+    EXPECT_EQ(packet("qAttached"), "1");
+    EXPECT_EQ(packet("qC"), "QC1");
+    EXPECT_EQ(packet("qfThreadInfo"), "m1");
+    EXPECT_EQ(packet("qsThreadInfo"), "l");
+
+    // qCheriot.reg: symbolic capability views.
+    const std::string pccView = packet("qCheriot.reg:10");
+    EXPECT_TRUE(contains(pccView, "pcc")) << pccView;
+    EXPECT_TRUE(contains(pccView, "tag=1")) << pccView;
+    EXPECT_TRUE(contains(pccView, "perms=")) << pccView;
+    EXPECT_EQ(packet("qCheriot.reg:ff"), "E01");
+
+    // No kernel attached: compartment queries degrade, the rest work.
+    EXPECT_EQ(packet("qCheriot.compartments"), "E01");
+    EXPECT_TRUE(contains(packet("qCheriot.epoch"), "epoch="));
+    EXPECT_TRUE(contains(packet("qCheriot.stats"),
+                         "machine.instructions"));
+    EXPECT_EQ(packet("qCheriot.unknown"), "");
+    EXPECT_EQ(packet("qFoo"), "");
+}
+
+TEST_F(GdbServerTest, QXferWindowsReassembleTheDocument)
+{
+    // One-shot read: 'l' + the whole document.
+    const std::string oneShot =
+        packet("qXfer:features:read::0,ffff");
+    ASSERT_FALSE(oneShot.empty());
+    ASSERT_EQ(oneShot[0], 'l');
+    const std::string xml = oneShot.substr(1);
+    EXPECT_TRUE(contains(xml, "org.cheriot.sim.caps"));
+    EXPECT_TRUE(contains(xml, "regnum=\"19\""));
+
+    // Windowed reads concatenate to the same bytes.
+    std::string assembled;
+    uint64_t offset = 0;
+    for (;;) {
+        const std::string slice =
+            packetf("qXfer:features:read::%llx,40",
+                    static_cast<unsigned long long>(offset));
+        ASSERT_FALSE(slice.empty());
+        ASSERT_TRUE(slice[0] == 'l' || slice[0] == 'm');
+        assembled += slice.substr(1);
+        offset += slice.size() - 1;
+        if (slice[0] == 'l') {
+            break;
+        }
+    }
+    EXPECT_EQ(assembled, xml);
+
+    const std::string stats =
+        packet("qXfer:cheriot-stats:read::0,ffff");
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats[0], 'l');
+    EXPECT_TRUE(contains(stats, "machine.instructions"));
+
+    EXPECT_EQ(packet("qXfer:features:read::zz,4"), "E01");
+    EXPECT_EQ(packet("qXfer:nonsense:read::0,4"), "");
+}
+
+TEST_F(GdbServerTest, GRegisterPacketRoundTrips)
+{
+    const std::string image = packet("g");
+    EXPECT_EQ(packet("G" + image), "OK");
+    EXPECT_EQ(packet("g"), image)
+        << "a faithful write-back perturbs nothing";
+    EXPECT_EQ(packet("G1234"), "E01") << "truncated image";
+}
+
+TEST_F(GdbServerTest, NoAckModeAndMiscPackets)
+{
+    EXPECT_FALSE(server_.noAckMode());
+    EXPECT_EQ(packet("QStartNoAckMode"), "OK");
+    EXPECT_TRUE(server_.noAckMode());
+    EXPECT_EQ(packet("Qother"), "");
+
+    EXPECT_EQ(packet("Hg0"), "OK");
+    EXPECT_EQ(packet("T1"), "OK");
+    EXPECT_EQ(packet("vCont?"), "");
+    EXPECT_EQ(packet(""), "E01");
+}
+
+TEST_F(GdbServerTest, InspectAndDetachIsObservationOnly)
+{
+    const uint32_t before = machine_.stateDigest();
+
+    // A realistic inspection session: stop status, all registers,
+    // memory, symbolic views, counters, breakpoint set + clear.
+    (void)packet("?");
+    (void)packet("g");
+    (void)packet("p10");
+    (void)packetf("m%x,10", kEntry);
+    (void)packet("qCheriot.reg:a");
+    (void)packet("qCheriot.stats");
+    (void)packet("qXfer:features:read::0,ffff");
+    (void)packetf("Z0,%x,4", program_.storeSite);
+    (void)packetf("z0,%x,4", program_.storeSite);
+
+    EXPECT_EQ(machine_.stateDigest(), before)
+        << "observation packets must not disturb the machine";
+
+    EXPECT_FALSE(server_.detached());
+    EXPECT_EQ(packet("D"), "OK");
+    EXPECT_TRUE(server_.detached());
+    EXPECT_EQ(machine_.runControlHook(), nullptr);
+    EXPECT_EQ(machine_.stateDigest(), before);
+
+    // The machine then runs to completion exactly as if the session
+    // never happened.
+    const auto result = machine_.run(1u << 12);
+    EXPECT_EQ(result.reason, sim::HaltReason::Breakpoint);
+    EXPECT_EQ(machine_.readRegInt(A4), 2u);
+    std::vector<uint8_t> word;
+    ASSERT_TRUE(machine_.debugReadMem(kDataAddr, 4, &word));
+    EXPECT_EQ(word[0], 0x77u);
+}
+
+TEST_F(GdbServerTest, ExternalRunDefersTheResumeReply)
+{
+    server_.setExternalRun(true);
+    EXPECT_FALSE(server_.resumeDeferred());
+
+    // `c` sends nothing: the harness owns execution and the stop
+    // reply goes out at the next scheduler pause.
+    EXPECT_EQ(packet("c"), "");
+    EXPECT_TRUE(server_.resumeDeferred());
+    server_.clearResumeDeferred();
+
+    // A client ^C while running records an interrupt stop.
+    server_.interruptStop();
+    EXPECT_TRUE(server_.runControl().stopPending());
+    EXPECT_EQ(server_.stopReply(), "T02");
+}
+
+} // namespace
+} // namespace cheriot::debug

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * RSP framing: checksum/escape round-trips through the framer, the
+ * full event vocabulary (packets, acks, naks, interrupts, resend
+ * requests), split delivery across feed() calls, and a seeded
+ * malformed-byte fuzz proving a hostile stream can never crash the
+ * framer or grow it past its payload bound.
+ */
+
+#include "debug/rsp.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cheriot::debug
+{
+namespace
+{
+
+std::vector<RspEvent>
+feedAll(RspFramer &framer, const std::string &bytes)
+{
+    return framer.feed(
+        reinterpret_cast<const uint8_t *>(bytes.data()), bytes.size());
+}
+
+/** Feed one byte at a time, collecting every event. */
+std::vector<RspEvent>
+feedByByte(RspFramer &framer, const std::string &bytes)
+{
+    std::vector<RspEvent> events;
+    for (const char c : bytes) {
+        const auto some = framer.feed(
+            reinterpret_cast<const uint8_t *>(&c), 1);
+        events.insert(events.end(), some.begin(), some.end());
+    }
+    return events;
+}
+
+TEST(RspChecksum, MatchesKnownVectors)
+{
+    EXPECT_EQ(rspChecksum(""), 0x00);
+    EXPECT_EQ(rspChecksum("OK"), 0x9a); // 'O' + 'K' = 0x4f + 0x4b
+    EXPECT_EQ(rspChecksum("g"), 0x67);
+}
+
+TEST(RspFrame, FramesAndEscapes)
+{
+    EXPECT_EQ(rspFrame("OK"), "$OK#9a");
+    // The four reserved bytes travel as `}` XOR-0x20 pairs.
+    const std::string framed = rspFrame("a$b#c}d*e");
+    EXPECT_EQ(framed.substr(0, 1), "$");
+    EXPECT_NE(framed.find("}\x04"), std::string::npos); // '$' ^ 0x20
+    EXPECT_NE(framed.find("}\x03"), std::string::npos); // '#' ^ 0x20
+    EXPECT_NE(framed.find("}]"), std::string::npos);    // '}' ^ 0x20
+    EXPECT_NE(framed.find("}\x0a"), std::string::npos); // '*' ^ 0x20
+}
+
+TEST(RspFramer, RoundTripsArbitraryPayloads)
+{
+    RspFramer framer;
+    const std::vector<std::string> payloads = {
+        "",
+        "OK",
+        "qSupported:swbreak+;hwbreak+",
+        "a$b#c}d*e",
+        std::string("\x00\x01\x02\x7f\x80\xff", 6),
+        std::string(1000, '}'),
+    };
+    for (const std::string &payload : payloads) {
+        const auto events = feedAll(framer, rspFrame(payload));
+        ASSERT_EQ(events.size(), 1u) << "payload size "
+                                     << payload.size();
+        EXPECT_EQ(events[0].kind, RspEvent::Kind::Packet);
+        EXPECT_EQ(events[0].payload, payload);
+    }
+}
+
+TEST(RspFramer, ByteAtATimeDeliveryIsEquivalent)
+{
+    RspFramer framer;
+    const std::string payload = "m20004000,4$#}*";
+    const auto events = feedByByte(framer, rspFrame(payload));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, RspEvent::Kind::Packet);
+    EXPECT_EQ(events[0].payload, payload);
+}
+
+TEST(RspFramer, EventVocabulary)
+{
+    RspFramer framer;
+    const auto events =
+        feedAll(framer, "+-\x03" + rspFrame("OK") + "+");
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events[0].kind, RspEvent::Kind::Ack);
+    EXPECT_EQ(events[1].kind, RspEvent::Kind::ResendReq);
+    EXPECT_EQ(events[2].kind, RspEvent::Kind::Interrupt);
+    EXPECT_EQ(events[3].kind, RspEvent::Kind::Packet);
+    EXPECT_EQ(events[4].kind, RspEvent::Kind::Ack);
+}
+
+TEST(RspFramer, BadChecksumYieldsNakAndRecovers)
+{
+    RspFramer framer;
+    auto events = feedAll(framer, "$OK#00"); // wrong checksum
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, RspEvent::Kind::Nak);
+    // The framer is back in sync for the next well-formed packet.
+    events = feedAll(framer, rspFrame("OK"));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, RspEvent::Kind::Packet);
+    EXPECT_EQ(events[0].payload, "OK");
+}
+
+TEST(RspFramer, GarbageOutsidePacketsIsDropped)
+{
+    RspFramer framer;
+    const auto events = feedAll(
+        framer, "noise\r\n\x7f\xffmore" + rspFrame("g") + "trailing");
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, RspEvent::Kind::Packet);
+    EXPECT_EQ(events[0].payload, "g");
+}
+
+TEST(RspFramer, OversizedPacketIsDiscardedWithoutGrowth)
+{
+    RspFramer framer(/*maxPayload=*/16);
+    const auto events =
+        feedAll(framer, rspFrame(std::string(64, 'x')));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, RspEvent::Kind::Nak);
+    // A bounded packet still goes through afterwards.
+    const auto after = feedAll(framer, rspFrame("ok"));
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].kind, RspEvent::Kind::Packet);
+    EXPECT_EQ(after[0].payload, "ok");
+}
+
+TEST(RspFramer, TruncatedPacketsNeverComplete)
+{
+    RspFramer framer;
+    EXPECT_TRUE(feedAll(framer, "$half-a-packet").empty());
+    EXPECT_TRUE(feedAll(framer, "#").empty());
+    EXPECT_TRUE(feedAll(framer, "9").empty());
+    // The final checksum digit lands: exactly one event (the payload
+    // survived the wait, good or bad checksum).
+    const auto events = feedAll(framer, "a");
+    ASSERT_EQ(events.size(), 1u);
+}
+
+TEST(RspFramer, PacketEndingMidEscapeIsRejected)
+{
+    RspFramer framer;
+    // A `}` dangling right before the terminator ends the packet
+    // mid-escape: even with a checksum matching the wire bytes, the
+    // frame is malformed and must Nak, not deliver a packet.
+    const std::string wireBody = "ab}";
+    char check[4];
+    std::snprintf(check, sizeof(check), "%02x",
+                  rspChecksum(wireBody));
+    const auto events =
+        feedAll(framer, "$" + wireBody + "#" + check);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, RspEvent::Kind::Nak);
+
+    // An escaped `#` travels as `}` 0x03 and round-trips cleanly.
+    const auto good = feedAll(framer, rspFrame("ab#"));
+    ASSERT_EQ(good.size(), 1u);
+    EXPECT_EQ(good[0].kind, RspEvent::Kind::Packet);
+    EXPECT_EQ(good[0].payload, "ab#");
+}
+
+TEST(RspFramerFuzz, SeededHostileStreamNeverCrashes)
+{
+    // 64 seeded campaigns of raw garbage mixed with embedded valid
+    // packets: the framer must neither crash nor miscount the valid
+    // packets that arrive while it is in sync (every valid packet fed
+    // from the idle state parses).
+    for (uint64_t seed = 0; seed < 64; ++seed) {
+        Rng rng(0xdeb06'0000 + seed);
+        RspFramer framer(1u << 10);
+        for (int round = 0; round < 200; ++round) {
+            const uint32_t kind = rng.below(4);
+            if (kind == 0) {
+                // Pure garbage, any byte values, any length.
+                std::string junk(rng.below(300), '\0');
+                for (char &c : junk) {
+                    c = static_cast<char>(rng.below(256));
+                }
+                feedAll(framer, junk);
+            } else if (kind == 1) {
+                // A corrupted frame: one byte flipped.
+                std::string wire = rspFrame("qCheriot.fault");
+                wire[rng.below(static_cast<uint32_t>(wire.size()))] ^=
+                    static_cast<char>(1 + rng.below(255));
+                feedAll(framer, wire);
+            } else if (kind == 2) {
+                // An oversized frame against the 1 KiB bound.
+                feedAll(framer,
+                        rspFrame(std::string(
+                            1500 + rng.below(1000), 'z')));
+            } else {
+                // A valid packet fed from a clean state must parse:
+                // flush whatever partial frame the garbage left with
+                // an unambiguous terminator first.
+                feedAll(framer, "#00");
+                std::string payload(rng.below(64), '\0');
+                for (char &c : payload) {
+                    c = static_cast<char>(rng.below(256));
+                }
+                const auto events =
+                    feedAll(framer, rspFrame(payload));
+                ASSERT_FALSE(events.empty());
+                EXPECT_EQ(events.back().kind,
+                          RspEvent::Kind::Packet);
+                EXPECT_EQ(events.back().payload, payload);
+            }
+        }
+    }
+}
+
+TEST(RspHex, HelpersRoundTrip)
+{
+    EXPECT_EQ(hexLe(0x20004000, 4), "00400020");
+    EXPECT_EQ(hexLe(0x1122334455667788ULL, 8), "8877665544332211");
+
+    uint64_t value = 0;
+    EXPECT_TRUE(parseHex("1f", &value));
+    EXPECT_EQ(value, 0x1fu);
+    EXPECT_FALSE(parseHex("", &value));
+    EXPECT_FALSE(parseHex("xyz", &value));
+
+    std::vector<uint8_t> bytes;
+    EXPECT_TRUE(parseHexBytes("5a000000", &bytes));
+    ASSERT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(bytes[0], 0x5au);
+    EXPECT_FALSE(parseHexBytes("abc", &bytes)); // odd length
+    EXPECT_FALSE(parseHexBytes("zz", &bytes));
+
+    const uint8_t raw[] = {0xde, 0xad, 0xbe, 0xef};
+    EXPECT_EQ(toHex(raw, sizeof(raw)), "deadbeef");
+}
+
+} // namespace
+} // namespace cheriot::debug

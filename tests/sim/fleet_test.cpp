@@ -9,6 +9,7 @@
  * keeps its delivery guarantees.
  */
 
+#include "debug/gdb_server.h"
 #include "net/net_stack.h"
 #include "net/switch.h"
 #include "sim/fleet.h"
@@ -327,6 +328,55 @@ TEST(FleetTest, RogueDeviceIsContainedByFabricQuarantine)
     }
     EXPECT_FALSE(fleet.anyPeerDead());
     EXPECT_EQ(fleet.totalSafetyViolations(), 0u);
+}
+
+TEST(FleetTest, DebuggerHoldParksOneNodeRoundBarrierSafe)
+{
+    FleetTraffic traffic;
+    traffic.sendPermille = 600;
+    Fleet fleet(smallFleet(3, 0xdeb6f1ee7, 2));
+    fleet.run(8, traffic);
+
+    // Park node 1 and hand its Machine to a debug stub between
+    // rounds: the held node's guest must not advance while the rest
+    // of the fleet keeps running its deterministic schedule.
+    fleet.debugAttach(1);
+    ASSERT_TRUE(fleet.debugHeld(1));
+    const uint64_t heldCycles = fleet.node(1).machine().cycles();
+    const uint64_t peerCycles = fleet.node(0).machine().cycles();
+
+    {
+        debug::GdbServer server(fleet.node(1).machine(),
+                                &fleet.node(1).kernel());
+        EXPECT_EQ(server.handlePacket("?"), "S05");
+        const std::string stats =
+            server.handlePacket("qCheriot.stats");
+        EXPECT_NE(stats.find("machine.instructions"),
+                  std::string::npos);
+        const std::string comps =
+            server.handlePacket("qCheriot.compartments");
+        EXPECT_NE(comps.find("current="), std::string::npos);
+
+        fleet.run(6, traffic);
+        EXPECT_EQ(fleet.node(1).machine().cycles(), heldCycles)
+            << "a held node's slice is skipped";
+        EXPECT_GT(fleet.node(0).machine().cycles(), peerCycles)
+            << "peers keep running";
+
+        EXPECT_EQ(server.handlePacket("D"), "OK");
+    }
+    EXPECT_EQ(fleet.node(1).machine().runControlHook(), nullptr);
+
+    // Release and reconverge: the parked node rejoins the schedule
+    // and the fleet-wide guarantees still hold.
+    fleet.debugDetach();
+    ASSERT_FALSE(fleet.debugHeld(1));
+    fleet.run(12, traffic);
+    EXPECT_GT(fleet.node(1).machine().cycles(), heldCycles);
+    EXPECT_TRUE(fleet.drain(600));
+    expectExactlyOnceFleetWide(fleet);
+    EXPECT_EQ(fleet.totalSafetyViolations(), 0u);
+    EXPECT_FALSE(fleet.anyPeerDead());
 }
 
 } // namespace

@@ -175,6 +175,57 @@ TEST(Stats, CountersAndSnapshot)
     EXPECT_EQ(b.value(), 0u);
 }
 
+TEST(Percentile, InterpolatesKnownQuantiles)
+{
+    // R-7 estimator: rank = p/100 * (n-1), linear interpolation.
+    const std::vector<uint64_t> ten = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(percentileInterpolated(ten, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileInterpolated(ten, 50.0), 5.5);
+    EXPECT_DOUBLE_EQ(percentileInterpolated(ten, 99.0), 9.91);
+    EXPECT_DOUBLE_EQ(percentileInterpolated(ten, 100.0), 10.0);
+
+    EXPECT_DOUBLE_EQ(percentileInterpolated({1, 2, 3, 4}, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentileInterpolated({7}, 99.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentileInterpolated({}, 50.0), 0.0);
+
+    // Input order must not matter.
+    EXPECT_DOUBLE_EQ(percentileInterpolated({10, 1, 5, 3, 8, 2, 9,
+                                             4, 7, 6},
+                                            50.0),
+                     5.5);
+}
+
+TEST(Percentile, TailDoesNotCollapseToMax)
+{
+    // The regression the interpolating estimator fixes: a truncating
+    // nearest-rank p99 of fewer than 100 samples just returns the
+    // maximum, hiding the tail shape entirely.
+    std::vector<uint64_t> samples;
+    for (uint64_t i = 1; i <= 10; ++i) {
+        samples.push_back(i * 100);
+    }
+    const double p99 = percentileInterpolated(samples, 99.0);
+    EXPECT_LT(p99, 1000.0);
+    EXPECT_GT(p99, 900.0);
+    EXPECT_DOUBLE_EQ(p99, 991.0);
+}
+
+TEST(Percentile, HistogramMatchesFreeFunction)
+{
+    Histogram h;
+    for (uint64_t i = 1; i <= 10; ++i) {
+        h.record(i);
+    }
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+    EXPECT_DOUBLE_EQ(h.percentile(90.0), 9.1);
+    EXPECT_EQ(h.percentileRounded(90.0), 9u);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0),
+                     percentileInterpolated(h.samples(), 50.0));
+}
+
 std::string
 format(const char *fmt, ...)
 {
